@@ -1,0 +1,47 @@
+//! Benchmarks of the DPDN construction procedures (paper §4) as a function
+//! of gate width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpl_core::random::random_read_once_expr;
+use dpl_core::Dpdn;
+use dpl_logic::parse_expr;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for inputs in [2usize, 4, 6, 8, 12, 16] {
+        let (expr, ns) = random_read_once_expr(0xD47E_2005, inputs);
+        group.bench_with_input(BenchmarkId::new("genuine", inputs), &inputs, |b, _| {
+            b.iter(|| Dpdn::genuine(&expr, &ns).expect("synthesis"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fully_connected", inputs),
+            &inputs,
+            |b, _| b.iter(|| Dpdn::fully_connected(&expr, &ns).expect("synthesis")),
+        );
+        group.bench_with_input(BenchmarkId::new("enhanced", inputs), &inputs, |b, _| {
+            b.iter(|| Dpdn::fully_connected_enhanced(&expr, &ns).expect("synthesis"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transformation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transformation_4_2");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for formula in ["A.B", "(A+B).(C+D)", "A.B+C.D", "A.(B+C.D)"] {
+        let (expr, ns) = parse_expr(formula).expect("static formula");
+        let genuine = Dpdn::genuine(&expr, &ns).expect("synthesis");
+        group.bench_with_input(BenchmarkId::from_parameter(formula), formula, |b, _| {
+            b.iter(|| genuine.to_fully_connected().expect("transformation"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_transformation);
+criterion_main!(benches);

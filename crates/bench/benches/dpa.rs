@@ -1,0 +1,72 @@
+//! Benchmarks of the end-to-end side-channel experiment: trace generation
+//! and key-recovery attacks on the PRESENT S-box datapath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpl_cells::CapacitanceModel;
+use dpl_crypto::{
+    present_sbox, simulate_traces, synthesize_sbox_with_key, LeakageModel, LeakageOptions,
+};
+use dpl_power::{cpa_attack, dpa_attack};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let cap = CapacitanceModel::default();
+    let options = LeakageOptions::default();
+    for model in [LeakageModel::HammingWeight, LeakageModel::FullyConnectedSabl] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.label()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    simulate_traces(&netlist, model, &cap, 0xA, 500, &options)
+                        .expect("trace generation")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let cap = CapacitanceModel::default();
+    let options = LeakageOptions::default();
+    let traces = simulate_traces(
+        &netlist,
+        LeakageModel::HammingWeight,
+        &cap,
+        0x7,
+        2000,
+        &options,
+    )
+    .expect("trace generation");
+
+    group.bench_function("dpa_2000_traces", |b| {
+        b.iter(|| {
+            dpa_attack(&traces, 16, |plaintext, guess| {
+                present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
+            })
+            .expect("attack")
+        })
+    });
+    group.bench_function("cpa_2000_traces", |b| {
+        b.iter(|| {
+            cpa_attack(&traces, 16, |plaintext, guess| {
+                present_sbox((plaintext ^ guess) as u8).count_ones() as f64
+            })
+            .expect("attack")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks of the simulation substrate: charge-based discharge analysis
+//! (Fig. 4) and the switch-RC transient solver (Fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpl_cells::{simulate_event, CapacitanceModel, DischargeProfile, EventOptions, SablCell};
+use dpl_core::Dpdn;
+use dpl_logic::parse_expr;
+
+fn bench_discharge_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discharge_profile");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let model = CapacitanceModel::default();
+    for formula in ["A.B", "(A+B).(C+D)", "A.B+A.C+B.C"] {
+        let (expr, ns) = parse_expr(formula).expect("static formula");
+        let gate = Dpdn::fully_connected(&expr, &ns).expect("synthesis");
+        group.bench_with_input(BenchmarkId::from_parameter(formula), formula, |b, _| {
+            b.iter(|| DischargeProfile::analyze(&gate, &model).expect("analysis"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_event");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let model = CapacitanceModel::default();
+    let opts = EventOptions::default();
+    for formula in ["A.B", "(A+B).(C+D)"] {
+        let (expr, ns) = parse_expr(formula).expect("static formula");
+        let gate = Dpdn::fully_connected(&expr, &ns).expect("synthesis");
+        let cell = SablCell::new(&gate, &model);
+        group.bench_with_input(BenchmarkId::from_parameter(formula), formula, |b, _| {
+            b.iter(|| {
+                simulate_event(cell.circuit(), cell.pins(), (1 << ns.len()) - 1, &opts)
+                    .expect("simulation")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discharge_profile, bench_transient_event);
+criterion_main!(benches);

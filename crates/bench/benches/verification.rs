@@ -1,0 +1,29 @@
+//! Benchmarks of the exhaustive verification suite (full connectivity,
+//! functional equivalence, depth, early propagation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpl_core::random::random_read_once_expr;
+use dpl_core::{verify, Dpdn};
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for inputs in [2usize, 4, 6, 8] {
+        let (expr, ns) = random_read_once_expr(0xC0FFEE, inputs);
+        let gate = Dpdn::fully_connected(&expr, &ns).expect("synthesis");
+        group.bench_with_input(BenchmarkId::new("full_suite", inputs), &inputs, |b, _| {
+            b.iter(|| verify(&gate).expect("verification"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("connectivity_only", inputs),
+            &inputs,
+            |b, _| b.iter(|| dpl_core::verify::connectivity_report(&gate).expect("verification")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

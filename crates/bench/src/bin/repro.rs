@@ -1,0 +1,40 @@
+//! Command-line experiment runner: regenerates every figure of the paper.
+//!
+//! ```text
+//! cargo run -p dpl-bench --release --bin repro            # all experiments
+//! cargo run -p dpl-bench --release --bin repro -- fig3    # a single one
+//! cargo run -p dpl-bench --release --bin repro -- dpa 5000
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let dpa_traces: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    let report = match which {
+        "all" => dpl_bench::run_all(dpa_traces),
+        "fig2" => dpl_bench::fig2_memory_effect(),
+        "fig3" => dpl_bench::fig3_transient(),
+        "fig4" => dpl_bench::fig4_capacitance(),
+        "fig5" => dpl_bench::fig5_oai22(),
+        "fig6" => dpl_bench::fig6_enhanced(),
+        "cvsl" => dpl_bench::cvsl_comparison(),
+        "dpa" => dpl_bench::dpa_experiment(dpa_traces),
+        "library" => dpl_bench::library_sweep(),
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
+                 fig6, cvsl, dpa, library"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,451 @@
+//! The figure-by-figure reproduction experiments.
+
+use std::fmt::Write as _;
+
+use dpl_cells::{
+    characterize_cycles, simulate_event, CapacitanceModel, CvslCell, DischargeProfile,
+    EventOptions, SablCell,
+};
+use dpl_core::{verify, Dpdn, GateKind, GateLibrary};
+use dpl_crypto::{
+    predicted_energy, present_sbox, simulate_traces, synthesize_sbox_with_key, GateEnergyTable,
+    LeakageModel, LeakageOptions,
+};
+use dpl_logic::parse_expr;
+use dpl_power::{cpa_attack, dpa_attack, metrics};
+
+fn heading(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n=== {title} ===");
+}
+
+/// Experiment E1 (Fig. 2): genuine vs. fully connected AND-NAND DPDN and the
+/// memory effect of the genuine network.
+pub fn fig2_memory_effect() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Fig. 2 — AND-NAND DPDN: genuine vs. fully connected");
+    let (f, ns) = parse_expr("A.B").expect("static formula");
+    let genuine = Dpdn::genuine(&f, &ns).expect("synthesis");
+    let fc = Dpdn::fully_connected(&f, &ns).expect("synthesis");
+
+    for (label, gate) in [("genuine", &genuine), ("fully connected", &fc)] {
+        let report = verify(gate).expect("verification");
+        let _ = writeln!(
+            out,
+            "{label:>16}: devices = {}, internal nodes = {}, fully connected = {}, \
+             functionally correct = {}",
+            gate.device_count(),
+            gate.internal_nodes().len(),
+            report.is_fully_connected(),
+            report.is_functionally_correct()
+        );
+        for event in report.connectivity.events() {
+            let floating: Vec<String> = event
+                .floating
+                .iter()
+                .map(|n| gate.network().node_name(*n).to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "{label:>16}  (A,B) = ({},{}): floating internal nodes = [{}]",
+                event.assignment & 1,
+                (event.assignment >> 1) & 1,
+                floating.join(", ")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: the genuine network leaves node W floating for (A,B)=(0,0); \
+         the fully connected network never floats a node."
+    );
+    out
+}
+
+/// Experiment E2 (Fig. 3): transient simulation of the SABL AND-NAND gate
+/// for the (0,1) and (1,1) inputs — output voltages and supply current
+/// should be indistinguishable.
+pub fn fig3_transient() -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Fig. 3 — SABL AND-NAND transient: supply current for (0,1) vs (1,1)",
+    );
+    let (f, ns) = parse_expr("A.B").expect("static formula");
+    let dpdn = Dpdn::fully_connected(&f, &ns).expect("synthesis");
+    let model = CapacitanceModel::default();
+    let cell = SablCell::new(&dpdn, &model);
+    let opts = EventOptions::default();
+
+    let mut waves = Vec::new();
+    for assignment in [0b10u64, 0b11u64] {
+        let result =
+            simulate_event(cell.circuit(), cell.pins(), assignment, &opts).expect("simulation");
+        let _ = writeln!(
+            out,
+            "input (A,B)=({},{}): peak supply current = {:.3e} A, supply charge = {:.3} fC, \
+             energy = {:.3} fJ",
+            assignment & 1,
+            (assignment >> 1) & 1,
+            result.supply_current().peak(),
+            result.supply_charge() * 1e15,
+            result.supply_energy(opts.vdd) * 1e15
+        );
+        waves.push(result);
+    }
+    let rms = waves[0]
+        .supply_current()
+        .rms_difference(waves[1].supply_current());
+    let peak = waves[0].supply_current().peak().max(1e-30);
+    let _ = writeln!(
+        out,
+        "relative RMS difference between the two supply-current waveforms: {:.4} %",
+        100.0 * rms / peak
+    );
+    let _ = writeln!(
+        out,
+        "expected shape: the two waveforms coincide (the paper's Fig. 3 traces are \
+         visually identical)."
+    );
+    out
+}
+
+/// Experiment E3 (Fig. 4): discharged capacitance per input event of the
+/// SABL AND-NAND gate.
+pub fn fig4_capacitance() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Fig. 4 — discharged capacitance per input event");
+    let (f, ns) = parse_expr("A.B").expect("static formula");
+    let model = CapacitanceModel::default();
+    for (label, gate) in [
+        ("genuine", Dpdn::genuine(&f, &ns).expect("synthesis")),
+        ("fully connected", Dpdn::fully_connected(&f, &ns).expect("synthesis")),
+    ] {
+        let profile = DischargeProfile::analyze(&gate, &model).expect("analysis");
+        for event in profile.events() {
+            let _ = writeln!(
+                out,
+                "{label:>16}  (A,B)=({},{}): C_tot = {:.2} fF ({} internal nodes discharge)",
+                event.assignment & 1,
+                (event.assignment >> 1) & 1,
+                event.total_capacitance * 1e15,
+                event.discharged_internal.len()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{label:>16}  spread (max-min)/max = {:.2} %",
+            100.0 * profile.capacitance_spread()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: the fully connected gate discharges the same C_tot for every \
+         event (paper: 19.32 fF vs 19.38 fF); the genuine gate does not."
+    );
+    out
+}
+
+/// Experiment E4 (Fig. 5): the OAI22 design example — both design procedures
+/// produce a fully connected network with the same device count.
+pub fn fig5_oai22() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Fig. 5 — OAI22 design example (A+B).(C+D)");
+    let (f, ns) = parse_expr("(A+B).(C+D)").expect("static formula");
+    let genuine = Dpdn::genuine(&f, &ns).expect("synthesis");
+    let from_expression = Dpdn::fully_connected(&f, &ns).expect("synthesis");
+    let from_schematic = genuine.to_fully_connected().expect("transformation");
+
+    for (label, gate) in [
+        ("genuine schematic", &genuine),
+        ("procedure 4.1 (expression)", &from_expression),
+        ("procedure 4.2 (schematic)", &from_schematic),
+    ] {
+        let report = verify(gate).expect("verification");
+        let _ = writeln!(
+            out,
+            "{label:>28}: devices = {}, internal nodes = {}, fully connected = {}, correct = {}",
+            gate.device_count(),
+            gate.internal_nodes().len(),
+            report.is_fully_connected(),
+            report.is_functionally_correct()
+        );
+    }
+    let _ = writeln!(out, "\n{}", from_expression.to_spice("oai22_fc"));
+    let _ = writeln!(
+        out,
+        "expected shape: both procedures yield 8 devices (same as the genuine network) \
+         and a fully connected, functionally equivalent DPDN."
+    );
+    out
+}
+
+/// Experiment E5 (Fig. 6): the enhanced AND-NAND network — constant
+/// evaluation depth and no early propagation.
+pub fn fig6_enhanced() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Fig. 6 — enhanced fully connected AND-NAND");
+    let (f, ns) = parse_expr("A.B").expect("static formula");
+    for (label, gate) in [
+        ("fully connected", Dpdn::fully_connected(&f, &ns).expect("synthesis")),
+        (
+            "enhanced",
+            Dpdn::fully_connected_enhanced(&f, &ns).expect("synthesis"),
+        ),
+    ] {
+        let report = verify(&gate).expect("verification");
+        let _ = writeln!(
+            out,
+            "{label:>16}: devices = {} ({} dummy), depth = {}..{} (constant: {}), \
+             early propagation possible: {}",
+            gate.device_count(),
+            gate.dummy_device_count(),
+            report.depth.min_depth(),
+            report.depth.max_depth(),
+            report.has_constant_depth(),
+            !report.is_free_of_early_propagation()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: the enhancement adds one pass gate (two dummy devices), makes \
+         the evaluation depth a constant 2 and eliminates early propagation."
+    );
+    out
+}
+
+/// Experiment E6: per-cycle energy of the AND-NAND gate in CVSL (genuine
+/// DPDN), SABL with a genuine DPDN and SABL with a fully connected DPDN.
+pub fn cvsl_comparison() -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "CVSL vs SABL — per-cycle energy variation of the AND-NAND gate",
+    );
+    let (f, ns) = parse_expr("A.B").expect("static formula");
+    let model = CapacitanceModel::default();
+    let opts = EventOptions::default();
+    // Visit every input event from every predecessor event so memory effects
+    // across cycles are exercised.
+    let mut sequence = Vec::new();
+    for a in 0..4u64 {
+        for b in 0..4u64 {
+            sequence.push(a);
+            sequence.push(b);
+        }
+    }
+
+    let genuine = Dpdn::genuine(&f, &ns).expect("synthesis");
+    let fc = Dpdn::fully_connected(&f, &ns).expect("synthesis");
+
+    let cvsl = CvslCell::new(&genuine, &model);
+    let sabl_genuine = SablCell::new(&genuine, &model);
+    let sabl_fc = SablCell::new(&fc, &model);
+
+    let rows: Vec<(&str, dpl_cells::CycleProfile)> = vec![
+        (
+            "DCVSL, genuine DPDN",
+            characterize_cycles(cvsl.circuit(), cvsl.pins(), &sequence, &opts).expect("simulation"),
+        ),
+        (
+            "SABL, genuine DPDN",
+            characterize_cycles(sabl_genuine.circuit(), sabl_genuine.pins(), &sequence, &opts)
+                .expect("simulation"),
+        ),
+        (
+            "SABL, fully connected DPDN",
+            characterize_cycles(sabl_fc.circuit(), sabl_fc.pins(), &sequence, &opts)
+                .expect("simulation"),
+        ),
+    ];
+    let _ = writeln!(
+        out,
+        "{:>28} {:>12} {:>12} {:>10} {:>10}",
+        "style", "E_min (fJ)", "E_max (fJ)", "NED", "NSD"
+    );
+    for (label, profile) in &rows {
+        let energies = profile.energies();
+        let _ = writeln!(
+            out,
+            "{label:>28} {:>12.3} {:>12.3} {:>10.4} {:>10.4}",
+            profile.min_energy() * 1e15,
+            profile.max_energy() * 1e15,
+            metrics::normalized_energy_deviation(&energies),
+            metrics::normalized_standard_deviation(&energies)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: the styles with a genuine DPDN show a large energy spread \
+         (the paper quotes up to ~50 % for CVSL); SABL with the fully connected DPDN \
+         is (near) constant."
+    );
+    out
+}
+
+/// Experiment E7: end-to-end DPA on the PRESENT S-box datapath with insecure
+/// and constant-power gate implementations.
+pub fn dpa_experiment(num_traces: usize) -> String {
+    let mut out = String::new();
+    heading(&mut out, "DPA on the PRESENT S-box (key-mixing + S-box datapath)");
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let capacitance = CapacitanceModel::default();
+    let key = 0xAu8;
+    let options = LeakageOptions {
+        relative_noise: 0.02,
+        seed: 2005,
+    };
+    let _ = writeln!(
+        out,
+        "netlist: {} gates, secret key nibble = {key:#X}, {num_traces} traces, 2 % noise",
+        netlist.gate_count()
+    );
+    let selection =
+        |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
+
+    for model in [
+        LeakageModel::HammingWeight,
+        LeakageModel::GenuineSabl,
+        LeakageModel::FullyConnectedSabl,
+        LeakageModel::EnhancedSabl,
+    ] {
+        let traces = simulate_traces(&netlist, model, &capacitance, key, num_traces, &options)
+            .expect("trace generation");
+        let dpa = dpa_attack(&traces, 16, selection).expect("attack");
+        // Profiled CPA: the strongest first-order attacker, who knows the
+        // per-gate energy table of the implementation style.
+        let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
+        let cpa = cpa_attack(&traces, 16, |plaintext, guess| {
+            predicted_energy(&netlist, &table, plaintext, guess as u8)
+        })
+        .expect("attack");
+        let verdict = |guess: u64| {
+            if guess == u64::from(key) {
+                "KEY RECOVERED"
+            } else {
+                "attack failed"
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:>32}: DPA best guess = {:#X} ({}), profiled CPA best guess = {:#X} ({}), \
+             CPA corr(correct key) = {:.3}",
+            model.label(),
+            dpa.best_guess,
+            verdict(dpa.best_guess),
+            cpa.best_guess,
+            verdict(cpa.best_guess),
+            cpa.scores[key as usize]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: the Hamming-weight and genuine-DPDN implementations leak the key \
+         (at least to the profiled attacker); the fully connected and enhanced SABL \
+         implementations do not leak to either attack."
+    );
+    out
+}
+
+/// Experiment E8: the full gate library built with the paper's method.
+pub fn library_sweep() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Gate library sweep — the method on arbitrary functions");
+    let library = GateLibrary::standard().expect("library synthesis");
+    let model = CapacitanceModel::default();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>10} {:>10} {:>10} {:>14} {:>14}",
+        "gate", "inputs", "genuine", "fc", "enhanced", "fc spread", "genuine spread"
+    );
+    for cell in library.cells() {
+        let fc_profile = DischargeProfile::analyze(&cell.fully_connected, &model).expect("analysis");
+        let genuine_profile = DischargeProfile::analyze(&cell.genuine, &model).expect("analysis");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>10} {:>10} {:>10} {:>13.2}% {:>13.2}%",
+            cell.kind.name(),
+            cell.kind.input_count(),
+            cell.genuine.device_count(),
+            cell.fully_connected.device_count(),
+            cell.enhanced.device_count(),
+            100.0 * fc_profile.capacitance_spread(),
+            100.0 * genuine_profile.capacitance_spread()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: every fully connected cell has 0 % capacitance spread; genuine \
+         cells with internal nodes do not.  Gate count of the fully connected cell equals \
+         the genuine cell; the enhanced cell adds dummy devices."
+    );
+    let _ = writeln!(
+        out,
+        "library total: {} cells, {} devices across fully connected cells",
+        library.len(),
+        library.total_fully_connected_devices()
+    );
+    let _ = GateKind::all();
+    out
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn run_all(dpa_traces: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&fig2_memory_effect());
+    out.push_str(&fig3_transient());
+    out.push_str(&fig4_capacitance());
+    out.push_str(&fig5_oai22());
+    out.push_str(&fig6_enhanced());
+    out.push_str(&cvsl_comparison());
+    out.push_str(&dpa_experiment(dpa_traces));
+    out.push_str(&library_sweep());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reports_the_memory_effect() {
+        let report = fig2_memory_effect();
+        assert!(report.contains("fully connected = false"));
+        assert!(report.contains("fully connected = true"));
+        assert!(report.contains("floating internal nodes = [WT0]") || report.contains("floating"));
+    }
+
+    #[test]
+    fn fig4_shows_constant_capacitance_for_fc() {
+        let report = fig4_capacitance();
+        assert!(report.contains("spread"));
+        assert!(report.contains("0.00 %"));
+    }
+
+    #[test]
+    fn fig5_preserves_device_count() {
+        let report = fig5_oai22();
+        assert!(report.contains("devices = 8"));
+        assert!(report.contains(".subckt oai22_fc"));
+    }
+
+    #[test]
+    fn fig6_reports_constant_depth() {
+        let report = fig6_enhanced();
+        assert!(report.contains("constant: true"));
+        assert!(report.contains("early propagation possible: false"));
+    }
+
+    #[test]
+    fn dpa_experiment_recovers_and_protects() {
+        let report = dpa_experiment(200);
+        assert!(report.contains("KEY RECOVERED"));
+        assert!(report.contains("attack failed"));
+    }
+
+    #[test]
+    fn library_sweep_lists_every_gate() {
+        let report = library_sweep();
+        assert!(report.contains("OAI22"));
+        assert!(report.contains("MAJ3"));
+    }
+}

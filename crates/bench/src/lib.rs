@@ -1,0 +1,17 @@
+//! # dpl-bench
+//!
+//! Experiment harness that regenerates every figure of Tiri & Verbauwhede,
+//! *"Design Method for Constant Power Consumption of Differential Logic
+//! Circuits"* (DATE 2005), plus the comparison experiments the paper refers
+//! to in its text.  Each experiment is a function returning a plain-text
+//! report; the `repro` binary prints them, `EXPERIMENTS.md` records them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    cvsl_comparison, dpa_experiment, fig2_memory_effect, fig3_transient, fig4_capacitance,
+    fig5_oai22, fig6_enhanced, library_sweep, run_all,
+};

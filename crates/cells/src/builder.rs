@@ -1,0 +1,65 @@
+//! Shared helpers for mapping a DPDN into a transistor-level circuit.
+
+use dpl_core::Dpdn;
+use dpl_sim::{Circuit, MosKind, NodeId as SimNodeId, NodeKind};
+
+use crate::capacitance::CapacitanceModel;
+
+/// The per-input signal nodes of a differential cell: the true and the false
+/// rail of every input.
+pub(crate) fn add_input_rails(circuit: &mut Circuit, dpdn: &Dpdn) -> Vec<(SimNodeId, SimNodeId)> {
+    let ns = dpdn.namespace();
+    let mut rails = Vec::with_capacity(ns.len());
+    for (_, name) in ns.iter() {
+        let t = circuit.add_node(name, NodeKind::Input, 0.0);
+        let f = circuit.add_node(format!("{name}_n"), NodeKind::Input, 0.0);
+        rails.push((t, f));
+    }
+    rails
+}
+
+/// Adds the DPDN's internal nodes (with modelled capacitance) and its
+/// switches (as NMOS devices gated by the input rails) to `circuit`.
+///
+/// `x`, `y` and `z` are the circuit nodes that play the role of the module
+/// output nodes and the common node.  Returns the mapping from DPDN node
+/// index to circuit node.
+pub(crate) fn add_dpdn_devices(
+    circuit: &mut Circuit,
+    dpdn: &Dpdn,
+    model: &CapacitanceModel,
+    rails: &[(SimNodeId, SimNodeId)],
+    x: SimNodeId,
+    y: SimNodeId,
+    z: SimNodeId,
+) -> Vec<SimNodeId> {
+    let net = dpdn.network();
+    let mut map: Vec<Option<SimNodeId>> = vec![None; net.node_count()];
+    map[dpdn.x().index()] = Some(x);
+    map[dpdn.y().index()] = Some(y);
+    map[dpdn.z().index()] = Some(z);
+    for node in net.nodes() {
+        if map[node.index()].is_some() {
+            continue;
+        }
+        let cap = model.node_capacitance(net, node);
+        let sim_node = circuit.add_node(
+            format!("dpdn_{}", net.node_name(node)),
+            NodeKind::Internal,
+            cap,
+        );
+        map[node.index()] = Some(sim_node);
+    }
+    for (_, sw) in net.switches() {
+        let gate_pair = rails[sw.gate.var().index()];
+        let gate = if sw.gate.is_positive() {
+            gate_pair.0
+        } else {
+            gate_pair.1
+        };
+        let a = map[sw.a.index()].expect("all nodes mapped");
+        let b = map[sw.b.index()].expect("all nodes mapped");
+        circuit.add_transistor(MosKind::Nmos, gate, a, b, sw.width);
+    }
+    map.into_iter().map(|n| n.expect("all nodes mapped")).collect()
+}

@@ -1,0 +1,123 @@
+use dpl_netlist::{NodeId, SwitchNetwork};
+
+/// A simple parasitic-capacitance model for pull-down networks.
+///
+/// Every node of a switch network receives a wiring capacitance plus a
+/// junction capacitance contribution for each device terminal connected to
+/// it, proportional to the device width.  The module output nodes X and Y
+/// additionally carry the sense-amplifier and external load capacitance.
+///
+/// The absolute values default to numbers of the right order of magnitude
+/// for a 0.18 µm process (the technology of the paper), but nothing in the
+/// reproduced experiments depends on their absolute calibration: the
+/// quantity of interest is whether the *discharged* capacitance varies with
+/// the input data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitanceModel {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Fixed wiring capacitance per node, in farads.
+    pub wire: f64,
+    /// Junction capacitance per unit of device width, per connected
+    /// terminal, in farads.
+    pub junction_per_width: f64,
+    /// Additional capacitance of each module output node (X and Y): the
+    /// sense-amplifier source junctions.
+    pub output_node_extra: f64,
+    /// Capacitance of each gate output (OUT and its complement): intrinsic
+    /// output capacitance plus interconnect plus the input capacitance of
+    /// the driven loads.
+    pub gate_output_load: f64,
+}
+
+impl Default for CapacitanceModel {
+    fn default() -> Self {
+        CapacitanceModel {
+            vdd: 1.8,
+            wire: 0.5e-15,
+            junction_per_width: 0.8e-15,
+            output_node_extra: 1.0e-15,
+            gate_output_load: 6.0e-15,
+        }
+    }
+}
+
+impl CapacitanceModel {
+    /// The capacitance of `node` inside `network`, excluding any
+    /// output-node or gate-output extras.
+    pub fn node_capacitance(&self, network: &SwitchNetwork, node: NodeId) -> f64 {
+        let junction: f64 = network
+            .switches()
+            .filter(|(_, s)| s.a == node || s.b == node)
+            .map(|(_, s)| s.width * self.junction_per_width)
+            .sum();
+        self.wire + junction
+    }
+
+    /// The capacitance of a module output node (X or Y) of a DPDN.
+    pub fn output_node_capacitance(&self, network: &SwitchNetwork, node: NodeId) -> f64 {
+        self.node_capacitance(network, node) + self.output_node_extra
+    }
+
+    /// Total capacitance of all nodes of the network (internal view only).
+    pub fn network_capacitance(&self, network: &SwitchNetwork) -> f64 {
+        network
+            .nodes()
+            .map(|n| self.node_capacitance(network, n))
+            .sum()
+    }
+
+    /// Energy required to charge `capacitance` to the supply voltage.
+    pub fn energy(&self, capacitance: f64) -> f64 {
+        capacitance * self.vdd * self.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_core::Dpdn;
+    use dpl_logic::parse_expr;
+
+    #[test]
+    fn node_capacitance_scales_with_degree() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let model = CapacitanceModel::default();
+        let net = gate.network();
+        // The internal node W touches three devices (A, !A and B), the X
+        // node only one (A).
+        let w = net.internal_nodes()[0];
+        let cw = model.node_capacitance(net, w);
+        let cx = model.node_capacitance(net, gate.x());
+        assert!(cw > cx);
+        assert!(cx > 0.0);
+        assert!(model.output_node_capacitance(net, gate.x()) > cx);
+    }
+
+    #[test]
+    fn network_capacitance_is_sum_of_nodes() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let model = CapacitanceModel::default();
+        let net = gate.network();
+        let total: f64 = net.nodes().map(|n| model.node_capacitance(net, n)).sum();
+        assert!((model.network_capacitance(net) - total).abs() < 1e-24);
+    }
+
+    #[test]
+    fn energy_is_cv_squared() {
+        let model = CapacitanceModel::default();
+        let c = 10e-15;
+        assert!((model.energy(c) - c * 1.8 * 1.8).abs() < 1e-30);
+    }
+
+    #[test]
+    fn defaults_are_physical() {
+        let model = CapacitanceModel::default();
+        assert!(model.vdd > 0.0);
+        assert!(model.wire > 0.0);
+        assert!(model.junction_per_width > 0.0);
+        assert!(model.gate_output_load > model.wire);
+    }
+}

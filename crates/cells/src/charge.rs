@@ -1,0 +1,199 @@
+use dpl_core::Dpdn;
+use dpl_netlist::NodeId;
+
+use crate::capacitance::CapacitanceModel;
+use crate::Result;
+
+/// The capacitance discharged by one evaluation event of a SABL gate.
+///
+/// This is the quantity the paper visualises in Fig. 4: the set of node
+/// capacitances that are discharged during the evaluation phase (and must be
+/// recharged from the supply during the following precharge phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DischargeEvent {
+    /// The complementary input assignment of the evaluation phase.
+    pub assignment: u64,
+    /// Internal DPDN nodes that discharge (connected to X, Y or Z).
+    pub discharged_internal: Vec<NodeId>,
+    /// Internal DPDN nodes left floating — the memory effect.
+    pub floating_internal: Vec<NodeId>,
+    /// Total discharged capacitance in farads, including the module output
+    /// nodes, the common node and one gate output.
+    pub total_capacitance: f64,
+    /// Energy drawn from the supply to recharge that capacitance, in joules.
+    pub energy: f64,
+}
+
+/// Charge-based per-event analysis of a SABL gate built around a DPDN.
+///
+/// Every evaluation event is analysed independently, starting from a fully
+/// precharged state; sequence-dependent effects (a floating node that stays
+/// discharged across several cycles) are visible in the transient
+/// characterisation of [`crate::characterize_cycles`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DischargeProfile {
+    events: Vec<DischargeEvent>,
+}
+
+impl DischargeProfile {
+    /// Analyses every complementary input event of `dpdn` under the given
+    /// capacitance model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the gate has too many inputs to enumerate.
+    pub fn analyze(dpdn: &Dpdn, model: &CapacitanceModel) -> Result<Self> {
+        // Reuse the connectivity verification to know, per event, which
+        // internal nodes are connected to an external node.
+        let report = dpl_core::verify::connectivity_report(dpdn)?;
+        let net = dpdn.network();
+        let internal = dpdn.internal_nodes();
+
+        // Per-node capacitances.
+        let cap_of = |node: NodeId| -> f64 {
+            if node == dpdn.x() || node == dpdn.y() {
+                model.output_node_capacitance(net, node)
+            } else {
+                model.node_capacitance(net, node)
+            }
+        };
+        let fixed_part = cap_of(dpdn.x()) + cap_of(dpdn.y()) + cap_of(dpdn.z()) + model.gate_output_load;
+
+        let mut events = Vec::with_capacity(report.events().len());
+        for ev in report.events() {
+            let discharged_internal = ev.discharged.clone();
+            let floating_internal: Vec<NodeId> = internal
+                .iter()
+                .copied()
+                .filter(|n| !discharged_internal.contains(n))
+                .collect();
+            let internal_cap: f64 = discharged_internal.iter().map(|&n| cap_of(n)).sum();
+            let total_capacitance = fixed_part + internal_cap;
+            events.push(DischargeEvent {
+                assignment: ev.assignment,
+                discharged_internal,
+                floating_internal,
+                total_capacitance,
+                energy: model.energy(total_capacitance),
+            });
+        }
+        Ok(DischargeProfile { events })
+    }
+
+    /// Per-event details.
+    pub fn events(&self) -> &[DischargeEvent] {
+        &self.events
+    }
+
+    /// The smallest discharged capacitance over all events.
+    pub fn min_capacitance(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.total_capacitance)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest discharged capacitance over all events.
+    pub fn max_capacitance(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.total_capacitance)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Relative spread `(max - min) / max` of the discharged capacitance —
+    /// zero for a perfectly constant-power gate.
+    pub fn capacitance_spread(&self) -> f64 {
+        let max = self.max_capacitance();
+        if max <= 0.0 {
+            return 0.0;
+        }
+        (max - self.min_capacitance()) / max
+    }
+
+    /// `true` when the discharged capacitance is the same (within `tolerance`
+    /// relative) for every event.
+    pub fn is_constant(&self, tolerance: f64) -> bool {
+        self.capacitance_spread() <= tolerance
+    }
+
+    /// The per-event energies, indexed by assignment.
+    pub fn energies(&self) -> Vec<f64> {
+        self.events.iter().map(|e| e.energy).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::parse_expr;
+
+    fn profiles(text: &str) -> (DischargeProfile, DischargeProfile) {
+        let (f, ns) = parse_expr(text).unwrap();
+        let model = CapacitanceModel::default();
+        let genuine = Dpdn::genuine(&f, &ns).unwrap();
+        let fc = Dpdn::fully_connected(&f, &ns).unwrap();
+        (
+            DischargeProfile::analyze(&genuine, &model).unwrap(),
+            DischargeProfile::analyze(&fc, &model).unwrap(),
+        )
+    }
+
+    #[test]
+    fn fully_connected_and_nand_has_constant_capacitance() {
+        let (genuine, fc) = profiles("A.B");
+        // Fig. 4: the fully connected AND-NAND discharges (essentially) the
+        // same capacitance for every input event.
+        assert!(fc.is_constant(1e-9));
+        assert!(fc.capacitance_spread() < 1e-9);
+        // The genuine network does not: node W floats for some inputs.
+        assert!(!genuine.is_constant(1e-3));
+        assert!(genuine.capacitance_spread() > 0.05);
+        assert!(genuine.min_capacitance() < genuine.max_capacitance());
+    }
+
+    #[test]
+    fn oai22_profiles_match_paper_shape() {
+        let (genuine, fc) = profiles("(A+B).(C+D)");
+        assert!(fc.is_constant(1e-9));
+        assert!(genuine.capacitance_spread() > fc.capacitance_spread());
+        assert_eq!(fc.events().len(), 16);
+    }
+
+    #[test]
+    fn floating_nodes_are_reported() {
+        let (genuine, fc) = profiles("A.B");
+        let floating_events: Vec<_> = genuine
+            .events()
+            .iter()
+            .filter(|e| !e.floating_internal.is_empty())
+            .collect();
+        assert!(!floating_events.is_empty());
+        assert!(fc.events().iter().all(|e| e.floating_internal.is_empty()));
+    }
+
+    #[test]
+    fn energies_scale_with_capacitance() {
+        let (_, fc) = profiles("A.B");
+        let model = CapacitanceModel::default();
+        for e in fc.events() {
+            assert!((e.energy - model.energy(e.total_capacitance)).abs() < 1e-30);
+            assert!(e.total_capacitance > 0.0);
+        }
+        assert_eq!(fc.energies().len(), 4);
+    }
+
+    #[test]
+    fn enhanced_network_is_also_constant() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let model = CapacitanceModel::default();
+        let enhanced = Dpdn::fully_connected_enhanced(&f, &ns).unwrap();
+        let profile = DischargeProfile::analyze(&enhanced, &model).unwrap();
+        assert!(profile.is_constant(1e-9));
+        // The enhancement adds pass gates, so the constant capacitance is
+        // larger than the plain fully connected network's.
+        let fc = Dpdn::fully_connected(&f, &ns).unwrap();
+        let fc_profile = DischargeProfile::analyze(&fc, &model).unwrap();
+        assert!(profile.max_capacitance() > fc_profile.max_capacitance());
+    }
+}

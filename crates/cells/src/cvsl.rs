@@ -1,0 +1,129 @@
+use dpl_core::Dpdn;
+use dpl_sim::{Circuit, MosKind, NodeKind};
+
+use crate::builder::{add_dpdn_devices, add_input_rails};
+use crate::capacitance::CapacitanceModel;
+use crate::charac::CellPins;
+
+/// A clocked cascode voltage switch logic (DCVSL) gate — the baseline the
+/// paper compares against.
+///
+/// The DPDN output nodes are the gate outputs themselves: a cross-coupled
+/// PMOS pair restores the high side, precharge PMOS devices set both outputs
+/// high while the clock is low, and a clocked tail transistor enables
+/// evaluation.  Unlike SABL there is no equalisation transistor between the
+/// two sides, so only the conducting side discharges and the internal nodes
+/// of the pull-down network discharge (or float) depending on the input
+/// data — the memory effect quantified in the paper's §2 ("the variation on
+/// the power consumption can be as large as 50 %").
+#[derive(Debug, Clone)]
+pub struct CvslCell {
+    circuit: Circuit,
+    pins: CellPins,
+    input_count: usize,
+}
+
+impl CvslCell {
+    /// Assembles a DCVSL gate around `dpdn`.
+    pub fn new(dpdn: &Dpdn, model: &CapacitanceModel) -> Self {
+        let mut circuit = Circuit::new();
+        let vdd = circuit.add_node("vdd", NodeKind::Supply, 0.0);
+        let gnd = circuit.add_node("gnd", NodeKind::Ground, 0.0);
+        let clk = circuit.add_node("clk", NodeKind::Input, 0.0);
+        let rails = add_input_rails(&mut circuit, dpdn);
+
+        let net = dpdn.network();
+        // The DPDN's X node pulls down `out_b`, the Y node pulls down `out`,
+        // matching the SABL convention (out follows the gate function).
+        let out_b = circuit.add_node(
+            "out_b",
+            NodeKind::Internal,
+            model.gate_output_load + model.output_node_capacitance(net, dpdn.x()),
+        );
+        let out = circuit.add_node(
+            "out",
+            NodeKind::Internal,
+            model.gate_output_load + model.output_node_capacitance(net, dpdn.y()),
+        );
+        let z = circuit.add_node("z", NodeKind::Internal, model.node_capacitance(net, dpdn.z()));
+
+        // Cross-coupled PMOS load.
+        circuit.add_transistor(MosKind::Pmos, out, vdd, out_b, 2.0);
+        circuit.add_transistor(MosKind::Pmos, out_b, vdd, out, 2.0);
+        // Precharge devices.
+        circuit.add_transistor(MosKind::Pmos, clk, vdd, out, 2.0);
+        circuit.add_transistor(MosKind::Pmos, clk, vdd, out_b, 2.0);
+        // Clocked tail.
+        circuit.add_transistor(MosKind::Nmos, clk, z, gnd, 3.0);
+
+        add_dpdn_devices(&mut circuit, dpdn, model, &rails, out_b, out, z);
+
+        CvslCell {
+            circuit,
+            pins: CellPins {
+                clk,
+                inputs: rails,
+                out,
+                out_b,
+            },
+            input_count: dpdn.input_count(),
+        }
+    }
+
+    /// The assembled circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The cell's pin mapping.
+    pub fn pins(&self) -> &CellPins {
+        &self.pins
+    }
+
+    /// Number of gate inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charac::{simulate_event, EventOptions};
+    use dpl_logic::parse_expr;
+
+    fn and_nand_cell() -> CvslCell {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let dpdn = Dpdn::genuine(&f, &ns).unwrap();
+        CvslCell::new(&dpdn, &CapacitanceModel::default())
+    }
+
+    #[test]
+    fn structure_is_complete() {
+        let cell = and_nand_cell();
+        // 5 load/clocking devices + 4 DPDN devices.
+        assert_eq!(cell.circuit().transistor_count(), 9);
+        assert_eq!(cell.input_count(), 2);
+        assert!(cell.circuit().validate().is_ok());
+    }
+
+    #[test]
+    fn outputs_follow_the_function() {
+        let cell = and_nand_cell();
+        let opts = EventOptions::default();
+        for assignment in 0..4u64 {
+            let result = simulate_event(cell.circuit(), cell.pins(), assignment, &opts).unwrap();
+            let t_sample = opts.period - 2.0 * opts.transition;
+            let v_out = result.voltage(cell.pins().out).at(t_sample);
+            let v_out_b = result.voltage(cell.pins().out_b).at(t_sample);
+            let expected = assignment == 0b11;
+            if expected {
+                assert!(v_out > 1.4, "out high expected for {assignment:02b}, got {v_out}");
+                assert!(v_out_b < 0.4, "out_b low expected for {assignment:02b}, got {v_out_b}");
+            } else {
+                assert!(v_out < 0.4, "out low expected for {assignment:02b}, got {v_out}");
+                assert!(v_out_b > 1.4, "out_b high expected for {assignment:02b}, got {v_out_b}");
+            }
+        }
+    }
+}

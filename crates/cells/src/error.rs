@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by cell generation and characterisation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CellError {
+    /// An error bubbled up from the DPDN layer.
+    Dpdn(dpl_core::DpdnError),
+    /// An error bubbled up from the simulator.
+    Sim(dpl_sim::SimError),
+    /// The characterisation sequence was empty.
+    EmptySequence,
+    /// An input assignment referenced more inputs than the cell has.
+    AssignmentOutOfRange {
+        /// The offending assignment.
+        assignment: u64,
+        /// Number of inputs of the cell.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Dpdn(e) => write!(f, "dpdn error: {e}"),
+            CellError::Sim(e) => write!(f, "simulation error: {e}"),
+            CellError::EmptySequence => write!(f, "characterisation sequence is empty"),
+            CellError::AssignmentOutOfRange { assignment, inputs } => write!(
+                f,
+                "assignment {assignment:#b} uses bits beyond the {inputs} cell inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellError::Dpdn(e) => Some(e),
+            CellError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dpl_core::DpdnError> for CellError {
+    fn from(e: dpl_core::DpdnError) -> Self {
+        CellError::Dpdn(e)
+    }
+}
+
+impl From<dpl_sim::SimError> for CellError {
+    fn from(e: dpl_sim::SimError) -> Self {
+        CellError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CellError = dpl_sim::SimError::UnknownNode { index: 1 }.into();
+        assert!(e.to_string().contains("simulation"));
+        let e = CellError::AssignmentOutOfRange {
+            assignment: 0b100,
+            inputs: 2,
+        };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CellError>();
+    }
+}

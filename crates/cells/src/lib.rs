@@ -1,0 +1,45 @@
+//! # dpl-cells
+//!
+//! Circuit-level cell generation and characterisation for constant-power
+//! differential logic.
+//!
+//! `dpl-core` produces differential pull-down networks; this crate wraps
+//! them into complete logic gates and measures their power behaviour:
+//!
+//! * [`CapacitanceModel`] — a simple parasitic-capacitance model that assigns
+//!   every node of a network a capacitance derived from the widths of the
+//!   devices connected to it,
+//! * [`SablCell`] — the generic sense-amplifier-based-logic gate of the
+//!   paper's Fig. 1 (StrongArm sense amplifier + DPDN), built as a
+//!   [`dpl_sim::Circuit`] ready for transient simulation,
+//! * [`CvslCell`] — the clocked cascode-voltage-switch-logic baseline the
+//!   paper compares against (its AND-NAND gate shows up to ~50 % power
+//!   variation),
+//! * [`DischargeProfile`] — fast charge-based analysis of which capacitances
+//!   discharge for every input event (the quantity plotted in Fig. 4),
+//! * [`characterize_cycles`] — transient-simulation-based energy-per-cycle
+//!   characterisation across an input sequence (the quantity behind Fig. 3
+//!   and the CVSL comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod capacitance;
+mod charac;
+mod charge;
+mod cvsl;
+mod error;
+mod sabl;
+
+pub use capacitance::CapacitanceModel;
+pub use charac::{
+    characterize_cycles, simulate_event, CellPins, CycleEnergy, CycleProfile, EventOptions,
+};
+pub use charge::{DischargeEvent, DischargeProfile};
+pub use cvsl::CvslCell;
+pub use error::CellError;
+pub use sabl::{SablCell, SablWidths};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CellError>;

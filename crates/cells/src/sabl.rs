@@ -1,0 +1,190 @@
+use dpl_core::Dpdn;
+use dpl_sim::{Circuit, MosKind, NodeKind};
+
+use crate::builder::{add_dpdn_devices, add_input_rails};
+use crate::capacitance::CapacitanceModel;
+use crate::charac::CellPins;
+
+/// Device widths used when assembling a SABL gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SablWidths {
+    /// Cross-coupled PMOS of the sense amplifier.
+    pub cross_pmos: f64,
+    /// Cross-coupled NMOS of the sense amplifier.
+    pub cross_nmos: f64,
+    /// Precharge PMOS devices.
+    pub precharge: f64,
+    /// The M1 equalisation transistor between X and Y.
+    pub m1: f64,
+    /// The clocked tail transistor between Z and ground.
+    pub tail: f64,
+}
+
+impl Default for SablWidths {
+    fn default() -> Self {
+        SablWidths {
+            cross_pmos: 2.0,
+            cross_nmos: 1.5,
+            precharge: 2.0,
+            m1: 1.0,
+            tail: 3.0,
+        }
+    }
+}
+
+/// A complete sense-amplifier based logic gate (paper Fig. 1): the StrongArm
+/// sense amplifier with its input differential pair replaced by a
+/// differential pull-down network.
+///
+/// The circuit is built for the switch-level transient simulator of
+/// [`dpl_sim`]; [`crate::characterize_cycles`] and the `fig3` experiment use
+/// it to reproduce the paper's transient waveforms.
+///
+/// Pin convention: [`CellPins::out`] is the output attached (through the
+/// sense amplifier) to the Y side of the DPDN, so it remains high during
+/// evaluation exactly when the gate function is `1`; [`CellPins::out_b`] is
+/// its complement.
+#[derive(Debug, Clone)]
+pub struct SablCell {
+    circuit: Circuit,
+    pins: CellPins,
+    input_count: usize,
+}
+
+impl SablCell {
+    /// Assembles a SABL gate around `dpdn` with default device widths.
+    pub fn new(dpdn: &Dpdn, model: &CapacitanceModel) -> Self {
+        Self::with_widths(dpdn, model, SablWidths::default())
+    }
+
+    /// Assembles a SABL gate with explicit device widths.
+    pub fn with_widths(dpdn: &Dpdn, model: &CapacitanceModel, widths: SablWidths) -> Self {
+        let mut circuit = Circuit::new();
+        let vdd = circuit.add_node("vdd", NodeKind::Supply, 0.0);
+        let gnd = circuit.add_node("gnd", NodeKind::Ground, 0.0);
+        let clk = circuit.add_node("clk", NodeKind::Input, 0.0);
+        let rails = add_input_rails(&mut circuit, dpdn);
+
+        let out = circuit.add_node("out", NodeKind::Internal, model.gate_output_load);
+        let out_b = circuit.add_node("out_b", NodeKind::Internal, model.gate_output_load);
+        let net = dpdn.network();
+        let x = circuit.add_node(
+            "x",
+            NodeKind::Internal,
+            model.output_node_capacitance(net, dpdn.x()),
+        );
+        let y = circuit.add_node(
+            "y",
+            NodeKind::Internal,
+            model.output_node_capacitance(net, dpdn.y()),
+        );
+        let z = circuit.add_node("z", NodeKind::Internal, model.node_capacitance(net, dpdn.z()));
+
+        // Sense amplifier: cross-coupled inverters.  `out` is regenerated
+        // from the Y side, `out_b` from the X side.
+        circuit.add_transistor(MosKind::Nmos, out, out_b, x, widths.cross_nmos);
+        circuit.add_transistor(MosKind::Nmos, out_b, out, y, widths.cross_nmos);
+        circuit.add_transistor(MosKind::Pmos, out, vdd, out_b, widths.cross_pmos);
+        circuit.add_transistor(MosKind::Pmos, out_b, vdd, out, widths.cross_pmos);
+
+        // Precharge devices (active while the clock is low).
+        circuit.add_transistor(MosKind::Pmos, clk, vdd, out, widths.precharge);
+        circuit.add_transistor(MosKind::Pmos, clk, vdd, out_b, widths.precharge);
+
+        // M1 equalises X and Y during evaluation so both always discharge.
+        circuit.add_transistor(MosKind::Nmos, clk, x, y, widths.m1);
+        // Clocked tail device.
+        circuit.add_transistor(MosKind::Nmos, clk, z, gnd, widths.tail);
+
+        add_dpdn_devices(&mut circuit, dpdn, model, &rails, x, y, z);
+
+        SablCell {
+            circuit,
+            pins: CellPins {
+                clk,
+                inputs: rails,
+                out,
+                out_b,
+            },
+            input_count: dpdn.input_count(),
+        }
+    }
+
+    /// The assembled circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The cell's pin mapping.
+    pub fn pins(&self) -> &CellPins {
+        &self.pins
+    }
+
+    /// Number of gate inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charac::{simulate_event, EventOptions};
+    use dpl_logic::parse_expr;
+
+    fn and_nand_cell() -> SablCell {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let dpdn = Dpdn::fully_connected(&f, &ns).unwrap();
+        SablCell::new(&dpdn, &CapacitanceModel::default())
+    }
+
+    #[test]
+    fn structure_is_complete() {
+        let cell = and_nand_cell();
+        // 8 sense-amplifier/clocking devices + 4 DPDN devices.
+        assert_eq!(cell.circuit().transistor_count(), 12);
+        assert_eq!(cell.input_count(), 2);
+        assert_eq!(cell.pins().inputs.len(), 2);
+        assert!(cell.circuit().validate().is_ok());
+        assert!(cell.circuit().find_node("out").is_some());
+        assert!(cell.circuit().find_node("x").is_some());
+    }
+
+    #[test]
+    fn outputs_are_differential_and_follow_the_function() {
+        let cell = and_nand_cell();
+        let opts = EventOptions::default();
+        for assignment in 0..4u64 {
+            let result = simulate_event(cell.circuit(), cell.pins(), assignment, &opts).unwrap();
+            let t_sample = opts.period - 2.0 * opts.transition;
+            let v_out = result.voltage(cell.pins().out).at(t_sample);
+            let v_out_b = result.voltage(cell.pins().out_b).at(t_sample);
+            let expected = assignment == 0b11; // A.B
+            if expected {
+                assert!(v_out > 1.4, "out should stay high for {assignment:02b}, got {v_out}");
+                assert!(v_out_b < 0.4, "out_b should fall for {assignment:02b}, got {v_out_b}");
+            } else {
+                assert!(v_out < 0.4, "out should fall for {assignment:02b}, got {v_out}");
+                assert!(v_out_b > 1.4, "out_b should stay high for {assignment:02b}, got {v_out_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_widths_are_respected() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let dpdn = Dpdn::fully_connected(&f, &ns).unwrap();
+        let widths = SablWidths {
+            tail: 5.0,
+            ..SablWidths::default()
+        };
+        let cell = SablCell::with_widths(&dpdn, &CapacitanceModel::default(), widths);
+        let max_width = cell
+            .circuit()
+            .transistors()
+            .iter()
+            .map(|t| t.width)
+            .fold(0.0, f64::max);
+        assert!((max_width - 5.0).abs() < 1e-12);
+    }
+}

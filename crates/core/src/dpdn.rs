@@ -1,0 +1,305 @@
+use std::fmt;
+
+use dpl_logic::{Expr, Namespace, TruthTable};
+use dpl_netlist::{spice, NodeId, SwitchNetwork};
+
+use crate::error::DpdnError;
+use crate::Result;
+
+/// Maximum number of gate inputs for which exhaustive verification over all
+/// complementary input combinations is performed.
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 16;
+
+/// A differential pull-down network (DPDN).
+///
+/// A DPDN is a network of NMOS switches with three external nodes: the module
+/// output nodes `X` and `Y` and the common node `Z` (see Fig. 1 and Fig. 2 of
+/// the paper).  During the evaluation phase of a SABL gate the network
+/// connects exactly one of `X`/`Y` to `Z`; the branch from `X` to `Z`
+/// implements the gate function `f`, the branch from `Y` to `Z` implements
+/// its complement.
+///
+/// The paper's contribution is a construction that makes the DPDN *fully
+/// connected*: for every complementary input combination every internal node
+/// is connected to `X` or `Y`, so its parasitic capacitance is discharged in
+/// every cycle and the power consumption is input independent.
+///
+/// ```
+/// use dpl_core::Dpdn;
+/// use dpl_logic::parse_expr;
+///
+/// # fn main() -> Result<(), dpl_core::DpdnError> {
+/// let (f, ns) = parse_expr("A.B")?;
+/// let gate = Dpdn::fully_connected(&f, &ns)?;
+/// assert_eq!(gate.device_count(), 4);
+/// assert!(gate.verify()?.is_fully_connected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dpdn {
+    pub(crate) network: SwitchNetwork,
+    pub(crate) x: NodeId,
+    pub(crate) y: NodeId,
+    pub(crate) z: NodeId,
+    pub(crate) function: Expr,
+    pub(crate) namespace: Namespace,
+    pub(crate) style: DpdnStyle,
+}
+
+/// How a [`Dpdn`] was constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DpdnStyle {
+    /// A genuine (conventional) DPDN: two dual series-parallel branches that
+    /// minimise device count, as used in CVSL (paper Fig. 2 left).
+    Genuine,
+    /// A fully connected DPDN produced by the paper's §4.1/§4.2 procedure.
+    FullyConnected,
+    /// An enhanced fully connected DPDN with inserted pass gates (§5).
+    Enhanced,
+}
+
+impl fmt::Display for DpdnStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DpdnStyle::Genuine => "genuine",
+            DpdnStyle::FullyConnected => "fully-connected",
+            DpdnStyle::Enhanced => "enhanced",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Dpdn {
+    /// Builds a DPDN from already-assembled parts, verifying the basic
+    /// structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the network fails structural validation or the
+    /// terminals are not distinct.
+    pub fn from_parts(
+        network: SwitchNetwork,
+        x: NodeId,
+        y: NodeId,
+        z: NodeId,
+        function: Expr,
+        namespace: Namespace,
+        style: DpdnStyle,
+    ) -> Result<Self> {
+        network.validate()?;
+        if x == y || x == z || y == z {
+            return Err(DpdnError::Netlist(
+                dpl_netlist::NetlistError::DegenerateTerminals,
+            ));
+        }
+        Ok(Dpdn {
+            network,
+            x,
+            y,
+            z,
+            function,
+            namespace,
+            style,
+        })
+    }
+
+    /// The underlying switch network.
+    pub fn network(&self) -> &SwitchNetwork {
+        &self.network
+    }
+
+    /// The module output node X (true branch).
+    pub fn x(&self) -> NodeId {
+        self.x
+    }
+
+    /// The module output node Y (false branch).
+    pub fn y(&self) -> NodeId {
+        self.y
+    }
+
+    /// The common node Z (connected to the clocked tail transistor).
+    pub fn z(&self) -> NodeId {
+        self.z
+    }
+
+    /// The Boolean function implemented by the X–Z branch.
+    pub fn function(&self) -> &Expr {
+        &self.function
+    }
+
+    /// The signal names of the gate inputs.
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// How this network was constructed.
+    pub fn style(&self) -> DpdnStyle {
+        self.style
+    }
+
+    /// Number of gate inputs.
+    pub fn input_count(&self) -> usize {
+        self.namespace.len()
+    }
+
+    /// Total number of transistors, including dummy pass-gate devices.
+    pub fn device_count(&self) -> usize {
+        self.network.switch_count()
+    }
+
+    /// Number of functional (non-dummy) transistors.
+    pub fn functional_device_count(&self) -> usize {
+        self.network.functional_switch_count()
+    }
+
+    /// Number of dummy (pass-gate) transistors inserted by the enhancement.
+    pub fn dummy_device_count(&self) -> usize {
+        self.network.dummy_switch_count()
+    }
+
+    /// The internal nodes of the network.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        self.network.internal_nodes()
+    }
+
+    /// Extracts the conduction function of the X–Z branch as a truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdnError::TooManyInputs`] if the gate has more inputs than
+    /// the exhaustive enumeration limit.
+    pub fn true_conduction(&self) -> Result<TruthTable> {
+        self.check_enumerable()?;
+        Ok(self
+            .network
+            .conduction_table(self.x, self.z, self.input_count())?)
+    }
+
+    /// Extracts the conduction function of the Y–Z branch as a truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdnError::TooManyInputs`] if the gate has more inputs than
+    /// the exhaustive enumeration limit.
+    pub fn false_conduction(&self) -> Result<TruthTable> {
+        self.check_enumerable()?;
+        Ok(self
+            .network
+            .conduction_table(self.y, self.z, self.input_count())?)
+    }
+
+    pub(crate) fn check_enumerable(&self) -> Result<()> {
+        if self.input_count() > MAX_EXHAUSTIVE_INPUTS {
+            return Err(DpdnError::TooManyInputs {
+                inputs: self.input_count(),
+                maximum: MAX_EXHAUSTIVE_INPUTS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the network as a SPICE-like `.subckt` block.
+    pub fn to_spice(&self, cell_name: &str) -> String {
+        spice::write_subckt(
+            &self.network,
+            &self.namespace,
+            cell_name,
+            &[self.x, self.y, self.z],
+        )
+    }
+
+    /// Runs the full verification suite on this network.
+    ///
+    /// This is a convenience wrapper around [`crate::verify::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification errors (for example too many inputs).
+    pub fn verify(&self) -> Result<crate::verify::VerificationReport> {
+        crate::verify::verify(self)
+    }
+}
+
+impl fmt::Display for Dpdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} DPDN for {} ({} inputs, {} devices, {} internal nodes)",
+            self.style,
+            self.function.display(&self.namespace),
+            self.input_count(),
+            self.device_count(),
+            self.internal_nodes().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::parse_expr;
+
+    #[test]
+    fn accessors_and_display() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        assert_eq!(gate.input_count(), 2);
+        assert_eq!(gate.device_count(), 4);
+        assert_eq!(gate.functional_device_count(), 4);
+        assert_eq!(gate.dummy_device_count(), 0);
+        assert_eq!(gate.style(), DpdnStyle::FullyConnected);
+        assert_eq!(gate.namespace().len(), 2);
+        assert_eq!(gate.function().display(gate.namespace()).to_string(), "A.B");
+        let text = gate.to_string();
+        assert!(text.contains("fully-connected"));
+        assert!(text.contains("A.B"));
+        assert_ne!(gate.x(), gate.y());
+        assert_ne!(gate.y(), gate.z());
+    }
+
+    #[test]
+    fn spice_export_contains_terminals() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let text = gate.to_spice("and_nand_fc");
+        assert!(text.contains(".subckt and_nand_fc X Y Z"));
+        assert!(text.contains(".ends"));
+    }
+
+    #[test]
+    fn style_display() {
+        assert_eq!(DpdnStyle::Genuine.to_string(), "genuine");
+        assert_eq!(DpdnStyle::FullyConnected.to_string(), "fully-connected");
+        assert_eq!(DpdnStyle::Enhanced.to_string(), "enhanced");
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        // Rebuild from parts: should succeed.
+        let rebuilt = Dpdn::from_parts(
+            gate.network().clone(),
+            gate.x(),
+            gate.y(),
+            gate.z(),
+            gate.function().clone(),
+            gate.namespace().clone(),
+            DpdnStyle::FullyConnected,
+        );
+        assert!(rebuilt.is_ok());
+        // Degenerate terminals are rejected.
+        let bad = Dpdn::from_parts(
+            gate.network().clone(),
+            gate.x(),
+            gate.x(),
+            gate.z(),
+            gate.function().clone(),
+            gate.namespace().clone(),
+            DpdnStyle::FullyConnected,
+        );
+        assert!(bad.is_err());
+    }
+}

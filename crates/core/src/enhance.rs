@@ -1,0 +1,253 @@
+//! Enhanced fully connected DPDNs — the pass-gate insertion of Section 5.
+//!
+//! The plain fully connected network still has discharge paths of different
+//! lengths (for the AND-NAND gate: one transistor through the `!B` shortcut,
+//! two through the series stack), which makes the discharge *resistance* and
+//! therefore the gate delay data dependent, and allows the gate to evaluate
+//! before all of its inputs have arrived (early propagation).  The paper
+//! inserts a *pass gate* — a parallel pair of transistors driven by an input
+//! and its complement, which is always conducting once that input has become
+//! complementary — "for all the input signals that do not control a
+//! transistor in that particular discharge path".
+//!
+//! The implementation threads a list of "missing" variables through the same
+//! recursion as the plain construction: whenever a branch terminates at a
+//! literal, a chain of pass gates for the variables that the shortcut skips
+//! is inserted between the branch's top node and the device.
+
+use dpl_logic::{decompose, CanonicalPath, Decomposition, Expr, Namespace, Var};
+use dpl_netlist::{NodeId, NodeRole, SwitchNetwork};
+
+use crate::dpdn::{Dpdn, DpdnStyle};
+use crate::synth::fresh_internal;
+use crate::Result;
+
+impl Dpdn {
+    /// Synthesises the *enhanced* fully connected DPDN of `function`
+    /// (paper §5): a fully connected network in which every discharge path
+    /// contains one device per variable of the decomposition, so the
+    /// evaluation depth is constant and early propagation is eliminated.
+    ///
+    /// The trade-off, as the paper notes, "is an increase in area and total
+    /// load capacitance": the inserted pass gates are reported by
+    /// [`Dpdn::dummy_device_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DpdnError::ConstantFunction`] for constant
+    /// expressions.
+    ///
+    /// ```
+    /// use dpl_core::Dpdn;
+    /// use dpl_logic::parse_expr;
+    /// # fn main() -> Result<(), dpl_core::DpdnError> {
+    /// let (f, ns) = parse_expr("A.B")?;
+    /// let gate = Dpdn::fully_connected_enhanced(&f, &ns)?;
+    /// let report = gate.verify()?;
+    /// assert!(report.is_fully_connected());
+    /// assert!(report.has_constant_depth());
+    /// assert!(report.is_free_of_early_propagation());
+    /// // Fig. 6 (right): one pass gate (two dummy devices) is added.
+    /// assert_eq!(gate.dummy_device_count(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fully_connected_enhanced(function: &Expr, namespace: &Namespace) -> Result<Self> {
+        let nnf = function.to_nnf().simplify();
+        let mut network = SwitchNetwork::new();
+        let x = network.add_node("X", NodeRole::Terminal);
+        let y = network.add_node("Y", NodeRole::Terminal);
+        let z = network.add_node("Z", NodeRole::Terminal);
+        let mut counter = 0usize;
+        build_enhanced(&nnf, &mut network, x, y, z, &[], &[], &mut counter)?;
+        Dpdn::from_parts(
+            network,
+            x,
+            y,
+            z,
+            function.clone(),
+            namespace.clone(),
+            DpdnStyle::Enhanced,
+        )
+    }
+}
+
+/// Recursive enhanced construction.
+///
+/// Contract: every conduction path from `t` to `b` contains exactly
+/// `depth(expr) + miss_true.len()` devices and every path from `f_node` to
+/// `b` contains `depth(expr) + miss_false.len()` devices, where `depth` is
+/// [`dpl_logic::decomposition_depth`].
+#[allow(clippy::too_many_arguments)]
+fn build_enhanced(
+    expr: &Expr,
+    network: &mut SwitchNetwork,
+    t: NodeId,
+    f_node: NodeId,
+    b: NodeId,
+    miss_true: &[Var],
+    miss_false: &[Var],
+    counter: &mut usize,
+) -> Result<()> {
+    match decompose(expr)? {
+        Decomposition::Literal(lit) => {
+            let true_top = insert_pass_gate_chain(network, t, miss_true, counter);
+            network.add_switch(lit, true_top, b);
+            let false_top = insert_pass_gate_chain(network, f_node, miss_false, counter);
+            network.add_switch(lit.complement(), false_top, b);
+            Ok(())
+        }
+        Decomposition::And(x, y) => {
+            let w = fresh_internal(network, counter);
+            // The !y shortcut from the false node skips everything in x.
+            let canonical_x = CanonicalPath::of(&x)?;
+            build_enhanced(&x, network, t, f_node, w, miss_true, miss_false, counter)?;
+            let mut y_false_miss = miss_false.to_vec();
+            y_false_miss.extend_from_slice(canonical_x.vars());
+            build_enhanced(&y, network, w, f_node, b, &[], &y_false_miss, counter)
+        }
+        Decomposition::Or(x, y) => {
+            let w = fresh_internal(network, counter);
+            // The y shortcut from the true node skips everything in x.
+            let canonical_x = CanonicalPath::of(&x)?;
+            build_enhanced(&x, network, t, f_node, w, miss_true, miss_false, counter)?;
+            let mut y_true_miss = miss_true.to_vec();
+            y_true_miss.extend_from_slice(canonical_x.vars());
+            build_enhanced(&y, network, t, w, b, &y_true_miss, &[], counter)
+        }
+    }
+}
+
+/// Inserts a chain of pass gates for `vars` starting at `from`, returning the
+/// node at the end of the chain (equal to `from` when `vars` is empty).
+fn insert_pass_gate_chain(
+    network: &mut SwitchNetwork,
+    from: NodeId,
+    vars: &[Var],
+    counter: &mut usize,
+) -> NodeId {
+    let mut current = from;
+    for &var in vars {
+        let next = {
+            let name = format!("P{}", *counter + 1);
+            *counter += 1;
+            network.add_node(name, NodeRole::Internal)
+        };
+        network.add_dummy_switch(var.positive(), current, next);
+        network.add_dummy_switch(var.negative(), current, next);
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+    use dpl_logic::{decomposition_depth, parse_expr, TruthTable};
+
+    fn check(text: &str) -> (Dpdn, crate::verify::VerificationReport) {
+        let (f, ns) = parse_expr(text).unwrap();
+        let gate = Dpdn::fully_connected_enhanced(&f, &ns).unwrap();
+        let report = verify(&gate).unwrap();
+        (gate, report)
+    }
+
+    #[test]
+    fn enhanced_and_nand_matches_fig6() {
+        let (gate, report) = check("A.B");
+        // 4 functional devices + 1 pass gate (2 dummies).
+        assert_eq!(gate.functional_device_count(), 4);
+        assert_eq!(gate.dummy_device_count(), 2);
+        assert!(report.is_fully_connected());
+        assert!(report.is_functionally_correct());
+        assert!(report.has_constant_depth());
+        assert_eq!(report.depth.max_depth(), 2);
+        assert!(report.is_free_of_early_propagation());
+    }
+
+    #[test]
+    fn enhanced_or_nor_is_symmetric() {
+        let (gate, report) = check("A+B");
+        assert_eq!(gate.dummy_device_count(), 2);
+        assert!(report.has_constant_depth());
+        assert!(report.is_free_of_early_propagation());
+    }
+
+    #[test]
+    fn enhanced_oai22_has_constant_depth_four() {
+        let (gate, report) = check("(A+B).(C+D)");
+        assert!(report.is_fully_connected());
+        assert!(report.is_functionally_correct());
+        assert!(report.has_constant_depth());
+        assert_eq!(report.depth.max_depth(), 4);
+        assert!(report.is_free_of_early_propagation());
+        assert!(gate.dummy_device_count() > 0);
+    }
+
+    #[test]
+    fn enhanced_depth_equals_decomposition_depth() {
+        for text in ["A.B", "A+B", "A.B.C", "(A+B).(C+D)", "A.(B+C)", "A^B"] {
+            let (f, _) = parse_expr(text).unwrap();
+            let (_, report) = check(text);
+            assert_eq!(
+                report.depth.max_depth(),
+                decomposition_depth(&f).unwrap(),
+                "depth mismatch for {text}"
+            );
+            assert!(report.has_constant_depth(), "non-constant depth for {text}");
+        }
+    }
+
+    #[test]
+    fn enhanced_networks_stay_functionally_correct() {
+        for text in [
+            "A.B",
+            "A+B",
+            "A.B.C",
+            "A+B+C",
+            "A^B",
+            "(A+B).(C+D)",
+            "A.B+C.D",
+            "A.(B+C.D)",
+            "S.A + !S.B",
+        ] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let gate = Dpdn::fully_connected_enhanced(&f, &ns).unwrap();
+            let expected = TruthTable::from_expr(&f, ns.len());
+            assert_eq!(
+                gate.true_conduction().unwrap(),
+                expected,
+                "true branch broken for {text}"
+            );
+            assert_eq!(
+                gate.false_conduction().unwrap(),
+                expected.complement(),
+                "false branch broken for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn enhancement_never_reduces_device_count() {
+        for text in ["A.B", "(A+B).(C+D)", "A.B+C.D", "A.B.C"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let plain = Dpdn::fully_connected(&f, &ns).unwrap();
+            let enhanced = Dpdn::fully_connected_enhanced(&f, &ns).unwrap();
+            assert_eq!(
+                plain.device_count(),
+                enhanced.functional_device_count(),
+                "functional devices changed for {text}"
+            );
+            assert!(enhanced.device_count() >= plain.device_count());
+        }
+    }
+
+    #[test]
+    fn single_literal_needs_no_pass_gates() {
+        let (gate, report) = check("A");
+        assert_eq!(gate.dummy_device_count(), 0);
+        assert!(report.has_constant_depth());
+        assert_eq!(report.depth.max_depth(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+use dpl_logic::LogicError;
+use dpl_netlist::NetlistError;
+
+/// Errors produced by the DPDN synthesis and verification procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DpdnError {
+    /// A logic-level error (parsing, arity, constants, …).
+    Logic(LogicError),
+    /// A netlist-level error (SP recognition, malformed networks, …).
+    Netlist(NetlistError),
+    /// The function to synthesise is constant; constants have no pull-down
+    /// network in dynamic differential logic.
+    ConstantFunction,
+    /// The two branches of a supposed differential network do not implement
+    /// complementary functions.
+    BranchesNotComplementary,
+    /// The network uses more input variables than the verifier can enumerate
+    /// exhaustively.
+    TooManyInputs {
+        /// Number of inputs of the offending network.
+        inputs: usize,
+        /// Maximum number of inputs the operation supports.
+        maximum: usize,
+    },
+    /// A named gate was not found in the gate library.
+    UnknownGate {
+        /// The requested gate name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DpdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpdnError::Logic(e) => write!(f, "logic error: {e}"),
+            DpdnError::Netlist(e) => write!(f, "netlist error: {e}"),
+            DpdnError::ConstantFunction => {
+                write!(f, "constant functions have no differential pull-down network")
+            }
+            DpdnError::BranchesNotComplementary => {
+                write!(f, "the true and false branches are not complementary")
+            }
+            DpdnError::TooManyInputs { inputs, maximum } => {
+                write!(
+                    f,
+                    "network has {inputs} inputs which exceeds the exhaustive-verification limit of {maximum}"
+                )
+            }
+            DpdnError::UnknownGate { name } => write!(f, "unknown gate `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for DpdnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpdnError::Logic(e) => Some(e),
+            DpdnError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicError> for DpdnError {
+    fn from(e: LogicError) -> Self {
+        match e {
+            LogicError::ConstantExpression => DpdnError::ConstantFunction,
+            other => DpdnError::Logic(other),
+        }
+    }
+}
+
+impl From<NetlistError> for DpdnError {
+    fn from(e: NetlistError) -> Self {
+        match e {
+            NetlistError::ConstantExpression => DpdnError::ConstantFunction,
+            other => DpdnError::Netlist(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_map_constants() {
+        let e: DpdnError = LogicError::ConstantExpression.into();
+        assert_eq!(e, DpdnError::ConstantFunction);
+        let e: DpdnError = NetlistError::ConstantExpression.into();
+        assert_eq!(e, DpdnError::ConstantFunction);
+        let e: DpdnError = LogicError::UnexpectedEnd.into();
+        assert!(matches!(e, DpdnError::Logic(_)));
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DpdnError::Logic(LogicError::UnexpectedEnd);
+        assert!(e.to_string().contains("logic error"));
+        assert!(e.source().is_some());
+        let e = DpdnError::UnknownGate { name: "FOO".into() };
+        assert!(e.to_string().contains("FOO"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpdnError>();
+    }
+}

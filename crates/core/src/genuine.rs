@@ -1,0 +1,148 @@
+//! Construction of *genuine* differential pull-down networks.
+//!
+//! A genuine DPDN is the conventional implementation used in CVSL-style
+//! logic: the true branch is the series-parallel network of the expression,
+//! the false branch is its dual (paper Fig. 2, left).  Genuine networks
+//! minimise device count and stack depth, but their internal nodes can be
+//! left floating for some input combinations — the *memory effect* that
+//! makes the gate's power consumption data dependent.
+
+use dpl_logic::{Expr, Namespace};
+use dpl_netlist::{NodeRole, SpTree, SwitchNetwork};
+
+use crate::dpdn::{Dpdn, DpdnStyle};
+use crate::Result;
+
+impl Dpdn {
+    /// Builds the genuine (conventional, CVSL-style) DPDN of `function`.
+    ///
+    /// The X–Z branch is the series-parallel network of the expression; the
+    /// Y–Z branch is its dual with complemented literals.  The two branches
+    /// share no devices and no internal nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DpdnError::ConstantFunction`] for constant
+    /// expressions.
+    ///
+    /// ```
+    /// use dpl_core::Dpdn;
+    /// use dpl_logic::parse_expr;
+    /// # fn main() -> Result<(), dpl_core::DpdnError> {
+    /// let (f, ns) = parse_expr("A.B")?;
+    /// let genuine = Dpdn::genuine(&f, &ns)?;
+    /// // Fig. 2 (left): A and B in series, !A and !B in parallel.
+    /// assert_eq!(genuine.device_count(), 4);
+    /// assert_eq!(genuine.internal_nodes().len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn genuine(function: &Expr, namespace: &Namespace) -> Result<Self> {
+        let tree = SpTree::from_expr(function)?;
+        let dual = tree.dual();
+
+        let mut network = SwitchNetwork::new();
+        let x = network.add_node("X", NodeRole::Terminal);
+        let y = network.add_node("Y", NodeRole::Terminal);
+        let z = network.add_node("Z", NodeRole::Terminal);
+        tree.instantiate(&mut network, x, z, "WT");
+        dual.instantiate(&mut network, y, z, "WF");
+
+        Dpdn::from_parts(
+            network,
+            x,
+            y,
+            z,
+            function.clone(),
+            namespace.clone(),
+            DpdnStyle::Genuine,
+        )
+    }
+
+    /// Builds a genuine DPDN directly from a pair of series-parallel trees.
+    ///
+    /// This is the entry point for the §4.2 workflow where the designer
+    /// already has a schematic: the trees describe the existing true and
+    /// false branches.  The function implemented by the true branch is
+    /// recovered from the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either tree is empty.
+    pub fn genuine_from_trees(
+        true_branch: &SpTree,
+        false_branch: &SpTree,
+        namespace: &Namespace,
+    ) -> Result<Self> {
+        let mut network = SwitchNetwork::new();
+        let x = network.add_node("X", NodeRole::Terminal);
+        let y = network.add_node("Y", NodeRole::Terminal);
+        let z = network.add_node("Z", NodeRole::Terminal);
+        true_branch.instantiate(&mut network, x, z, "WT");
+        false_branch.instantiate(&mut network, y, z, "WF");
+        Dpdn::from_parts(
+            network,
+            x,
+            y,
+            z,
+            true_branch.to_expr(),
+            namespace.clone(),
+            DpdnStyle::Genuine,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::{parse_expr, TruthTable};
+
+    #[test]
+    fn genuine_and_nand_matches_fig2_left() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::genuine(&f, &ns).unwrap();
+        // 2 series devices + 2 parallel devices, one internal node W.
+        assert_eq!(gate.device_count(), 4);
+        assert_eq!(gate.internal_nodes().len(), 1);
+        let tt = gate.true_conduction().unwrap();
+        assert_eq!(tt, TruthTable::from_expr(&f, 2));
+        let ff = gate.false_conduction().unwrap();
+        assert_eq!(ff, TruthTable::from_expr(&f, 2).complement());
+    }
+
+    #[test]
+    fn genuine_oai22_has_eight_devices() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let gate = Dpdn::genuine(&f, &ns).unwrap();
+        assert_eq!(gate.device_count(), 8);
+        let tt = gate.true_conduction().unwrap();
+        assert_eq!(tt, TruthTable::from_expr(&f, 4));
+    }
+
+    #[test]
+    fn genuine_branches_are_complementary() {
+        for text in ["A.B", "A+B", "A^B", "(A+B).(C+D)", "A.(B+C)", "A.B+C.D"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let gate = Dpdn::genuine(&f, &ns).unwrap();
+            let t = gate.true_conduction().unwrap();
+            let fa = gate.false_conduction().unwrap();
+            assert_eq!(t.complement(), fa, "branches not complementary for {text}");
+        }
+    }
+
+    #[test]
+    fn genuine_from_trees_roundtrips() {
+        let (f, ns) = parse_expr("A.(B+C)").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        let gate = Dpdn::genuine_from_trees(&tree, &tree.dual(), &ns).unwrap();
+        assert_eq!(gate.device_count(), 6);
+        let tt = gate.true_conduction().unwrap();
+        assert_eq!(tt, TruthTable::from_expr(&f, 3));
+    }
+
+    #[test]
+    fn constant_functions_are_rejected() {
+        let (f, ns) = parse_expr("1").unwrap();
+        assert!(Dpdn::genuine(&f, &ns).is_err());
+    }
+}

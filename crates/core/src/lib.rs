@@ -1,0 +1,78 @@
+//! # dpl-core
+//!
+//! Synthesis, transformation and verification of **fully connected
+//! differential pull-down networks** — a Rust implementation of the design
+//! method of Tiri & Verbauwhede, *"Design Method for Constant Power
+//! Consumption of Differential Logic Circuits"*, DATE 2005.
+//!
+//! Differential power analysis (DPA) exploits the data dependence of a
+//! gate's power consumption.  Constant-power logic styles such as SABL
+//! counter it with dynamic differential gates whose load capacitance must be
+//! input independent; that requires the *differential pull-down network*
+//! (DPDN) inside the gate to be **fully connected**: for every complementary
+//! input combination, every internal node must be connected to one of the
+//! output nodes so that its parasitic capacitance is discharged and
+//! recharged every single cycle.
+//!
+//! This crate implements:
+//!
+//! * [`Dpdn::genuine`] — the conventional (CVSL-style) network, which
+//!   exhibits the memory effect the paper sets out to remove,
+//! * [`Dpdn::fully_connected`] — the §4.1 construction from a Boolean
+//!   expression,
+//! * [`Dpdn::to_fully_connected`] — the §4.2 transformation of an existing
+//!   schematic (device count preserved),
+//! * [`Dpdn::fully_connected_enhanced`] — the §5 enhancement with inserted
+//!   pass gates (constant evaluation depth, no early propagation),
+//! * [`verify`] — exhaustive structural verification of all of the above
+//!   (full connectivity, floating nodes, functional correctness, evaluation
+//!   depth, early propagation),
+//! * [`GateLibrary`] — a standard-cell style library of secure gates built
+//!   with the method.
+//!
+//! ```
+//! use dpl_core::{Dpdn, GateKind};
+//! use dpl_logic::parse_expr;
+//!
+//! # fn main() -> Result<(), dpl_core::DpdnError> {
+//! // Fig. 2 of the paper: the AND-NAND gate.
+//! let (f, ns) = parse_expr("A.B")?;
+//!
+//! let genuine = Dpdn::genuine(&f, &ns)?;
+//! assert!(!genuine.verify()?.is_fully_connected());     // memory effect
+//!
+//! let secure = Dpdn::fully_connected(&f, &ns)?;
+//! assert!(secure.verify()?.is_fully_connected());        // constant load
+//! assert_eq!(secure.device_count(), genuine.device_count());
+//!
+//! // The whole standard library can be generated the same way.
+//! let oai22 = GateKind::Oai22.expression();
+//! let cell = Dpdn::fully_connected(&oai22.0, &oai22.1)?;
+//! assert_eq!(cell.device_count(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dpdn;
+mod enhance;
+mod error;
+mod genuine;
+mod library;
+pub mod random;
+mod synth;
+mod transform;
+pub mod verify;
+
+pub use dpdn::{Dpdn, DpdnStyle, MAX_EXHAUSTIVE_INPUTS};
+pub use error::DpdnError;
+pub use library::{GateKind, GateLibrary, LibraryCell};
+pub use verify::{
+    verify, ConductingBranch, ConnectivityReport, DepthReport, EarlyPropagationReport,
+    FunctionalReport, VerificationReport,
+};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DpdnError>;

@@ -1,0 +1,333 @@
+//! A standard-cell style library of secure differential gates.
+//!
+//! The paper motivates its method with the observation that SABL had only
+//! been demonstrated for gates "with two or fewer inputs"; the systematic
+//! construction makes a *library* of arbitrary fully connected gates
+//! possible.  This module enumerates the usual combinational standard cells
+//! and builds the genuine, fully connected and enhanced DPDN for each one.
+
+use std::fmt;
+
+use dpl_logic::{parse_expr, Expr, Namespace};
+
+use crate::dpdn::Dpdn;
+use crate::error::DpdnError;
+use crate::Result;
+
+/// The combinational gates of the standard library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Buffer / inverter pair (single literal).
+    Buf,
+    /// 2-input AND / NAND.
+    And2,
+    /// 3-input AND / NAND.
+    And3,
+    /// 4-input AND / NAND.
+    And4,
+    /// 2-input OR / NOR.
+    Or2,
+    /// 3-input OR / NOR.
+    Or3,
+    /// 4-input OR / NOR.
+    Or4,
+    /// 2-input XOR / XNOR.
+    Xor2,
+    /// 3-input XOR / XNOR.
+    Xor3,
+    /// 2-to-1 multiplexer.
+    Mux2,
+    /// AND-OR-invert 21.
+    Aoi21,
+    /// AND-OR-invert 22.
+    Aoi22,
+    /// OR-AND-invert 21.
+    Oai21,
+    /// OR-AND-invert 22 — the paper's Fig. 5 design example.
+    Oai22,
+    /// 3-input majority (carry) gate.
+    Maj3,
+    /// Full-adder sum gate (3-input XOR).
+    Sum3,
+    /// AND of an input with an inverted input (used in S-box logic).
+    AndNot,
+    /// 2-input OR feeding a 2-input AND (`(A+B).C`).
+    OrAnd21,
+}
+
+impl GateKind {
+    /// Every gate of the standard library.
+    pub fn all() -> &'static [GateKind] {
+        &[
+            GateKind::Buf,
+            GateKind::And2,
+            GateKind::And3,
+            GateKind::And4,
+            GateKind::Or2,
+            GateKind::Or3,
+            GateKind::Or4,
+            GateKind::Xor2,
+            GateKind::Xor3,
+            GateKind::Mux2,
+            GateKind::Aoi21,
+            GateKind::Aoi22,
+            GateKind::Oai21,
+            GateKind::Oai22,
+            GateKind::Maj3,
+            GateKind::Sum3,
+            GateKind::AndNot,
+            GateKind::OrAnd21,
+        ]
+    }
+
+    /// The library name of the gate.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::And2 => "AND2",
+            GateKind::And3 => "AND3",
+            GateKind::And4 => "AND4",
+            GateKind::Or2 => "OR2",
+            GateKind::Or3 => "OR3",
+            GateKind::Or4 => "OR4",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Xor3 => "XOR3",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Aoi21 => "AOI21",
+            GateKind::Aoi22 => "AOI22",
+            GateKind::Oai21 => "OAI21",
+            GateKind::Oai22 => "OAI22",
+            GateKind::Maj3 => "MAJ3",
+            GateKind::Sum3 => "SUM3",
+            GateKind::AndNot => "ANDNOT",
+            GateKind::OrAnd21 => "ORAND21",
+        }
+    }
+
+    /// The defining Boolean formula in the crate's expression syntax.
+    ///
+    /// In dynamic differential logic both polarities of the output are
+    /// produced, so AND2 serves as both AND and NAND, etc.
+    pub fn formula(self) -> &'static str {
+        match self {
+            GateKind::Buf => "A",
+            GateKind::And2 => "A.B",
+            GateKind::And3 => "A.B.C",
+            GateKind::And4 => "A.B.C.D",
+            GateKind::Or2 => "A+B",
+            GateKind::Or3 => "A+B+C",
+            GateKind::Or4 => "A+B+C+D",
+            GateKind::Xor2 => "A^B",
+            GateKind::Xor3 => "A^B^C",
+            GateKind::Mux2 => "S.A + !S.B",
+            GateKind::Aoi21 => "A.B + C",
+            GateKind::Aoi22 => "A.B + C.D",
+            GateKind::Oai21 => "(A+B).C",
+            GateKind::Oai22 => "(A+B).(C+D)",
+            GateKind::Maj3 => "A.B + A.C + B.C",
+            GateKind::Sum3 => "A^B^C",
+            GateKind::AndNot => "A.!B",
+            GateKind::OrAnd21 => "(A+B).C",
+        }
+    }
+
+    /// Parses the defining formula, returning the expression and the input
+    /// namespace.
+    pub fn expression(self) -> (Expr, Namespace) {
+        parse_expr(self.formula()).expect("library formulas are well formed")
+    }
+
+    /// Looks a gate up by library name (case insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpdnError::UnknownGate`] for unrecognised names.
+    pub fn by_name(name: &str) -> Result<GateKind> {
+        let upper = name.to_ascii_uppercase();
+        GateKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.name() == upper)
+            .ok_or(DpdnError::UnknownGate { name: name.into() })
+    }
+
+    /// Number of gate inputs.
+    pub fn input_count(self) -> usize {
+        let (_, ns) = self.expression();
+        ns.len()
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One library entry: the three DPDN flavours of a gate.
+#[derive(Debug, Clone)]
+pub struct LibraryCell {
+    /// Which gate this is.
+    pub kind: GateKind,
+    /// The conventional (memory-effect afflicted) network.
+    pub genuine: Dpdn,
+    /// The fully connected network of §4.
+    pub fully_connected: Dpdn,
+    /// The enhanced network of §5.
+    pub enhanced: Dpdn,
+}
+
+impl LibraryCell {
+    /// Builds all three flavours of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis errors (none are expected for library gates).
+    pub fn build(kind: GateKind) -> Result<Self> {
+        let (expr, ns) = kind.expression();
+        Ok(LibraryCell {
+            kind,
+            genuine: Dpdn::genuine(&expr, &ns)?,
+            fully_connected: Dpdn::fully_connected(&expr, &ns)?,
+            enhanced: Dpdn::fully_connected_enhanced(&expr, &ns)?,
+        })
+    }
+
+    /// The transistor-count overhead of the enhanced network relative to the
+    /// genuine network.
+    pub fn enhancement_overhead(&self) -> usize {
+        self.enhanced.device_count() - self.genuine.device_count()
+    }
+}
+
+/// The complete secure gate library.
+#[derive(Debug, Clone)]
+pub struct GateLibrary {
+    cells: Vec<LibraryCell>,
+}
+
+impl GateLibrary {
+    /// Builds every gate of [`GateKind::all`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis errors (none are expected for library gates).
+    pub fn standard() -> Result<Self> {
+        let cells = GateKind::all()
+            .iter()
+            .copied()
+            .map(LibraryCell::build)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(GateLibrary { cells })
+    }
+
+    /// The cells of the library.
+    pub fn cells(&self) -> &[LibraryCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Finds a cell by gate kind.
+    pub fn cell(&self, kind: GateKind) -> Option<&LibraryCell> {
+        self.cells.iter().find(|c| c.kind == kind)
+    }
+
+    /// Total number of transistors across all fully connected cells.
+    pub fn total_fully_connected_devices(&self) -> usize {
+        self.cells.iter().map(|c| c.fully_connected.device_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+
+    #[test]
+    fn all_gates_have_valid_formulas() {
+        for &kind in GateKind::all() {
+            let (expr, ns) = kind.expression();
+            assert!(!ns.is_empty(), "{kind} has no inputs");
+            assert!(!expr.is_constant(), "{kind} is constant");
+            assert_eq!(kind.input_count(), ns.len());
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(GateKind::by_name("oai22").unwrap(), GateKind::Oai22);
+        assert_eq!(GateKind::by_name("AND2").unwrap(), GateKind::And2);
+        assert!(matches!(
+            GateKind::by_name("NAND17"),
+            Err(DpdnError::UnknownGate { .. })
+        ));
+        assert_eq!(GateKind::Oai22.to_string(), "OAI22");
+    }
+
+    #[test]
+    fn every_library_cell_is_fully_connected_and_correct() {
+        let library = GateLibrary::standard().unwrap();
+        assert_eq!(library.len(), GateKind::all().len());
+        assert!(!library.is_empty());
+        for cell in library.cells() {
+            let fc = verify(&cell.fully_connected).unwrap();
+            assert!(
+                fc.is_fully_connected(),
+                "{} fully connected network is not fully connected",
+                cell.kind
+            );
+            assert!(
+                fc.is_functionally_correct(),
+                "{} fully connected network is functionally wrong",
+                cell.kind
+            );
+            let enh = verify(&cell.enhanced).unwrap();
+            assert!(enh.is_fully_connected(), "{} enhanced", cell.kind);
+            assert!(enh.has_constant_depth(), "{} enhanced depth", cell.kind);
+            assert!(
+                enh.is_free_of_early_propagation(),
+                "{} enhanced early propagation",
+                cell.kind
+            );
+        }
+    }
+
+    #[test]
+    fn multi_input_genuine_gates_are_usually_not_fully_connected() {
+        // Every gate with an internal node in its genuine network must fail
+        // the full-connectivity check (that is the point of the paper).
+        let library = GateLibrary::standard().unwrap();
+        for cell in library.cells() {
+            if cell.genuine.internal_nodes().is_empty() {
+                continue;
+            }
+            let report = verify(&cell.genuine).unwrap();
+            assert!(
+                !report.is_fully_connected(),
+                "{} genuine network is unexpectedly fully connected",
+                cell.kind
+            );
+        }
+    }
+
+    #[test]
+    fn library_statistics() {
+        let library = GateLibrary::standard().unwrap();
+        assert!(library.total_fully_connected_devices() > 0);
+        let cell = library.cell(GateKind::Oai22).unwrap();
+        assert_eq!(cell.fully_connected.device_count(), 8);
+        assert!(cell.enhancement_overhead() > 0);
+        assert!(library.cell(GateKind::And2).is_some());
+    }
+}

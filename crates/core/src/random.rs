@@ -1,0 +1,172 @@
+//! Deterministic random-function generators used by property tests and
+//! benchmarks.
+//!
+//! The generators are seeded and dependency-free (a small xorshift PRNG), so
+//! test failures are reproducible from the seed alone.
+
+use dpl_logic::{Expr, Namespace, Sop, TruthTable};
+
+/// A tiny xorshift64* pseudo random number generator.
+///
+/// Not cryptographically secure — it only drives test-case and workload
+/// generation.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be non-zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A random boolean.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Generates a random *read-once* expression over `num_vars` variables: every
+/// variable appears exactly once, with random polarity, combined by a random
+/// binary AND/OR tree.  Read-once expressions are the natural workload for
+/// the paper's construction (their enhanced depth equals the input count).
+pub fn random_read_once_expr(seed: u64, num_vars: usize) -> (Expr, Namespace) {
+    assert!(num_vars >= 1, "need at least one variable");
+    let mut rng = XorShift64::new(seed);
+    let names: Vec<String> = (0..num_vars).map(|i| format!("IN{i}")).collect();
+    let ns = Namespace::with_names(names);
+
+    // Shuffle variable order.
+    let mut order: Vec<usize> = (0..num_vars).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.below(i + 1);
+        order.swap(i, j);
+    }
+
+    let mut leaves: Vec<Expr> = order
+        .into_iter()
+        .map(|i| {
+            let var = dpl_logic::Var::new(i);
+            if rng.flip() {
+                Expr::var(var)
+            } else {
+                Expr::not_var(var)
+            }
+        })
+        .collect();
+
+    while leaves.len() > 1 {
+        let i = rng.below(leaves.len());
+        let a = leaves.swap_remove(i);
+        let j = rng.below(leaves.len());
+        let b = leaves.swap_remove(j);
+        let combined = if rng.flip() {
+            Expr::and([a, b])
+        } else {
+            Expr::or([a, b])
+        };
+        leaves.push(combined);
+    }
+    (leaves.pop().expect("at least one leaf"), ns)
+}
+
+/// Generates a random (non-constant) Boolean function of `num_vars` variables
+/// as a sum-of-products expression extracted from a random truth table.
+/// Unlike [`random_read_once_expr`], variables may repeat, which exercises
+/// the construction on functions such as XOR and majority.
+pub fn random_sop_expr(seed: u64, num_vars: usize) -> (Expr, Namespace) {
+    assert!((1..=12).contains(&num_vars), "num_vars must be 1..=12");
+    let mut rng = XorShift64::new(seed);
+    let names: Vec<String> = (0..num_vars).map(|i| format!("IN{i}")).collect();
+    let ns = Namespace::with_names(names);
+    loop {
+        let tt = TruthTable::from_fn(num_vars, |_| rng.flip())
+            .expect("num_vars bounded by 12");
+        if tt.is_zero() || tt.is_one() {
+            continue;
+        }
+        let sop = Sop::from_truth_table(&tt);
+        return (sop.to_expr(), ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_varied() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() > 10);
+        let mut zero_seed = XorShift64::new(0);
+        assert_ne!(zero_seed.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bounds() {
+        let mut rng = XorShift64::new(7);
+        for bound in 1..20usize {
+            for _ in 0..50 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn read_once_uses_every_variable_once() {
+        for seed in 0..20u64 {
+            let (expr, ns) = random_read_once_expr(seed, 6);
+            assert_eq!(ns.len(), 6);
+            assert_eq!(expr.literal_count(), 6);
+            assert_eq!(expr.support().len(), 6);
+        }
+    }
+
+    #[test]
+    fn read_once_is_reproducible() {
+        let (a, _) = random_read_once_expr(99, 5);
+        let (b, _) = random_read_once_expr(99, 5);
+        assert_eq!(a, b);
+        let (c, _) = random_read_once_expr(100, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_sop_is_not_constant() {
+        for seed in 0..10u64 {
+            let (expr, ns) = random_sop_expr(seed, 4);
+            let tt = TruthTable::from_expr(&expr, ns.len());
+            assert!(!tt.is_zero());
+            assert!(!tt.is_one());
+        }
+    }
+}

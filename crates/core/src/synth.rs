@@ -1,0 +1,238 @@
+//! Synthesis of fully connected differential pull-down networks from a
+//! Boolean expression — the design method of Section 4.1 of the paper.
+//!
+//! The paper's five-step procedure is implemented as a recursion on the
+//! expression structure.  For a decomposition `f = x·y` (case A) the dual is
+//! `!f = !x + !y`; the parallel `!x + !y` connection is rewritten as
+//! `!x·y + !y`, network `y` is placed at the bottom of the `x·y` series
+//! connection, and network `y` is *shared* between the two branches.
+//! Structurally this means:
+//!
+//! ```text
+//!   X ──[ x ]── W ──[ y ]── Z
+//!   Y ──[ !x ]── W            (shares the y network below W)
+//!   Y ──[ !y ]── Z
+//! ```
+//!
+//! which is exactly a recursive instance of the same problem: `x` becomes a
+//! DPDN between `(X, Y, W)` and `y` becomes a DPDN between `(W, Y, Z)`.
+//! Case B (`f = x + y`, `!f = !x·!y`) is the mirror image with the series
+//! stack on the false side.  The recursion bottoms out at single literals,
+//! which become one transistor per rail ("Step 4").
+
+use dpl_logic::{decompose, Decomposition, Expr, Namespace};
+use dpl_netlist::{NodeId, NodeRole, SwitchNetwork};
+
+use crate::dpdn::{Dpdn, DpdnStyle};
+use crate::Result;
+
+impl Dpdn {
+    /// Synthesises a fully connected DPDN for `function` using the
+    /// Boolean-expression procedure of §4.1.
+    ///
+    /// The resulting network has one pair of transistors per literal of the
+    /// (NNF) expression — the same device count as the genuine network built
+    /// from the same expression — but every internal node is connected to an
+    /// output node for every complementary input combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DpdnError::ConstantFunction`] for constant
+    /// expressions.
+    ///
+    /// ```
+    /// use dpl_core::Dpdn;
+    /// use dpl_logic::parse_expr;
+    /// # fn main() -> Result<(), dpl_core::DpdnError> {
+    /// // The paper's running example: the AND-NAND gate of Fig. 2 (right).
+    /// let (f, ns) = parse_expr("A.B")?;
+    /// let gate = Dpdn::fully_connected(&f, &ns)?;
+    /// let report = gate.verify()?;
+    /// assert!(report.is_fully_connected());
+    /// assert!(report.is_functionally_correct());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fully_connected(function: &Expr, namespace: &Namespace) -> Result<Self> {
+        let nnf = function.to_nnf().simplify();
+        let mut network = SwitchNetwork::new();
+        let x = network.add_node("X", NodeRole::Terminal);
+        let y = network.add_node("Y", NodeRole::Terminal);
+        let z = network.add_node("Z", NodeRole::Terminal);
+        let mut counter = 0usize;
+        build_fully_connected(&nnf, &mut network, x, y, z, &mut counter)?;
+        Dpdn::from_parts(
+            network,
+            x,
+            y,
+            z,
+            function.clone(),
+            namespace.clone(),
+            DpdnStyle::FullyConnected,
+        )
+    }
+}
+
+/// Recursive §4.1 construction.
+///
+/// Builds, inside `network`, a differential network implementing `expr`
+/// between the "true top" node `t`, the "false top" node `f_node` and the
+/// bottom node `b`: every conduction path from `t` to `b` corresponds to
+/// `expr` being `1`, every conduction path from `f_node` to `b` corresponds
+/// to `expr` being `0`, and every internal node created below this level is
+/// connected to `t` or `f_node` for every complementary input.
+pub(crate) fn build_fully_connected(
+    expr: &Expr,
+    network: &mut SwitchNetwork,
+    t: NodeId,
+    f_node: NodeId,
+    b: NodeId,
+    counter: &mut usize,
+) -> Result<()> {
+    match decompose(expr)? {
+        Decomposition::Literal(lit) => {
+            network.add_switch(lit, t, b);
+            network.add_switch(lit.complement(), f_node, b);
+            Ok(())
+        }
+        Decomposition::And(x, y) => {
+            // Case A: f = x.y, !f = !x + !y  -->  !x.y + !y with y shared.
+            let w = fresh_internal(network, counter);
+            build_fully_connected(&x, network, t, f_node, w, counter)?;
+            build_fully_connected(&y, network, w, f_node, b, counter)
+        }
+        Decomposition::Or(x, y) => {
+            // Case B: f = x + y, !f = !x.!y  -->  x.!y + y with !y shared.
+            let w = fresh_internal(network, counter);
+            build_fully_connected(&x, network, t, f_node, w, counter)?;
+            build_fully_connected(&y, network, t, w, b, counter)
+        }
+    }
+}
+
+pub(crate) fn fresh_internal(network: &mut SwitchNetwork, counter: &mut usize) -> NodeId {
+    let name = format!("W{}", *counter + 1);
+    *counter += 1;
+    network.add_node(name, NodeRole::Internal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::{parse_expr, TruthTable};
+
+    fn check_function(text: &str) {
+        let (f, ns) = parse_expr(text).unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let expected = TruthTable::from_expr(&f, ns.len());
+        assert_eq!(
+            gate.true_conduction().unwrap(),
+            expected,
+            "true branch wrong for {text}"
+        );
+        assert_eq!(
+            gate.false_conduction().unwrap(),
+            expected.complement(),
+            "false branch wrong for {text}"
+        );
+    }
+
+    #[test]
+    fn and_nand_matches_fig2_right() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        // Same device count as the genuine network (4), one internal node.
+        assert_eq!(gate.device_count(), 4);
+        assert_eq!(gate.internal_nodes().len(), 1);
+        check_function("A.B");
+    }
+
+    #[test]
+    fn or_nor_is_the_mirror_image() {
+        let (f, ns) = parse_expr("A+B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        assert_eq!(gate.device_count(), 4);
+        assert_eq!(gate.internal_nodes().len(), 1);
+        check_function("A+B");
+    }
+
+    #[test]
+    fn oai22_matches_fig5() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        // Fig. 5: the fully connected OAI22 network keeps the 8 devices of
+        // the genuine network and has 3 internal nodes.
+        assert_eq!(gate.device_count(), 8);
+        assert_eq!(gate.internal_nodes().len(), 3);
+        check_function("(A+B).(C+D)");
+    }
+
+    #[test]
+    fn functional_correctness_across_gate_shapes() {
+        for text in [
+            "A.B",
+            "A+B",
+            "A.B.C",
+            "A+B+C",
+            "A.B.C.D",
+            "A^B",
+            "A^B^C",
+            "A.B + !A.!B",
+            "(A+B).(C+D)",
+            "A.B + C.D",
+            "A.(B+C.D)",
+            "A.B + A.C + B.C",
+            "(A+B).(A+C)",
+            "S.A + !S.B",
+            "A.B.C + !A.!B.!C",
+        ] {
+            check_function(text);
+        }
+    }
+
+    #[test]
+    fn device_count_matches_literal_count() {
+        for text in ["A.B", "(A+B).(C+D)", "A.B+C.D", "A.(B+C)", "A^B"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+            let nnf = f.to_nnf().simplify();
+            assert_eq!(
+                gate.device_count(),
+                2 * nnf.literal_count(),
+                "device count mismatch for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_internal_node_sees_both_rails_of_some_input() {
+        // Structural property from §4.3: "in the resulting differential pull
+        // down network, both the true and the false of an input signal
+        // control a device for every internal node".
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        for node in gate.internal_nodes() {
+            let incident: Vec<_> = gate
+                .network()
+                .switches_at(node)
+                .into_iter()
+                .map(|id| gate.network().switch(id).unwrap().gate)
+                .collect();
+            let has_pair = incident.iter().any(|l| incident.contains(&l.complement()));
+            assert!(
+                has_pair,
+                "internal node {node:?} is not controlled by a complementary pair"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_functions_are_rejected() {
+        let (f, ns) = parse_expr("A.!A").unwrap();
+        // A.!A is not simplified to a constant by `simplify` (it is purely
+        // structural), so it builds; a literal constant must fail.
+        assert!(Dpdn::fully_connected(&f, &ns).is_ok());
+        let (c, ns) = parse_expr("0").unwrap();
+        assert!(Dpdn::fully_connected(&c, &ns).is_err());
+    }
+}

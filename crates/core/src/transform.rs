@@ -1,0 +1,189 @@
+//! Transformation of an existing genuine DPDN into a fully connected DPDN —
+//! the schematic-level procedure of Section 4.2 of the paper.
+//!
+//! The paper's three steps are:
+//!
+//! 1. *Identify all the networks in series* in the schematic.
+//! 2. *Open the corresponding dual parallel networks* at the bottom of the
+//!    component that is the dual of the series network's top component, and
+//!    *connect the opened parallel connections to the internal nodes* of the
+//!    corresponding series connections.
+//! 3. *Unroll the network.*
+//!
+//! Operationally this repositions transistors of the genuine network without
+//! adding or removing devices ("the total number of devices remains the same
+//! between the genuine and the fully connected network"), exactly like the
+//! repositioning of M2 in Fig. 2.  The implementation recognises the
+//! series-parallel structure of both branches of the given schematic, pairs
+//! them up as duals, and replays the recursive sharing construction on that
+//! structure — which yields the same network the expression-based procedure
+//! (§4.1) produces, device for device.
+
+use dpl_netlist::{NodeRole, SpTree, SwitchNetwork};
+
+use crate::dpdn::{Dpdn, DpdnStyle};
+use crate::error::DpdnError;
+use crate::synth::build_fully_connected;
+use crate::Result;
+
+impl Dpdn {
+    /// Applies the §4.2 transformation to this (genuine) network, producing
+    /// a fully connected network with the same number of devices.
+    ///
+    /// # Errors
+    ///
+    /// * [`DpdnError::Netlist`] with
+    ///   [`dpl_netlist::NetlistError::NotSeriesParallel`] if either branch of
+    ///   the schematic is not series-parallel (fully connected networks share
+    ///   devices between branches and cannot be transformed again),
+    /// * [`DpdnError::BranchesNotComplementary`] if the two branches of the
+    ///   given schematic do not implement complementary functions,
+    /// * [`DpdnError::TooManyInputs`] if the complementarity check cannot be
+    ///   enumerated.
+    ///
+    /// ```
+    /// use dpl_core::Dpdn;
+    /// use dpl_logic::parse_expr;
+    /// # fn main() -> Result<(), dpl_core::DpdnError> {
+    /// let (f, ns) = parse_expr("(A+B).(C+D)")?;
+    /// let genuine = Dpdn::genuine(&f, &ns)?;
+    /// let transformed = genuine.to_fully_connected()?;
+    /// assert_eq!(transformed.device_count(), genuine.device_count());
+    /// assert!(transformed.verify()?.is_fully_connected());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_fully_connected(&self) -> Result<Dpdn> {
+        self.check_enumerable()?;
+
+        // Step 1: recover the series/parallel structure of both branches of
+        // the schematic.
+        let true_tree = SpTree::extract(self.network(), self.x(), self.z())?;
+        let false_tree = SpTree::extract(self.network(), self.y(), self.z())?;
+
+        // Sanity: the schematic must be differential.
+        let n = self.input_count();
+        let true_expr = true_tree.to_expr();
+        let false_expr = false_tree.to_expr();
+        let true_tt = dpl_logic::TruthTable::from_expr(&true_expr, n);
+        let false_tt = dpl_logic::TruthTable::from_expr(&false_expr, n);
+        if true_tt.complement() != false_tt {
+            return Err(DpdnError::BranchesNotComplementary);
+        }
+
+        // Steps 2 and 3: reposition the parallel devices onto the internal
+        // nodes of the series stacks and unroll.  Driving the sharing
+        // recursion with the structure read off the schematic reproduces the
+        // paper's repositioning: each literal of the true branch keeps its
+        // series position, and the matching dual literal of the false branch
+        // is reconnected to the internal node just above it.
+        let mut network = SwitchNetwork::new();
+        let x = network.add_node("X", NodeRole::Terminal);
+        let y = network.add_node("Y", NodeRole::Terminal);
+        let z = network.add_node("Z", NodeRole::Terminal);
+        let mut counter = 0usize;
+        build_fully_connected(&true_expr, &mut network, x, y, z, &mut counter)?;
+
+        let result = Dpdn::from_parts(
+            network,
+            x,
+            y,
+            z,
+            self.function().clone(),
+            self.namespace().clone(),
+            DpdnStyle::FullyConnected,
+        )?;
+        debug_assert_eq!(
+            result.device_count(),
+            self.device_count(),
+            "the transformation must preserve the device count"
+        );
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+    use dpl_logic::{parse_expr, Namespace, TruthTable};
+
+    #[test]
+    fn transform_matches_expression_based_synthesis() {
+        for text in ["A.B", "A+B", "(A+B).(C+D)", "A.B+C.D", "A.(B+C)", "A.B.C"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let genuine = Dpdn::genuine(&f, &ns).unwrap();
+            let transformed = genuine.to_fully_connected().unwrap();
+            let synthesised = Dpdn::fully_connected(&f, &ns).unwrap();
+            assert_eq!(
+                transformed.device_count(),
+                synthesised.device_count(),
+                "device counts differ for {text}"
+            );
+            assert_eq!(
+                transformed.device_count(),
+                genuine.device_count(),
+                "transformation changed the device count for {text}"
+            );
+            let report = verify(&transformed).unwrap();
+            assert!(report.is_fully_connected(), "not fully connected: {text}");
+            assert!(report.is_functionally_correct(), "function broken: {text}");
+        }
+    }
+
+    #[test]
+    fn transform_preserves_function() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let genuine = Dpdn::genuine(&f, &ns).unwrap();
+        let transformed = genuine.to_fully_connected().unwrap();
+        let expected = TruthTable::from_expr(&f, ns.len());
+        assert_eq!(transformed.true_conduction().unwrap(), expected);
+        assert_eq!(
+            transformed.false_conduction().unwrap(),
+            expected.complement()
+        );
+    }
+
+    #[test]
+    fn fully_connected_networks_cannot_be_transformed_again() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let fc = Dpdn::fully_connected(&f, &ns).unwrap();
+        assert!(matches!(
+            fc.to_fully_connected(),
+            Err(DpdnError::Netlist(
+                dpl_netlist::NetlistError::NotSeriesParallel { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn non_complementary_schematics_are_rejected() {
+        use dpl_netlist::SpTree;
+        let ns = Namespace::with_names(["A", "B"]);
+        let (t, _) = parse_expr("A.B").unwrap();
+        let (w, _) = parse_expr("A+B").unwrap();
+        // Wrong dual: the false branch implements !(A+B), not !(A.B).
+        let true_tree = SpTree::from_expr(&t).unwrap();
+        let false_tree = SpTree::from_expr(&w).unwrap().dual();
+        let broken = Dpdn::genuine_from_trees(&true_tree, &false_tree, &ns).unwrap();
+        assert!(matches!(
+            broken.to_fully_connected(),
+            Err(DpdnError::BranchesNotComplementary)
+        ));
+    }
+
+    #[test]
+    fn transform_accepts_hand_drawn_schematics() {
+        // Build the genuine OAI22 the way a designer would draw Fig. 5 (1):
+        // (A+B) on top of (C+D) for the true branch, A.B parallel to C.D for
+        // the false branch.
+        let ns = Namespace::with_names(["A", "B", "C", "D"]);
+        let (f, _) = parse_expr("(A+B).(C+D)").unwrap();
+        let true_tree = dpl_netlist::SpTree::from_expr(&f).unwrap();
+        let false_tree = true_tree.dual();
+        let schematic = Dpdn::genuine_from_trees(&true_tree, &false_tree, &ns).unwrap();
+        let fc = schematic.to_fully_connected().unwrap();
+        assert_eq!(fc.device_count(), 8);
+        assert!(verify(&fc).unwrap().is_fully_connected());
+    }
+}

@@ -1,0 +1,597 @@
+//! Verification of differential pull-down networks.
+//!
+//! The paper's claims about a network are structural and can be checked
+//! exhaustively for gate-sized input counts:
+//!
+//! * **Full connectivity** (§3): for every complementary input combination,
+//!   every internal node is connected to one of the module output nodes X or
+//!   Y.  A violation means the node can be left floating and the gate
+//!   exhibits the *memory effect*.
+//! * **Functional correctness**: the X–Z branch conducts exactly when `f` is
+//!   `1`, the Y–Z branch exactly when `f` is `0` — the transformation "does
+//!   not alter the functionality of the individual branches".
+//! * **Evaluation depth** (§5): the number of transistors in series between
+//!   the conducting output node and the common node Z; the enhanced network
+//!   makes this constant.
+//! * **Early propagation** (§5): whether the network can start conducting
+//!   before all inputs have become complementary.
+
+use dpl_logic::TruthTable;
+use dpl_netlist::{NodeId, UnionFind};
+
+use crate::dpdn::Dpdn;
+use crate::Result;
+
+/// Maximum number of inputs for which the early-propagation analysis (which
+/// enumerates 3^n partial-arrival states) is run.
+pub const MAX_EARLY_PROPAGATION_INPUTS: usize = 12;
+
+/// Connectivity of the internal nodes for one complementary input event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectivityEvent {
+    /// The bit-packed input assignment of the evaluation phase.
+    pub assignment: u64,
+    /// Internal nodes not connected to any external node (X, Y or Z): their
+    /// charge cannot flow anywhere and is remembered into the next cycle.
+    pub floating: Vec<NodeId>,
+    /// Internal nodes not connected to an output node (X or Y) — the paper's
+    /// criterion for a network that is *not* fully connected.
+    pub unconnected_to_outputs: Vec<NodeId>,
+    /// Internal nodes that discharge in this event (connected to X, Y or Z).
+    pub discharged: Vec<NodeId>,
+}
+
+/// Aggregated connectivity analysis over all complementary input events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectivityReport {
+    events: Vec<ConnectivityEvent>,
+    internal_node_count: usize,
+}
+
+impl ConnectivityReport {
+    /// Per-event connectivity details.
+    pub fn events(&self) -> &[ConnectivityEvent] {
+        &self.events
+    }
+
+    /// Number of internal nodes of the analysed network.
+    pub fn internal_node_count(&self) -> usize {
+        self.internal_node_count
+    }
+
+    /// `true` when every internal node is connected to X or Y in every
+    /// event — the paper's definition of a fully connected DPDN.
+    pub fn is_fully_connected(&self) -> bool {
+        self.events.iter().all(|e| e.unconnected_to_outputs.is_empty())
+    }
+
+    /// `true` when some event leaves an internal node floating.
+    pub fn has_floating_nodes(&self) -> bool {
+        self.events.iter().any(|e| !e.floating.is_empty())
+    }
+
+    /// `true` when the set of discharged internal nodes is the same for all
+    /// events — the condition for a constant internal contribution to the
+    /// load capacitance.
+    pub fn discharge_set_is_constant(&self) -> bool {
+        let Some(first) = self.events.first() else {
+            return true;
+        };
+        self.events.iter().all(|e| e.discharged == first.discharged)
+    }
+
+    /// The event with the largest number of problematic nodes, if any event
+    /// has one.
+    pub fn worst_event(&self) -> Option<&ConnectivityEvent> {
+        self.events
+            .iter()
+            .filter(|e| !e.unconnected_to_outputs.is_empty() || !e.floating.is_empty())
+            .max_by_key(|e| e.unconnected_to_outputs.len() + e.floating.len())
+    }
+}
+
+/// Functional comparison of the two branches against the intended function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalReport {
+    /// `true` when the X–Z conduction function equals `f`.
+    pub true_branch_matches: bool,
+    /// `true` when the Y–Z conduction function equals `!f`.
+    pub false_branch_matches: bool,
+    /// `true` when exactly one branch conducts for every input — required
+    /// for the gate outputs to stay differential.
+    pub exactly_one_branch_conducts: bool,
+    /// The conduction function of the X–Z branch.
+    pub true_conduction: TruthTable,
+    /// The conduction function of the Y–Z branch.
+    pub false_conduction: TruthTable,
+}
+
+impl FunctionalReport {
+    /// `true` when both branches implement the intended functions and the
+    /// conduction is differential.
+    pub fn is_correct(&self) -> bool {
+        self.true_branch_matches && self.false_branch_matches && self.exactly_one_branch_conducts
+    }
+}
+
+/// Which output node discharges through the pull-down network in an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConductingBranch {
+    /// The X–Z branch conducts (the gate evaluates `f = 1`).
+    TrueBranch,
+    /// The Y–Z branch conducts (the gate evaluates `f = 0`).
+    FalseBranch,
+}
+
+/// Evaluation depth of the conducting discharge path for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthEvent {
+    /// The bit-packed input assignment.
+    pub assignment: u64,
+    /// Which branch conducts.
+    pub branch: ConductingBranch,
+    /// Transistors in series on the shortest conducting discharge path.
+    pub depth: usize,
+}
+
+/// Evaluation-depth analysis over all complementary input events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthReport {
+    events: Vec<DepthEvent>,
+}
+
+impl DepthReport {
+    /// Per-event depth details.
+    pub fn events(&self) -> &[DepthEvent] {
+        &self.events
+    }
+
+    /// The smallest evaluation depth over all events.
+    pub fn min_depth(&self) -> usize {
+        self.events.iter().map(|e| e.depth).min().unwrap_or(0)
+    }
+
+    /// The largest evaluation depth over all events.
+    pub fn max_depth(&self) -> usize {
+        self.events.iter().map(|e| e.depth).max().unwrap_or(0)
+    }
+
+    /// `true` when the evaluation depth is the same for every event — the
+    /// property the §5 enhancement establishes.
+    pub fn is_constant(&self) -> bool {
+        self.min_depth() == self.max_depth()
+    }
+}
+
+/// A partial-arrival state that makes the network conduct before all inputs
+/// are complementary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyPropagationEvent {
+    /// Bit mask of the inputs that have already become complementary.
+    pub arrived_mask: u64,
+    /// Values of the arrived inputs (only bits inside `arrived_mask` are
+    /// meaningful).
+    pub values: u64,
+    /// Which branch conducts prematurely.
+    pub branch: ConductingBranch,
+}
+
+/// Early-propagation analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EarlyPropagationReport {
+    /// `true` when the analysis was performed (small enough input count).
+    pub analysed: bool,
+    /// Partial-arrival states that already conduct.
+    pub events: Vec<EarlyPropagationEvent>,
+}
+
+impl EarlyPropagationReport {
+    /// `true` when some partial input arrival already creates a discharge
+    /// path — i.e. the gate can evaluate early.
+    pub fn has_early_propagation(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+/// The combined result of all verification passes.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Connectivity / memory-effect analysis.
+    pub connectivity: ConnectivityReport,
+    /// Functional-correctness analysis.
+    pub functional: FunctionalReport,
+    /// Evaluation-depth analysis.
+    pub depth: DepthReport,
+    /// Early-propagation analysis.
+    pub early_propagation: EarlyPropagationReport,
+}
+
+impl VerificationReport {
+    /// `true` when the network is fully connected in the paper's sense.
+    pub fn is_fully_connected(&self) -> bool {
+        self.connectivity.is_fully_connected()
+    }
+
+    /// `true` when both branches implement the intended function.
+    pub fn is_functionally_correct(&self) -> bool {
+        self.functional.is_correct()
+    }
+
+    /// `true` when the evaluation depth is input independent.
+    pub fn has_constant_depth(&self) -> bool {
+        self.depth.is_constant()
+    }
+
+    /// `true` when no partial input arrival can trigger evaluation.
+    pub fn is_free_of_early_propagation(&self) -> bool {
+        !self.early_propagation.has_early_propagation()
+    }
+
+    /// A one-paragraph human readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "fully connected: {}; functionally correct: {}; floating nodes: {}; \
+             constant discharge set: {}; depth: {}..{} (constant: {}); early propagation: {}",
+            self.is_fully_connected(),
+            self.is_functionally_correct(),
+            self.connectivity.has_floating_nodes(),
+            self.connectivity.discharge_set_is_constant(),
+            self.depth.min_depth(),
+            self.depth.max_depth(),
+            self.has_constant_depth(),
+            if self.early_propagation.analysed {
+                if self.early_propagation.has_early_propagation() {
+                    "possible"
+                } else {
+                    "eliminated"
+                }
+            } else {
+                "not analysed"
+            }
+        )
+    }
+}
+
+/// Runs every verification pass on `dpdn`.
+///
+/// # Errors
+///
+/// Returns [`crate::DpdnError::TooManyInputs`] when the gate has more inputs
+/// than can be enumerated exhaustively.
+pub fn verify(dpdn: &Dpdn) -> Result<VerificationReport> {
+    Ok(VerificationReport {
+        connectivity: connectivity_report(dpdn)?,
+        functional: functional_report(dpdn)?,
+        depth: depth_report(dpdn)?,
+        early_propagation: early_propagation_report(dpdn)?,
+    })
+}
+
+/// Computes the connectivity report of a network.
+///
+/// # Errors
+///
+/// Returns [`crate::DpdnError::TooManyInputs`] for very wide gates.
+pub fn connectivity_report(dpdn: &Dpdn) -> Result<ConnectivityReport> {
+    dpdn.check_enumerable()?;
+    let n = dpdn.input_count();
+    let internal = dpdn.internal_nodes();
+    let mut events = Vec::with_capacity(1 << n);
+    for assignment in 0..(1u64 << n) {
+        let mut uf = dpdn.network().connectivity(assignment);
+        let x_root = uf.find(dpdn.x().index());
+        let y_root = uf.find(dpdn.y().index());
+        let z_root = uf.find(dpdn.z().index());
+        let mut floating = Vec::new();
+        let mut unconnected = Vec::new();
+        let mut discharged = Vec::new();
+        for &node in &internal {
+            let root = uf.find(node.index());
+            let to_output = root == x_root || root == y_root;
+            let to_any = to_output || root == z_root;
+            if !to_any {
+                floating.push(node);
+            }
+            if !to_output {
+                unconnected.push(node);
+            }
+            if to_any {
+                discharged.push(node);
+            }
+        }
+        events.push(ConnectivityEvent {
+            assignment,
+            floating,
+            unconnected_to_outputs: unconnected,
+            discharged,
+        });
+    }
+    Ok(ConnectivityReport {
+        events,
+        internal_node_count: internal.len(),
+    })
+}
+
+/// Computes the functional report of a network against its declared function.
+///
+/// # Errors
+///
+/// Returns [`crate::DpdnError::TooManyInputs`] for very wide gates.
+pub fn functional_report(dpdn: &Dpdn) -> Result<FunctionalReport> {
+    let n = dpdn.input_count();
+    let expected = TruthTable::from_expr(dpdn.function(), n);
+    let true_conduction = dpdn.true_conduction()?;
+    let false_conduction = dpdn.false_conduction()?;
+    let exactly_one = (0..(1usize << n))
+        .all(|row| true_conduction.value(row) != false_conduction.value(row));
+    Ok(FunctionalReport {
+        true_branch_matches: true_conduction == expected,
+        false_branch_matches: false_conduction == expected.complement(),
+        exactly_one_branch_conducts: exactly_one,
+        true_conduction,
+        false_conduction,
+    })
+}
+
+/// Computes the evaluation-depth report of a network.
+///
+/// # Errors
+///
+/// Returns [`crate::DpdnError::TooManyInputs`] for very wide gates.
+pub fn depth_report(dpdn: &Dpdn) -> Result<DepthReport> {
+    dpdn.check_enumerable()?;
+    let n = dpdn.input_count();
+    let mut events = Vec::with_capacity(1 << n);
+    for assignment in 0..(1u64 << n) {
+        // Breadth-first search over the conducting switches gives the
+        // shortest discharge path (in transistors) for this event.
+        let x_depth = conducting_distance(dpdn, dpdn.x(), assignment);
+        let y_depth = conducting_distance(dpdn, dpdn.y(), assignment);
+        let (branch, depth) = match (x_depth, y_depth) {
+            (Some(d), None) => (ConductingBranch::TrueBranch, d),
+            (None, Some(d)) => (ConductingBranch::FalseBranch, d),
+            (Some(dx), Some(dy)) => {
+                // Non-differential conduction; report the shorter path so the
+                // functional report (which flags this) stays the authority.
+                if dx <= dy {
+                    (ConductingBranch::TrueBranch, dx)
+                } else {
+                    (ConductingBranch::FalseBranch, dy)
+                }
+            }
+            (None, None) => continue,
+        };
+        events.push(DepthEvent {
+            assignment,
+            branch,
+            depth,
+        });
+    }
+    Ok(DepthReport { events })
+}
+
+/// Shortest number of conducting switches between `from` and the common node
+/// Z under `assignment`, or `None` when they are not connected.
+fn conducting_distance(dpdn: &Dpdn, from: NodeId, assignment: u64) -> Option<usize> {
+    let net = dpdn.network();
+    let target = dpdn.z();
+    let mut dist: Vec<Option<usize>> = vec![None; net.node_count()];
+    dist[from.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        let d = dist[node.index()].expect("queued nodes have a distance");
+        if node == target {
+            return Some(d);
+        }
+        for id in net.switches_at(node) {
+            let sw = net.switch(id).expect("switches_at returns valid ids");
+            if !sw.conducts(assignment) {
+                continue;
+            }
+            let Some(next) = sw.other(node) else { continue };
+            if dist[next.index()].is_none() {
+                dist[next.index()] = Some(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Computes the early-propagation report of a network.
+///
+/// Inputs that have not yet "arrived" have both rails at 0 (the precharge
+/// value), so neither their true-literal nor their false-literal devices
+/// conduct, and inserted pass gates for those inputs are open.
+///
+/// # Errors
+///
+/// Returns [`crate::DpdnError::TooManyInputs`] for very wide gates.
+pub fn early_propagation_report(dpdn: &Dpdn) -> Result<EarlyPropagationReport> {
+    dpdn.check_enumerable()?;
+    let n = dpdn.input_count();
+    if n > MAX_EARLY_PROPAGATION_INPUTS {
+        return Ok(EarlyPropagationReport {
+            analysed: false,
+            events: Vec::new(),
+        });
+    }
+    let net = dpdn.network();
+    let node_count = net.node_count();
+    let mut events = Vec::new();
+    let full_mask = (1u64 << n) - 1;
+    for arrived_mask in 0..(1u64 << n) {
+        if arrived_mask == full_mask {
+            continue; // all inputs arrived: normal evaluation, not "early".
+        }
+        // Iterate over the values of the arrived inputs only.
+        let mut value_bits: Vec<u64> = Vec::new();
+        for bit in 0..n as u64 {
+            if (arrived_mask >> bit) & 1 == 1 {
+                value_bits.push(bit);
+            }
+        }
+        for combo in 0..(1u64 << value_bits.len()) {
+            let mut values = 0u64;
+            for (i, bit) in value_bits.iter().enumerate() {
+                if (combo >> i) & 1 == 1 {
+                    values |= 1 << bit;
+                }
+            }
+            let mut uf = UnionFind::new(node_count);
+            for (_, sw) in net.switches() {
+                let var_bit = sw.gate.var().index() as u64;
+                let arrived = (arrived_mask >> var_bit) & 1 == 1;
+                if arrived && sw.gate.eval_bits(values) {
+                    uf.union(sw.a.index(), sw.b.index());
+                }
+            }
+            let x_conducts = uf.connected(dpdn.x().index(), dpdn.z().index());
+            let y_conducts = uf.connected(dpdn.y().index(), dpdn.z().index());
+            if x_conducts {
+                events.push(EarlyPropagationEvent {
+                    arrived_mask,
+                    values,
+                    branch: ConductingBranch::TrueBranch,
+                });
+            }
+            if y_conducts {
+                events.push(EarlyPropagationEvent {
+                    arrived_mask,
+                    values,
+                    branch: ConductingBranch::FalseBranch,
+                });
+            }
+        }
+    }
+    Ok(EarlyPropagationReport {
+        analysed: true,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::parse_expr;
+
+    #[test]
+    fn genuine_and_nand_is_not_fully_connected() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::genuine(&f, &ns).unwrap();
+        let report = verify(&gate).unwrap();
+        assert!(!report.is_fully_connected());
+        assert!(report.is_functionally_correct());
+        // The memory effect of Fig. 2 (left): with A=0, B=0 node W floats.
+        assert!(report.connectivity.has_floating_nodes());
+        let floating_event = report
+            .connectivity
+            .events()
+            .iter()
+            .find(|e| !e.floating.is_empty())
+            .unwrap();
+        assert_eq!(floating_event.assignment, 0b00);
+        assert!(!report.connectivity.discharge_set_is_constant());
+        assert!(report.connectivity.worst_event().is_some());
+    }
+
+    #[test]
+    fn fully_connected_and_nand_passes_all_structural_checks() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let report = verify(&gate).unwrap();
+        assert!(report.is_fully_connected());
+        assert!(report.is_functionally_correct());
+        assert!(!report.connectivity.has_floating_nodes());
+        assert!(report.connectivity.discharge_set_is_constant());
+        // The plain fully connected network still has data-dependent depth
+        // (1 for the !B shortcut, 2 through the series stack) …
+        assert!(!report.has_constant_depth());
+        assert_eq!(report.depth.min_depth(), 1);
+        assert_eq!(report.depth.max_depth(), 2);
+        // … and still evaluates early when only B has arrived.
+        assert!(!report.is_free_of_early_propagation());
+        let summary = report.summary();
+        assert!(summary.contains("fully connected: true"));
+    }
+
+    #[test]
+    fn fully_connected_oai22_is_fully_connected() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let genuine = Dpdn::genuine(&f, &ns).unwrap();
+        let fc = Dpdn::fully_connected(&f, &ns).unwrap();
+        assert!(!verify(&genuine).unwrap().is_fully_connected());
+        let report = verify(&fc).unwrap();
+        assert!(report.is_fully_connected());
+        assert!(report.is_functionally_correct());
+    }
+
+    #[test]
+    fn depth_report_identifies_branches() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::fully_connected(&f, &ns).unwrap();
+        let depth = depth_report(&gate).unwrap();
+        assert_eq!(depth.events().len(), 4);
+        for event in depth.events() {
+            let expected_branch = if f.eval_bits(event.assignment) {
+                ConductingBranch::TrueBranch
+            } else {
+                ConductingBranch::FalseBranch
+            };
+            assert_eq!(event.branch, expected_branch);
+        }
+    }
+
+    #[test]
+    fn functional_report_detects_broken_networks() {
+        use dpl_logic::Namespace;
+        use dpl_netlist::{NodeRole, SwitchNetwork};
+        // A "differential" network whose false branch is wrong (also A.B).
+        let ns = Namespace::with_names(["A", "B"]);
+        let a = ns.get("A").unwrap();
+        let b = ns.get("B").unwrap();
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let y = net.add_node("Y", NodeRole::Terminal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        let w1 = net.add_node("W1", NodeRole::Internal);
+        let w2 = net.add_node("W2", NodeRole::Internal);
+        net.add_switch(a.positive(), x, w1);
+        net.add_switch(b.positive(), w1, z);
+        net.add_switch(a.positive(), y, w2);
+        net.add_switch(b.positive(), w2, z);
+        let (f, _) = parse_expr("A.B").unwrap();
+        let gate = crate::Dpdn::from_parts(
+            net,
+            x,
+            y,
+            z,
+            f,
+            ns,
+            crate::DpdnStyle::Genuine,
+        )
+        .unwrap();
+        let report = functional_report(&gate).unwrap();
+        assert!(report.true_branch_matches);
+        assert!(!report.false_branch_matches);
+        assert!(!report.exactly_one_branch_conducts);
+        assert!(!report.is_correct());
+    }
+
+    #[test]
+    fn early_propagation_of_series_only_network() {
+        // A 2-input AND genuine network: the parallel !A/!B branch conducts
+        // as soon as either complemented input arrives at 1.
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let gate = Dpdn::genuine(&f, &ns).unwrap();
+        let report = early_propagation_report(&gate).unwrap();
+        assert!(report.analysed);
+        assert!(report.has_early_propagation());
+        // Premature conduction always happens through the false branch here.
+        assert!(report
+            .events
+            .iter()
+            .all(|e| e.branch == ConductingBranch::FalseBranch));
+    }
+}

@@ -1,0 +1,332 @@
+//! Per-gate leakage simulation.
+//!
+//! Every gate evaluation of the netlist costs the energy its SABL (or
+//! reference) implementation would draw for that input combination.  For
+//! gates built on genuine DPDNs the energy depends on the inputs (the memory
+//! effect); for fully connected DPDNs it is constant — which is exactly why
+//! DPA succeeds against the former and fails against the latter.
+
+use std::collections::HashMap;
+
+use dpl_cells::{CapacitanceModel, DischargeProfile};
+use dpl_core::Dpdn;
+use dpl_logic::parse_expr;
+use dpl_power::{Trace, TraceSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::netlist::{GateNetlist, GateOp};
+use crate::Result;
+
+/// Which implementation style the leakage simulation assumes for every gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakageModel {
+    /// SABL gates built on genuine DPDNs: internal capacitance discharge
+    /// depends on the input data (the insecure baseline of the paper).
+    GenuineSabl,
+    /// SABL gates built on fully connected DPDNs (§4): constant energy.
+    FullyConnectedSabl,
+    /// SABL gates built on enhanced fully connected DPDNs (§5).
+    EnhancedSabl,
+    /// A static-CMOS style Hamming-weight model: every gate whose output is
+    /// `1` charges its output capacitance.  The classic DPA leakage model.
+    HammingWeight,
+}
+
+impl LeakageModel {
+    /// All supported models.
+    pub fn all() -> &'static [LeakageModel] {
+        &[
+            LeakageModel::GenuineSabl,
+            LeakageModel::FullyConnectedSabl,
+            LeakageModel::EnhancedSabl,
+            LeakageModel::HammingWeight,
+        ]
+    }
+
+    /// A short human readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LeakageModel::GenuineSabl => "SABL (genuine DPDN)",
+            LeakageModel::FullyConnectedSabl => "SABL (fully connected DPDN)",
+            LeakageModel::EnhancedSabl => "SABL (enhanced DPDN)",
+            LeakageModel::HammingWeight => "static CMOS (Hamming weight)",
+        }
+    }
+}
+
+/// The per-gate-type, per-input-event energy lookup table.
+#[derive(Debug, Clone)]
+pub struct GateEnergyTable {
+    energies: HashMap<GateOp, Vec<f64>>,
+    model: LeakageModel,
+    output_energy: f64,
+}
+
+impl GateEnergyTable {
+    /// Builds the table for a leakage model under a capacitance model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying cell analysis fails.
+    pub fn build(model: LeakageModel, capacitance: &CapacitanceModel) -> Result<Self> {
+        let mut energies = HashMap::new();
+        for &op in GateOp::all() {
+            let formula = match op {
+                GateOp::Not => "A",
+                GateOp::And2 => "A.B",
+                GateOp::Or2 => "A+B",
+                GateOp::Xor2 => "A^B",
+            };
+            let (expr, ns) = parse_expr(formula).expect("gate formulas are well formed");
+            let per_event: Vec<f64> = match model {
+                LeakageModel::HammingWeight => {
+                    // Energy = C_out * Vdd^2 when the output is 1, else 0.
+                    let e1 = capacitance.energy(capacitance.gate_output_load);
+                    (0..(1u64 << ns.len()))
+                        .map(|assignment| if expr.eval_bits(assignment) { e1 } else { 0.0 })
+                        .collect()
+                }
+                LeakageModel::GenuineSabl
+                | LeakageModel::FullyConnectedSabl
+                | LeakageModel::EnhancedSabl => {
+                    let dpdn = match model {
+                        LeakageModel::GenuineSabl => Dpdn::genuine(&expr, &ns),
+                        LeakageModel::FullyConnectedSabl => Dpdn::fully_connected(&expr, &ns),
+                        LeakageModel::EnhancedSabl => Dpdn::fully_connected_enhanced(&expr, &ns),
+                        LeakageModel::HammingWeight => unreachable!("handled above"),
+                    }
+                    .map_err(dpl_cells::CellError::from)?;
+                    let profile = DischargeProfile::analyze(&dpdn, capacitance)?;
+                    profile.energies()
+                }
+            };
+            energies.insert(op, per_event);
+        }
+        Ok(GateEnergyTable {
+            energies,
+            model,
+            output_energy: capacitance.energy(capacitance.gate_output_load),
+        })
+    }
+
+    /// The leakage model this table was built for.
+    pub fn model(&self) -> LeakageModel {
+        self.model
+    }
+
+    /// Energy of one evaluation of `op` with the given bit-packed gate input
+    /// assignment.
+    pub fn energy(&self, op: GateOp, assignment: u64) -> f64 {
+        let table = &self.energies[&op];
+        table[(assignment as usize) % table.len()]
+    }
+
+    /// The per-gate energy spread (max - min) across input events, useful to
+    /// sanity check how leaky a single gate is.
+    pub fn gate_energy_spread(&self, op: GateOp) -> f64 {
+        let table = &self.energies[&op];
+        let max = table.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = table.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// The modelled output-load charging energy (used by the Hamming-weight
+    /// reference).
+    pub fn output_energy(&self) -> f64 {
+        self.output_energy
+    }
+}
+
+/// Options for trace generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageOptions {
+    /// Standard deviation of the Gaussian measurement noise, as a fraction
+    /// of the mean trace energy (0.0 = noise free).
+    pub relative_noise: f64,
+    /// Seed of the noise and plaintext generator.
+    pub seed: u64,
+}
+
+impl Default for LeakageOptions {
+    fn default() -> Self {
+        LeakageOptions {
+            relative_noise: 0.01,
+            seed: 1,
+        }
+    }
+}
+
+/// Simulates `num_traces` power measurements of the netlist with a fixed
+/// 4-bit `key` and random plaintexts, under the given leakage model.
+///
+/// Each trace has a single sample: the total energy of evaluating the whole
+/// netlist for that plaintext (plus optional Gaussian noise).  The plaintext
+/// of each trace is recorded in the returned [`TraceSet`].
+///
+/// # Errors
+///
+/// Returns an error if the gate energy table cannot be built.
+pub fn simulate_traces(
+    netlist: &GateNetlist,
+    model: LeakageModel,
+    capacitance: &CapacitanceModel,
+    key: u8,
+    num_traces: usize,
+    options: &LeakageOptions,
+) -> Result<TraceSet> {
+    let table = GateEnergyTable::build(model, capacitance)?;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut set = TraceSet::new();
+
+    // Pre-compute the noise scale from the noise-free mean energy.
+    let mut mean_energy = 0.0;
+    for plaintext in 0..16u64 {
+        mean_energy += total_energy(netlist, &table, plaintext, key);
+    }
+    mean_energy /= 16.0;
+    let noise_sigma = options.relative_noise * mean_energy;
+
+    for _ in 0..num_traces {
+        let plaintext = rng.gen_range(0..16u64);
+        let mut energy = total_energy(netlist, &table, plaintext, key);
+        if noise_sigma > 0.0 {
+            // Box-Muller transform for Gaussian noise.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            energy += gaussian * noise_sigma;
+        }
+        set.push(plaintext, Trace::scalar(energy));
+    }
+    Ok(set)
+}
+
+/// Noise-free predicted energy of one evaluation of the netlist with the
+/// given plaintext and key hypothesis — the hypothesis function of a
+/// profiled CPA attacker who knows the gate-level energy table.
+pub fn predicted_energy(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    plaintext: u64,
+    key: u8,
+) -> f64 {
+    total_energy(netlist, table, plaintext, key)
+}
+
+fn total_energy(netlist: &GateNetlist, table: &GateEnergyTable, plaintext: u64, key: u8) -> f64 {
+    let input = (plaintext & 0xF) | ((key as u64 & 0xF) << 4);
+    netlist
+        .gate_assignments(input)
+        .iter()
+        .zip(netlist.gates())
+        .map(|(&assignment, gate)| table.energy(gate.op, assignment))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize_sbox_with_key;
+    use crate::present::present_sbox;
+    use dpl_power::{cpa_attack, dpa_attack};
+
+    fn capacitance() -> CapacitanceModel {
+        CapacitanceModel::default()
+    }
+
+    #[test]
+    fn energy_tables_reflect_the_styles() {
+        let cap = capacitance();
+        let genuine = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).unwrap();
+        let fc = GateEnergyTable::build(LeakageModel::FullyConnectedSabl, &cap).unwrap();
+        let hw = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
+        // A genuine AND2 leaks (its energy varies with the inputs), a fully
+        // connected AND2 does not.
+        assert!(genuine.gate_energy_spread(GateOp::And2) > 0.0);
+        assert!(fc.gate_energy_spread(GateOp::And2).abs() < 1e-24);
+        assert!(hw.gate_energy_spread(GateOp::And2) > 0.0);
+        assert_eq!(fc.model(), LeakageModel::FullyConnectedSabl);
+        assert!(hw.output_energy() > 0.0);
+        assert_eq!(LeakageModel::all().len(), 4);
+        assert!(LeakageModel::GenuineSabl.label().contains("genuine"));
+    }
+
+    #[test]
+    fn fully_connected_traces_are_constant_without_noise() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let options = LeakageOptions {
+            relative_noise: 0.0,
+            seed: 7,
+        };
+        let traces = simulate_traces(
+            &netlist,
+            LeakageModel::FullyConnectedSabl,
+            &capacitance(),
+            0xA,
+            64,
+            &options,
+        )
+        .unwrap();
+        let first = traces.traces()[0].samples()[0];
+        assert!(traces
+            .traces()
+            .iter()
+            .all(|t| (t.samples()[0] - first).abs() < 1e-20));
+    }
+
+    #[test]
+    fn dpa_recovers_key_from_hamming_weight_leakage_but_not_from_fc() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let key = 0x9u8;
+        let options = LeakageOptions {
+            relative_noise: 0.0,
+            seed: 42,
+        };
+
+        let selection = |plaintext: u64, guess: u64| {
+            present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
+        };
+
+        let leaky = simulate_traces(&netlist, LeakageModel::HammingWeight, &cap, key, 512, &options)
+            .unwrap();
+        let result = dpa_attack(&leaky, 16, selection).unwrap();
+        assert_eq!(result.best_guess, key as u64, "DPA should recover the key");
+
+        let secure = simulate_traces(
+            &netlist,
+            LeakageModel::FullyConnectedSabl,
+            &cap,
+            key,
+            512,
+            &options,
+        )
+        .unwrap();
+        let result = dpa_attack(&secure, 16, selection).unwrap();
+        // With perfectly constant traces every guess scores zero.
+        assert!(result.scores.iter().all(|&s| s < 1e-20));
+    }
+
+    #[test]
+    fn cpa_recovers_key_from_genuine_sabl_leakage() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let key = 0x4u8;
+        let options = LeakageOptions {
+            relative_noise: 0.0,
+            seed: 3,
+        };
+        let traces =
+            simulate_traces(&netlist, LeakageModel::GenuineSabl, &cap, key, 1024, &options).unwrap();
+        // Profiled CPA: the attacker models the device accurately (same gate
+        // energy table) and tries every key hypothesis.
+        let table = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).unwrap();
+        let result = cpa_attack(&traces, 16, |plaintext, guess| {
+            total_energy(&netlist, &table, plaintext, guess as u8)
+        })
+        .unwrap();
+        assert_eq!(result.best_guess, key as u64);
+        assert!(result.scores[key as usize] > 0.999);
+    }
+}

@@ -1,0 +1,260 @@
+use std::fmt;
+
+use crate::{CryptoError, Result};
+
+/// Identifier of a signal (wire) inside a [`GateNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The dense index of the signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The operation performed by a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// One-input inverter.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input XOR.
+    Xor2,
+}
+
+impl GateOp {
+    /// Number of inputs of the gate.
+    pub fn arity(self) -> usize {
+        match self {
+            GateOp::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the gate.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateOp::Not => !a,
+            GateOp::And2 => a && b,
+            GateOp::Or2 => a || b,
+            GateOp::Xor2 => a ^ b,
+        }
+    }
+
+    /// Every supported gate operation.
+    pub fn all() -> &'static [GateOp] {
+        &[GateOp::Not, GateOp::And2, GateOp::Or2, GateOp::Xor2]
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateOp::Not => "NOT",
+            GateOp::And2 => "AND2",
+            GateOp::Or2 => "OR2",
+            GateOp::Xor2 => "XOR2",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One gate instance of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// The operation.
+    pub op: GateOp,
+    /// First input signal.
+    pub a: SignalId,
+    /// Second input signal (ignored for one-input gates).
+    pub b: SignalId,
+    /// Output signal.
+    pub out: SignalId,
+}
+
+/// A combinational gate-level netlist in topological order.
+///
+/// Signals `0..input_count` are the primary inputs; every gate writes a new
+/// signal, and `outputs` lists the signals that form the result word.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateNetlist {
+    input_count: usize,
+    signal_count: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<SignalId>,
+}
+
+impl GateNetlist {
+    /// Creates a netlist with `input_count` primary inputs.
+    pub fn new(input_count: usize) -> Self {
+        GateNetlist {
+            input_count,
+            signal_count: input_count,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The primary input signals.
+    pub fn inputs(&self) -> Vec<SignalId> {
+        (0..self.input_count as u32).map(SignalId).collect()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The output signals.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// Number of gates of a particular operation.
+    pub fn count_of(&self, op: GateOp) -> usize {
+        self.gates.iter().filter(|g| g.op == op).count()
+    }
+
+    /// Adds a gate and returns its output signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input signal has not been defined yet.
+    pub fn add_gate(&mut self, op: GateOp, a: SignalId, b: SignalId) -> Result<SignalId> {
+        for s in [a, b] {
+            if s.index() >= self.signal_count {
+                return Err(CryptoError::MalformedNetlist {
+                    message: format!("gate input {s} is not defined yet"),
+                });
+            }
+        }
+        let out = SignalId(self.signal_count as u32);
+        self.signal_count += 1;
+        self.gates.push(Gate { op, a, b, out });
+        Ok(out)
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn add_output(&mut self, signal: SignalId) {
+        self.outputs.push(signal);
+    }
+
+    /// Evaluates the netlist on a bit-packed input word (bit `i` is primary
+    /// input `i`); returns the packed output word and the value of every
+    /// signal (used by the leakage simulator).
+    pub fn evaluate(&self, input: u64) -> (u64, Vec<bool>) {
+        let mut values = vec![false; self.signal_count];
+        for (i, v) in values.iter_mut().enumerate().take(self.input_count) {
+            *v = (input >> i) & 1 == 1;
+        }
+        for gate in &self.gates {
+            let a = values[gate.a.index()];
+            let b = values[gate.b.index()];
+            values[gate.out.index()] = gate.op.eval(a, b);
+        }
+        let mut output = 0u64;
+        for (i, &s) in self.outputs.iter().enumerate() {
+            if values[s.index()] {
+                output |= 1 << i;
+            }
+        }
+        (output, values)
+    }
+
+    /// The bit-packed input assignment seen by every gate for the given
+    /// primary input (bit 0 = gate input `a`, bit 1 = gate input `b`).
+    pub fn gate_assignments(&self, input: u64) -> Vec<u64> {
+        let (_, values) = self.evaluate(input);
+        self.gates
+            .iter()
+            .map(|g| {
+                let mut word = 0u64;
+                if values[g.a.index()] {
+                    word |= 1;
+                }
+                if g.op.arity() == 2 && values[g.b.index()] {
+                    word |= 2;
+                }
+                word
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder_sum() -> GateNetlist {
+        // sum = a ^ b ^ cin built from two XOR gates.
+        let mut nl = GateNetlist::new(3);
+        let inputs = nl.inputs();
+        let t = nl.add_gate(GateOp::Xor2, inputs[0], inputs[1]).unwrap();
+        let s = nl.add_gate(GateOp::Xor2, t, inputs[2]).unwrap();
+        nl.add_output(s);
+        nl
+    }
+
+    #[test]
+    fn evaluation_matches_reference() {
+        let nl = full_adder_sum();
+        for input in 0..8u64 {
+            let (out, values) = nl.evaluate(input);
+            let expected = (input.count_ones() % 2) as u64;
+            assert_eq!(out, expected, "input {input:03b}");
+            assert_eq!(values.len(), 5);
+        }
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.count_of(GateOp::Xor2), 2);
+        assert_eq!(nl.count_of(GateOp::And2), 0);
+        assert_eq!(nl.input_count(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn gate_assignments_reflect_signal_values() {
+        let nl = full_adder_sum();
+        let assignments = nl.gate_assignments(0b011);
+        // First XOR sees a=1, b=1; second XOR sees a=(1^1)=0, b=0.
+        assert_eq!(assignments, vec![0b11, 0b00]);
+    }
+
+    #[test]
+    fn undefined_signals_are_rejected() {
+        let mut nl = GateNetlist::new(1);
+        let bogus = SignalId(5);
+        assert!(nl.add_gate(GateOp::Not, bogus, bogus).is_err());
+    }
+
+    #[test]
+    fn gate_op_helpers() {
+        assert_eq!(GateOp::Not.arity(), 1);
+        assert_eq!(GateOp::And2.arity(), 2);
+        assert!(GateOp::Xor2.eval(true, false));
+        assert!(!GateOp::And2.eval(true, false));
+        assert!(GateOp::Or2.eval(true, false));
+        assert!(GateOp::Not.eval(false, false));
+        assert_eq!(GateOp::all().len(), 4);
+        assert_eq!(GateOp::And2.to_string(), "AND2");
+    }
+}

@@ -1,0 +1,79 @@
+//! The PRESENT block cipher's 4-bit S-box, used as the attack target of the
+//! DPA experiment.  PRESENT is the standard lightweight cipher for
+//! smart-card style evaluations; any 4-bit S-box would do, the experiment
+//! only needs a non-linear key-dependent function.
+
+/// The PRESENT S-box lookup table.
+pub const PRESENT_SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+/// Applies the PRESENT S-box to the low nibble of `x`.
+pub fn present_sbox(x: u8) -> u8 {
+    PRESENT_SBOX[(x & 0xF) as usize]
+}
+
+/// Applies the inverse PRESENT S-box to the low nibble of `x`.
+pub fn present_sbox_inverse(x: u8) -> u8 {
+    let x = x & 0xF;
+    PRESENT_SBOX
+        .iter()
+        .position(|&v| v == x)
+        .expect("S-box is a permutation of 0..16") as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 16];
+        for x in 0..16u8 {
+            let y = present_sbox(x);
+            assert!(y < 16);
+            assert!(!seen[y as usize], "duplicate output {y}");
+            seen[y as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inverse_undoes_the_sbox() {
+        for x in 0..16u8 {
+            assert_eq!(present_sbox_inverse(present_sbox(x)), x);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(present_sbox(0x0), 0xC);
+        assert_eq!(present_sbox(0xF), 0x2);
+        assert_eq!(present_sbox(0x5), 0x0);
+    }
+
+    #[test]
+    fn high_bits_are_ignored() {
+        assert_eq!(present_sbox(0x10), present_sbox(0x0));
+        assert_eq!(present_sbox_inverse(0xFC), present_sbox_inverse(0xC));
+    }
+
+    #[test]
+    fn sbox_is_nonlinear_in_every_output_bit() {
+        // No output bit is an affine function of the input bits — a sanity
+        // property that makes the DPA selection function meaningful.
+        for bit in 0..4 {
+            let f = |x: u8| (present_sbox(x) >> bit) & 1;
+            let mut affine = true;
+            let base = f(0);
+            for x in 0..16u8 {
+                for y in 0..16u8 {
+                    if f(x ^ y) != f(x) ^ f(y) ^ base {
+                        affine = false;
+                    }
+                }
+            }
+            assert!(!affine, "output bit {bit} is affine");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::truth::TruthTable;
+use crate::var::{Namespace, Var};
+
+/// A product term (cube) over a set of variables.
+///
+/// A cube stores, for every variable, whether it appears positively,
+/// negatively, or not at all (don't-care).  Bit `i` of `care` is set when
+/// variable `i` appears in the cube; bit `i` of `value` gives its polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    care: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// The cube covering the whole space (the constant `1` product).
+    pub fn full() -> Self {
+        Cube { care: 0, value: 0 }
+    }
+
+    /// Creates a cube from a minterm over `num_vars` variables.
+    pub fn from_minterm(minterm: u64, num_vars: usize) -> Self {
+        let care = if num_vars >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
+        Cube {
+            care,
+            value: minterm & care,
+        }
+    }
+
+    /// Creates a cube with explicit care/value masks.
+    pub fn from_masks(care: u64, value: u64) -> Self {
+        Cube {
+            care,
+            value: value & care,
+        }
+    }
+
+    /// The care mask (bit `i` set when variable `i` is constrained).
+    pub fn care(&self) -> u64 {
+        self.care
+    }
+
+    /// The polarity mask (only meaningful where [`Cube::care`] is set).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// `true` if the cube contains (covers) the given minterm.
+    pub fn covers(&self, minterm: u64) -> bool {
+        (minterm & self.care) == self.value
+    }
+
+    /// Attempts to merge two cubes that differ in exactly one literal
+    /// (the classic Quine–McCluskey combination step).
+    pub fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        let care = self.care & !diff;
+        Some(Cube {
+            care,
+            value: self.value & care,
+        })
+    }
+
+    /// Returns `true` if this cube covers every minterm of `other`.
+    pub fn contains(&self, other: &Cube) -> bool {
+        (self.care & other.care) == self.care && (other.value & self.care) == self.value
+    }
+
+    /// Converts the cube into an [`Expr`] product.
+    pub fn to_expr(self) -> Expr {
+        let mut factors = Vec::new();
+        for i in 0..64 {
+            if (self.care >> i) & 1 == 1 {
+                let var = Var::new(i);
+                if (self.value >> i) & 1 == 1 {
+                    factors.push(Expr::var(var));
+                } else {
+                    factors.push(Expr::not_var(var));
+                }
+            }
+        }
+        match factors.len() {
+            0 => Expr::Const(true),
+            1 => factors.pop().expect("length checked"),
+            _ => Expr::And(factors),
+        }
+    }
+
+    /// Renders the cube with signal names, e.g. `A.!B`.
+    pub fn display<'a>(&'a self, ns: &'a Namespace) -> CubeDisplay<'a> {
+        CubeDisplay { cube: self, ns }
+    }
+}
+
+/// Helper returned by [`Cube::display`].
+#[derive(Debug)]
+pub struct CubeDisplay<'a> {
+    cube: &'a Cube,
+    ns: &'a Namespace,
+}
+
+impl fmt::Display for CubeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cube.care == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (var, name) in self.ns.iter() {
+            let i = var.index();
+            if (self.cube.care >> i) & 1 == 1 {
+                if !first {
+                    write!(f, ".")?;
+                }
+                first = false;
+                if (self.cube.value >> i) & 1 == 1 {
+                    write!(f, "{name}")?;
+                } else {
+                    write!(f, "!{name}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover of a Boolean function.
+///
+/// The cover is produced by a small iterative-consensus minimiser: it is not
+/// guaranteed to be minimum, but it is irredundant enough for the naive gate
+/// synthesiser in `dpl-crypto` and for building genuine DPDNs from truth
+/// tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates an SOP from explicit cubes.
+    pub fn new(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        Sop { num_vars, cubes }
+    }
+
+    /// Extracts a sum-of-products cover from a truth table by merging
+    /// adjacent minterms until a fixed point, then removing cubes that are
+    /// contained in other cubes.
+    pub fn from_truth_table(tt: &TruthTable) -> Self {
+        let num_vars = tt.num_vars();
+        let mut current: Vec<Cube> = tt
+            .minterms()
+            .map(|m| Cube::from_minterm(m, num_vars))
+            .collect();
+
+        loop {
+            let mut merged = Vec::new();
+            let mut used = vec![false; current.len()];
+            let mut produced_any = false;
+            for i in 0..current.len() {
+                for j in (i + 1)..current.len() {
+                    if let Some(m) = current[i].merge(&current[j]) {
+                        used[i] = true;
+                        used[j] = true;
+                        produced_any = true;
+                        if !merged.contains(&m) {
+                            merged.push(m);
+                        }
+                    }
+                }
+            }
+            for (i, cube) in current.iter().enumerate() {
+                if !used[i] && !merged.contains(cube) {
+                    merged.push(*cube);
+                }
+            }
+            if !produced_any {
+                break;
+            }
+            current = merged;
+        }
+
+        // Drop cubes contained in other cubes.
+        let mut irredundant: Vec<Cube> = Vec::new();
+        for (i, cube) in current.iter().enumerate() {
+            let dominated = current
+                .iter()
+                .enumerate()
+                .any(|(j, other)| i != j && other.contains(cube) && !(cube.contains(other) && j > i));
+            if !dominated {
+                irredundant.push(*cube);
+            }
+        }
+
+        Sop {
+            num_vars,
+            cubes: irredundant,
+        }
+    }
+
+    /// Number of variables of the cover.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Total number of literals across all cubes.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval_bits(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers(minterm))
+    }
+
+    /// Converts the cover into an [`Expr`] in sum-of-products form.
+    pub fn to_expr(&self) -> Expr {
+        match self.cubes.len() {
+            0 => Expr::Const(false),
+            1 => self.cubes[0].to_expr(),
+            _ => Expr::Or(self.cubes.iter().map(|c| c.to_expr()).collect()),
+        }
+    }
+
+    /// Rebuilds the truth table of the cover.
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.num_vars, |row| self.eval_bits(row))
+            .expect("SOP arity never exceeds the truth-table limit")
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    #[test]
+    fn cube_covers_and_merges() {
+        let c0 = Cube::from_minterm(0b010, 3);
+        let c1 = Cube::from_minterm(0b011, 3);
+        assert!(c0.covers(0b010));
+        assert!(!c0.covers(0b011));
+        let merged = c0.merge(&c1).unwrap();
+        assert!(merged.covers(0b010));
+        assert!(merged.covers(0b011));
+        assert!(!merged.covers(0b110));
+        assert_eq!(merged.literal_count(), 2);
+    }
+
+    #[test]
+    fn merge_requires_single_difference() {
+        let c0 = Cube::from_minterm(0b000, 3);
+        let c1 = Cube::from_minterm(0b011, 3);
+        assert!(c0.merge(&c1).is_none());
+    }
+
+    #[test]
+    fn contains_relation() {
+        let big = Cube::from_masks(0b001, 0b001); // A
+        let small = Cube::from_masks(0b011, 0b011); // A.B
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(Cube::full().contains(&big));
+    }
+
+    #[test]
+    fn sop_recovers_function() {
+        for text in [
+            "A.B",
+            "A+B",
+            "A^B",
+            "(A+B).(C+D)",
+            "A.B + !A.C + B.!C",
+            "A.B.C + !A.!B.!C",
+        ] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let tt = TruthTable::from_expr(&f, ns.len());
+            let sop = Sop::from_truth_table(&tt);
+            assert_eq!(sop.to_truth_table(), tt, "cover mismatch for {text}");
+        }
+    }
+
+    #[test]
+    fn sop_of_and_is_single_cube() {
+        let (f, ns) = parse_expr("A.B.C").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        let sop = Sop::from_truth_table(&tt);
+        assert_eq!(sop.cubes().len(), 1);
+        assert_eq!(sop.literal_count(), 3);
+    }
+
+    #[test]
+    fn sop_of_xor_has_two_cubes() {
+        let (f, ns) = parse_expr("A^B").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        let sop = Sop::from_truth_table(&tt);
+        assert_eq!(sop.cubes().len(), 2);
+        assert_eq!(sop.literal_count(), 4);
+    }
+
+    #[test]
+    fn sop_of_constant_zero_is_empty() {
+        let tt = TruthTable::new(2).unwrap();
+        let sop = Sop::from_truth_table(&tt);
+        assert!(sop.cubes().is_empty());
+        assert_eq!(sop.to_expr(), Expr::Const(false));
+    }
+
+    #[test]
+    fn cube_display_and_expr_roundtrip() {
+        let ns = Namespace::with_names(["A", "B", "C"]);
+        let cube = Cube::from_masks(0b101, 0b001); // A . !C
+        assert_eq!(cube.display(&ns).to_string(), "A.!C");
+        let expr = cube.to_expr();
+        let tt = TruthTable::from_expr(&expr, 3);
+        for row in 0..8u64 {
+            assert_eq!(tt.value(row as usize), cube.covers(row));
+        }
+        assert_eq!(Cube::full().display(&ns).to_string(), "1");
+    }
+}

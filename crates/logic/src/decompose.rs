@@ -1,0 +1,258 @@
+use crate::error::LogicError;
+use crate::expr::Expr;
+use crate::var::{Literal, Var};
+use crate::Result;
+
+/// The top-level split of an expression used by the paper's Section 4.1
+/// construction ("Step 1: identify 2 expressions x and y that combine to the
+/// logical function f").
+///
+/// A decomposition is either a bare literal (the recursion's base case,
+/// "Step 4: … until the network consists of only 1 literal, which corresponds
+/// to a single transistor"), an AND of two sub-expressions (case A of the
+/// paper), or an OR of two sub-expressions (case B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decomposition {
+    /// The expression is a single literal — one transistor.
+    Literal(Literal),
+    /// Case A: `f = x · y`.
+    And(Expr, Expr),
+    /// Case B: `f = x + y`.
+    Or(Expr, Expr),
+}
+
+/// Splits an NNF expression into the paper's `f = x·y` / `f = x+y` form.
+///
+/// N-ary nodes are split left-associatively: `a·b·c` decomposes as
+/// `x = a`, `y = b·c`, which matches the way multi-input series stacks are
+/// drawn in the paper's figures (the first input at the top of the stack).
+///
+/// # Errors
+///
+/// * [`LogicError::ConstantExpression`] if the expression is a constant —
+///   constants have no pull-down network.
+///
+/// The expression must already be in negation-normal form (no `Not`/`Xor`
+/// nodes); call [`Expr::to_nnf`] first.  Non-NNF nodes are normalised
+/// on the fly as a convenience.
+pub fn decompose(expr: &Expr) -> Result<Decomposition> {
+    let expr = match expr {
+        Expr::Not(_) | Expr::Xor(_, _) => expr.to_nnf().simplify(),
+        other => other.clone(),
+    };
+    match expr {
+        Expr::Const(_) => Err(LogicError::ConstantExpression),
+        Expr::Lit(l) => Ok(Decomposition::Literal(l)),
+        Expr::And(es) => split(es, true),
+        Expr::Or(es) => split(es, false),
+        Expr::Not(_) | Expr::Xor(_, _) => unreachable!("normalised above"),
+    }
+}
+
+fn split(mut operands: Vec<Expr>, is_and: bool) -> Result<Decomposition> {
+    // Remove neutral constants; they carry no transistors.
+    operands.retain(|e| match e {
+        Expr::Const(b) => *b != is_and,
+        _ => true,
+    });
+    if operands
+        .iter()
+        .any(|e| matches!(e, Expr::Const(b) if *b != is_and))
+    {
+        return Err(LogicError::ConstantExpression);
+    }
+    match operands.len() {
+        0 => Err(LogicError::ConstantExpression),
+        1 => decompose(&operands[0]),
+        2 => {
+            let y = operands.pop().expect("two operands");
+            let x = operands.pop().expect("two operands");
+            Ok(if is_and {
+                Decomposition::And(x, y)
+            } else {
+                Decomposition::Or(x, y)
+            })
+        }
+        _ => {
+            let x = operands.remove(0);
+            let rest = if is_and {
+                Expr::And(operands)
+            } else {
+                Expr::Or(operands)
+            };
+            Ok(if is_and {
+                Decomposition::And(x, rest)
+            } else {
+                Decomposition::Or(x, rest)
+            })
+        }
+    }
+}
+
+/// The number of transistors on every conduction path of the *enhanced*
+/// fully connected network built from this decomposition: one per literal on
+/// a root-to-ground spine, recursively `depth(x) + depth(y)`.
+///
+/// For read-once expressions this equals the number of inputs; for
+/// expressions that repeat variables (e.g. the SOP form of XOR) it is larger.
+///
+/// # Errors
+///
+/// Returns [`LogicError::ConstantExpression`] for constant expressions.
+pub fn decomposition_depth(expr: &Expr) -> Result<usize> {
+    match decompose(expr)? {
+        Decomposition::Literal(_) => Ok(1),
+        Decomposition::And(x, y) | Decomposition::Or(x, y) => {
+            Ok(decomposition_depth(&x)? + decomposition_depth(&y)?)
+        }
+    }
+}
+
+/// The variables encountered along the canonical (left-most) conduction path
+/// of the decomposition.  The enhancement step of the paper (§5) inserts a
+/// pass gate "for all the input signals that do not control a transistor in
+/// that particular discharge path"; the canonical path supplies the list of
+/// variables a shortcut branch is missing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CanonicalPath {
+    vars: Vec<Var>,
+}
+
+impl CanonicalPath {
+    /// Computes the canonical path of an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ConstantExpression`] for constant expressions.
+    pub fn of(expr: &Expr) -> Result<Self> {
+        let mut vars = Vec::new();
+        collect_canonical(expr, &mut vars)?;
+        Ok(CanonicalPath { vars })
+    }
+
+    /// The variables on the canonical path, in series order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of devices on the canonical path.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` when the path is empty (never the case for valid expressions).
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+fn collect_canonical(expr: &Expr, out: &mut Vec<Var>) -> Result<()> {
+    match decompose(expr)? {
+        Decomposition::Literal(l) => {
+            out.push(l.var());
+            Ok(())
+        }
+        Decomposition::And(x, y) | Decomposition::Or(x, y) => {
+            collect_canonical(&x, out)?;
+            collect_canonical(&y, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    #[test]
+    fn literal_base_case() {
+        let (f, ns) = parse_expr("A").unwrap();
+        let a = ns.get("A").unwrap();
+        assert_eq!(decompose(&f).unwrap(), Decomposition::Literal(a.positive()));
+        let (g, _) = parse_expr("!A").unwrap();
+        assert_eq!(decompose(&g).unwrap(), Decomposition::Literal(a.negative()));
+    }
+
+    #[test]
+    fn and_or_split() {
+        let (f, _) = parse_expr("A.B").unwrap();
+        assert!(matches!(decompose(&f).unwrap(), Decomposition::And(_, _)));
+        let (g, _) = parse_expr("A+B").unwrap();
+        assert!(matches!(decompose(&g).unwrap(), Decomposition::Or(_, _)));
+    }
+
+    #[test]
+    fn nary_splits_left_associatively() {
+        let (f, ns) = parse_expr("A.B.C").unwrap();
+        let a = ns.get("A").unwrap();
+        match decompose(&f).unwrap() {
+            Decomposition::And(x, y) => {
+                assert_eq!(x, Expr::var(a));
+                assert_eq!(y.support().len(), 2);
+            }
+            other => panic!("expected AND decomposition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_are_rejected() {
+        let (f, _) = parse_expr("1").unwrap();
+        assert!(matches!(
+            decompose(&f),
+            Err(LogicError::ConstantExpression)
+        ));
+        let (g, _) = parse_expr("A.0").unwrap();
+        assert!(decompose(&g.simplify()).is_err());
+    }
+
+    #[test]
+    fn neutral_constants_are_dropped() {
+        let (f, ns) = parse_expr("A.1").unwrap();
+        let a = ns.get("A").unwrap();
+        assert_eq!(decompose(&f).unwrap(), Decomposition::Literal(a.positive()));
+    }
+
+    #[test]
+    fn xor_is_normalised_before_decomposition() {
+        let (f, _) = parse_expr("A^B").unwrap();
+        assert!(matches!(decompose(&f).unwrap(), Decomposition::Or(_, _)));
+    }
+
+    #[test]
+    fn depth_of_read_once_equals_input_count() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        assert_eq!(decomposition_depth(&f).unwrap(), ns.len());
+        let (g, ns2) = parse_expr("A.B").unwrap();
+        assert_eq!(decomposition_depth(&g).unwrap(), ns2.len());
+    }
+
+    #[test]
+    fn depth_of_xor_exceeds_input_count() {
+        let (f, _) = parse_expr("A^B").unwrap();
+        assert_eq!(decomposition_depth(&f).unwrap(), 4);
+    }
+
+    #[test]
+    fn canonical_path_of_and_nand() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let path = CanonicalPath::of(&f).unwrap();
+        assert_eq!(
+            path.vars(),
+            &[ns.get("A").unwrap(), ns.get("B").unwrap()]
+        );
+        assert_eq!(path.len(), 2);
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn canonical_path_matches_depth() {
+        for text in ["A.B", "(A+B).(C+D)", "A^B", "A.B.C+D", "A+B+C+D"] {
+            let (f, _) = parse_expr(text).unwrap();
+            assert_eq!(
+                CanonicalPath::of(&f).unwrap().len(),
+                decomposition_depth(&f).unwrap(),
+                "mismatch for {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced by the logic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// The expression parser encountered an unexpected character.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The expression parser ran out of input while expecting more.
+    UnexpectedEnd,
+    /// The expression parser found a token it did not expect.
+    UnexpectedToken {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// Human readable description of the token that was found.
+        found: String,
+    },
+    /// A variable index was used that is outside the namespace.
+    UnknownVariable {
+        /// The out-of-range variable index.
+        index: usize,
+    },
+    /// A truth table was requested for more variables than supported.
+    TooManyVariables {
+        /// The requested variable count.
+        requested: usize,
+        /// The maximum supported variable count.
+        maximum: usize,
+    },
+    /// Two truth tables with different variable counts were combined.
+    ArityMismatch {
+        /// Variable count of the left operand.
+        left: usize,
+        /// Variable count of the right operand.
+        right: usize,
+    },
+    /// An operation required a non-constant expression.
+    ConstantExpression,
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnexpectedChar { position, found } => {
+                write!(f, "unexpected character `{found}` at offset {position}")
+            }
+            LogicError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            LogicError::UnexpectedToken { position, found } => {
+                write!(f, "unexpected token `{found}` at offset {position}")
+            }
+            LogicError::UnknownVariable { index } => {
+                write!(f, "variable index {index} is not in the namespace")
+            }
+            LogicError::TooManyVariables { requested, maximum } => {
+                write!(
+                    f,
+                    "truth table over {requested} variables exceeds the supported maximum of {maximum}"
+                )
+            }
+            LogicError::ArityMismatch { left, right } => {
+                write!(
+                    f,
+                    "operands have mismatched variable counts ({left} vs {right})"
+                )
+            }
+            LogicError::ConstantExpression => {
+                write!(f, "operation requires a non-constant expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LogicError::UnexpectedChar {
+            position: 3,
+            found: '#',
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('#'));
+        assert!(msg.contains('3'));
+
+        let e = LogicError::TooManyVariables {
+            requested: 40,
+            maximum: 24,
+        };
+        assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

@@ -1,0 +1,609 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::var::{Literal, Namespace, Var};
+
+/// A Boolean expression over [`Var`] indices.
+///
+/// `Expr` is the input format of the DPDN synthesis procedure (paper §4.1,
+/// "Step 0: create the Boolean expression of the logical function f").
+/// N-ary `And`/`Or` nodes are used so that factored forms such as
+/// `(A+B).(C+D)` keep their structure, which in turn determines the shape of
+/// the generated transistor network.
+///
+/// ```
+/// use dpl_logic::{Expr, Namespace};
+/// let mut ns = Namespace::new();
+/// let a = ns.intern("A");
+/// let b = ns.intern("B");
+/// let f = Expr::and([Expr::var(a), Expr::var(b)]);
+/// assert!(f.eval(&[true, true]));
+/// assert!(!f.eval(&[true, false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant `0` or `1`.
+    Const(bool),
+    /// A single literal (variable or its complement).
+    Lit(Literal),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// N-ary conjunction. Empty conjunction is `1`.
+    And(Vec<Expr>),
+    /// N-ary disjunction. Empty disjunction is `0`.
+    Or(Vec<Expr>),
+    /// Exclusive or of exactly two operands.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The constant `1` expression.
+    pub fn one() -> Self {
+        Expr::Const(true)
+    }
+
+    /// The constant `0` expression.
+    pub fn zero() -> Self {
+        Expr::Const(false)
+    }
+
+    /// A positive literal of `var`.
+    pub fn var(var: Var) -> Self {
+        Expr::Lit(var.positive())
+    }
+
+    /// A negative literal of `var`.
+    pub fn not_var(var: Var) -> Self {
+        Expr::Lit(var.negative())
+    }
+
+    /// An expression consisting of the single literal `lit`.
+    pub fn lit(lit: Literal) -> Self {
+        Expr::Lit(lit)
+    }
+
+    /// Conjunction of the given operands.
+    pub fn and<I: IntoIterator<Item = Expr>>(operands: I) -> Self {
+        Expr::And(operands.into_iter().collect())
+    }
+
+    /// Disjunction of the given operands.
+    pub fn or<I: IntoIterator<Item = Expr>>(operands: I) -> Self {
+        Expr::Or(operands.into_iter().collect())
+    }
+
+    /// Negation of `operand`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(operand: Expr) -> Self {
+        Expr::Not(Box::new(operand))
+    }
+
+    /// Exclusive-or of two operands.
+    pub fn xor(a: Expr, b: Expr) -> Self {
+        Expr::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// `true` if the expression is a bare literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Expr::Lit(_))
+    }
+
+    /// Returns the literal if the expression is a bare literal.
+    pub fn as_literal(&self) -> Option<Literal> {
+        match self {
+            Expr::Lit(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// `true` if the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Expr::Const(_))
+    }
+
+    /// Evaluates the expression under the assignment `inputs` (indexed by
+    /// variable index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index exceeds `inputs.len()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit(l) => l.eval(inputs),
+            Expr::Not(e) => !e.eval(inputs),
+            Expr::And(es) => es.iter().all(|e| e.eval(inputs)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(inputs)),
+            Expr::Xor(a, b) => a.eval(inputs) ^ b.eval(inputs),
+        }
+    }
+
+    /// Evaluates the expression under a bit-packed assignment where bit `i`
+    /// of `word` holds the value of variable `i`.
+    pub fn eval_bits(&self, word: u64) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit(l) => l.eval_bits(word),
+            Expr::Not(e) => !e.eval_bits(word),
+            Expr::And(es) => es.iter().all(|e| e.eval_bits(word)),
+            Expr::Or(es) => es.iter().any(|e| e.eval_bits(word)),
+            Expr::Xor(a, b) => a.eval_bits(word) ^ b.eval_bits(word),
+        }
+    }
+
+    /// The set of variables occurring in the expression.
+    pub fn support(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_support(&mut set);
+        set
+    }
+
+    fn collect_support(&self, set: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Lit(l) => {
+                set.insert(l.var());
+            }
+            Expr::Not(e) => e.collect_support(set),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_support(set);
+                }
+            }
+            Expr::Xor(a, b) => {
+                a.collect_support(set);
+                b.collect_support(set);
+            }
+        }
+    }
+
+    /// The largest variable index occurring in the expression, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.support().into_iter().next_back()
+    }
+
+    /// Number of literal occurrences (leaves) in the expression.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit(_) => 1,
+            Expr::Not(e) => e.literal_count(),
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::literal_count).sum(),
+            Expr::Xor(a, b) => a.literal_count() + b.literal_count(),
+        }
+    }
+
+    /// Number of AST nodes in the expression.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) => 1,
+            Expr::Not(e) => 1 + e.node_count(),
+            Expr::And(es) | Expr::Or(es) => 1 + es.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Xor(a, b) => 1 + a.node_count() + b.node_count(),
+        }
+    }
+
+    /// Converts the expression to negation-normal form: negations are pushed
+    /// down to literals and `Xor` nodes are expanded into AND/OR form.
+    ///
+    /// The synthesis procedure (§4.1) operates on NNF expressions because
+    /// every leaf must correspond to a single transistor whose gate is driven
+    /// by a literal.
+    #[must_use]
+    pub fn to_nnf(&self) -> Expr {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negate: bool) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b != negate),
+            Expr::Lit(l) => {
+                if negate {
+                    Expr::Lit(l.complement())
+                } else {
+                    Expr::Lit(*l)
+                }
+            }
+            Expr::Not(e) => e.nnf_inner(!negate),
+            Expr::And(es) => {
+                let children: Vec<Expr> = es.iter().map(|e| e.nnf_inner(negate)).collect();
+                if negate {
+                    Expr::Or(children)
+                } else {
+                    Expr::And(children)
+                }
+            }
+            Expr::Or(es) => {
+                let children: Vec<Expr> = es.iter().map(|e| e.nnf_inner(negate)).collect();
+                if negate {
+                    Expr::And(children)
+                } else {
+                    Expr::Or(children)
+                }
+            }
+            Expr::Xor(a, b) => {
+                // a ^ b   = a.!b + !a.b
+                // !(a^b)  = a.b  + !a.!b
+                let (pa, na) = (a.nnf_inner(false), a.nnf_inner(true));
+                let (pb, nb) = (b.nnf_inner(false), b.nnf_inner(true));
+                if negate {
+                    Expr::Or(vec![
+                        Expr::And(vec![pa.clone(), pb.clone()]),
+                        Expr::And(vec![na, nb]),
+                    ])
+                } else {
+                    Expr::Or(vec![
+                        Expr::And(vec![pa, nb]),
+                        Expr::And(vec![na, pb]),
+                    ])
+                }
+            }
+        }
+    }
+
+    /// Returns the complement `!f` of the expression, in NNF.
+    ///
+    /// In a differential network this is the function implemented by the
+    /// false branch of the DPDN.
+    #[must_use]
+    pub fn complement(&self) -> Expr {
+        self.nnf_inner(true)
+    }
+
+    /// Returns the structural dual of the expression: AND and OR nodes are
+    /// swapped while literals are left unchanged.  The dual satisfies
+    /// `dual(f)(x) = !f(!x)`.
+    #[must_use]
+    pub fn dual(&self) -> Expr {
+        match self.to_nnf() {
+            Expr::Const(b) => Expr::Const(!b),
+            Expr::Lit(l) => Expr::Lit(l),
+            Expr::And(es) => Expr::Or(es.iter().map(Expr::dual).collect()),
+            Expr::Or(es) => Expr::And(es.iter().map(Expr::dual).collect()),
+            // `to_nnf` never returns Not/Xor nodes.
+            other => other,
+        }
+    }
+
+    /// Flattens nested `And`/`Or` nodes of the same kind and removes
+    /// redundant constants (`x·1 = x`, `x+0 = x`, `x·0 = 0`, `x+1 = 1`).
+    ///
+    /// The simplification is purely structural; it does not attempt Boolean
+    /// minimisation, because the shape of the expression is meaningful for
+    /// DPDN construction.
+    #[must_use]
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) => self.clone(),
+            Expr::Not(e) => match e.simplify() {
+                Expr::Const(b) => Expr::Const(!b),
+                Expr::Lit(l) => Expr::Lit(l.complement()),
+                Expr::Not(inner) => *inner,
+                other => Expr::Not(Box::new(other)),
+            },
+            Expr::And(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(true) => {}
+                        Expr::Const(false) => return Expr::Const(false),
+                        Expr::And(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::Const(true),
+                    1 => out.pop().expect("length checked"),
+                    _ => Expr::And(out),
+                }
+            }
+            Expr::Or(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(false) => {}
+                        Expr::Const(true) => return Expr::Const(true),
+                        Expr::Or(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::Const(false),
+                    1 => out.pop().expect("length checked"),
+                    _ => Expr::Or(out),
+                }
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x ^ y),
+                    (Expr::Const(false), _) => b,
+                    (_, Expr::Const(false)) => a,
+                    (Expr::Const(true), _) => Expr::Not(Box::new(b)).simplify(),
+                    (_, Expr::Const(true)) => Expr::Not(Box::new(a)).simplify(),
+                    _ => Expr::Xor(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// Positive and negative Shannon cofactors with respect to `var`.
+    pub fn cofactors(&self, var: Var) -> (Expr, Expr) {
+        (self.restrict(var, true), self.restrict(var, false))
+    }
+
+    /// Substitutes the constant `value` for `var` and simplifies.
+    #[must_use]
+    pub fn restrict(&self, var: Var, value: bool) -> Expr {
+        self.restrict_raw(var, value).simplify()
+    }
+
+    fn restrict_raw(&self, var: Var, value: bool) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Lit(l) => {
+                if l.var() == var {
+                    Expr::Const(if l.is_positive() { value } else { !value })
+                } else {
+                    Expr::Lit(*l)
+                }
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.restrict_raw(var, value))),
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.restrict_raw(var, value)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.restrict_raw(var, value)).collect()),
+            Expr::Xor(a, b) => Expr::Xor(
+                Box::new(a.restrict_raw(var, value)),
+                Box::new(b.restrict_raw(var, value)),
+            ),
+        }
+    }
+
+    /// Renders the expression using the paper's notation (`.` for AND, `+`
+    /// for OR, `!` for NOT) and the names of `ns`.
+    pub fn display<'a>(&'a self, ns: &'a Namespace) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, ns: Some(ns) }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, ns: Option<&Namespace>, prec: u8) -> fmt::Result {
+        // precedence: Or = 0, Xor = 1, And = 2, unary = 3
+        match self {
+            Expr::Const(b) => write!(f, "{}", u8::from(*b)),
+            Expr::Lit(l) => match ns {
+                Some(ns) => write!(f, "{}", l.display(ns)),
+                None => write!(f, "{l}"),
+            },
+            Expr::Not(e) => {
+                write!(f, "!")?;
+                e.fmt_prec(f, ns, 3)
+            }
+            Expr::And(es) => {
+                if es.is_empty() {
+                    return write!(f, "1");
+                }
+                let need_parens = prec > 2;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    e.fmt_prec(f, ns, 3)?;
+                }
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Or(es) => {
+                if es.is_empty() {
+                    return write!(f, "0");
+                }
+                let need_parens = prec > 0;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    e.fmt_prec(f, ns, 1)?;
+                }
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Xor(a, b) => {
+                let need_parens = prec > 1;
+                if need_parens {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, ns, 2)?;
+                write!(f, "^")?;
+                b.fmt_prec(f, ns, 2)?;
+                if need_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, None, 0)
+    }
+}
+
+/// Helper returned by [`Expr::display`] that renders with signal names.
+#[derive(Debug)]
+pub struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    ns: Option<&'a Namespace>,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expr.fmt_prec(f, self.ns, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> (Var, Var, Var, Var) {
+        (Var::new(0), Var::new(1), Var::new(2), Var::new(3))
+    }
+
+    #[test]
+    fn eval_and_or_not() {
+        let (a, b, _, _) = abcd();
+        let f = Expr::or([
+            Expr::and([Expr::var(a), Expr::not_var(b)]),
+            Expr::not(Expr::var(a)),
+        ]);
+        assert!(f.eval(&[false, false]));
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert_eq!(f.eval(&[true, true]), f.eval_bits(0b11));
+        assert_eq!(f.eval(&[true, false]), f.eval_bits(0b01));
+    }
+
+    #[test]
+    fn nnf_removes_not_and_xor() {
+        let (a, b, c, _) = abcd();
+        let f = Expr::not(Expr::xor(
+            Expr::var(a),
+            Expr::and([Expr::var(b), Expr::var(c)]),
+        ));
+        let nnf = f.to_nnf();
+        fn check_nnf(e: &Expr) -> bool {
+            match e {
+                Expr::Const(_) | Expr::Lit(_) => true,
+                Expr::Not(_) | Expr::Xor(_, _) => false,
+                Expr::And(es) | Expr::Or(es) => es.iter().all(check_nnf),
+            }
+        }
+        assert!(check_nnf(&nnf));
+        for word in 0u64..8 {
+            assert_eq!(f.eval_bits(word), nnf.eval_bits(word), "word {word}");
+        }
+    }
+
+    #[test]
+    fn complement_is_negation() {
+        let (a, b, c, d) = abcd();
+        let f = Expr::and([
+            Expr::or([Expr::var(a), Expr::var(b)]),
+            Expr::or([Expr::var(c), Expr::var(d)]),
+        ]);
+        let g = f.complement();
+        for word in 0u64..16 {
+            assert_eq!(f.eval_bits(word), !g.eval_bits(word));
+        }
+    }
+
+    #[test]
+    fn dual_swaps_and_or() {
+        let (a, b, c, d) = abcd();
+        // dual of (A+B).(C+D) is A.B + C.D
+        let f = Expr::and([
+            Expr::or([Expr::var(a), Expr::var(b)]),
+            Expr::or([Expr::var(c), Expr::var(d)]),
+        ]);
+        let dual = f.dual();
+        // dual(f)(x) == !f(!x)
+        for word in 0u64..16 {
+            let negated = !word & 0xF;
+            assert_eq!(dual.eval_bits(word), !f.eval_bits(negated));
+        }
+    }
+
+    #[test]
+    fn simplify_flattens_and_removes_constants() {
+        let (a, b, _, _) = abcd();
+        let f = Expr::and([
+            Expr::and([Expr::var(a), Expr::one()]),
+            Expr::var(b),
+            Expr::one(),
+        ]);
+        let s = f.simplify();
+        assert_eq!(s, Expr::And(vec![Expr::var(a), Expr::var(b)]));
+
+        let g = Expr::or([Expr::var(a), Expr::one()]).simplify();
+        assert_eq!(g, Expr::Const(true));
+
+        let h = Expr::and([Expr::var(a), Expr::zero()]).simplify();
+        assert_eq!(h, Expr::Const(false));
+
+        let k = Expr::not(Expr::not(Expr::var(a))).simplify();
+        assert_eq!(k, Expr::var(a));
+    }
+
+    #[test]
+    fn restrict_and_cofactors() {
+        let (a, b, _, _) = abcd();
+        let f = Expr::or([Expr::and([Expr::var(a), Expr::var(b)]), Expr::not_var(a)]);
+        let (pos, neg) = f.cofactors(a);
+        // f|a=1 = b, f|a=0 = 1
+        assert_eq!(pos, Expr::var(b));
+        assert_eq!(neg, Expr::Const(true));
+    }
+
+    #[test]
+    fn support_and_counts() {
+        let (a, b, c, _) = abcd();
+        let f = Expr::or([
+            Expr::and([Expr::var(a), Expr::var(b)]),
+            Expr::and([Expr::not_var(a), Expr::var(c)]),
+        ]);
+        let support: Vec<_> = f.support().into_iter().collect();
+        assert_eq!(support, vec![a, b, c]);
+        assert_eq!(f.literal_count(), 4);
+        assert_eq!(f.max_var(), Some(c));
+        assert!(f.node_count() > 4);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let ns = Namespace::with_names(["A", "B", "C", "D"]);
+        let a = ns.get("A").unwrap();
+        let b = ns.get("B").unwrap();
+        let c = ns.get("C").unwrap();
+        let d = ns.get("D").unwrap();
+        let f = Expr::and([
+            Expr::or([Expr::var(a), Expr::var(b)]),
+            Expr::or([Expr::var(c), Expr::var(d)]),
+        ]);
+        assert_eq!(f.display(&ns).to_string(), "(A+B).(C+D)");
+        let g = Expr::or([Expr::and([Expr::var(a), Expr::not_var(b)]), Expr::var(c)]);
+        assert_eq!(g.display(&ns).to_string(), "A.!B+C");
+    }
+
+    #[test]
+    fn xor_expansion_matches_truth() {
+        let (a, b, _, _) = abcd();
+        let f = Expr::xor(Expr::var(a), Expr::var(b));
+        let nnf = f.to_nnf();
+        for word in 0u64..4 {
+            assert_eq!(f.eval_bits(word), nnf.eval_bits(word));
+        }
+        let g = f.complement();
+        for word in 0u64..4 {
+            assert_eq!(g.eval_bits(word), !f.eval_bits(word));
+        }
+    }
+
+    #[test]
+    fn empty_and_or_are_constants() {
+        let t = Expr::and(Vec::<Expr>::new());
+        let f = Expr::or(Vec::<Expr>::new());
+        assert!(t.eval(&[]));
+        assert!(!f.eval(&[]));
+        assert_eq!(t.simplify(), Expr::Const(true));
+        assert_eq!(f.simplify(), Expr::Const(false));
+    }
+}

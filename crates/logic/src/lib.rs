@@ -1,0 +1,50 @@
+//! # dpl-logic
+//!
+//! Boolean expression substrate for the constant-power differential-logic
+//! toolkit.  This crate provides everything the DPDN synthesis algorithms of
+//! the paper need from the logic side:
+//!
+//! * [`Var`], [`Literal`] and [`Namespace`] — variables and signal names,
+//! * [`Expr`] — a Boolean expression AST with construction helpers,
+//!   evaluation, negation-normal form, duality and complementation,
+//! * [`TruthTable`] — dense truth tables (up to 24 variables) used for
+//!   functional-equivalence checking of synthesised networks,
+//! * [`Sop`]/[`Cube`] — sum-of-products forms and a small two-level
+//!   minimiser used by the naive gate-level synthesiser in `dpl-crypto`,
+//! * [`parse_expr`] — a textual expression parser (`(A+B).(C+D)`,
+//!   `A&B|!C`, `A^B`, …),
+//! * [`Decomposition`] — the top-level `f = x·y` / `f = x+y` split that
+//!   drives the paper's Section 4.1 construction.
+//!
+//! ```
+//! use dpl_logic::{parse_expr, TruthTable};
+//!
+//! # fn main() -> Result<(), dpl_logic::LogicError> {
+//! let (expr, ns) = parse_expr("(A+B).(C+D)")?;
+//! let tt = TruthTable::from_expr(&expr, ns.len());
+//! assert_eq!(tt.count_ones(), 9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod decompose;
+mod error;
+mod expr;
+mod parse;
+mod truth;
+mod var;
+
+pub use cube::{Cube, Sop};
+pub use decompose::{decompose, decomposition_depth, CanonicalPath, Decomposition};
+pub use error::LogicError;
+pub use expr::Expr;
+pub use parse::{parse_expr, parse_expr_with};
+pub use truth::{TruthTable, MAX_TRUTH_TABLE_VARS};
+pub use var::{Literal, Namespace, Var};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LogicError>;

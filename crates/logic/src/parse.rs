@@ -1,0 +1,337 @@
+use crate::error::LogicError;
+use crate::expr::Expr;
+use crate::var::Namespace;
+use crate::Result;
+
+/// Parses a Boolean expression written in the paper's notation.
+///
+/// Supported syntax:
+///
+/// * identifiers: `A`, `in1`, `sel_0`, …
+/// * AND: `.`, `&` or `*` — e.g. `A.B`
+/// * OR: `+` or `|` — e.g. `A+B`
+/// * XOR: `^`
+/// * NOT: prefix `!` or `~`, or postfix `'` — e.g. `!A`, `A'`
+/// * constants `0` and `1`, parentheses, arbitrary whitespace.
+///
+/// Returns the expression and the [`Namespace`] assigning a [`crate::Var`]
+/// index to every identifier in order of first appearance.
+///
+/// ```
+/// use dpl_logic::parse_expr;
+/// # fn main() -> Result<(), dpl_logic::LogicError> {
+/// let (f, ns) = parse_expr("(A+B).(C+D)")?;
+/// assert_eq!(ns.len(), 4);
+/// assert_eq!(f.display(&ns).to_string(), "(A+B).(C+D)");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`LogicError`] if the input contains unexpected characters or is
+/// not a well-formed expression.
+pub fn parse_expr(input: &str) -> Result<(Expr, Namespace)> {
+    let mut ns = Namespace::new();
+    let expr = parse_expr_with(input, &mut ns)?;
+    Ok((expr, ns))
+}
+
+/// Like [`parse_expr`] but interns identifiers into an existing namespace,
+/// so multiple expressions can share variable indices.
+///
+/// # Errors
+///
+/// Returns a [`LogicError`] on malformed input.
+pub fn parse_expr_with(input: &str, ns: &mut Namespace) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0, ns };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        let (tok, at) = &parser.tokens[parser.pos];
+        return Err(LogicError::UnexpectedToken {
+            position: *at,
+            found: tok.describe(),
+        });
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    And,
+    Or,
+    Xor,
+    Not,
+    Prime,
+    LParen,
+    RParen,
+    Const(bool),
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::And => ".".to_string(),
+            Token::Or => "+".to_string(),
+            Token::Xor => "^".to_string(),
+            Token::Not => "!".to_string(),
+            Token::Prime => "'".to_string(),
+            Token::LParen => "(".to_string(),
+            Token::RParen => ")".to_string(),
+            Token::Const(b) => u8::from(*b).to_string(),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '.' | '&' | '*' => {
+                tokens.push((Token::And, i));
+                i += 1;
+            }
+            '+' | '|' => {
+                tokens.push((Token::Or, i));
+                i += 1;
+            }
+            '^' => {
+                tokens.push((Token::Xor, i));
+                i += 1;
+            }
+            '!' | '~' => {
+                tokens.push((Token::Not, i));
+                i += 1;
+            }
+            '\'' => {
+                tokens.push((Token::Prime, i));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            '0' => {
+                tokens.push((Token::Const(false), i));
+                i += 1;
+            }
+            '1' => {
+                tokens.push((Token::Const(true), i));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(LogicError::UnexpectedChar {
+                    position: i,
+                    found: other,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    ns: &'a mut Namespace,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut operands = vec![self.parse_xor()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.bump();
+            operands.push(self.parse_xor()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            Expr::Or(operands)
+        })
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr> {
+        let mut expr = self.parse_and()?;
+        while matches!(self.peek(), Some(Token::Xor)) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            expr = Expr::xor(expr, rhs);
+        }
+        Ok(expr)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut operands = vec![self.parse_unary()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.bump();
+            operands.push(self.parse_unary()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            Expr::And(operands)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(Token::Not)) {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::not(inner));
+        }
+        let mut expr = self.parse_primary()?;
+        while matches!(self.peek(), Some(Token::Prime)) {
+            self.bump();
+            expr = Expr::not(expr);
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|(_, at)| *at)
+            .unwrap_or_default();
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(Expr::var(self.ns.intern(name))),
+            Some(Token::Const(b)) => Ok(Expr::Const(b)),
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    Some(tok) => Err(LogicError::UnexpectedToken {
+                        position,
+                        found: tok.describe(),
+                    }),
+                    None => Err(LogicError::UnexpectedEnd),
+                }
+            }
+            Some(tok) => Err(LogicError::UnexpectedToken {
+                position,
+                found: tok.describe(),
+            }),
+            None => Err(LogicError::UnexpectedEnd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_nand_notation() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        assert_eq!(ns.len(), 2);
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[true, false]));
+    }
+
+    #[test]
+    fn parses_oai22() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        assert_eq!(ns.len(), 4);
+        assert!(f.eval(&[true, false, false, true]));
+        assert!(!f.eval(&[true, true, false, false]));
+    }
+
+    #[test]
+    fn alternative_operator_spellings() {
+        let (f1, _) = parse_expr("A & B | !C").unwrap();
+        let (f2, _) = parse_expr("A.B + ~C").unwrap();
+        let (f3, _) = parse_expr("A*B + C'").unwrap();
+        for word in 0u64..8 {
+            assert_eq!(f1.eval_bits(word), f2.eval_bits(word));
+            assert_eq!(f1.eval_bits(word), f3.eval_bits(word));
+        }
+    }
+
+    #[test]
+    fn xor_and_precedence() {
+        // AND binds tighter than XOR binds tighter than OR
+        let (f, _) = parse_expr("A ^ B.C + D").unwrap();
+        let expected = |a: bool, b: bool, c: bool, d: bool| (a ^ (b && c)) || d;
+        for word in 0u64..16 {
+            let bits = |i: usize| (word >> i) & 1 == 1;
+            assert_eq!(
+                f.eval_bits(word),
+                expected(bits(0), bits(1), bits(2), bits(3)),
+                "word {word:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_namespace_across_expressions() {
+        let mut ns = Namespace::new();
+        let f = parse_expr_with("A.B", &mut ns).unwrap();
+        let g = parse_expr_with("B + C", &mut ns).unwrap();
+        assert_eq!(ns.len(), 3);
+        assert_eq!(f.support().len(), 2);
+        assert_eq!(g.support().len(), 2);
+    }
+
+    #[test]
+    fn constants_parse() {
+        let (f, _) = parse_expr("A.1 + 0").unwrap();
+        assert!(f.eval(&[true]));
+        assert!(!f.eval(&[false]));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(matches!(
+            parse_expr("A # B"),
+            Err(LogicError::UnexpectedChar { found: '#', .. })
+        ));
+        assert!(matches!(parse_expr("A +"), Err(LogicError::UnexpectedEnd)));
+        assert!(matches!(
+            parse_expr("(A + B"),
+            Err(LogicError::UnexpectedEnd)
+        ));
+        assert!(parse_expr("A B").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let (f, ns) = parse_expr("  ( A +\tB ) . ( C + D )\n").unwrap();
+        assert_eq!(ns.len(), 4);
+        assert_eq!(f.display(&ns).to_string(), "(A+B).(C+D)");
+    }
+}

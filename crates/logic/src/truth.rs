@@ -1,0 +1,340 @@
+use std::fmt;
+
+use crate::error::LogicError;
+use crate::expr::Expr;
+use crate::var::Var;
+use crate::Result;
+
+/// Maximum number of variables a dense [`TruthTable`] may have.
+pub const MAX_TRUTH_TABLE_VARS: usize = 24;
+
+/// A dense truth table over `num_vars` variables.
+///
+/// Truth tables are the functional-equivalence oracle of the toolkit: after a
+/// differential pull-down network has been synthesised or transformed, its
+/// conduction function is extracted and compared against the truth table of
+/// the original expression.
+///
+/// ```
+/// use dpl_logic::{parse_expr, TruthTable};
+/// # fn main() -> Result<(), dpl_logic::LogicError> {
+/// let (f, ns) = parse_expr("A.B + !A.!B")?; // XNOR
+/// let tt = TruthTable::from_expr(&f, ns.len());
+/// assert_eq!(tt.count_ones(), 2);
+/// assert!(tt.value(0b00));
+/// assert!(!tt.value(0b01));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Creates an all-zero truth table over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_TRUTH_TABLE_VARS`].
+    pub fn new(num_vars: usize) -> Result<Self> {
+        if num_vars > MAX_TRUTH_TABLE_VARS {
+            return Err(LogicError::TooManyVariables {
+                requested: num_vars,
+                maximum: MAX_TRUTH_TABLE_VARS,
+            });
+        }
+        let rows = 1usize << num_vars;
+        let words = rows.div_ceil(64).max(1);
+        Ok(TruthTable {
+            num_vars,
+            words: vec![0; words],
+        })
+    }
+
+    /// Builds the truth table of `expr` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`MAX_TRUTH_TABLE_VARS`] or if the
+    /// expression references a variable with index `>= num_vars`.
+    pub fn from_expr(expr: &Expr, num_vars: usize) -> Self {
+        if let Some(v) = expr.max_var() {
+            assert!(
+                v.index() < num_vars,
+                "expression references variable {v} outside the requested arity {num_vars}"
+            );
+        }
+        let mut tt = TruthTable::new(num_vars).expect("arity validated by caller");
+        for row in 0..(1u64 << num_vars) {
+            if expr.eval_bits(row) {
+                tt.set(row as usize, true);
+            }
+        }
+        tt
+    }
+
+    /// Builds a truth table by evaluating `f` on every input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVariables`] if `num_vars` is too large.
+    pub fn from_fn<F: FnMut(u64) -> bool>(num_vars: usize, mut f: F) -> Result<Self> {
+        let mut tt = TruthTable::new(num_vars)?;
+        for row in 0..(1u64 << num_vars) {
+            if f(row) {
+                tt.set(row as usize, true);
+            }
+        }
+        Ok(tt)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of rows (`2^num_vars`).
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// The value of the function on the given input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^num_vars`.
+    pub fn value(&self, row: usize) -> bool {
+        assert!(row < self.num_rows(), "row {row} out of range");
+        (self.words[row / 64] >> (row % 64)) & 1 == 1
+    }
+
+    /// Sets the value of the function on the given input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^num_vars`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < self.num_rows(), "row {row} out of range");
+        let mask = 1u64 << (row % 64);
+        if value {
+            self.words[row / 64] |= mask;
+        } else {
+            self.words[row / 64] &= !mask;
+        }
+    }
+
+    /// Number of input rows on which the function evaluates to `1`.
+    pub fn count_ones(&self) -> usize {
+        let full = self.num_rows();
+        let mut count = 0usize;
+        let mut remaining = full;
+        for w in &self.words {
+            let take = remaining.min(64);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            count += (w & mask).count_ones() as usize;
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        count
+    }
+
+    /// `true` if the function is constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// `true` if the function is constant one.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == self.num_rows()
+    }
+
+    /// Returns the complemented truth table.
+    #[must_use]
+    pub fn complement(&self) -> TruthTable {
+        let mut out = self.clone();
+        for row in 0..self.num_rows() {
+            out.set(row, !self.value(row));
+        }
+        out
+    }
+
+    /// Returns the dual function `!f(!x)`.
+    #[must_use]
+    pub fn dual(&self) -> TruthTable {
+        let mut out = TruthTable::new(self.num_vars).expect("same arity as self");
+        let all = self.num_rows() - 1;
+        for row in 0..self.num_rows() {
+            out.set(row, !self.value(row ^ all));
+        }
+        out
+    }
+
+    /// Positive/negative cofactor with respect to `var` (the arity is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not within the arity of the table.
+    #[must_use]
+    pub fn cofactor(&self, var: Var, value: bool) -> TruthTable {
+        assert!(var.index() < self.num_vars, "variable out of range");
+        let mut out = TruthTable::new(self.num_vars).expect("same arity as self");
+        let bit = 1usize << var.index();
+        for row in 0..self.num_rows() {
+            let forced = if value { row | bit } else { row & !bit };
+            out.set(row, self.value(forced));
+        }
+        out
+    }
+
+    /// `true` if the function depends on `var`.
+    pub fn depends_on(&self, var: Var) -> bool {
+        self.cofactor(var, true) != self.cofactor(var, false)
+    }
+
+    /// Iterates over the rows on which the function is `1` (minterms).
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.num_rows() as u64).filter(|&row| self.value(row as usize))
+    }
+
+    /// Checks equality against another table of the same arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ArityMismatch`] if the arities differ.
+    pub fn equivalent(&self, other: &TruthTable) -> Result<bool> {
+        if self.num_vars != other.num_vars {
+            return Err(LogicError::ArityMismatch {
+                left: self.num_vars,
+                right: other.num_vars,
+            });
+        }
+        Ok(self == other)
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in 0..self.num_rows() {
+            write!(f, "{}", u8::from(self.value(row)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    #[test]
+    fn from_expr_matches_eval() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        for row in 0..16u64 {
+            assert_eq!(tt.value(row as usize), f.eval_bits(row));
+        }
+        assert_eq!(tt.count_ones(), 9);
+    }
+
+    #[test]
+    fn complement_and_dual() {
+        let (f, ns) = parse_expr("A.B").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        let comp = tt.complement();
+        assert_eq!(comp.count_ones(), 3);
+        // dual of AND is OR
+        let (or, _) = parse_expr("A+B").unwrap();
+        let or_tt = TruthTable::from_expr(&or, 2);
+        assert_eq!(tt.dual(), or_tt);
+        // dual is an involution
+        assert_eq!(tt.dual().dual(), tt);
+    }
+
+    #[test]
+    fn cofactor_and_dependency() {
+        let (f, ns) = parse_expr("A.B + !A.C").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        let a = ns.get("A").unwrap();
+        let b = ns.get("B").unwrap();
+        let c = ns.get("C").unwrap();
+        assert!(tt.depends_on(a));
+        assert!(tt.depends_on(b));
+        assert!(tt.depends_on(c));
+        // f|A=1 = B  (independent of C)
+        let pos = tt.cofactor(a, true);
+        assert!(!pos.depends_on(c));
+        assert!(pos.depends_on(b));
+    }
+
+    #[test]
+    fn minterm_iteration() {
+        let (f, ns) = parse_expr("A ^ B").unwrap();
+        let tt = TruthTable::from_expr(&f, ns.len());
+        let minterms: Vec<u64> = tt.minterms().collect();
+        assert_eq!(minterms, vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn constant_detection() {
+        let zero = TruthTable::new(3).unwrap();
+        assert!(zero.is_zero());
+        assert!(!zero.is_one());
+        let one = zero.complement();
+        assert!(one.is_one());
+        assert_eq!(one.count_ones(), 8);
+    }
+
+    #[test]
+    fn equivalence_and_arity_errors() {
+        let (f, _) = parse_expr("A.B").unwrap();
+        let (g, _) = parse_expr("B.A").unwrap();
+        let tf = TruthTable::from_expr(&f, 2);
+        let tg = TruthTable::from_expr(&g, 2);
+        assert!(tf.equivalent(&tg).unwrap());
+        let th = TruthTable::new(3).unwrap();
+        assert!(matches!(
+            tf.equivalent(&th),
+            Err(LogicError::ArityMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn too_many_variables_is_an_error() {
+        assert!(matches!(
+            TruthTable::new(30),
+            Err(LogicError::TooManyVariables { .. })
+        ));
+    }
+
+    #[test]
+    fn from_fn_and_display() {
+        let tt = TruthTable::from_fn(2, |row| row == 0b11).unwrap();
+        assert_eq!(tt.to_string(), "0001");
+        assert_eq!(tt.num_rows(), 4);
+        assert_eq!(tt.num_vars(), 2);
+    }
+
+    #[test]
+    fn set_and_clear_bits() {
+        let mut tt = TruthTable::new(2).unwrap();
+        tt.set(3, true);
+        assert!(tt.value(3));
+        tt.set(3, false);
+        assert!(!tt.value(3));
+    }
+
+    #[test]
+    fn larger_than_one_word_tables() {
+        // 8 variables = 256 rows = 4 words
+        let tt = TruthTable::from_fn(8, |row| row % 3 == 0).unwrap();
+        let expected = (0..256u64).filter(|r| r % 3 == 0).count();
+        assert_eq!(tt.count_ones(), expected);
+        let comp = tt.complement();
+        assert_eq!(comp.count_ones(), 256 - expected);
+    }
+}

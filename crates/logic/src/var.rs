@@ -1,0 +1,292 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A Boolean variable, identified by a dense index.
+///
+/// Variables are plain indices; human readable names are kept separately in a
+/// [`Namespace`] so that expressions and networks stay small and `Copy`.
+///
+/// ```
+/// use dpl_logic::Var;
+/// let a = Var::new(0);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given index.
+    pub fn new(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// Returns the dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    pub fn positive(self) -> Literal {
+        Literal::new(self, true)
+    }
+
+    /// Returns the negative (complemented) literal of this variable.
+    pub fn negative(self) -> Literal {
+        Literal::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<usize> for Var {
+    fn from(value: usize) -> Self {
+        Var::new(value)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// In a differential pull-down network every transistor gate is driven by a
+/// literal — either the true or the false rail of an input signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    var: Var,
+    positive: bool,
+}
+
+impl Literal {
+    /// Creates a literal for `var` with the given polarity.
+    pub fn new(var: Var, positive: bool) -> Self {
+        Literal { var, positive }
+    }
+
+    /// The variable this literal refers to.
+    pub fn var(self) -> Var {
+        self.var
+    }
+
+    /// `true` if this is the positive (uncomplemented) literal.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// Returns the complemented literal.
+    #[must_use]
+    pub fn complement(self) -> Literal {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under the assignment `inputs`, where bit `i` of
+    /// the slice corresponds to variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable index is out of range of `inputs`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        let v = inputs[self.var.index()];
+        if self.positive {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Evaluates the literal under a bit-packed assignment where bit `i` of
+    /// `word` is the value of variable `i`.
+    pub fn eval_bits(self, word: u64) -> bool {
+        let v = (word >> self.var.index()) & 1 == 1;
+        if self.positive {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Renders the literal using the names of `ns` (e.g. `A` or `!A`).
+    pub fn display<'a>(&'a self, ns: &'a Namespace) -> LiteralDisplay<'a> {
+        LiteralDisplay { lit: self, ns }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "!{}", self.var)
+        }
+    }
+}
+
+/// Helper returned by [`Literal::display`].
+#[derive(Debug)]
+pub struct LiteralDisplay<'a> {
+    lit: &'a Literal,
+    ns: &'a Namespace,
+}
+
+impl fmt::Display for LiteralDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.ns.name(self.lit.var);
+        if self.lit.positive {
+            write!(f, "{name}")
+        } else {
+            write!(f, "!{name}")
+        }
+    }
+}
+
+/// A mapping between human readable signal names and [`Var`] indices.
+///
+/// ```
+/// use dpl_logic::Namespace;
+/// let mut ns = Namespace::new();
+/// let a = ns.intern("A");
+/// let b = ns.intern("B");
+/// assert_ne!(a, b);
+/// assert_eq!(ns.intern("A"), a);
+/// assert_eq!(ns.name(a), "A");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Namespace {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+}
+
+impl Namespace {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a namespace pre-populated with the given names, in order.
+    pub fn with_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ns = Self::new();
+        for n in names {
+            ns.intern(n);
+        }
+        ns
+    }
+
+    /// Returns the variable for `name`, creating it if necessary.
+    pub fn intern<S: Into<String>>(&mut self, name: S) -> Var {
+        let name = name.into();
+        if let Some(&v) = self.by_name.get(&name) {
+            return v;
+        }
+        let v = Var::new(self.names.len());
+        self.by_name.insert(name.clone(), v);
+        self.names.push(name);
+        v
+    }
+
+    /// Looks up an existing variable by name.
+    pub fn get(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not part of this namespace.
+    pub fn name(&self, var: Var) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Number of variables in the namespace.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the namespace contains no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables in index order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len()).map(Var::new)
+    }
+
+    /// Iterates over `(Var, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Var::new(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_complement_roundtrips() {
+        let a = Var::new(3);
+        let lit = a.positive();
+        assert_eq!(lit.complement().complement(), lit);
+        assert!(lit.is_positive());
+        assert!(!lit.complement().is_positive());
+        assert_eq!(lit.var(), a);
+    }
+
+    #[test]
+    fn literal_eval_respects_polarity() {
+        let a = Var::new(1);
+        let inputs = [false, true, false];
+        assert!(a.positive().eval(&inputs));
+        assert!(!a.negative().eval(&inputs));
+        assert!(a.positive().eval_bits(0b010));
+        assert!(!a.positive().eval_bits(0b101));
+        assert!(a.negative().eval_bits(0b101));
+    }
+
+    #[test]
+    fn namespace_interning_is_idempotent() {
+        let mut ns = Namespace::new();
+        let a = ns.intern("A");
+        let b = ns.intern("B");
+        assert_eq!(ns.intern("A"), a);
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns.name(a), "A");
+        assert_eq!(ns.name(b), "B");
+        assert_eq!(ns.get("B"), Some(b));
+        assert_eq!(ns.get("C"), None);
+    }
+
+    #[test]
+    fn namespace_with_names_preserves_order() {
+        let ns = Namespace::with_names(["A", "B", "C"]);
+        assert_eq!(ns.len(), 3);
+        let vars: Vec<_> = ns.vars().collect();
+        assert_eq!(vars, vec![Var::new(0), Var::new(1), Var::new(2)]);
+        let pairs: Vec<_> = ns.iter().map(|(v, n)| (v.index(), n.to_string())).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, "A".to_string()), (1, "B".to_string()), (2, "C".to_string())]
+        );
+    }
+
+    #[test]
+    fn literal_display_uses_names() {
+        let ns = Namespace::with_names(["A", "B"]);
+        let a = ns.get("A").unwrap();
+        assert_eq!(a.positive().display(&ns).to_string(), "A");
+        assert_eq!(a.negative().display(&ns).to_string(), "!A");
+        assert_eq!(a.positive().to_string(), "x0");
+        assert_eq!(a.negative().to_string(), "!x0");
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced by the switch-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node identifier referenced a node that does not exist.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A switch identifier referenced a device that does not exist.
+    UnknownSwitch {
+        /// The offending switch index.
+        index: usize,
+    },
+    /// The network (or sub-network) is not series-parallel, so it cannot be
+    /// decomposed into an [`crate::SpTree`].
+    NotSeriesParallel {
+        /// Human readable context about where recognition failed.
+        context: String,
+    },
+    /// A constant expression has no transistor network.
+    ConstantExpression,
+    /// Input text for the netlist reader was malformed.
+    ParseError {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A network had no devices where at least one was required.
+    EmptyNetwork,
+    /// A terminal node was expected to differ from another terminal.
+    DegenerateTerminals,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            NetlistError::UnknownSwitch { index } => write!(f, "unknown switch index {index}"),
+            NetlistError::NotSeriesParallel { context } => {
+                write!(f, "network is not series-parallel: {context}")
+            }
+            NetlistError::ConstantExpression => {
+                write!(f, "constant expressions have no transistor network")
+            }
+            NetlistError::ParseError { line, message } => {
+                write!(f, "netlist parse error on line {line}: {message}")
+            }
+            NetlistError::EmptyNetwork => write!(f, "network contains no devices"),
+            NetlistError::DegenerateTerminals => {
+                write!(f, "terminal nodes of a network must be distinct")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl From<dpl_logic::LogicError> for NetlistError {
+    fn from(err: dpl_logic::LogicError) -> Self {
+        match err {
+            dpl_logic::LogicError::ConstantExpression => NetlistError::ConstantExpression,
+            other => NetlistError::ParseError {
+                line: 0,
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::NotSeriesParallel {
+            context: "bridge between W1 and W2".into(),
+        };
+        assert!(e.to_string().contains("series-parallel"));
+        assert!(e.to_string().contains("bridge"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+
+    #[test]
+    fn logic_error_converts() {
+        let e: NetlistError = dpl_logic::LogicError::ConstantExpression.into();
+        assert_eq!(e, NetlistError::ConstantExpression);
+    }
+}

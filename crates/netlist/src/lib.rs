@@ -1,0 +1,50 @@
+//! # dpl-netlist
+//!
+//! Transistor-level switch-network substrate for differential pull-down
+//! network (DPDN) synthesis.
+//!
+//! The paper's algorithms manipulate *networks of NMOS switches* whose gates
+//! are driven by input literals.  This crate provides:
+//!
+//! * [`SwitchNetwork`] — a multigraph of nodes and literal-controlled
+//!   switches, with connectivity queries (union-find), conduction-function
+//!   extraction, and simple-path enumeration,
+//! * [`SpTree`] — series–parallel transistor trees, the traditional way a
+//!   Boolean expression is translated into a pull-down network ("an AND
+//!   operation is represented by a series of switches, an OR operation by a
+//!   parallel connection"), including SP *recognition* of an existing
+//!   network, which the schematic-transformation procedure of §4.2 needs,
+//! * a small SPICE-like netlist writer/reader ([`spice`]) so generated
+//!   networks can be inspected or exchanged with external tools.
+//!
+//! ```
+//! use dpl_logic::parse_expr;
+//! use dpl_netlist::SpTree;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (f, ns) = parse_expr("A.B + C")?;
+//! let tree = SpTree::from_expr(&f)?;
+//! assert_eq!(tree.device_count(), 3);
+//! assert!(tree.eval(&[true, true, false]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+mod paths;
+mod sp;
+pub mod spice;
+mod unionfind;
+
+pub use error::NetlistError;
+pub use network::{NodeId, NodeRole, Switch, SwitchId, SwitchNetwork};
+pub use paths::{enumerate_paths, Path};
+pub use sp::SpTree;
+pub use unionfind::UnionFind;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

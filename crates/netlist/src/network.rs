@@ -1,0 +1,505 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dpl_logic::{Literal, TruthTable, Var};
+
+use crate::error::NetlistError;
+use crate::unionfind::UnionFind;
+use crate::Result;
+
+/// Identifier of a node (electrical net) inside a [`SwitchNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a switch (transistor) inside a [`SwitchNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(u32);
+
+impl SwitchId {
+    /// The dense index of the switch.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// The structural role of a node inside a pull-down network.
+///
+/// The paper distinguishes *external* nodes (the module output nodes X and Y
+/// and the common node Z) from *internal* nodes, whose parasitic capacitance
+/// causes the memory effect when they are left floating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// An external node of the network (X, Y or Z in the paper's figures).
+    Terminal,
+    /// An internal node of the network.
+    Internal,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct NodeInfo {
+    name: String,
+    role: NodeRole,
+}
+
+/// A single NMOS switch: it conducts between its two terminals when its gate
+/// literal evaluates to `1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Switch {
+    /// The literal driving the transistor gate.
+    pub gate: Literal,
+    /// First channel terminal.
+    pub a: NodeId,
+    /// Second channel terminal.
+    pub b: NodeId,
+    /// Channel width in arbitrary units (used by the capacitance model).
+    pub width: f64,
+    /// `true` when this device is half of an inserted pass gate (a dummy
+    /// device added by the enhancement step of §5 rather than a functional
+    /// device of the pull-down network).
+    pub is_dummy: bool,
+}
+
+impl Switch {
+    /// The node on the other side of the switch, if `node` is one of its
+    /// terminals.
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates whether the switch conducts under a bit-packed assignment.
+    pub fn conducts(&self, assignment: u64) -> bool {
+        self.gate.eval_bits(assignment)
+    }
+}
+
+/// A multigraph of nodes and literal-controlled switches.
+///
+/// This is the representation on which the paper's design methods operate:
+/// differential pull-down networks are switch networks with three designated
+/// terminals (X, Y, Z) whose devices are gated by the true and false rails
+/// of the gate inputs.
+///
+/// ```
+/// use dpl_logic::Var;
+/// use dpl_netlist::{NodeRole, SwitchNetwork};
+///
+/// let mut net = SwitchNetwork::new();
+/// let x = net.add_node("X", NodeRole::Terminal);
+/// let z = net.add_node("Z", NodeRole::Terminal);
+/// let a = Var::new(0);
+/// net.add_switch(a.positive(), x, z);
+/// assert!(net.connected(x, z, 0b1));
+/// assert!(!net.connected(x, z, 0b0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwitchNetwork {
+    nodes: Vec<NodeInfo>,
+    switches: Vec<Switch>,
+}
+
+impl SwitchNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given name and role, returning its identifier.
+    pub fn add_node<S: Into<String>>(&mut self, name: S, role: NodeRole) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            role,
+        });
+        id
+    }
+
+    /// Adds a unit-width functional switch between `a` and `b`.
+    pub fn add_switch(&mut self, gate: Literal, a: NodeId, b: NodeId) -> SwitchId {
+        self.add_switch_with(gate, a, b, 1.0, false)
+    }
+
+    /// Adds a dummy (pass-gate half) switch between `a` and `b`.
+    pub fn add_dummy_switch(&mut self, gate: Literal, a: NodeId, b: NodeId) -> SwitchId {
+        self.add_switch_with(gate, a, b, 1.0, true)
+    }
+
+    /// Adds a switch with explicit width and dummy flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node identifier does not belong to this network.
+    pub fn add_switch_with(
+        &mut self,
+        gate: Literal,
+        a: NodeId,
+        b: NodeId,
+        width: f64,
+        is_dummy: bool,
+    ) -> SwitchId {
+        assert!(a.index() < self.nodes.len(), "node {a} out of range");
+        assert!(b.index() < self.nodes.len(), "node {b} out of range");
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(Switch {
+            gate,
+            a,
+            b,
+            width,
+            is_dummy,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of switches (transistors).
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of functional (non-dummy) switches.
+    pub fn functional_switch_count(&self) -> usize {
+        self.switches.iter().filter(|s| !s.is_dummy).count()
+    }
+
+    /// Number of dummy (pass-gate) switches.
+    pub fn dummy_switch_count(&self) -> usize {
+        self.switches.iter().filter(|s| s.is_dummy).count()
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `(SwitchId, &Switch)` pairs.
+    pub fn switches(&self) -> impl Iterator<Item = (SwitchId, &Switch)> + '_ {
+        self.switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SwitchId(i as u32), s))
+    }
+
+    /// Returns the switch with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSwitch`] when out of range.
+    pub fn switch(&self, id: SwitchId) -> Result<&Switch> {
+        self.switches
+            .get(id.index())
+            .ok_or(NetlistError::UnknownSwitch { index: id.index() })
+    }
+
+    /// Returns the name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this network.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Returns the role of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this network.
+    pub fn node_role(&self, id: NodeId) -> NodeRole {
+        self.nodes[id.index()].role
+    }
+
+    /// Changes the role of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this network.
+    pub fn set_node_role(&mut self, id: NodeId, role: NodeRole) {
+        self.nodes[id.index()].role = role;
+    }
+
+    /// Looks up a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// All internal (non-terminal) nodes.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.node_role(n) == NodeRole::Internal)
+            .collect()
+    }
+
+    /// All terminal nodes.
+    pub fn terminal_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.node_role(n) == NodeRole::Terminal)
+            .collect()
+    }
+
+    /// Identifiers of the switches incident to `node`.
+    pub fn switches_at(&self, node: NodeId) -> Vec<SwitchId> {
+        self.switches()
+            .filter(|(_, s)| s.a == node || s.b == node)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The degree (number of incident switch terminals) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.switches
+            .iter()
+            .map(|s| usize::from(s.a == node) + usize::from(s.b == node))
+            .sum()
+    }
+
+    /// The set of input variables driving switch gates in this network.
+    pub fn support(&self) -> BTreeSet<Var> {
+        self.switches.iter().map(|s| s.gate.var()).collect()
+    }
+
+    /// The number of distinct input variables.
+    pub fn input_count(&self) -> usize {
+        self.support().len()
+    }
+
+    /// Computes the connectivity of the network under a bit-packed input
+    /// assignment: nodes joined by conducting switches end up in the same
+    /// union-find set.
+    pub fn connectivity(&self, assignment: u64) -> UnionFind {
+        let mut uf = UnionFind::new(self.nodes.len());
+        for s in &self.switches {
+            if s.conducts(assignment) {
+                uf.union(s.a.index(), s.b.index());
+            }
+        }
+        uf
+    }
+
+    /// `true` when `a` and `b` are connected by conducting switches under
+    /// the given assignment.
+    pub fn connected(&self, a: NodeId, b: NodeId, assignment: u64) -> bool {
+        self.connectivity(assignment)
+            .connected(a.index(), b.index())
+    }
+
+    /// Returns, for every node, whether it is connected to at least one of
+    /// the `targets` under the given assignment.
+    pub fn connected_to_any(&self, targets: &[NodeId], assignment: u64) -> Vec<bool> {
+        let mut uf = self.connectivity(assignment);
+        let target_roots: Vec<usize> = targets.iter().map(|t| uf.find(t.index())).collect();
+        self.nodes()
+            .map(|n| {
+                let root = uf.find(n.index());
+                target_roots.contains(&root)
+            })
+            .collect()
+    }
+
+    /// Extracts the conduction function between two nodes as a truth table
+    /// over `num_vars` input variables: row `i` is `1` when the nodes are
+    /// connected under assignment `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_vars` exceeds the dense truth-table limit or
+    /// is smaller than the largest variable index used in the network.
+    pub fn conduction_table(&self, a: NodeId, b: NodeId, num_vars: usize) -> Result<TruthTable> {
+        if let Some(max) = self.support().into_iter().next_back() {
+            if max.index() >= num_vars {
+                return Err(NetlistError::ParseError {
+                    line: 0,
+                    message: format!(
+                        "network uses variable {max} but only {num_vars} inputs were declared"
+                    ),
+                });
+            }
+        }
+        let tt = TruthTable::from_fn(num_vars, |assignment| self.connected(a, b, assignment))?;
+        Ok(tt)
+    }
+
+    /// Basic structural validation: every switch references valid nodes and
+    /// has a positive width, and the network has at least one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        if self.switches.is_empty() {
+            return Err(NetlistError::EmptyNetwork);
+        }
+        for s in &self.switches {
+            if s.a.index() >= self.nodes.len() {
+                return Err(NetlistError::UnknownNode { index: s.a.index() });
+            }
+            if s.b.index() >= self.nodes.len() {
+                return Err(NetlistError::UnknownNode { index: s.b.index() });
+            }
+            if s.a == s.b {
+                return Err(NetlistError::DegenerateTerminals);
+            }
+            if !(s.width > 0.0) {
+                return Err(NetlistError::ParseError {
+                    line: 0,
+                    message: "switch width must be positive".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::Namespace;
+
+    fn two_input_series() -> (SwitchNetwork, NodeId, NodeId, NodeId) {
+        // X --A-- W --B-- Z
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let w = net.add_node("W", NodeRole::Internal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        let ns = Namespace::with_names(["A", "B"]);
+        net.add_switch(ns.get("A").unwrap().positive(), x, w);
+        net.add_switch(ns.get("B").unwrap().positive(), w, z);
+        (net, x, w, z)
+    }
+
+    #[test]
+    fn series_connectivity_requires_both_inputs() {
+        let (net, x, _, z) = two_input_series();
+        assert!(net.connected(x, z, 0b11));
+        assert!(!net.connected(x, z, 0b01));
+        assert!(!net.connected(x, z, 0b10));
+        assert!(!net.connected(x, z, 0b00));
+    }
+
+    #[test]
+    fn conduction_table_matches_and() {
+        let (net, x, _, z) = two_input_series();
+        let tt = net.conduction_table(x, z, 2).unwrap();
+        assert_eq!(tt.count_ones(), 1);
+        assert!(tt.value(0b11));
+    }
+
+    #[test]
+    fn connected_to_any_reports_internal_nodes() {
+        let (net, x, w, z) = two_input_series();
+        // With only A on, W is connected to X but not Z.
+        let reach = net.connected_to_any(&[x], 0b01);
+        assert!(reach[w.index()]);
+        assert!(!reach[z.index()]);
+        // With nothing on, W is isolated.
+        let reach = net.connected_to_any(&[x, z], 0b00);
+        assert!(!reach[w.index()]);
+    }
+
+    #[test]
+    fn roles_and_lookup() {
+        let (mut net, x, w, _) = two_input_series();
+        assert_eq!(net.node_role(x), NodeRole::Terminal);
+        assert_eq!(net.node_role(w), NodeRole::Internal);
+        assert_eq!(net.internal_nodes(), vec![w]);
+        assert_eq!(net.terminal_nodes().len(), 2);
+        assert_eq!(net.find_node("W"), Some(w));
+        assert_eq!(net.find_node("nope"), None);
+        net.set_node_role(w, NodeRole::Terminal);
+        assert_eq!(net.node_role(w), NodeRole::Terminal);
+        assert_eq!(net.node_name(w), "W");
+    }
+
+    #[test]
+    fn degree_and_switches_at() {
+        let (net, x, w, _) = two_input_series();
+        assert_eq!(net.degree(w), 2);
+        assert_eq!(net.degree(x), 1);
+        assert_eq!(net.switches_at(w).len(), 2);
+        assert_eq!(net.switch_count(), 2);
+        assert_eq!(net.node_count(), 3);
+    }
+
+    #[test]
+    fn support_and_input_count() {
+        let (net, _, _, _) = two_input_series();
+        assert_eq!(net.input_count(), 2);
+        let vars: Vec<usize> = net.support().into_iter().map(|v| v.index()).collect();
+        assert_eq!(vars, vec![0, 1]);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let net = SwitchNetwork::new();
+        assert_eq!(net.validate(), Err(NetlistError::EmptyNetwork));
+
+        let (net, _, _, _) = two_input_series();
+        assert!(net.validate().is_ok());
+
+        let mut bad = SwitchNetwork::new();
+        let x = bad.add_node("X", NodeRole::Terminal);
+        bad.add_switch(Var::new(0).positive(), x, x);
+        assert_eq!(bad.validate(), Err(NetlistError::DegenerateTerminals));
+    }
+
+    #[test]
+    fn dummy_switches_are_counted_separately() {
+        let (mut net, x, w, _) = two_input_series();
+        assert_eq!(net.dummy_switch_count(), 0);
+        net.add_dummy_switch(Var::new(0).negative(), x, w);
+        assert_eq!(net.dummy_switch_count(), 1);
+        assert_eq!(net.functional_switch_count(), 2);
+        assert_eq!(net.switch_count(), 3);
+    }
+
+    #[test]
+    fn switch_other_and_lookup_errors() {
+        let (net, x, w, _) = two_input_series();
+        let (id, s) = net.switches().next().unwrap();
+        assert_eq!(s.other(x), Some(w));
+        assert_eq!(s.other(w), Some(x));
+        assert_eq!(s.other(NodeId(99)), None);
+        assert!(net.switch(id).is_ok());
+        assert!(matches!(
+            net.switch(SwitchId(42)),
+            Err(NetlistError::UnknownSwitch { index: 42 })
+        ));
+    }
+
+    #[test]
+    fn conduction_table_arity_check() {
+        let (net, x, _, z) = two_input_series();
+        assert!(net.conduction_table(x, z, 1).is_err());
+        assert!(net.conduction_table(x, z, 4).is_ok());
+    }
+}

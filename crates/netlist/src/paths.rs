@@ -1,0 +1,191 @@
+use crate::network::{NodeId, SwitchId, SwitchNetwork};
+
+/// A simple path through a [`SwitchNetwork`]: a sequence of switches joining
+/// a start node to an end node without repeating nodes.
+///
+/// Path enumeration is used by the verification module of `dpl-core` to
+/// measure the *evaluation depth* of a pull-down network ("the number of
+/// transistors in series between the nodes X or Y to the common ground node
+/// Z") and to reason about early propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    switches: Vec<SwitchId>,
+}
+
+impl Path {
+    /// The nodes visited by the path, in order (including both endpoints).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The switches traversed by the path, in order.
+    pub fn switches(&self) -> &[SwitchId] {
+        &self.switches
+    }
+
+    /// Number of switches on the path (the path's evaluation depth).
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// `true` for a zero-length path (start equals end).
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// `true` when every switch on the path conducts under the assignment.
+    pub fn conducts(&self, network: &SwitchNetwork, assignment: u64) -> bool {
+        self.switches.iter().all(|&id| {
+            network
+                .switch(id)
+                .map(|s| s.conducts(assignment))
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Enumerates every simple path between `from` and `to`.
+///
+/// The networks produced by the paper's construction are small (a handful of
+/// transistors per gate), so exhaustive enumeration is cheap; the function is
+/// nevertheless written iteratively to avoid deep recursion on adversarial
+/// inputs.
+pub fn enumerate_paths(network: &SwitchNetwork, from: NodeId, to: NodeId) -> Vec<Path> {
+    let mut result = Vec::new();
+    if from == to {
+        return result;
+    }
+
+    // Iterative DFS over (node, next-switch-index-to-try) frames.
+    let mut node_stack: Vec<NodeId> = vec![from];
+    let mut switch_stack: Vec<SwitchId> = Vec::new();
+    let mut iter_stack: Vec<Vec<SwitchId>> = vec![network.switches_at(from)];
+    let mut cursor_stack: Vec<usize> = vec![0];
+    let mut on_path = vec![false; network.node_count()];
+    on_path[from.index()] = true;
+
+    while let Some(&current) = node_stack.last() {
+        let depth = node_stack.len() - 1;
+        let cursor = cursor_stack[depth];
+        let candidates = &iter_stack[depth];
+        if cursor >= candidates.len() {
+            // Backtrack.
+            on_path[current.index()] = false;
+            node_stack.pop();
+            iter_stack.pop();
+            cursor_stack.pop();
+            switch_stack.pop();
+            continue;
+        }
+        cursor_stack[depth] += 1;
+        let switch_id = candidates[cursor];
+        let switch = network
+            .switch(switch_id)
+            .expect("switches_at only returns valid ids");
+        let Some(next) = switch.other(current) else {
+            continue;
+        };
+        if next == to {
+            let mut nodes = node_stack.clone();
+            nodes.push(to);
+            let mut switches = switch_stack.clone();
+            switches.push(switch_id);
+            result.push(Path { nodes, switches });
+            continue;
+        }
+        if on_path[next.index()] {
+            continue;
+        }
+        on_path[next.index()] = true;
+        node_stack.push(next);
+        switch_stack.push(switch_id);
+        iter_stack.push(network.switches_at(next));
+        cursor_stack.push(0);
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NodeRole;
+    use dpl_logic::Var;
+
+    fn bridge_network() -> (SwitchNetwork, NodeId, NodeId) {
+        // X --a-- m --b-- Z
+        //    \-c-- n --d--/
+        //        m --e-- n   (bridge)
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let m = net.add_node("m", NodeRole::Internal);
+        let n = net.add_node("n", NodeRole::Internal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        let v = |i: usize| Var::new(i).positive();
+        net.add_switch(v(0), x, m);
+        net.add_switch(v(1), m, z);
+        net.add_switch(v(2), x, n);
+        net.add_switch(v(3), n, z);
+        net.add_switch(v(4), m, n);
+        (net, x, z)
+    }
+
+    #[test]
+    fn series_network_has_single_path() {
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let w = net.add_node("W", NodeRole::Internal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        net.add_switch(Var::new(0).positive(), x, w);
+        net.add_switch(Var::new(1).positive(), w, z);
+        let paths = enumerate_paths(&net, x, z);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2);
+        assert_eq!(paths[0].nodes().first(), Some(&x));
+        assert_eq!(paths[0].nodes().last(), Some(&z));
+    }
+
+    #[test]
+    fn bridge_network_has_four_paths() {
+        let (net, x, z) = bridge_network();
+        let paths = enumerate_paths(&net, x, z);
+        // X-m-Z, X-n-Z, X-m-n-Z, X-n-m-Z
+        assert_eq!(paths.len(), 4);
+        let mut lengths: Vec<usize> = paths.iter().map(Path::len).collect();
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn path_conduction_respects_assignment() {
+        let (net, x, z) = bridge_network();
+        let paths = enumerate_paths(&net, x, z);
+        let direct = paths.iter().find(|p| p.len() == 2).unwrap();
+        // The X-m-Z path needs variables 0 and 1.
+        let needs: Vec<usize> = direct
+            .switches()
+            .iter()
+            .map(|&id| net.switch(id).unwrap().gate.var().index())
+            .collect();
+        let assignment = needs.iter().fold(0u64, |acc, &i| acc | (1 << i));
+        assert!(direct.conducts(&net, assignment));
+        assert!(!direct.conducts(&net, 0));
+    }
+
+    #[test]
+    fn identical_endpoints_yield_no_paths() {
+        let (net, x, _) = bridge_network();
+        assert!(enumerate_paths(&net, x, x).is_empty());
+    }
+
+    #[test]
+    fn disconnected_nodes_yield_no_paths() {
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        let iso = net.add_node("iso", NodeRole::Internal);
+        net.add_switch(Var::new(0).positive(), x, z);
+        assert!(enumerate_paths(&net, x, iso).is_empty());
+    }
+}

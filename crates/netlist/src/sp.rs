@@ -1,0 +1,524 @@
+use dpl_logic::{decompose, Decomposition, Expr, Literal};
+
+use crate::error::NetlistError;
+use crate::network::{NodeId, NodeRole, SwitchNetwork};
+use crate::Result;
+
+/// A series–parallel transistor tree.
+///
+/// This is the traditional translation of a Boolean expression into a
+/// pull-down network (paper §4.1, step 3: "an AND operation is represented
+/// by a series of switches, an OR operation by a parallel connection of
+/// switches").  Genuine differential pull-down networks are pairs of dual SP
+/// trees; the schematic-transformation procedure of §4.2 starts from such a
+/// pair, so this type also provides *recognition* of an SP structure inside
+/// an existing [`SwitchNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpTree {
+    /// A single transistor whose gate is driven by the literal.
+    Device(Literal),
+    /// Sub-networks connected in series (top to bottom).
+    Series(Vec<SpTree>),
+    /// Sub-networks connected in parallel.
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// Builds the SP tree of an expression (its genuine pull-down network).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ConstantExpression`] for constant
+    /// expressions, which have no transistor network.
+    pub fn from_expr(expr: &Expr) -> Result<Self> {
+        let nnf = expr.to_nnf().simplify();
+        Self::from_nnf(&nnf)
+    }
+
+    fn from_nnf(expr: &Expr) -> Result<Self> {
+        match decompose(expr)? {
+            Decomposition::Literal(l) => Ok(SpTree::Device(l)),
+            Decomposition::And(x, y) => Ok(SpTree::Series(vec![
+                Self::from_nnf(&x)?,
+                Self::from_nnf(&y)?,
+            ])
+            .flattened()),
+            Decomposition::Or(x, y) => Ok(SpTree::Parallel(vec![
+                Self::from_nnf(&x)?,
+                Self::from_nnf(&y)?,
+            ])
+            .flattened()),
+        }
+    }
+
+    /// Merges nested series-of-series and parallel-of-parallel nodes.
+    #[must_use]
+    pub fn flattened(&self) -> SpTree {
+        match self {
+            SpTree::Device(l) => SpTree::Device(*l),
+            SpTree::Series(children) => {
+                let mut out = Vec::new();
+                for c in children {
+                    match c.flattened() {
+                        SpTree::Series(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("length checked")
+                } else {
+                    SpTree::Series(out)
+                }
+            }
+            SpTree::Parallel(children) => {
+                let mut out = Vec::new();
+                for c in children {
+                    match c.flattened() {
+                        SpTree::Parallel(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                if out.len() == 1 {
+                    out.pop().expect("length checked")
+                } else {
+                    SpTree::Parallel(out)
+                }
+            }
+        }
+    }
+
+    /// The dual tree: series and parallel connections are swapped and every
+    /// literal is complemented.  The dual of a genuine pull-down network for
+    /// `f` is the genuine pull-down network for `!f` — the false branch of a
+    /// genuine DPDN.
+    #[must_use]
+    pub fn dual(&self) -> SpTree {
+        match self {
+            SpTree::Device(l) => SpTree::Device(l.complement()),
+            SpTree::Series(children) => SpTree::Parallel(children.iter().map(SpTree::dual).collect()),
+            SpTree::Parallel(children) => SpTree::Series(children.iter().map(SpTree::dual).collect()),
+        }
+    }
+
+    /// Evaluates whether the tree conducts for the given input assignment.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            SpTree::Device(l) => l.eval(inputs),
+            SpTree::Series(children) => children.iter().all(|c| c.eval(inputs)),
+            SpTree::Parallel(children) => children.iter().any(|c| c.eval(inputs)),
+        }
+    }
+
+    /// Evaluates the tree under a bit-packed assignment.
+    pub fn eval_bits(&self, assignment: u64) -> bool {
+        match self {
+            SpTree::Device(l) => l.eval_bits(assignment),
+            SpTree::Series(children) => children.iter().all(|c| c.eval_bits(assignment)),
+            SpTree::Parallel(children) => children.iter().any(|c| c.eval_bits(assignment)),
+        }
+    }
+
+    /// Number of transistors in the tree.
+    pub fn device_count(&self) -> usize {
+        match self {
+            SpTree::Device(_) => 1,
+            SpTree::Series(children) | SpTree::Parallel(children) => {
+                children.iter().map(SpTree::device_count).sum()
+            }
+        }
+    }
+
+    /// The literals of all devices in the tree, in left-to-right order.
+    pub fn literals(&self) -> Vec<Literal> {
+        let mut out = Vec::new();
+        self.collect_literals(&mut out);
+        out
+    }
+
+    fn collect_literals(&self, out: &mut Vec<Literal>) {
+        match self {
+            SpTree::Device(l) => out.push(*l),
+            SpTree::Series(children) | SpTree::Parallel(children) => {
+                for c in children {
+                    c.collect_literals(out);
+                }
+            }
+        }
+    }
+
+    /// Longest conduction path, in transistors, through the tree.
+    pub fn max_depth(&self) -> usize {
+        match self {
+            SpTree::Device(_) => 1,
+            SpTree::Series(children) => children.iter().map(SpTree::max_depth).sum(),
+            SpTree::Parallel(children) => {
+                children.iter().map(SpTree::max_depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Shortest conduction path, in transistors, through the tree.
+    pub fn min_depth(&self) -> usize {
+        match self {
+            SpTree::Device(_) => 1,
+            SpTree::Series(children) => children.iter().map(SpTree::min_depth).sum(),
+            SpTree::Parallel(children) => {
+                children.iter().map(SpTree::min_depth).min().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Converts the tree back into a Boolean expression.
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            SpTree::Device(l) => Expr::lit(*l),
+            SpTree::Series(children) => Expr::and(children.iter().map(SpTree::to_expr)),
+            SpTree::Parallel(children) => Expr::or(children.iter().map(SpTree::to_expr)),
+        }
+    }
+
+    /// Instantiates the tree as switches inside `network` between the `top`
+    /// and `bottom` nodes.  Internal nodes are created as needed and named
+    /// `"{prefix}{counter}"`.
+    pub fn instantiate(
+        &self,
+        network: &mut SwitchNetwork,
+        top: NodeId,
+        bottom: NodeId,
+        prefix: &str,
+    ) -> Vec<NodeId> {
+        let mut created = Vec::new();
+        let mut counter = 0usize;
+        self.instantiate_inner(network, top, bottom, prefix, &mut counter, &mut created);
+        created
+    }
+
+    fn instantiate_inner(
+        &self,
+        network: &mut SwitchNetwork,
+        top: NodeId,
+        bottom: NodeId,
+        prefix: &str,
+        counter: &mut usize,
+        created: &mut Vec<NodeId>,
+    ) {
+        match self {
+            SpTree::Device(l) => {
+                network.add_switch(*l, top, bottom);
+            }
+            SpTree::Series(children) => {
+                let mut current_top = top;
+                for (i, child) in children.iter().enumerate() {
+                    let next = if i + 1 == children.len() {
+                        bottom
+                    } else {
+                        let name = format!("{prefix}{counter}");
+                        *counter += 1;
+                        let id = network.add_node(name, NodeRole::Internal);
+                        created.push(id);
+                        id
+                    };
+                    child.instantiate_inner(network, current_top, next, prefix, counter, created);
+                    current_top = next;
+                }
+            }
+            SpTree::Parallel(children) => {
+                for child in children {
+                    child.instantiate_inner(network, top, bottom, prefix, counter, created);
+                }
+            }
+        }
+    }
+
+    /// Recognises the series–parallel structure of `network` between two
+    /// terminal nodes.
+    ///
+    /// The recognition runs the classic reduction algorithm: parallel edges
+    /// between the same node pair are merged into a [`SpTree::Parallel`]
+    /// node, and internal nodes of degree two are eliminated by merging
+    /// their two edges into a [`SpTree::Series`] node.  If the graph reduces
+    /// to a single edge between `from` and `to`, that edge's tree is the
+    /// answer; otherwise the network is not series-parallel (which is the
+    /// case for fully connected DPDNs — they intentionally share devices
+    /// between branches).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::EmptyNetwork`] if the network has no devices.
+    /// * [`NetlistError::DegenerateTerminals`] if `from == to`.
+    /// * [`NetlistError::NotSeriesParallel`] if reduction gets stuck.
+    pub fn extract(network: &SwitchNetwork, from: NodeId, to: NodeId) -> Result<Self> {
+        if network.switch_count() == 0 {
+            return Err(NetlistError::EmptyNetwork);
+        }
+        if from == to {
+            return Err(NetlistError::DegenerateTerminals);
+        }
+
+        #[derive(Debug, Clone)]
+        struct Edge {
+            a: usize,
+            b: usize,
+            tree: SpTree,
+        }
+
+        let mut edges: Vec<Edge> = network
+            .switches()
+            .map(|(_, s)| Edge {
+                a: s.a.index(),
+                b: s.b.index(),
+                tree: SpTree::Device(s.gate),
+            })
+            .collect();
+
+        let terminals = [from.index(), to.index()];
+
+        loop {
+            if edges.is_empty() {
+                return Err(NetlistError::NotSeriesParallel {
+                    context: "no edges join the requested terminals".into(),
+                });
+            }
+            if edges.len() == 1 {
+                let e = &edges[0];
+                let endpoints = [e.a, e.b];
+                if endpoints.contains(&terminals[0]) && endpoints.contains(&terminals[1]) {
+                    return Ok(edges.remove(0).tree.flattened());
+                }
+                return Err(NetlistError::NotSeriesParallel {
+                    context: "reduced to a single edge that does not join the terminals".into(),
+                });
+            }
+
+            // Parallel reduction.
+            let mut merged = false;
+            'outer: for i in 0..edges.len() {
+                for j in (i + 1)..edges.len() {
+                    let same = (edges[i].a == edges[j].a && edges[i].b == edges[j].b)
+                        || (edges[i].a == edges[j].b && edges[i].b == edges[j].a);
+                    if same {
+                        let ej = edges.remove(j);
+                        let ei = &mut edges[i];
+                        ei.tree = SpTree::Parallel(vec![ei.tree.clone(), ej.tree]);
+                        merged = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if merged {
+                continue;
+            }
+
+            // Pendant elimination: an edge hanging off a degree-one node that
+            // is not a terminal can never lie on a terminal-to-terminal path
+            // (it belongs to the other branch of a differential network), so
+            // it is dropped.
+            let mut degree = std::collections::HashMap::new();
+            for e in &edges {
+                *degree.entry(e.a).or_insert(0usize) += 1;
+                *degree.entry(e.b).or_insert(0usize) += 1;
+            }
+            if let Some(pendant) = edges.iter().position(|e| {
+                (degree[&e.a] == 1 && !terminals.contains(&e.a))
+                    || (degree[&e.b] == 1 && !terminals.contains(&e.b))
+            }) {
+                edges.remove(pendant);
+                continue;
+            }
+
+            // Series reduction: internal node of degree exactly two.
+            let candidate = degree.iter().find_map(|(&node, &deg)| {
+                if deg == 2 && !terminals.contains(&node) {
+                    Some(node)
+                } else {
+                    None
+                }
+            });
+            let Some(node) = candidate else {
+                return Err(NetlistError::NotSeriesParallel {
+                    context: format!(
+                        "no parallel or series reduction applies with {} edges remaining",
+                        edges.len()
+                    ),
+                });
+            };
+            let incident: Vec<usize> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.a == node || e.b == node)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(incident.len(), 2, "degree two node must have two edges");
+            let second = edges.remove(incident[1]);
+            let first = edges.remove(incident[0]);
+            let other_a = if first.a == node { first.b } else { first.a };
+            let other_b = if second.a == node { second.b } else { second.a };
+            edges.push(Edge {
+                a: other_a,
+                b: other_b,
+                tree: SpTree::Series(vec![first.tree, second.tree]),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_logic::{parse_expr, TruthTable, Var};
+
+    #[test]
+    fn from_expr_counts_devices() {
+        let (f, _) = parse_expr("(A+B).(C+D)").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        assert_eq!(tree.device_count(), 4);
+        assert_eq!(tree.max_depth(), 2);
+        assert_eq!(tree.min_depth(), 2);
+    }
+
+    #[test]
+    fn constants_are_rejected() {
+        let (f, _) = parse_expr("1").unwrap();
+        assert!(matches!(
+            SpTree::from_expr(&f),
+            Err(NetlistError::ConstantExpression)
+        ));
+    }
+
+    #[test]
+    fn eval_matches_expression() {
+        for text in ["A.B", "A+B", "A^B", "(A+B).(C+D)", "A.B+C.D", "A.(B+C.D)"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let tree = SpTree::from_expr(&f).unwrap();
+            for word in 0..(1u64 << ns.len()) {
+                assert_eq!(
+                    tree.eval_bits(word),
+                    f.eval_bits(word),
+                    "mismatch for {text} on {word:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_implements_complement() {
+        let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        let dual = tree.dual();
+        for word in 0..(1u64 << ns.len()) {
+            assert_eq!(dual.eval_bits(word), !f.eval_bits(word));
+        }
+        assert_eq!(dual.device_count(), tree.device_count());
+    }
+
+    #[test]
+    fn instantiate_builds_equivalent_network() {
+        let (f, ns) = parse_expr("A.(B+C.D)").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        let mut net = SwitchNetwork::new();
+        let top = net.add_node("X", NodeRole::Terminal);
+        let bottom = net.add_node("Z", NodeRole::Terminal);
+        let internal = tree.instantiate(&mut net, top, bottom, "w");
+        assert_eq!(net.switch_count(), tree.device_count());
+        assert_eq!(internal.len(), net.internal_nodes().len());
+        let tt = net.conduction_table(top, bottom, ns.len()).unwrap();
+        let expected = TruthTable::from_expr(&f, ns.len());
+        assert_eq!(tt, expected);
+    }
+
+    #[test]
+    fn extract_recovers_series_parallel_structure() {
+        for text in ["A.B", "A+B", "(A+B).(C+D)", "A.(B+C.D)", "A.B+C.D+!A.!C"] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let tree = SpTree::from_expr(&f).unwrap();
+            let mut net = SwitchNetwork::new();
+            let top = net.add_node("X", NodeRole::Terminal);
+            let bottom = net.add_node("Z", NodeRole::Terminal);
+            tree.instantiate(&mut net, top, bottom, "w");
+            let recovered = SpTree::extract(&net, top, bottom).unwrap();
+            for word in 0..(1u64 << ns.len()) {
+                assert_eq!(
+                    recovered.eval_bits(word),
+                    f.eval_bits(word),
+                    "extraction changed the function of {text}"
+                );
+            }
+            assert_eq!(recovered.device_count(), tree.device_count());
+        }
+    }
+
+    #[test]
+    fn extract_rejects_bridge_networks() {
+        // Wheatstone-bridge style network is the textbook non-SP graph.
+        let mut net = SwitchNetwork::new();
+        let x = net.add_node("X", NodeRole::Terminal);
+        let m = net.add_node("m", NodeRole::Internal);
+        let n = net.add_node("n", NodeRole::Internal);
+        let z = net.add_node("Z", NodeRole::Terminal);
+        let v = |i: usize| Var::new(i).positive();
+        net.add_switch(v(0), x, m);
+        net.add_switch(v(1), m, z);
+        net.add_switch(v(2), x, n);
+        net.add_switch(v(3), n, z);
+        net.add_switch(v(4), m, n);
+        assert!(matches!(
+            SpTree::extract(&net, x, z),
+            Err(NetlistError::NotSeriesParallel { .. })
+        ));
+    }
+
+    #[test]
+    fn extract_error_cases() {
+        let mut empty = SwitchNetwork::new();
+        let ex = empty.add_node("X", NodeRole::Terminal);
+        let ez = empty.add_node("Z", NodeRole::Terminal);
+        assert!(matches!(
+            SpTree::extract(&empty, ex, ez),
+            Err(NetlistError::EmptyNetwork)
+        ));
+
+        let mut net2 = SwitchNetwork::new();
+        let x = net2.add_node("X", NodeRole::Terminal);
+        let z = net2.add_node("Z", NodeRole::Terminal);
+        net2.add_switch(Var::new(0).positive(), x, z);
+        assert!(matches!(
+            SpTree::extract(&net2, x, x),
+            Err(NetlistError::DegenerateTerminals)
+        ));
+    }
+
+    #[test]
+    fn to_expr_roundtrips() {
+        let (f, ns) = parse_expr("A.B + !A.C").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        let back = tree.to_expr();
+        for word in 0..(1u64 << ns.len()) {
+            assert_eq!(back.eval_bits(word), f.eval_bits(word));
+        }
+    }
+
+    #[test]
+    fn flatten_merges_nested_nodes() {
+        let a = Var::new(0).positive();
+        let b = Var::new(1).positive();
+        let c = Var::new(2).positive();
+        let nested = SpTree::Series(vec![
+            SpTree::Series(vec![SpTree::Device(a), SpTree::Device(b)]),
+            SpTree::Device(c),
+        ]);
+        let flat = nested.flattened();
+        assert_eq!(
+            flat,
+            SpTree::Series(vec![SpTree::Device(a), SpTree::Device(b), SpTree::Device(c)])
+        );
+        assert_eq!(flat.literals(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn depth_statistics() {
+        let (f, _) = parse_expr("A + B.C.D").unwrap();
+        let tree = SpTree::from_expr(&f).unwrap();
+        assert_eq!(tree.max_depth(), 3);
+        assert_eq!(tree.min_depth(), 1);
+    }
+}

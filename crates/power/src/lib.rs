@@ -1,0 +1,56 @@
+//! # dpl-power
+//!
+//! Power-trace statistics, constant-power metrics and the differential power
+//! analysis attacks that motivate the paper.
+//!
+//! The paper's premise is that "logic operations have power characteristics
+//! that depend on the input data" and that a statistical attack (DPA,
+//! Kocher et al.) can extract a secret key from that dependence.  This crate
+//! provides the measurement side of the reproduction:
+//!
+//! * [`TraceSet`] — a collection of power traces with their associated
+//!   plaintext inputs,
+//! * [`stats`] — mean/variance/correlation primitives,
+//! * [`metrics`] — normalised energy deviation (NED) and normalised standard
+//!   deviation (NSD), the figures of merit used to quantify how constant a
+//!   gate's power consumption is,
+//! * [`dpa_attack`] / [`cpa_attack`] — difference-of-means DPA and
+//!   correlation power analysis used by the end-to-end S-box experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+pub mod metrics;
+pub mod stats;
+mod trace;
+
+pub use attack::{cpa_attack, dpa_attack, AttackResult};
+pub use trace::{Trace, TraceSet};
+
+/// Errors produced by the power-analysis layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The trace set is empty or traces have inconsistent lengths.
+    MalformedTraces {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// An attack was configured with zero key guesses.
+    NoKeyGuesses,
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerError::MalformedTraces { message } => write!(f, "malformed traces: {message}"),
+            PowerError::NoKeyGuesses => write!(f, "attack needs at least one key guess"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PowerError>;

@@ -1,0 +1,62 @@
+//! Constant-power figures of merit.
+//!
+//! The secure-logic literature (including the SABL papers) quantifies how
+//! constant a gate's power consumption is with two normalised metrics over
+//! the per-event energies.
+
+use crate::stats;
+
+/// Normalised energy deviation: `(E_max - E_min) / E_max`.
+///
+/// A perfectly constant-power gate has NED = 0; the CVSL AND-NAND gate the
+/// paper cites reaches roughly 0.5.
+pub fn normalized_energy_deviation(energies: &[f64]) -> f64 {
+    if energies.is_empty() {
+        return 0.0;
+    }
+    let max = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    (max - min) / max
+}
+
+/// Normalised standard deviation: `sigma(E) / mean(E)`.
+pub fn normalized_standard_deviation(energies: &[f64]) -> f64 {
+    if energies.is_empty() {
+        return 0.0;
+    }
+    let m = stats::mean(energies);
+    if m <= 0.0 {
+        return 0.0;
+    }
+    stats::std_dev(energies) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_energies_have_zero_metrics() {
+        let e = [5.0, 5.0, 5.0];
+        assert_eq!(normalized_energy_deviation(&e), 0.0);
+        assert_eq!(normalized_standard_deviation(&e), 0.0);
+    }
+
+    #[test]
+    fn varying_energies_are_detected() {
+        let e = [1.0, 2.0];
+        assert!((normalized_energy_deviation(&e) - 0.5).abs() < 1e-12);
+        assert!(normalized_standard_deviation(&e) > 0.3);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(normalized_energy_deviation(&[]), 0.0);
+        assert_eq!(normalized_standard_deviation(&[]), 0.0);
+        assert_eq!(normalized_energy_deviation(&[0.0, 0.0]), 0.0);
+        assert_eq!(normalized_standard_deviation(&[0.0, 0.0]), 0.0);
+    }
+}

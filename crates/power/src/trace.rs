@@ -1,0 +1,159 @@
+use crate::{PowerError, Result};
+
+/// A single power trace: a sequence of power/energy samples recorded while
+/// the device processed one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    samples: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from samples.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Trace { samples }
+    }
+
+    /// A single-sample trace (one energy value per operation).
+    pub fn scalar(value: f64) -> Self {
+        Trace {
+            samples: vec![value],
+        }
+    }
+
+    /// The samples of the trace.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A set of traces together with the public input (plaintext) that produced
+/// each of them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSet {
+    inputs: Vec<u64>,
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, input: u64, trace: Trace) {
+        self.inputs.push(input);
+        self.traces.push(trace);
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when no traces have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The public inputs, one per trace.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+
+    /// The traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Number of samples per trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the set is empty or traces have different lengths.
+    pub fn sample_count(&self) -> Result<usize> {
+        let first = self
+            .traces
+            .first()
+            .ok_or_else(|| PowerError::MalformedTraces {
+                message: "trace set is empty".into(),
+            })?;
+        let n = first.len();
+        if self.traces.iter().any(|t| t.len() != n) {
+            return Err(PowerError::MalformedTraces {
+                message: "traces have inconsistent lengths".into(),
+            });
+        }
+        if n == 0 {
+            return Err(PowerError::MalformedTraces {
+                message: "traces have no samples".into(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// The values of sample `index` across all traces.
+    pub fn sample_column(&self, index: usize) -> Vec<f64> {
+        self.traces.iter().map(|t| t.samples()[index]).collect()
+    }
+
+    /// Keeps only the first `n` traces (useful for measurements-to-disclosure
+    /// sweeps).
+    pub fn truncated(&self, n: usize) -> TraceSet {
+        TraceSet {
+            inputs: self.inputs.iter().copied().take(n).collect(),
+            traces: self.traces.iter().cloned().take(n).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_basics() {
+        let t = Trace::new(vec![1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = Trace::scalar(3.0);
+        assert_eq!(s.samples(), &[3.0]);
+    }
+
+    #[test]
+    fn trace_set_accumulates() {
+        let mut set = TraceSet::new();
+        assert!(set.is_empty());
+        set.push(0x3, Trace::scalar(1.0));
+        set.push(0x7, Trace::scalar(2.0));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.inputs(), &[0x3, 0x7]);
+        assert_eq!(set.sample_count().unwrap(), 1);
+        assert_eq!(set.sample_column(0), vec![1.0, 2.0]);
+        let cut = set.truncated(1);
+        assert_eq!(cut.len(), 1);
+    }
+
+    #[test]
+    fn malformed_sets_are_detected() {
+        let empty = TraceSet::new();
+        assert!(empty.sample_count().is_err());
+        let mut bad = TraceSet::new();
+        bad.push(0, Trace::new(vec![1.0, 2.0]));
+        bad.push(1, Trace::new(vec![1.0]));
+        assert!(bad.sample_count().is_err());
+        let mut no_samples = TraceSet::new();
+        no_samples.push(0, Trace::new(vec![]));
+        assert!(no_samples.sample_count().is_err());
+    }
+}

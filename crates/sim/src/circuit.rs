@@ -1,0 +1,307 @@
+use std::fmt;
+
+use crate::error::SimError;
+use crate::Result;
+
+/// Identifier of an electrical node inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The electrical role of a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Tied to the positive supply rail (fixed at `vdd`).
+    Supply,
+    /// Tied to ground (fixed at 0 V).
+    Ground,
+    /// Driven externally by a stimulus (clock or input signal).
+    Input,
+    /// A free node whose voltage is determined by the surrounding devices
+    /// and its own capacitance.
+    Internal,
+}
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosKind {
+    /// N-channel device: conducts when its gate is high.
+    Nmos,
+    /// P-channel device: conducts when its gate is low.
+    Pmos,
+}
+
+/// A MOS transistor modelled as a voltage-controlled switch with a
+/// width-proportional on-conductance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transistor {
+    /// Device polarity.
+    pub kind: MosKind,
+    /// The node driving the gate.
+    pub gate: NodeId,
+    /// First channel terminal.
+    pub a: NodeId,
+    /// Second channel terminal.
+    pub b: NodeId,
+    /// Channel width in arbitrary units; on-conductance scales linearly.
+    pub width: f64,
+}
+
+impl Transistor {
+    /// Whether the device conducts given its gate voltage, the supply
+    /// voltage and the threshold fraction.
+    pub fn conducts(&self, gate_voltage: f64, vdd: f64, threshold_fraction: f64) -> bool {
+        let threshold = vdd * threshold_fraction;
+        match self.kind {
+            MosKind::Nmos => gate_voltage > threshold,
+            MosKind::Pmos => gate_voltage < vdd - threshold,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct NodeData {
+    name: String,
+    kind: NodeKind,
+    capacitance: f64,
+}
+
+/// A transistor-level circuit: capacitive nodes joined by MOS switches.
+///
+/// ```
+/// use dpl_sim::{Circuit, MosKind, NodeKind};
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.add_node("vdd", NodeKind::Supply, 0.0);
+/// let out = ckt.add_node("out", NodeKind::Internal, 5e-15);
+/// let clk = ckt.add_node("clk", NodeKind::Input, 1e-15);
+/// ckt.add_transistor(MosKind::Pmos, clk, vdd, out, 2.0);
+/// assert_eq!(ckt.transistor_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    nodes: Vec<NodeData>,
+    transistors: Vec<Transistor>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given name, role and capacitance (in farads).
+    pub fn add_node<S: Into<String>>(&mut self, name: S, kind: NodeKind, capacitance: f64) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            name: name.into(),
+            kind,
+            capacitance,
+        });
+        id
+    }
+
+    /// Adds a transistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node identifier does not belong to this circuit.
+    pub fn add_transistor(
+        &mut self,
+        kind: MosKind,
+        gate: NodeId,
+        a: NodeId,
+        b: NodeId,
+        width: f64,
+    ) -> &mut Self {
+        for n in [gate, a, b] {
+            assert!(n.index() < self.nodes.len(), "node {n} out of range");
+        }
+        self.transistors.push(Transistor {
+            kind,
+            gate,
+            a,
+            b,
+            width,
+        });
+        self
+    }
+
+    /// Adds extra capacitance to an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn add_capacitance(&mut self, node: NodeId, capacitance: f64) {
+        self.nodes[node.index()].capacitance += capacitance;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of transistors.
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The transistors of the circuit.
+    pub fn transistors(&self) -> &[Transistor] {
+        &self.transistors
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// The role of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The capacitance of a node in farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn capacitance(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].capacitance
+    }
+
+    /// Looks up a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Total capacitance of all nodes, in farads.
+    pub fn total_capacitance(&self) -> f64 {
+        self.nodes.iter().map(|n| n.capacitance).sum()
+    }
+
+    /// Validates the circuit: free and input nodes must have positive
+    /// capacitance, device widths must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let needs_cap = matches!(n.kind, NodeKind::Internal);
+            if needs_cap && !(n.capacitance > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    message: format!("internal node `{}` (index {i}) has no capacitance", n.name),
+                });
+            }
+        }
+        for t in &self.transistors {
+            if !(t.width > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    message: "transistor width must be positive".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd", NodeKind::Supply, 0.0);
+        let gnd = ckt.add_node("gnd", NodeKind::Ground, 0.0);
+        let inp = ckt.add_node("in", NodeKind::Input, 1e-15);
+        let out = ckt.add_node("out", NodeKind::Internal, 10e-15);
+        ckt.add_transistor(MosKind::Pmos, inp, vdd, out, 2.0);
+        ckt.add_transistor(MosKind::Nmos, inp, out, gnd, 1.0);
+        (ckt, inp, out)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (ckt, inp, out) = inverter();
+        assert_eq!(ckt.node_count(), 4);
+        assert_eq!(ckt.transistor_count(), 2);
+        assert_eq!(ckt.node_name(out), "out");
+        assert_eq!(ckt.node_kind(inp), NodeKind::Input);
+        assert_eq!(ckt.find_node("out"), Some(out));
+        assert_eq!(ckt.find_node("nope"), None);
+        assert!((ckt.capacitance(out) - 10e-15).abs() < 1e-20);
+        assert!(ckt.total_capacitance() > 10e-15);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn add_capacitance_accumulates() {
+        let (mut ckt, _, out) = inverter();
+        ckt.add_capacitance(out, 5e-15);
+        assert!((ckt.capacitance(out) - 15e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn conduction_thresholds() {
+        let n = Transistor {
+            kind: MosKind::Nmos,
+            gate: NodeId(0),
+            a: NodeId(1),
+            b: NodeId(2),
+            width: 1.0,
+        };
+        let p = Transistor { kind: MosKind::Pmos, ..n };
+        assert!(n.conducts(1.8, 1.8, 0.5));
+        assert!(!n.conducts(0.0, 1.8, 0.5));
+        assert!(p.conducts(0.0, 1.8, 0.5));
+        assert!(!p.conducts(1.8, 1.8, 0.5));
+    }
+
+    #[test]
+    fn validation_catches_missing_capacitance() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node("a", NodeKind::Internal, 0.0);
+        let g = ckt.add_node("g", NodeKind::Ground, 0.0);
+        let i = ckt.add_node("i", NodeKind::Input, 1e-15);
+        ckt.add_transistor(MosKind::Nmos, i, a, g, 1.0);
+        assert!(ckt.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_width() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node("a", NodeKind::Internal, 1e-15);
+        let g = ckt.add_node("g", NodeKind::Ground, 0.0);
+        let i = ckt.add_node("i", NodeKind::Input, 1e-15);
+        ckt.add_transistor(MosKind::Nmos, i, a, g, 0.0);
+        assert!(ckt.validate().is_err());
+    }
+}

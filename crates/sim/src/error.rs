@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node identifier referenced a node that does not exist.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A circuit parameter was invalid (non-positive capacitance, zero time
+    /// step, …).
+    InvalidParameter {
+        /// Description of the offending parameter.
+        message: String,
+    },
+    /// The requested simulation would need an unreasonable number of steps.
+    TooManySteps {
+        /// The number of steps that would be required.
+        steps: usize,
+        /// The configured maximum.
+        maximum: usize,
+    },
+    /// A stimulus was attached to a node that cannot be driven.
+    UndrivableNode {
+        /// The name of the node.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            SimError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            SimError::TooManySteps { steps, maximum } => {
+                write!(f, "simulation needs {steps} steps, more than the maximum {maximum}")
+            }
+            SimError::UndrivableNode { name } => {
+                write!(f, "node `{name}` is a supply or ground node and cannot be driven")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::UnknownNode { index: 7 }.to_string().contains('7'));
+        assert!(SimError::InvalidParameter {
+            message: "dt must be positive".into()
+        }
+        .to_string()
+        .contains("dt"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! # dpl-sim
+//!
+//! A small switch-level circuit simulation substrate.
+//!
+//! The paper evaluates its networks with SPICE transient simulations of SABL
+//! gates in a 0.18 µm process (Fig. 3 and Fig. 4).  This crate provides the
+//! closest laptop-scale substitute: a transistor-level circuit description
+//! ([`Circuit`]), a threshold-switch RC transient solver
+//! ([`TransientSimulator`]) that produces node-voltage and supply-current
+//! waveforms, and the supporting waveform/stimulus machinery.
+//!
+//! The model is deliberately simple — transistors are voltage-controlled
+//! switches with a width-proportional on-conductance, nodes are linear
+//! capacitors — because the properties the paper measures are
+//! charge-conservation properties: *which* capacitances are discharged in an
+//! evaluation and how much charge the supply must deliver to recharge them.
+//! Those are preserved exactly by a switch-RC model; absolute currents and
+//! delays are not calibrated to any real process.
+//!
+//! ```
+//! use dpl_sim::{Circuit, MosKind, NodeKind};
+//!
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.add_node("vdd", NodeKind::Supply, 0.0);
+//! let gnd = ckt.add_node("gnd", NodeKind::Ground, 0.0);
+//! let out = ckt.add_node("out", NodeKind::Internal, 10e-15);
+//! let inp = ckt.add_node("in", NodeKind::Input, 1e-15);
+//! // An inverter: PMOS pulls `out` to VDD, NMOS pulls it to ground.
+//! ckt.add_transistor(MosKind::Pmos, inp, vdd, out, 2.0);
+//! ckt.add_transistor(MosKind::Nmos, inp, out, gnd, 1.0);
+//! assert_eq!(ckt.node_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod error;
+mod stimulus;
+mod transient;
+mod waveform;
+
+pub use circuit::{Circuit, MosKind, NodeId, NodeKind, Transistor};
+pub use error::SimError;
+pub use stimulus::{ClockSpec, PiecewiseLinear, Stimulus};
+pub use transient::{TransientConfig, TransientResult, TransientSimulator};
+pub use waveform::Waveform;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,182 @@
+use crate::circuit::NodeId;
+
+/// A piecewise-linear voltage source description: a list of `(time, value)`
+/// breakpoints.  Between breakpoints the value is interpolated linearly;
+/// before the first and after the last breakpoint it is held constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a source from breakpoints; the points are sorted by time.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        PiecewiseLinear { points }
+    }
+
+    /// A constant source.
+    pub fn constant(value: f64) -> Self {
+        PiecewiseLinear {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// A single step from `before` to `after` at time `t_step`, with a
+    /// linear transition of `rise_time` seconds.
+    pub fn step(before: f64, after: f64, t_step: f64, rise_time: f64) -> Self {
+        PiecewiseLinear::new(vec![(t_step, before), (t_step + rise_time, after)])
+    }
+
+    /// The value of the source at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        if t <= self.points[0].0 {
+            return self.points[0].1;
+        }
+        if t >= self.points[self.points.len() - 1].0 {
+            return self.points[self.points.len() - 1].1;
+        }
+        for pair in self.points.windows(2) {
+            let (t0, v0) = pair[0];
+            let (t1, v1) = pair[1];
+            if t >= t0 && t <= t1 {
+                if (t1 - t0).abs() < f64::EPSILON {
+                    return v1;
+                }
+                let frac = (t - t0) / (t1 - t0);
+                return v0 + frac * (v1 - v0);
+            }
+        }
+        self.points[self.points.len() - 1].1
+    }
+
+    /// The breakpoints of the source.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// A stimulus: a piecewise-linear source attached to a circuit node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stimulus {
+    /// The driven node.
+    pub node: NodeId,
+    /// The voltage source.
+    pub source: PiecewiseLinear,
+}
+
+impl Stimulus {
+    /// Attaches `source` to `node`.
+    pub fn new(node: NodeId, source: PiecewiseLinear) -> Self {
+        Stimulus { node, source }
+    }
+}
+
+/// Description of a two-phase precharge/evaluate clock.
+///
+/// The clock is low (precharge) for the first half of the period and high
+/// (evaluation) for the second half, repeated `cycles` times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Clock period in seconds.
+    pub period: f64,
+    /// Rise/fall time of every edge, in seconds.
+    pub transition: f64,
+    /// Supply voltage (the clock swings from 0 to `vdd`).
+    pub vdd: f64,
+    /// Number of cycles to generate.
+    pub cycles: usize,
+}
+
+impl ClockSpec {
+    /// Builds the piecewise-linear waveform of the clock.  Cycles start in
+    /// the evaluation-low (precharge) phase.
+    pub fn to_source(self) -> PiecewiseLinear {
+        let mut points = vec![(0.0, 0.0)];
+        for cycle in 0..self.cycles {
+            let t0 = cycle as f64 * self.period;
+            let half = self.period / 2.0;
+            // Rising edge at the middle of the cycle (start of evaluation).
+            points.push((t0 + half, 0.0));
+            points.push((t0 + half + self.transition, self.vdd));
+            // Falling edge at the end of the cycle (back to precharge).
+            points.push((t0 + self.period, self.vdd));
+            points.push((t0 + self.period + self.transition, 0.0));
+        }
+        PiecewiseLinear::new(points)
+    }
+
+    /// The time at which the evaluation phase of `cycle` begins.
+    pub fn evaluation_start(&self, cycle: usize) -> f64 {
+        cycle as f64 * self.period + self.period / 2.0
+    }
+
+    /// The total duration covered by the clock.
+    pub fn duration(&self) -> f64 {
+        self.period * self.cycles as f64 + self.period / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_step_sources() {
+        let c = PiecewiseLinear::constant(1.8);
+        assert_eq!(c.value_at(0.0), 1.8);
+        assert_eq!(c.value_at(1.0), 1.8);
+
+        let s = PiecewiseLinear::step(0.0, 1.8, 1.0, 0.1);
+        assert_eq!(s.value_at(0.5), 0.0);
+        assert!((s.value_at(1.05) - 0.9).abs() < 1e-9);
+        assert_eq!(s.value_at(2.0), 1.8);
+    }
+
+    #[test]
+    fn interpolation_is_monotonic_between_points() {
+        let s = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        assert!((s.value_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(1.5) - 0.75).abs() < 1e-12);
+        assert_eq!(s.points().len(), 3);
+    }
+
+    #[test]
+    fn empty_source_is_zero() {
+        let s = PiecewiseLinear::new(vec![]);
+        assert_eq!(s.value_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn clock_phases() {
+        let clk = ClockSpec {
+            period: 2e-9,
+            transition: 50e-12,
+            vdd: 1.8,
+            cycles: 2,
+        };
+        let w = clk.to_source();
+        // Precharge (low) early in the cycle, evaluation (high) after the
+        // rising edge in the middle of the cycle.
+        assert_eq!(w.value_at(0.5e-9), 0.0);
+        assert!((w.value_at(1.5e-9) - 1.8).abs() < 1e-9);
+        assert!((clk.evaluation_start(0) - 1e-9).abs() < 1e-15);
+        assert!((clk.evaluation_start(1) - 3e-9).abs() < 1e-15);
+        assert!(clk.duration() > 4e-9);
+        // Second cycle precharge.
+        assert!(w.value_at(2.5e-9) < 0.2);
+    }
+
+    #[test]
+    fn stimulus_binds_node_and_source() {
+        use crate::circuit::{Circuit, NodeKind};
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("in", NodeKind::Input, 1e-15);
+        let st = Stimulus::new(n, PiecewiseLinear::constant(0.0));
+        assert_eq!(st.node, n);
+        assert_eq!(st.source.value_at(0.0), 0.0);
+    }
+}

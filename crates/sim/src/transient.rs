@@ -1,0 +1,387 @@
+use crate::circuit::{Circuit, NodeId, NodeKind};
+use crate::error::SimError;
+use crate::stimulus::Stimulus;
+use crate::waveform::Waveform;
+use crate::Result;
+
+/// Parameters of a transient simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Integration time step in seconds.  `None` selects a step
+    /// automatically from the smallest RC time constant of the circuit.
+    pub dt: Option<f64>,
+    /// On-conductance per unit of transistor width, in siemens.
+    pub conductance_per_width: f64,
+    /// Gate threshold as a fraction of the supply voltage.
+    pub threshold_fraction: f64,
+    /// Maximum number of integration steps before the run is rejected.
+    pub max_steps: usize,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        TransientConfig {
+            vdd: 1.8,
+            dt: None,
+            conductance_per_width: 5.0e-5,
+            threshold_fraction: 0.5,
+            max_steps: 4_000_000,
+        }
+    }
+}
+
+/// The result of a transient run: one waveform per node plus the supply
+/// current.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    dt: f64,
+    voltages: Vec<Waveform>,
+    supply_current: Waveform,
+}
+
+impl TransientResult {
+    /// The integration step used.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The voltage waveform of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the simulated circuit.
+    pub fn voltage(&self, node: NodeId) -> &Waveform {
+        &self.voltages[node.index()]
+    }
+
+    /// The current drawn from the supply rail over time, in amperes.
+    pub fn supply_current(&self) -> &Waveform {
+        &self.supply_current
+    }
+
+    /// Total charge delivered by the supply over the run, in coulombs.
+    pub fn supply_charge(&self) -> f64 {
+        self.supply_current.integral()
+    }
+
+    /// Total energy delivered by the supply over the run, in joules
+    /// (`Q · VDD`).
+    pub fn supply_energy(&self, vdd: f64) -> f64 {
+        self.supply_charge() * vdd
+    }
+}
+
+/// Explicit (forward-Euler) switch-RC transient solver.
+///
+/// Transistors are width-scaled conductances that are switched on and off by
+/// their gate voltage; every node is a linear capacitor.  Supply and ground
+/// nodes are voltage sources; input nodes follow their attached stimulus.
+/// This captures the charge bookkeeping of dynamic differential gates — which
+/// node capacitances are discharged and how much charge the supply delivers —
+/// which is what the paper's Fig. 3/4 measure.
+#[derive(Debug, Clone)]
+pub struct TransientSimulator {
+    circuit: Circuit,
+    config: TransientConfig,
+}
+
+impl TransientSimulator {
+    /// Creates a simulator for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit or the configuration is invalid.
+    pub fn new(circuit: Circuit, config: TransientConfig) -> Result<Self> {
+        circuit.validate()?;
+        if !(config.vdd > 0.0) {
+            return Err(SimError::InvalidParameter {
+                message: "vdd must be positive".into(),
+            });
+        }
+        if !(config.conductance_per_width > 0.0) {
+            return Err(SimError::InvalidParameter {
+                message: "conductance_per_width must be positive".into(),
+            });
+        }
+        if let Some(dt) = config.dt {
+            if !(dt > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    message: "dt must be positive".into(),
+                });
+            }
+        }
+        Ok(TransientSimulator { circuit, config })
+    }
+
+    /// The simulated circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Chooses an integration step: a tenth of the smallest RC time constant
+    /// seen by any internal node.
+    fn auto_dt(&self) -> f64 {
+        let g_unit = self.config.conductance_per_width;
+        let mut min_tau = f64::INFINITY;
+        for node in self.circuit.nodes() {
+            if self.circuit.node_kind(node) != NodeKind::Internal {
+                continue;
+            }
+            let c = self.circuit.capacitance(node);
+            let g_total: f64 = self
+                .circuit
+                .transistors()
+                .iter()
+                .filter(|t| t.a == node || t.b == node)
+                .map(|t| t.width * g_unit)
+                .sum();
+            if g_total > 0.0 {
+                min_tau = min_tau.min(c / g_total);
+            }
+        }
+        if min_tau.is_finite() {
+            min_tau / 10.0
+        } else {
+            1.0e-12
+        }
+    }
+
+    /// Runs the simulation for `duration` seconds with the given stimuli.
+    ///
+    /// Internal nodes start at 0 V unless listed in `initial_high`, which
+    /// sets them to the supply voltage (useful to model a precharged state).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UndrivableNode`] if a stimulus is attached to a supply
+    ///   or ground node,
+    /// * [`SimError::TooManySteps`] if `duration / dt` exceeds the configured
+    ///   maximum.
+    pub fn run(
+        &self,
+        stimuli: &[Stimulus],
+        initial_high: &[NodeId],
+        duration: f64,
+    ) -> Result<TransientResult> {
+        let n = self.circuit.node_count();
+        let vdd = self.config.vdd;
+        for s in stimuli {
+            match self.circuit.node_kind(s.node) {
+                NodeKind::Supply | NodeKind::Ground => {
+                    return Err(SimError::UndrivableNode {
+                        name: self.circuit.node_name(s.node).to_string(),
+                    })
+                }
+                NodeKind::Input | NodeKind::Internal => {}
+            }
+        }
+
+        let dt = self.config.dt.unwrap_or_else(|| self.auto_dt());
+        let steps = (duration / dt).ceil() as usize;
+        if steps > self.config.max_steps {
+            return Err(SimError::TooManySteps {
+                steps,
+                maximum: self.config.max_steps,
+            });
+        }
+
+        // Initial conditions.
+        let mut voltage = vec![0.0f64; n];
+        for node in self.circuit.nodes() {
+            voltage[node.index()] = match self.circuit.node_kind(node) {
+                NodeKind::Supply => vdd,
+                NodeKind::Ground => 0.0,
+                NodeKind::Input | NodeKind::Internal => 0.0,
+            };
+        }
+        for &node in initial_high {
+            voltage[node.index()] = vdd;
+        }
+
+        let mut driven: Vec<Option<&Stimulus>> = vec![None; n];
+        for s in stimuli {
+            driven[s.node.index()] = Some(s);
+        }
+
+        let g_unit = self.config.conductance_per_width;
+        let thresh = self.config.threshold_fraction;
+
+        let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
+        let mut supply_trace: Vec<f64> = Vec::with_capacity(steps + 1);
+
+        let mut current_in = vec![0.0f64; n];
+        for step in 0..=steps {
+            let t = step as f64 * dt;
+
+            // Apply stimuli and fixed rails.
+            for node in self.circuit.nodes() {
+                let i = node.index();
+                match self.circuit.node_kind(node) {
+                    NodeKind::Supply => voltage[i] = vdd,
+                    NodeKind::Ground => voltage[i] = 0.0,
+                    NodeKind::Input | NodeKind::Internal => {
+                        if let Some(s) = driven[i] {
+                            voltage[i] = s.source.value_at(t);
+                        }
+                    }
+                }
+            }
+
+            // Device currents.
+            current_in.iter_mut().for_each(|c| *c = 0.0);
+            let mut supply_current = 0.0;
+            for tr in self.circuit.transistors() {
+                let vg = voltage[tr.gate.index()];
+                if !tr.conducts(vg, vdd, thresh) {
+                    continue;
+                }
+                let g = g_unit * tr.width;
+                let va = voltage[tr.a.index()];
+                let vb = voltage[tr.b.index()];
+                let i_ab = g * (va - vb); // current flowing a -> b
+                current_in[tr.a.index()] -= i_ab;
+                current_in[tr.b.index()] += i_ab;
+                let a_is_supply = self.circuit.node_kind(tr.a) == NodeKind::Supply;
+                let b_is_supply = self.circuit.node_kind(tr.b) == NodeKind::Supply;
+                if a_is_supply && !b_is_supply {
+                    supply_current += i_ab;
+                } else if b_is_supply && !a_is_supply {
+                    supply_current -= i_ab;
+                }
+            }
+
+            // Record.
+            for node in self.circuit.nodes() {
+                traces[node.index()].push(voltage[node.index()]);
+            }
+            supply_trace.push(supply_current);
+
+            // Integrate free nodes.
+            for node in self.circuit.nodes() {
+                let i = node.index();
+                if self.circuit.node_kind(node) != NodeKind::Internal || driven[i].is_some() {
+                    continue;
+                }
+                let c = self.circuit.capacitance(node);
+                voltage[i] += current_in[i] * dt / c;
+                voltage[i] = voltage[i].clamp(-0.5 * vdd, 1.5 * vdd);
+            }
+        }
+
+        Ok(TransientResult {
+            dt,
+            voltages: traces
+                .into_iter()
+                .map(|samples| Waveform::from_samples(dt, samples))
+                .collect(),
+            supply_current: Waveform::from_samples(dt, supply_trace),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::MosKind;
+    use crate::stimulus::PiecewiseLinear;
+
+    fn inverter() -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd", NodeKind::Supply, 0.0);
+        let gnd = ckt.add_node("gnd", NodeKind::Ground, 0.0);
+        let inp = ckt.add_node("in", NodeKind::Input, 1e-15);
+        let out = ckt.add_node("out", NodeKind::Internal, 20e-15);
+        ckt.add_transistor(MosKind::Pmos, inp, vdd, out, 2.0);
+        ckt.add_transistor(MosKind::Nmos, inp, out, gnd, 1.0);
+        (ckt, inp, out)
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let (ckt, inp, out) = inverter();
+        let sim = TransientSimulator::new(ckt, TransientConfig::default()).unwrap();
+        // Input low for 2 ns then high for 2 ns.
+        let stim = Stimulus::new(inp, PiecewiseLinear::step(0.0, 1.8, 2e-9, 50e-12));
+        let result = sim.run(&[stim], &[], 4e-9).unwrap();
+        let out_wave = result.voltage(out);
+        // After the first nanosecond the output has charged towards VDD.
+        assert!(out_wave.at(1.9e-9) > 1.5);
+        // After the input rises the output discharges to ground.
+        assert!(out_wave.last() < 0.2);
+    }
+
+    #[test]
+    fn supply_charge_matches_capacitor_charging() {
+        let (ckt, inp, out) = inverter();
+        let c_out = ckt.capacitance(out);
+        let vdd = 1.8;
+        let sim = TransientSimulator::new(ckt, TransientConfig::default()).unwrap();
+        // Keep the input low: the PMOS charges `out` from 0 to VDD.
+        let stim = Stimulus::new(inp, PiecewiseLinear::constant(0.0));
+        let result = sim.run(&[stim], &[], 5e-9).unwrap();
+        let q = result.supply_charge();
+        let expected = c_out * vdd;
+        let relative_error = (q - expected).abs() / expected;
+        assert!(
+            relative_error < 0.05,
+            "supply charge {q:.3e} differs from C*V {expected:.3e}"
+        );
+        assert!(result.supply_energy(vdd) > 0.0);
+        assert!(result.dt() > 0.0);
+    }
+
+    #[test]
+    fn initial_high_sets_precharged_state() {
+        let (ckt, inp, out) = inverter();
+        let sim = TransientSimulator::new(ckt, TransientConfig::default()).unwrap();
+        // Input high: the NMOS discharges the precharged output; no supply
+        // charge should flow (the PMOS is off).
+        let stim = Stimulus::new(inp, PiecewiseLinear::constant(1.8));
+        let result = sim.run(&[stim], &[out], 5e-9).unwrap();
+        assert!(result.voltage(out).at(0.0) > 1.7);
+        assert!(result.voltage(out).last() < 0.1);
+        assert!(result.supply_charge().abs() < 1e-17);
+    }
+
+    #[test]
+    fn rejects_bad_configs_and_stimuli() {
+        let (ckt, _, _) = inverter();
+        let bad = TransientConfig {
+            vdd: -1.0,
+            ..TransientConfig::default()
+        };
+        assert!(TransientSimulator::new(ckt.clone(), bad).is_err());
+
+        let bad_dt = TransientConfig {
+            dt: Some(0.0),
+            ..TransientConfig::default()
+        };
+        assert!(TransientSimulator::new(ckt.clone(), bad_dt).is_err());
+
+        let sim = TransientSimulator::new(ckt.clone(), TransientConfig::default()).unwrap();
+        let vdd_node = ckt.find_node("vdd").unwrap();
+        let stim = Stimulus::new(vdd_node, PiecewiseLinear::constant(0.0));
+        assert!(matches!(
+            sim.run(&[stim], &[], 1e-9),
+            Err(SimError::UndrivableNode { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_steps_is_rejected() {
+        let (ckt, inp, _) = inverter();
+        let config = TransientConfig {
+            dt: Some(1e-15),
+            max_steps: 1000,
+            ..TransientConfig::default()
+        };
+        let sim = TransientSimulator::new(ckt, config).unwrap();
+        let stim = Stimulus::new(inp, PiecewiseLinear::constant(0.0));
+        assert!(matches!(
+            sim.run(&[stim], &[], 1e-6),
+            Err(SimError::TooManySteps { .. })
+        ));
+    }
+}

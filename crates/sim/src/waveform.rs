@@ -1,0 +1,193 @@
+use std::fmt;
+
+/// A uniformly sampled waveform (node voltage or supply current).
+///
+/// ```
+/// use dpl_sim::Waveform;
+/// let w = Waveform::from_samples(1e-12, vec![0.0, 1.0, 2.0, 1.0]);
+/// assert_eq!(w.len(), 4);
+/// assert_eq!(w.peak(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from a fixed time step and samples.
+    pub fn from_samples(dt: f64, samples: Vec<f64>) -> Self {
+        Waveform { dt, samples }
+    }
+
+    /// The sampling interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total simulated time span in seconds.
+    pub fn duration(&self) -> f64 {
+        self.dt * self.samples.len() as f64
+    }
+
+    /// The value at the sample closest to time `t`, clamped to the ends.
+    pub fn at(&self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = (t / self.dt).round();
+        let idx = idx.clamp(0.0, (self.samples.len() - 1) as f64) as usize;
+        self.samples[idx]
+    }
+
+    /// The maximum sample value.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The final sample value.
+    pub fn last(&self) -> f64 {
+        self.samples.last().copied().unwrap_or(0.0)
+    }
+
+    /// Trapezoidal integral of the waveform over its duration.  For a supply
+    /// current waveform this is the total charge delivered, in coulombs.
+    pub fn integral(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for pair in self.samples.windows(2) {
+            total += 0.5 * (pair[0] + pair[1]) * self.dt;
+        }
+        total
+    }
+
+    /// Root-mean-square difference against another waveform of the same
+    /// length — used to quantify how similar two supply-current traces are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveforms have different lengths.
+    pub fn rms_difference(&self, other: &Waveform) -> f64 {
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "waveforms must have the same length"
+        );
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.samples.len() as f64).sqrt()
+    }
+
+    /// Maximum absolute difference against another waveform of the same
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveforms have different lengths.
+    pub fn max_difference(&self, other: &Waveform) -> f64 {
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "waveforms must have the same length"
+        );
+        self.samples
+            .iter()
+            .zip(&other.samples)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "waveform: {} samples, dt = {:.3e} s, peak = {:.3e}",
+            self.samples.len(),
+            self.dt,
+            self.peak()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let w = Waveform::from_samples(1e-12, vec![0.0, 1.0, 3.0, 1.0, 0.0]);
+        assert_eq!(w.peak(), 3.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.last(), 0.0);
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+        assert!((w.duration() - 5e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn integral_is_trapezoidal() {
+        // A triangle of height 1 over 2 steps has area dt * 1.
+        let w = Waveform::from_samples(2.0, vec![0.0, 1.0, 0.0]);
+        assert!((w.integral() - 2.0).abs() < 1e-12);
+        let empty = Waveform::from_samples(1.0, vec![]);
+        assert_eq!(empty.integral(), 0.0);
+    }
+
+    #[test]
+    fn lookup_at_time() {
+        let w = Waveform::from_samples(1.0, vec![0.0, 10.0, 20.0]);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(1.2), 10.0);
+        assert_eq!(w.at(100.0), 20.0);
+        assert_eq!(w.at(-5.0), 0.0);
+        let empty = Waveform::from_samples(1.0, vec![]);
+        assert_eq!(empty.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn difference_metrics() {
+        let a = Waveform::from_samples(1.0, vec![0.0, 1.0, 2.0]);
+        let b = Waveform::from_samples(1.0, vec![0.0, 1.0, 2.0]);
+        let c = Waveform::from_samples(1.0, vec![0.0, 2.0, 2.0]);
+        assert_eq!(a.rms_difference(&b), 0.0);
+        assert_eq!(a.max_difference(&b), 0.0);
+        assert!(a.rms_difference(&c) > 0.0);
+        assert_eq!(a.max_difference(&c), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_samples() {
+        let w = Waveform::from_samples(1e-12, vec![1.0, 2.0]);
+        assert!(w.to_string().contains("2 samples"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the synthesis invariants across crates.
+
+use dpl_cells::{CapacitanceModel, DischargeProfile};
+use dpl_core::random::{random_read_once_expr, random_sop_expr};
+use dpl_core::{verify, Dpdn};
+use dpl_logic::{decomposition_depth, TruthTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §4.1: for arbitrary read-once functions the fully connected network is
+    /// functionally correct, fully connected, and uses exactly two devices
+    /// per literal (the same count as the genuine network).
+    #[test]
+    fn fully_connected_read_once_invariants(seed in 0u64..5_000, inputs in 2usize..7) {
+        let (expr, ns) = random_read_once_expr(seed, inputs);
+        let genuine = Dpdn::genuine(&expr, &ns).unwrap();
+        let secure = Dpdn::fully_connected(&expr, &ns).unwrap();
+        prop_assert_eq!(secure.device_count(), genuine.device_count());
+        prop_assert_eq!(secure.device_count(), 2 * inputs);
+
+        let report = verify(&secure).unwrap();
+        prop_assert!(report.is_fully_connected());
+        prop_assert!(report.is_functionally_correct());
+
+        let expected = TruthTable::from_expr(&expr, ns.len());
+        prop_assert_eq!(secure.true_conduction().unwrap(), expected.clone());
+        prop_assert_eq!(secure.false_conduction().unwrap(), expected.complement());
+    }
+
+    /// §4.2: transforming the genuine schematic never changes the device
+    /// count or the function, and always yields a fully connected network.
+    #[test]
+    fn transformation_preserves_devices_and_function(seed in 0u64..5_000, inputs in 2usize..6) {
+        let (expr, ns) = random_read_once_expr(seed.wrapping_add(77), inputs);
+        let genuine = Dpdn::genuine(&expr, &ns).unwrap();
+        let transformed = genuine.to_fully_connected().unwrap();
+        prop_assert_eq!(transformed.device_count(), genuine.device_count());
+        prop_assert_eq!(
+            transformed.true_conduction().unwrap(),
+            genuine.true_conduction().unwrap()
+        );
+        prop_assert!(verify(&transformed).unwrap().is_fully_connected());
+    }
+
+    /// §5: the enhanced network has a constant evaluation depth equal to the
+    /// decomposition depth, never evaluates early, and stays correct.
+    #[test]
+    fn enhanced_read_once_invariants(seed in 0u64..5_000, inputs in 2usize..6) {
+        let (expr, ns) = random_read_once_expr(seed.wrapping_add(1234), inputs);
+        let enhanced = Dpdn::fully_connected_enhanced(&expr, &ns).unwrap();
+        let report = verify(&enhanced).unwrap();
+        prop_assert!(report.is_fully_connected());
+        prop_assert!(report.is_functionally_correct());
+        prop_assert!(report.has_constant_depth());
+        prop_assert_eq!(report.depth.max_depth(), decomposition_depth(&expr).unwrap());
+        prop_assert!(report.is_free_of_early_propagation());
+    }
+
+    /// The method also works for arbitrary (non read-once) sum-of-products
+    /// functions such as XOR and majority.
+    #[test]
+    fn fully_connected_random_sop_invariants(seed in 0u64..2_000, inputs in 2usize..5) {
+        let (expr, ns) = random_sop_expr(seed, inputs);
+        let secure = Dpdn::fully_connected(&expr, &ns).unwrap();
+        let report = verify(&secure).unwrap();
+        prop_assert!(report.is_fully_connected());
+        prop_assert!(report.is_functionally_correct());
+    }
+
+    /// Constant power: the discharged capacitance of a fully connected gate
+    /// is input independent under any (positive) capacitance model.
+    #[test]
+    fn discharge_is_constant_for_fully_connected_gates(
+        seed in 0u64..2_000,
+        inputs in 2usize..6,
+        junction_scale in 0.2f64..3.0,
+    ) {
+        let (expr, ns) = random_read_once_expr(seed.wrapping_add(31), inputs);
+        let secure = Dpdn::fully_connected(&expr, &ns).unwrap();
+        let model = CapacitanceModel {
+            junction_per_width: junction_scale * 0.8e-15,
+            ..CapacitanceModel::default()
+        };
+        let profile = DischargeProfile::analyze(&secure, &model).unwrap();
+        prop_assert!(profile.is_constant(1e-9));
+    }
+}

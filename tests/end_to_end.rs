@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: from a Boolean expression all the way to
+//! transient-simulated constant power and a failed DPA attack.
+
+use dpl_cells::{
+    characterize_cycles, simulate_event, CapacitanceModel, DischargeProfile, EventOptions,
+    SablCell,
+};
+use dpl_core::{verify, Dpdn, GateKind};
+use dpl_crypto::{
+    present_sbox, simulate_traces, synthesize_sbox_with_key, LeakageModel, LeakageOptions,
+};
+use dpl_logic::{parse_expr, TruthTable};
+use dpl_power::{dpa_attack, metrics};
+
+#[test]
+fn expression_to_verified_secure_cell() {
+    // The full §4.1 flow for a non-trivial gate.
+    let (f, ns) = parse_expr("A.B + C.D").unwrap();
+    let secure = Dpdn::fully_connected(&f, &ns).unwrap();
+    let report = verify(&secure).unwrap();
+    assert!(report.is_fully_connected());
+    assert!(report.is_functionally_correct());
+    // Conduction matches the expression on every input.
+    let expected = TruthTable::from_expr(&f, ns.len());
+    assert_eq!(secure.true_conduction().unwrap(), expected);
+}
+
+#[test]
+fn schematic_transformation_equals_expression_synthesis() {
+    let (f, ns) = parse_expr("(A+B).(C+D)").unwrap();
+    let genuine = Dpdn::genuine(&f, &ns).unwrap();
+    let transformed = genuine.to_fully_connected().unwrap();
+    let synthesised = Dpdn::fully_connected(&f, &ns).unwrap();
+    assert_eq!(transformed.device_count(), synthesised.device_count());
+    assert_eq!(
+        transformed.true_conduction().unwrap(),
+        synthesised.true_conduction().unwrap()
+    );
+    assert!(verify(&transformed).unwrap().is_fully_connected());
+}
+
+#[test]
+fn sabl_cell_transient_power_is_input_independent() {
+    // Fig. 3 end-to-end: identical supply-current waveforms for different
+    // inputs of the fully connected SABL AND-NAND gate.
+    let (f, ns) = parse_expr("A.B").unwrap();
+    let dpdn = Dpdn::fully_connected(&f, &ns).unwrap();
+    let cell = SablCell::new(&dpdn, &CapacitanceModel::default());
+    let opts = EventOptions::default();
+    let charges: Vec<f64> = (0..4u64)
+        .map(|assignment| {
+            simulate_event(cell.circuit(), cell.pins(), assignment, &opts)
+                .unwrap()
+                .supply_charge()
+        })
+        .collect();
+    let max = charges.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = charges.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max > 0.0);
+    assert!(
+        (max - min) / max < 0.02,
+        "supply charge varies by more than 2 %: {charges:?}"
+    );
+}
+
+#[test]
+fn genuine_sabl_cell_has_data_dependent_power() {
+    let (f, ns) = parse_expr("A.B").unwrap();
+    let dpdn = Dpdn::genuine(&f, &ns).unwrap();
+    let cell = SablCell::new(&dpdn, &CapacitanceModel::default());
+    let opts = EventOptions::default();
+    let sequence = [0b00u64, 0b11, 0b01, 0b00, 0b10, 0b11];
+    let profile = characterize_cycles(cell.circuit(), cell.pins(), &sequence, &opts).unwrap();
+    let ned = metrics::normalized_energy_deviation(&profile.energies());
+    assert!(
+        ned > 0.03,
+        "genuine-DPDN SABL gate should show visible energy variation, NED = {ned}"
+    );
+}
+
+#[test]
+fn charge_analysis_agrees_with_verification() {
+    // For every library gate: the charge-based discharge profile is constant
+    // exactly when the verifier says the network is fully connected.
+    let model = CapacitanceModel::default();
+    for &kind in GateKind::all() {
+        let (expr, ns) = kind.expression();
+        for dpdn in [
+            Dpdn::genuine(&expr, &ns).unwrap(),
+            Dpdn::fully_connected(&expr, &ns).unwrap(),
+        ] {
+            let report = verify(&dpdn).unwrap();
+            let profile = DischargeProfile::analyze(&dpdn, &model).unwrap();
+            if report.is_fully_connected() {
+                assert!(
+                    profile.is_constant(1e-9),
+                    "{kind:?} {:?} marked fully connected but capacitance varies",
+                    dpdn.style()
+                );
+            } else {
+                assert!(
+                    !profile.is_constant(1e-9),
+                    "{kind:?} {:?} not fully connected but capacitance is constant",
+                    dpdn.style()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dpa_fails_only_against_constant_power_gates() {
+    let netlist = synthesize_sbox_with_key().unwrap();
+    let capacitance = CapacitanceModel::default();
+    let key = 0x5u8;
+    let options = LeakageOptions {
+        relative_noise: 0.0,
+        seed: 11,
+    };
+    let selection =
+        |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
+
+    let leaky = simulate_traces(
+        &netlist,
+        LeakageModel::HammingWeight,
+        &capacitance,
+        key,
+        800,
+        &options,
+    )
+    .unwrap();
+    let result = dpa_attack(&leaky, 16, selection).unwrap();
+    assert_eq!(result.best_guess, u64::from(key));
+
+    let secure = simulate_traces(
+        &netlist,
+        LeakageModel::FullyConnectedSabl,
+        &capacitance,
+        key,
+        800,
+        &options,
+    )
+    .unwrap();
+    let result = dpa_attack(&secure, 16, selection).unwrap();
+    assert!(result.scores.iter().all(|&s| s < 1e-20));
+}
