@@ -16,7 +16,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     let netlist = synthesize_sbox_with_key().expect("synthesis");
     let cap = CapacitanceModel::default();
     let options = LeakageOptions::default();
-    for model in [LeakageModel::HammingWeight, LeakageModel::FullyConnectedSabl] {
+    for model in [
+        LeakageModel::HammingWeight,
+        LeakageModel::FullyConnectedSabl,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(model.label()),
             &model,

@@ -12,10 +12,16 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let dpa_traces: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let dpa_traces: usize = match args.get(1) {
+        None => 2000,
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("invalid trace count `{s}`; expected a positive integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
 
     let report = match which {
         "all" => dpl_bench::run_all(dpa_traces),

@@ -22,7 +22,10 @@ fn heading(out: &mut String, title: &str) {
 /// memory effect of the genuine network.
 pub fn fig2_memory_effect() -> String {
     let mut out = String::new();
-    heading(&mut out, "Fig. 2 — AND-NAND DPDN: genuine vs. fully connected");
+    heading(
+        &mut out,
+        "Fig. 2 — AND-NAND DPDN: genuine vs. fully connected",
+    );
     let (f, ns) = parse_expr("A.B").expect("static formula");
     let genuine = Dpdn::genuine(&f, &ns).expect("synthesis");
     let fc = Dpdn::fully_connected(&f, &ns).expect("synthesis");
@@ -118,7 +121,10 @@ pub fn fig4_capacitance() -> String {
     let model = CapacitanceModel::default();
     for (label, gate) in [
         ("genuine", Dpdn::genuine(&f, &ns).expect("synthesis")),
-        ("fully connected", Dpdn::fully_connected(&f, &ns).expect("synthesis")),
+        (
+            "fully connected",
+            Dpdn::fully_connected(&f, &ns).expect("synthesis"),
+        ),
     ] {
         let profile = DischargeProfile::analyze(&gate, &model).expect("analysis");
         for event in profile.events() {
@@ -186,7 +192,10 @@ pub fn fig6_enhanced() -> String {
     heading(&mut out, "Fig. 6 — enhanced fully connected AND-NAND");
     let (f, ns) = parse_expr("A.B").expect("static formula");
     for (label, gate) in [
-        ("fully connected", Dpdn::fully_connected(&f, &ns).expect("synthesis")),
+        (
+            "fully connected",
+            Dpdn::fully_connected(&f, &ns).expect("synthesis"),
+        ),
         (
             "enhanced",
             Dpdn::fully_connected_enhanced(&f, &ns).expect("synthesis"),
@@ -248,8 +257,13 @@ pub fn cvsl_comparison() -> String {
         ),
         (
             "SABL, genuine DPDN",
-            characterize_cycles(sabl_genuine.circuit(), sabl_genuine.pins(), &sequence, &opts)
-                .expect("simulation"),
+            characterize_cycles(
+                sabl_genuine.circuit(),
+                sabl_genuine.pins(),
+                &sequence,
+                &opts,
+            )
+            .expect("simulation"),
         ),
         (
             "SABL, fully connected DPDN",
@@ -286,7 +300,10 @@ pub fn cvsl_comparison() -> String {
 /// and constant-power gate implementations.
 pub fn dpa_experiment(num_traces: usize) -> String {
     let mut out = String::new();
-    heading(&mut out, "DPA on the PRESENT S-box (key-mixing + S-box datapath)");
+    heading(
+        &mut out,
+        "DPA on the PRESENT S-box (key-mixing + S-box datapath)",
+    );
     let netlist = synthesize_sbox_with_key().expect("synthesis");
     let capacitance = CapacitanceModel::default();
     let key = 0xAu8;
@@ -349,7 +366,10 @@ pub fn dpa_experiment(num_traces: usize) -> String {
 /// Experiment E8: the full gate library built with the paper's method.
 pub fn library_sweep() -> String {
     let mut out = String::new();
-    heading(&mut out, "Gate library sweep — the method on arbitrary functions");
+    heading(
+        &mut out,
+        "Gate library sweep — the method on arbitrary functions",
+    );
     let library = GateLibrary::standard().expect("library synthesis");
     let model = CapacitanceModel::default();
     let _ = writeln!(
@@ -358,7 +378,8 @@ pub fn library_sweep() -> String {
         "gate", "inputs", "genuine", "fc", "enhanced", "fc spread", "genuine spread"
     );
     for cell in library.cells() {
-        let fc_profile = DischargeProfile::analyze(&cell.fully_connected, &model).expect("analysis");
+        let fc_profile =
+            DischargeProfile::analyze(&cell.fully_connected, &model).expect("analysis");
         let genuine_profile = DischargeProfile::analyze(&cell.genuine, &model).expect("analysis");
         let _ = writeln!(
             out,

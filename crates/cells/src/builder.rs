@@ -61,5 +61,7 @@ pub(crate) fn add_dpdn_devices(
         let b = map[sw.b.index()].expect("all nodes mapped");
         circuit.add_transistor(MosKind::Nmos, gate, a, b, sw.width);
     }
-    map.into_iter().map(|n| n.expect("all nodes mapped")).collect()
+    map.into_iter()
+        .map(|n| n.expect("all nodes mapped"))
+        .collect()
 }

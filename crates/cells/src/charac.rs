@@ -81,11 +81,7 @@ fn clock_source(opts: &EventOptions, cycles: usize) -> PiecewiseLinear {
     PiecewiseLinear::new(points)
 }
 
-fn input_sources(
-    pins: &CellPins,
-    assignments: &[u64],
-    opts: &EventOptions,
-) -> Vec<Stimulus> {
+fn input_sources(pins: &CellPins, assignments: &[u64], opts: &EventOptions) -> Vec<Stimulus> {
     let mut stimuli = Vec::new();
     for (bit, &(true_rail, false_rail)) in pins.inputs.iter().enumerate() {
         let mut true_points = vec![(0.0, 0.0)];
@@ -110,7 +106,10 @@ fn input_sources(
             inactive.push((release + opts.transition, 0.0));
         }
         stimuli.push(Stimulus::new(true_rail, PiecewiseLinear::new(true_points)));
-        stimuli.push(Stimulus::new(false_rail, PiecewiseLinear::new(false_points)));
+        stimuli.push(Stimulus::new(
+            false_rail,
+            PiecewiseLinear::new(false_points),
+        ));
     }
     stimuli
 }
@@ -170,7 +169,10 @@ impl CycleProfile {
 
     /// Smallest per-cycle energy.
     pub fn min_energy(&self) -> f64 {
-        self.cycles.iter().map(|c| c.energy).fold(f64::INFINITY, f64::min)
+        self.cycles
+            .iter()
+            .map(|c| c.energy)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest per-cycle energy.
@@ -304,8 +306,7 @@ mod tests {
         // Visit every input event twice in a mixed order so memory effects
         // across cycles show up.
         let sequence = [0b00u64, 0b11, 0b01, 0b00, 0b10, 0b11, 0b01, 0b10];
-        let fc_profile =
-            characterize_cycles(fc.circuit(), fc.pins(), &sequence, &opts).unwrap();
+        let fc_profile = characterize_cycles(fc.circuit(), fc.pins(), &sequence, &opts).unwrap();
         let genuine_profile =
             characterize_cycles(genuine.circuit(), genuine.pins(), &sequence, &opts).unwrap();
         assert_eq!(fc_profile.cycles().len(), sequence.len());

@@ -57,7 +57,8 @@ impl DischargeProfile {
                 model.node_capacitance(net, node)
             }
         };
-        let fixed_part = cap_of(dpdn.x()) + cap_of(dpdn.y()) + cap_of(dpdn.z()) + model.gate_output_load;
+        let fixed_part =
+            cap_of(dpdn.x()) + cap_of(dpdn.y()) + cap_of(dpdn.z()) + model.gate_output_load;
 
         let mut events = Vec::with_capacity(report.events().len());
         for ev in report.events() {

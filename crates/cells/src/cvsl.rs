@@ -45,7 +45,11 @@ impl CvslCell {
             NodeKind::Internal,
             model.gate_output_load + model.output_node_capacitance(net, dpdn.y()),
         );
-        let z = circuit.add_node("z", NodeKind::Internal, model.node_capacitance(net, dpdn.z()));
+        let z = circuit.add_node(
+            "z",
+            NodeKind::Internal,
+            model.node_capacitance(net, dpdn.z()),
+        );
 
         // Cross-coupled PMOS load.
         circuit.add_transistor(MosKind::Pmos, out, vdd, out_b, 2.0);
@@ -118,11 +122,23 @@ mod tests {
             let v_out_b = result.voltage(cell.pins().out_b).at(t_sample);
             let expected = assignment == 0b11;
             if expected {
-                assert!(v_out > 1.4, "out high expected for {assignment:02b}, got {v_out}");
-                assert!(v_out_b < 0.4, "out_b low expected for {assignment:02b}, got {v_out_b}");
+                assert!(
+                    v_out > 1.4,
+                    "out high expected for {assignment:02b}, got {v_out}"
+                );
+                assert!(
+                    v_out_b < 0.4,
+                    "out_b low expected for {assignment:02b}, got {v_out_b}"
+                );
             } else {
-                assert!(v_out < 0.4, "out low expected for {assignment:02b}, got {v_out}");
-                assert!(v_out_b > 1.4, "out_b high expected for {assignment:02b}, got {v_out_b}");
+                assert!(
+                    v_out < 0.4,
+                    "out low expected for {assignment:02b}, got {v_out}"
+                );
+                assert!(
+                    v_out_b > 1.4,
+                    "out_b high expected for {assignment:02b}, got {v_out_b}"
+                );
             }
         }
     }

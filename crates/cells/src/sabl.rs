@@ -78,7 +78,11 @@ impl SablCell {
             NodeKind::Internal,
             model.output_node_capacitance(net, dpdn.y()),
         );
-        let z = circuit.add_node("z", NodeKind::Internal, model.node_capacitance(net, dpdn.z()));
+        let z = circuit.add_node(
+            "z",
+            NodeKind::Internal,
+            model.node_capacitance(net, dpdn.z()),
+        );
 
         // Sense amplifier: cross-coupled inverters.  `out` is regenerated
         // from the Y side, `out_b` from the X side.
@@ -161,11 +165,23 @@ mod tests {
             let v_out_b = result.voltage(cell.pins().out_b).at(t_sample);
             let expected = assignment == 0b11; // A.B
             if expected {
-                assert!(v_out > 1.4, "out should stay high for {assignment:02b}, got {v_out}");
-                assert!(v_out_b < 0.4, "out_b should fall for {assignment:02b}, got {v_out_b}");
+                assert!(
+                    v_out > 1.4,
+                    "out should stay high for {assignment:02b}, got {v_out}"
+                );
+                assert!(
+                    v_out_b < 0.4,
+                    "out_b should fall for {assignment:02b}, got {v_out_b}"
+                );
             } else {
-                assert!(v_out < 0.4, "out should fall for {assignment:02b}, got {v_out}");
-                assert!(v_out_b > 1.4, "out_b should stay high for {assignment:02b}, got {v_out_b}");
+                assert!(
+                    v_out < 0.4,
+                    "out should fall for {assignment:02b}, got {v_out}"
+                );
+                assert!(
+                    v_out_b > 1.4,
+                    "out_b should stay high for {assignment:02b}, got {v_out_b}"
+                );
             }
         }
     }

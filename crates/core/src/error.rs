@@ -38,7 +38,10 @@ impl fmt::Display for DpdnError {
             DpdnError::Logic(e) => write!(f, "logic error: {e}"),
             DpdnError::Netlist(e) => write!(f, "netlist error: {e}"),
             DpdnError::ConstantFunction => {
-                write!(f, "constant functions have no differential pull-down network")
+                write!(
+                    f,
+                    "constant functions have no differential pull-down network"
+                )
             }
             DpdnError::BranchesNotComplementary => {
                 write!(f, "the true and false branches are not complementary")

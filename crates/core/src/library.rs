@@ -244,7 +244,10 @@ impl GateLibrary {
 
     /// Total number of transistors across all fully connected cells.
     pub fn total_fully_connected_devices(&self) -> usize {
-        self.cells.iter().map(|c| c.fully_connected.device_count()).sum()
+        self.cells
+            .iter()
+            .map(|c| c.fully_connected.device_count())
+            .sum()
     }
 }
 

@@ -20,7 +20,11 @@ impl XorShift64 {
     /// constant).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -104,8 +108,7 @@ pub fn random_sop_expr(seed: u64, num_vars: usize) -> (Expr, Namespace) {
     let names: Vec<String> = (0..num_vars).map(|i| format!("IN{i}")).collect();
     let ns = Namespace::with_names(names);
     loop {
-        let tt = TruthTable::from_fn(num_vars, |_| rng.flip())
-            .expect("num_vars bounded by 12");
+        let tt = TruthTable::from_fn(num_vars, |_| rng.flip()).expect("num_vars bounded by 12");
         if tt.is_zero() || tt.is_one() {
             continue;
         }

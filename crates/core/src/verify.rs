@@ -62,7 +62,9 @@ impl ConnectivityReport {
     /// `true` when every internal node is connected to X or Y in every
     /// event — the paper's definition of a fully connected DPDN.
     pub fn is_fully_connected(&self) -> bool {
-        self.events.iter().all(|e| e.unconnected_to_outputs.is_empty())
+        self.events
+            .iter()
+            .all(|e| e.unconnected_to_outputs.is_empty())
     }
 
     /// `true` when some event leaves an internal node floating.
@@ -322,8 +324,8 @@ pub fn functional_report(dpdn: &Dpdn) -> Result<FunctionalReport> {
     let expected = TruthTable::from_expr(dpdn.function(), n);
     let true_conduction = dpdn.true_conduction()?;
     let false_conduction = dpdn.false_conduction()?;
-    let exactly_one = (0..(1usize << n))
-        .all(|row| true_conduction.value(row) != false_conduction.value(row));
+    let exactly_one =
+        (0..(1usize << n)).all(|row| true_conduction.value(row) != false_conduction.value(row));
     Ok(FunctionalReport {
         true_branch_matches: true_conduction == expected,
         false_branch_matches: false_conduction == expected.complement(),
@@ -562,16 +564,7 @@ mod tests {
         net.add_switch(a.positive(), y, w2);
         net.add_switch(b.positive(), w2, z);
         let (f, _) = parse_expr("A.B").unwrap();
-        let gate = crate::Dpdn::from_parts(
-            net,
-            x,
-            y,
-            z,
-            f,
-            ns,
-            crate::DpdnStyle::Genuine,
-        )
-        .unwrap();
+        let gate = crate::Dpdn::from_parts(net, x, y, z, f, ns, crate::DpdnStyle::Genuine).unwrap();
         let report = functional_report(&gate).unwrap();
         assert!(report.true_branch_matches);
         assert!(!report.false_branch_matches);

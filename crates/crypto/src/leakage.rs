@@ -227,8 +227,8 @@ fn total_energy(netlist: &GateNetlist, table: &GateEnergyTable, plaintext: u64, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synth::synthesize_sbox_with_key;
     use crate::present::present_sbox;
+    use crate::synth::synthesize_sbox_with_key;
     use dpl_power::{cpa_attack, dpa_attack};
 
     fn capacitance() -> CapacitanceModel {
@@ -285,12 +285,18 @@ mod tests {
             seed: 42,
         };
 
-        let selection = |plaintext: u64, guess: u64| {
-            present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
-        };
+        let selection =
+            |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
 
-        let leaky = simulate_traces(&netlist, LeakageModel::HammingWeight, &cap, key, 512, &options)
-            .unwrap();
+        let leaky = simulate_traces(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            key,
+            512,
+            &options,
+        )
+        .unwrap();
         let result = dpa_attack(&leaky, 16, selection).unwrap();
         assert_eq!(result.best_guess, key as u64, "DPA should recover the key");
 
@@ -317,8 +323,15 @@ mod tests {
             relative_noise: 0.0,
             seed: 3,
         };
-        let traces =
-            simulate_traces(&netlist, LeakageModel::GenuineSabl, &cap, key, 1024, &options).unwrap();
+        let traces = simulate_traces(
+            &netlist,
+            LeakageModel::GenuineSabl,
+            &cap,
+            key,
+            1024,
+            &options,
+        )
+        .unwrap();
         // Profiled CPA: the attacker models the device accurately (same gate
         // energy table) and tries every key hypothesis.
         let table = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).unwrap();

@@ -20,19 +20,16 @@ use crate::Result;
 ///
 /// Returns an error if the synthesis produces an inconsistent netlist
 /// (which would indicate a bug rather than bad input).
-pub fn synthesize_function(
-    input_count: usize,
-    outputs: &[TruthTable],
-) -> Result<GateNetlist> {
+pub fn synthesize_function(input_count: usize, outputs: &[TruthTable]) -> Result<GateNetlist> {
     let mut netlist = GateNetlist::new(input_count);
     let inputs = netlist.inputs();
 
     // Shared inverted rails, created on demand.
     let mut inverted: Vec<Option<SignalId>> = vec![None; input_count];
     let get_literal = |netlist: &mut GateNetlist,
-                           inverted: &mut Vec<Option<SignalId>>,
-                           var: usize,
-                           positive: bool|
+                       inverted: &mut Vec<Option<SignalId>>,
+                       var: usize,
+                       positive: bool|
      -> Result<SignalId> {
         if positive {
             Ok(inputs[var])
@@ -150,7 +147,7 @@ mod tests {
     #[test]
     fn synthesize_single_output_function() {
         let tt = TruthTable::from_fn(3, |x| x.count_ones() >= 2).unwrap();
-        let netlist = synthesize_function(3, &[tt.clone()]).unwrap();
+        let netlist = synthesize_function(3, std::slice::from_ref(&tt)).unwrap();
         for x in 0..8u64 {
             let (out, _) = netlist.evaluate(x);
             assert_eq!(out & 1 == 1, tt.value(x as usize), "input {x:03b}");

@@ -199,10 +199,9 @@ impl Sop {
         // Drop cubes contained in other cubes.
         let mut irredundant: Vec<Cube> = Vec::new();
         for (i, cube) in current.iter().enumerate() {
-            let dominated = current
-                .iter()
-                .enumerate()
-                .any(|(j, other)| i != j && other.contains(cube) && !(cube.contains(other) && j > i));
+            let dominated = current.iter().enumerate().any(|(j, other)| {
+                i != j && other.contains(cube) && !(cube.contains(other) && j > i)
+            });
             if !dominated {
                 irredundant.push(*cube);
             }

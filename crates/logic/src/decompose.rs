@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn constants_are_rejected() {
         let (f, _) = parse_expr("1").unwrap();
-        assert!(matches!(
-            decompose(&f),
-            Err(LogicError::ConstantExpression)
-        ));
+        assert!(matches!(decompose(&f), Err(LogicError::ConstantExpression)));
         let (g, _) = parse_expr("A.0").unwrap();
         assert!(decompose(&g.simplify()).is_err());
     }
@@ -236,10 +233,7 @@ mod tests {
     fn canonical_path_of_and_nand() {
         let (f, ns) = parse_expr("A.B").unwrap();
         let path = CanonicalPath::of(&f).unwrap();
-        assert_eq!(
-            path.vars(),
-            &[ns.get("A").unwrap(), ns.get("B").unwrap()]
-        );
+        assert_eq!(path.vars(), &[ns.get("A").unwrap(), ns.get("B").unwrap()]);
         assert_eq!(path.len(), 2);
         assert!(!path.is_empty());
     }

@@ -232,10 +232,7 @@ impl Expr {
                         Expr::And(vec![na, nb]),
                     ])
                 } else {
-                    Expr::Or(vec![
-                        Expr::And(vec![pa, nb]),
-                        Expr::And(vec![na, pb]),
-                    ])
+                    Expr::Or(vec![Expr::And(vec![pa, nb]), Expr::And(vec![na, pb])])
                 }
             }
         }
@@ -361,10 +358,18 @@ impl Expr {
     /// Renders the expression using the paper's notation (`.` for AND, `+`
     /// for OR, `!` for NOT) and the names of `ns`.
     pub fn display<'a>(&'a self, ns: &'a Namespace) -> ExprDisplay<'a> {
-        ExprDisplay { expr: self, ns: Some(ns) }
+        ExprDisplay {
+            expr: self,
+            ns: Some(ns),
+        }
     }
 
-    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, ns: Option<&Namespace>, prec: u8) -> fmt::Result {
+    fn fmt_prec(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        ns: Option<&Namespace>,
+        prec: u8,
+    ) -> fmt::Result {
         // precedence: Or = 0, Xor = 1, And = 2, unary = 3
         match self {
             Expr::Const(b) => write!(f, "{}", u8::from(*b)),

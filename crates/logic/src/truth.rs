@@ -133,7 +133,11 @@ impl TruthTable {
         let mut remaining = full;
         for w in &self.words {
             let take = remaining.min(64);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             count += (w & mask).count_ones() as usize;
             remaining -= take;
             if remaining == 0 {

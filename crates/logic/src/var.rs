@@ -276,7 +276,11 @@ mod tests {
         let pairs: Vec<_> = ns.iter().map(|(v, n)| (v.index(), n.to_string())).collect();
         assert_eq!(
             pairs,
-            vec![(0, "A".to_string()), (1, "B".to_string()), (2, "C".to_string())]
+            vec![
+                (0, "A".to_string()),
+                (1, "B".to_string()),
+                (2, "C".to_string())
+            ]
         );
     }
 

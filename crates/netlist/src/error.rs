@@ -31,6 +31,11 @@ pub enum NetlistError {
     },
     /// A network had no devices where at least one was required.
     EmptyNetwork,
+    /// A switch was given a non-positive (or NaN) width.
+    InvalidWidth {
+        /// Index of the offending switch.
+        switch: usize,
+    },
     /// A terminal node was expected to differ from another terminal.
     DegenerateTerminals,
 }
@@ -50,6 +55,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "netlist parse error on line {line}: {message}")
             }
             NetlistError::EmptyNetwork => write!(f, "network contains no devices"),
+            NetlistError::InvalidWidth { switch } => {
+                write!(f, "switch {switch} must have a positive width")
+            }
             NetlistError::DegenerateTerminals => {
                 write!(f, "terminal nodes of a network must be distinct")
             }

@@ -359,7 +359,7 @@ impl SwitchNetwork {
         if self.switches.is_empty() {
             return Err(NetlistError::EmptyNetwork);
         }
-        for s in &self.switches {
+        for (i, s) in self.switches.iter().enumerate() {
             if s.a.index() >= self.nodes.len() {
                 return Err(NetlistError::UnknownNode { index: s.a.index() });
             }
@@ -369,11 +369,8 @@ impl SwitchNetwork {
             if s.a == s.b {
                 return Err(NetlistError::DegenerateTerminals);
             }
-            if !(s.width > 0.0) {
-                return Err(NetlistError::ParseError {
-                    line: 0,
-                    message: "switch width must be positive".into(),
-                });
+            if s.width.is_nan() || s.width <= 0.0 {
+                return Err(NetlistError::InvalidWidth { switch: i });
             }
         }
         Ok(())

@@ -38,16 +38,12 @@ impl SpTree {
     fn from_nnf(expr: &Expr) -> Result<Self> {
         match decompose(expr)? {
             Decomposition::Literal(l) => Ok(SpTree::Device(l)),
-            Decomposition::And(x, y) => Ok(SpTree::Series(vec![
-                Self::from_nnf(&x)?,
-                Self::from_nnf(&y)?,
-            ])
-            .flattened()),
-            Decomposition::Or(x, y) => Ok(SpTree::Parallel(vec![
-                Self::from_nnf(&x)?,
-                Self::from_nnf(&y)?,
-            ])
-            .flattened()),
+            Decomposition::And(x, y) => {
+                Ok(SpTree::Series(vec![Self::from_nnf(&x)?, Self::from_nnf(&y)?]).flattened())
+            }
+            Decomposition::Or(x, y) => {
+                Ok(SpTree::Parallel(vec![Self::from_nnf(&x)?, Self::from_nnf(&y)?]).flattened())
+            }
         }
     }
 
@@ -95,8 +91,12 @@ impl SpTree {
     pub fn dual(&self) -> SpTree {
         match self {
             SpTree::Device(l) => SpTree::Device(l.complement()),
-            SpTree::Series(children) => SpTree::Parallel(children.iter().map(SpTree::dual).collect()),
-            SpTree::Parallel(children) => SpTree::Series(children.iter().map(SpTree::dual).collect()),
+            SpTree::Series(children) => {
+                SpTree::Parallel(children.iter().map(SpTree::dual).collect())
+            }
+            SpTree::Parallel(children) => {
+                SpTree::Series(children.iter().map(SpTree::dual).collect())
+            }
         }
     }
 
@@ -151,9 +151,7 @@ impl SpTree {
         match self {
             SpTree::Device(_) => 1,
             SpTree::Series(children) => children.iter().map(SpTree::max_depth).sum(),
-            SpTree::Parallel(children) => {
-                children.iter().map(SpTree::max_depth).max().unwrap_or(0)
-            }
+            SpTree::Parallel(children) => children.iter().map(SpTree::max_depth).max().unwrap_or(0),
         }
     }
 
@@ -162,9 +160,7 @@ impl SpTree {
         match self {
             SpTree::Device(_) => 1,
             SpTree::Series(children) => children.iter().map(SpTree::min_depth).sum(),
-            SpTree::Parallel(children) => {
-                children.iter().map(SpTree::min_depth).min().unwrap_or(0)
-            }
+            SpTree::Parallel(children) => children.iter().map(SpTree::min_depth).min().unwrap_or(0),
         }
     }
 
@@ -509,7 +505,11 @@ mod tests {
         let flat = nested.flattened();
         assert_eq!(
             flat,
-            SpTree::Series(vec![SpTree::Device(a), SpTree::Device(b), SpTree::Device(c)])
+            SpTree::Series(vec![
+                SpTree::Device(a),
+                SpTree::Device(b),
+                SpTree::Device(c)
+            ])
         );
         assert_eq!(flat.literals(), vec![a, b, c]);
     }

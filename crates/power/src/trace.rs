@@ -112,7 +112,7 @@ impl TraceSet {
     pub fn truncated(&self, n: usize) -> TraceSet {
         TraceSet {
             inputs: self.inputs.iter().copied().take(n).collect(),
-            traces: self.traces.iter().cloned().take(n).collect(),
+            traces: self.traces.iter().take(n).cloned().collect(),
         }
     }
 }

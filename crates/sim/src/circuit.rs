@@ -102,7 +102,12 @@ impl Circuit {
     }
 
     /// Adds a node with the given name, role and capacitance (in farads).
-    pub fn add_node<S: Into<String>>(&mut self, name: S, kind: NodeKind, capacitance: f64) -> NodeId {
+    pub fn add_node<S: Into<String>>(
+        &mut self,
+        name: S,
+        kind: NodeKind,
+        capacitance: f64,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData {
             name: name.into(),
@@ -216,14 +221,14 @@ impl Circuit {
     pub fn validate(&self) -> Result<()> {
         for (i, n) in self.nodes.iter().enumerate() {
             let needs_cap = matches!(n.kind, NodeKind::Internal);
-            if needs_cap && !(n.capacitance > 0.0) {
+            if needs_cap && (n.capacitance.is_nan() || n.capacitance <= 0.0) {
                 return Err(SimError::InvalidParameter {
                     message: format!("internal node `{}` (index {i}) has no capacitance", n.name),
                 });
             }
         }
         for t in &self.transistors {
-            if !(t.width > 0.0) {
+            if t.width.is_nan() || t.width <= 0.0 {
                 return Err(SimError::InvalidParameter {
                     message: "transistor width must be positive".into(),
                 });
@@ -278,7 +283,10 @@ mod tests {
             b: NodeId(2),
             width: 1.0,
         };
-        let p = Transistor { kind: MosKind::Pmos, ..n };
+        let p = Transistor {
+            kind: MosKind::Pmos,
+            ..n
+        };
         assert!(n.conducts(1.8, 1.8, 0.5));
         assert!(!n.conducts(0.0, 1.8, 0.5));
         assert!(p.conducts(0.0, 1.8, 0.5));

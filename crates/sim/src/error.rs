@@ -35,10 +35,16 @@ impl fmt::Display for SimError {
             SimError::UnknownNode { index } => write!(f, "unknown node index {index}"),
             SimError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
             SimError::TooManySteps { steps, maximum } => {
-                write!(f, "simulation needs {steps} steps, more than the maximum {maximum}")
+                write!(
+                    f,
+                    "simulation needs {steps} steps, more than the maximum {maximum}"
+                )
             }
             SimError::UndrivableNode { name } => {
-                write!(f, "node `{name}` is a supply or ground node and cannot be driven")
+                write!(
+                    f,
+                    "node `{name}` is a supply or ground node and cannot be driven"
+                )
             }
         }
     }

@@ -95,18 +95,18 @@ impl TransientSimulator {
     /// Returns an error if the circuit or the configuration is invalid.
     pub fn new(circuit: Circuit, config: TransientConfig) -> Result<Self> {
         circuit.validate()?;
-        if !(config.vdd > 0.0) {
+        if config.vdd.is_nan() || config.vdd <= 0.0 {
             return Err(SimError::InvalidParameter {
                 message: "vdd must be positive".into(),
             });
         }
-        if !(config.conductance_per_width > 0.0) {
+        if config.conductance_per_width.is_nan() || config.conductance_per_width <= 0.0 {
             return Err(SimError::InvalidParameter {
                 message: "conductance_per_width must be positive".into(),
             });
         }
         if let Some(dt) = config.dt {
-            if !(dt > 0.0) {
+            if dt.is_nan() || dt <= 0.0 {
                 return Err(SimError::InvalidParameter {
                     message: "dt must be positive".into(),
                 });

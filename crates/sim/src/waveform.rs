@@ -57,7 +57,10 @@ impl Waveform {
 
     /// The maximum sample value.
     pub fn peak(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The minimum sample value.

@@ -1,0 +1,31 @@
+//! Umbrella crate for the constant-power differential-logic workspace.
+//!
+//! This crate re-exports every layer of the reproduction of Tiri &
+//! Verbauwhede, *"Design Method for Constant Power Consumption of
+//! Differential Logic Circuits"* (DATE 2005), so downstream users can depend
+//! on a single crate, and so the repository-level integration tests in
+//! `tests/` and the runnable walkthroughs in `examples/` have a package to
+//! hang off.
+//!
+//! See the individual crates for the real documentation:
+//!
+//! * [`logic`] — Boolean expression substrate,
+//! * [`netlist`] — switch networks and series–parallel trees,
+//! * [`core`] — DPDN synthesis, transformation and verification,
+//! * [`sim`] — switch-level transient simulation,
+//! * [`cells`] — SABL/CVSL cell generation and characterisation,
+//! * [`power`] — trace statistics, constant-power metrics, DPA/CPA,
+//! * [`crypto`] — PRESENT S-box workload and leakage simulation,
+//! * [`bench`] — paper-figure experiment harness and `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpl_bench as bench;
+pub use dpl_cells as cells;
+pub use dpl_core as core;
+pub use dpl_crypto as crypto;
+pub use dpl_logic as logic;
+pub use dpl_netlist as netlist;
+pub use dpl_power as power;
+pub use dpl_sim as sim;

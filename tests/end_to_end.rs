@@ -2,8 +2,7 @@
 //! transient-simulated constant power and a failed DPA attack.
 
 use dpl_cells::{
-    characterize_cycles, simulate_event, CapacitanceModel, DischargeProfile, EventOptions,
-    SablCell,
+    characterize_cycles, simulate_event, CapacitanceModel, DischargeProfile, EventOptions, SablCell,
 };
 use dpl_core::{verify, Dpdn, GateKind};
 use dpl_crypto::{

@@ -1,0 +1,324 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no network access, so this
+//! crate implements the subset of the proptest surface the workspace's
+//! property tests use: the [`proptest!`] macro with `#![proptest_config]`
+//! and `arg in strategy` bindings, [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assert_ne!`], range strategies over integers and floats, and
+//! [`ProptestConfig::with_cases`].  Cases are drawn from a deterministic
+//! generator (fixed seed per test function), so failures reproduce across
+//! runs; there is no shrinking — the failing case's argument values are
+//! printed instead.  Swap the `path` dependency in the workspace manifest
+//! for the registry crate to get real shrinking; test sources need no
+//! changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-test-function configuration, mirroring `proptest::prelude::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run for each property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type, mirroring
+    /// `proptest::strategy::Strategy` (without shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    // Work in i128 so signed ranges and full-width spans
+                    // (e.g. i64::MIN..i64::MAX) cannot overflow.
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let draw = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+/// Test-execution machinery used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use crate::ProptestConfig;
+
+    /// A soft test-case failure produced by the `prop_assert_*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic SplitMix64 generator backing every strategy draw.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Drives the case loop for one property, mirroring
+    /// `proptest::test_runner::TestRunner`.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a deterministic seed derived from the test
+        /// function's name so sibling properties draw distinct streams.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let mut seed = 0xDA7E_2005_u64;
+            for b in test_name.bytes() {
+                seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+            }
+            TestRunner {
+                config,
+                rng: TestRng::new(seed),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The generator strategies draw from.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Soft assertion: fails the current case (with the stringified condition)
+/// without aborting the whole property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Soft equality assertion with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Soft inequality assertion with value diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests.
+///
+/// Supports the standard form used in this workspace — in a test module
+/// each property additionally carries a `#[test]` attribute, exactly as
+/// with the real proptest crate:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     fn my_property(x in 0u64..100, y in 2usize..7) {
+///         prop_assert!(x < 100);
+///         prop_assert!((2..7).contains(&y));
+///     }
+/// }
+/// my_property();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner =
+                $crate::test_runner::TestRunner::new(__config, stringify!($name));
+            for __case in 0..__runner.cases() {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), __runner.rng());
+                )*
+                let __case_desc = ::std::format!(
+                    concat!("case #{}:" $(, " ", stringify!($arg), " = {:?}")*),
+                    __case $(, &$arg)*
+                );
+                let __result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__err) = __result {
+                    ::std::panic!("property failed at {}\n{}", __case_desc, __err);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..50, y in 2usize..7, z in 0.25f64..4.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((2..7).contains(&y));
+            prop_assert!((0.25..4.0).contains(&z));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(z, z + 1.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}
