@@ -1,12 +1,15 @@
 //! Benchmarks of the end-to-end side-channel experiment: trace generation
-//! and key-recovery attacks on the PRESENT S-box datapath.
+//! (sequential and parallel), the streaming key-recovery attacks against
+//! their retained naive references, and bitsliced vs. scalar energy
+//! evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpl_cells::CapacitanceModel;
 use dpl_crypto::{
-    present_sbox, simulate_traces, synthesize_sbox_with_key, LeakageModel, LeakageOptions,
+    predicted_energy, present_sbox, simulate_traces, simulate_traces_parallel,
+    synthesize_sbox_with_key, EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
 };
-use dpl_power::{cpa_attack, dpa_attack};
+use dpl_power::{cpa_attack, dpa_attack, reference};
 
 fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
@@ -31,6 +34,20 @@ fn bench_trace_generation(c: &mut Criterion) {
             },
         );
     }
+    group.bench_function("parallel/static CMOS (Hamming weight)", |b| {
+        b.iter(|| {
+            simulate_traces_parallel(
+                &netlist,
+                LeakageModel::HammingWeight,
+                &cap,
+                0xA,
+                500,
+                &options,
+                None,
+            )
+            .expect("trace generation")
+        })
+    });
     group.finish();
 }
 
@@ -51,25 +68,56 @@ fn bench_attacks(c: &mut Criterion) {
         &options,
     )
     .expect("trace generation");
+    let selection =
+        |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
+    let model =
+        |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() as f64;
 
     group.bench_function("dpa_2000_traces", |b| {
-        b.iter(|| {
-            dpa_attack(&traces, 16, |plaintext, guess| {
-                present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
-            })
-            .expect("attack")
-        })
+        b.iter(|| dpa_attack(&traces, 16, selection).expect("attack"))
+    });
+    group.bench_function("dpa_2000_traces_reference", |b| {
+        b.iter(|| reference::dpa_attack(&traces, 16, selection).expect("attack"))
     });
     group.bench_function("cpa_2000_traces", |b| {
+        b.iter(|| cpa_attack(&traces, 16, model).expect("attack"))
+    });
+    group.bench_function("cpa_2000_traces_reference", |b| {
+        b.iter(|| reference::cpa_attack(&traces, 16, model).expect("attack"))
+    });
+    group.finish();
+}
+
+fn bench_energy_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy_evaluation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let cap = CapacitanceModel::default();
+    let table = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).expect("energy table");
+
+    group.bench_function("bitsliced_256_hypotheses", |b| {
+        b.iter(|| EnergyCache::new(&netlist, &table))
+    });
+    group.bench_function("scalar_256_hypotheses", |b| {
         b.iter(|| {
-            cpa_attack(&traces, 16, |plaintext, guess| {
-                present_sbox((plaintext ^ guess) as u8).count_ones() as f64
-            })
-            .expect("attack")
+            let mut acc = 0.0;
+            for plaintext in 0..16u64 {
+                for guess in 0..16u8 {
+                    acc += predicted_energy(&netlist, &table, plaintext, guess);
+                }
+            }
+            acc
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_generation, bench_attacks);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_attacks,
+    bench_energy_evaluation
+);
 criterion_main!(benches);

@@ -1,17 +1,53 @@
-//! Command-line experiment runner: regenerates every figure of the paper.
+//! Command-line experiment runner: regenerates every figure of the paper
+//! and records the performance trajectory.
 //!
 //! ```text
 //! cargo run -p dpl-bench --release --bin repro            # all experiments
 //! cargo run -p dpl-bench --release --bin repro -- fig3    # a single one
 //! cargo run -p dpl-bench --release --bin repro -- dpa 5000
+//! cargo run -p dpl-bench --release --bin repro -- bench   # perf -> BENCH_dpa.json
+//! cargo run -p dpl-bench --release --bin repro -- bench --quick --out out.json
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut config = dpl_bench::PerfConfig::full();
+    let mut out_path = String::from("BENCH_dpa.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config = dpl_bench::PerfConfig::quick(),
+            "--out" => match iter.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown bench option `{other}`; expected --quick or --out <path>");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = dpl_bench::perf::run(&config);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    if which == "bench" {
+        return run_bench(&args[1..]);
+    }
     let dpa_traces: usize = match args.get(1) {
         None => 2000,
         Some(s) => match s.parse() {
@@ -36,7 +72,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
-                 fig6, cvsl, dpa, library"
+                 fig6, cvsl, dpa, library, bench"
             );
             return ExitCode::FAILURE;
         }

@@ -8,8 +8,8 @@ use dpl_cells::{
 };
 use dpl_core::{verify, Dpdn, GateKind, GateLibrary};
 use dpl_crypto::{
-    predicted_energy, present_sbox, simulate_traces, synthesize_sbox_with_key, GateEnergyTable,
-    LeakageModel, LeakageOptions,
+    present_sbox, simulate_traces_with_table, synthesize_sbox_with_key, EnergyCache,
+    GateEnergyTable, LeakageModel, LeakageOptions,
 };
 use dpl_logic::parse_expr;
 use dpl_power::{cpa_attack, dpa_attack, metrics};
@@ -325,14 +325,15 @@ pub fn dpa_experiment(num_traces: usize) -> String {
         LeakageModel::FullyConnectedSabl,
         LeakageModel::EnhancedSabl,
     ] {
-        let traces = simulate_traces(&netlist, model, &capacitance, key, num_traces, &options)
-            .expect("trace generation");
+        let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
+        let traces = simulate_traces_with_table(&netlist, &table, key, num_traces, &options);
         let dpa = dpa_attack(&traces, 16, selection).expect("attack");
         // Profiled CPA: the strongest first-order attacker, who knows the
-        // per-gate energy table of the implementation style.
-        let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
+        // per-gate energy table of the implementation style.  The 256
+        // possible hypotheses are precomputed once, bitsliced.
+        let cache = EnergyCache::new(&netlist, &table);
         let cpa = cpa_attack(&traces, 16, |plaintext, guess| {
-            predicted_energy(&netlist, &table, plaintext, guess as u8)
+            cache.energy(plaintext, guess as u8)
         })
         .expect("attack");
         let verdict = |guess: u64| {

@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{
     cvsl_comparison, dpa_experiment, fig2_memory_effect, fig3_transient, fig4_capacitance,
     fig5_oai22, fig6_enhanced, library_sweep, run_all,
 };
+pub use perf::{PerfConfig, PerfReport, PerfRow};

@@ -5,13 +5,19 @@
 //! gates built on genuine DPDNs the energy depends on the inputs (the memory
 //! effect); for fully connected DPDNs it is constant — which is exactly why
 //! DPA succeeds against the former and fails against the latter.
-
-use std::collections::HashMap;
+//!
+//! The simulator is built for statistical workloads (thousands of traces):
+//! netlists evaluate **bitsliced** (64 input vectors per `u64` word, one
+//! word operation per gate), per-gate energies live in a fixed-size array
+//! indexed by [`GateOp::index`], the 16 noise-free per-plaintext energies of
+//! a run are computed once and reused for every trace, and
+//! [`simulate_traces_parallel`] shards trace generation across scoped
+//! threads with per-block deterministic RNG streams.
 
 use dpl_cells::{CapacitanceModel, DischargeProfile};
 use dpl_core::Dpdn;
 use dpl_logic::parse_expr;
-use dpl_power::{Trace, TraceSet};
+use dpl_power::TraceSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,10 +61,23 @@ impl LeakageModel {
     }
 }
 
+/// Per-gate-type energies, padded cyclically to the four possible bit-packed
+/// input events so lookups never branch on the gate's arity.
+#[derive(Debug, Clone, Copy)]
+struct GateEnergies {
+    events: [f64; 4],
+    /// Number of distinct input events (2 for NOT, 4 for two-input gates).
+    distinct: usize,
+}
+
 /// The per-gate-type, per-input-event energy lookup table.
+///
+/// Energies are stored in a fixed-size array indexed by [`GateOp::index`] —
+/// the lookup sits on the per-gate hot path of every trace, where the former
+/// `HashMap` was measurable overhead.
 #[derive(Debug, Clone)]
 pub struct GateEnergyTable {
-    energies: HashMap<GateOp, Vec<f64>>,
+    energies: [GateEnergies; 4],
     model: LeakageModel,
     output_energy: f64,
 }
@@ -70,7 +89,10 @@ impl GateEnergyTable {
     ///
     /// Returns an error if the underlying cell analysis fails.
     pub fn build(model: LeakageModel, capacitance: &CapacitanceModel) -> Result<Self> {
-        let mut energies = HashMap::new();
+        let mut energies = [GateEnergies {
+            events: [0.0; 4],
+            distinct: 0,
+        }; 4];
         for &op in GateOp::all() {
             let formula = match op {
                 GateOp::Not => "A",
@@ -101,7 +123,14 @@ impl GateEnergyTable {
                     profile.energies()
                 }
             };
-            energies.insert(op, per_event);
+            let mut events = [0.0; 4];
+            for (i, e) in events.iter_mut().enumerate() {
+                *e = per_event[i % per_event.len()];
+            }
+            energies[op.index()] = GateEnergies {
+                events,
+                distinct: per_event.len().min(4),
+            };
         }
         Ok(GateEnergyTable {
             energies,
@@ -118,14 +147,20 @@ impl GateEnergyTable {
     /// Energy of one evaluation of `op` with the given bit-packed gate input
     /// assignment.
     pub fn energy(&self, op: GateOp, assignment: u64) -> f64 {
-        let table = &self.energies[&op];
-        table[(assignment as usize) % table.len()]
+        self.energies[op.index()].events[(assignment as usize) & 3]
+    }
+
+    /// The energies of all four bit-packed input events of `op` (the row the
+    /// bitsliced evaluator folds over; NOT's two events appear twice).
+    pub fn event_energies(&self, op: GateOp) -> [f64; 4] {
+        self.energies[op.index()].events
     }
 
     /// The per-gate energy spread (max - min) across input events, useful to
     /// sanity check how leaky a single gate is.
     pub fn gate_energy_spread(&self, op: GateOp) -> f64 {
-        let table = &self.energies[&op];
+        let entry = &self.energies[op.index()];
+        let table = &entry.events[..entry.distinct];
         let max = table.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = table.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
@@ -164,6 +199,12 @@ impl Default for LeakageOptions {
 /// netlist for that plaintext (plus optional Gaussian noise).  The plaintext
 /// of each trace is recorded in the returned [`TraceSet`].
 ///
+/// The 16 noise-free per-plaintext energies are evaluated once (bitsliced)
+/// and reused for every trace, and the RNG draw order per trace is part of
+/// the function's contract: a given seed reproduces the exact historical
+/// trace stream.  Use [`simulate_traces_parallel`] for multi-threaded
+/// generation of large trace sets.
+///
 /// # Errors
 ///
 /// Returns an error if the gate energy table cannot be built.
@@ -176,35 +217,159 @@ pub fn simulate_traces(
     options: &LeakageOptions,
 ) -> Result<TraceSet> {
     let table = GateEnergyTable::build(model, capacitance)?;
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut set = TraceSet::new();
+    Ok(simulate_traces_with_table(
+        netlist, &table, key, num_traces, options,
+    ))
+}
 
-    // Pre-compute the noise scale from the noise-free mean energy.
+/// [`simulate_traces`] with a caller-provided (possibly shared) energy
+/// table, skipping the per-call table construction.
+pub fn simulate_traces_with_table(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    num_traces: usize,
+    options: &LeakageOptions,
+) -> TraceSet {
+    let (energies, mean_energy) = per_plaintext_energies(netlist, table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut inputs = Vec::with_capacity(num_traces);
+    let mut values = Vec::with_capacity(num_traces);
+    for _ in 0..num_traces {
+        let (plaintext, energy) = draw_trace(&mut rng, &energies, noise_sigma);
+        inputs.push(plaintext);
+        values.push(energy);
+    }
+    TraceSet::from_scalars(inputs, values)
+}
+
+/// Trace-block size of the parallel generator.  Every block draws from its
+/// own RNG stream derived from `(seed, block index)`, so the generated set
+/// depends only on the seed — never on the worker count.
+const TRACE_BLOCK: usize = 1024;
+
+/// One block of the parallel generator's output: the block index plus the
+/// input and value slices it fills.
+type TraceBlock<'a> = (usize, &'a mut [u64], &'a mut [f64]);
+
+/// Multi-threaded [`simulate_traces`]: trace generation is sharded into
+/// [`TRACE_BLOCK`]-sized blocks distributed over `workers` scoped threads
+/// (defaults to the available parallelism, capped at 8).
+///
+/// Each block seeds its own deterministic RNG stream from
+/// `(options.seed, block index)`, so for a fixed seed the output is
+/// **identical for any worker count** — but it is a different (equally
+/// valid) stream than the sequential [`simulate_traces`] draws.
+///
+/// # Errors
+///
+/// Returns an error if the gate energy table cannot be built.
+pub fn simulate_traces_parallel(
+    netlist: &GateNetlist,
+    model: LeakageModel,
+    capacitance: &CapacitanceModel,
+    key: u8,
+    num_traces: usize,
+    options: &LeakageOptions,
+    workers: Option<usize>,
+) -> Result<TraceSet> {
+    let table = GateEnergyTable::build(model, capacitance)?;
+    let (energies, mean_energy) = per_plaintext_energies(netlist, &table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let seed = options.seed;
+
+    let mut inputs = vec![0u64; num_traces];
+    let mut values = vec![0.0f64; num_traces];
+    let blocks: Vec<TraceBlock> = inputs
+        .chunks_mut(TRACE_BLOCK)
+        .zip(values.chunks_mut(TRACE_BLOCK))
+        .enumerate()
+        .map(|(index, (inputs, values))| (index, inputs, values))
+        .collect();
+    let workers = workers
+        .unwrap_or_else(default_worker_count)
+        .clamp(1, blocks.len().max(1));
+
+    // Deal the blocks round-robin onto the workers before spawning: no
+    // locks, and the block -> stream mapping stays worker-count independent.
+    let mut lots: Vec<Vec<TraceBlock>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, block) in blocks.into_iter().enumerate() {
+        lots[i % workers].push(block);
+    }
+    std::thread::scope(|scope| {
+        for lot in lots {
+            scope.spawn(move || {
+                for (index, inputs, values) in lot {
+                    let mut rng = StdRng::seed_from_u64(block_seed(seed, index));
+                    for (input, value) in inputs.iter_mut().zip(values) {
+                        let (plaintext, energy) = draw_trace(&mut rng, &energies, noise_sigma);
+                        *input = plaintext;
+                        *value = energy;
+                    }
+                }
+            });
+        }
+    });
+    Ok(TraceSet::from_scalars(inputs, values))
+}
+
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// SplitMix64 finalizer over `(seed, block)`: decorrelates the per-block
+/// streams however blocks land on workers.
+fn block_seed(seed: u64, block: usize) -> u64 {
+    let mut z = seed ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One trace draw: uniform plaintext nibble plus optional Box-Muller
+/// Gaussian noise.  The draw order is shared by the sequential and parallel
+/// generators.
+fn draw_trace(rng: &mut StdRng, energies: &[f64; 16], noise_sigma: f64) -> (u64, f64) {
+    let plaintext = rng.gen_range(0..16u64);
+    let mut energy = energies[plaintext as usize];
+    if noise_sigma > 0.0 {
+        // Box-Muller transform for Gaussian noise.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        energy += gaussian * noise_sigma;
+    }
+    (plaintext, energy)
+}
+
+/// The 16 noise-free per-plaintext energies for a fixed key (one bitsliced
+/// evaluation) and their mean — the quantities every trace of a run shares.
+fn per_plaintext_energies(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+) -> ([f64; 16], f64) {
+    let vectors: Vec<u64> = (0..16u64)
+        .map(|plaintext| plaintext | ((key as u64 & 0xF) << 4))
+        .collect();
+    let batch = batch_total_energy(netlist, table, &vectors);
+    let mut energies = [0.0; 16];
+    energies.copy_from_slice(&batch);
     let mut mean_energy = 0.0;
-    for plaintext in 0..16u64 {
-        mean_energy += total_energy(netlist, &table, plaintext, key);
+    for &e in &energies {
+        mean_energy += e;
     }
     mean_energy /= 16.0;
-    let noise_sigma = options.relative_noise * mean_energy;
-
-    for _ in 0..num_traces {
-        let plaintext = rng.gen_range(0..16u64);
-        let mut energy = total_energy(netlist, &table, plaintext, key);
-        if noise_sigma > 0.0 {
-            // Box-Muller transform for Gaussian noise.
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            energy += gaussian * noise_sigma;
-        }
-        set.push(plaintext, Trace::scalar(energy));
-    }
-    Ok(set)
+    (energies, mean_energy)
 }
 
 /// Noise-free predicted energy of one evaluation of the netlist with the
 /// given plaintext and key hypothesis — the hypothesis function of a
 /// profiled CPA attacker who knows the gate-level energy table.
+///
+/// For repeated hypotheses over the whole 4-bit plaintext/key space, build
+/// an [`EnergyCache`] once instead.
 pub fn predicted_energy(
     netlist: &GateNetlist,
     table: &GateEnergyTable,
@@ -212,6 +377,80 @@ pub fn predicted_energy(
     key: u8,
 ) -> f64 {
     total_energy(netlist, table, plaintext, key)
+}
+
+/// Batch counterpart of [`predicted_energy`]: evaluates the netlist
+/// bitsliced, 64 plaintexts per word operation.
+pub fn predicted_energies(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    plaintexts: &[u64],
+    key: u8,
+) -> Vec<f64> {
+    let mut energies = Vec::with_capacity(plaintexts.len());
+    for chunk in plaintexts.chunks(64) {
+        let vectors: Vec<u64> = chunk
+            .iter()
+            .map(|&plaintext| (plaintext & 0xF) | ((key as u64 & 0xF) << 4))
+            .collect();
+        energies.extend_from_slice(&batch_total_energy(netlist, table, &vectors));
+    }
+    energies
+}
+
+/// Memoized noise-free energies of the 4-bit datapath: one entry per
+/// `(plaintext, key)` nibble pair, filled by four bitsliced netlist
+/// evaluations.
+///
+/// This is the profiled CPA attacker's entire hypothesis space — 256 values
+/// — so computing a hypothesis for every trace collapses to an array lookup.
+#[derive(Debug, Clone)]
+pub struct EnergyCache {
+    model: LeakageModel,
+    energies: [[f64; 16]; 16],
+}
+
+impl EnergyCache {
+    /// Precomputes all 256 `(plaintext, key)` energies for the netlist under
+    /// the given energy table.
+    pub fn new(netlist: &GateNetlist, table: &GateEnergyTable) -> Self {
+        let mut energies = [[0.0; 16]; 16];
+        // 256 vectors, 64 bitsliced lanes at a time.
+        for key_group in 0..4u64 {
+            let vectors: Vec<u64> = (0..64u64)
+                .map(|lane| {
+                    let key = key_group * 4 + lane / 16;
+                    let plaintext = lane % 16;
+                    plaintext | (key << 4)
+                })
+                .collect();
+            let batch = batch_total_energy(netlist, table, &vectors);
+            for (lane, &energy) in batch.iter().enumerate() {
+                let key = (key_group as usize) * 4 + lane / 16;
+                energies[key][lane % 16] = energy;
+            }
+        }
+        EnergyCache {
+            model: table.model(),
+            energies,
+        }
+    }
+
+    /// The leakage model the underlying table was built for.
+    pub fn model(&self) -> LeakageModel {
+        self.model
+    }
+
+    /// The cached energy for a plaintext/key nibble pair (upper bits are
+    /// ignored, exactly like [`predicted_energy`]).
+    pub fn energy(&self, plaintext: u64, key: u8) -> f64 {
+        self.energies[(key & 0xF) as usize][(plaintext & 0xF) as usize]
+    }
+
+    /// All 16 per-plaintext energies of one key hypothesis.
+    pub fn key_energies(&self, key: u8) -> &[f64; 16] {
+        &self.energies[(key & 0xF) as usize]
+    }
 }
 
 fn total_energy(netlist: &GateNetlist, table: &GateEnergyTable, plaintext: u64, key: u8) -> f64 {
@@ -222,6 +461,37 @@ fn total_energy(netlist: &GateNetlist, table: &GateEnergyTable, plaintext: u64, 
         .zip(netlist.gates())
         .map(|(&assignment, gate)| table.energy(gate.op, assignment))
         .sum()
+}
+
+/// Total energies of up to 64 full input vectors in one bitsliced netlist
+/// evaluation.  Per-lane sums accumulate in gate order, so each lane is
+/// bit-identical to the scalar [`total_energy`] of its vector.
+fn batch_total_energy(netlist: &GateNetlist, table: &GateEnergyTable, vectors: &[u64]) -> Vec<f64> {
+    let eval = netlist.evaluate_bitsliced(&netlist.pack_inputs(vectors));
+    let signals = eval.signals();
+    let mut energies = vec![0.0f64; vectors.len()];
+    for gate in netlist.gates() {
+        let row = table.event_energies(gate.op);
+        if row[1] == row[0] && row[2] == row[0] && row[3] == row[0] {
+            // Constant-power gate (the whole point of the paper): one add
+            // per lane, no bit extraction.
+            for energy in &mut energies {
+                *energy += row[0];
+            }
+            continue;
+        }
+        let a = signals[gate.a.index()];
+        let b = if gate.op.arity() == 2 {
+            signals[gate.b.index()]
+        } else {
+            0
+        };
+        for (lane, energy) in energies.iter_mut().enumerate() {
+            let assignment = ((a >> lane) & 1) | (((b >> lane) & 1) << 1);
+            *energy += row[assignment as usize];
+        }
+    }
+    energies
 }
 
 #[cfg(test)]
@@ -253,6 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn event_energy_rows_cycle_not_events() {
+        let hw = GateEnergyTable::build(LeakageModel::HammingWeight, &capacitance()).unwrap();
+        let row = hw.event_energies(GateOp::Not);
+        // NOT has two events; the row pads them cyclically.
+        assert_eq!(row[0], row[2]);
+        assert_eq!(row[1], row[3]);
+        assert_eq!(hw.energy(GateOp::Not, 0), row[0]);
+        assert_eq!(hw.energy(GateOp::Not, 1), row[1]);
+        // The NOT row is keyed by its pull-down formula "A": the assignment
+        // with A=1 charges the output under the Hamming-weight model.
+        assert_eq!(hw.energy(GateOp::Not, 0), 0.0);
+        assert!(hw.energy(GateOp::Not, 1) > 0.0);
+        for &op in GateOp::all() {
+            assert_eq!(hw.event_energies(op)[2], hw.energy(op, 2));
+        }
+    }
+
+    #[test]
     fn fully_connected_traces_are_constant_without_noise() {
         let netlist = synthesize_sbox_with_key().unwrap();
         let options = LeakageOptions {
@@ -268,11 +556,9 @@ mod tests {
             &options,
         )
         .unwrap();
-        let first = traces.traces()[0].samples()[0];
-        assert!(traces
-            .traces()
-            .iter()
-            .all(|t| (t.samples()[0] - first).abs() < 1e-20));
+        let column = traces.sample_column(0);
+        let first = column[0];
+        assert!(column.iter().all(|&v| (v - first).abs() < 1e-20));
     }
 
     #[test]
@@ -335,11 +621,131 @@ mod tests {
         // Profiled CPA: the attacker models the device accurately (same gate
         // energy table) and tries every key hypothesis.
         let table = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).unwrap();
+        let cache = EnergyCache::new(&netlist, &table);
         let result = cpa_attack(&traces, 16, |plaintext, guess| {
-            total_energy(&netlist, &table, plaintext, guess as u8)
+            cache.energy(plaintext, guess as u8)
         })
         .unwrap();
         assert_eq!(result.best_guess, key as u64);
         assert!(result.scores[key as usize] > 0.999);
+    }
+
+    #[test]
+    fn energy_cache_matches_scalar_prediction_exactly() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        for model in [LeakageModel::HammingWeight, LeakageModel::GenuineSabl] {
+            let table = GateEnergyTable::build(model, &cap).unwrap();
+            let cache = EnergyCache::new(&netlist, &table);
+            assert_eq!(cache.model(), model);
+            for plaintext in 0..16u64 {
+                for key in 0..16u8 {
+                    let scalar = predicted_energy(&netlist, &table, plaintext, key);
+                    assert_eq!(
+                        cache.energy(plaintext, key),
+                        scalar,
+                        "{model:?} pt={plaintext:X} key={key:X}"
+                    );
+                    assert_eq!(cache.key_energies(key)[plaintext as usize], scalar);
+                }
+            }
+            // The batch API agrees too, including >64-plaintext chunking.
+            let plaintexts: Vec<u64> = (0..100).map(|i| i % 16).collect();
+            let batch = predicted_energies(&netlist, &table, &plaintexts, 0xB);
+            for (&plaintext, &energy) in plaintexts.iter().zip(&batch) {
+                assert_eq!(energy, predicted_energy(&netlist, &table, plaintext, 0xB));
+            }
+        }
+    }
+
+    #[test]
+    fn with_table_variant_matches_simulate_traces() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions::default();
+        let table = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
+        let a = simulate_traces(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0x5,
+            200,
+            &options,
+        )
+        .unwrap();
+        let b = simulate_traces_with_table(&netlist, &table, 0x5, 200, &options);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic_across_worker_counts() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions {
+            relative_noise: 0.02,
+            seed: 77,
+        };
+        // More traces than one block so several streams are in play.
+        let n = 3000;
+        let reference = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0xC,
+            n,
+            &options,
+            Some(1),
+        )
+        .unwrap();
+        for workers in [2, 3, 5] {
+            let set = simulate_traces_parallel(
+                &netlist,
+                LeakageModel::HammingWeight,
+                &cap,
+                0xC,
+                n,
+                &options,
+                Some(workers),
+            )
+            .unwrap();
+            assert_eq!(set, reference, "workers = {workers}");
+        }
+        let default_workers = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0xC,
+            n,
+            &options,
+            None,
+        )
+        .unwrap();
+        assert_eq!(default_workers, reference);
+    }
+
+    #[test]
+    fn parallel_traces_still_leak_the_key() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let key = 0x3u8;
+        let options = LeakageOptions {
+            relative_noise: 0.0,
+            seed: 11,
+        };
+        let traces = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            key,
+            512,
+            &options,
+            None,
+        )
+        .unwrap();
+        let result = dpa_attack(&traces, 16, |plaintext, guess| {
+            present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
+        })
+        .unwrap();
+        assert_eq!(result.best_guess, key as u64);
     }
 }

@@ -25,9 +25,10 @@ mod present;
 mod synth;
 
 pub use leakage::{
-    predicted_energy, simulate_traces, GateEnergyTable, LeakageModel, LeakageOptions,
+    predicted_energies, predicted_energy, simulate_traces, simulate_traces_parallel,
+    simulate_traces_with_table, EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
 };
-pub use netlist::{Gate, GateNetlist, GateOp, SignalId};
+pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
 pub use present::{present_sbox, present_sbox_inverse, PRESENT_SBOX};
 pub use synth::{synthesize_function, synthesize_sbox_with_key};
 

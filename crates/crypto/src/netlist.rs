@@ -55,6 +55,28 @@ impl GateOp {
     pub fn all() -> &'static [GateOp] {
         &[GateOp::Not, GateOp::And2, GateOp::Or2, GateOp::Xor2]
     }
+
+    /// Dense discriminant of the operation, suitable for array-indexed
+    /// lookup tables (`GateOp::all()[op.index()] == op`).
+    pub const fn index(self) -> usize {
+        match self {
+            GateOp::Not => 0,
+            GateOp::And2 => 1,
+            GateOp::Or2 => 2,
+            GateOp::Xor2 => 3,
+        }
+    }
+
+    /// Evaluates the gate on bit-packed words, one independent evaluation
+    /// per bit lane.
+    pub fn eval_word(self, a: u64, b: u64) -> u64 {
+        match self {
+            GateOp::Not => !a,
+            GateOp::And2 => a & b,
+            GateOp::Or2 => a | b,
+            GateOp::Xor2 => a ^ b,
+        }
+    }
 }
 
 impl fmt::Display for GateOp {
@@ -181,6 +203,58 @@ impl GateNetlist {
         (output, values)
     }
 
+    /// Packs up to 64 bit-packed input words into the bitsliced layout
+    /// consumed by [`GateNetlist::evaluate_bitsliced`]: word `i` of the
+    /// result carries primary input `i`, with bit lane `j` holding its value
+    /// for `vectors[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 vectors are supplied.
+    pub fn pack_inputs(&self, vectors: &[u64]) -> Vec<u64> {
+        assert!(
+            vectors.len() <= 64,
+            "at most 64 input vectors fit one bitsliced word"
+        );
+        (0..self.input_count)
+            .map(|i| {
+                let mut word = 0u64;
+                for (lane, &vector) in vectors.iter().enumerate() {
+                    word |= ((vector >> i) & 1) << lane;
+                }
+                word
+            })
+            .collect()
+    }
+
+    /// Evaluates the netlist on 64 input vectors at once: every signal is a
+    /// `u64` word whose bit lane `j` carries the signal's value for input
+    /// vector `j`, and each gate evaluates as a single word operation.
+    ///
+    /// Unused lanes evaluate the all-zero input vector; callers that packed
+    /// fewer than 64 vectors simply ignore the spare lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not provide exactly one word per primary
+    /// input (use [`GateNetlist::pack_inputs`] to build the layout).
+    pub fn evaluate_bitsliced(&self, inputs: &[u64]) -> BitslicedEval {
+        assert_eq!(
+            inputs.len(),
+            self.input_count,
+            "one packed word per primary input required"
+        );
+        let mut signals = vec![0u64; self.signal_count];
+        signals[..self.input_count].copy_from_slice(inputs);
+        for gate in &self.gates {
+            let a = signals[gate.a.index()];
+            let b = signals[gate.b.index()];
+            signals[gate.out.index()] = gate.op.eval_word(a, b);
+        }
+        let outputs = self.outputs.iter().map(|s| signals[s.index()]).collect();
+        BitslicedEval { signals, outputs }
+    }
+
     /// The bit-packed input assignment seen by every gate for the given
     /// primary input (bit 0 = gate input `a`, bit 1 = gate input `b`).
     pub fn gate_assignments(&self, input: u64) -> Vec<u64> {
@@ -198,6 +272,38 @@ impl GateNetlist {
                 word
             })
             .collect()
+    }
+}
+
+/// The result of one bitsliced netlist evaluation: 64 independent
+/// evaluations packed into one `u64` word per signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitslicedEval {
+    signals: Vec<u64>,
+    outputs: Vec<u64>,
+}
+
+impl BitslicedEval {
+    /// The packed value of every signal (lane `j` = input vector `j`).
+    pub fn signals(&self) -> &[u64] {
+        &self.signals
+    }
+
+    /// The packed value of every primary output bit.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Reassembles the bit-packed output word of one lane, matching the
+    /// first return value of [`GateNetlist::evaluate`] for that input
+    /// vector.
+    pub fn output_lane(&self, lane: usize) -> u64 {
+        assert!(lane < 64, "bitsliced words carry 64 lanes");
+        let mut output = 0u64;
+        for (i, &word) in self.outputs.iter().enumerate() {
+            output |= ((word >> lane) & 1) << i;
+        }
+        output
     }
 }
 
@@ -247,6 +353,44 @@ mod tests {
     }
 
     #[test]
+    fn bitsliced_evaluation_matches_scalar() {
+        let nl = full_adder_sum();
+        // All 8 possible inputs in one bitsliced evaluation.
+        let vectors: Vec<u64> = (0..8).collect();
+        let packed = nl.pack_inputs(&vectors);
+        let eval = nl.evaluate_bitsliced(&packed);
+        assert_eq!(eval.signals().len(), 5);
+        assert_eq!(eval.outputs().len(), 1);
+        for (lane, &input) in vectors.iter().enumerate() {
+            let (scalar_out, scalar_values) = nl.evaluate(input);
+            assert_eq!(eval.output_lane(lane), scalar_out, "input {input:03b}");
+            for (i, &v) in scalar_values.iter().enumerate() {
+                assert_eq!(
+                    (eval.signals()[i] >> lane) & 1 == 1,
+                    v,
+                    "signal {i}, input {input:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unused_bitsliced_lanes_carry_the_zero_vector() {
+        let nl = full_adder_sum();
+        let eval = nl.evaluate_bitsliced(&nl.pack_inputs(&[0b111]));
+        let (zero_out, _) = nl.evaluate(0);
+        assert_eq!(eval.output_lane(63), zero_out);
+        assert_eq!(eval.output_lane(0), nl.evaluate(0b111).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one packed word per primary input")]
+    fn bitsliced_evaluation_rejects_wrong_arity() {
+        let nl = full_adder_sum();
+        nl.evaluate_bitsliced(&[0, 0]);
+    }
+
+    #[test]
     fn gate_op_helpers() {
         assert_eq!(GateOp::Not.arity(), 1);
         assert_eq!(GateOp::And2.arity(), 2);
@@ -256,5 +400,18 @@ mod tests {
         assert!(GateOp::Not.eval(false, false));
         assert_eq!(GateOp::all().len(), 4);
         assert_eq!(GateOp::And2.to_string(), "AND2");
+        for (i, &op) in GateOp::all().iter().enumerate() {
+            assert_eq!(op.index(), i);
+            // eval_word agrees with eval on every lane pattern.
+            for a in [0u64, u64::MAX, 0xF0F0] {
+                for b in [0u64, u64::MAX, 0x00FF] {
+                    let word = op.eval_word(a, b);
+                    for lane in [0, 7, 63] {
+                        let expected = op.eval((a >> lane) & 1 == 1, (b >> lane) & 1 == 1);
+                        assert_eq!((word >> lane) & 1 == 1, expected, "{op} lane {lane}");
+                    }
+                }
+            }
+        }
     }
 }

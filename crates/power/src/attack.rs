@@ -2,6 +2,11 @@ use crate::stats;
 use crate::trace::TraceSet;
 use crate::{PowerError, Result};
 
+/// When the traces carry at most this many distinct inputs, the attacks
+/// aggregate per-input-class column sums once and score every key guess in
+/// O(classes) per sample instead of O(traces).
+const MAX_INPUT_CLASSES: usize = 64;
+
 /// The outcome of a key-recovery attack: a score per key guess and the
 /// best-scoring guess.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,17 +20,88 @@ pub struct AttackResult {
 impl AttackResult {
     /// Ratio between the best score and the second best score — a crude
     /// confidence measure (1.0 means the attack cannot distinguish guesses).
+    ///
+    /// The top two scores are found in a single pass.  When the second-best
+    /// score is not positive the ratio is undefined: the result is
+    /// `INFINITY` if the best score is positive (the winner stands alone)
+    /// and 1.0 otherwise (nothing distinguishes the guesses).
     pub fn distinguishing_ratio(&self) -> f64 {
         if self.scores.len() < 2 {
             return 1.0;
         }
-        let mut sorted = self.scores.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        if sorted[1] <= 0.0 {
-            return f64::INFINITY;
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &score in &self.scores {
+            if score > best {
+                second = best;
+                best = score;
+            } else if score > second {
+                second = score;
+            }
         }
-        sorted[0] / sorted[1]
+        if second > 0.0 {
+            best / second
+        } else if best > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
     }
+}
+
+/// A partition of the traces into equivalence classes of equal input values,
+/// used to aggregate per-class column sums once per attack.
+struct InputClasses {
+    /// The distinct input values, in order of first appearance.
+    values: Vec<u64>,
+    /// Class index of every trace.
+    class_of: Vec<u8>,
+}
+
+/// Classifies the traces by input value; `None` when the inputs are too
+/// diverse for class aggregation to pay off.
+fn classify_inputs(inputs: &[u64]) -> Option<InputClasses> {
+    let mut values: Vec<u64> = Vec::with_capacity(MAX_INPUT_CLASSES);
+    let mut class_of = Vec::with_capacity(inputs.len());
+    for &input in inputs {
+        let class = match values.iter().position(|&v| v == input) {
+            Some(c) => c,
+            None => {
+                if values.len() == MAX_INPUT_CLASSES {
+                    return None;
+                }
+                values.push(input);
+                values.len() - 1
+            }
+        };
+        class_of.push(class as u8);
+    }
+    Some(InputClasses { values, class_of })
+}
+
+/// Per-class trace counts and per-(sample, class) column sums, the shared
+/// sufficient statistics of both class-aggregated attacks.
+struct ClassSums {
+    counts: Vec<usize>,
+    /// `sums[s * classes + c]` = sum of sample `s` over the traces of class `c`.
+    sums: Vec<f64>,
+}
+
+fn class_sums(traces: &TraceSet, classes: &InputClasses, samples: usize) -> ClassSums {
+    let k = classes.values.len();
+    let mut counts = vec![0usize; k];
+    for &c in &classes.class_of {
+        counts[c as usize] += 1;
+    }
+    let mut sums = vec![0.0f64; samples * k];
+    for s in 0..samples {
+        let column = traces.sample_column(s);
+        let row = &mut sums[s * k..(s + 1) * k];
+        for (&c, &v) in classes.class_of.iter().zip(column) {
+            row[c as usize] += v;
+        }
+    }
+    ClassSums { counts, sums }
 }
 
 /// Classic difference-of-means DPA (Kocher et al. [2] in the paper).
@@ -34,6 +110,13 @@ impl AttackResult {
 /// `selection(plaintext, guess)` (the predicted value of a target bit); the
 /// guess whose groups differ the most is reported.  The score of a guess is
 /// the maximum absolute difference of means over all trace samples.
+///
+/// The partition of a guess does not depend on the sample index, so it is
+/// computed **once** per guess and folded over the columnar trace storage in
+/// a single allocation-free sweep.  When the traces carry few distinct
+/// inputs (e.g. 4-bit plaintexts) the partition collapses further onto
+/// per-input-class sums, scoring each guess in O(classes) per sample.
+/// `selection` must therefore be a pure function of `(input, guess)`.
 ///
 /// # Errors
 ///
@@ -46,27 +129,71 @@ where
         return Err(PowerError::NoKeyGuesses);
     }
     let samples = traces.sample_count()?;
+    let total = traces.len();
     let mut scores = Vec::with_capacity(key_guesses as usize);
-    for guess in 0..key_guesses {
-        let mut best = 0.0f64;
-        for s in 0..samples {
-            let column = traces.sample_column(s);
-            let mut ones = Vec::new();
-            let mut zeros = Vec::new();
-            for (&input, &value) in traces.inputs().iter().zip(&column) {
-                if selection(input, guess) {
-                    ones.push(value);
-                } else {
-                    zeros.push(value);
+
+    if let Some(classes) = classify_inputs(traces.inputs()) {
+        let k = classes.values.len();
+        let stats = class_sums(traces, &classes, samples);
+        let mut selected = vec![false; k];
+        for guess in 0..key_guesses {
+            let mut ones = 0usize;
+            for (sel, &value) in selected.iter_mut().zip(&classes.values) {
+                *sel = selection(value, guess);
+            }
+            for (c, &sel) in selected.iter().enumerate() {
+                if sel {
+                    ones += stats.counts[c];
                 }
             }
-            if ones.is_empty() || zeros.is_empty() {
-                continue;
+            let zeros = total - ones;
+            let mut best = 0.0f64;
+            if ones > 0 && zeros > 0 {
+                for s in 0..samples {
+                    let row = &stats.sums[s * k..(s + 1) * k];
+                    let mut sum_ones = 0.0;
+                    let mut sum_zeros = 0.0;
+                    for (&sum, &sel) in row.iter().zip(&selected) {
+                        if sel {
+                            sum_ones += sum;
+                        } else {
+                            sum_zeros += sum;
+                        }
+                    }
+                    let dom = (sum_ones / ones as f64 - sum_zeros / zeros as f64).abs();
+                    best = best.max(dom);
+                }
             }
-            let dom = stats::difference_of_means(&ones, &zeros).abs();
-            best = best.max(dom);
+            scores.push(best);
         }
-        scores.push(best);
+    } else {
+        let mut mask = vec![false; total];
+        for guess in 0..key_guesses {
+            let mut ones = 0usize;
+            for (m, &input) in mask.iter_mut().zip(traces.inputs()) {
+                *m = selection(input, guess);
+                ones += usize::from(*m);
+            }
+            let zeros = total - ones;
+            let mut best = 0.0f64;
+            if ones > 0 && zeros > 0 {
+                for s in 0..samples {
+                    let column = traces.sample_column(s);
+                    let mut sum_ones = 0.0;
+                    let mut sum_zeros = 0.0;
+                    for (&m, &v) in mask.iter().zip(column) {
+                        if m {
+                            sum_ones += v;
+                        } else {
+                            sum_zeros += v;
+                        }
+                    }
+                    let dom = (sum_ones / ones as f64 - sum_zeros / zeros as f64).abs();
+                    best = best.max(dom);
+                }
+            }
+            scores.push(best);
+        }
     }
     Ok(best_result(scores))
 }
@@ -75,6 +202,11 @@ where
 /// correlated against a hypothetical power model `model(plaintext, guess)`
 /// (typically a Hamming weight); the guess with the highest absolute
 /// correlation wins.
+///
+/// Column means and centered column norms are computed once; each guess then
+/// only accumulates its cross-products in one sweep per sample.  As with
+/// [`dpa_attack`], few-distinct-input trace sets collapse onto per-class
+/// sums, and `model` must be a pure function of `(input, guess)`.
 ///
 /// # Errors
 ///
@@ -87,20 +219,80 @@ where
         return Err(PowerError::NoKeyGuesses);
     }
     let samples = traces.sample_count()?;
+    let n = traces.len();
     let mut scores = Vec::with_capacity(key_guesses as usize);
-    for guess in 0..key_guesses {
-        let hypothesis: Vec<f64> = traces
-            .inputs()
-            .iter()
-            .map(|&input| model(input, guess))
-            .collect();
-        let mut best = 0.0f64;
-        for s in 0..samples {
-            let column = traces.sample_column(s);
-            let corr = stats::pearson(&hypothesis, &column).abs();
-            best = best.max(corr);
+
+    // Guess-independent column statistics, computed once.
+    let mut col_mean = vec![0.0f64; samples];
+    let mut col_css = vec![0.0f64; samples];
+    for s in 0..samples {
+        let column = traces.sample_column(s);
+        col_mean[s] = stats::mean(column);
+        col_css[s] = stats::centered_sum_of_squares(column, col_mean[s]);
+    }
+
+    if let Some(classes) = classify_inputs(traces.inputs()) {
+        let k = classes.values.len();
+        let stats = class_sums(traces, &classes, samples);
+        let mut hypothesis = vec![0.0f64; k];
+        for guess in 0..key_guesses {
+            for (h, &value) in hypothesis.iter_mut().zip(&classes.values) {
+                *h = model(value, guess);
+            }
+            let mut mh = 0.0;
+            for (c, &h) in hypothesis.iter().enumerate() {
+                mh += stats.counts[c] as f64 * h;
+            }
+            mh /= n as f64;
+            let mut va = 0.0;
+            for (c, &h) in hypothesis.iter().enumerate() {
+                va += stats.counts[c] as f64 * (h - mh) * (h - mh);
+            }
+            let mut best = 0.0f64;
+            for s in 0..samples {
+                let vb = col_css[s];
+                let my = col_mean[s];
+                let row = &stats.sums[s * k..(s + 1) * k];
+                let mut cov = 0.0;
+                // sum_c (h_c - mh) * sum_{t in c} (y_t - my)
+                for (c, &h) in hypothesis.iter().enumerate() {
+                    cov += (h - mh) * (row[c] - stats.counts[c] as f64 * my);
+                }
+                let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
+                    0.0
+                } else {
+                    cov / (va.sqrt() * vb.sqrt())
+                };
+                best = best.max(corr.abs());
+            }
+            scores.push(best);
         }
-        scores.push(best);
+    } else {
+        let mut hypothesis = vec![0.0f64; n];
+        for guess in 0..key_guesses {
+            for (h, &input) in hypothesis.iter_mut().zip(traces.inputs()) {
+                *h = model(input, guess);
+            }
+            let mh = stats::mean(&hypothesis);
+            let va = stats::centered_sum_of_squares(&hypothesis, mh);
+            let mut best = 0.0f64;
+            for s in 0..samples {
+                let column = traces.sample_column(s);
+                let my = col_mean[s];
+                let vb = col_css[s];
+                let mut cov = 0.0;
+                for (&h, &y) in hypothesis.iter().zip(column) {
+                    cov += (h - mh) * (y - my);
+                }
+                let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
+                    0.0
+                } else {
+                    cov / (va.sqrt() * vb.sqrt())
+                };
+                best = best.max(corr.abs());
+            }
+            scores.push(best);
+        }
     }
     Ok(best_result(scores))
 }
@@ -115,10 +307,96 @@ fn best_result(scores: Vec<f64>) -> AttackResult {
     AttackResult { scores, best_guess }
 }
 
+/// The straightforward per-(guess, sample) implementations of both attacks,
+/// retained as the correctness oracle for the streaming versions.
+///
+/// These mirror the pre-columnar code: every `(guess, sample)` pair gathers
+/// the column into a fresh allocation and partitions/correlates it from
+/// scratch.  The streaming [`dpa_attack`]/[`cpa_attack`] produce bit-identical
+/// scores for diverse inputs and scores within floating-point reassociation
+/// error (≪ 1e-12 relative) when input-class aggregation kicks in.
+pub mod reference {
+    use super::{best_result, AttackResult};
+    use crate::stats;
+    use crate::trace::TraceSet;
+    use crate::{PowerError, Result};
+
+    /// Naive difference-of-means DPA; see [`super::dpa_attack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty/malformed trace set or zero key guesses.
+    pub fn dpa_attack<F>(traces: &TraceSet, key_guesses: u64, selection: F) -> Result<AttackResult>
+    where
+        F: Fn(u64, u64) -> bool,
+    {
+        if key_guesses == 0 {
+            return Err(PowerError::NoKeyGuesses);
+        }
+        let samples = traces.sample_count()?;
+        let mut scores = Vec::with_capacity(key_guesses as usize);
+        for guess in 0..key_guesses {
+            let mut best = 0.0f64;
+            for s in 0..samples {
+                let column = traces.sample_column(s).to_vec();
+                let mut ones = Vec::new();
+                let mut zeros = Vec::new();
+                for (&input, &value) in traces.inputs().iter().zip(&column) {
+                    if selection(input, guess) {
+                        ones.push(value);
+                    } else {
+                        zeros.push(value);
+                    }
+                }
+                if ones.is_empty() || zeros.is_empty() {
+                    continue;
+                }
+                let dom = stats::difference_of_means(&ones, &zeros).abs();
+                best = best.max(dom);
+            }
+            scores.push(best);
+        }
+        Ok(best_result(scores))
+    }
+
+    /// Naive correlation power analysis; see [`super::cpa_attack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty/malformed trace set or zero key guesses.
+    pub fn cpa_attack<F>(traces: &TraceSet, key_guesses: u64, model: F) -> Result<AttackResult>
+    where
+        F: Fn(u64, u64) -> f64,
+    {
+        if key_guesses == 0 {
+            return Err(PowerError::NoKeyGuesses);
+        }
+        let samples = traces.sample_count()?;
+        let mut scores = Vec::with_capacity(key_guesses as usize);
+        for guess in 0..key_guesses {
+            let hypothesis: Vec<f64> = traces
+                .inputs()
+                .iter()
+                .map(|&input| model(input, guess))
+                .collect();
+            let mut best = 0.0f64;
+            for s in 0..samples {
+                let column = traces.sample_column(s).to_vec();
+                let corr = stats::pearson(&hypothesis, &column).abs();
+                best = best.max(corr);
+            }
+            scores.push(best);
+        }
+        Ok(best_result(scores))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::Trace;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     /// A 4-bit non-linear S-box (the PRESENT S-box): the standard target of
     /// first-order DPA/CPA.  A purely linear leakage would make the
@@ -149,6 +427,19 @@ mod tests {
         for i in 0..n {
             let plaintext = (i as u64 * 7 + 3) % 16;
             set.push(plaintext, Trace::scalar(42.0));
+        }
+        set
+    }
+
+    /// A randomized multi-sample trace set over a wide (non-classifiable)
+    /// input domain.
+    fn wide_random_trace_set(seed: u64, traces: usize, samples: usize) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = TraceSet::new();
+        for _ in 0..traces {
+            let input = rng.gen_range(0..u64::MAX);
+            let samples: Vec<f64> = (0..samples).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            set.push_samples(input, &samples);
         }
         set
     }
@@ -203,9 +494,19 @@ mod tests {
             dpa_attack(&traces, 0, |_, _| true),
             Err(PowerError::NoKeyGuesses)
         ));
+        assert!(matches!(
+            reference::dpa_attack(&traces, 0, |_, _| true),
+            Err(PowerError::NoKeyGuesses)
+        ));
+        assert!(matches!(
+            reference::cpa_attack(&traces, 0, |_, _| 0.0),
+            Err(PowerError::NoKeyGuesses)
+        ));
         let empty = TraceSet::new();
         assert!(dpa_attack(&empty, 16, |_, _| true).is_err());
         assert!(cpa_attack(&empty, 16, |_, _| 0.0).is_err());
+        assert!(reference::dpa_attack(&empty, 16, |_, _| true).is_err());
+        assert!(reference::cpa_attack(&empty, 16, |_, _| 0.0).is_err());
     }
 
     #[test]
@@ -220,5 +521,87 @@ mod tests {
             best_guess: 0,
         };
         assert!(r.distinguishing_ratio().is_infinite());
+    }
+
+    #[test]
+    fn distinguishing_ratio_handles_negative_scores() {
+        // A negative second-best must not yield a misleading INFINITY.
+        let r = AttackResult {
+            scores: vec![-0.5, -1.0, -2.0],
+            best_guess: 0,
+        };
+        assert_eq!(r.distinguishing_ratio(), 1.0);
+        let r = AttackResult {
+            scores: vec![3.0, -1.0],
+            best_guess: 0,
+        };
+        assert!(r.distinguishing_ratio().is_infinite());
+        let r = AttackResult {
+            scores: vec![6.0, 2.0, 3.0, 1.0],
+            best_guess: 0,
+        };
+        assert!((r.distinguishing_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_attacks_match_reference_bit_for_bit_on_wide_inputs() {
+        // Wide random inputs defeat class aggregation, so the streaming
+        // fallback runs — its scores must equal the naive oracle exactly.
+        for seed in [1u64, 2, 3] {
+            let traces = wide_random_trace_set(seed, 200, 6);
+            let selection = |input: u64, guess: u64| (input ^ guess).count_ones().is_multiple_of(2);
+            let model = |input: u64, guess: u64| ((input >> 3) ^ guess).count_ones() as f64;
+
+            let fast = dpa_attack(&traces, 24, selection).unwrap();
+            let naive = reference::dpa_attack(&traces, 24, selection).unwrap();
+            assert_eq!(fast.scores, naive.scores, "dpa seed {seed}");
+            assert_eq!(fast.best_guess, naive.best_guess);
+
+            let fast = cpa_attack(&traces, 24, model).unwrap();
+            let naive = reference::cpa_attack(&traces, 24, model).unwrap();
+            assert_eq!(fast.scores, naive.scores, "cpa seed {seed}");
+            assert_eq!(fast.best_guess, naive.best_guess);
+        }
+    }
+
+    #[test]
+    fn class_aggregated_attacks_match_reference_within_tolerance() {
+        // Few distinct inputs trigger class aggregation, which reorders the
+        // floating-point sums: scores agree to ~1e-12 and ranks exactly.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut set = TraceSet::new();
+        for _ in 0..300 {
+            let input = rng.gen_range(0..16u64);
+            let samples: Vec<f64> = (0..4)
+                .map(|_| sbox(input ^ 0xD).count_ones() as f64 + rng.gen_range(-0.5..0.5))
+                .collect();
+            set.push_samples(input, &samples);
+        }
+        let selection = |input: u64, guess: u64| sbox(input ^ guess).count_ones() >= 2;
+        let model = |input: u64, guess: u64| sbox(input ^ guess).count_ones() as f64;
+
+        let fast = dpa_attack(&set, 16, selection).unwrap();
+        let naive = reference::dpa_attack(&set, 16, selection).unwrap();
+        assert_eq!(fast.best_guess, naive.best_guess);
+        for (a, b) in fast.scores.iter().zip(&naive.scores) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+
+        let fast = cpa_attack(&set, 16, model).unwrap();
+        let naive = reference::cpa_attack(&set, 16, model).unwrap();
+        assert_eq!(fast.best_guess, naive.best_guess);
+        for (a, b) in fast.scores.iter().zip(&naive.scores) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_group_partitions_score_zero() {
+        // A selection that puts every trace in one group cannot distinguish.
+        let traces = leaky_trace_set(0x3, 64);
+        let all_ones = dpa_attack(&traces, 4, |_, _| true).unwrap();
+        assert!(all_ones.scores.iter().all(|&s| s == 0.0));
+        let naive = reference::dpa_attack(&traces, 4, |_, _| true).unwrap();
+        assert_eq!(all_ones.scores, naive.scores);
     }
 }

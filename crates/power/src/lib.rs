@@ -16,6 +16,11 @@
 //!   gate's power consumption is,
 //! * [`dpa_attack`] / [`cpa_attack`] — difference-of-means DPA and
 //!   correlation power analysis used by the end-to-end S-box experiment.
+//!
+//! [`TraceSet`] stores its traces **columnar** (sample-major, one contiguous
+//! buffer) and the attacks are streaming single-pass accumulators over those
+//! columns; the pre-columnar implementations are retained in [`reference`]
+//! as the correctness oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +30,7 @@ pub mod metrics;
 pub mod stats;
 mod trace;
 
-pub use attack::{cpa_attack, dpa_attack, AttackResult};
+pub use attack::{cpa_attack, dpa_attack, reference, AttackResult};
 pub use trace::{Trace, TraceSet};
 
 /// Errors produced by the power-analysis layer.

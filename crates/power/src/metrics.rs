@@ -14,12 +14,11 @@ pub fn normalized_energy_deviation(energies: &[f64]) -> f64 {
     if energies.is_empty() {
         return 0.0;
     }
-    let max = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
-    if max <= 0.0 {
+    let summary = stats::Summary::of(energies);
+    if summary.max <= 0.0 {
         return 0.0;
     }
-    (max - min) / max
+    (summary.max - summary.min) / summary.max
 }
 
 /// Normalised standard deviation: `sigma(E) / mean(E)`.

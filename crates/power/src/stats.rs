@@ -14,7 +14,60 @@ pub fn variance(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+    centered_sum_of_squares(values, m) / values.len() as f64
+}
+
+/// Sum of squared deviations from `mean`, accumulated in slice order —
+/// the building block the streaming attacks share with [`variance`] and
+/// [`pearson`].
+pub fn centered_sum_of_squares(values: &[f64], mean: f64) -> f64 {
+    let mut acc = 0.0;
+    for &v in values {
+        acc += (v - mean) * (v - mean);
+    }
+    acc
+}
+
+/// One-pass summary of a slice: count, minimum, maximum and sum.
+///
+/// Replaces the separate min/max/mean folds on hot paths that previously
+/// swept the data three times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Smallest value (`INFINITY` for an empty slice).
+    pub min: f64,
+    /// Largest value (`NEG_INFINITY` for an empty slice).
+    pub max: f64,
+    /// Sum of all values.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Summarises a slice in a single sweep.
+    pub fn of(values: &[f64]) -> Self {
+        let mut summary = Summary {
+            count: values.len(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        };
+        for &v in values {
+            summary.min = summary.min.min(v);
+            summary.max = summary.max.max(v);
+            summary.sum += v;
+        }
+        summary
+    }
+
+    /// Arithmetic mean (0 for an empty slice, matching [`mean`]).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
 }
 
 /// Population standard deviation of a slice.
@@ -82,5 +135,31 @@ mod tests {
     #[test]
     fn dom_is_difference() {
         assert!((difference_of_means(&[3.0, 5.0], &[1.0, 1.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_sum_of_squares_matches_variance() {
+        let v = [1.0, 4.0, -2.0, 7.5];
+        let m = mean(&v);
+        assert_eq!(
+            centered_sum_of_squares(&v, m) / v.len() as f64,
+            variance(&v)
+        );
+        assert_eq!(centered_sum_of_squares(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn summary_single_pass() {
+        let s = Summary::of(&[2.0, -1.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.sum, 6.0);
+        assert_eq!(s.mean(), 2.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.min.is_infinite());
+        assert!(empty.max.is_infinite());
     }
 }

@@ -38,10 +38,29 @@ impl Trace {
 
 /// A set of traces together with the public input (plaintext) that produced
 /// each of them.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Storage is **columnar**: all traces live in one contiguous buffer in
+/// sample-major order (every sample index owns one contiguous column of
+/// per-trace values).  This makes [`TraceSet::sample_column`] — the access
+/// pattern of every statistical attack — a zero-copy slice instead of a
+/// pointer-chasing gather across per-trace allocations.
+///
+/// Columns are over-allocated geometrically (like `Vec`) so [`TraceSet::push`]
+/// stays amortised O(samples) per trace.
+#[derive(Debug, Clone, Default)]
 pub struct TraceSet {
     inputs: Vec<u64>,
-    traces: Vec<Trace>,
+    /// Samples per trace; fixed by `with_capacity` or the first push.
+    width: Option<usize>,
+    /// Number of traces stored (valid rows per column).
+    rows: usize,
+    /// Allocated rows per column (column `s` starts at `s * cap`).
+    cap: usize,
+    /// `width * cap` values, sample-major.
+    data: Vec<f64>,
+    /// Index of the first pushed trace whose length did not match `width`;
+    /// reported by [`TraceSet::sample_count`].
+    first_mismatch: Option<usize>,
 }
 
 impl TraceSet {
@@ -50,20 +69,94 @@ impl TraceSet {
         Self::default()
     }
 
+    /// Creates an empty set that expects `samples_per_trace` samples per
+    /// trace with room for `traces` traces, so pushes never reallocate.
+    pub fn with_capacity(samples_per_trace: usize, traces: usize) -> Self {
+        TraceSet {
+            inputs: Vec::with_capacity(traces),
+            width: Some(samples_per_trace),
+            rows: 0,
+            cap: traces,
+            data: vec![0.0; samples_per_trace * traces],
+            first_mismatch: None,
+        }
+    }
+
+    /// Builds a set of single-sample traces directly from its columnar parts
+    /// (the natural output of a trace generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `values` have different lengths.
+    pub fn from_scalars(inputs: Vec<u64>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            inputs.len(),
+            values.len(),
+            "one input per trace value required"
+        );
+        let rows = values.len();
+        TraceSet {
+            inputs,
+            width: Some(1),
+            rows,
+            cap: rows,
+            data: values,
+            first_mismatch: None,
+        }
+    }
+
     /// Appends one measurement.
     pub fn push(&mut self, input: u64, trace: Trace) {
+        self.push_samples(input, trace.samples());
+    }
+
+    /// Appends one single-sample measurement without an intermediate
+    /// [`Trace`] allocation.
+    pub fn push_scalar(&mut self, input: u64, value: f64) {
+        self.push_samples(input, std::slice::from_ref(&value));
+    }
+
+    /// Appends one measurement given as a sample slice.
+    ///
+    /// A trace whose length differs from the set's samples-per-trace is
+    /// recorded (padded with zeros / truncated) and flags the set as
+    /// malformed, which [`TraceSet::sample_count`] subsequently reports.
+    pub fn push_samples(&mut self, input: u64, samples: &[f64]) {
         self.inputs.push(input);
-        self.traces.push(trace);
+        let width = *self.width.get_or_insert(samples.len());
+        if samples.len() != width && self.first_mismatch.is_none() {
+            self.first_mismatch = Some(self.rows);
+        }
+        if width > 0 {
+            if self.rows == self.cap {
+                self.grow(width);
+            }
+            for s in 0..width {
+                self.data[s * self.cap + self.rows] = samples.get(s).copied().unwrap_or(0.0);
+            }
+        }
+        self.rows += 1;
+    }
+
+    fn grow(&mut self, width: usize) {
+        let new_cap = (self.cap * 2).max(4);
+        let mut data = vec![0.0; width * new_cap];
+        for s in 0..width {
+            let old = &self.data[s * self.cap..s * self.cap + self.rows];
+            data[s * new_cap..s * new_cap + self.rows].copy_from_slice(old);
+        }
+        self.data = data;
+        self.cap = new_cap;
     }
 
     /// Number of recorded traces.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.rows
     }
 
     /// `true` when no traces have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.rows == 0
     }
 
     /// The public inputs, one per trace.
@@ -71,9 +164,21 @@ impl TraceSet {
         &self.inputs
     }
 
-    /// The traces.
-    pub fn traces(&self) -> &[Trace] {
-        &self.traces
+    /// Samples per trace (0 for an empty set with no declared width).
+    pub fn samples_per_trace(&self) -> usize {
+        self.width.unwrap_or(0)
+    }
+
+    /// The samples of trace `index`, gathered across the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn trace_samples(&self, index: usize) -> Vec<f64> {
+        assert!(index < self.rows, "trace index {index} out of range");
+        (0..self.samples_per_trace())
+            .map(|s| self.data[s * self.cap + index])
+            .collect()
     }
 
     /// Number of samples per trace.
@@ -82,18 +187,17 @@ impl TraceSet {
     ///
     /// Returns an error if the set is empty or traces have different lengths.
     pub fn sample_count(&self) -> Result<usize> {
-        let first = self
-            .traces
-            .first()
-            .ok_or_else(|| PowerError::MalformedTraces {
+        if self.rows == 0 {
+            return Err(PowerError::MalformedTraces {
                 message: "trace set is empty".into(),
-            })?;
-        let n = first.len();
-        if self.traces.iter().any(|t| t.len() != n) {
+            });
+        }
+        if self.first_mismatch.is_some() {
             return Err(PowerError::MalformedTraces {
                 message: "traces have inconsistent lengths".into(),
             });
         }
+        let n = self.samples_per_trace();
         if n == 0 {
             return Err(PowerError::MalformedTraces {
                 message: "traces have no samples".into(),
@@ -102,18 +206,58 @@ impl TraceSet {
         Ok(n)
     }
 
-    /// The values of sample `index` across all traces.
-    pub fn sample_column(&self, index: usize) -> Vec<f64> {
-        self.traces.iter().map(|t| t.samples()[index]).collect()
+    /// The values of sample `index` across all traces, as a zero-copy slice
+    /// of the columnar storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a valid sample index.
+    pub fn sample_column(&self, index: usize) -> &[f64] {
+        assert!(
+            index < self.samples_per_trace(),
+            "sample index {index} out of range"
+        );
+        &self.data[index * self.cap..index * self.cap + self.rows]
     }
 
     /// Keeps only the first `n` traces (useful for measurements-to-disclosure
     /// sweeps).
     pub fn truncated(&self, n: usize) -> TraceSet {
-        TraceSet {
-            inputs: self.inputs.iter().copied().take(n).collect(),
-            traces: self.traces.iter().take(n).cloned().collect(),
+        let rows = self.rows.min(n);
+        let width = self.samples_per_trace();
+        let mut data = vec![0.0; width * rows];
+        for s in 0..width {
+            data[s * rows..(s + 1) * rows]
+                .copy_from_slice(&self.data[s * self.cap..s * self.cap + rows]);
         }
+        TraceSet {
+            inputs: self.inputs.iter().copied().take(rows).collect(),
+            width: self.width,
+            rows,
+            cap: rows,
+            data,
+            // A mismatch only survives truncation if the offending trace
+            // is among the retained rows (the first mismatch bounds them
+            // all: pushes keep the earliest offending index).
+            first_mismatch: self.first_mismatch.filter(|&t| t < rows),
+        }
+    }
+}
+
+impl PartialEq for TraceSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.inputs != other.inputs
+            || self.rows != other.rows
+            || self.first_mismatch != other.first_mismatch
+        {
+            return false;
+        }
+        if self.rows == 0 {
+            return true;
+        }
+        let width = self.samples_per_trace();
+        width == other.samples_per_trace()
+            && (0..width).all(|s| self.sample_column(s) == other.sample_column(s))
     }
 }
 
@@ -139,7 +283,7 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert_eq!(set.inputs(), &[0x3, 0x7]);
         assert_eq!(set.sample_count().unwrap(), 1);
-        assert_eq!(set.sample_column(0), vec![1.0, 2.0]);
+        assert_eq!(set.sample_column(0), &[1.0, 2.0]);
         let cut = set.truncated(1);
         assert_eq!(cut.len(), 1);
     }
@@ -155,5 +299,89 @@ mod tests {
         let mut no_samples = TraceSet::new();
         no_samples.push(0, Trace::new(vec![]));
         assert!(no_samples.sample_count().is_err());
+    }
+
+    #[test]
+    fn columns_are_contiguous_across_growth() {
+        // Push enough multi-sample traces to force several reallocations and
+        // check every column still reads back in trace order.
+        let mut set = TraceSet::new();
+        for t in 0..100u64 {
+            let base = t as f64;
+            set.push_samples(t, &[base, base + 0.5, base + 0.25]);
+        }
+        assert_eq!(set.sample_count().unwrap(), 3);
+        for s in 0..3 {
+            let column = set.sample_column(s);
+            assert_eq!(column.len(), 100);
+            for (t, &v) in column.iter().enumerate() {
+                let expected = t as f64 + [0.0, 0.5, 0.25][s];
+                assert_eq!(v, expected, "column {s} trace {t}");
+            }
+        }
+        assert_eq!(set.trace_samples(7), vec![7.0, 7.5, 7.25]);
+    }
+
+    #[test]
+    fn from_scalars_and_with_capacity() {
+        let set = TraceSet::from_scalars(vec![1, 2, 3], vec![0.1, 0.2, 0.3]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.sample_column(0), &[0.1, 0.2, 0.3]);
+        assert_eq!(set.samples_per_trace(), 1);
+
+        let mut pre = TraceSet::with_capacity(1, 3);
+        pre.push_scalar(1, 0.1);
+        pre.push_scalar(2, 0.2);
+        pre.push_scalar(3, 0.3);
+        assert_eq!(set, pre);
+
+        let mut grown = TraceSet::with_capacity(1, 1);
+        grown.push_scalar(1, 0.1);
+        grown.push_scalar(2, 0.2);
+        grown.push_scalar(3, 0.3);
+        assert_eq!(set, grown);
+    }
+
+    #[test]
+    fn truncation_can_drop_the_mismatched_tail() {
+        // The old per-trace storage re-derived consistency after truncation;
+        // the columnar set must behave the same.
+        let mut set = TraceSet::new();
+        for t in 0..10u64 {
+            set.push_samples(t, &[t as f64]);
+        }
+        set.push_samples(10, &[1.0, 2.0]);
+        assert!(set.sample_count().is_err());
+        let consistent = set.truncated(10);
+        assert_eq!(consistent.sample_count().unwrap(), 1);
+        // Truncating after the offending trace keeps the error.
+        assert!(set.truncated(11).sample_count().is_err());
+    }
+
+    #[test]
+    fn truncation_compacts_the_columns() {
+        let mut set = TraceSet::new();
+        for t in 0..10u64 {
+            set.push_samples(t, &[t as f64, -(t as f64)]);
+        }
+        let cut = set.truncated(4);
+        assert_eq!(cut.len(), 4);
+        assert_eq!(cut.inputs(), &[0, 1, 2, 3]);
+        assert_eq!(cut.sample_column(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(cut.sample_column(1), &[0.0, -1.0, -2.0, -3.0]);
+        assert_eq!(set.truncated(99).len(), 10);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut a = TraceSet::with_capacity(2, 16);
+        let mut b = TraceSet::new();
+        for t in 0..3u64 {
+            a.push_samples(t, &[1.0, 2.0]);
+            b.push_samples(t, &[1.0, 2.0]);
+        }
+        assert_eq!(a, b);
+        b.push_samples(3, &[1.0, 2.0]);
+        assert_ne!(a, b);
     }
 }

@@ -87,3 +87,92 @@ proptest! {
         prop_assert!(profile.is_constant(1e-9));
     }
 }
+
+/// A cheap deterministic hash used to derive truth tables and trace values
+/// without a dependency on an RNG crate in the integration tests.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bitsliced netlist evaluator agrees with the scalar evaluator on
+    /// randomly synthesised functions, for every input vector at once.
+    #[test]
+    fn bitsliced_evaluation_matches_scalar(seed in 0u64..2_000, inputs in 2usize..6) {
+        let tables: Vec<dpl_logic::TruthTable> = (0..2)
+            .map(|bit| {
+                dpl_logic::TruthTable::from_fn(inputs, |x| {
+                    mix(seed ^ (x << 1) ^ bit) & 1 == 1
+                })
+                .unwrap()
+            })
+            .collect();
+        let netlist = dpl_crypto::synthesize_function(inputs, &tables).unwrap();
+        let vectors: Vec<u64> = (0..(1u64 << inputs)).collect();
+        let eval = netlist.evaluate_bitsliced(&netlist.pack_inputs(&vectors));
+        for (lane, &vector) in vectors.iter().enumerate() {
+            let (scalar, _) = netlist.evaluate(vector);
+            prop_assert_eq!(eval.output_lane(lane), scalar);
+        }
+    }
+
+    /// Streaming DPA/CPA return bit-identical scores to the retained naive
+    /// reference implementations on randomized wide-input trace sets.
+    #[test]
+    fn streaming_attacks_match_naive_reference(
+        seed in 0u64..10_000,
+        traces in 8usize..120,
+        samples in 1usize..5,
+    ) {
+        let mut set = dpl_power::TraceSet::new();
+        for t in 0..traces {
+            let input = mix(seed.wrapping_add(t as u64));
+            let values: Vec<f64> = (0..samples)
+                .map(|s| (mix(input ^ s as u64) % 1000) as f64 / 500.0 - 1.0)
+                .collect();
+            set.push_samples(input, &values);
+        }
+        let selection = |input: u64, guess: u64| (input ^ guess).count_ones().is_multiple_of(2);
+        let model = |input: u64, guess: u64| ((input >> 7) ^ guess).count_ones() as f64;
+
+        let dpa = dpl_power::dpa_attack(&set, 12, selection).unwrap();
+        let dpa_ref = dpl_power::reference::dpa_attack(&set, 12, selection).unwrap();
+        prop_assert_eq!(dpa.scores, dpa_ref.scores);
+        prop_assert_eq!(dpa.best_guess, dpa_ref.best_guess);
+
+        let cpa = dpl_power::cpa_attack(&set, 12, model).unwrap();
+        let cpa_ref = dpl_power::reference::cpa_attack(&set, 12, model).unwrap();
+        prop_assert_eq!(cpa.scores, cpa_ref.scores);
+        prop_assert_eq!(cpa.best_guess, cpa_ref.best_guess);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel trace generation is a pure function of the seed: any worker
+    /// count reproduces the single-worker stream.
+    #[test]
+    fn parallel_trace_generation_is_worker_count_independent(
+        seed in 0u64..1_000,
+        workers in 2usize..6,
+    ) {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let cap = dpl_cells::CapacitanceModel::default();
+        let options = dpl_crypto::LeakageOptions { relative_noise: 0.05, seed };
+        let single = dpl_crypto::simulate_traces_parallel(
+            &netlist, dpl_crypto::LeakageModel::HammingWeight, &cap, 0x6, 2500, &options, Some(1),
+        )
+        .unwrap();
+        let sharded = dpl_crypto::simulate_traces_parallel(
+            &netlist, dpl_crypto::LeakageModel::HammingWeight, &cap, 0x6, 2500, &options,
+            Some(workers),
+        )
+        .unwrap();
+        prop_assert_eq!(single, sharded);
+    }
+}
