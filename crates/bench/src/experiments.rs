@@ -296,9 +296,17 @@ pub fn cvsl_comparison() -> String {
     out
 }
 
+/// The historical default seed of the DPA/CPA experiments.
+pub const DEFAULT_EXPERIMENT_SEED: u64 = 2005;
+
 /// Experiment E7: end-to-end DPA on the PRESENT S-box datapath with insecure
-/// and constant-power gate implementations.
+/// and constant-power gate implementations, at the historical default seed.
 pub fn dpa_experiment(num_traces: usize) -> String {
+    dpa_experiment_seeded(num_traces, DEFAULT_EXPERIMENT_SEED)
+}
+
+/// [`dpa_experiment`] with a caller-chosen campaign seed (`repro dpa --seed`).
+pub fn dpa_experiment_seeded(num_traces: usize, seed: u64) -> String {
     let mut out = String::new();
     heading(
         &mut out,
@@ -309,11 +317,12 @@ pub fn dpa_experiment(num_traces: usize) -> String {
     let key = 0xAu8;
     let options = LeakageOptions {
         relative_noise: 0.02,
-        seed: 2005,
+        seed,
     };
     let _ = writeln!(
         out,
-        "netlist: {} gates, secret key nibble = {key:#X}, {num_traces} traces, 2 % noise",
+        "netlist: {} gates, secret key nibble = {key:#X}, {num_traces} traces, 2 % noise, \
+         seed = {seed}",
         netlist.gate_count()
     );
     let selection =
@@ -360,6 +369,64 @@ pub fn dpa_experiment(num_traces: usize) -> String {
         "expected shape: the Hamming-weight and genuine-DPDN implementations leak the key \
          (at least to the profiled attacker); the fully connected and enhanced SABL \
          implementations do not leak to either attack."
+    );
+    out
+}
+
+/// Experiment E7b: profiled CPA only, across every leakage model — the
+/// strongest first-order attacker of the paper's threat discussion
+/// (`repro cpa [n] [--seed s]`).
+pub fn cpa_experiment_seeded(num_traces: usize, seed: u64) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Profiled CPA on the PRESENT S-box (key-mixing + S-box datapath)",
+    );
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let capacitance = CapacitanceModel::default();
+    let key = 0xAu8;
+    let options = LeakageOptions {
+        relative_noise: 0.02,
+        seed,
+    };
+    let _ = writeln!(
+        out,
+        "netlist: {} gates, secret key nibble = {key:#X}, {num_traces} traces, 2 % noise, \
+         seed = {seed}",
+        netlist.gate_count()
+    );
+    for model in [
+        LeakageModel::HammingWeight,
+        LeakageModel::GenuineSabl,
+        LeakageModel::FullyConnectedSabl,
+        LeakageModel::EnhancedSabl,
+    ] {
+        let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
+        let traces = simulate_traces_with_table(&netlist, &table, key, num_traces, &options);
+        let cache = EnergyCache::new(&netlist, &table);
+        let cpa = cpa_attack(&traces, 16, |plaintext, guess| {
+            cache.energy(plaintext, guess as u8)
+        })
+        .expect("attack");
+        let verdict = if cpa.best_guess == u64::from(key) {
+            "KEY RECOVERED"
+        } else {
+            "attack failed"
+        };
+        let _ = writeln!(
+            out,
+            "{:>32}: best guess = {:#X} ({verdict}), corr(correct key) = {:.3}, \
+             distinguishing ratio = {:.2}",
+            model.label(),
+            cpa.best_guess,
+            cpa.scores[key as usize],
+            cpa.distinguishing_ratio()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: only the Hamming-weight and genuine-DPDN implementations leak \
+         to the profiled attacker."
     );
     out
 }
@@ -462,6 +529,24 @@ mod tests {
         let report = dpa_experiment(200);
         assert!(report.contains("KEY RECOVERED"));
         assert!(report.contains("attack failed"));
+        assert!(report.contains("seed = 2005"));
+    }
+
+    #[test]
+    fn dpa_experiment_seed_is_threaded_through() {
+        let report = dpa_experiment_seeded(150, 777);
+        assert!(report.contains("seed = 777"));
+        // Different seeds draw different noise but the same leakage story.
+        assert!(report.contains("KEY RECOVERED"));
+    }
+
+    #[test]
+    fn cpa_experiment_profiles_every_model() {
+        let report = cpa_experiment_seeded(200, 11);
+        assert!(report.contains("seed = 11"));
+        assert!(report.contains("KEY RECOVERED"));
+        assert!(report.contains("attack failed"));
+        assert!(report.contains("distinguishing ratio"));
     }
 
     #[test]

@@ -13,7 +13,8 @@ pub mod experiments;
 pub mod perf;
 
 pub use experiments::{
-    cvsl_comparison, dpa_experiment, fig2_memory_effect, fig3_transient, fig4_capacitance,
-    fig5_oai22, fig6_enhanced, library_sweep, run_all,
+    cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,
+    fig2_memory_effect, fig3_transient, fig4_capacitance, fig5_oai22, fig6_enhanced, library_sweep,
+    run_all, DEFAULT_EXPERIMENT_SEED,
 };
 pub use perf::{PerfConfig, PerfReport, PerfRow};

@@ -25,12 +25,14 @@ fn perf_harness_smoke_run() {
         repeats: 1,
     };
     let report = dpl_bench::perf::run(&config);
-    assert_eq!(report.rows.len(), 8);
+    assert_eq!(report.rows.len(), 10);
     let json = report.to_json();
     for needle in [
         "\"bench\": \"dpa_pipeline\"",
         "simulate_traces_parallel",
         "dpa_attack_reference",
+        "archive_capture",
+        "dpa_attack_outofcore",
         "energy_cache_bitsliced",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");

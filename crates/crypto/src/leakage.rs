@@ -17,7 +17,7 @@
 use dpl_cells::{CapacitanceModel, DischargeProfile};
 use dpl_core::Dpdn;
 use dpl_logic::parse_expr;
-use dpl_power::TraceSet;
+use dpl_power::{TraceSet, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -242,6 +242,36 @@ pub fn simulate_traces_with_table(
         values.push(energy);
     }
     TraceSet::from_scalars(inputs, values)
+}
+
+/// Sink variant of [`simulate_traces_with_table`]: every generated trace is
+/// streamed straight into `sink` (an in-memory [`TraceSet`] or an on-disk
+/// archive writer from `dpl-store`) instead of materializing a set — the
+/// capture path for campaigns larger than memory.
+///
+/// The RNG draw order is identical to [`simulate_traces_with_table`]: for a
+/// given seed, sinking into a `TraceSet` reproduces its output exactly.
+///
+/// # Errors
+///
+/// Propagates the sink's error (e.g. an I/O failure); trace generation
+/// itself cannot fail.
+pub fn simulate_traces_into<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    num_traces: usize,
+    options: &LeakageOptions,
+    sink: &mut S,
+) -> std::result::Result<(), S::Error> {
+    let (energies, mean_energy) = per_plaintext_energies(netlist, table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    for _ in 0..num_traces {
+        let (plaintext, energy) = draw_trace(&mut rng, &energies, noise_sigma);
+        sink.record(plaintext, &[energy])?;
+    }
+    Ok(())
 }
 
 /// Trace-block size of the parallel generator.  Every block draws from its
@@ -656,6 +686,21 @@ mod tests {
                 assert_eq!(energy, predicted_energy(&netlist, &table, plaintext, 0xB));
             }
         }
+    }
+
+    #[test]
+    fn sink_variant_reproduces_the_in_memory_stream() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions {
+            relative_noise: 0.03,
+            seed: 2024,
+        };
+        let table = GateEnergyTable::build(LeakageModel::GenuineSabl, &cap).unwrap();
+        let direct = simulate_traces_with_table(&netlist, &table, 0xE, 300, &options);
+        let mut sunk = TraceSet::new();
+        simulate_traces_into(&netlist, &table, 0xE, 300, &options, &mut sunk).unwrap();
+        assert_eq!(direct, sunk);
     }
 
     #[test]

@@ -25,11 +25,15 @@ mod present;
 mod synth;
 
 pub use leakage::{
-    predicted_energies, predicted_energy, simulate_traces, simulate_traces_parallel,
-    simulate_traces_with_table, EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
+    predicted_energies, predicted_energy, simulate_traces, simulate_traces_into,
+    simulate_traces_parallel, simulate_traces_with_table, EnergyCache, GateEnergyTable,
+    LeakageModel, LeakageOptions,
 };
 pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
-pub use present::{present_sbox, present_sbox_inverse, PRESENT_SBOX};
+pub use present::{
+    add_round_key, p_layer, p_layer_inverse, present_sbox, present_sbox_inverse, sbox_layer,
+    sbox_layer_inverse, Present80, PRESENT_ROUNDS, PRESENT_SBOX,
+};
 pub use synth::{synthesize_function, synthesize_sbox_with_key};
 
 /// Errors produced by the crypto workload layer.

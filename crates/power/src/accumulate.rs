@@ -1,0 +1,1160 @@
+//! Mergeable streaming accumulators for the DPA/CPA attacks.
+//!
+//! [`DpaAccumulator`] and [`CpaAccumulator`] carry the sufficient statistics
+//! of the attacks in [`crate::dpa_attack`] / [`crate::cpa_attack`] across
+//! arbitrary chunkings of a trace set.  The in-memory attacks are defined as
+//! *one accumulator fed the whole set in a single update*, so folding the
+//! same traces chunk-by-chunk — e.g. out of an on-disk archive — performs the
+//! exact same sequence of floating-point additions and produces
+//! **bit-identical** [`AttackResult`] scores.
+//!
+//! [`DpaAccumulator::merge`] / [`CpaAccumulator::merge`] combine partial
+//! accumulators built over disjoint trace ranges (the parallel out-of-core
+//! path).  Merging adds partial sums, which re-associates the floating-point
+//! reductions: merged results are deterministic for a fixed merge order but
+//! agree with the sequential fold only up to reassociation error (≪ 1e-12
+//! relative in practice), not bit-for-bit.
+//!
+//! Both accumulators mirror the two execution modes of the attacks: while at
+//! most [`MAX_INPUT_CLASSES`] distinct inputs have been seen, per-input-class
+//! sums are maintained and the finalization scores each guess in O(classes)
+//! per sample; once the inputs prove too diverse the class state is dropped
+//! and the per-guess fallback sums take over.  Under the default
+//! [`InputProfile::Auto`] both representations are maintained until the
+//! inputs decide, so the mode an accumulator finishes in depends only on the
+//! full input set — exactly like the in-memory attacks, never on the
+//! chunking.  Callers that know the diversity up front (a pre-scan, or the
+//! archive header's recorded distinct-input count) pass
+//! [`InputProfile::FewClasses`] / [`InputProfile::Diverse`] to skip the
+//! double bookkeeping.
+
+use crate::attack::{best_result, AttackResult};
+use crate::trace::TraceSet;
+use crate::{PowerError, Result};
+
+/// When the traces carry at most this many distinct inputs, the attacks
+/// aggregate per-input-class column sums once and score every key guess in
+/// O(classes) per sample instead of O(traces).
+pub const MAX_INPUT_CLASSES: usize = 64;
+
+/// Per-input-class statistics: the distinct input values in order of first
+/// appearance, how many traces carry each, and the per-class column sums.
+#[derive(Debug, Clone, PartialEq)]
+struct ClassState {
+    values: Vec<u64>,
+    counts: Vec<usize>,
+    /// `sums[c][s]` = sum of sample `s` over the traces of class `c`,
+    /// accumulated in trace order.
+    sums: Vec<Vec<f64>>,
+}
+
+impl ClassState {
+    fn new() -> Self {
+        ClassState {
+            values: Vec::new(),
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Classifies a chunk of inputs against the running class table, growing
+    /// it as new values appear.  Returns the per-trace class indices, or
+    /// `None` when the table would exceed [`MAX_INPUT_CLASSES`] — the signal
+    /// to drop class aggregation for good.
+    fn classify(&mut self, inputs: &[u64], samples: usize) -> Option<Vec<u8>> {
+        let mut class_of = Vec::with_capacity(inputs.len());
+        for &input in inputs {
+            let class = match self.values.iter().position(|&v| v == input) {
+                Some(c) => c,
+                None => {
+                    if self.values.len() == MAX_INPUT_CLASSES {
+                        return None;
+                    }
+                    self.values.push(input);
+                    self.counts.push(0);
+                    self.sums.push(vec![0.0; samples]);
+                    self.values.len() - 1
+                }
+            };
+            class_of.push(class as u8);
+        }
+        Some(class_of)
+    }
+
+    /// Folds one columnar chunk into the per-class counts and sums.
+    fn update(&mut self, chunk: &TraceSet, class_of: &[u8], samples: usize) {
+        for &c in class_of {
+            self.counts[c as usize] += 1;
+        }
+        for s in 0..samples {
+            let column = chunk.sample_column(s);
+            for (&c, &v) in class_of.iter().zip(column) {
+                self.sums[c as usize][s] += v;
+            }
+        }
+    }
+
+    /// Merges another class table (covering the trace range *after* this
+    /// one) into this one.  Returns `false` when the union exceeds
+    /// [`MAX_INPUT_CLASSES`] — the caller must drop class aggregation.
+    fn merge(&mut self, other: &ClassState) -> bool {
+        for (i, &value) in other.values.iter().enumerate() {
+            let class = match self.values.iter().position(|&v| v == value) {
+                Some(c) => c,
+                None => {
+                    if self.values.len() == MAX_INPUT_CLASSES {
+                        return false;
+                    }
+                    self.values.push(value);
+                    self.counts.push(0);
+                    self.sums.push(vec![0.0; other.sums[i].len()]);
+                    self.values.len() - 1
+                }
+            };
+            self.counts[class] += other.counts[i];
+            for (acc, &v) in self.sums[class].iter_mut().zip(&other.sums[i]) {
+                *acc += v;
+            }
+        }
+        true
+    }
+}
+
+/// Validates a chunk against the accumulator's fixed sample width, fixing
+/// the width on the first non-empty chunk.  Returns the chunk's width.
+fn check_chunk(chunk: &TraceSet, samples: &mut Option<usize>) -> Result<usize> {
+    let width = chunk.sample_count()?;
+    match *samples {
+        None => *samples = Some(width),
+        Some(s) if s != width => {
+            return Err(PowerError::MalformedTraces {
+                message: "traces have inconsistent lengths".into(),
+            });
+        }
+        _ => {}
+    }
+    Ok(width)
+}
+
+fn empty_error() -> PowerError {
+    PowerError::MalformedTraces {
+        message: "trace set is empty".into(),
+    }
+}
+
+/// How an accumulator balances per-input-class aggregation against the
+/// diverse-input fallback sums.
+///
+/// [`InputProfile::Auto`] maintains **both** representations until the
+/// inputs prove diverse — always correct, but it pays the fallback's
+/// O(guesses) per trace even for campaigns that end up class-aggregated.
+/// Callers that know their input diversity up front (the in-memory attacks
+/// pre-scan the inputs; the archive header records the campaign's distinct
+/// input count) pick the single matching mode and skip the double
+/// bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputProfile {
+    /// Unknown diversity: maintain both representations (the safe default).
+    #[default]
+    Auto,
+    /// A promise that at most [`MAX_INPUT_CLASSES`] distinct inputs will be
+    /// seen; only class aggregation is maintained.  A broken promise is
+    /// reported as [`PowerError::AccumulatorMisuse`], never silently wrong
+    /// scores.
+    FewClasses,
+    /// Force the diverse-input path; class aggregation is never attempted.
+    Diverse,
+}
+
+/// Classifies a full input set the way the attacks do: [`InputProfile::FewClasses`]
+/// when at most [`MAX_INPUT_CLASSES`] distinct values occur, otherwise
+/// [`InputProfile::Diverse`].
+pub fn input_profile(inputs: &[u64]) -> InputProfile {
+    let mut values: Vec<u64> = Vec::with_capacity(MAX_INPUT_CLASSES);
+    for &input in inputs {
+        if !values.contains(&input) {
+            if values.len() == MAX_INPUT_CLASSES {
+                return InputProfile::Diverse;
+            }
+            values.push(input);
+        }
+    }
+    InputProfile::FewClasses
+}
+
+fn class_overflow_error() -> PowerError {
+    PowerError::AccumulatorMisuse {
+        message: format!(
+            "more than {MAX_INPUT_CLASSES} distinct inputs under a FewClasses input profile"
+        ),
+    }
+}
+
+/// Streaming difference-of-means DPA accumulator; see [`crate::dpa_attack`]
+/// for the statistic.
+///
+/// Feed it any chunking of a trace set via [`DpaAccumulator::update`] (all
+/// chunks must share one sample width, and chunk order must follow trace
+/// order), then [`DpaAccumulator::finalize`].  A single update over a whole
+/// [`TraceSet`] is exactly the in-memory [`crate::dpa_attack`]; chunked
+/// updates are bit-identical to it.
+///
+/// `selection` must be a pure function of `(input, guess)`.
+#[derive(Debug, Clone)]
+pub struct DpaAccumulator<F> {
+    selection: F,
+    key_guesses: u64,
+    samples: Option<usize>,
+    traces: usize,
+    /// Per-class sums; `None` when the inputs are (or proved) too diverse.
+    classes: Option<ClassState>,
+    /// Whether the diverse-input fallback sums are maintained.
+    wide: bool,
+    /// Per-guess selected-trace counts (diverse-input fallback).
+    ones: Vec<usize>,
+    /// `sum_ones[g * samples + s]` = sum of sample `s` over selected traces.
+    sum_ones: Vec<f64>,
+    sum_zeros: Vec<f64>,
+}
+
+impl<F> DpaAccumulator<F>
+where
+    F: Fn(u64, u64) -> bool,
+{
+    /// Creates an empty accumulator for `key_guesses` guesses with the safe
+    /// [`InputProfile::Auto`] bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoKeyGuesses`] for zero guesses.
+    pub fn new(key_guesses: u64, selection: F) -> Result<Self> {
+        Self::with_profile(key_guesses, selection, InputProfile::Auto)
+    }
+
+    /// Creates an empty accumulator with a caller-chosen [`InputProfile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoKeyGuesses`] for zero guesses.
+    pub fn with_profile(key_guesses: u64, selection: F, profile: InputProfile) -> Result<Self> {
+        if key_guesses == 0 {
+            return Err(PowerError::NoKeyGuesses);
+        }
+        Ok(DpaAccumulator {
+            selection,
+            key_guesses,
+            samples: None,
+            traces: 0,
+            classes: match profile {
+                InputProfile::Diverse => None,
+                InputProfile::Auto | InputProfile::FewClasses => Some(ClassState::new()),
+            },
+            wide: profile != InputProfile::FewClasses,
+            ones: vec![0; key_guesses as usize],
+            sum_ones: Vec::new(),
+            sum_zeros: Vec::new(),
+        })
+    }
+
+    /// Number of traces folded in so far.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    /// Folds one chunk of traces into the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed chunk or a sample width that differs
+    /// from earlier chunks.
+    pub fn update(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = check_chunk(chunk, &mut self.samples)?;
+        let guesses = self.key_guesses as usize;
+        if self.wide && self.sum_ones.is_empty() {
+            self.sum_ones = vec![0.0; guesses * samples];
+            self.sum_zeros = vec![0.0; guesses * samples];
+        }
+
+        if let Some(classes) = &mut self.classes {
+            match classes.classify(chunk.inputs(), samples) {
+                Some(class_of) => classes.update(chunk, &class_of, samples),
+                None if self.wide => self.classes = None,
+                None => return Err(class_overflow_error()),
+            }
+        }
+        if !self.wide {
+            self.traces += chunk.len();
+            return Ok(());
+        }
+
+        // Diverse-input fallback sums.  Under `Auto` they are maintained
+        // even while class aggregation is alive: if the classes die later
+        // (possibly many chunks in), the fallback must already cover every
+        // trace in order.
+        let mut mask = vec![false; chunk.len()];
+        for guess in 0..self.key_guesses {
+            let mut ones = 0usize;
+            for (m, &input) in mask.iter_mut().zip(chunk.inputs()) {
+                *m = (self.selection)(input, guess);
+                ones += usize::from(*m);
+            }
+            self.ones[guess as usize] += ones;
+            let row = guess as usize * samples;
+            for s in 0..samples {
+                let column = chunk.sample_column(s);
+                let mut sum_ones = self.sum_ones[row + s];
+                let mut sum_zeros = self.sum_zeros[row + s];
+                for (&m, &v) in mask.iter().zip(column) {
+                    if m {
+                        sum_ones += v;
+                    } else {
+                        sum_zeros += v;
+                    }
+                }
+                self.sum_ones[row + s] = sum_ones;
+                self.sum_zeros[row + s] = sum_zeros;
+            }
+        }
+        self.traces += chunk.len();
+        Ok(())
+    }
+
+    /// Merges a partial accumulator covering the trace range *after* this
+    /// one's.  Both must use the same number of key guesses (and, by
+    /// contract, the same selection function).  For deterministic results,
+    /// merge partials in trace-range order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on mismatched guess counts or sample widths.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.key_guesses != other.key_guesses || self.wide != other.wide {
+            return Err(PowerError::AccumulatorMisuse {
+                message: "cannot merge accumulators with different key guess counts or profiles"
+                    .into(),
+            });
+        }
+        if other.traces == 0 {
+            return Ok(());
+        }
+        if self.traces == 0 {
+            self.samples = other.samples;
+            self.traces = other.traces;
+            self.classes = other.classes.clone();
+            self.ones = other.ones.clone();
+            self.sum_ones = other.sum_ones.clone();
+            self.sum_zeros = other.sum_zeros.clone();
+            return Ok(());
+        }
+        if self.samples != other.samples {
+            return Err(PowerError::MalformedTraces {
+                message: "traces have inconsistent lengths".into(),
+            });
+        }
+        let keep_classes = match (&mut self.classes, &other.classes) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            _ => false,
+        };
+        if !keep_classes {
+            if !self.wide {
+                // Unreachable for well-typed FewClasses accumulators (their
+                // updates error before dropping classes), but a merge of a
+                // lying pair must not finalize without fallback sums.
+                return Err(class_overflow_error());
+            }
+            self.classes = None;
+        }
+        for (acc, &v) in self.ones.iter_mut().zip(&other.ones) {
+            *acc += v;
+        }
+        for (acc, &v) in self.sum_ones.iter_mut().zip(&other.sum_ones) {
+            *acc += v;
+        }
+        for (acc, &v) in self.sum_zeros.iter_mut().zip(&other.sum_zeros) {
+            *acc += v;
+        }
+        self.traces += other.traces;
+        Ok(())
+    }
+
+    /// Scores every key guess from the accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated.
+    pub fn finalize(self) -> Result<AttackResult> {
+        if self.traces == 0 {
+            return Err(empty_error());
+        }
+        let samples = self.samples.unwrap_or(0);
+        let total = self.traces;
+        let mut scores = Vec::with_capacity(self.key_guesses as usize);
+
+        if let Some(classes) = &self.classes {
+            let mut selected = vec![false; classes.values.len()];
+            for guess in 0..self.key_guesses {
+                for (sel, &value) in selected.iter_mut().zip(&classes.values) {
+                    *sel = (self.selection)(value, guess);
+                }
+                let mut ones = 0usize;
+                for (&sel, &count) in selected.iter().zip(&classes.counts) {
+                    if sel {
+                        ones += count;
+                    }
+                }
+                let zeros = total - ones;
+                let mut best = 0.0f64;
+                if ones > 0 && zeros > 0 {
+                    for s in 0..samples {
+                        let mut sum_ones = 0.0;
+                        let mut sum_zeros = 0.0;
+                        for (class, &sel) in selected.iter().enumerate() {
+                            if sel {
+                                sum_ones += classes.sums[class][s];
+                            } else {
+                                sum_zeros += classes.sums[class][s];
+                            }
+                        }
+                        let dom = (sum_ones / ones as f64 - sum_zeros / zeros as f64).abs();
+                        best = best.max(dom);
+                    }
+                }
+                scores.push(best);
+            }
+        } else {
+            for guess in 0..self.key_guesses {
+                let ones = self.ones[guess as usize];
+                let zeros = total - ones;
+                let mut best = 0.0f64;
+                if ones > 0 && zeros > 0 {
+                    let row = guess as usize * samples;
+                    for s in 0..samples {
+                        let dom = (self.sum_ones[row + s] / ones as f64
+                            - self.sum_zeros[row + s] / zeros as f64)
+                            .abs();
+                        best = best.max(dom);
+                    }
+                }
+                scores.push(best);
+            }
+        }
+        Ok(best_result(scores))
+    }
+}
+
+/// The pass a [`CpaAccumulator`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpaPass {
+    /// Accumulating column and hypothesis sums (means).
+    Means,
+    /// Accumulating centered second moments against the sealed means.
+    Moments,
+}
+
+/// Streaming correlation-power-analysis accumulator; see
+/// [`crate::cpa_attack`] for the statistic.
+///
+/// Pearson correlation centers every term on the *final* column means, so
+/// the accumulator needs **two passes** over the same traces in the same
+/// order: feed every chunk via [`CpaAccumulator::update`], call
+/// [`CpaAccumulator::begin_second_pass`], feed every chunk again, then
+/// [`CpaAccumulator::finalize`].  Replaying identical chunks is trivial for
+/// an on-disk archive and free for an in-memory set; the double update over
+/// one whole [`TraceSet`] is exactly the in-memory [`crate::cpa_attack`],
+/// and chunked double passes are bit-identical to it.
+///
+/// `model` must be a pure function of `(input, guess)`.
+#[derive(Debug, Clone)]
+pub struct CpaAccumulator<F> {
+    model: F,
+    key_guesses: u64,
+    samples: Option<usize>,
+    traces: usize,
+    pass: CpaPass,
+    classes: Option<ClassState>,
+    /// Whether the diverse-input fallback statistics are maintained.
+    wide: bool,
+    /// Per-sample column sums (pass 1).
+    col_sum: Vec<f64>,
+    /// Per-guess hypothesis sums (pass 1, diverse-input fallback).
+    hyp_sum: Vec<f64>,
+    /// Sealed per-sample column means (set by `begin_second_pass`).
+    col_mean: Vec<f64>,
+    /// Sealed per-guess hypothesis means (diverse-input fallback).
+    hyp_mean: Vec<f64>,
+    /// Per-sample centered sums of squares (pass 2).
+    col_css: Vec<f64>,
+    /// Per-guess centered hypothesis sums of squares (pass 2, fallback).
+    hyp_css: Vec<f64>,
+    /// `cov[g * samples + s]` centered cross-products (pass 2, fallback).
+    cov: Vec<f64>,
+    /// Traces seen by the second pass (must equal `traces` to finalize).
+    second_pass_traces: usize,
+}
+
+impl<F> CpaAccumulator<F>
+where
+    F: Fn(u64, u64) -> f64,
+{
+    /// Creates an empty accumulator for `key_guesses` guesses with the safe
+    /// [`InputProfile::Auto`] bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoKeyGuesses`] for zero guesses.
+    pub fn new(key_guesses: u64, model: F) -> Result<Self> {
+        Self::with_profile(key_guesses, model, InputProfile::Auto)
+    }
+
+    /// Creates an empty accumulator with a caller-chosen [`InputProfile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoKeyGuesses`] for zero guesses.
+    pub fn with_profile(key_guesses: u64, model: F, profile: InputProfile) -> Result<Self> {
+        if key_guesses == 0 {
+            return Err(PowerError::NoKeyGuesses);
+        }
+        Ok(CpaAccumulator {
+            model,
+            key_guesses,
+            samples: None,
+            traces: 0,
+            pass: CpaPass::Means,
+            classes: match profile {
+                InputProfile::Diverse => None,
+                InputProfile::Auto | InputProfile::FewClasses => Some(ClassState::new()),
+            },
+            wide: profile != InputProfile::FewClasses,
+            col_sum: Vec::new(),
+            hyp_sum: vec![0.0; key_guesses as usize],
+            col_mean: Vec::new(),
+            hyp_mean: Vec::new(),
+            col_css: Vec::new(),
+            hyp_css: Vec::new(),
+            cov: Vec::new(),
+            second_pass_traces: 0,
+        })
+    }
+
+    /// Number of traces folded into the first pass so far.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    /// Folds one chunk of traces into the current pass.  The second pass
+    /// must replay exactly the traces of the first, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed chunk or a sample width that differs
+    /// from earlier chunks.
+    pub fn update(&mut self, chunk: &TraceSet) -> Result<()> {
+        match self.pass {
+            CpaPass::Means => self.update_means(chunk),
+            CpaPass::Moments => self.update_moments(chunk),
+        }
+    }
+
+    fn update_means(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = check_chunk(chunk, &mut self.samples)?;
+        if self.col_sum.is_empty() {
+            self.col_sum = vec![0.0; samples];
+        }
+        for (s, col_sum) in self.col_sum.iter_mut().enumerate() {
+            for &v in chunk.sample_column(s) {
+                *col_sum += v;
+            }
+        }
+        if let Some(classes) = &mut self.classes {
+            match classes.classify(chunk.inputs(), samples) {
+                Some(class_of) => classes.update(chunk, &class_of, samples),
+                None if self.wide => self.classes = None,
+                None => return Err(class_overflow_error()),
+            }
+        }
+        if self.wide {
+            for (guess, hyp_sum) in self.hyp_sum.iter_mut().enumerate() {
+                for &input in chunk.inputs() {
+                    *hyp_sum += (self.model)(input, guess as u64);
+                }
+            }
+        }
+        self.traces += chunk.len();
+        Ok(())
+    }
+
+    /// Seals the first-pass means and switches to moment accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the second pass already began.
+    pub fn begin_second_pass(&mut self) -> Result<()> {
+        if self.pass == CpaPass::Moments {
+            return Err(PowerError::AccumulatorMisuse {
+                message: "the CPA accumulator is already in its second pass".into(),
+            });
+        }
+        self.pass = CpaPass::Moments;
+        if self.traces == 0 {
+            return Ok(());
+        }
+        let n = self.traces as f64;
+        let samples = self.samples.unwrap_or(0);
+        self.col_mean = self.col_sum.iter().map(|&sum| sum / n).collect();
+        self.col_css = vec![0.0; samples];
+        if self.classes.is_none() {
+            let guesses = self.key_guesses as usize;
+            self.hyp_mean = self.hyp_sum.iter().map(|&sum| sum / n).collect();
+            self.hyp_css = vec![0.0; guesses];
+            self.cov = vec![0.0; guesses * samples];
+        }
+        Ok(())
+    }
+
+    fn update_moments(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = check_chunk(chunk, &mut self.samples)?;
+        for (s, col_css) in self.col_css.iter_mut().enumerate() {
+            let my = self.col_mean[s];
+            for &v in chunk.sample_column(s) {
+                *col_css += (v - my) * (v - my);
+            }
+        }
+        if self.classes.is_none() {
+            let mut hypothesis = vec![0.0f64; chunk.len()];
+            for guess in 0..self.key_guesses {
+                let mh = self.hyp_mean[guess as usize];
+                let mut css = self.hyp_css[guess as usize];
+                for (h, &input) in hypothesis.iter_mut().zip(chunk.inputs()) {
+                    *h = (self.model)(input, guess);
+                    css += (*h - mh) * (*h - mh);
+                }
+                self.hyp_css[guess as usize] = css;
+                let row = guess as usize * samples;
+                for s in 0..samples {
+                    let my = self.col_mean[s];
+                    let mut cov = self.cov[row + s];
+                    for (&h, &v) in hypothesis.iter().zip(chunk.sample_column(s)) {
+                        cov += (h - mh) * (v - my);
+                    }
+                    self.cov[row + s] = cov;
+                }
+            }
+        }
+        self.second_pass_traces += chunk.len();
+        Ok(())
+    }
+
+    /// Merges a partial accumulator in the same pass.
+    ///
+    /// In the first pass `other` must cover the trace range after this
+    /// one's; all pass-1 state is combined.  In the second pass `other` must
+    /// be a [`CpaAccumulator::fork`] of this accumulator that folded a later
+    /// share of the replayed chunks; only pass-2 sums are combined.  Merge
+    /// partials in trace-range order for deterministic results.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched guess counts, passes, or sample
+    /// widths.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.key_guesses != other.key_guesses || self.wide != other.wide {
+            return Err(PowerError::AccumulatorMisuse {
+                message: "cannot merge accumulators with different key guess counts or profiles"
+                    .into(),
+            });
+        }
+        if self.pass != other.pass {
+            return Err(PowerError::AccumulatorMisuse {
+                message: "cannot merge CPA accumulators in different passes".into(),
+            });
+        }
+        match self.pass {
+            CpaPass::Means => {
+                if other.traces == 0 {
+                    return Ok(());
+                }
+                if self.traces == 0 {
+                    self.samples = other.samples;
+                    self.traces = other.traces;
+                    self.classes = other.classes.clone();
+                    self.col_sum = other.col_sum.clone();
+                    self.hyp_sum = other.hyp_sum.clone();
+                    return Ok(());
+                }
+                if self.samples != other.samples {
+                    return Err(PowerError::MalformedTraces {
+                        message: "traces have inconsistent lengths".into(),
+                    });
+                }
+                let keep_classes = match (&mut self.classes, &other.classes) {
+                    (Some(mine), Some(theirs)) => mine.merge(theirs),
+                    _ => false,
+                };
+                if !keep_classes {
+                    if !self.wide {
+                        return Err(class_overflow_error());
+                    }
+                    self.classes = None;
+                }
+                for (acc, &v) in self.col_sum.iter_mut().zip(&other.col_sum) {
+                    *acc += v;
+                }
+                for (acc, &v) in self.hyp_sum.iter_mut().zip(&other.hyp_sum) {
+                    *acc += v;
+                }
+                self.traces += other.traces;
+            }
+            CpaPass::Moments => {
+                if self.traces != other.traces || self.samples != other.samples {
+                    return Err(PowerError::AccumulatorMisuse {
+                        message: "second-pass merge requires forks of the same first pass".into(),
+                    });
+                }
+                for (acc, &v) in self.col_css.iter_mut().zip(&other.col_css) {
+                    *acc += v;
+                }
+                for (acc, &v) in self.hyp_css.iter_mut().zip(&other.hyp_css) {
+                    *acc += v;
+                }
+                for (acc, &v) in self.cov.iter_mut().zip(&other.cov) {
+                    *acc += v;
+                }
+                self.second_pass_traces += other.second_pass_traces;
+            }
+        }
+        Ok(())
+    }
+
+    /// A second-pass worker accumulator: shares this accumulator's sealed
+    /// means but starts with zeroed pass-2 sums, so disjoint chunk shares
+    /// can be folded in parallel and merged back in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the second pass has not begun.
+    pub fn fork(&self) -> Result<Self>
+    where
+        F: Clone,
+    {
+        if self.pass != CpaPass::Moments {
+            return Err(PowerError::AccumulatorMisuse {
+                message: "fork() requires the second pass; call begin_second_pass first".into(),
+            });
+        }
+        let mut fork = self.clone();
+        fork.col_css.iter_mut().for_each(|v| *v = 0.0);
+        fork.hyp_css.iter_mut().for_each(|v| *v = 0.0);
+        fork.cov.iter_mut().for_each(|v| *v = 0.0);
+        fork.second_pass_traces = 0;
+        Ok(fork)
+    }
+
+    /// Scores every key guess from the accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated, or if the second pass
+    /// did not replay exactly the first pass's traces.
+    pub fn finalize(self) -> Result<AttackResult> {
+        if self.traces == 0 {
+            return Err(empty_error());
+        }
+        if self.pass != CpaPass::Moments || self.second_pass_traces != self.traces {
+            return Err(PowerError::AccumulatorMisuse {
+                message: format!(
+                    "the second pass covered {} of {} traces",
+                    self.second_pass_traces, self.traces
+                ),
+            });
+        }
+        let samples = self.samples.unwrap_or(0);
+        let n = self.traces;
+        let mut scores = Vec::with_capacity(self.key_guesses as usize);
+
+        if let Some(classes) = &self.classes {
+            let mut hypothesis = vec![0.0f64; classes.values.len()];
+            for guess in 0..self.key_guesses {
+                for (h, &value) in hypothesis.iter_mut().zip(&classes.values) {
+                    *h = (self.model)(value, guess);
+                }
+                let mut mh = 0.0;
+                for (&h, &count) in hypothesis.iter().zip(&classes.counts) {
+                    mh += count as f64 * h;
+                }
+                mh /= n as f64;
+                let mut va = 0.0;
+                for (&h, &count) in hypothesis.iter().zip(&classes.counts) {
+                    va += count as f64 * (h - mh) * (h - mh);
+                }
+                let mut best = 0.0f64;
+                for s in 0..samples {
+                    let vb = self.col_css[s];
+                    let my = self.col_mean[s];
+                    let mut cov = 0.0;
+                    for (class, &h) in hypothesis.iter().enumerate() {
+                        cov +=
+                            (h - mh) * (classes.sums[class][s] - classes.counts[class] as f64 * my);
+                    }
+                    let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
+                        0.0
+                    } else {
+                        cov / (va.sqrt() * vb.sqrt())
+                    };
+                    best = best.max(corr.abs());
+                }
+                scores.push(best);
+            }
+        } else {
+            for guess in 0..self.key_guesses {
+                let va = self.hyp_css[guess as usize];
+                let row = guess as usize * samples;
+                let mut best = 0.0f64;
+                for s in 0..samples {
+                    let vb = self.col_css[s];
+                    let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
+                        0.0
+                    } else {
+                        self.cov[row + s] / (va.sqrt() * vb.sqrt())
+                    };
+                    best = best.max(corr.abs());
+                }
+                scores.push(best);
+            }
+        }
+        Ok(best_result(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cpa_attack, dpa_attack};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sbox(x: u64) -> u64 {
+        const SBOX: [u64; 16] = [
+            0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+        ];
+        SBOX[(x & 0xF) as usize]
+    }
+
+    /// Multi-sample traces; `wide` controls whether inputs exceed the class
+    /// aggregation limit.
+    fn trace_set(seed: u64, traces: usize, samples: usize, wide: bool) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = TraceSet::new();
+        for _ in 0..traces {
+            let input = if wide {
+                rng.gen_range(0..u64::MAX)
+            } else {
+                rng.gen_range(0..16u64)
+            };
+            let leak = sbox(input ^ 0xB).count_ones() as f64;
+            let samples: Vec<f64> = (0..samples)
+                .map(|_| leak + rng.gen_range(-0.8..0.8))
+                .collect();
+            set.push_samples(input, &samples);
+        }
+        set
+    }
+
+    fn chunks_of(set: &TraceSet, chunk: usize) -> Vec<TraceSet> {
+        let samples = set.sample_count().unwrap();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < set.len() {
+            let end = (start + chunk).min(set.len());
+            let mut part = TraceSet::with_capacity(samples, end - start);
+            for t in start..end {
+                part.push_samples(set.inputs()[t], &set.trace_samples(t));
+            }
+            out.push(part);
+            start = end;
+        }
+        out
+    }
+
+    fn selection(input: u64, guess: u64) -> bool {
+        sbox(input ^ guess).count_ones() >= 2
+    }
+
+    fn model(input: u64, guess: u64) -> f64 {
+        sbox(input ^ guess).count_ones() as f64
+    }
+
+    #[test]
+    fn chunked_dpa_is_bit_identical_to_in_memory() {
+        for (wide, samples) in [(false, 1), (false, 3), (true, 2)] {
+            let set = trace_set(42, 333, samples, wide);
+            let whole = dpa_attack(&set, 16, selection).unwrap();
+            for chunk_size in [1, 7, 64, 100] {
+                let mut acc = DpaAccumulator::new(16, selection).unwrap();
+                for chunk in chunks_of(&set, chunk_size) {
+                    acc.update(&chunk).unwrap();
+                }
+                let streamed = acc.finalize().unwrap();
+                assert_eq!(
+                    streamed.scores, whole.scores,
+                    "wide={wide} chunk={chunk_size}"
+                );
+                assert_eq!(streamed.best_guess, whole.best_guess);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_cpa_is_bit_identical_to_in_memory() {
+        for (wide, samples) in [(false, 1), (false, 3), (true, 2)] {
+            let set = trace_set(77, 257, samples, wide);
+            let whole = cpa_attack(&set, 16, model).unwrap();
+            for chunk_size in [1, 13, 257] {
+                let mut acc = CpaAccumulator::new(16, model).unwrap();
+                let chunks = chunks_of(&set, chunk_size);
+                for chunk in &chunks {
+                    acc.update(chunk).unwrap();
+                }
+                acc.begin_second_pass().unwrap();
+                for chunk in &chunks {
+                    acc.update(chunk).unwrap();
+                }
+                let streamed = acc.finalize().unwrap();
+                assert_eq!(
+                    streamed.scores, whole.scores,
+                    "wide={wide} chunk={chunk_size}"
+                );
+                assert_eq!(streamed.best_guess, whole.best_guess);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_dpa_partials_match_within_reassociation_error() {
+        for wide in [false, true] {
+            let set = trace_set(5, 300, 2, wide);
+            let whole = dpa_attack(&set, 16, selection).unwrap();
+            let mut merged = DpaAccumulator::new(16, selection).unwrap();
+            for chunk in chunks_of(&set, 64) {
+                let mut partial = DpaAccumulator::new(16, selection).unwrap();
+                partial.update(&chunk).unwrap();
+                merged.merge(&partial).unwrap();
+            }
+            assert_eq!(merged.traces(), 300);
+            let result = merged.finalize().unwrap();
+            assert_eq!(result.best_guess, whole.best_guess, "wide={wide}");
+            for (a, b) in result.scores.iter().zip(&whole.scores) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "wide={wide}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cpa_forks_match_within_reassociation_error() {
+        for wide in [false, true] {
+            let set = trace_set(6, 300, 2, wide);
+            let whole = cpa_attack(&set, 16, model).unwrap();
+            let chunks = chunks_of(&set, 64);
+            let mut acc = CpaAccumulator::new(16, model).unwrap();
+            for chunk in &chunks {
+                let mut partial = CpaAccumulator::new(16, model).unwrap();
+                partial.update(chunk).unwrap();
+                acc.merge(&partial).unwrap();
+            }
+            acc.begin_second_pass().unwrap();
+            for chunk in &chunks {
+                let mut fork = acc.fork().unwrap();
+                fork.update(chunk).unwrap();
+                acc.merge(&fork).unwrap();
+            }
+            let result = acc.finalize().unwrap();
+            assert_eq!(result.best_guess, whole.best_guess, "wide={wide}");
+            for (a, b) in result.scores.iter().zip(&whole.scores) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "wide={wide}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_aggregation_survives_exactly_the_in_memory_condition() {
+        // 64 distinct inputs: class mode must survive; 65: it must die, even
+        // when the 65th value arrives many chunks after the 64th.
+        for (distinct, expect_classes) in [(64u64, true), (65, false)] {
+            let mut set = TraceSet::new();
+            for t in 0..260u64 {
+                set.push_samples(t % distinct, &[t as f64 * 0.25]);
+            }
+            let whole = dpa_attack(&set, 8, |i, g| (i ^ g) & 1 == 0).unwrap();
+            let mut acc = DpaAccumulator::new(8, |i, g| (i ^ g) & 1 == 0).unwrap();
+            for chunk in chunks_of(&set, 16) {
+                acc.update(&chunk).unwrap();
+            }
+            assert_eq!(acc.classes.is_some(), expect_classes);
+            let streamed = acc.finalize().unwrap();
+            assert_eq!(streamed.scores, whole.scores, "distinct={distinct}");
+        }
+    }
+
+    #[test]
+    fn accumulator_misuse_is_reported() {
+        assert!(matches!(
+            DpaAccumulator::new(0, |_, _| true),
+            Err(PowerError::NoKeyGuesses)
+        ));
+        assert!(matches!(
+            CpaAccumulator::new(0, |_, _| 0.0),
+            Err(PowerError::NoKeyGuesses)
+        ));
+
+        // Empty accumulators finalize with the empty-set error.
+        let acc = DpaAccumulator::new(4, |_, _| true).unwrap();
+        assert!(matches!(
+            acc.finalize(),
+            Err(PowerError::MalformedTraces { .. })
+        ));
+
+        // Finalizing CPA without a complete second pass is misuse.
+        let set = trace_set(9, 20, 1, false);
+        let mut acc = CpaAccumulator::new(4, model).unwrap();
+        acc.update(&set).unwrap();
+        assert!(matches!(
+            acc.clone().finalize(),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+        assert!(acc.fork().is_err());
+        acc.begin_second_pass().unwrap();
+        assert!(acc.begin_second_pass().is_err());
+        assert!(matches!(
+            acc.clone().finalize(),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+
+        // Mismatched widths across chunks are malformed.
+        let mut acc = DpaAccumulator::new(4, |_, _| true).unwrap();
+        acc.update(&trace_set(1, 8, 2, false)).unwrap();
+        assert!(matches!(
+            acc.update(&trace_set(2, 8, 3, false)),
+            Err(PowerError::MalformedTraces { .. })
+        ));
+
+        // Mismatched guess counts cannot merge.
+        fn always(_: u64, _: u64) -> bool {
+            true
+        }
+        let mut a = DpaAccumulator::new(4, always).unwrap();
+        let b = DpaAccumulator::new(8, always).unwrap();
+        assert!(matches!(
+            a.merge(&b),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+
+        // Pass-mismatched CPA merges are rejected.
+        let mut p1 = CpaAccumulator::new(4, model).unwrap();
+        p1.update(&set).unwrap();
+        let mut p2 = p1.clone();
+        p2.begin_second_pass().unwrap();
+        assert!(matches!(
+            p1.merge(&p2),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn input_profile_matches_the_aggregation_condition() {
+        let few: Vec<u64> = (0..300).map(|t| t % 64).collect();
+        assert_eq!(input_profile(&few), InputProfile::FewClasses);
+        let diverse: Vec<u64> = (0..65).collect();
+        assert_eq!(input_profile(&diverse), InputProfile::Diverse);
+        assert_eq!(input_profile(&[]), InputProfile::FewClasses);
+    }
+
+    #[test]
+    fn hinted_profiles_are_bit_identical_to_auto() {
+        // FewClasses on few-input traces and Diverse on wide traces must
+        // reproduce the Auto accumulator (and hence the in-memory attacks)
+        // exactly; dpa_attack/cpa_attack already run through the pre-scan,
+        // so compare hinted accumulators against them.
+        let few = trace_set(21, 240, 2, false);
+        let wide = trace_set(22, 240, 2, true);
+        for (set, profile) in [
+            (&few, InputProfile::FewClasses),
+            (&wide, InputProfile::Diverse),
+        ] {
+            let expected = dpa_attack(set, 16, selection).unwrap();
+            let mut acc = DpaAccumulator::with_profile(16, selection, profile).unwrap();
+            for chunk in chunks_of(set, 50) {
+                acc.update(&chunk).unwrap();
+            }
+            assert_eq!(acc.finalize().unwrap().scores, expected.scores);
+
+            let expected = cpa_attack(set, 16, model).unwrap();
+            let mut acc = CpaAccumulator::with_profile(16, model, profile).unwrap();
+            let chunks = chunks_of(set, 50);
+            for chunk in &chunks {
+                acc.update(chunk).unwrap();
+            }
+            acc.begin_second_pass().unwrap();
+            for chunk in &chunks {
+                acc.update(chunk).unwrap();
+            }
+            assert_eq!(acc.finalize().unwrap().scores, expected.scores);
+        }
+    }
+
+    #[test]
+    fn broken_few_classes_promise_is_an_error_not_wrong_scores() {
+        let wide = trace_set(23, 100, 1, true);
+        let mut dpa =
+            DpaAccumulator::with_profile(16, selection, InputProfile::FewClasses).unwrap();
+        assert!(matches!(
+            dpa.update(&wide),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+        let mut cpa = CpaAccumulator::with_profile(16, model, InputProfile::FewClasses).unwrap();
+        assert!(matches!(
+            cpa.update(&wide),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+        // Mixed-profile merges are rejected.
+        let mut auto = DpaAccumulator::new(16, selection).unwrap();
+        let hinted = DpaAccumulator::with_profile(16, selection, InputProfile::FewClasses).unwrap();
+        assert!(matches!(
+            auto.merge(&hinted),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn merging_into_an_empty_accumulator_adopts_the_partial() {
+        let set = trace_set(12, 50, 2, false);
+        let mut partial = DpaAccumulator::new(16, selection).unwrap();
+        partial.update(&set).unwrap();
+        let mut empty = DpaAccumulator::new(16, selection).unwrap();
+        empty.merge(&partial).unwrap();
+        let direct = dpa_attack(&set, 16, selection).unwrap();
+        assert_eq!(empty.finalize().unwrap().scores, direct.scores);
+
+        // Merging an empty partial is a no-op.
+        let mut acc = DpaAccumulator::new(16, selection).unwrap();
+        acc.update(&set).unwrap();
+        let untouched = acc.clone().finalize().unwrap();
+        acc.merge(&DpaAccumulator::new(16, selection).unwrap())
+            .unwrap();
+        assert_eq!(acc.finalize().unwrap().scores, untouched.scores);
+    }
+}

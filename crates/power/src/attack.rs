@@ -1,11 +1,6 @@
-use crate::stats;
+use crate::accumulate::{input_profile, CpaAccumulator, DpaAccumulator};
 use crate::trace::TraceSet;
-use crate::{PowerError, Result};
-
-/// When the traces carry at most this many distinct inputs, the attacks
-/// aggregate per-input-class column sums once and score every key guess in
-/// O(classes) per sample instead of O(traces).
-const MAX_INPUT_CLASSES: usize = 64;
+use crate::Result;
 
 /// The outcome of a key-recovery attack: a score per key guess and the
 /// best-scoring guess.
@@ -49,61 +44,6 @@ impl AttackResult {
     }
 }
 
-/// A partition of the traces into equivalence classes of equal input values,
-/// used to aggregate per-class column sums once per attack.
-struct InputClasses {
-    /// The distinct input values, in order of first appearance.
-    values: Vec<u64>,
-    /// Class index of every trace.
-    class_of: Vec<u8>,
-}
-
-/// Classifies the traces by input value; `None` when the inputs are too
-/// diverse for class aggregation to pay off.
-fn classify_inputs(inputs: &[u64]) -> Option<InputClasses> {
-    let mut values: Vec<u64> = Vec::with_capacity(MAX_INPUT_CLASSES);
-    let mut class_of = Vec::with_capacity(inputs.len());
-    for &input in inputs {
-        let class = match values.iter().position(|&v| v == input) {
-            Some(c) => c,
-            None => {
-                if values.len() == MAX_INPUT_CLASSES {
-                    return None;
-                }
-                values.push(input);
-                values.len() - 1
-            }
-        };
-        class_of.push(class as u8);
-    }
-    Some(InputClasses { values, class_of })
-}
-
-/// Per-class trace counts and per-(sample, class) column sums, the shared
-/// sufficient statistics of both class-aggregated attacks.
-struct ClassSums {
-    counts: Vec<usize>,
-    /// `sums[s * classes + c]` = sum of sample `s` over the traces of class `c`.
-    sums: Vec<f64>,
-}
-
-fn class_sums(traces: &TraceSet, classes: &InputClasses, samples: usize) -> ClassSums {
-    let k = classes.values.len();
-    let mut counts = vec![0usize; k];
-    for &c in &classes.class_of {
-        counts[c as usize] += 1;
-    }
-    let mut sums = vec![0.0f64; samples * k];
-    for s in 0..samples {
-        let column = traces.sample_column(s);
-        let row = &mut sums[s * k..(s + 1) * k];
-        for (&c, &v) in classes.class_of.iter().zip(column) {
-            row[c as usize] += v;
-        }
-    }
-    ClassSums { counts, sums }
-}
-
 /// Classic difference-of-means DPA (Kocher et al. [2] in the paper).
 ///
 /// For every key guess, the traces are split into two groups according to
@@ -111,12 +51,14 @@ fn class_sums(traces: &TraceSet, classes: &InputClasses, samples: usize) -> Clas
 /// guess whose groups differ the most is reported.  The score of a guess is
 /// the maximum absolute difference of means over all trace samples.
 ///
-/// The partition of a guess does not depend on the sample index, so it is
-/// computed **once** per guess and folded over the columnar trace storage in
-/// a single allocation-free sweep.  When the traces carry few distinct
-/// inputs (e.g. 4-bit plaintexts) the partition collapses further onto
-/// per-input-class sums, scoring each guess in O(classes) per sample.
-/// `selection` must therefore be a pure function of `(input, guess)`.
+/// The implementation is a [`DpaAccumulator`] fed the whole set in a single
+/// update: the partition of a guess is computed **once** per guess and
+/// folded over the columnar trace storage in a single sweep, and when the
+/// traces carry few distinct inputs (e.g. 4-bit plaintexts) the partition
+/// collapses onto per-input-class sums, scoring each guess in O(classes) per
+/// sample.  Feeding the accumulator the same traces chunk-by-chunk (the
+/// out-of-core path of `dpl-store`) is bit-identical to this function.
+/// `selection` must be a pure function of `(input, guess)`.
 ///
 /// # Errors
 ///
@@ -125,77 +67,13 @@ pub fn dpa_attack<F>(traces: &TraceSet, key_guesses: u64, selection: F) -> Resul
 where
     F: Fn(u64, u64) -> bool,
 {
-    if key_guesses == 0 {
-        return Err(PowerError::NoKeyGuesses);
-    }
-    let samples = traces.sample_count()?;
-    let total = traces.len();
-    let mut scores = Vec::with_capacity(key_guesses as usize);
-
-    if let Some(classes) = classify_inputs(traces.inputs()) {
-        let k = classes.values.len();
-        let stats = class_sums(traces, &classes, samples);
-        let mut selected = vec![false; k];
-        for guess in 0..key_guesses {
-            let mut ones = 0usize;
-            for (sel, &value) in selected.iter_mut().zip(&classes.values) {
-                *sel = selection(value, guess);
-            }
-            for (c, &sel) in selected.iter().enumerate() {
-                if sel {
-                    ones += stats.counts[c];
-                }
-            }
-            let zeros = total - ones;
-            let mut best = 0.0f64;
-            if ones > 0 && zeros > 0 {
-                for s in 0..samples {
-                    let row = &stats.sums[s * k..(s + 1) * k];
-                    let mut sum_ones = 0.0;
-                    let mut sum_zeros = 0.0;
-                    for (&sum, &sel) in row.iter().zip(&selected) {
-                        if sel {
-                            sum_ones += sum;
-                        } else {
-                            sum_zeros += sum;
-                        }
-                    }
-                    let dom = (sum_ones / ones as f64 - sum_zeros / zeros as f64).abs();
-                    best = best.max(dom);
-                }
-            }
-            scores.push(best);
-        }
-    } else {
-        let mut mask = vec![false; total];
-        for guess in 0..key_guesses {
-            let mut ones = 0usize;
-            for (m, &input) in mask.iter_mut().zip(traces.inputs()) {
-                *m = selection(input, guess);
-                ones += usize::from(*m);
-            }
-            let zeros = total - ones;
-            let mut best = 0.0f64;
-            if ones > 0 && zeros > 0 {
-                for s in 0..samples {
-                    let column = traces.sample_column(s);
-                    let mut sum_ones = 0.0;
-                    let mut sum_zeros = 0.0;
-                    for (&m, &v) in mask.iter().zip(column) {
-                        if m {
-                            sum_ones += v;
-                        } else {
-                            sum_zeros += v;
-                        }
-                    }
-                    let dom = (sum_ones / ones as f64 - sum_zeros / zeros as f64).abs();
-                    best = best.max(dom);
-                }
-            }
-            scores.push(best);
-        }
-    }
-    Ok(best_result(scores))
+    // Pre-scanning the inputs (one cheap integer pass) picks the single
+    // matching bookkeeping mode, instead of Auto's belt-and-braces double
+    // maintenance.
+    let profile = input_profile(traces.inputs());
+    let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile)?;
+    accumulator.update(traces)?;
+    accumulator.finalize()
 }
 
 /// Correlation power analysis: for every key guess the measured traces are
@@ -203,10 +81,17 @@ where
 /// (typically a Hamming weight); the guess with the highest absolute
 /// correlation wins.
 ///
-/// Column means and centered column norms are computed once; each guess then
-/// only accumulates its cross-products in one sweep per sample.  As with
-/// [`dpa_attack`], few-distinct-input trace sets collapse onto per-class
-/// sums, and `model` must be a pure function of `(input, guess)`.
+/// The implementation is a two-pass [`CpaAccumulator`] fed the whole set in
+/// one update per pass: column means and centered column norms are computed
+/// once; each guess then only accumulates its cross-products in one sweep
+/// per sample.  As with [`dpa_attack`], few-distinct-input trace sets
+/// collapse onto per-class sums, chunked accumulation (the out-of-core path
+/// of `dpl-store`) is bit-identical, and `model` must be a pure function of
+/// `(input, guess)`.  On diverse-input sets the two passes evaluate `model`
+/// twice per `(input, guess)` — the accumulator stays O(guesses × samples)
+/// instead of buffering an O(traces × guesses) hypothesis matrix, which is
+/// what lets the same code run out-of-core; keep `model` cheap (e.g. a
+/// `dpl-crypto` `EnergyCache` lookup) or memoize it.
 ///
 /// # Errors
 ///
@@ -215,89 +100,15 @@ pub fn cpa_attack<F>(traces: &TraceSet, key_guesses: u64, model: F) -> Result<At
 where
     F: Fn(u64, u64) -> f64,
 {
-    if key_guesses == 0 {
-        return Err(PowerError::NoKeyGuesses);
-    }
-    let samples = traces.sample_count()?;
-    let n = traces.len();
-    let mut scores = Vec::with_capacity(key_guesses as usize);
-
-    // Guess-independent column statistics, computed once.
-    let mut col_mean = vec![0.0f64; samples];
-    let mut col_css = vec![0.0f64; samples];
-    for s in 0..samples {
-        let column = traces.sample_column(s);
-        col_mean[s] = stats::mean(column);
-        col_css[s] = stats::centered_sum_of_squares(column, col_mean[s]);
-    }
-
-    if let Some(classes) = classify_inputs(traces.inputs()) {
-        let k = classes.values.len();
-        let stats = class_sums(traces, &classes, samples);
-        let mut hypothesis = vec![0.0f64; k];
-        for guess in 0..key_guesses {
-            for (h, &value) in hypothesis.iter_mut().zip(&classes.values) {
-                *h = model(value, guess);
-            }
-            let mut mh = 0.0;
-            for (c, &h) in hypothesis.iter().enumerate() {
-                mh += stats.counts[c] as f64 * h;
-            }
-            mh /= n as f64;
-            let mut va = 0.0;
-            for (c, &h) in hypothesis.iter().enumerate() {
-                va += stats.counts[c] as f64 * (h - mh) * (h - mh);
-            }
-            let mut best = 0.0f64;
-            for s in 0..samples {
-                let vb = col_css[s];
-                let my = col_mean[s];
-                let row = &stats.sums[s * k..(s + 1) * k];
-                let mut cov = 0.0;
-                // sum_c (h_c - mh) * sum_{t in c} (y_t - my)
-                for (c, &h) in hypothesis.iter().enumerate() {
-                    cov += (h - mh) * (row[c] - stats.counts[c] as f64 * my);
-                }
-                let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
-                    0.0
-                } else {
-                    cov / (va.sqrt() * vb.sqrt())
-                };
-                best = best.max(corr.abs());
-            }
-            scores.push(best);
-        }
-    } else {
-        let mut hypothesis = vec![0.0f64; n];
-        for guess in 0..key_guesses {
-            for (h, &input) in hypothesis.iter_mut().zip(traces.inputs()) {
-                *h = model(input, guess);
-            }
-            let mh = stats::mean(&hypothesis);
-            let va = stats::centered_sum_of_squares(&hypothesis, mh);
-            let mut best = 0.0f64;
-            for s in 0..samples {
-                let column = traces.sample_column(s);
-                let my = col_mean[s];
-                let vb = col_css[s];
-                let mut cov = 0.0;
-                for (&h, &y) in hypothesis.iter().zip(column) {
-                    cov += (h - mh) * (y - my);
-                }
-                let corr = if n < 2 || va <= 0.0 || vb <= 0.0 {
-                    0.0
-                } else {
-                    cov / (va.sqrt() * vb.sqrt())
-                };
-                best = best.max(corr.abs());
-            }
-            scores.push(best);
-        }
-    }
-    Ok(best_result(scores))
+    let profile = input_profile(traces.inputs());
+    let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile)?;
+    accumulator.update(traces)?;
+    accumulator.begin_second_pass()?;
+    accumulator.update(traces)?;
+    accumulator.finalize()
 }
 
-fn best_result(scores: Vec<f64>) -> AttackResult {
+pub(crate) fn best_result(scores: Vec<f64>) -> AttackResult {
     let best_guess = scores
         .iter()
         .enumerate()
@@ -395,6 +206,7 @@ pub mod reference {
 mod tests {
     use super::*;
     use crate::trace::Trace;
+    use crate::PowerError;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

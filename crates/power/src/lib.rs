@@ -18,20 +18,33 @@
 //!   correlation power analysis used by the end-to-end S-box experiment.
 //!
 //! [`TraceSet`] stores its traces **columnar** (sample-major, one contiguous
-//! buffer) and the attacks are streaming single-pass accumulators over those
-//! columns; the pre-columnar implementations are retained in [`reference`]
-//! as the correctness oracle.
+//! buffer) and the attacks are streaming accumulators over those columns;
+//! the pre-columnar implementations are retained in [`reference`] as the
+//! correctness oracle.
+//!
+//! The accumulators behind the attacks are public ([`DpaAccumulator`],
+//! [`CpaAccumulator`]): they can be fed a trace set in arbitrary chunks —
+//! e.g. streamed off the on-disk archives of `dpl-store` — and produce
+//! bit-identical scores to the in-memory attacks, and partial accumulators
+//! over disjoint trace ranges can be [`DpaAccumulator::merge`]d for parallel
+//! out-of-core folds.  [`TraceSink`] is the write-side counterpart: trace
+//! generators stream measurements into any sink ([`TraceSet`] or an archive
+//! writer) without materializing the full set.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accumulate;
 mod attack;
 pub mod metrics;
 pub mod stats;
 mod trace;
 
+pub use accumulate::{
+    input_profile, CpaAccumulator, DpaAccumulator, InputProfile, MAX_INPUT_CLASSES,
+};
 pub use attack::{cpa_attack, dpa_attack, reference, AttackResult};
-pub use trace::{Trace, TraceSet};
+pub use trace::{Trace, TraceSet, TraceSink};
 
 /// Errors produced by the power-analysis layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +57,12 @@ pub enum PowerError {
     },
     /// An attack was configured with zero key guesses.
     NoKeyGuesses,
+    /// A streaming accumulator was driven out of protocol (mismatched
+    /// merges, an incomplete second pass, ...).
+    AccumulatorMisuse {
+        /// Description of the misuse.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PowerError {
@@ -51,6 +70,9 @@ impl std::fmt::Display for PowerError {
         match self {
             PowerError::MalformedTraces { message } => write!(f, "malformed traces: {message}"),
             PowerError::NoKeyGuesses => write!(f, "attack needs at least one key guess"),
+            PowerError::AccumulatorMisuse { message } => {
+                write!(f, "accumulator misuse: {message}")
+            }
         }
     }
 }

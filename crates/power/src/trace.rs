@@ -105,6 +105,35 @@ impl TraceSet {
         }
     }
 
+    /// Builds a set directly from its columnar parts: one input per trace
+    /// and `samples_per_trace * inputs.len()` values in **sample-major**
+    /// order (sample `s` of trace `t` at `s * inputs.len() + t`).
+    ///
+    /// This is the zero-transpose constructor the archive layer uses: an
+    /// on-disk chunk stores exactly this layout, so loading a chunk is a
+    /// straight copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not hold exactly
+    /// `samples_per_trace * inputs.len()` values.
+    pub fn from_columns(inputs: Vec<u64>, samples_per_trace: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            samples_per_trace * inputs.len(),
+            "columnar data must hold samples_per_trace * traces values"
+        );
+        let rows = inputs.len();
+        TraceSet {
+            inputs,
+            width: Some(samples_per_trace),
+            rows,
+            cap: rows,
+            data,
+            first_mismatch: None,
+        }
+    }
+
     /// Appends one measurement.
     pub fn push(&mut self, input: u64, trace: Trace) {
         self.push_samples(input, trace.samples());
@@ -244,6 +273,33 @@ impl TraceSet {
     }
 }
 
+/// A destination for generated power traces.
+///
+/// Trace generators (see `dpl-crypto`) are written against this trait so the
+/// same generation loop can fill an in-memory [`TraceSet`] or stream straight
+/// to an on-disk archive writer without ever materializing the full set.
+pub trait TraceSink {
+    /// The error a failing sink reports (infallible for in-memory sinks).
+    type Error;
+
+    /// Records one measurement: the public input and its samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's error when the measurement cannot be recorded
+    /// (e.g. an I/O failure of an on-disk sink).
+    fn record(&mut self, input: u64, samples: &[f64]) -> std::result::Result<(), Self::Error>;
+}
+
+impl TraceSink for TraceSet {
+    type Error = std::convert::Infallible;
+
+    fn record(&mut self, input: u64, samples: &[f64]) -> std::result::Result<(), Self::Error> {
+        self.push_samples(input, samples);
+        Ok(())
+    }
+}
+
 impl PartialEq for TraceSet {
     fn eq(&self, other: &Self) -> bool {
         if self.inputs != other.inputs
@@ -370,6 +426,38 @@ mod tests {
         assert_eq!(cut.sample_column(0), &[0.0, 1.0, 2.0, 3.0]);
         assert_eq!(cut.sample_column(1), &[0.0, -1.0, -2.0, -3.0]);
         assert_eq!(set.truncated(99).len(), 10);
+    }
+
+    #[test]
+    fn from_columns_matches_pushed_traces() {
+        // Sample-major data: column 0 then column 1.
+        let set = TraceSet::from_columns(vec![7, 8, 9], 2, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.sample_count().unwrap(), 2);
+        assert_eq!(set.sample_column(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(set.sample_column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(set.trace_samples(1), vec![2.0, 20.0]);
+
+        let mut pushed = TraceSet::new();
+        pushed.push_samples(7, &[1.0, 10.0]);
+        pushed.push_samples(8, &[2.0, 20.0]);
+        pushed.push_samples(9, &[3.0, 30.0]);
+        assert_eq!(set, pushed);
+    }
+
+    #[test]
+    #[should_panic(expected = "columnar data")]
+    fn from_columns_rejects_wrong_data_length() {
+        let _ = TraceSet::from_columns(vec![1, 2], 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn trace_set_is_an_infallible_sink() {
+        let mut set = TraceSet::new();
+        TraceSink::record(&mut set, 0x5, &[1.5]).unwrap();
+        TraceSink::record(&mut set, 0x6, &[2.5]).unwrap();
+        assert_eq!(set.inputs(), &[0x5, 0x6]);
+        assert_eq!(set.sample_column(0), &[1.5, 2.5]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Out-of-core DPA/CPA over archived traces.
+//!
+//! The attacks fold the mergeable accumulators of `dpl-power` chunk by
+//! chunk over an [`ArchiveReader`], so peak memory is one chunk (bounded by
+//! the reader's budget) no matter how many traces the archive holds.
+//!
+//! * The sequential folds ([`dpa_attack_streaming`], [`cpa_attack_streaming`])
+//!   perform the exact same floating-point operations as the in-memory
+//!   `dpl_power::dpa_attack` / `cpa_attack` on the same traces and return
+//!   **bit-identical** [`AttackResult`] scores.
+//! * The parallel folds ([`dpa_attack_parallel`], [`cpa_attack_parallel`])
+//!   build one partial accumulator per chunk across scoped threads and merge
+//!   them in chunk order: results are deterministic and worker-count
+//!   independent, but merging re-associates the reductions, so scores agree
+//!   with the sequential fold only up to floating-point reassociation error.
+
+use std::io::{Read, Seek};
+use std::path::Path;
+
+use dpl_power::{AttackResult, CpaAccumulator, DpaAccumulator, InputProfile};
+
+use crate::error::{Result, StoreError};
+use crate::reader::ArchiveReader;
+
+/// The accumulator bookkeeping implied by the archive's recorded distinct
+/// input count: class aggregation when the writer saw few distinct inputs,
+/// the diverse-input fallback otherwise.  Either way the single matching
+/// mode is maintained — never Auto's double bookkeeping.
+fn profile_of<R: Read + Seek>(reader: &ArchiveReader<R>) -> InputProfile {
+    match reader.distinct_inputs() {
+        Some(_) => InputProfile::FewClasses,
+        None => InputProfile::Diverse,
+    }
+}
+
+/// Difference-of-means DPA folded chunk-by-chunk over an archive.
+///
+/// Bit-identical to `dpl_power::dpa_attack` over the same traces.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty archive, or any chunk
+/// failure (I/O, truncation, checksum mismatch).
+pub fn dpa_attack_streaming<R, F>(
+    reader: &mut ArchiveReader<R>,
+    key_guesses: u64,
+    selection: F,
+) -> Result<AttackResult>
+where
+    R: Read + Seek,
+    F: Fn(u64, u64) -> bool,
+{
+    let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile_of(reader))?;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    Ok(accumulator.finalize()?)
+}
+
+/// Correlation power analysis folded over an archive in two passes (the
+/// second pass re-reads the chunks to center on the sealed means).
+///
+/// Bit-identical to `dpl_power::cpa_attack` over the same traces.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty archive, or any chunk
+/// failure (I/O, truncation, checksum mismatch).
+pub fn cpa_attack_streaming<R, F>(
+    reader: &mut ArchiveReader<R>,
+    key_guesses: u64,
+    model: F,
+) -> Result<AttackResult>
+where
+    R: Read + Seek,
+    F: Fn(u64, u64) -> f64,
+{
+    let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile_of(reader))?;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    accumulator.begin_second_pass()?;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    Ok(accumulator.finalize()?)
+}
+
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Runs `build` on every chunk index across `workers` scoped threads (each
+/// worker opens the archive independently, so no seek positions are shared)
+/// and returns the per-chunk results in chunk order.
+fn per_chunk_parallel<T, B>(path: &Path, chunks: usize, workers: usize, build: B) -> Result<Vec<T>>
+where
+    T: Send,
+    B: Fn(&mut ArchiveReader<std::io::BufReader<std::fs::File>>, usize) -> Result<T> + Sync,
+{
+    type Slot<'a, T> = (usize, &'a mut Option<Result<T>>);
+    let mut slots: Vec<Option<Result<T>>> = Vec::with_capacity(chunks);
+    slots.resize_with(chunks, || None);
+    {
+        // Deal the chunk slots round-robin onto the workers: no locks, and
+        // the chunk -> result mapping stays worker-count independent.
+        let mut by_worker: Vec<Vec<Slot<'_, T>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (chunk, slot) in slots.iter_mut().enumerate() {
+            by_worker[chunk % workers].push((chunk, slot));
+        }
+        let build = &build;
+        std::thread::scope(|scope| {
+            for lot in by_worker {
+                scope.spawn(move || {
+                    let mut reader = None;
+                    for (chunk, slot) in lot {
+                        if reader.is_none() {
+                            match ArchiveReader::open(path) {
+                                Ok(r) => reader = Some(r),
+                                Err(e) => {
+                                    *slot = Some(Err(e));
+                                    continue;
+                                }
+                            }
+                        }
+                        let r = reader.as_mut().expect("reader opened");
+                        *slot = Some(build(r, chunk));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(chunk, slot)| {
+            slot.unwrap_or(Err(StoreError::FormatViolation {
+                message: format!("chunk {chunk} was never processed"),
+            }))
+        })
+        .collect()
+}
+
+/// Parallel out-of-core DPA: one partial [`DpaAccumulator`] per chunk,
+/// built across scoped threads and merged in chunk order.
+///
+/// Deterministic and worker-count independent; agrees with
+/// [`dpa_attack_streaming`] up to floating-point reassociation.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty or unreadable archive, or
+/// any chunk failure.
+pub fn dpa_attack_parallel<F>(
+    path: &Path,
+    key_guesses: u64,
+    selection: F,
+    workers: Option<usize>,
+) -> Result<AttackResult>
+where
+    F: Fn(u64, u64) -> bool + Clone + Send + Sync,
+{
+    let probe = ArchiveReader::open(path)?;
+    let chunks = probe.chunk_count();
+    let profile = profile_of(&probe);
+    drop(probe);
+    let workers = workers
+        .unwrap_or_else(default_worker_count)
+        .clamp(1, chunks.max(1));
+    let selection_ref = &selection;
+    let partials = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+        let mut acc = DpaAccumulator::with_profile(key_guesses, selection_ref.clone(), profile)?;
+        acc.update(&reader.read_chunk(index)?)?;
+        Ok(acc)
+    })?;
+    let mut total = DpaAccumulator::with_profile(key_guesses, selection.clone(), profile)?;
+    for partial in &partials {
+        total.merge(partial)?;
+    }
+    Ok(total.finalize()?)
+}
+
+/// Parallel out-of-core CPA: per-chunk pass-1 partials merged in chunk
+/// order, then per-chunk pass-2 forks of the sealed accumulator merged in
+/// chunk order.
+///
+/// Deterministic and worker-count independent; agrees with
+/// [`cpa_attack_streaming`] up to floating-point reassociation.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty or unreadable archive, or
+/// any chunk failure.
+pub fn cpa_attack_parallel<F>(
+    path: &Path,
+    key_guesses: u64,
+    model: F,
+    workers: Option<usize>,
+) -> Result<AttackResult>
+where
+    F: Fn(u64, u64) -> f64 + Clone + Send + Sync,
+{
+    let probe = ArchiveReader::open(path)?;
+    let chunks = probe.chunk_count();
+    let profile = profile_of(&probe);
+    drop(probe);
+    let workers = workers
+        .unwrap_or_else(default_worker_count)
+        .clamp(1, chunks.max(1));
+
+    let model_ref = &model;
+    let partials = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+        let mut acc = CpaAccumulator::with_profile(key_guesses, model_ref.clone(), profile)?;
+        acc.update(&reader.read_chunk(index)?)?;
+        Ok(acc)
+    })?;
+    let mut total = CpaAccumulator::with_profile(key_guesses, model.clone(), profile)?;
+    for partial in &partials {
+        total.merge(partial)?;
+    }
+    total.begin_second_pass()?;
+
+    let total_ref = &total;
+    let forks = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+        let mut fork = total_ref.fork()?;
+        fork.update(&reader.read_chunk(index)?)?;
+        Ok(fork)
+    })?;
+    for fork in &forks {
+        total.merge(fork)?;
+    }
+    Ok(total.finalize()?)
+}

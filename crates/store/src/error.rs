@@ -1,0 +1,118 @@
+use dpl_power::PowerError;
+
+/// Errors produced by the trace-archive layer.
+///
+/// Corruption is always reported as a typed error — a flipped byte anywhere
+/// in a chunk surfaces as [`StoreError::ChecksumMismatch`] (or a structural
+/// error), never as silently wrong attack scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An I/O operation failed.
+    Io {
+        /// The kind of the underlying [`std::io::Error`].
+        kind: std::io::ErrorKind,
+        /// The rendered underlying error.
+        message: String,
+    },
+    /// The file does not start with the archive magic (also the signature of
+    /// a writer that crashed before [`crate::ArchiveWriter::finish`]).
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 8],
+    },
+    /// The archive was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The fixed-size header fails its own checksum or carries nonsensical
+    /// fields.
+    CorruptHeader {
+        /// Description of the corruption.
+        message: String,
+    },
+    /// A chunk's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Index of the corrupt chunk.
+        chunk: usize,
+    },
+    /// The file ends before the chunk data the header promises.
+    Truncated {
+        /// Index of the chunk that could not be read in full.
+        chunk: usize,
+    },
+    /// The archive violates a structural invariant (wrong per-chunk trace
+    /// count, trailing bytes, an append of the wrong sample width, ...).
+    FormatViolation {
+        /// Description of the violation.
+        message: String,
+    },
+    /// The archive's chunks are larger than the reader's configured
+    /// in-memory chunk budget.
+    ChunkBudgetExceeded {
+        /// Traces per chunk recorded in the header.
+        chunk_traces: usize,
+        /// The reader's configured budget, in traces.
+        budget: usize,
+    },
+    /// An error bubbled up from the power-analysis layer.
+    Power(PowerError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { kind, message } => write!(f, "i/o error ({kind:?}): {message}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a trace archive (magic bytes {found:02X?})")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported archive version {found}")
+            }
+            StoreError::CorruptHeader { message } => write!(f, "corrupt header: {message}"),
+            StoreError::ChecksumMismatch { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            StoreError::Truncated { chunk } => {
+                write!(f, "archive truncated inside chunk {chunk}")
+            }
+            StoreError::FormatViolation { message } => write!(f, "format violation: {message}"),
+            StoreError::ChunkBudgetExceeded {
+                chunk_traces,
+                budget,
+            } => write!(
+                f,
+                "archive chunks hold {chunk_traces} traces, over the reader budget of {budget}"
+            ),
+            StoreError::Power(e) => write!(f, "power analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<PowerError> for StoreError {
+    fn from(e: PowerError) -> Self {
+        StoreError::Power(e)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

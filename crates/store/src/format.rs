@@ -1,0 +1,392 @@
+//! The on-disk archive format: header layout, model tags and checksums.
+//!
+//! An archive is one fixed-size little-endian header followed by a sequence
+//! of trace chunks:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  "DPLTRCv1"
+//!      8     4  format version (currently 1)
+//!     12     4  samples per trace
+//!     16     4  traces per full chunk
+//!     20     4  leakage-model tag (see ModelTag)
+//!     24     8  RNG seed of the capture campaign
+//!     32     8  total trace count
+//!     40     4  distinct input count (0 = more than the class-aggregation limit)
+//!     44     4  reserved (zero)
+//!     48     8  FNV-1a 64 checksum of header bytes 0..48
+//! ```
+//!
+//! The distinct-input count lets the out-of-core attacks pick the matching
+//! accumulator bookkeeping up front (class aggregation vs. the
+//! diverse-input fallback) instead of paying for both.
+//!
+//! Every chunk holds up to `chunk_traces` traces (the final chunk may be
+//! shorter) and is self-checking:
+//!
+//! ```text
+//! [k: u32] [inputs: k x u64] [samples: k x S x f64, sample-major] [FNV-1a 64 of all previous chunk bytes]
+//! ```
+//!
+//! The sample block is **sample-major** (column `s` occupies `k`
+//! consecutive values), mirroring the columnar `TraceSet` layout, so a chunk
+//! loads with zero transposition.  The writer emits a zeroed placeholder
+//! header first and only writes the real header in
+//! [`crate::ArchiveWriter::finish`]: an interrupted capture leaves a file
+//! that fails to open with [`crate::StoreError::BadMagic`] instead of
+//! parsing as a shorter, silently valid archive.
+
+use crate::error::{Result, StoreError};
+
+/// The 8 magic bytes every finished archive starts with.
+pub const MAGIC: [u8; 8] = *b"DPLTRCv1";
+
+/// The format version this crate reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 56;
+
+/// Size of a chunk's trace-count prefix in bytes.
+pub const CHUNK_PREFIX_LEN: usize = 4;
+
+/// Size of a chunk's trailing checksum in bytes.
+pub const CHUNK_CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a 64-bit checksum — dependency-free and guaranteed to detect any
+/// single flipped byte (every step is injective modulo 2^64).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The leakage model a capture campaign simulated, recorded so a later
+/// attack run can pick the right hypothesis (e.g. a profiled CPA table).
+///
+/// This mirrors `dpl_crypto::LeakageModel` without depending on it: the
+/// store sits below the crypto layer so generators can stream into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelTag {
+    /// The campaign did not record a model (or was not simulated).
+    #[default]
+    Unspecified,
+    /// SABL gates on genuine DPDNs (the paper's insecure baseline).
+    GenuineSabl,
+    /// SABL gates on fully connected DPDNs (§4).
+    FullyConnectedSabl,
+    /// SABL gates on enhanced fully connected DPDNs (§5).
+    EnhancedSabl,
+    /// Static-CMOS Hamming-weight leakage.
+    HammingWeight,
+}
+
+impl ModelTag {
+    /// The on-disk encoding of the tag.
+    pub fn code(self) -> u32 {
+        match self {
+            ModelTag::Unspecified => 0,
+            ModelTag::GenuineSabl => 1,
+            ModelTag::FullyConnectedSabl => 2,
+            ModelTag::EnhancedSabl => 3,
+            ModelTag::HammingWeight => 4,
+        }
+    }
+
+    /// Decodes an on-disk tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptHeader`] for an unknown code.
+    pub fn from_code(code: u32) -> Result<Self> {
+        Ok(match code {
+            0 => ModelTag::Unspecified,
+            1 => ModelTag::GenuineSabl,
+            2 => ModelTag::FullyConnectedSabl,
+            3 => ModelTag::EnhancedSabl,
+            4 => ModelTag::HammingWeight,
+            other => {
+                return Err(StoreError::CorruptHeader {
+                    message: format!("unknown leakage-model tag {other}"),
+                })
+            }
+        })
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelTag::Unspecified => "unspecified",
+            ModelTag::GenuineSabl => "SABL (genuine DPDN)",
+            ModelTag::FullyConnectedSabl => "SABL (fully connected DPDN)",
+            ModelTag::EnhancedSabl => "SABL (enhanced DPDN)",
+            ModelTag::HammingWeight => "static CMOS (Hamming weight)",
+        }
+    }
+}
+
+/// The campaign metadata fixed when an archive is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveMeta {
+    /// Samples recorded per trace (>= 1).
+    pub samples_per_trace: usize,
+    /// Traces per full chunk (>= 1); also the reader's natural in-memory
+    /// budget.
+    pub chunk_traces: usize,
+    /// The leakage model the traces were simulated under.
+    pub model: ModelTag,
+    /// The RNG seed of the capture campaign, for reproducibility.
+    pub seed: u64,
+}
+
+impl ArchiveMeta {
+    /// Metadata for single-sample traces with the given chunk size.
+    pub fn scalar(chunk_traces: usize, model: ModelTag, seed: u64) -> Self {
+        ArchiveMeta {
+            samples_per_trace: 1,
+            chunk_traces,
+            model,
+            seed,
+        }
+    }
+
+    /// Validates the field ranges the format can represent.
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.samples_per_trace == 0 {
+            return Err(StoreError::FormatViolation {
+                message: "samples_per_trace must be at least 1".into(),
+            });
+        }
+        if self.chunk_traces == 0 {
+            return Err(StoreError::FormatViolation {
+                message: "chunk_traces must be at least 1".into(),
+            });
+        }
+        if self.samples_per_trace > u32::MAX as usize || self.chunk_traces > u32::MAX as usize {
+            return Err(StoreError::FormatViolation {
+                message: "samples_per_trace and chunk_traces must fit in 32 bits".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialized bytes of a size-`k` chunk: prefix + inputs + samples +
+/// checksum.
+pub(crate) fn chunk_len(k: usize, samples_per_trace: usize) -> u64 {
+    CHUNK_PREFIX_LEN as u64
+        + (k as u64) * 8
+        + (k as u64) * (samples_per_trace as u64) * 8
+        + CHUNK_CHECKSUM_LEN as u64
+}
+
+/// Encodes the header for the given metadata, trace count and distinct
+/// input count (0 = too many to track).
+pub(crate) fn encode_header(
+    meta: &ArchiveMeta,
+    trace_count: u64,
+    distinct_inputs: u32,
+) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&(meta.samples_per_trace as u32).to_le_bytes());
+    header[16..20].copy_from_slice(&(meta.chunk_traces as u32).to_le_bytes());
+    header[20..24].copy_from_slice(&meta.model.code().to_le_bytes());
+    header[24..32].copy_from_slice(&meta.seed.to_le_bytes());
+    header[32..40].copy_from_slice(&trace_count.to_le_bytes());
+    header[40..44].copy_from_slice(&distinct_inputs.to_le_bytes());
+    // Bytes 44..48 are reserved (zero).
+    let checksum = fnv1a64(&header[0..48]);
+    header[48..56].copy_from_slice(&checksum.to_le_bytes());
+    header
+}
+
+fn u32_at(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes and validates a header, returning the metadata, trace count and
+/// recorded distinct input count.
+pub(crate) fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(ArchiveMeta, u64, u32)> {
+    if header[0..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&header[0..8]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = u32_at(header, 8);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let stored = u64_at(header, 48);
+    let computed = fnv1a64(&header[0..48]);
+    if stored != computed {
+        return Err(StoreError::CorruptHeader {
+            message: format!("header checksum {stored:#018X} != computed {computed:#018X}"),
+        });
+    }
+    let meta = ArchiveMeta {
+        samples_per_trace: u32_at(header, 12) as usize,
+        chunk_traces: u32_at(header, 16) as usize,
+        model: ModelTag::from_code(u32_at(header, 20))?,
+        seed: u64_at(header, 24),
+    };
+    if meta.samples_per_trace == 0 || meta.chunk_traces == 0 {
+        return Err(StoreError::CorruptHeader {
+            message: "zero samples_per_trace or chunk_traces".into(),
+        });
+    }
+    let trace_count = u64_at(header, 32);
+    // Bound the implied file size up front (in u128, which cannot overflow
+    // for 32/64-bit fields) so all later u64 offset arithmetic is safe: a
+    // forged header must surface as CorruptHeader, never as an integer
+    // overflow or a bogus huge allocation.
+    let chunk_bytes = CHUNK_PREFIX_LEN as u128
+        + (meta.chunk_traces as u128) * 8
+        + (meta.chunk_traces as u128) * (meta.samples_per_trace as u128) * 8
+        + CHUNK_CHECKSUM_LEN as u128;
+    let chunk_count = (trace_count as u128).div_ceil(meta.chunk_traces as u128);
+    let implied_len = HEADER_LEN as u128 + chunk_count * chunk_bytes;
+    if implied_len > u64::MAX as u128 {
+        return Err(StoreError::CorruptHeader {
+            message: format!("header implies an impossible file size ({implied_len} bytes)"),
+        });
+    }
+    let distinct_inputs = u32_at(header, 40);
+    if distinct_inputs as usize > dpl_power::MAX_INPUT_CLASSES {
+        return Err(StoreError::CorruptHeader {
+            message: format!(
+                "distinct input count {distinct_inputs} exceeds the class-aggregation limit {}",
+                dpl_power::MAX_INPUT_CLASSES
+            ),
+        });
+    }
+    Ok((meta, trace_count, distinct_inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let meta = ArchiveMeta {
+            samples_per_trace: 3,
+            chunk_traces: 512,
+            model: ModelTag::GenuineSabl,
+            seed: 0xDEAD_BEEF_2005,
+        };
+        let header = encode_header(&meta, 12345, 16);
+        let (decoded, count, distinct) = decode_header(&header).unwrap();
+        assert_eq!(decoded, meta);
+        assert_eq!(count, 12345);
+        assert_eq!(distinct, 16);
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let meta = ArchiveMeta::scalar(64, ModelTag::HammingWeight, 7);
+        let good = encode_header(&meta, 100, 16);
+
+        let mut bad_magic = good;
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_header(&bad_magic),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        let mut bad_version = good;
+        bad_version[8] = 99;
+        // The version is checked before the checksum so future formats get a
+        // clean error, not "corrupt".
+        assert!(matches!(
+            decode_header(&bad_version),
+            Err(StoreError::UnsupportedVersion { found: 99 })
+        ));
+
+        // Any flipped payload byte fails the header checksum.
+        for offset in 12..48 {
+            let mut bad = good;
+            bad[offset] ^= 0x10;
+            assert!(
+                matches!(decode_header(&bad), Err(StoreError::CorruptHeader { .. })),
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_header_sizes_are_rejected_not_overflowed() {
+        // Maxed-out fields with a valid checksum must surface as
+        // CorruptHeader, not as integer overflow in the offset arithmetic
+        // or a bogus huge allocation.
+        let huge = ArchiveMeta {
+            samples_per_trace: u32::MAX as usize,
+            chunk_traces: u32::MAX as usize,
+            model: ModelTag::Unspecified,
+            seed: 0,
+        };
+        let header = encode_header(&huge, u64::MAX, 0);
+        assert!(matches!(
+            decode_header(&header),
+            Err(StoreError::CorruptHeader { .. })
+        ));
+
+        // A distinct-input count over the class-aggregation limit is
+        // equally corrupt (the writer never records one).
+        let meta = ArchiveMeta::scalar(8, ModelTag::Unspecified, 0);
+        let header = encode_header(&meta, 100, 65);
+        assert!(matches!(
+            decode_header(&header),
+            Err(StoreError::CorruptHeader { .. })
+        ));
+        let header = encode_header(&meta, 100, 64);
+        assert!(decode_header(&header).is_ok());
+    }
+
+    #[test]
+    fn model_tags_round_trip() {
+        for tag in [
+            ModelTag::Unspecified,
+            ModelTag::GenuineSabl,
+            ModelTag::FullyConnectedSabl,
+            ModelTag::EnhancedSabl,
+            ModelTag::HammingWeight,
+        ] {
+            assert_eq!(ModelTag::from_code(tag.code()).unwrap(), tag);
+            assert!(!tag.label().is_empty());
+        }
+        assert!(ModelTag::from_code(77).is_err());
+    }
+
+    #[test]
+    fn fnv_detects_single_byte_flips() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let baseline = fnv1a64(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(fnv1a64(&flipped), baseline, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn meta_validation() {
+        assert!(ArchiveMeta::scalar(0, ModelTag::Unspecified, 0)
+            .validate()
+            .is_err());
+        let mut meta = ArchiveMeta::scalar(8, ModelTag::Unspecified, 0);
+        meta.samples_per_trace = 0;
+        assert!(meta.validate().is_err());
+        assert!(ArchiveMeta::scalar(8, ModelTag::Unspecified, 0)
+            .validate()
+            .is_ok());
+    }
+}

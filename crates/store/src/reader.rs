@@ -1,0 +1,279 @@
+//! Chunk-iterating, corruption-detecting archive reader.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use dpl_power::TraceSet;
+
+use crate::error::{Result, StoreError};
+use crate::format::{chunk_len, decode_header, fnv1a64, ArchiveMeta, HEADER_LEN};
+
+/// Reads a chunked trace archive without ever materializing more than one
+/// chunk.
+///
+/// The reader validates the header (magic, version, checksum, field sanity)
+/// and the exact file length on open, verifies every chunk's checksum on
+/// read, and enforces a configurable **in-memory chunk budget**: attacks
+/// folded over [`ArchiveReader::read_chunk`] never hold more than
+/// `min(chunk_traces, budget)`-trace [`TraceSet`]s, regardless of how large
+/// the archive is.
+#[derive(Debug)]
+pub struct ArchiveReader<R: Read + Seek> {
+    stream: R,
+    meta: ArchiveMeta,
+    trace_count: u64,
+    distinct_inputs: u32,
+    chunk_budget: usize,
+}
+
+impl ArchiveReader<BufReader<File>> {
+    /// Opens an archive file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or a malformed/corrupt header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = File::open(path)?;
+        ArchiveReader::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> ArchiveReader<R> {
+    /// Wraps a stream holding a complete archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures, a malformed/corrupt header, or a
+    /// stream whose length does not match the header's promise.
+    pub fn new(mut stream: R) -> Result<Self> {
+        stream.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_or(&mut stream, &mut header, 0)?;
+        let (meta, trace_count, distinct_inputs) = decode_header(&header)?;
+        let mut reader = ArchiveReader {
+            chunk_budget: meta.chunk_traces,
+            stream,
+            meta,
+            trace_count,
+            distinct_inputs,
+        };
+        reader.validate_length()?;
+        Ok(reader)
+    }
+
+    /// Restricts the largest chunk this reader will materialize to `traces`
+    /// traces — the out-of-core attacks' memory ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ChunkBudgetExceeded`] when the archive's chunks
+    /// are larger than the budget.
+    pub fn with_chunk_budget(mut self, traces: usize) -> Result<Self> {
+        if self.meta.chunk_traces > traces {
+            return Err(StoreError::ChunkBudgetExceeded {
+                chunk_traces: self.meta.chunk_traces,
+                budget: traces,
+            });
+        }
+        self.chunk_budget = traces;
+        Ok(self)
+    }
+
+    fn validate_length(&mut self) -> Result<()> {
+        let expected = self.expected_file_len();
+        let actual = self.stream.seek(SeekFrom::End(0))?;
+        if actual != expected {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "archive holds {actual} bytes, header promises exactly {expected}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The archive's campaign metadata.
+    pub fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    /// Total number of traces in the archive.
+    pub fn trace_count(&self) -> u64 {
+        self.trace_count
+    }
+
+    /// Samples per trace.
+    pub fn samples_per_trace(&self) -> usize {
+        self.meta.samples_per_trace
+    }
+
+    /// The reader's in-memory chunk budget, in traces.
+    pub fn chunk_budget(&self) -> usize {
+        self.chunk_budget
+    }
+
+    /// The campaign's distinct input count as recorded by the writer, or
+    /// `None` when it exceeded the class-aggregation limit — the signal the
+    /// out-of-core attacks use to pick their accumulator bookkeeping.
+    pub fn distinct_inputs(&self) -> Option<usize> {
+        match self.distinct_inputs {
+            0 => None,
+            n => Some(n as usize),
+        }
+    }
+
+    /// Number of chunks (the last one may be partial).
+    pub fn chunk_count(&self) -> usize {
+        self.trace_count.div_ceil(self.meta.chunk_traces as u64) as usize
+    }
+
+    /// Traces in chunk `index`.
+    fn traces_in_chunk(&self, index: usize) -> usize {
+        let chunk_traces = self.meta.chunk_traces as u64;
+        let start = index as u64 * chunk_traces;
+        ((self.trace_count - start).min(chunk_traces)) as usize
+    }
+
+    /// Byte offset of chunk `index` (every chunk before it is full).
+    fn chunk_offset(&self, index: usize) -> u64 {
+        let full = chunk_len(self.meta.chunk_traces, self.meta.samples_per_trace);
+        HEADER_LEN as u64 + index as u64 * full
+    }
+
+    /// The exact file size the header implies (only the last chunk may be
+    /// partial).
+    fn expected_file_len(&self) -> u64 {
+        match self.chunk_count() {
+            0 => HEADER_LEN as u64,
+            chunks => {
+                self.chunk_offset(chunks - 1)
+                    + chunk_len(
+                        self.traces_in_chunk(chunks - 1),
+                        self.meta.samples_per_trace,
+                    )
+            }
+        }
+    }
+
+    /// Reads and verifies chunk `index` into a columnar [`TraceSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range index, I/O failure, truncation,
+    /// a checksum mismatch, or a structural violation.
+    pub fn read_chunk(&mut self, index: usize) -> Result<TraceSet> {
+        if index >= self.chunk_count() {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "chunk {index} out of range (archive has {} chunks)",
+                    self.chunk_count()
+                ),
+            });
+        }
+        let expected_traces = self.traces_in_chunk(index);
+        debug_assert!(expected_traces <= self.chunk_budget);
+        let samples = self.meta.samples_per_trace;
+        self.stream
+            .seek(SeekFrom::Start(self.chunk_offset(index)))?;
+
+        let payload_len = (chunk_len(expected_traces, samples) - 8) as usize;
+        let mut payload = vec![0u8; payload_len];
+        read_exact_or(&mut self.stream, &mut payload, index)?;
+        let mut checksum = [0u8; 8];
+        read_exact_or(&mut self.stream, &mut checksum, index)?;
+        if u64::from_le_bytes(checksum) != fnv1a64(&payload) {
+            return Err(StoreError::ChecksumMismatch { chunk: index });
+        }
+
+        let k = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+        if k != expected_traces {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "chunk {index} declares {k} traces, header implies {expected_traces}"
+                ),
+            });
+        }
+        let mut inputs = Vec::with_capacity(k);
+        for t in 0..k {
+            let at = 4 + t * 8;
+            inputs.push(u64::from_le_bytes(
+                payload[at..at + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        let mut data = Vec::with_capacity(k * samples);
+        let base = 4 + k * 8;
+        for v in 0..k * samples {
+            let at = base + v * 8;
+            data.push(f64::from_le_bytes(
+                payload[at..at + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(TraceSet::from_columns(inputs, samples, data))
+    }
+
+    /// Iterates over every chunk in order.
+    pub fn chunks(&mut self) -> Chunks<'_, R> {
+        Chunks {
+            reader: self,
+            next: 0,
+        }
+    }
+
+    /// Reads the whole archive into one in-memory [`TraceSet`] — the
+    /// equivalence oracle for the out-of-core attacks, **not** the intended
+    /// access path for large archives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on any chunk failure.
+    pub fn read_all(&mut self) -> Result<TraceSet> {
+        let samples = self.meta.samples_per_trace;
+        let total = self.trace_count as usize;
+        let mut inputs = Vec::with_capacity(total);
+        let mut data = vec![0.0f64; samples * total];
+        let mut offset = 0usize;
+        for index in 0..self.chunk_count() {
+            let chunk = self.read_chunk(index)?;
+            let k = chunk.len();
+            inputs.extend_from_slice(chunk.inputs());
+            for s in 0..samples {
+                data[s * total + offset..s * total + offset + k]
+                    .copy_from_slice(chunk.sample_column(s));
+            }
+            offset += k;
+        }
+        Ok(TraceSet::from_columns(inputs, samples, data))
+    }
+}
+
+/// Iterator over the chunks of an [`ArchiveReader`], yielding one columnar
+/// [`TraceSet`] per chunk.
+#[derive(Debug)]
+pub struct Chunks<'a, R: Read + Seek> {
+    reader: &'a mut ArchiveReader<R>,
+    next: usize,
+}
+
+impl<R: Read + Seek> Iterator for Chunks<'_, R> {
+    type Item = Result<TraceSet>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.reader.chunk_count() {
+            return None;
+        }
+        let chunk = self.reader.read_chunk(self.next);
+        self.next += 1;
+        Some(chunk)
+    }
+}
+
+fn read_exact_or<R: Read>(stream: &mut R, buf: &mut [u8], chunk: usize) -> Result<()> {
+    stream.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { chunk }
+        } else {
+            StoreError::from(e)
+        }
+    })
+}

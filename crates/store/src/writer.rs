@@ -1,0 +1,204 @@
+//! Buffered, chunking archive writer.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dpl_power::{TraceSet, TraceSink, MAX_INPUT_CLASSES};
+
+use crate::error::{Result, StoreError};
+use crate::format::{encode_header, fnv1a64, ArchiveMeta, HEADER_LEN};
+
+/// Streams traces into the chunked on-disk archive format.
+///
+/// Traces are buffered per chunk; each full chunk is serialized with its own
+/// checksum and flushed to the underlying stream.  The real header (with the
+/// final trace count) is written only by [`ArchiveWriter::finish`] — until
+/// then the file starts with a zeroed placeholder, so a crashed capture is
+/// rejected on open instead of silently truncated.
+///
+/// The writer is generic over any `Write + Seek` stream; [`ArchiveWriter::create`]
+/// is the buffered-file convenience constructor, and implementing
+/// [`TraceSink`] lets trace generators stream into an archive directly.
+#[derive(Debug)]
+pub struct ArchiveWriter<W: Write + Seek> {
+    stream: W,
+    meta: ArchiveMeta,
+    /// Buffered inputs of the chunk in progress.
+    pending_inputs: Vec<u64>,
+    /// Buffered samples of the chunk in progress, trace-major.
+    pending_samples: Vec<f64>,
+    /// Distinct input values seen, tracked up to one past the attacks'
+    /// class-aggregation limit and recorded in the header so readers can
+    /// pick the matching accumulator bookkeeping without a scan.
+    distinct_inputs: Vec<u64>,
+    traces_written: u64,
+    chunks_written: usize,
+    finished: bool,
+}
+
+impl ArchiveWriter<BufWriter<File>> {
+    /// Creates (truncating) an archive file with the given metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid metadata or a failing file creation.
+    pub fn create<P: AsRef<Path>>(path: P, meta: ArchiveMeta) -> Result<Self> {
+        let file = File::create(path)?;
+        ArchiveWriter::new(BufWriter::new(file), meta)
+    }
+}
+
+impl<W: Write + Seek> ArchiveWriter<W> {
+    /// Wraps a stream positioned at the start of an empty archive and writes
+    /// the placeholder header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid metadata or a failing write.
+    pub fn new(mut stream: W, meta: ArchiveMeta) -> Result<Self> {
+        meta.validate()?;
+        stream.write_all(&[0u8; HEADER_LEN])?;
+        Ok(ArchiveWriter {
+            stream,
+            meta,
+            pending_inputs: Vec::with_capacity(meta.chunk_traces),
+            pending_samples: Vec::with_capacity(meta.chunk_traces * meta.samples_per_trace),
+            distinct_inputs: Vec::with_capacity(MAX_INPUT_CLASSES + 1),
+            traces_written: 0,
+            chunks_written: 0,
+            finished: false,
+        })
+    }
+
+    /// The metadata the archive was created with.
+    pub fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    /// Traces appended so far (buffered or flushed).
+    pub fn traces_written(&self) -> u64 {
+        self.traces_written + self.pending_inputs.len() as u64
+    }
+
+    /// Appends one trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample count differs from the archive's
+    /// declared width, the archive is already finished, or a flush fails.
+    pub fn append(&mut self, input: u64, samples: &[f64]) -> Result<()> {
+        if self.finished {
+            return Err(StoreError::FormatViolation {
+                message: "cannot append to a finished archive".into(),
+            });
+        }
+        if samples.len() != self.meta.samples_per_trace {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "trace has {} samples, archive stores {} per trace",
+                    samples.len(),
+                    self.meta.samples_per_trace
+                ),
+            });
+        }
+        if self.distinct_inputs.len() <= MAX_INPUT_CLASSES && !self.distinct_inputs.contains(&input)
+        {
+            self.distinct_inputs.push(input);
+        }
+        self.pending_inputs.push(input);
+        self.pending_samples.extend_from_slice(samples);
+        if self.pending_inputs.len() == self.meta.chunk_traces {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every trace of a set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed set or a failing append.
+    pub fn append_trace_set(&mut self, traces: &TraceSet) -> Result<()> {
+        if traces.is_empty() {
+            return Ok(());
+        }
+        traces.sample_count().map_err(StoreError::Power)?;
+        for (index, &input) in traces.inputs().iter().enumerate() {
+            self.append(input, &traces.trace_samples(index))?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the buffered traces as one chunk:
+    /// `[k][inputs][samples, sample-major][checksum]`.
+    fn flush_chunk(&mut self) -> Result<()> {
+        let k = self.pending_inputs.len();
+        if k == 0 {
+            return Ok(());
+        }
+        let samples = self.meta.samples_per_trace;
+        let mut bytes = Vec::with_capacity(4 + k * 8 + k * samples * 8 + 8);
+        bytes.extend_from_slice(&(k as u32).to_le_bytes());
+        for &input in &self.pending_inputs {
+            bytes.extend_from_slice(&input.to_le_bytes());
+        }
+        // Transpose the trace-major buffer into the sample-major layout the
+        // columnar TraceSet loads without any gather.
+        for s in 0..samples {
+            for t in 0..k {
+                let value = self.pending_samples[t * samples + s];
+                bytes.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        self.stream.write_all(&bytes)?;
+        self.traces_written += k as u64;
+        self.chunks_written += 1;
+        self.pending_inputs.clear();
+        self.pending_samples.clear();
+        Ok(())
+    }
+
+    /// Flushes the final (possibly partial) chunk, writes the real header
+    /// and returns the total trace count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the archive is already finished or a write fails.
+    pub fn finish(&mut self) -> Result<u64> {
+        if self.finished {
+            return Err(StoreError::FormatViolation {
+                message: "archive is already finished".into(),
+            });
+        }
+        self.flush_chunk()?;
+        let distinct = if self.distinct_inputs.len() <= MAX_INPUT_CLASSES {
+            self.distinct_inputs.len() as u32
+        } else {
+            0
+        };
+        let header = encode_header(&self.meta, self.traces_written, distinct);
+        self.stream.seek(SeekFrom::Start(0))?;
+        self.stream.write_all(&header)?;
+        self.stream.seek(SeekFrom::End(0))?;
+        self.stream.flush()?;
+        self.finished = true;
+        Ok(self.traces_written)
+    }
+
+    /// Consumes the writer and returns the underlying stream (useful for
+    /// in-memory archives).
+    pub fn into_inner(self) -> W {
+        self.stream
+    }
+}
+
+impl<W: Write + Seek> TraceSink for ArchiveWriter<W> {
+    type Error = StoreError;
+
+    fn record(&mut self, input: u64, samples: &[f64]) -> Result<()> {
+        self.append(input, samples)
+    }
+}

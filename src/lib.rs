@@ -15,7 +15,9 @@
 //! * [`sim`] — switch-level transient simulation,
 //! * [`cells`] — SABL/CVSL cell generation and characterisation,
 //! * [`power`] — trace statistics, constant-power metrics, DPA/CPA,
-//! * [`crypto`] — PRESENT S-box workload and leakage simulation,
+//! * [`crypto`] — PRESENT workload (S-box datapath and full PRESENT-80)
+//!   and leakage simulation,
+//! * [`store`] — on-disk chunked trace archives and out-of-core attacks,
 //! * [`bench`] — paper-figure experiment harness and `repro` binary.
 
 #![forbid(unsafe_code)]
@@ -29,3 +31,4 @@ pub use dpl_logic as logic;
 pub use dpl_netlist as netlist;
 pub use dpl_power as power;
 pub use dpl_sim as sim;
+pub use dpl_store as store;
