@@ -8,18 +8,24 @@
 //! cargo run -p dpl-bench --release --bin repro -- dpa 5000 --seed 7
 //! cargo run -p dpl-bench --release --bin repro -- cpa 2000
 //! cargo run -p dpl-bench --release --bin repro -- capture traces.dpltrc 100000 --seed 7
+//! cargo run -p dpl-bench --release --bin repro -- capture tvla.dpltrc 20000 --tvla
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --verify
+//! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc
+//! cargo run -p dpl-bench --release --bin repro -- tvla tvla.dpltrc --order both
+//! cargo run -p dpl-bench --release --bin repro -- mtd --seed 7 --attack cpa
 //! cargo run -p dpl-bench --release --bin repro -- bench         # perf -> BENCH_dpa.json
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
+use dpl_bench::MtdAttack;
 use dpl_cells::CapacitanceModel;
 use dpl_crypto::{
-    present_sbox, simulate_traces_into, synthesize_sbox_with_key, EnergyCache, GateEnergyTable,
-    LeakageModel, LeakageOptions,
+    present_sbox, simulate_traces_into, simulate_tvla_traces_into, synthesize_sbox_with_key,
+    EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
 };
+use dpl_eval::TvlaOrder;
 use dpl_power::{cpa_attack, dpa_attack, AttackResult};
 use dpl_store::{
     cpa_attack_streaming, dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, ModelTag,
@@ -110,8 +116,10 @@ fn run_bench(args: &[String]) -> ExitCode {
 }
 
 /// `repro capture <file> <n> [--seed s] [--model hw|genuine|fc|enhanced]
-/// [--chunk k]`: simulate a campaign and stream it straight to a chunked
-/// archive.
+/// [--chunk k] [--tvla]`: simulate a campaign and stream it straight to a
+/// chunked archive.  With `--tvla` the campaign is an interleaved
+/// fixed-vs-random capture (even traces = fixed plaintext) tagged as such
+/// in the archive header, ready for `repro tvla`.
 fn run_capture(args: &[String]) -> ExitCode {
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
@@ -123,6 +131,7 @@ fn run_capture(args: &[String]) -> ExitCode {
     let mut positional = Vec::new();
     let mut model = LeakageModel::HammingWeight;
     let mut chunk_traces = 1024usize;
+    let mut tvla = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -140,11 +149,18 @@ fn run_capture(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--tvla" => tvla = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown capture option `{other}`");
+                return ExitCode::FAILURE;
+            }
             other => positional.push(other.to_string()),
         }
     }
     let [path, count] = positional.as_slice() else {
-        eprintln!("usage: repro capture <file> <traces> [--seed s] [--model m] [--chunk k]");
+        eprintln!(
+            "usage: repro capture <file> <traces> [--seed s] [--model m] [--chunk k] [--tvla]"
+        );
         return ExitCode::FAILURE;
     };
     let num_traces: usize = match count.parse() {
@@ -163,7 +179,11 @@ fn run_capture(args: &[String]) -> ExitCode {
         relative_noise: 0.02,
         seed,
     };
-    let meta = ArchiveMeta::scalar(chunk_traces, model_tag_of(model), seed);
+    let meta = if tvla {
+        ArchiveMeta::scalar_tvla(chunk_traces, model_tag_of(model), seed)
+    } else {
+        ArchiveMeta::scalar(chunk_traces, model_tag_of(model), seed)
+    };
     let mut writer = match ArchiveWriter::create(path, meta) {
         Ok(writer) => writer,
         Err(e) => {
@@ -171,22 +191,43 @@ fn run_capture(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = simulate_traces_into(
-        &netlist,
-        &table,
-        CAMPAIGN_KEY,
-        num_traces,
-        &options,
-        &mut writer,
-    ) {
+    let capture = if tvla {
+        simulate_tvla_traces_into(
+            &netlist,
+            &table,
+            CAMPAIGN_KEY,
+            dpl_bench::TVLA_FIXED_PLAINTEXT,
+            num_traces,
+            &options,
+            &mut writer,
+        )
+    } else {
+        simulate_traces_into(
+            &netlist,
+            &table,
+            CAMPAIGN_KEY,
+            num_traces,
+            &options,
+            &mut writer,
+        )
+    };
+    if let Err(e) = capture {
         eprintln!("capture failed: {e}");
         return ExitCode::FAILURE;
     }
     match writer.finish() {
         Ok(total) => {
+            let kind = if tvla {
+                format!(
+                    ", interleaved TVLA campaign (fixed plaintext {:#X})",
+                    dpl_bench::TVLA_FIXED_PLAINTEXT
+                )
+            } else {
+                String::new()
+            };
             println!(
                 "captured {total} traces to {path}: model = {}, seed = {seed}, \
-                 chunk = {chunk_traces} traces, secret key nibble = {CAMPAIGN_KEY:#X}",
+                 chunk = {chunk_traces} traces, secret key nibble = {CAMPAIGN_KEY:#X}{kind}",
                 model.label()
             );
             ExitCode::SUCCESS
@@ -211,18 +252,28 @@ fn attack_label(result: &AttackResult) -> String {
     )
 }
 
-/// `repro attack <file> [--dpa|--cpa] [--verify]`: run an out-of-core attack
-/// over an archive; `--verify` also loads the archive in memory and demands
-/// bit-identical scores.
+/// `repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]`: run
+/// an out-of-core attack over an archive; `--verify` also loads the archive
+/// in memory and demands bit-identical scores, `--budget` caps the reader's
+/// in-memory chunk budget (rejecting archives whose chunks exceed it).
 fn run_attack(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut use_cpa = false;
     let mut verify = false;
-    for arg in args {
+    let mut budget = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--dpa" => use_cpa = false,
             "--cpa" => use_cpa = true,
             "--verify" => verify = true,
+            "--budget" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(traces) if traces > 0 => budget = Some(traces),
+                _ => {
+                    eprintln!("--budget needs a positive trace count");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
             }
@@ -233,7 +284,7 @@ fn run_attack(args: &[String]) -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: repro attack <file> [--dpa|--cpa] [--verify]");
+        eprintln!("usage: repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]");
         return ExitCode::FAILURE;
     };
     let mut reader = match ArchiveReader::open(&path) {
@@ -243,6 +294,25 @@ fn run_attack(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if reader.campaign() == dpl_store::CampaignKind::TvlaInterleaved {
+        // Symmetric with `repro tvla` refusing attack archives: half the
+        // traces of a TVLA capture share one fixed plaintext, so a
+        // key-recovery attack over it is statistically meaningless.
+        eprintln!(
+            "{path} records an interleaved TVLA campaign; key-recovery attacks over it are \
+             meaningless — run `repro tvla {path}` instead"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(budget) = budget {
+        reader = match reader.with_chunk_budget(budget) {
+            Ok(reader) => reader,
+            Err(e) => {
+                eprintln!("cannot honour --budget {budget}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     println!(
         "{path}: {} traces, {} samples/trace, {} chunks of {} traces, model = {}, seed = {}",
         reader.trace_count(),
@@ -252,6 +322,12 @@ fn run_attack(args: &[String]) -> ExitCode {
         reader.meta().model.label(),
         reader.meta().seed
     );
+    if budget.is_some() {
+        println!(
+            "in-memory chunk budget: {} traces per resident chunk",
+            reader.chunk_budget()
+        );
+    }
 
     let selection =
         |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
@@ -313,6 +389,119 @@ fn run_attack(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro info <file>`: print an archive's header metadata without reading
+/// any chunk data.
+fn run_info(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: repro info <file>");
+        return ExitCode::FAILURE;
+    };
+    match dpl_bench::info_report(path) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro tvla <file> [--order 1|2|both] [--workers n]`: streaming Welch
+/// t-test over an interleaved fixed-vs-random archive.
+fn run_tvla(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut orders: Vec<TvlaOrder> = vec![TvlaOrder::First, TvlaOrder::Second];
+    let mut workers = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--order" => match iter.next().map(String::as_str) {
+                Some("1") => orders = vec![TvlaOrder::First],
+                Some("2") => orders = vec![TvlaOrder::Second],
+                Some("both") => orders = vec![TvlaOrder::First, TvlaOrder::Second],
+                _ => {
+                    eprintln!("--order needs one of: 1, 2, both");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown tvla option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: repro tvla <file> [--order 1|2|both] [--workers n]");
+        return ExitCode::FAILURE;
+    };
+    match dpl_bench::tvla_report(&path, &orders, workers) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro mtd [--seed s] [--attack dpa|cpa] [--reps r]`: the
+/// measurements-to-disclosure sweep across every leakage model.
+fn run_mtd(args: &[String]) -> ExitCode {
+    let (args, seed) = match take_seed(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut attack = MtdAttack::Cpa;
+    let mut repetitions = 8usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--attack" => match iter.next().map(String::as_str) {
+                Some("dpa") => attack = MtdAttack::Dpa,
+                Some("cpa") => attack = MtdAttack::Cpa,
+                _ => {
+                    eprintln!("--attack needs one of: dpa, cpa");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reps" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r > 0 => repetitions = r,
+                _ => {
+                    eprintln!("--reps needs a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown mtd option `{other}`; expected --seed, --attack or --reps");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
+    print!(
+        "{}",
+        dpl_bench::mtd_experiment(seed, dpl_bench::MTD_GRID, repetitions, attack)
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
@@ -320,6 +509,9 @@ fn main() -> ExitCode {
         "bench" => return run_bench(&args[1..]),
         "capture" => return run_capture(&args[1..]),
         "attack" => return run_attack(&args[1..]),
+        "info" => return run_info(&args[1..]),
+        "tvla" => return run_tvla(&args[1..]),
+        "mtd" => return run_mtd(&args[1..]),
         _ => {}
     }
     let (args, seed) = match take_seed(&args) {
@@ -331,7 +523,13 @@ fn main() -> ExitCode {
     };
     if seed.is_some() && !matches!(which, "dpa" | "cpa") {
         // Refuse rather than silently running the hard-coded default seed.
-        eprintln!("--seed is only supported by the dpa, cpa and capture subcommands");
+        eprintln!("--seed is only supported by the dpa, cpa, capture and mtd subcommands");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|arg| arg == "--budget") {
+        // Like --seed: refuse flags on subcommands that would silently
+        // ignore them.
+        eprintln!("--budget is only supported by the attack subcommand");
         return ExitCode::FAILURE;
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
@@ -360,7 +558,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
-                 fig6, cvsl, dpa, cpa, library, bench, capture, attack"
+                 fig6, cvsl, dpa, cpa, library, bench, capture, attack, info, tvla, mtd"
             );
             return ExitCode::FAILURE;
         }

@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assess;
 pub mod experiments;
 pub mod perf;
 
+pub use assess::{
+    info_report, mtd_curves, mtd_experiment, tvla_report, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
+};
 pub use experiments::{
     cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,
     fig2_memory_effect, fig3_transient, fig4_capacitance, fig5_oai22, fig6_enhanced, library_sweep,

@@ -24,7 +24,7 @@
 //!   schematic (device count preserved),
 //! * [`Dpdn::fully_connected_enhanced`] — the §5 enhancement with inserted
 //!   pass gates (constant evaluation depth, no early propagation),
-//! * [`verify`] — exhaustive structural verification of all of the above
+//! * [`verify()`] — exhaustive structural verification of all of the above
 //!   (full connectivity, floating nodes, functional correctness, evaluation
 //!   depth, early propagation),
 //! * [`GateLibrary`] — a standard-cell style library of secure gates built

@@ -274,6 +274,73 @@ pub fn simulate_traces_into<S: TraceSink>(
     Ok(())
 }
 
+/// Generates an **interleaved fixed-vs-random TVLA campaign** straight into
+/// `sink`: traces at even global indices process the `fixed_plaintext`
+/// nibble, traces at odd indices a uniformly random one — the standard
+/// paired capture discipline of the Goodwill et al. leakage-assessment
+/// methodology, with the group of every trace derivable from its index
+/// parity alone (no group column needed in an archive).
+///
+/// The RNG-stream discipline matches the attack generators: one `StdRng`
+/// seeded from `options.seed`, advanced in trace order.  A **fixed** trace
+/// consumes only the noise draws; a **random** trace draws its plaintext
+/// first, exactly like [`simulate_traces_into`]'s per-trace order.  For a
+/// given seed the stream — and therefore the campaign — is reproducible
+/// bit-for-bit, whether sunk into a [`TraceSet`] or an archive writer.
+///
+/// # Errors
+///
+/// Propagates the sink's error (e.g. an I/O failure); trace generation
+/// itself cannot fail.
+pub fn simulate_tvla_traces_into<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    fixed_plaintext: u64,
+    num_traces: usize,
+    options: &LeakageOptions,
+    sink: &mut S,
+) -> std::result::Result<(), S::Error> {
+    let (energies, mean_energy) = per_plaintext_energies(netlist, table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    for index in 0..num_traces {
+        let plaintext = if index % 2 == 0 {
+            fixed_plaintext & 0xF
+        } else {
+            rng.gen_range(0..16u64)
+        };
+        let energy = energies[plaintext as usize] + draw_noise(&mut rng, noise_sigma);
+        sink.record(plaintext, &[energy])?;
+    }
+    Ok(())
+}
+
+/// In-memory convenience wrapper around [`simulate_tvla_traces_into`].
+pub fn simulate_tvla_traces(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    fixed_plaintext: u64,
+    num_traces: usize,
+    options: &LeakageOptions,
+) -> TraceSet {
+    let mut set = TraceSet::with_capacity(1, num_traces);
+    let result = simulate_tvla_traces_into(
+        netlist,
+        table,
+        key,
+        fixed_plaintext,
+        num_traces,
+        options,
+        &mut set,
+    );
+    match result {
+        Ok(()) => set,
+        Err(infallible) => match infallible {},
+    }
+}
+
 /// Trace-block size of the parallel generator.  Every block draws from its
 /// own RNG stream derived from `(seed, block index)`, so the generated set
 /// depends only on the seed — never on the worker count.
@@ -284,7 +351,7 @@ const TRACE_BLOCK: usize = 1024;
 type TraceBlock<'a> = (usize, &'a mut [u64], &'a mut [f64]);
 
 /// Multi-threaded [`simulate_traces`]: trace generation is sharded into
-/// [`TRACE_BLOCK`]-sized blocks distributed over `workers` scoped threads
+/// `TRACE_BLOCK`(1024)-sized blocks distributed over `workers` scoped threads
 /// (defaults to the available parallelism, capped at 8).
 ///
 /// Each block seeds its own deterministic RNG stream from
@@ -362,15 +429,20 @@ fn block_seed(seed: u64, block: usize) -> u64 {
 /// generators.
 fn draw_trace(rng: &mut StdRng, energies: &[f64; 16], noise_sigma: f64) -> (u64, f64) {
     let plaintext = rng.gen_range(0..16u64);
-    let mut energy = energies[plaintext as usize];
-    if noise_sigma > 0.0 {
-        // Box-Muller transform for Gaussian noise.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        energy += gaussian * noise_sigma;
-    }
+    let energy = energies[plaintext as usize] + draw_noise(rng, noise_sigma);
     (plaintext, energy)
+}
+
+/// One Box-Muller Gaussian noise draw scaled to `noise_sigma`; draws
+/// nothing (and adds exactly `0.0`) when the sigma is not positive, so the
+/// noise-free RNG stream is unchanged.
+fn draw_noise(rng: &mut StdRng, noise_sigma: f64) -> f64 {
+    if noise_sigma <= 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * noise_sigma
 }
 
 /// The 16 noise-free per-plaintext energies for a fixed key (one bitsliced
@@ -701,6 +773,53 @@ mod tests {
         let mut sunk = TraceSet::new();
         simulate_traces_into(&netlist, &table, 0xE, 300, &options, &mut sunk).unwrap();
         assert_eq!(direct, sunk);
+    }
+
+    #[test]
+    fn tvla_campaign_interleaves_fixed_and_random_groups() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let table = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
+        let options = LeakageOptions {
+            relative_noise: 0.01,
+            seed: 31,
+        };
+        let fixed = 0x3u64;
+        let set = simulate_tvla_traces(&netlist, &table, 0xA, fixed, 801, &options);
+        assert_eq!(set.len(), 801);
+        // Every even-index trace carries the fixed plaintext; the odd-index
+        // plaintexts are random nibbles (and not all equal to the fixed one).
+        let mut random_hits = 0;
+        for (index, &input) in set.inputs().iter().enumerate() {
+            if index % 2 == 0 {
+                assert_eq!(input, fixed, "trace {index}");
+            } else if input != fixed {
+                random_hits += 1;
+            }
+            assert!(input < 16);
+        }
+        assert!(random_hits > 300, "random group looks degenerate");
+
+        // The sink path reproduces the in-memory stream bit-for-bit.
+        let mut sunk = TraceSet::new();
+        simulate_tvla_traces_into(&netlist, &table, 0xA, fixed, 801, &options, &mut sunk).unwrap();
+        assert_eq!(set, sunk);
+
+        // Same seed, same campaign; different seed, different noise.
+        let again = simulate_tvla_traces(&netlist, &table, 0xA, fixed, 801, &options);
+        assert_eq!(set, again);
+        let other = simulate_tvla_traces(
+            &netlist,
+            &table,
+            0xA,
+            fixed,
+            801,
+            &LeakageOptions {
+                relative_noise: 0.01,
+                seed: 32,
+            },
+        );
+        assert_ne!(set, other);
     }
 
     #[test]

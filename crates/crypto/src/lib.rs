@@ -26,8 +26,8 @@ mod synth;
 
 pub use leakage::{
     predicted_energies, predicted_energy, simulate_traces, simulate_traces_into,
-    simulate_traces_parallel, simulate_traces_with_table, EnergyCache, GateEnergyTable,
-    LeakageModel, LeakageOptions,
+    simulate_traces_parallel, simulate_traces_with_table, simulate_tvla_traces,
+    simulate_tvla_traces_into, EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
 };
 pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
 pub use present::{

@@ -1,0 +1,92 @@
+//! # dpl-eval
+//!
+//! Leakage **assessment** — the measurement side of the paper's headline
+//! claim.  The repo could already *run* single DPA/CPA attacks (`dpl-power`)
+//! in memory or out of core (`dpl-store`); this crate measures *resistance*:
+//!
+//! * [`mod@tvla`] — streaming Welch t-test leakage detection (Test Vector
+//!   Leakage Assessment): per-sample mergeable accumulators over
+//!   fixed-vs-random (or fixed-vs-fixed) partitions, first-order and
+//!   second-order (centered-product preprocessing), following the same
+//!   `update(chunk)` / `merge` / `fork` protocol as the attack accumulators
+//!   of `dpl-power`.  A single update over a whole
+//!   [`TraceSet`](dpl_power::TraceSet) defines the in-memory statistic;
+//!   chunk-by-chunk folds over a `dpl-store` archive are **bit-identical**
+//!   to it, and [`streaming::tvla_parallel`] shards by
+//!   *sample column* so even the multi-threaded fold is bit-identical for
+//!   any worker count.
+//! * [`mtd`] — attack-efficiency estimation: a campaign runner replaying
+//!   DPA/CPA over a grid of trace counts × resampled repetitions
+//!   (deterministic per-repetition seeds) to produce success-rate and
+//!   guessing-entropy curves and a **measurements-to-disclosure** (MTD)
+//!   estimate — the quantity the paper uses to compare logic styles
+//!   ("orders of magnitude more measurements against SABL than against
+//!   standard CMOS").  Grid points are scored by *prefix evaluation* of
+//!   streaming accumulators ([`mtd::PrefixAttack`]), not by re-running each
+//!   attack from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mtd;
+pub mod streaming;
+pub mod tvla;
+
+pub use mtd::{mtd_campaign, rep_seed, MtdConfig, MtdCurve, PrefixAttack, PrefixCpa, PrefixDpa};
+pub use streaming::{tvla_parallel, tvla_streaming, tvla_streaming_second_order, TvlaOrder};
+pub use tvla::{
+    fixed_vs_fixed, interleaved_partition, tvla, tvla_second_order, SecondOrderWelchAccumulator,
+    TvlaGroup, TvlaResult, WelchAccumulator, TVLA_THRESHOLD,
+};
+
+/// Errors produced by the leakage-assessment layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// An error bubbled up from the power-analysis layer.
+    Power(dpl_power::PowerError),
+    /// An error bubbled up from the trace-archive layer.
+    Store(dpl_store::StoreError),
+    /// An accumulator or campaign runner was driven out of protocol
+    /// (non-contiguous merges, an incomplete second pass, an empty grid,
+    /// ...).
+    Misuse {
+        /// Description of the misuse.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Power(e) => write!(f, "power analysis error: {e}"),
+            EvalError::Store(e) => write!(f, "trace archive error: {e}"),
+            EvalError::Misuse { message } => write!(f, "evaluation misuse: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Power(e) => Some(e),
+            EvalError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dpl_power::PowerError> for EvalError {
+    fn from(e: dpl_power::PowerError) -> Self {
+        EvalError::Power(e)
+    }
+}
+
+impl From<dpl_store::StoreError> for EvalError {
+    fn from(e: dpl_store::StoreError) -> Self {
+        EvalError::Store(e)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EvalError>;

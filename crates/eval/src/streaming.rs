@@ -1,0 +1,285 @@
+//! Out-of-core TVLA over `dpl-store` archives.
+//!
+//! The sequential folds ([`tvla_streaming`], [`tvla_streaming_second_order`])
+//! feed the Welch accumulators chunk by chunk and are **bit-identical** to
+//! the in-memory [`crate::tvla()`] / [`crate::tvla_second_order`] over the
+//! same traces — the same guarantee the out-of-core attacks of `dpl-store`
+//! give.
+//!
+//! [`tvla_parallel`] goes one step further than the chunk-sharded parallel
+//! attacks: it shards work by **sample column**, not by chunk.  Every
+//! scoped-thread worker scans the chunks in order but accumulates only the
+//! columns it owns (`sample % workers == worker`), so each column's running
+//! sums see the *exact* addition sequence of the sequential fold, and the
+//! assembled result is **bit-identical to the sequential fold for any
+//! worker count** — no floating-point reassociation tolerance needed.  The
+//! price is that every worker reads (and checksums) every chunk, which is
+//! the right trade for the multi-sample traces TVLA sweeps target; for
+//! single-sample archives the fold degrades gracefully to one effective
+//! worker.
+
+use std::io::{Read, Seek};
+use std::path::Path;
+
+use dpl_store::ArchiveReader;
+
+use crate::tvla::{ColumnStats, SecondOrderWelchAccumulator, WelchAccumulator};
+use crate::{EvalError, Result, TvlaGroup, TvlaResult};
+
+/// Which t-test a TVLA evaluation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TvlaOrder {
+    /// First-order Welch t-test on the raw samples.
+    #[default]
+    First,
+    /// Second-order t-test on centered-product preprocessed samples
+    /// (`y = (x - group mean)²`).
+    Second,
+}
+
+impl TvlaOrder {
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TvlaOrder::First => "first-order",
+            TvlaOrder::Second => "second-order (centered product)",
+        }
+    }
+}
+
+/// First-order Welch t-test folded chunk-by-chunk over an archive.
+///
+/// Bit-identical to [`crate::tvla()`] over the same traces.
+///
+/// # Errors
+///
+/// Returns an error for an empty archive or any chunk failure (I/O,
+/// truncation, checksum mismatch).
+pub fn tvla_streaming<R, F>(reader: &mut ArchiveReader<R>, partition: F) -> Result<TvlaResult>
+where
+    R: Read + Seek,
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut accumulator = WelchAccumulator::new(partition);
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    accumulator.finalize()
+}
+
+/// Second-order (centered-product) t-test folded over an archive in two
+/// passes; the second pass re-reads the chunks to center on the sealed
+/// per-group means.
+///
+/// Bit-identical to [`crate::tvla_second_order`] over the same traces.
+///
+/// # Errors
+///
+/// Returns an error for an empty archive or any chunk failure.
+pub fn tvla_streaming_second_order<R, F>(
+    reader: &mut ArchiveReader<R>,
+    partition: F,
+) -> Result<TvlaResult>
+where
+    R: Read + Seek,
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut accumulator = SecondOrderWelchAccumulator::new(partition);
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    accumulator.begin_second_pass()?;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        accumulator.update(&chunk)?;
+    }
+    accumulator.finalize()
+}
+
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+fn classify<F>(partition: &F, base: u64, inputs: &[u64]) -> Vec<Option<TvlaGroup>>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(t, &input)| partition(base + t as u64, input))
+        .collect()
+}
+
+/// Per-worker output: the group counts (identical across workers) plus the
+/// per-sample per-group sums of the columns this worker owns (untouched
+/// defaults elsewhere).
+type WorkerStats = ([u64; 2], Vec<[ColumnStats; 2]>);
+
+/// Scoped-thread parallel TVLA over an archive file, sharded by **sample
+/// column**: worker `w` of `n` accumulates columns `w, w+n, w+2n, ...`
+/// while scanning the chunks in order, so every column's sums are built by
+/// the exact addition sequence of the sequential fold.
+///
+/// The result is **bit-identical to [`tvla_streaming`] /
+/// [`tvla_streaming_second_order`] (and hence to the in-memory statistic)
+/// for any worker count** — asserted by the integration tests.  Workers
+/// default to the available parallelism (capped at 8) and are clamped to
+/// the number of sample columns.
+///
+/// # Errors
+///
+/// Returns an error for an empty or unreadable archive, or any chunk
+/// failure in any worker.
+pub fn tvla_parallel<F>(
+    path: &Path,
+    partition: F,
+    order: TvlaOrder,
+    workers: Option<usize>,
+) -> Result<TvlaResult>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup> + Sync,
+{
+    let probe = ArchiveReader::open(path)?;
+    if probe.trace_count() == 0 {
+        return Err(EvalError::Misuse {
+            message: "no traces were accumulated".into(),
+        });
+    }
+    let samples = probe.samples_per_trace();
+    drop(probe);
+    let workers = workers
+        .unwrap_or_else(default_worker_count)
+        .clamp(1, samples.max(1));
+
+    let partition = &partition;
+    let mut outputs: Vec<Option<Result<WorkerStats>>> = Vec::with_capacity(workers);
+    outputs.resize_with(workers, || None);
+    std::thread::scope(|scope| {
+        for (worker, slot) in outputs.iter_mut().enumerate() {
+            scope.spawn(move || {
+                *slot = Some(match order {
+                    TvlaOrder::First => first_order_worker(path, partition, worker, workers),
+                    TvlaOrder::Second => second_order_worker(path, partition, worker, workers),
+                });
+            });
+        }
+    });
+
+    let mut stats = vec![[ColumnStats::default(); 2]; samples];
+    let mut counts = [0u64; 2];
+    for (worker, slot) in outputs.into_iter().enumerate() {
+        let (worker_counts, worker_stats) = slot.unwrap_or(Err(EvalError::Misuse {
+            message: format!("worker {worker} never ran"),
+        }))?;
+        if worker == 0 {
+            counts = worker_counts;
+        }
+        for s in (worker..samples).step_by(workers) {
+            stats[s] = worker_stats[s];
+        }
+    }
+    let t = stats
+        .iter()
+        .map(|column| crate::tvla::t_statistic(counts, &column[0], &column[1]))
+        .collect();
+    Ok(TvlaResult { t, counts })
+}
+
+/// One first-order worker: scans every chunk in order, accumulates raw
+/// sums for its own columns only.
+fn first_order_worker<F>(
+    path: &Path,
+    partition: &F,
+    worker: usize,
+    workers: usize,
+) -> Result<WorkerStats>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut reader = ArchiveReader::open(path)?;
+    let samples = reader.samples_per_trace();
+    let mut stats = vec![[ColumnStats::default(); 2]; samples];
+    let mut counts = [0u64; 2];
+    let mut next = 0u64;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        let groups = classify(partition, next, chunk.inputs());
+        for group in groups.iter().flatten() {
+            counts[group.index()] += 1;
+        }
+        for s in (worker..samples).step_by(workers) {
+            let column = chunk.sample_column(s);
+            for (group, &v) in groups.iter().zip(column) {
+                if let Some(g) = group {
+                    stats[s][g.index()].push(v);
+                }
+            }
+        }
+        next += chunk.len() as u64;
+    }
+    Ok((counts, stats))
+}
+
+/// One second-order worker: pass 1 accumulates the per-group sums of its
+/// columns, pass 2 the centered-product sums against the sealed means —
+/// the same arithmetic, in the same order, as the sequential
+/// [`SecondOrderWelchAccumulator`].
+fn second_order_worker<F>(
+    path: &Path,
+    partition: &F,
+    worker: usize,
+    workers: usize,
+) -> Result<WorkerStats>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut reader = ArchiveReader::open(path)?;
+    let samples = reader.samples_per_trace();
+    let mut sums = vec![[0.0f64; 2]; samples];
+    let mut counts = [0u64; 2];
+    let mut next = 0u64;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        let groups = classify(partition, next, chunk.inputs());
+        for group in groups.iter().flatten() {
+            counts[group.index()] += 1;
+        }
+        for s in (worker..samples).step_by(workers) {
+            let column = chunk.sample_column(s);
+            for (group, &v) in groups.iter().zip(column) {
+                if let Some(g) = group {
+                    sums[s][g.index()] += v;
+                }
+            }
+        }
+        next += chunk.len() as u64;
+    }
+    // Seal the means exactly like begin_second_pass does.
+    let mut means = vec![[0.0f64; 2]; samples];
+    for s in 0..samples {
+        for group in 0..2 {
+            let n = counts[group] as f64;
+            means[s][group] = if n > 0.0 { sums[s][group] / n } else { 0.0 };
+        }
+    }
+    let mut stats = vec![[ColumnStats::default(); 2]; samples];
+    let mut next = 0u64;
+    for index in 0..reader.chunk_count() {
+        let chunk = reader.read_chunk(index)?;
+        let groups = classify(partition, next, chunk.inputs());
+        for s in (worker..samples).step_by(workers) {
+            let column = chunk.sample_column(s);
+            for (group, &v) in groups.iter().zip(column) {
+                if let Some(g) = group {
+                    let d = v - means[s][g.index()];
+                    stats[s][g.index()].push(d * d);
+                }
+            }
+        }
+        next += chunk.len() as u64;
+    }
+    Ok((counts, stats))
+}

@@ -1,0 +1,910 @@
+//! Streaming Welch t-test leakage detection (TVLA).
+//!
+//! The Test Vector Leakage Assessment methodology (Goodwill et al.) detects
+//! *any* first-order information leak without committing to a key
+//! hypothesis: traces are captured under two plaintext populations (a fixed
+//! plaintext interleaved with random ones) and Welch's t-statistic is
+//! computed per sample point.  `|t| > 4.5` at any sample rejects the
+//! "no leakage" null hypothesis at overwhelming confidence — a device built
+//! from the paper's constant-power gates must stay below the threshold,
+//! while a standard-CMOS (Hamming-weight) device fails it within a few
+//! hundred traces.
+//!
+//! The accumulators here follow the protocol of
+//! [`dpl_power::DpaAccumulator`] / [`dpl_power::CpaAccumulator`]:
+//!
+//! * a **single `update` over a whole [`TraceSet`]** defines the in-memory
+//!   statistic ([`tvla`] / [`tvla_second_order`]),
+//! * feeding the same traces chunk-by-chunk (the out-of-core path of
+//!   `dpl-store`) performs the exact same floating-point additions per
+//!   accumulator slot and is therefore **bit-identical**,
+//! * [`WelchAccumulator::merge`] combines partials over *contiguous*
+//!   trace ranges (enforced via each partial's recorded start index),
+//! * the second-order accumulator is two-pass (centered-product
+//!   preprocessing centers on the final per-group means) with
+//!   [`SecondOrderWelchAccumulator::fork_at`] for parallel replay shares,
+//!   mirroring the CPA accumulator's `fork`.
+//!
+//! Groups are assigned by a *partition function* of the *global trace
+//! index* and the trace's input — pure, so any chunking or replay
+//! re-derives identical groups.  [`interleaved_partition`] (even index =
+//! fixed group) matches the capture discipline of
+//! `dpl_crypto::simulate_tvla_traces_into` and the
+//! `dpl_store::CampaignKind::TvlaInterleaved` archives.
+
+use dpl_power::stats::welch_t_from_stats;
+use dpl_power::TraceSet;
+
+use crate::{EvalError, Result};
+
+/// The conventional TVLA first-order leakage threshold: `|t| > 4.5`
+/// corresponds to a ~1e-5 two-sided false-positive probability per sample.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// The two trace populations of a t-test partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TvlaGroup {
+    /// The first population (the *fixed* plaintext group in a
+    /// fixed-vs-random campaign).
+    Fixed,
+    /// The second population (the *random* group in a fixed-vs-random
+    /// campaign, or the second fixed class in fixed-vs-fixed).
+    Random,
+}
+
+impl TvlaGroup {
+    pub(crate) fn index(self) -> usize {
+        match self {
+            TvlaGroup::Fixed => 0,
+            TvlaGroup::Random => 1,
+        }
+    }
+}
+
+/// The partition of an **interleaved** fixed-vs-random campaign: traces at
+/// even global indices belong to the fixed group, odd indices to the random
+/// group.  This is the capture discipline of
+/// `dpl_crypto::simulate_tvla_traces_into` and of archives tagged
+/// `CampaignKind::TvlaInterleaved`.
+pub fn interleaved_partition(index: u64, _input: u64) -> Option<TvlaGroup> {
+    Some(if index.is_multiple_of(2) {
+        TvlaGroup::Fixed
+    } else {
+        TvlaGroup::Random
+    })
+}
+
+/// A fixed-vs-fixed partition **by input value**: traces whose input equals
+/// `a` form the fixed group, traces equal to `b` the second group, and
+/// everything else is discarded.  Useful over attack campaigns (random
+/// plaintexts), where any two plaintext classes can be tested against each
+/// other.
+pub fn fixed_vs_fixed(a: u64, b: u64) -> impl Fn(u64, u64) -> Option<TvlaGroup> + Clone {
+    move |_index, input| {
+        if input == a {
+            Some(TvlaGroup::Fixed)
+        } else if input == b {
+            Some(TvlaGroup::Random)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-sample running sums shared by every Welch accumulator and the
+/// sample-sharded parallel fold: plain `sum`/`sum of squares`, accumulated
+/// strictly in trace order so any chunking (or column ownership) performs
+/// the identical addition sequence per slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct ColumnStats {
+    pub(crate) sum: f64,
+    pub(crate) sumsq: f64,
+}
+
+impl ColumnStats {
+    #[inline]
+    pub(crate) fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.sumsq += v * v;
+    }
+
+    fn add(&mut self, other: &ColumnStats) {
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+    }
+}
+
+/// Welch's t from two groups' sufficient statistics over one sample column.
+/// Unbiased variances; degenerate cases (a group below two traces, or
+/// non-positive pooled variance after cancellation) return `0.0`, matching
+/// `dpl_power::stats::welch_t`.
+pub(crate) fn t_statistic(counts: [u64; 2], a: &ColumnStats, b: &ColumnStats) -> f64 {
+    let (na, nb) = (counts[0] as f64, counts[1] as f64);
+    if na < 2.0 || nb < 2.0 {
+        return 0.0;
+    }
+    let ma = a.sum / na;
+    let mb = b.sum / nb;
+    let va = ((a.sumsq - a.sum * ma) / (na - 1.0)).max(0.0);
+    let vb = ((b.sumsq - b.sum * mb) / (nb - 1.0)).max(0.0);
+    welch_t_from_stats(na, ma, va, nb, mb, vb)
+}
+
+/// The outcome of a t-test evaluation: one t-statistic per trace sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TvlaResult {
+    /// Welch's t per sample point (0.0 where undefined; see
+    /// [`dpl_power::stats::welch_t`]).
+    pub t: Vec<f64>,
+    /// Traces classified into each group (`[fixed, random]`).
+    pub counts: [u64; 2],
+}
+
+impl TvlaResult {
+    /// The largest `|t|` over all sample points — the statistic compared
+    /// against [`TVLA_THRESHOLD`].
+    pub fn max_abs_t(&self) -> f64 {
+        self.t.iter().fold(0.0, |acc, &t| acc.max(t.abs()))
+    }
+
+    /// `true` when any sample exceeds the given threshold in magnitude.
+    pub fn leaks_at(&self, threshold: f64) -> bool {
+        self.max_abs_t() > threshold
+    }
+
+    /// `true` when any sample exceeds the conventional [`TVLA_THRESHOLD`].
+    pub fn leaks(&self) -> bool {
+        self.leaks_at(TVLA_THRESHOLD)
+    }
+}
+
+fn width_check(current: &mut Option<usize>, chunk: &TraceSet) -> Result<usize> {
+    let width = chunk.sample_count().map_err(EvalError::Power)?;
+    match *current {
+        None => *current = Some(width),
+        Some(w) if w != width => {
+            return Err(EvalError::Misuse {
+                message: "chunks with inconsistent sample widths".into(),
+            })
+        }
+        _ => {}
+    }
+    Ok(width)
+}
+
+fn empty_error() -> EvalError {
+    EvalError::Misuse {
+        message: "no traces were accumulated".into(),
+    }
+}
+
+/// First-order streaming Welch t-test accumulator.
+///
+/// Feed any chunking of a trace stream via [`WelchAccumulator::update`]
+/// (chunks in trace order), then [`WelchAccumulator::finalize`].  A single
+/// update over a whole [`TraceSet`] is the in-memory [`tvla`]; chunked
+/// updates are bit-identical to it.  `partition` must be a pure function of
+/// `(global trace index, input)`.
+#[derive(Debug, Clone)]
+pub struct WelchAccumulator<F> {
+    partition: F,
+    start: u64,
+    next: u64,
+    samples: Option<usize>,
+    counts: [u64; 2],
+    /// `stats[group][sample]` running sums.
+    stats: [Vec<ColumnStats>; 2],
+}
+
+impl<F> WelchAccumulator<F>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    /// An empty accumulator whose first trace has global index 0.
+    pub fn new(partition: F) -> Self {
+        Self::starting_at(partition, 0)
+    }
+
+    /// An empty accumulator whose first trace has global index `start` —
+    /// the constructor for partial accumulators over a later contiguous
+    /// trace range (e.g. one archive chunk), to be [`WelchAccumulator::merge`]d
+    /// back in range order.
+    pub fn starting_at(partition: F, start: u64) -> Self {
+        WelchAccumulator {
+            partition,
+            start,
+            next: start,
+            samples: None,
+            counts: [0; 2],
+            stats: [Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Traces folded in so far (across both groups, including discarded
+    /// traces — the global index keeps advancing).
+    pub fn traces(&self) -> u64 {
+        self.next - self.start
+    }
+
+    /// Folds one chunk of traces (the next contiguous range) into the
+    /// accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed chunk or an inconsistent sample
+    /// width.
+    pub fn update(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = width_check(&mut self.samples, chunk)?;
+        if self.stats[0].is_empty() {
+            self.stats = [
+                vec![ColumnStats::default(); samples],
+                vec![ColumnStats::default(); samples],
+            ];
+        }
+        let groups: Vec<Option<TvlaGroup>> = chunk
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(t, &input)| (self.partition)(self.next + t as u64, input))
+            .collect();
+        for group in groups.iter().flatten() {
+            self.counts[group.index()] += 1;
+        }
+        for s in 0..samples {
+            let column = chunk.sample_column(s);
+            let (fixed, random) = {
+                let [f, r] = &mut self.stats;
+                (&mut f[s], &mut r[s])
+            };
+            for (group, &v) in groups.iter().zip(column) {
+                match group {
+                    Some(TvlaGroup::Fixed) => fixed.push(v),
+                    Some(TvlaGroup::Random) => random.push(v),
+                    None => {}
+                }
+            }
+        }
+        self.next += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Merges a partial accumulator covering the trace range immediately
+    /// after this one's (checked via the recorded start indices; both must
+    /// use the same partition function by contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-contiguous ranges or mismatched sample
+    /// widths.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if other.start != self.next {
+            return Err(EvalError::Misuse {
+                message: format!(
+                    "merge requires contiguous trace ranges: this accumulator ends at trace {}, \
+                     the partial starts at {}",
+                    self.next, other.start
+                ),
+            });
+        }
+        if other.traces() == 0 {
+            return Ok(());
+        }
+        if self.traces() == 0 {
+            self.samples = other.samples;
+            self.counts = other.counts;
+            self.stats = other.stats.clone();
+            self.next = other.next;
+            return Ok(());
+        }
+        if self.samples != other.samples {
+            return Err(EvalError::Misuse {
+                message: "cannot merge accumulators with different sample widths".into(),
+            });
+        }
+        for group in 0..2 {
+            self.counts[group] += other.counts[group];
+            for (acc, v) in self.stats[group].iter_mut().zip(&other.stats[group]) {
+                acc.add(v);
+            }
+        }
+        self.next = other.next;
+        Ok(())
+    }
+
+    /// The per-sample t-statistics **without consuming** the accumulator —
+    /// usable as a running snapshot while traces keep arriving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated.
+    pub fn evaluate(&self) -> Result<TvlaResult> {
+        if self.traces() == 0 {
+            return Err(empty_error());
+        }
+        let t = (0..self.samples.unwrap_or(0))
+            .map(|s| t_statistic(self.counts, &self.stats[0][s], &self.stats[1][s]))
+            .collect();
+        Ok(TvlaResult {
+            t,
+            counts: self.counts,
+        })
+    }
+
+    /// Consumes the accumulator and returns the per-sample t-statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated.
+    pub fn finalize(self) -> Result<TvlaResult> {
+        self.evaluate()
+    }
+}
+
+/// Which pass a [`SecondOrderWelchAccumulator`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    Means,
+    Centered,
+}
+
+/// Second-order streaming t-test accumulator: **centered-product
+/// preprocessing**.  Every sample is replaced by its squared deviation from
+/// its group's (final) per-sample mean, `y = (x - mean)²`, and Welch's t is
+/// computed on the preprocessed values — the standard univariate
+/// second-order TVLA, sensitive to variance-based leaks that first-order
+/// masking hides.
+///
+/// Centering on the *final* means makes this a **two-pass** protocol,
+/// exactly like [`dpl_power::CpaAccumulator`]: feed every chunk via
+/// [`SecondOrderWelchAccumulator::update`], call
+/// [`SecondOrderWelchAccumulator::begin_second_pass`], replay every chunk
+/// in the same order, then finalize.  Chunked double passes are
+/// bit-identical to the in-memory [`tvla_second_order`].
+#[derive(Debug, Clone)]
+pub struct SecondOrderWelchAccumulator<F> {
+    partition: F,
+    start: u64,
+    next: u64,
+    pass: Pass,
+    samples: Option<usize>,
+    counts: [u64; 2],
+    /// Pass-1 per-group per-sample plain sums.
+    sum: [Vec<f64>; 2],
+    /// Sealed per-group per-sample means.
+    mean: [Vec<f64>; 2],
+    /// Pass-2 running sums over the preprocessed values.
+    centered: [Vec<ColumnStats>; 2],
+    /// First global index of this accumulator's replay share.
+    second_start: u64,
+    /// Replay cursor (global index) and classified count of the second pass.
+    second_next: u64,
+    second_counts: [u64; 2],
+}
+
+impl<F> SecondOrderWelchAccumulator<F>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    /// An empty accumulator whose first trace has global index 0.
+    pub fn new(partition: F) -> Self {
+        SecondOrderWelchAccumulator {
+            partition,
+            start: 0,
+            next: 0,
+            pass: Pass::Means,
+            samples: None,
+            counts: [0; 2],
+            sum: [Vec::new(), Vec::new()],
+            mean: [Vec::new(), Vec::new()],
+            centered: [Vec::new(), Vec::new()],
+            second_start: 0,
+            second_next: 0,
+            second_counts: [0; 2],
+        }
+    }
+
+    /// Traces folded into the first pass so far.
+    pub fn traces(&self) -> u64 {
+        self.next - self.start
+    }
+
+    /// Folds one chunk into the current pass.  The second pass must replay
+    /// exactly the first pass's traces, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed chunk, an inconsistent sample
+    /// width, or a second-pass replay longer than the first pass.
+    pub fn update(&mut self, chunk: &TraceSet) -> Result<()> {
+        match self.pass {
+            Pass::Means => self.update_means(chunk),
+            Pass::Centered => self.update_centered(chunk),
+        }
+    }
+
+    fn update_means(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = width_check(&mut self.samples, chunk)?;
+        if self.sum[0].is_empty() {
+            self.sum = [vec![0.0; samples], vec![0.0; samples]];
+        }
+        let groups: Vec<Option<TvlaGroup>> = chunk
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(t, &input)| (self.partition)(self.next + t as u64, input))
+            .collect();
+        for group in groups.iter().flatten() {
+            self.counts[group.index()] += 1;
+        }
+        for s in 0..samples {
+            let column = chunk.sample_column(s);
+            for (group, &v) in groups.iter().zip(column) {
+                if let Some(g) = group {
+                    self.sum[g.index()][s] += v;
+                }
+            }
+        }
+        self.next += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the per-group means and switches to centered-product
+    /// accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the second pass already began.
+    pub fn begin_second_pass(&mut self) -> Result<()> {
+        if self.pass == Pass::Centered {
+            return Err(EvalError::Misuse {
+                message: "the second-order accumulator is already in its second pass".into(),
+            });
+        }
+        self.pass = Pass::Centered;
+        self.second_start = self.start;
+        self.second_next = self.start;
+        let samples = self.samples.unwrap_or(0);
+        for group in 0..2 {
+            let n = self.counts[group] as f64;
+            self.mean[group] = self.sum[group]
+                .iter()
+                .map(|&sum| if n > 0.0 { sum / n } else { 0.0 })
+                .collect();
+        }
+        self.centered = [
+            vec![ColumnStats::default(); samples],
+            vec![ColumnStats::default(); samples],
+        ];
+        Ok(())
+    }
+
+    fn update_centered(&mut self, chunk: &TraceSet) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let samples = width_check(&mut self.samples, chunk)?;
+        if self.second_next + chunk.len() as u64 > self.next {
+            return Err(EvalError::Misuse {
+                message: "the second pass replayed more traces than the first pass folded".into(),
+            });
+        }
+        let groups: Vec<Option<TvlaGroup>> = chunk
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(t, &input)| (self.partition)(self.second_next + t as u64, input))
+            .collect();
+        for group in groups.iter().flatten() {
+            self.second_counts[group.index()] += 1;
+        }
+        for s in 0..samples {
+            let column = chunk.sample_column(s);
+            let (fixed, random) = {
+                let [f, r] = &mut self.centered;
+                (&mut f[s], &mut r[s])
+            };
+            for (group, &v) in groups.iter().zip(column) {
+                match group {
+                    Some(TvlaGroup::Fixed) => {
+                        let d = v - self.mean[0][s];
+                        fixed.push(d * d);
+                    }
+                    Some(TvlaGroup::Random) => {
+                        let d = v - self.mean[1][s];
+                        random.push(d * d);
+                    }
+                    None => {}
+                }
+            }
+        }
+        self.second_next += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// A second-pass worker accumulator that will replay the contiguous
+    /// chunk share starting at global trace index `replay_start`: it shares
+    /// this accumulator's sealed means but starts with zeroed centered
+    /// sums, so disjoint replay shares can be folded in parallel and merged
+    /// back in range order — the analogue of
+    /// [`dpl_power::CpaAccumulator::fork`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the second pass has not begun.
+    pub fn fork_at(&self, replay_start: u64) -> Result<Self>
+    where
+        F: Clone,
+    {
+        if self.pass != Pass::Centered {
+            return Err(EvalError::Misuse {
+                message: "fork_at() requires the second pass; call begin_second_pass first".into(),
+            });
+        }
+        let mut fork = self.clone();
+        let samples = self.samples.unwrap_or(0);
+        fork.centered = [
+            vec![ColumnStats::default(); samples],
+            vec![ColumnStats::default(); samples],
+        ];
+        fork.second_counts = [0; 2];
+        fork.second_start = replay_start;
+        fork.second_next = replay_start;
+        Ok(fork)
+    }
+
+    /// Merges a second-pass fork that replayed the range immediately after
+    /// this accumulator's replay cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error outside the second pass or for a non-contiguous
+    /// replay range.
+    pub fn merge_fork(&mut self, other: &Self) -> Result<()> {
+        if self.pass != Pass::Centered || other.pass != Pass::Centered {
+            return Err(EvalError::Misuse {
+                message: "merge_fork() requires both accumulators in the second pass".into(),
+            });
+        }
+        if other.second_start != self.second_next {
+            return Err(EvalError::Misuse {
+                message: format!(
+                    "merge_fork requires contiguous replay ranges: this accumulator's replay \
+                     cursor is at trace {}, the fork started at {}",
+                    self.second_next, other.second_start
+                ),
+            });
+        }
+        for group in 0..2 {
+            self.second_counts[group] += other.second_counts[group];
+            for (acc, v) in self.centered[group].iter_mut().zip(&other.centered[group]) {
+                acc.add(v);
+            }
+        }
+        self.second_next = other.second_next;
+        Ok(())
+    }
+
+    /// The per-sample second-order t-statistics **without consuming** the
+    /// accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated or the second pass
+    /// did not classify exactly the first pass's traces.
+    pub fn evaluate(&self) -> Result<TvlaResult> {
+        if self.traces() == 0 {
+            return Err(empty_error());
+        }
+        if self.pass != Pass::Centered || self.second_counts != self.counts {
+            return Err(EvalError::Misuse {
+                message: format!(
+                    "the second pass classified {:?} of {:?} traces",
+                    self.second_counts, self.counts
+                ),
+            });
+        }
+        let t = (0..self.samples.unwrap_or(0))
+            .map(|s| t_statistic(self.counts, &self.centered[0][s], &self.centered[1][s]))
+            .collect();
+        Ok(TvlaResult {
+            t,
+            counts: self.counts,
+        })
+    }
+
+    /// Consumes the accumulator and returns the per-sample t-statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`SecondOrderWelchAccumulator::evaluate`].
+    pub fn finalize(self) -> Result<TvlaResult> {
+        self.evaluate()
+    }
+}
+
+/// The in-memory first-order TVLA: one [`WelchAccumulator`] fed the whole
+/// set in a single update — the reference the chunked and out-of-core folds
+/// are bit-identical to.
+///
+/// # Errors
+///
+/// Returns an error for an empty or malformed trace set.
+pub fn tvla<F>(traces: &TraceSet, partition: F) -> Result<TvlaResult>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut accumulator = WelchAccumulator::new(partition);
+    accumulator.update(traces)?;
+    accumulator.finalize()
+}
+
+/// The in-memory second-order TVLA (centered-product preprocessing): one
+/// [`SecondOrderWelchAccumulator`] fed the whole set once per pass.
+///
+/// # Errors
+///
+/// Returns an error for an empty or malformed trace set.
+pub fn tvla_second_order<F>(traces: &TraceSet, partition: F) -> Result<TvlaResult>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let mut accumulator = SecondOrderWelchAccumulator::new(partition);
+    accumulator.update(traces)?;
+    accumulator.begin_second_pass()?;
+    accumulator.update(traces)?;
+    accumulator.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpl_power::stats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// An interleaved fixed-vs-random campaign over a toy leaky device:
+    /// power = Hamming weight of the input + noise.  `leaky` controls
+    /// whether the fixed group has a distinct mean.
+    fn campaign(seed: u64, traces: usize, samples: usize, leaky: bool) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = TraceSet::new();
+        for t in 0..traces {
+            let input = if t % 2 == 0 {
+                0xF
+            } else {
+                rng.gen_range(0..16u64)
+            };
+            let leak = if leaky {
+                input.count_ones() as f64
+            } else {
+                0.0
+            };
+            let values: Vec<f64> = (0..samples)
+                .map(|_| leak + rng.gen_range(-1.0..1.0))
+                .collect();
+            set.push_samples(input, &values);
+        }
+        set
+    }
+
+    fn chunks_of(set: &TraceSet, chunk: usize) -> Vec<TraceSet> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < set.len() {
+            let end = (start + chunk).min(set.len());
+            out.push(set.slice(start, end));
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn leaky_campaign_fails_tvla_and_constant_campaign_passes() {
+        let leaky = campaign(1, 2000, 1, true);
+        let result = tvla(&leaky, interleaved_partition).unwrap();
+        assert!(result.leaks(), "max |t| = {}", result.max_abs_t());
+        assert_eq!(result.counts, [1000, 1000]);
+
+        let quiet = campaign(2, 2000, 1, false);
+        let result = tvla(&quiet, interleaved_partition).unwrap();
+        assert!(
+            !result.leaks(),
+            "constant device flagged: |t| = {}",
+            result.max_abs_t()
+        );
+    }
+
+    #[test]
+    fn accumulator_t_matches_the_slice_oracle() {
+        // The streaming statistic must agree with the two-pass slice helper
+        // in dpl_power::stats up to summation-order rounding.
+        let set = campaign(3, 1200, 3, true);
+        let result = tvla(&set, interleaved_partition).unwrap();
+        for s in 0..3 {
+            let column = set.sample_column(s);
+            let fixed: Vec<f64> = column.iter().step_by(2).copied().collect();
+            let random: Vec<f64> = column.iter().skip(1).step_by(2).copied().collect();
+            let oracle = stats::welch_t(&fixed, &random);
+            assert!(
+                (result.t[s] - oracle).abs() <= 1e-9 * oracle.abs().max(1.0),
+                "sample {s}: {} vs {oracle}",
+                result.t[s]
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_first_order_is_bit_identical_to_in_memory() {
+        let set = campaign(4, 999, 2, true);
+        let whole = tvla(&set, interleaved_partition).unwrap();
+        for chunk in [1, 7, 64, 500] {
+            let mut acc = WelchAccumulator::new(interleaved_partition);
+            for part in chunks_of(&set, chunk) {
+                acc.update(&part).unwrap();
+            }
+            assert_eq!(acc.traces(), 999);
+            let streamed = acc.finalize().unwrap();
+            assert_eq!(streamed, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_second_order_is_bit_identical_to_in_memory() {
+        let set = campaign(5, 777, 2, true);
+        let whole = tvla_second_order(&set, interleaved_partition).unwrap();
+        for chunk in [1, 13, 256] {
+            let mut acc = SecondOrderWelchAccumulator::new(interleaved_partition);
+            let parts = chunks_of(&set, chunk);
+            for part in &parts {
+                acc.update(part).unwrap();
+            }
+            acc.begin_second_pass().unwrap();
+            for part in &parts {
+                acc.update(part).unwrap();
+            }
+            let streamed = acc.finalize().unwrap();
+            assert_eq!(streamed, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn second_order_detects_variance_leakage_that_first_order_misses() {
+        // Mean-free variance leak: the fixed group has spread 0.2, the
+        // random group spread 2.0, both centered on zero.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut set = TraceSet::new();
+        for t in 0..4000 {
+            let sigma = if t % 2 == 0 { 0.2 } else { 2.0 };
+            set.push_samples(t % 16, &[rng.gen_range(-1.0..1.0) * sigma]);
+        }
+        let first = tvla(&set, interleaved_partition).unwrap();
+        let second = tvla_second_order(&set, interleaved_partition).unwrap();
+        assert!(!first.leaks(), "first order |t| = {}", first.max_abs_t());
+        assert!(second.leaks(), "second order |t| = {}", second.max_abs_t());
+    }
+
+    #[test]
+    fn merged_partials_match_the_sequential_fold_within_rounding() {
+        let set = campaign(7, 600, 2, true);
+        let sequential = tvla(&set, interleaved_partition).unwrap();
+        let mut merged = WelchAccumulator::new(interleaved_partition);
+        for (i, part) in chunks_of(&set, 100).iter().enumerate() {
+            let mut partial = WelchAccumulator::starting_at(interleaved_partition, i as u64 * 100);
+            partial.update(part).unwrap();
+            merged.merge(&partial).unwrap();
+        }
+        let merged = merged.finalize().unwrap();
+        assert_eq!(merged.counts, sequential.counts);
+        for (a, b) in merged.t.iter().zip(&sequential.t) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_merges_are_rejected() {
+        let set = campaign(8, 100, 1, true);
+        let mut acc = WelchAccumulator::new(interleaved_partition);
+        acc.update(&set).unwrap();
+        // A partial starting anywhere but trace 100 is a protocol error.
+        let mut partial = WelchAccumulator::starting_at(interleaved_partition, 50);
+        partial.update(&set.slice(50, 100)).unwrap();
+        assert!(matches!(acc.merge(&partial), Err(EvalError::Misuse { .. })));
+        let mut good = WelchAccumulator::starting_at(interleaved_partition, 100);
+        good.update(&set.slice(0, 20)).unwrap();
+        assert!(acc.merge(&good).is_ok());
+    }
+
+    #[test]
+    fn second_order_protocol_misuse_is_reported() {
+        let set = campaign(9, 80, 1, true);
+        let mut acc = SecondOrderWelchAccumulator::new(interleaved_partition);
+        acc.update(&set).unwrap();
+        // Evaluating before the second pass is misuse.
+        assert!(matches!(acc.evaluate(), Err(EvalError::Misuse { .. })));
+        assert!(acc.fork_at(0).is_err());
+        acc.begin_second_pass().unwrap();
+        assert!(acc.begin_second_pass().is_err());
+        // Incomplete replay is misuse.
+        acc.update(&set.slice(0, 40)).unwrap();
+        assert!(matches!(acc.evaluate(), Err(EvalError::Misuse { .. })));
+        // Over-long replay is misuse.
+        let mut over = acc.clone();
+        assert!(over.update(&set).is_err());
+        // Completing the replay succeeds.
+        acc.update(&set.slice(40, 80)).unwrap();
+        assert!(acc.evaluate().is_ok());
+
+        // Empty accumulators cannot finalize.
+        let empty = WelchAccumulator::new(interleaved_partition);
+        assert!(matches!(empty.finalize(), Err(EvalError::Misuse { .. })));
+    }
+
+    #[test]
+    fn forked_second_pass_matches_the_sequential_replay_within_rounding() {
+        let set = campaign(10, 400, 2, true);
+        let sequential = tvla_second_order(&set, interleaved_partition).unwrap();
+
+        let mut acc = SecondOrderWelchAccumulator::new(interleaved_partition);
+        acc.update(&set).unwrap();
+        acc.begin_second_pass().unwrap();
+        for (i, part) in chunks_of(&set, 100).iter().enumerate() {
+            let mut fork = acc.fork_at(i as u64 * 100).unwrap();
+            fork.update(part).unwrap();
+            acc.merge_fork(&fork).unwrap();
+        }
+        let forked = acc.finalize().unwrap();
+        assert_eq!(forked.counts, sequential.counts);
+        for (a, b) in forked.t.iter().zip(&sequential.t) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fixed_vs_fixed_partitions_by_input_value() {
+        let mut set = TraceSet::new();
+        for t in 0..300u64 {
+            let input = t % 3; // classes 0, 1, 2
+                               // Classes 0 and 1 draw from the same slow drift; class 2 sits
+                               // far away from both.
+            let value = if input == 2 { 5.0 } else { 0.0 };
+            set.push_samples(input, &[value + (t as f64) * 1e-6]);
+        }
+        // 0 vs 1: nearly identical populations.
+        let close = tvla(&set, fixed_vs_fixed(0, 1)).unwrap();
+        assert_eq!(close.counts, [100, 100]);
+        assert!(!close.leaks());
+        // 0 vs 2: wildly different means.
+        let far = tvla(&set, fixed_vs_fixed(0, 2)).unwrap();
+        assert!(far.leaks());
+        // Unmatched inputs are discarded, not misclassified.
+        assert_eq!(far.counts, [100, 100]);
+    }
+
+    #[test]
+    fn degenerate_groups_yield_zero_t_not_nan() {
+        // All traces in one group.
+        let mut set = TraceSet::new();
+        for t in 0..50u64 {
+            set.push_samples(t, &[t as f64]);
+        }
+        let result = tvla(&set, |_, _| Some(TvlaGroup::Fixed)).unwrap();
+        assert_eq!(result.t, vec![0.0]);
+        assert_eq!(result.counts, [50, 0]);
+        assert!(!result.leaks());
+
+        // Constant traces in both groups.
+        let mut flat = TraceSet::new();
+        for t in 0..50u64 {
+            flat.push_samples(t, &[1.0]);
+        }
+        let result = tvla(&flat, interleaved_partition).unwrap();
+        assert_eq!(result.t, vec![0.0]);
+        assert!(!result.max_abs_t().is_nan());
+    }
+}

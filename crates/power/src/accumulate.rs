@@ -386,6 +386,22 @@ where
     ///
     /// Returns an error if no traces were accumulated.
     pub fn finalize(self) -> Result<AttackResult> {
+        self.evaluate()
+    }
+
+    /// Scores every key guess **without consuming** the accumulator — the
+    /// partial-prefix evaluation the measurements-to-disclosure sweeps of
+    /// `dpl-eval` rely on: feed traces incrementally and snapshot the attack
+    /// outcome at each grid point, instead of re-running the attack from
+    /// scratch per trace count.
+    ///
+    /// Evaluating after `k` updates is exactly [`crate::dpa_attack`] over the
+    /// traces folded so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated.
+    pub fn evaluate(&self) -> Result<AttackResult> {
         if self.traces == 0 {
             return Err(empty_error());
         }
@@ -766,6 +782,21 @@ where
     /// Returns an error if no traces were accumulated, or if the second pass
     /// did not replay exactly the first pass's traces.
     pub fn finalize(self) -> Result<AttackResult> {
+        self.evaluate()
+    }
+
+    /// Scores every key guess **without consuming** the accumulator (the
+    /// non-destructive counterpart of [`CpaAccumulator::finalize`]).  Unlike
+    /// the one-pass DPA accumulator this is only valid once the second pass
+    /// has replayed every first-pass trace — Pearson centers on the final
+    /// means, so a mid-stream CPA snapshot has no well-defined value; prefix
+    /// sweeps use the raw-moment prefix evaluator in `dpl-eval` instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no traces were accumulated, or if the second pass
+    /// did not replay exactly the first pass's traces.
+    pub fn evaluate(&self) -> Result<AttackResult> {
         if self.traces == 0 {
             return Err(empty_error());
         }
@@ -1137,6 +1168,47 @@ mod tests {
             auto.merge(&hinted),
             Err(PowerError::AccumulatorMisuse { .. })
         ));
+    }
+
+    #[test]
+    fn evaluate_snapshots_are_prefix_attacks() {
+        // Feeding chunks and snapshotting after each one must reproduce the
+        // in-memory attack over exactly the traces folded so far — the
+        // contract the measurements-to-disclosure sweeps build on.
+        for wide in [false, true] {
+            let set = trace_set(33, 240, 2, wide);
+            let mut acc = DpaAccumulator::new(16, selection).unwrap();
+            let mut fed = 0;
+            for chunk in chunks_of(&set, 60) {
+                acc.update(&chunk).unwrap();
+                fed += chunk.len();
+                let snapshot = acc.evaluate().unwrap();
+                let prefix = dpa_attack(&set.truncated(fed), 16, selection).unwrap();
+                assert_eq!(snapshot.scores, prefix.scores, "wide={wide} fed={fed}");
+            }
+            // evaluate() does not consume: finalize still works and agrees.
+            assert_eq!(
+                acc.evaluate().unwrap().scores,
+                acc.finalize().unwrap().scores
+            );
+        }
+    }
+
+    #[test]
+    fn cpa_evaluate_requires_a_complete_second_pass() {
+        let set = trace_set(34, 120, 1, false);
+        let mut acc = CpaAccumulator::new(16, model).unwrap();
+        acc.update(&set).unwrap();
+        assert!(matches!(
+            acc.evaluate(),
+            Err(PowerError::AccumulatorMisuse { .. })
+        ));
+        acc.begin_second_pass().unwrap();
+        acc.update(&set).unwrap();
+        let snapshot = acc.evaluate().unwrap();
+        let whole = cpa_attack(&set, 16, model).unwrap();
+        assert_eq!(snapshot.scores, whole.scores);
+        assert_eq!(acc.finalize().unwrap().scores, snapshot.scores);
     }
 
     #[test]

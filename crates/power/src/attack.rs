@@ -44,7 +44,7 @@ impl AttackResult {
     }
 }
 
-/// Classic difference-of-means DPA (Kocher et al. [2] in the paper).
+/// Classic difference-of-means DPA (Kocher et al., reference \[2\] of the paper).
 ///
 /// For every key guess, the traces are split into two groups according to
 /// `selection(plaintext, guess)` (the predicted value of a target bit); the
@@ -108,7 +108,12 @@ where
     accumulator.finalize()
 }
 
-pub(crate) fn best_result(scores: Vec<f64>) -> AttackResult {
+/// Packs per-guess scores into an [`AttackResult`], selecting the winner
+/// with this crate's canonical tie convention (the **last** maximum under
+/// partial comparison).  Public so external attack engines (e.g. the
+/// prefix-evaluable attacks of `dpl-eval`) rank tied scores exactly like
+/// the in-memory attacks instead of re-implementing the rule.
+pub fn best_result(scores: Vec<f64>) -> AttackResult {
     let best_guess = scores
         .iter()
         .enumerate()

@@ -19,7 +19,7 @@
 //!
 //! [`TraceSet`] stores its traces **columnar** (sample-major, one contiguous
 //! buffer) and the attacks are streaming accumulators over those columns;
-//! the pre-columnar implementations are retained in [`reference`] as the
+//! the pre-columnar implementations are retained in [`mod@reference`] as the
 //! correctness oracle.
 //!
 //! The accumulators behind the attacks are public ([`DpaAccumulator`],
@@ -43,7 +43,7 @@ mod trace;
 pub use accumulate::{
     input_profile, CpaAccumulator, DpaAccumulator, InputProfile, MAX_INPUT_CLASSES,
 };
-pub use attack::{cpa_attack, dpa_attack, reference, AttackResult};
+pub use attack::{best_result, cpa_attack, dpa_attack, reference, AttackResult};
 pub use trace::{Trace, TraceSet, TraceSink};
 
 /// Errors produced by the power-analysis layer.

@@ -76,7 +76,18 @@ pub fn std_dev(values: &[f64]) -> f64 {
 }
 
 /// Pearson correlation coefficient of two equally long slices.
-/// Returns 0 when either slice has zero variance.
+///
+/// # Degenerate inputs
+///
+/// Correlation is mathematically undefined when either slice has zero
+/// variance (the denominator vanishes).  This function deliberately returns
+/// `0.0` for every such case — slices shorter than two values, a constant
+/// slice, or variance lost entirely to floating-point cancellation — rather
+/// than `NaN` or an error.  The attacks rely on that convention: a key guess
+/// whose hypothesis cannot co-vary with the measurements scores zero
+/// ("indistinguishable"), never poisons a score comparison with `NaN`, and a
+/// constant-power trace column (the paper's goal) yields an all-zero score
+/// vector instead of a crash.  [`welch_t`] follows the same convention.
 ///
 /// # Panics
 ///
@@ -108,6 +119,53 @@ pub fn difference_of_means(ones: &[f64], zeros: &[f64]) -> f64 {
     mean(ones) - mean(zeros)
 }
 
+/// Welch's t-statistic between two slices — the TVLA leakage-detection
+/// statistic:
+///
+/// ```text
+/// t = (mean(a) - mean(b)) / sqrt(var(a)/|a| + var(b)/|b|)
+/// ```
+///
+/// with **unbiased** (n-1) sample variances, as specified by the
+/// Goodwill et al. TVLA methodology.  `|t| > 4.5` is the conventional
+/// first-order leakage threshold.
+///
+/// # Degenerate inputs
+///
+/// Like [`pearson`], the statistic is undefined when the denominator
+/// vanishes: either slice shorter than two values, or both variances zero
+/// (e.g. perfectly constant power traces).  All such cases return `0.0` —
+/// "no detectable leakage" — never `NaN`.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (ma, mb) = (mean(a), mean(b));
+    let va = centered_sum_of_squares(a, ma) / (na - 1.0);
+    let vb = centered_sum_of_squares(b, mb) / (nb - 1.0);
+    welch_t_from_stats(na, ma, va, nb, mb, vb)
+}
+
+/// [`welch_t`] from pre-computed sufficient statistics (count, mean and
+/// unbiased variance per group) — the form the streaming TVLA accumulators
+/// of `dpl-eval` finalize through, shared here so the slice helper and the
+/// accumulators agree on the degenerate-input convention.
+///
+/// Returns `0.0` whenever either count is below two or the pooled variance
+/// term is not positive (including tiny negative variances produced by
+/// floating-point cancellation on near-constant data).
+pub fn welch_t_from_stats(na: f64, ma: f64, va: f64, nb: f64, mb: f64, vb: f64) -> f64 {
+    if na < 2.0 || nb < 2.0 {
+        return 0.0;
+    }
+    let denom = va / na + vb / nb;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (ma - mb) / denom.sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +193,50 @@ mod tests {
     #[test]
     fn dom_is_difference() {
         assert!((difference_of_means(&[3.0, 5.0], &[1.0, 1.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_variance_returns_zero_not_nan() {
+        // Every undefined-correlation case maps to exactly 0.0: short
+        // slices, either slice constant, both constant.  This is the
+        // documented contract the attack scoring relies on.
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        let varying = [1.0, 2.0, 3.0];
+        let flat = [4.0, 4.0, 4.0];
+        assert_eq!(pearson(&varying, &flat), 0.0);
+        assert_eq!(pearson(&flat, &varying), 0.0);
+        assert_eq!(pearson(&flat, &flat), 0.0);
+        assert!(!pearson(&flat, &varying).is_nan());
+    }
+
+    #[test]
+    fn welch_t_matches_hand_computed_values() {
+        // a = [0, 4]: mean 2, unbiased var ((0-2)^2 + (4-2)^2)/1 = 8.
+        // b = [1, 1, 1, 1]: mean 1, var 0.
+        // t = (2 - 1) / sqrt(8/2 + 0/4) = 1/2.
+        assert_eq!(welch_t(&[0.0, 4.0], &[1.0, 1.0, 1.0, 1.0]), 0.5);
+
+        // a = [1, 3]: mean 2, var 2.  b = [5, 9]: mean 7, var 8.
+        // t = (2 - 7) / sqrt(2/2 + 8/2) = -5 / sqrt(5) = -sqrt(5).
+        let t = welch_t(&[1.0, 3.0], &[5.0, 9.0]);
+        assert!((t + 5.0f64.sqrt()).abs() < 1e-15, "{t}");
+
+        // Symmetric groups: t flips sign exactly.
+        assert_eq!(welch_t(&[5.0, 9.0], &[1.0, 3.0]), -t);
+    }
+
+    #[test]
+    fn welch_t_degenerate_cases_return_zero() {
+        // Short groups, constant groups, empty groups: all 0.0, never NaN.
+        assert_eq!(welch_t(&[], &[1.0, 2.0]), 0.0);
+        assert_eq!(welch_t(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(welch_t(&[3.0, 3.0], &[3.0, 3.0]), 0.0);
+        // Equal means with positive variance is a genuine zero.
+        assert_eq!(welch_t(&[1.0, 3.0], &[0.0, 4.0]), 0.0);
+        // The from-stats form guards a negative cancellation residue.
+        assert_eq!(welch_t_from_stats(10.0, 1.0, -1e-30, 10.0, 2.0, 0.0), 0.0);
+        assert_eq!(welch_t_from_stats(1.0, 1.0, 4.0, 10.0, 2.0, 4.0), 0.0);
     }
 
     #[test]

@@ -249,27 +249,41 @@ impl TraceSet {
         &self.data[index * self.cap..index * self.cap + self.rows]
     }
 
-    /// Keeps only the first `n` traces (useful for measurements-to-disclosure
-    /// sweeps).
-    pub fn truncated(&self, n: usize) -> TraceSet {
-        let rows = self.rows.min(n);
+    /// A copy of the contiguous trace range `start..end` (clamped to the
+    /// set), preserving the columnar layout — the incremental feeder of the
+    /// measurements-to-disclosure sweeps, which push successive slices into
+    /// a prefix-evaluable accumulator instead of re-copying ever-larger
+    /// prefixes.
+    pub fn slice(&self, start: usize, end: usize) -> TraceSet {
+        let end = end.min(self.rows);
+        let start = start.min(end);
+        let rows = end - start;
         let width = self.samples_per_trace();
         let mut data = vec![0.0; width * rows];
         for s in 0..width {
             data[s * rows..(s + 1) * rows]
-                .copy_from_slice(&self.data[s * self.cap..s * self.cap + rows]);
+                .copy_from_slice(&self.data[s * self.cap + start..s * self.cap + end]);
         }
         TraceSet {
-            inputs: self.inputs.iter().copied().take(rows).collect(),
+            inputs: self.inputs[start..end].to_vec(),
             width: self.width,
             rows,
             cap: rows,
             data,
-            // A mismatch only survives truncation if the offending trace
-            // is among the retained rows (the first mismatch bounds them
-            // all: pushes keep the earliest offending index).
-            first_mismatch: self.first_mismatch.filter(|&t| t < rows),
+            // Mismatched pushes pad/truncate to the set's width, so any
+            // retained row is well-formed per column; the malformed flag
+            // only survives if the offending trace index is in range.
+            first_mismatch: self
+                .first_mismatch
+                .filter(|&t| t >= start && t < end)
+                .map(|t| t - start),
         }
+    }
+
+    /// Keeps only the first `n` traces (useful for measurements-to-disclosure
+    /// sweeps).
+    pub fn truncated(&self, n: usize) -> TraceSet {
+        self.slice(0, n)
     }
 }
 
@@ -426,6 +440,37 @@ mod tests {
         assert_eq!(cut.sample_column(0), &[0.0, 1.0, 2.0, 3.0]);
         assert_eq!(cut.sample_column(1), &[0.0, -1.0, -2.0, -3.0]);
         assert_eq!(set.truncated(99).len(), 10);
+    }
+
+    #[test]
+    fn slice_extracts_contiguous_ranges() {
+        let mut set = TraceSet::new();
+        for t in 0..10u64 {
+            set.push_samples(t, &[t as f64, -(t as f64)]);
+        }
+        let mid = set.slice(3, 7);
+        assert_eq!(mid.len(), 4);
+        assert_eq!(mid.inputs(), &[3, 4, 5, 6]);
+        assert_eq!(mid.sample_column(0), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(mid.sample_column(1), &[-3.0, -4.0, -5.0, -6.0]);
+        // A prefix slice equals truncated().
+        assert_eq!(set.slice(0, 4), set.truncated(4));
+        // Clamped and empty ranges are well formed.
+        assert_eq!(set.slice(8, 99).len(), 2);
+        assert_eq!(set.slice(5, 5).len(), 0);
+        assert_eq!(set.slice(20, 30).len(), 0);
+    }
+
+    #[test]
+    fn slice_tracks_the_mismatch_flag() {
+        let mut set = TraceSet::new();
+        for t in 0..6u64 {
+            set.push_samples(t, &[t as f64]);
+        }
+        set.push_samples(6, &[1.0, 2.0]); // mismatch at index 6
+        assert!(set.slice(0, 6).sample_count().is_ok());
+        assert!(set.slice(4, 7).sample_count().is_err());
+        assert!(set.slice(2, 5).sample_count().is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!     24     8  RNG seed of the capture campaign
 //!     32     8  total trace count
 //!     40     4  distinct input count (0 = more than the class-aggregation limit)
-//!     44     4  reserved (zero)
+//!     44     4  campaign kind (see CampaignKind; 0 in pre-TVLA archives)
 //!     48     8  FNV-1a 64 checksum of header bytes 0..48
 //! ```
 //!
@@ -128,6 +128,61 @@ impl ModelTag {
     }
 }
 
+/// What kind of measurement campaign an archive holds — the discipline a
+/// later analysis needs in order to interpret the traces.
+///
+/// The kind is recorded in header bytes 44..48 (zero before this field
+/// existed, which is exactly [`CampaignKind::Attack`], so pre-TVLA archives
+/// decode unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignKind {
+    /// A key-recovery campaign: every trace processed a uniformly random
+    /// plaintext under the secret key.  DPA/CPA run directly over it.
+    #[default]
+    Attack,
+    /// An interleaved fixed-vs-random TVLA campaign: traces at **even**
+    /// global indices processed one fixed plaintext, traces at odd indices a
+    /// random one.  The Welch t-test partitions by trace-index parity;
+    /// key-recovery attacks over such an archive are statistically
+    /// meaningless (half the traces share one plaintext).
+    TvlaInterleaved,
+}
+
+impl CampaignKind {
+    /// The on-disk encoding of the kind.
+    pub fn code(self) -> u32 {
+        match self {
+            CampaignKind::Attack => 0,
+            CampaignKind::TvlaInterleaved => 1,
+        }
+    }
+
+    /// Decodes an on-disk campaign kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptHeader`] for an unknown code.
+    pub fn from_code(code: u32) -> Result<Self> {
+        Ok(match code {
+            0 => CampaignKind::Attack,
+            1 => CampaignKind::TvlaInterleaved,
+            other => {
+                return Err(StoreError::CorruptHeader {
+                    message: format!("unknown campaign kind {other}"),
+                })
+            }
+        })
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignKind::Attack => "key-recovery attack",
+            CampaignKind::TvlaInterleaved => "TVLA (interleaved fixed-vs-random)",
+        }
+    }
+}
+
 /// The campaign metadata fixed when an archive is created.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArchiveMeta {
@@ -140,16 +195,29 @@ pub struct ArchiveMeta {
     pub model: ModelTag,
     /// The RNG seed of the capture campaign, for reproducibility.
     pub seed: u64,
+    /// The measurement discipline of the campaign (attack vs TVLA).
+    pub campaign: CampaignKind,
 }
 
 impl ArchiveMeta {
-    /// Metadata for single-sample traces with the given chunk size.
+    /// Metadata for a single-sample key-recovery campaign with the given
+    /// chunk size.
     pub fn scalar(chunk_traces: usize, model: ModelTag, seed: u64) -> Self {
         ArchiveMeta {
             samples_per_trace: 1,
             chunk_traces,
             model,
             seed,
+            campaign: CampaignKind::Attack,
+        }
+    }
+
+    /// Metadata for a single-sample interleaved fixed-vs-random TVLA
+    /// campaign with the given chunk size.
+    pub fn scalar_tvla(chunk_traces: usize, model: ModelTag, seed: u64) -> Self {
+        ArchiveMeta {
+            campaign: CampaignKind::TvlaInterleaved,
+            ..ArchiveMeta::scalar(chunk_traces, model, seed)
         }
     }
 
@@ -199,7 +267,7 @@ pub(crate) fn encode_header(
     header[24..32].copy_from_slice(&meta.seed.to_le_bytes());
     header[32..40].copy_from_slice(&trace_count.to_le_bytes());
     header[40..44].copy_from_slice(&distinct_inputs.to_le_bytes());
-    // Bytes 44..48 are reserved (zero).
+    header[44..48].copy_from_slice(&meta.campaign.code().to_le_bytes());
     let checksum = fnv1a64(&header[0..48]);
     header[48..56].copy_from_slice(&checksum.to_le_bytes());
     header
@@ -237,6 +305,7 @@ pub(crate) fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(ArchiveMeta, u
         chunk_traces: u32_at(header, 16) as usize,
         model: ModelTag::from_code(u32_at(header, 20))?,
         seed: u64_at(header, 24),
+        campaign: CampaignKind::from_code(u32_at(header, 44))?,
     };
     if meta.samples_per_trace == 0 || meta.chunk_traces == 0 {
         return Err(StoreError::CorruptHeader {
@@ -282,6 +351,7 @@ mod tests {
             chunk_traces: 512,
             model: ModelTag::GenuineSabl,
             seed: 0xDEAD_BEEF_2005,
+            campaign: CampaignKind::TvlaInterleaved,
         };
         let header = encode_header(&meta, 12345, 16);
         let (decoded, count, distinct) = decode_header(&header).unwrap();
@@ -332,6 +402,7 @@ mod tests {
             chunk_traces: u32::MAX as usize,
             model: ModelTag::Unspecified,
             seed: 0,
+            campaign: CampaignKind::Attack,
         };
         let header = encode_header(&huge, u64::MAX, 0);
         assert!(matches!(
@@ -349,6 +420,39 @@ mod tests {
         ));
         let header = encode_header(&meta, 100, 64);
         assert!(decode_header(&header).is_ok());
+    }
+
+    #[test]
+    fn campaign_kinds_round_trip_and_legacy_zero_is_attack() {
+        for kind in [CampaignKind::Attack, CampaignKind::TvlaInterleaved] {
+            assert_eq!(CampaignKind::from_code(kind.code()).unwrap(), kind);
+            assert!(!kind.label().is_empty());
+        }
+        assert!(CampaignKind::from_code(9).is_err());
+
+        // The field occupies the formerly-reserved (always zero) bytes
+        // 44..48: a pre-TVLA header decodes as an Attack campaign.
+        let meta = ArchiveMeta::scalar(8, ModelTag::HammingWeight, 5);
+        let header = encode_header(&meta, 40, 16);
+        assert_eq!(header[44..48], [0, 0, 0, 0]);
+        let (decoded, _, _) = decode_header(&header).unwrap();
+        assert_eq!(decoded.campaign, CampaignKind::Attack);
+
+        // A TVLA campaign round-trips through the same bytes.
+        let tvla = ArchiveMeta::scalar_tvla(8, ModelTag::HammingWeight, 5);
+        let header = encode_header(&tvla, 40, 16);
+        let (decoded, _, _) = decode_header(&header).unwrap();
+        assert_eq!(decoded.campaign, CampaignKind::TvlaInterleaved);
+
+        // An unknown kind with a self-consistent checksum is corrupt.
+        let mut forged = header;
+        forged[44] = 7;
+        let checksum = fnv1a64(&forged[0..48]);
+        forged[48..56].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_header(&forged),
+            Err(StoreError::CorruptHeader { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! The paper's DPA experiment is the workload that motivates constant-power
 //! DPDN synthesis; this crate removes its memory ceiling.  A capture
 //! campaign streams traces through an [`ArchiveWriter`] into a binary,
-//! versioned, self-checking file (see [`format`] for the exact layout), and
+//! versioned, self-checking file (see [`mod@format`] for the exact layout), and
 //! attacks later fold over the file chunk by chunk:
 //!
 //! * [`ArchiveWriter`] — buffered writer; implements
@@ -37,7 +37,7 @@ pub use attack::{
     cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming,
 };
 pub use error::{Result, StoreError};
-pub use format::{ArchiveMeta, ModelTag};
+pub use format::{ArchiveMeta, CampaignKind, ModelTag};
 pub use reader::{ArchiveReader, Chunks};
 pub use writer::ArchiveWriter;
 
@@ -87,6 +87,7 @@ mod tests {
             chunk_traces: 50,
             model: ModelTag::GenuineSabl,
             seed: 99,
+            campaign: CampaignKind::Attack,
         };
         let bytes = write_archive(&traces, meta);
         let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
@@ -190,6 +191,7 @@ mod tests {
             chunk_traces: 16,
             model: ModelTag::Unspecified,
             seed: 0,
+            campaign: CampaignKind::Attack,
         };
         let bytes = write_archive(&traces, meta);
         // Flip one byte in the middle of chunk 1's payload.
@@ -252,6 +254,7 @@ mod tests {
                 chunk_traces: 64,
                 model: ModelTag::Unspecified,
                 seed: 0,
+                campaign: CampaignKind::Attack,
             };
             let bytes = write_archive(&traces, meta);
             let mut in_memory = TraceSet::new();
@@ -285,6 +288,7 @@ mod tests {
             chunk_traces: 10,
             model: ModelTag::Unspecified,
             seed: 0,
+            campaign: CampaignKind::Attack,
         };
         let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).unwrap();
         writer.append_trace_set(&set).unwrap();

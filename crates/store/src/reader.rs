@@ -113,6 +113,12 @@ impl<R: Read + Seek> ArchiveReader<R> {
         self.chunk_budget
     }
 
+    /// The measurement discipline recorded for this campaign (attack vs
+    /// TVLA) — shorthand for `meta().campaign`.
+    pub fn campaign(&self) -> crate::format::CampaignKind {
+        self.meta.campaign
+    }
+
     /// The campaign's distinct input count as recorded by the writer, or
     /// `None` when it exceeded the class-aggregation limit — the signal the
     /// out-of-core attacks use to pick their accumulator bookkeeping.

@@ -18,7 +18,9 @@
 //! * [`crypto`] — PRESENT workload (S-box datapath and full PRESENT-80)
 //!   and leakage simulation,
 //! * [`store`] — on-disk chunked trace archives and out-of-core attacks,
-//! * [`bench`] — paper-figure experiment harness and `repro` binary.
+//! * [`eval`] — leakage assessment: streaming TVLA (Welch t-test) and
+//!   measurements-to-disclosure estimation,
+//! * [`mod@bench`] — paper-figure experiment harness and `repro` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub use dpl_bench as bench;
 pub use dpl_cells as cells;
 pub use dpl_core as core;
 pub use dpl_crypto as crypto;
+pub use dpl_eval as eval;
 pub use dpl_logic as logic;
 pub use dpl_netlist as netlist;
 pub use dpl_power as power;

@@ -1,0 +1,254 @@
+//! Integration tests of the `dpl-eval` leakage-assessment subsystem — the
+//! PR's acceptance criteria:
+//!
+//! * streaming TVLA over an archive spanning several chunks is
+//!   **bit-identical** to the in-memory t-statistics, and the parallel
+//!   (sample-sharded) fold is bit-identical to the sequential one for any
+//!   worker count,
+//! * the measurements-to-disclosure sweep is deterministic in its seed and
+//!   reproduces the paper's resistance ordering: the Hamming-weight
+//!   (standard CMOS) model discloses at strictly fewer traces than every
+//!   SABL implementation.
+
+use std::path::PathBuf;
+
+use dpl_bench::{mtd_curves, mtd_experiment, MtdAttack};
+use dpl_cells::CapacitanceModel;
+use dpl_crypto::{
+    simulate_tvla_traces_into, synthesize_sbox_with_key, GateEnergyTable, LeakageModel,
+    LeakageOptions,
+};
+use dpl_eval::{
+    interleaved_partition, tvla, tvla_parallel, tvla_second_order, tvla_streaming,
+    tvla_streaming_second_order, TvlaOrder,
+};
+use dpl_power::{TraceSet, TraceSink};
+use dpl_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, ModelTag};
+
+fn temp_archive(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpl_eval_{}_{}.dpltrc", name, std::process::id()))
+}
+
+/// Synthetic multi-sample interleaved campaign: the fixed group (even
+/// indices) leaks a mean shift on some samples and a variance change on
+/// others, so both t-test orders have something to find.
+fn synthetic_tvla_traces(count: usize, samples: usize) -> Vec<(u64, Vec<f64>)> {
+    let mut state = 0x5DEE_CE66_D201_3E05u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|index| {
+            let fixed = index % 2 == 0;
+            let input = if fixed { 0x3 } else { next() % 16 };
+            let values: Vec<f64> = (0..samples)
+                .map(|s| {
+                    let noise = (next() % 2000) as f64 / 1000.0 - 1.0;
+                    let mean_shift = if fixed && s % 3 == 0 { 0.4 } else { 0.0 };
+                    let spread = if fixed && s % 3 == 1 { 2.0 } else { 1.0 };
+                    mean_shift + spread * noise + s as f64
+                })
+                .collect();
+            (input, values)
+        })
+        .collect()
+}
+
+/// Acceptance criterion: over an archive spanning >= 4 chunks, the
+/// streaming TVLA (both orders) is bit-identical to the in-memory
+/// statistics, and the parallel variant is bit-identical to the sequential
+/// fold independent of the worker count.
+#[test]
+fn streaming_tvla_is_bit_identical_and_worker_count_independent() {
+    const TRACES: usize = 1100;
+    const CHUNK: usize = 128; // 9 chunks, the last one partial.
+    const SAMPLES: usize = 6;
+    let traces = synthetic_tvla_traces(TRACES, SAMPLES);
+
+    let path = temp_archive("tvla_bit_identical");
+    let meta = ArchiveMeta {
+        samples_per_trace: SAMPLES,
+        chunk_traces: CHUNK,
+        model: ModelTag::Unspecified,
+        seed: 0,
+        campaign: CampaignKind::TvlaInterleaved,
+    };
+    let mut writer = ArchiveWriter::create(&path, meta).expect("create");
+    let mut oracle = TraceSet::new();
+    for (input, samples) in &traces {
+        writer.append(*input, samples).expect("append");
+        TraceSink::record(&mut oracle, *input, samples).expect("oracle");
+    }
+    assert_eq!(writer.finish().expect("finish"), TRACES as u64);
+
+    let mut reader = ArchiveReader::open(&path).expect("open");
+    assert!(reader.chunk_count() >= 4, "need a multi-chunk archive");
+
+    // Sequential streaming == in-memory, bit for bit, both orders.
+    let first_mem = tvla(&oracle, interleaved_partition).expect("in-memory");
+    let first_stream = tvla_streaming(&mut reader, interleaved_partition).expect("streaming");
+    assert_eq!(first_stream, first_mem);
+    assert_eq!(first_mem.counts, [550, 550]);
+    assert!(first_mem.leaks(), "max |t| = {}", first_mem.max_abs_t());
+
+    let second_mem = tvla_second_order(&oracle, interleaved_partition).expect("in-memory 2nd");
+    let second_stream =
+        tvla_streaming_second_order(&mut reader, interleaved_partition).expect("streaming 2nd");
+    assert_eq!(second_stream, second_mem);
+    assert!(second_mem.leaks(), "max |t| = {}", second_mem.max_abs_t());
+
+    // The sample-sharded parallel fold is bit-identical to the sequential
+    // one for every worker count — including more workers than samples.
+    for workers in [1, 2, 3, 5, 8] {
+        let parallel = tvla_parallel(
+            &path,
+            interleaved_partition,
+            TvlaOrder::First,
+            Some(workers),
+        )
+        .expect("parallel");
+        assert_eq!(parallel, first_mem, "first order, workers = {workers}");
+        let parallel = tvla_parallel(
+            &path,
+            interleaved_partition,
+            TvlaOrder::Second,
+            Some(workers),
+        )
+        .expect("parallel 2nd");
+        assert_eq!(parallel, second_mem, "second order, workers = {workers}");
+    }
+    let default_workers =
+        tvla_parallel(&path, interleaved_partition, TvlaOrder::First, None).expect("parallel");
+    assert_eq!(default_workers, first_mem);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// End-to-end TVLA over the paper's device models: a Hamming-weight
+/// (standard CMOS) capture fails the t-test within a few thousand traces,
+/// a fully-connected SABL capture passes it — streamed to and from a real
+/// archive through the `dpl-crypto` fixed-vs-random campaign generator.
+#[test]
+fn tvla_flags_the_leaky_model_and_clears_the_constant_power_model() {
+    const TRACES: usize = 3000;
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let capacitance = CapacitanceModel::default();
+    let options = LeakageOptions {
+        relative_noise: 0.02,
+        seed: 41,
+    };
+
+    let mut results = Vec::new();
+    for (model, tag) in [
+        (LeakageModel::HammingWeight, ModelTag::HammingWeight),
+        (
+            LeakageModel::FullyConnectedSabl,
+            ModelTag::FullyConnectedSabl,
+        ),
+    ] {
+        let table = GateEnergyTable::build(model, &capacitance).expect("table");
+        let path = temp_archive(if tag == ModelTag::HammingWeight {
+            "tvla_hw"
+        } else {
+            "tvla_fc"
+        });
+        let meta = ArchiveMeta::scalar_tvla(256, tag, options.seed);
+        let mut writer = ArchiveWriter::create(&path, meta).expect("create");
+        simulate_tvla_traces_into(&netlist, &table, 0xA, 0x3, TRACES, &options, &mut writer)
+            .expect("capture");
+        writer.finish().expect("finish");
+
+        let mut reader = ArchiveReader::open(&path).expect("open");
+        assert_eq!(reader.campaign(), CampaignKind::TvlaInterleaved);
+        let result = tvla_streaming(&mut reader, interleaved_partition).expect("t-test");
+
+        // The in-memory campaign (same seed, same RNG discipline) gives the
+        // identical statistic.
+        let mut in_memory = TraceSet::new();
+        simulate_tvla_traces_into(&netlist, &table, 0xA, 0x3, TRACES, &options, &mut in_memory)
+            .expect("oracle");
+        assert_eq!(
+            tvla(&in_memory, interleaved_partition).expect("oracle t"),
+            result
+        );
+
+        results.push((model, result));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let (_, hw) = &results[0];
+    let (_, fc) = &results[1];
+    assert!(
+        hw.leaks(),
+        "Hamming-weight capture must fail TVLA: max |t| = {}",
+        hw.max_abs_t()
+    );
+    assert!(
+        !fc.leaks(),
+        "constant-power SABL capture must pass TVLA: max |t| = {}",
+        fc.max_abs_t()
+    );
+}
+
+/// Acceptance criterion: the MTD sweep is deterministic in its seed and
+/// reports a strictly lower measurements-to-disclosure for the
+/// Hamming-weight model than for every SABL-protected model.
+#[test]
+fn mtd_reproduces_the_resistance_ordering_deterministically() {
+    let grid = [25, 50, 100, 200, 400, 800];
+    let repetitions = 4;
+    let seed = 7;
+
+    let curves = mtd_curves(seed, &grid, repetitions, MtdAttack::Cpa);
+    assert_eq!(curves.len(), 4);
+    let mtd_of = |model: LeakageModel| {
+        curves
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, curve)| curve.mtd)
+            .expect("model present")
+    };
+
+    let hw = mtd_of(LeakageModel::HammingWeight).expect("the CMOS-like model must disclose");
+    for protected in [
+        LeakageModel::GenuineSabl,
+        LeakageModel::FullyConnectedSabl,
+        LeakageModel::EnhancedSabl,
+    ] {
+        let mtd = mtd_of(protected).unwrap_or(usize::MAX);
+        assert!(
+            hw < mtd,
+            "{protected:?}: MTD {mtd} must exceed the Hamming-weight MTD {hw}"
+        );
+    }
+    // The constant-power styles never disclose at all within the grid.
+    assert_eq!(mtd_of(LeakageModel::FullyConnectedSabl), None);
+    assert_eq!(mtd_of(LeakageModel::EnhancedSabl), None);
+
+    // Bit-for-bit determinism of the whole sweep, and of the rendered
+    // report `repro mtd --seed 7` prints.
+    assert_eq!(curves, mtd_curves(seed, &grid, repetitions, MtdAttack::Cpa));
+    let report = mtd_experiment(seed, &grid, repetitions, MtdAttack::Cpa);
+    assert_eq!(
+        report,
+        mtd_experiment(seed, &grid, repetitions, MtdAttack::Cpa)
+    );
+    assert!(report.contains("seed = 7"));
+
+    // The DPA engine agrees on the headline: CMOS discloses, constant
+    // power does not.
+    let dpa_curves = mtd_curves(seed, &[100, 400], 3, MtdAttack::Dpa);
+    let dpa_hw = dpa_curves
+        .iter()
+        .find(|(m, _)| *m == LeakageModel::HammingWeight)
+        .unwrap();
+    assert!(dpa_hw.1.disclosed());
+    let dpa_fc = dpa_curves
+        .iter()
+        .find(|(m, _)| *m == LeakageModel::FullyConnectedSabl)
+        .unwrap();
+    assert!(!dpa_fc.1.disclosed());
+}

@@ -12,7 +12,7 @@ use dpl_crypto::{
 use dpl_power::{cpa_attack, dpa_attack, TraceSet, TraceSink};
 use dpl_store::{
     cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming,
-    ArchiveMeta, ArchiveReader, ArchiveWriter, ModelTag,
+    ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, ModelTag,
 };
 
 fn temp_archive(name: &str) -> PathBuf {
@@ -118,6 +118,7 @@ fn multi_round_present80_archive_supports_out_of_core_dpa() {
         chunk_traces: CHUNK,
         model: ModelTag::Unspecified,
         seed: 7,
+        campaign: CampaignKind::Attack,
     };
     let mut writer = ArchiveWriter::create(&path, meta).expect("create");
     let mut oracle = TraceSet::new();

@@ -45,6 +45,7 @@ fn write_archive(traces: &[(u64, Vec<f64>)], samples: usize, chunk: usize, seed:
         chunk_traces: chunk,
         model: dpl_store::ModelTag::Unspecified,
         seed,
+        campaign: dpl_store::CampaignKind::Attack,
     };
     let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
     for (input, values) in traces {
