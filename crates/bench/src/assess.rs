@@ -1,13 +1,15 @@
-//! Leakage-assessment experiments: TVLA reports over archives and
-//! measurements-to-disclosure sweeps across the paper's logic styles
-//! (`repro tvla`, `repro mtd`, `repro info`).
+//! Leakage-assessment experiments: TVLA reports over archives,
+//! measurements-to-disclosure sweeps across the paper's logic styles, and
+//! characterisation-table reports
+//! (`repro tvla`, `repro mtd`, `repro info`, `repro charac-table`).
 
 use std::fmt::Write as _;
 
 use dpl_cells::CapacitanceModel;
+use dpl_core::GateKind;
 use dpl_crypto::{
-    present_sbox, simulate_traces_with_table, synthesize_sbox_with_key, EnergyCache,
-    GateEnergyTable, LeakageModel, LeakageOptions,
+    present_sbox, simulate_traces_with_table, synthesize_library_circuit, synthesize_sbox_with_key,
+    EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::{
     interleaved_partition, mtd_campaign, tvla_parallel, tvla_streaming,
@@ -49,8 +51,124 @@ impl MtdAttack {
 /// campaign key).
 const MTD_KEY: u8 = 0xA;
 
-/// Runs the measurements-to-disclosure sweep for every leakage model and
-/// returns the per-model curves, deterministically in `seed`.
+/// The attack-target circuit of a CLI campaign: the classic key-mixing +
+/// PRESENT S-box datapath, or a key-mixed single-library-cell datapath
+/// (`dpl_crypto::synthesize_library_circuit`) for any standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitChoice {
+    /// The key-mixing + PRESENT S-box datapath (the historical default).
+    Sbox,
+    /// A key-mixed datapath around one standard-library cell.
+    Cell(GateKind),
+}
+
+impl CircuitChoice {
+    /// Parses a circuit name: `sbox`, or any library gate name (`oai22`,
+    /// `maj3`, ... — case insensitive).
+    pub fn parse(name: &str) -> Option<CircuitChoice> {
+        if name.eq_ignore_ascii_case("sbox") {
+            return Some(CircuitChoice::Sbox);
+        }
+        GateKind::by_name(name).ok().map(CircuitChoice::Cell)
+    }
+
+    /// The canonical CLI name.
+    pub fn name(&self) -> String {
+        match self {
+            CircuitChoice::Sbox => "sbox".into(),
+            CircuitChoice::Cell(kind) => kind.name().to_ascii_lowercase(),
+        }
+    }
+
+    /// A human-readable description.
+    pub fn label(&self) -> String {
+        match self {
+            CircuitChoice::Sbox => "key-mixing + PRESENT S-box datapath".into(),
+            CircuitChoice::Cell(kind) => format!("key-mixed {} library-cell datapath", kind),
+        }
+    }
+
+    /// Synthesises the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (a bug, not an input error).
+    pub fn netlist(&self) -> GateNetlist {
+        match self {
+            CircuitChoice::Sbox => synthesize_sbox_with_key().expect("synthesis"),
+            CircuitChoice::Cell(kind) => {
+                synthesize_library_circuit(*kind).expect("library circuit synthesis")
+            }
+        }
+    }
+
+    /// The difference-of-means DPA selection function of the circuit: the
+    /// classic `HW(sbox(p ^ g)) >= 2` bit for the S-box datapath, and the
+    /// majority of the circuit's output bits for library-cell datapaths
+    /// (precomputed over the 16x16 plaintext/guess nibble space).
+    pub fn dpa_selection(&self) -> impl Fn(u64, u64) -> bool + Clone {
+        let table: Option<[[bool; 16]; 16]> = match self {
+            CircuitChoice::Sbox => None,
+            CircuitChoice::Cell(_) => {
+                let netlist = self.netlist();
+                let outputs = netlist.outputs().len() as u32;
+                let mut table = [[false; 16]; 16];
+                for (guess, row) in table.iter_mut().enumerate() {
+                    for (plaintext, bit) in row.iter_mut().enumerate() {
+                        let input = plaintext as u64 | ((guess as u64) << 4);
+                        *bit = 2 * netlist.evaluate(input).0.count_ones() >= outputs;
+                    }
+                }
+                Some(table)
+            }
+        };
+        move |plaintext: u64, guess: u64| match &table {
+            None => present_sbox((plaintext ^ guess) as u8).count_ones() >= 2,
+            Some(table) => table[(guess & 0xF) as usize][(plaintext & 0xF) as usize],
+        }
+    }
+}
+
+/// One measurements-to-disclosure sweep of a single (model, circuit) pair.
+fn mtd_curve_for(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    circuit: CircuitChoice,
+    seed: u64,
+    grid: &[usize],
+    repetitions: usize,
+    attack: MtdAttack,
+) -> MtdCurve {
+    let cache = EnergyCache::new(netlist, table);
+    let config = MtdConfig::new(grid.to_vec(), repetitions, seed);
+    let generate = |rep_seed: u64, n: usize| {
+        let options = LeakageOptions {
+            relative_noise: 0.02,
+            seed: rep_seed,
+        };
+        simulate_traces_with_table(netlist, table, MTD_KEY, n, &options)
+    };
+    match attack {
+        MtdAttack::Dpa => {
+            let selection = circuit.dpa_selection();
+            mtd_campaign(&config, u64::from(MTD_KEY), generate, move || {
+                let selection = selection.clone();
+                PrefixDpa::new(16, selection)
+            })
+        }
+        MtdAttack::Cpa => mtd_campaign(&config, u64::from(MTD_KEY), generate, || {
+            let cache = cache.clone();
+            PrefixCpa::new(16, move |plaintext, guess| {
+                cache.energy(plaintext, guess as u8)
+            })
+        }),
+    }
+    .expect("mtd campaign")
+}
+
+/// Runs the measurements-to-disclosure sweep for every built-in leakage
+/// model over the S-box datapath and returns the per-model curves,
+/// deterministically in `seed`.
 ///
 /// # Panics
 ///
@@ -67,29 +185,15 @@ pub fn mtd_curves(
     let mut curves = Vec::new();
     for &model in LeakageModel::all() {
         let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
-        let cache = EnergyCache::new(&netlist, &table);
-        let config = MtdConfig::new(grid.to_vec(), repetitions, seed);
-        let generate = |rep_seed: u64, n: usize| {
-            let options = LeakageOptions {
-                relative_noise: 0.02,
-                seed: rep_seed,
-            };
-            simulate_traces_with_table(&netlist, &table, MTD_KEY, n, &options)
-        };
-        let curve = match attack {
-            MtdAttack::Dpa => mtd_campaign(&config, u64::from(MTD_KEY), generate, || {
-                PrefixDpa::new(16, |plaintext, guess| {
-                    present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
-                })
-            }),
-            MtdAttack::Cpa => mtd_campaign(&config, u64::from(MTD_KEY), generate, || {
-                let cache = cache.clone();
-                PrefixCpa::new(16, move |plaintext, guess| {
-                    cache.energy(plaintext, guess as u8)
-                })
-            }),
-        }
-        .expect("mtd campaign");
+        let curve = mtd_curve_for(
+            &netlist,
+            &table,
+            CircuitChoice::Sbox,
+            seed,
+            grid,
+            repetitions,
+            attack,
+        );
         curves.push((model, curve));
     }
     curves
@@ -111,23 +215,7 @@ pub fn mtd_experiment(seed: u64, grid: &[usize], repetitions: usize, attack: Mtd
     );
     let _ = writeln!(out, "trace grid: {grid:?}");
     for (model, curve) in mtd_curves(seed, grid, repetitions, attack) {
-        let sr: Vec<String> = curve
-            .success_rate
-            .iter()
-            .map(|r| format!("{r:.2}"))
-            .collect();
-        let ge: Vec<String> = curve
-            .guessing_entropy
-            .iter()
-            .map(|g| format!("{g:.1}"))
-            .collect();
-        let mtd = match curve.mtd {
-            Some(n) => format!("{n} traces"),
-            None => format!("> {} traces (no disclosure observed)", grid.last().unwrap()),
-        };
-        let _ = writeln!(out, "{:>32}: MTD = {mtd}", model.label());
-        let _ = writeln!(out, "{:>32}  success rate  [{}]", "", sr.join(" "));
-        let _ = writeln!(out, "{:>32}  mean key rank [{}]", "", ge.join(" "));
+        render_mtd_curve(&mut out, model.label(), &curve, grid);
     }
     let _ = writeln!(
         out,
@@ -137,6 +225,133 @@ pub fn mtd_experiment(seed: u64, grid: &[usize], repetitions: usize, attack: Mtd
          resistance ordering."
     );
     out
+}
+
+/// Renders one MTD curve in the sweep's row format.
+fn render_mtd_curve(out: &mut String, label: &str, curve: &MtdCurve, grid: &[usize]) {
+    let sr: Vec<String> = curve
+        .success_rate
+        .iter()
+        .map(|r| format!("{r:.2}"))
+        .collect();
+    let ge: Vec<String> = curve
+        .guessing_entropy
+        .iter()
+        .map(|g| format!("{g:.1}"))
+        .collect();
+    let mtd = match curve.mtd {
+        Some(n) => format!("{n} traces"),
+        None => format!("> {} traces (no disclosure observed)", grid.last().unwrap()),
+    };
+    let _ = writeln!(out, "{label:>32}: MTD = {mtd}");
+    let _ = writeln!(out, "{:>32}  success rate  [{}]", "", sr.join(" "));
+    let _ = writeln!(out, "{:>32}  mean key rank [{}]", "", ge.join(" "));
+}
+
+/// Experiment: measurements-to-disclosure of a **single energy model** —
+/// including characterisation-derived models — over any CLI circuit
+/// (`repro mtd --model <name> [--circuit <name>]`).
+///
+/// # Panics
+///
+/// Panics if synthesis, table construction or the sweep fail (bugs, not
+/// input errors).
+pub fn mtd_experiment_for(
+    model: EnergyModel,
+    circuit: CircuitChoice,
+    seed: u64,
+    grid: &[usize],
+    repetitions: usize,
+    attack: MtdAttack,
+) -> String {
+    let netlist = circuit.netlist();
+    let capacitance = CapacitanceModel::default();
+    let table = GateEnergyTable::for_circuit(model, &capacitance, &netlist).expect("energy table");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n=== Measurements to disclosure — {} over the {} ===",
+        attack.label(),
+        circuit.label()
+    );
+    let _ = writeln!(
+        out,
+        "secret key nibble = {MTD_KEY:#X}, {repetitions} repetitions per grid point, 2 % noise, \
+         seed = {seed}, disclosure threshold = 80 % success rate"
+    );
+    let _ = writeln!(out, "trace grid: {grid:?}");
+    if model.is_characterized() {
+        let _ = writeln!(
+            out,
+            "energy table: transient-characterized, digest = {:#018X}",
+            table.digest()
+        );
+    }
+    let curve = mtd_curve_for(&netlist, &table, circuit, seed, grid, repetitions, attack);
+    render_mtd_curve(&mut out, &model.label(), &curve, grid);
+    out
+}
+
+/// Report of one cell's per-event energy row under an energy model
+/// (`repro charac-table <gate> [--model <name>]`): the characterized
+/// (transient-simulated) or built-in (analytic) energies, their spread and
+/// the digest of the resulting single-cell table.
+///
+/// # Errors
+///
+/// Returns a rendered error message when the table cannot be built.
+pub fn charac_table_report(kind: GateKind, model: EnergyModel) -> Result<String, String> {
+    let capacitance = CapacitanceModel::default();
+    let table = if model.is_characterized() {
+        GateEnergyTable::characterized(model.style, &capacitance, &[kind])
+    } else {
+        GateEnergyTable::builtin(model.style, &capacitance)
+    }
+    .map_err(|e| format!("cannot build the {} table for {kind}: {e}", model.name()))?;
+    let op = dpl_crypto::GateOp::cell(kind);
+    let events = 1usize << kind.arity();
+    let row = table.event_energies(op);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n=== Energy table row — {} under {} ===",
+        kind.name(),
+        model.label()
+    );
+    let _ = writeln!(
+        out,
+        "source: {}",
+        if model.is_characterized() && model.style != LeakageModel::HammingWeight {
+            "transient simulation of the SABL cell (one precharge/evaluate cycle per event)"
+        } else if model.is_characterized() {
+            "built-in constants (the Hamming-weight style has no differential cell)"
+        } else {
+            "analytic charge-sharing constants (DischargeProfile)"
+        }
+    );
+    let _ = writeln!(out, "{:>10} {:>14}", "event", "energy (fJ)");
+    for (assignment, &energy) in row.iter().enumerate().take(events) {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.4}",
+            format!("{assignment:0width$b}", width = kind.arity()),
+            energy * 1e15
+        );
+    }
+    let max = row[..events]
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = row[..events].iter().copied().fold(f64::INFINITY, f64::min);
+    let ned = if max > 0.0 { (max - min) / max } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "spread: max - min = {:.4} fJ, NED (max-min)/max = {:.2} %",
+        (max - min) * 1e15,
+        100.0 * ned
+    );
+    let _ = writeln!(out, "table digest: {:#018X}", table.digest());
+    Ok(out)
 }
 
 fn render_tvla(out: &mut String, order: TvlaOrder, result: &TvlaResult) {
@@ -220,11 +435,7 @@ pub fn info_report(path: &str) -> Result<String, String> {
     let meta = reader.meta();
     let mut out = String::new();
     let _ = writeln!(out, "{path}:");
-    let _ = writeln!(
-        out,
-        "  format version:       {}",
-        dpl_store::format::FORMAT_VERSION
-    );
+    let _ = writeln!(out, "  format version:       {}", reader.format_version());
     let _ = writeln!(out, "  campaign kind:        {}", meta.campaign.label());
     let _ = writeln!(out, "  leakage model:        {}", meta.model.label());
     let _ = writeln!(out, "  campaign seed:        {}", meta.seed);
@@ -244,6 +455,9 @@ pub fn info_report(path: &str) -> Result<String, String> {
         ),
     };
     let _ = writeln!(out, "  distinct inputs:      {distinct}");
+    if let Some(digest) = reader.table_digest() {
+        let _ = writeln!(out, "  energy-table digest:  {digest:#018X}");
+    }
     Ok(out)
 }
 

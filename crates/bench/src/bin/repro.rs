@@ -1,29 +1,35 @@
 //! Command-line experiment runner: regenerates every figure of the paper,
 //! records the performance trajectory, and drives the out-of-core trace
-//! archive workflow.
+//! archive workflow — for built-in *and* transient-characterized energy
+//! models, over the S-box datapath or any library-cell circuit.
 //!
 //! ```text
 //! cargo run -p dpl-bench --release --bin repro                  # all experiments
 //! cargo run -p dpl-bench --release --bin repro -- fig3          # a single one
 //! cargo run -p dpl-bench --release --bin repro -- dpa 5000 --seed 7
 //! cargo run -p dpl-bench --release --bin repro -- cpa 2000
+//! cargo run -p dpl-bench --release --bin repro -- charac-table oai22 --model fc-charac
 //! cargo run -p dpl-bench --release --bin repro -- capture traces.dpltrc 100000 --seed 7
+//! cargo run -p dpl-bench --release --bin repro -- capture m.dpltrc 5000 --model genuine-charac --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- capture tvla.dpltrc 20000 --tvla
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --verify
+//! cargo run -p dpl-bench --release --bin repro -- attack m.dpltrc --cpa --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc
 //! cargo run -p dpl-bench --release --bin repro -- tvla tvla.dpltrc --order both
 //! cargo run -p dpl-bench --release --bin repro -- mtd --seed 7 --attack cpa
+//! cargo run -p dpl-bench --release --bin repro -- mtd --model fc-charac --circuit oai22
 //! cargo run -p dpl-bench --release --bin repro -- bench         # perf -> BENCH_dpa.json
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
-use dpl_bench::MtdAttack;
+use dpl_bench::{CircuitChoice, MtdAttack};
 use dpl_cells::CapacitanceModel;
+use dpl_core::GateKind;
 use dpl_crypto::{
-    present_sbox, simulate_traces_into, simulate_tvla_traces_into, synthesize_sbox_with_key,
-    EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
+    simulate_traces_into, simulate_tvla_traces_into, EnergyCache, EnergyModel, GateEnergyTable,
+    LeakageModel,
 };
 use dpl_eval::TvlaOrder;
 use dpl_power::{cpa_attack, dpa_attack, AttackResult};
@@ -35,33 +41,87 @@ use dpl_store::{
 /// and expected back by `attack`).
 const CAMPAIGN_KEY: u8 = 0xA;
 
-fn model_tag_of(model: LeakageModel) -> ModelTag {
-    match model {
+/// Every flag whose effect is scoped to particular subcommands, with the
+/// subcommands that accept it.  [`check_flag_scopes`] rejects such a flag
+/// on any other subcommand with one consistent message — the single place
+/// this rule lives, instead of per-flag ad-hoc checks.
+const FLAG_SCOPES: &[(&str, &[&str])] = &[
+    ("--seed", &["dpa", "cpa", "capture", "mtd"]),
+    ("--budget", &["attack"]),
+    ("--model", &["capture", "attack", "mtd", "charac-table"]),
+    ("--circuit", &["capture", "attack", "mtd"]),
+    ("--chunk", &["capture"]),
+    ("--tvla", &["capture"]),
+    ("--dpa", &["attack"]),
+    ("--cpa", &["attack"]),
+    ("--verify", &["attack"]),
+    ("--order", &["tvla"]),
+    ("--workers", &["tvla"]),
+    ("--attack", &["mtd"]),
+    ("--reps", &["mtd"]),
+    ("--quick", &["bench"]),
+    ("--out", &["bench"]),
+];
+
+/// Rejects any scoped flag that does not apply to `subcommand`, naming the
+/// offending subcommand and where the flag is actually supported.
+fn check_flag_scopes(subcommand: &str, args: &[String]) -> Result<(), String> {
+    for &(flag, scopes) in FLAG_SCOPES {
+        if !scopes.contains(&subcommand) && args.iter().any(|a| a == flag) {
+            return Err(format!(
+                "`{flag}` is not supported by the `{subcommand}` subcommand; it only applies \
+                 to: {}",
+                scopes.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The consistent "unknown flag" message of every subcommand parser.
+fn unknown_flag(subcommand: &str, flag: &str, usage: &str) -> String {
+    format!("unknown option `{flag}` for the `{subcommand}` subcommand; usage: {usage}")
+}
+
+fn model_tag_of(model: EnergyModel) -> ModelTag {
+    let base = match model.style {
         LeakageModel::GenuineSabl => ModelTag::GenuineSabl,
         LeakageModel::FullyConnectedSabl => ModelTag::FullyConnectedSabl,
         LeakageModel::EnhancedSabl => ModelTag::EnhancedSabl,
         LeakageModel::HammingWeight => ModelTag::HammingWeight,
+    };
+    if model.is_characterized() {
+        base.characterized().expect("every style has a charac tag")
+    } else {
+        base
     }
 }
 
-fn leakage_model_of(tag: ModelTag) -> Option<LeakageModel> {
-    match tag {
-        ModelTag::GenuineSabl => Some(LeakageModel::GenuineSabl),
-        ModelTag::FullyConnectedSabl => Some(LeakageModel::FullyConnectedSabl),
-        ModelTag::EnhancedSabl => Some(LeakageModel::EnhancedSabl),
-        ModelTag::HammingWeight => Some(LeakageModel::HammingWeight),
-        ModelTag::Unspecified => None,
-    }
+fn energy_model_of(tag: ModelTag) -> Option<EnergyModel> {
+    let style = match tag.base_style() {
+        ModelTag::GenuineSabl => LeakageModel::GenuineSabl,
+        ModelTag::FullyConnectedSabl => LeakageModel::FullyConnectedSabl,
+        ModelTag::EnhancedSabl => LeakageModel::EnhancedSabl,
+        ModelTag::HammingWeight => LeakageModel::HammingWeight,
+        _ => return None,
+    };
+    Some(if tag.is_characterized() {
+        EnergyModel::characterized(style)
+    } else {
+        EnergyModel::builtin(style)
+    })
 }
 
-fn parse_model(name: &str) -> Option<LeakageModel> {
-    match name {
-        "hw" | "hamming" => Some(LeakageModel::HammingWeight),
-        "genuine" => Some(LeakageModel::GenuineSabl),
-        "fc" | "fully-connected" => Some(LeakageModel::FullyConnectedSabl),
-        "enhanced" => Some(LeakageModel::EnhancedSabl),
-        _ => None,
-    }
+/// The digest a capture records in the archive header for a non-default
+/// hypothesis: the energy table's digest combined with the attack
+/// circuit's name, so `attack` can verify it rebuilt **both** the exact
+/// energy model and the exact circuit — for built-in and characterized
+/// models alike.
+fn hypothesis_digest(table: &GateEnergyTable, circuit: CircuitChoice) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&table.digest().to_le_bytes());
+    bytes.extend_from_slice(circuit.name().as_bytes());
+    dpl_store::format::fnv1a64(&bytes)
 }
 
 /// Parses `--seed <u64>` out of an argument list, returning the remaining
@@ -85,7 +145,26 @@ fn take_seed(args: &[String]) -> Result<(Vec<String>, Option<u64>), String> {
     Ok((rest, seed))
 }
 
+/// Parses the value of a `--model` flag.
+fn parse_model_arg(value: Option<&String>) -> Result<EnergyModel, String> {
+    value
+        .and_then(|name| EnergyModel::parse(name))
+        .ok_or_else(|| {
+            "--model needs one of: hw, genuine, fc, enhanced — optionally with a `-charac` \
+             suffix for the transient-characterized source (e.g. genuine-charac)"
+                .to_string()
+        })
+}
+
+/// Parses the value of a `--circuit` flag.
+fn parse_circuit_arg(value: Option<&String>) -> Result<CircuitChoice, String> {
+    value
+        .and_then(|name| CircuitChoice::parse(name))
+        .ok_or_else(|| "--circuit needs `sbox` or a library gate name (e.g. oai22, maj3)".into())
+}
+
 fn run_bench(args: &[String]) -> ExitCode {
+    const USAGE: &str = "repro bench [--quick] [--out <path>]";
     let mut config = dpl_bench::PerfConfig::full();
     let mut out_path = String::from("BENCH_dpa.json");
     let mut iter = args.iter();
@@ -100,7 +179,7 @@ fn run_bench(args: &[String]) -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown bench option `{other}`; expected --quick or --out <path>");
+                eprintln!("{}", unknown_flag("bench", other, USAGE));
                 return ExitCode::FAILURE;
             }
         }
@@ -115,12 +194,16 @@ fn run_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro capture <file> <n> [--seed s] [--model hw|genuine|fc|enhanced]
+/// `repro capture <file> <n> [--seed s] [--model <name>] [--circuit <name>]
 /// [--chunk k] [--tvla]`: simulate a campaign and stream it straight to a
-/// chunked archive.  With `--tvla` the campaign is an interleaved
-/// fixed-vs-random capture (even traces = fixed plaintext) tagged as such
-/// in the archive header, ready for `repro tvla`.
+/// chunked archive.  `--model` accepts characterisation-derived models
+/// (e.g. `genuine-charac`), `--circuit` any library-cell datapath; with
+/// `--tvla` the campaign is an interleaved fixed-vs-random capture (even
+/// traces = fixed plaintext) tagged as such in the archive header, ready
+/// for `repro tvla`.
 fn run_capture(args: &[String]) -> ExitCode {
+    const USAGE: &str =
+        "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] [--chunk k] [--tvla]";
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -129,16 +212,24 @@ fn run_capture(args: &[String]) -> ExitCode {
         }
     };
     let mut positional = Vec::new();
-    let mut model = LeakageModel::HammingWeight;
+    let mut model = EnergyModel::builtin(LeakageModel::HammingWeight);
+    let mut circuit = CircuitChoice::Sbox;
     let mut chunk_traces = 1024usize;
     let mut tvla = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--model" => match iter.next().and_then(|name| parse_model(name)) {
-                Some(m) => model = m,
-                None => {
-                    eprintln!("--model needs one of: hw, genuine, fc, enhanced");
+            "--model" => match parse_model_arg(iter.next()) {
+                Ok(m) => model = m,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--circuit" => match parse_circuit_arg(iter.next()) {
+                Ok(c) => circuit = c,
+                Err(message) => {
+                    eprintln!("{message}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -151,16 +242,14 @@ fn run_capture(args: &[String]) -> ExitCode {
             },
             "--tvla" => tvla = true,
             other if other.starts_with("--") => {
-                eprintln!("unknown capture option `{other}`");
+                eprintln!("{}", unknown_flag("capture", other, USAGE));
                 return ExitCode::FAILURE;
             }
             other => positional.push(other.to_string()),
         }
     }
     let [path, count] = positional.as_slice() else {
-        eprintln!(
-            "usage: repro capture <file> <traces> [--seed s] [--model m] [--chunk k] [--tvla]"
-        );
+        eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
     let num_traces: usize = match count.parse() {
@@ -172,18 +261,25 @@ fn run_capture(args: &[String]) -> ExitCode {
     };
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
 
-    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let netlist = circuit.netlist();
     let capacitance = CapacitanceModel::default();
-    let table = GateEnergyTable::build(model, &capacitance).expect("energy table");
-    let options = LeakageOptions {
+    let table = GateEnergyTable::for_circuit(model, &capacitance, &netlist).expect("energy table");
+    let options = dpl_crypto::LeakageOptions {
         relative_noise: 0.02,
         seed,
     };
-    let meta = if tvla {
+    let mut meta = if tvla {
         ArchiveMeta::scalar_tvla(chunk_traces, model_tag_of(model), seed)
     } else {
         ArchiveMeta::scalar(chunk_traces, model_tag_of(model), seed)
     };
+    if model.is_characterized() || circuit != CircuitChoice::Sbox {
+        // Any non-default hypothesis (characterized table, or a circuit
+        // other than the S-box datapath) records its digest so `attack`
+        // can verify it rebuilt the exact same energy model *and* circuit
+        // (promotes the header to format version 2).
+        meta = meta.with_table_digest(hypothesis_digest(&table, circuit));
+    }
     let mut writer = match ArchiveWriter::create(path, meta) {
         Ok(writer) => writer,
         Err(e) => {
@@ -230,6 +326,16 @@ fn run_capture(args: &[String]) -> ExitCode {
                  chunk = {chunk_traces} traces, secret key nibble = {CAMPAIGN_KEY:#X}{kind}",
                 model.label()
             );
+            if circuit != CircuitChoice::Sbox {
+                println!("circuit: {} ({})", circuit.name(), circuit.label());
+            }
+            if meta.table_digest != 0 {
+                println!(
+                    "hypothesis digest (energy table + circuit): {:#018X} (recorded in the \
+                     archive header)",
+                    meta.table_digest
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -252,15 +358,23 @@ fn attack_label(result: &AttackResult) -> String {
     )
 }
 
-/// `repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]`: run
-/// an out-of-core attack over an archive; `--verify` also loads the archive
-/// in memory and demands bit-identical scores, `--budget` caps the reader's
-/// in-memory chunk budget (rejecting archives whose chunks exceed it).
+/// `repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]
+/// [--model <name>] [--circuit <name>]`: run an out-of-core attack over an
+/// archive.  The profiled-CPA hypothesis is rebuilt from the archive's
+/// recorded model tag (or `--model`), over `--circuit` (default: the S-box
+/// datapath); when the archive records an energy-table digest the rebuilt
+/// table must match it.  `--verify` also loads the archive in memory and
+/// demands bit-identical scores, `--budget` caps the reader's in-memory
+/// chunk budget (rejecting archives whose chunks exceed it).
 fn run_attack(args: &[String]) -> ExitCode {
+    const USAGE: &str =
+        "repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>] [--model m] [--circuit c]";
     let mut path = None;
     let mut use_cpa = false;
     let mut verify = false;
     let mut budget = None;
+    let mut model_override = None;
+    let mut circuit = CircuitChoice::Sbox;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -274,17 +388,31 @@ fn run_attack(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--model" => match parse_model_arg(iter.next()) {
+                Ok(m) => model_override = Some(m),
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--circuit" => match parse_circuit_arg(iter.next()) {
+                Ok(c) => circuit = c,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if path.is_none() && !other.starts_with("--") => {
                 path = Some(other.to_string());
             }
             other => {
-                eprintln!("unknown attack option `{other}`");
+                eprintln!("{}", unknown_flag("attack", other, USAGE));
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]");
+        eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
     let mut reader = match ArchiveReader::open(&path) {
@@ -328,32 +456,77 @@ fn run_attack(args: &[String]) -> ExitCode {
             reader.chunk_budget()
         );
     }
+    if circuit != CircuitChoice::Sbox {
+        println!("attack circuit: {} ({})", circuit.name(), circuit.label());
+    }
+    if let Some(model) = model_override {
+        println!("hypothesis model override: {}", model.label());
+    }
 
-    let selection =
-        |plaintext: u64, guess: u64| present_sbox((plaintext ^ guess) as u8).count_ones() >= 2;
-    // A profiled CPA needs the device's energy model: rebuild it from the
-    // archive's recorded leakage-model tag, falling back to the classic
-    // S-box Hamming-weight hypothesis when the tag is unspecified.  The DPA
-    // path never evaluates the model, so skip the synthesis there.
+    let selection = circuit.dpa_selection();
+    // Rebuild the recorded hypothesis (energy model from the header tag or
+    // --model, circuit from --circuit).  When the capture recorded a
+    // hypothesis digest, the rebuilt (table, circuit) pair must reproduce
+    // it — for DPA as much as CPA, since a wrong circuit corrupts the
+    // selection function just as silently as a wrong profiled table.
+    let recorded = reader.table_digest();
+    let model = model_override.or_else(|| energy_model_of(reader.meta().model));
+    let profile = if use_cpa || recorded.is_some() {
+        match model {
+            Some(model) => {
+                let netlist = circuit.netlist();
+                let table =
+                    GateEnergyTable::for_circuit(model, &CapacitanceModel::default(), &netlist)
+                        .expect("energy table");
+                if let Some(recorded) = recorded {
+                    let rebuilt = hypothesis_digest(&table, circuit);
+                    if rebuilt != recorded {
+                        eprintln!(
+                            "hypothesis digest mismatch: archive records {recorded:#018X}, \
+                             rebuilt {} table over circuit `{}` digests to {rebuilt:#018X} — \
+                             pass the capture's --model/--circuit",
+                            model.name(),
+                            circuit.name(),
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    println!("hypothesis digest verified: {recorded:#018X} (model + circuit)");
+                }
+                Some((netlist, table))
+            }
+            None => {
+                if recorded.is_some() {
+                    eprintln!(
+                        "the archive records a hypothesis digest but no known model tag; \
+                         pass --model (and --circuit) so the hypothesis can be verified"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                None
+            }
+        }
+    } else {
+        None
+    };
+    // A profiled CPA needs the device's energy model, falling back to the
+    // classic S-box Hamming-weight hypothesis when the tag is unspecified;
+    // the DPA path never evaluates it.
     let cache = if use_cpa {
-        leakage_model_of(reader.meta().model).map(|model| {
-            let netlist = synthesize_sbox_with_key().expect("synthesis");
-            let table =
-                GateEnergyTable::build(model, &CapacitanceModel::default()).expect("energy table");
-            EnergyCache::new(&netlist, &table)
-        })
+        profile
+            .as_ref()
+            .map(|(netlist, table)| EnergyCache::new(netlist, table))
     } else {
         None
     };
     let model = move |plaintext: u64, guess: u64| match &cache {
         Some(cache) => cache.energy(plaintext, guess as u8),
-        None => present_sbox((plaintext ^ guess) as u8).count_ones() as f64,
+        None => dpl_crypto::present_sbox((plaintext ^ guess) as u8).count_ones() as f64,
     };
 
     let streamed = if use_cpa {
         cpa_attack_streaming(&mut reader, 16, &model)
     } else {
-        dpa_attack_streaming(&mut reader, 16, selection)
+        dpa_attack_streaming(&mut reader, 16, &selection)
     };
     let streamed = match streamed {
         Ok(result) => result,
@@ -376,7 +549,7 @@ fn run_attack(args: &[String]) -> ExitCode {
         let in_memory = if use_cpa {
             cpa_attack(&traces, 16, &model)
         } else {
-            dpa_attack(&traces, 16, selection)
+            dpa_attack(&traces, 16, &selection)
         }
         .expect("in-memory attack");
         println!("in-memory   {kind}: {}", attack_label(&in_memory));
@@ -408,9 +581,65 @@ fn run_info(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro charac-table <gate> [--model <name>]`: transient-characterize
+/// (or, for built-in models, analytically derive) one library cell's
+/// per-input-event energy row and print it with its spread and table
+/// digest.
+fn run_charac_table(args: &[String]) -> ExitCode {
+    const USAGE: &str = "repro charac-table <gate> [--model <name>]";
+    let mut gate = None;
+    let mut model = EnergyModel::characterized(LeakageModel::GenuineSabl);
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => match parse_model_arg(iter.next()) {
+                Ok(m) => model = m,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if gate.is_none() && !other.starts_with("--") => gate = Some(other.to_string()),
+            other => {
+                eprintln!("{}", unknown_flag("charac-table", other, USAGE));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(gate) = gate else {
+        eprintln!("usage: {USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let kind = match GateKind::by_name(&gate) {
+        Ok(kind) => kind,
+        Err(_) => {
+            let names: Vec<String> = GateKind::all()
+                .iter()
+                .map(|k| k.name().to_ascii_lowercase())
+                .collect();
+            eprintln!(
+                "unknown gate `{gate}`; expected one of: {}",
+                names.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match dpl_bench::charac_table_report(kind, model) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro tvla <file> [--order 1|2|both] [--workers n]`: streaming Welch
 /// t-test over an interleaved fixed-vs-random archive.
 fn run_tvla(args: &[String]) -> ExitCode {
+    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n]";
     let mut path = None;
     let mut orders: Vec<TvlaOrder> = vec![TvlaOrder::First, TvlaOrder::Second];
     let mut workers = None;
@@ -437,13 +666,13 @@ fn run_tvla(args: &[String]) -> ExitCode {
                 path = Some(other.to_string());
             }
             other => {
-                eprintln!("unknown tvla option `{other}`");
+                eprintln!("{}", unknown_flag("tvla", other, USAGE));
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: repro tvla <file> [--order 1|2|both] [--workers n]");
+        eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
     match dpl_bench::tvla_report(&path, &orders, workers) {
@@ -458,9 +687,14 @@ fn run_tvla(args: &[String]) -> ExitCode {
     }
 }
 
-/// `repro mtd [--seed s] [--attack dpa|cpa] [--reps r]`: the
-/// measurements-to-disclosure sweep across every leakage model.
+/// `repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model <name>]
+/// [--circuit <name>]`: the measurements-to-disclosure sweep — across
+/// every built-in leakage model by default, or for one (possibly
+/// characterisation-derived) model / library circuit with `--model` /
+/// `--circuit`.
 fn run_mtd(args: &[String]) -> ExitCode {
+    const USAGE: &str =
+        "repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model m] [--circuit c]";
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -470,6 +704,8 @@ fn run_mtd(args: &[String]) -> ExitCode {
     };
     let mut attack = MtdAttack::Cpa;
     let mut repetitions = 8usize;
+    let mut model = None;
+    let mut circuit = CircuitChoice::Sbox;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -488,28 +724,66 @@ fn run_mtd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--model" => match parse_model_arg(iter.next()) {
+                Ok(m) => model = Some(m),
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--circuit" => match parse_circuit_arg(iter.next()) {
+                Ok(c) => circuit = c,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("unknown mtd option `{other}`; expected --seed, --attack or --reps");
+                eprintln!("{}", unknown_flag("mtd", other, USAGE));
                 return ExitCode::FAILURE;
             }
         }
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
-    print!(
-        "{}",
-        dpl_bench::mtd_experiment(seed, dpl_bench::MTD_GRID, repetitions, attack)
-    );
+    let report = match (model, circuit) {
+        // The historical sweep: every built-in model over the S-box
+        // datapath (byte-identical output).
+        (None, CircuitChoice::Sbox) => {
+            dpl_bench::mtd_experiment(seed, dpl_bench::MTD_GRID, repetitions, attack)
+        }
+        (maybe_model, circuit) => {
+            let model = maybe_model.unwrap_or(EnergyModel::builtin(LeakageModel::HammingWeight));
+            dpl_bench::mtd_experiment_for(
+                model,
+                circuit,
+                seed,
+                dpl_bench::MTD_GRID,
+                repetitions,
+                attack,
+            )
+        }
+    };
+    print!("{report}");
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    // One consistent scope check for every flag with subcommand-local
+    // meaning, before any subcommand parsing: a flag on the wrong
+    // subcommand is refused (naming the subcommand) rather than silently
+    // ignored.
+    if let Err(message) = check_flag_scopes(which, args.get(1..).unwrap_or(&[])) {
+        eprintln!("{message}");
+        return ExitCode::FAILURE;
+    }
     match which {
         "bench" => return run_bench(&args[1..]),
         "capture" => return run_capture(&args[1..]),
         "attack" => return run_attack(&args[1..]),
         "info" => return run_info(&args[1..]),
+        "charac-table" => return run_charac_table(&args[1..]),
         "tvla" => return run_tvla(&args[1..]),
         "mtd" => return run_mtd(&args[1..]),
         _ => {}
@@ -521,17 +795,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if seed.is_some() && !matches!(which, "dpa" | "cpa") {
-        // Refuse rather than silently running the hard-coded default seed.
-        eprintln!("--seed is only supported by the dpa, cpa, capture and mtd subcommands");
-        return ExitCode::FAILURE;
-    }
-    if args.iter().any(|arg| arg == "--budget") {
-        // Like --seed: refuse flags on subcommands that would silently
-        // ignore them.
-        eprintln!("--budget is only supported by the attack subcommand");
-        return ExitCode::FAILURE;
-    }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
     let dpa_traces: usize = match args.get(1) {
         None => 2000,
@@ -558,7 +821,8 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
-                 fig6, cvsl, dpa, cpa, library, bench, capture, attack, info, tvla, mtd"
+                 fig6, cvsl, dpa, cpa, library, bench, capture, attack, info, charac-table, \
+                 tvla, mtd"
             );
             return ExitCode::FAILURE;
         }

@@ -14,7 +14,8 @@ pub mod experiments;
 pub mod perf;
 
 pub use assess::{
-    info_report, mtd_curves, mtd_experiment, tvla_report, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
+    charac_table_report, info_report, mtd_curves, mtd_experiment, mtd_experiment_for, tvla_report,
+    CircuitChoice, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
 };
 pub use experiments::{
     cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,

@@ -25,7 +25,7 @@ fn perf_harness_smoke_run() {
         repeats: 1,
     };
     let report = dpl_bench::perf::run(&config);
-    assert_eq!(report.rows.len(), 12);
+    assert_eq!(report.rows.len(), 13);
     let json = report.to_json();
     for needle in [
         "\"bench\": \"dpa_pipeline\"",
@@ -35,6 +35,7 @@ fn perf_harness_smoke_run() {
         "dpa_attack_outofcore",
         "tvla_streaming",
         "mtd_curve",
+        "characterized_table_build",
         "energy_cache_bitsliced",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");

@@ -257,6 +257,50 @@ pub fn characterize_cycles(
     Ok(CycleProfile { cycles })
 }
 
+/// The widest cell [`characterize_events`] will characterise exhaustively:
+/// 2^10 = 1024 events is on the order of seconds of transient simulation;
+/// anything wider is almost certainly a mistake, not a standard cell
+/// (library cells have at most 4 inputs).
+pub const MAX_CHARACTERIZED_INPUTS: usize = 10;
+
+/// Transient-characterises the **per-input-event energies** of a cell: for
+/// every complementary input assignment `0..2^inputs`, one isolated
+/// warmup + measure run of [`characterize_cycles`] with that assignment
+/// alone, reporting the supply energy of the measured cycle.
+///
+/// The result is indexed by assignment — the measurement-derived
+/// counterpart of the analytic
+/// [`DischargeProfile::energies`](crate::DischargeProfile::energies), and
+/// the data behind characterisation-derived gate energy tables.  Isolating
+/// each event behind its own warmup cycle (of the same assignment) makes
+/// the numbers deterministic and history-free; sequence-dependent memory
+/// effects remain visible through [`characterize_cycles`] directly.
+///
+/// # Errors
+///
+/// Returns [`CellError::TooManyInputs`] when the cell is too wide for one
+/// transient simulation per assignment
+/// ([`MAX_CHARACTERIZED_INPUTS`]), or an error if a simulation fails.
+pub fn characterize_events(
+    circuit: &Circuit,
+    pins: &CellPins,
+    opts: &EventOptions,
+) -> Result<Vec<f64>> {
+    let inputs = pins.inputs.len();
+    if inputs > MAX_CHARACTERIZED_INPUTS {
+        return Err(CellError::TooManyInputs {
+            inputs,
+            limit: MAX_CHARACTERIZED_INPUTS,
+        });
+    }
+    let mut energies = Vec::with_capacity(1 << inputs);
+    for assignment in 0..(1u64 << inputs) {
+        let profile = characterize_cycles(circuit, pins, &[assignment], opts)?;
+        energies.push(profile.cycles()[0].energy);
+    }
+    Ok(energies)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +340,47 @@ mod tests {
             characterize_cycles(cell.circuit(), cell.pins(), &[], &opts),
             Err(CellError::EmptySequence)
         ));
+    }
+
+    #[test]
+    fn over_wide_cells_are_rejected_before_any_simulation() {
+        let cell = sabl("A.B", true);
+        let mut pins = cell.pins().clone();
+        let rail = pins.inputs[0];
+        pins.inputs = vec![rail; MAX_CHARACTERIZED_INPUTS + 1];
+        assert_eq!(
+            characterize_events(cell.circuit(), &pins, &EventOptions::default()),
+            Err(CellError::TooManyInputs {
+                inputs: MAX_CHARACTERIZED_INPUTS + 1,
+                limit: MAX_CHARACTERIZED_INPUTS,
+            })
+        );
+    }
+
+    #[test]
+    fn per_event_characterization_separates_the_styles() {
+        let fc = sabl("A.B", true);
+        let genuine = sabl("A.B", false);
+        let opts = EventOptions::default();
+        let fc_events = characterize_events(fc.circuit(), fc.pins(), &opts).unwrap();
+        let genuine_events = characterize_events(genuine.circuit(), genuine.pins(), &opts).unwrap();
+        assert_eq!(fc_events.len(), 4);
+        assert_eq!(genuine_events.len(), 4);
+        let spread = |events: &[f64]| {
+            let max = events.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = events.iter().copied().fold(f64::INFINITY, f64::min);
+            (max - min) / max
+        };
+        assert!(fc_events.iter().all(|&e| e > 0.0));
+        assert!(
+            spread(&fc_events) < 0.05,
+            "fc spread {}",
+            spread(&fc_events)
+        );
+        assert!(spread(&genuine_events) > spread(&fc_events));
+        // Deterministic: re-characterising yields the same energies.
+        let again = characterize_events(fc.circuit(), fc.pins(), &opts).unwrap();
+        assert_eq!(fc_events, again);
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub enum CellError {
         /// Number of inputs of the cell.
         inputs: usize,
     },
+    /// The cell has too many inputs for exhaustive per-event
+    /// characterisation (one transient simulation per assignment).
+    TooManyInputs {
+        /// Number of inputs of the cell.
+        inputs: usize,
+        /// The exhaustive-characterisation limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -28,6 +36,11 @@ impl fmt::Display for CellError {
             CellError::AssignmentOutOfRange { assignment, inputs } => write!(
                 f,
                 "assignment {assignment:#b} uses bits beyond the {inputs} cell inputs"
+            ),
+            CellError::TooManyInputs { inputs, limit } => write!(
+                f,
+                "cell has {inputs} inputs; exhaustive per-event characterisation is limited \
+                 to {limit}"
             ),
         }
     }

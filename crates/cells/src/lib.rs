@@ -34,7 +34,8 @@ mod sabl;
 
 pub use capacitance::CapacitanceModel;
 pub use charac::{
-    characterize_cycles, simulate_event, CellPins, CycleEnergy, CycleProfile, EventOptions,
+    characterize_cycles, characterize_events, simulate_event, CellPins, CycleEnergy, CycleProfile,
+    EventOptions, MAX_CHARACTERIZED_INPUTS,
 };
 pub use charge::{DischargeEvent, DischargeProfile};
 pub use cvsl::CvslCell;

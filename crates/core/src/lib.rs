@@ -68,7 +68,7 @@ pub mod verify;
 
 pub use dpdn::{Dpdn, DpdnStyle, MAX_EXHAUSTIVE_INPUTS};
 pub use error::DpdnError;
-pub use library::{GateKind, GateLibrary, LibraryCell};
+pub use library::{GateKind, GateLibrary, LibraryCell, MAX_GATE_INPUTS};
 pub use verify::{
     verify, ConductingBranch, ConnectivityReport, DepthReport, EarlyPropagationReport,
     FunctionalReport, VerificationReport,

@@ -7,12 +7,16 @@
 //! and builds the genuine, fully connected and enhanced DPDN for each one.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use dpl_logic::{parse_expr, Expr, Namespace};
 
 use crate::dpdn::Dpdn;
 use crate::error::DpdnError;
 use crate::Result;
+
+/// The largest number of inputs any library gate has.
+pub const MAX_GATE_INPUTS: usize = 4;
 
 /// The combinational gates of the standard library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +161,116 @@ impl GateKind {
         let (_, ns) = self.expression();
         ns.len()
     }
+
+    /// Number of cells in the library (`GateKind::all().len()` as a
+    /// constant, for fixed-size lookup tables).
+    pub const COUNT: usize = 18;
+
+    /// Dense discriminant of the gate, suitable for array-indexed lookup
+    /// tables (`GateKind::all()[kind.index()] == kind`).
+    pub const fn index(self) -> usize {
+        match self {
+            GateKind::Buf => 0,
+            GateKind::And2 => 1,
+            GateKind::And3 => 2,
+            GateKind::And4 => 3,
+            GateKind::Or2 => 4,
+            GateKind::Or3 => 5,
+            GateKind::Or4 => 6,
+            GateKind::Xor2 => 7,
+            GateKind::Xor3 => 8,
+            GateKind::Mux2 => 9,
+            GateKind::Aoi21 => 10,
+            GateKind::Aoi22 => 11,
+            GateKind::Oai21 => 12,
+            GateKind::Oai22 => 13,
+            GateKind::Maj3 => 14,
+            GateKind::Sum3 => 15,
+            GateKind::AndNot => 16,
+            GateKind::OrAnd21 => 17,
+        }
+    }
+
+    /// Number of gate inputs as a constant (equal to
+    /// [`GateKind::input_count`], without parsing the formula — the hot
+    /// paths of the bitsliced simulator depend on it).
+    pub const fn arity(self) -> usize {
+        match self {
+            GateKind::Buf => 1,
+            GateKind::And2 | GateKind::Or2 | GateKind::Xor2 | GateKind::AndNot => 2,
+            GateKind::And3
+            | GateKind::Or3
+            | GateKind::Xor3
+            | GateKind::Mux2
+            | GateKind::Aoi21
+            | GateKind::Oai21
+            | GateKind::Maj3
+            | GateKind::Sum3
+            | GateKind::OrAnd21 => 3,
+            GateKind::And4 | GateKind::Or4 | GateKind::Aoi22 | GateKind::Oai22 => 4,
+        }
+    }
+
+    /// The gate's truth table, one bit per input assignment: bit `a` is the
+    /// function value for the bit-packed assignment `a`, where input slot
+    /// `i` of the gate is variable `i` of [`GateKind::formula`] in order of
+    /// first appearance (e.g. `MUX2 = S.A + !S.B` has S = bit 0, A = bit 1,
+    /// B = bit 2).
+    ///
+    /// Tables are derived from the parsed formula once and cached, so this
+    /// is cheap to call in evaluation loops.
+    pub fn truth_table(self) -> u16 {
+        static TABLES: OnceLock<[u16; GateKind::COUNT]> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            let mut tables = [0u16; GateKind::COUNT];
+            for &kind in GateKind::all() {
+                let (expr, ns) = kind.expression();
+                let mut table = 0u16;
+                for assignment in 0..(1u64 << ns.len()) {
+                    if expr.eval_bits(assignment) {
+                        table |= 1 << assignment;
+                    }
+                }
+                tables[kind.index()] = table;
+            }
+            tables
+        })[self.index()]
+    }
+
+    /// Evaluates the gate on a bit-packed input assignment (bit `i` =
+    /// input slot `i`, in the slot order of [`GateKind::truth_table`]);
+    /// bits beyond the gate's arity are ignored.
+    pub fn eval(self, assignment: u64) -> bool {
+        let mask = (1u64 << self.arity()) - 1;
+        (self.truth_table() >> (assignment & mask)) & 1 == 1
+    }
+
+    /// Evaluates the gate on bit-packed words, one independent evaluation
+    /// per bit lane.  `inputs[i]` carries input slot `i` (the slot order of
+    /// [`GateKind::truth_table`]); slots beyond the gate's arity are
+    /// ignored.
+    pub fn eval_word(self, inputs: [u64; MAX_GATE_INPUTS]) -> u64 {
+        let [a, b, c, d] = inputs;
+        match self {
+            GateKind::Buf => a,
+            GateKind::And2 => a & b,
+            GateKind::And3 => a & b & c,
+            GateKind::And4 => a & b & c & d,
+            GateKind::Or2 => a | b,
+            GateKind::Or3 => a | b | c,
+            GateKind::Or4 => a | b | c | d,
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xor3 | GateKind::Sum3 => a ^ b ^ c,
+            // MUX2 = S.A + !S.B with S = slot 0, A = slot 1, B = slot 2.
+            GateKind::Mux2 => (a & b) | (!a & c),
+            GateKind::Aoi21 => (a & b) | c,
+            GateKind::Aoi22 => (a & b) | (c & d),
+            GateKind::Oai21 | GateKind::OrAnd21 => (a | b) & c,
+            GateKind::Oai22 => (a | b) & (c | d),
+            GateKind::Maj3 => (a & b) | (a & c) | (b & c),
+            GateKind::AndNot => a & !b,
+        }
+    }
 }
 
 impl fmt::Display for GateKind {
@@ -264,6 +378,54 @@ mod tests {
             assert!(!expr.is_constant(), "{kind} is constant");
             assert_eq!(kind.input_count(), ns.len());
             assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn indices_arities_and_truth_tables_are_consistent() {
+        assert_eq!(GateKind::all().len(), GateKind::COUNT);
+        for (i, &kind) in GateKind::all().iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind}");
+            assert_eq!(kind.arity(), kind.input_count(), "{kind}");
+            assert!(kind.arity() <= MAX_GATE_INPUTS);
+            // The cached truth table agrees with the parsed formula, and
+            // eval() with it.
+            let (expr, ns) = kind.expression();
+            for assignment in 0..(1u64 << ns.len()) {
+                let expected = expr.eval_bits(assignment);
+                assert_eq!(
+                    kind.truth_table() >> assignment & 1 == 1,
+                    expected,
+                    "{kind} assignment {assignment:04b}"
+                );
+                assert_eq!(kind.eval(assignment), expected);
+                // Bits beyond the arity are ignored.
+                assert_eq!(kind.eval(assignment | 1 << 60), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_word_matches_the_formula_on_every_lane() {
+        // The hand-coded word evaluators are the bitsliced hot path; the
+        // formula-derived truth table is the ground truth.  Exercise every
+        // assignment in a distinct lane so slot-order bugs cannot hide.
+        for &kind in GateKind::all() {
+            let n = kind.arity();
+            let mut inputs = [0u64; MAX_GATE_INPUTS];
+            for (slot, word) in inputs.iter_mut().enumerate().take(n) {
+                for lane in 0..(1u64 << n) {
+                    *word |= ((lane >> slot) & 1) << lane;
+                }
+            }
+            let word = kind.eval_word(inputs);
+            for lane in 0..(1u64 << n) {
+                assert_eq!(
+                    (word >> lane) & 1 == 1,
+                    kind.eval(lane),
+                    "{kind} lane {lane:04b}"
+                );
+            }
         }
     }
 

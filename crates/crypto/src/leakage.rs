@@ -6,17 +6,32 @@
 //! effect); for fully connected DPDNs it is constant — which is exactly why
 //! DPA succeeds against the former and fails against the latter.
 //!
+//! Energy models are named by an [`EnergyModel`] descriptor: a logic
+//! *style* ([`LeakageModel`]) plus a *source* ([`EnergySource`]).  The
+//! [`EnergySource::Builtin`] source fills the table from the analytic
+//! charge-sharing model of `dpl_cells::DischargeProfile` (the historical
+//! constants — bit-identical to earlier releases); the
+//! [`EnergySource::Characterized`] source derives every per-gate,
+//! per-input-event energy from **transient simulation** of the actual SABL
+//! cell (`dpl_cells::characterize_events`), cached per
+//! (style, gate, capacitance) so each cell is characterized once per
+//! process.
+//!
 //! The simulator is built for statistical workloads (thousands of traces):
 //! netlists evaluate **bitsliced** (64 input vectors per `u64` word, one
 //! word operation per gate), per-gate energies live in a fixed-size array
-//! indexed by [`GateOp::index`], the 16 noise-free per-plaintext energies of
-//! a run are computed once and reused for every trace, and
+//! indexed by gate kind ([`GateOp::index`]) × input event — any
+//! [`dpl_core::GateKind`] library cell, not just the classic 1/2-input
+//! primitives — the 16 noise-free per-plaintext energies of a run are
+//! computed once and reused for every trace, and
 //! [`simulate_traces_parallel`] shards trace generation across scoped
 //! threads with per-block deterministic RNG streams.
 
-use dpl_cells::{CapacitanceModel, DischargeProfile};
-use dpl_core::Dpdn;
-use dpl_logic::parse_expr;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use dpl_cells::{characterize_events, CapacitanceModel, DischargeProfile, EventOptions, SablCell};
+use dpl_core::{Dpdn, GateKind};
 use dpl_power::{TraceSet, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,7 +55,7 @@ pub enum LeakageModel {
 }
 
 impl LeakageModel {
-    /// All supported models.
+    /// All supported styles.
     pub fn all() -> &'static [LeakageModel] {
         &[
             LeakageModel::GenuineSabl,
@@ -59,100 +74,393 @@ impl LeakageModel {
             LeakageModel::HammingWeight => "static CMOS (Hamming weight)",
         }
     }
+
+    /// The short CLI name of the style (`hw`, `genuine`, `fc`, `enhanced`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            LeakageModel::GenuineSabl => "genuine",
+            LeakageModel::FullyConnectedSabl => "fc",
+            LeakageModel::EnhancedSabl => "enhanced",
+            LeakageModel::HammingWeight => "hw",
+        }
+    }
+
+    /// The DPDN of `expr` in this style, or `None` for the Hamming-weight
+    /// style (which models static CMOS, not a differential cell).
+    fn dpdn(
+        self,
+        expr: &dpl_logic::Expr,
+        ns: &dpl_logic::Namespace,
+    ) -> Option<dpl_core::Result<Dpdn>> {
+        match self {
+            LeakageModel::GenuineSabl => Some(Dpdn::genuine(expr, ns)),
+            LeakageModel::FullyConnectedSabl => Some(Dpdn::fully_connected(expr, ns)),
+            LeakageModel::EnhancedSabl => Some(Dpdn::fully_connected_enhanced(expr, ns)),
+            LeakageModel::HammingWeight => None,
+        }
+    }
 }
 
-/// Per-gate-type energies, padded cyclically to the four possible bit-packed
+/// Where the per-gate energies of an [`EnergyModel`] come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum EnergySource {
+    /// The analytic charge-sharing constants of
+    /// `dpl_cells::DischargeProfile` — the historical built-in tables,
+    /// bit-identical to earlier releases.
+    #[default]
+    Builtin,
+    /// Transient characterisation of the actual SABL cell
+    /// (`dpl_cells::characterize_events`): one warmup + measure simulation
+    /// per gate per input event, cached per process.  The Hamming-weight
+    /// style has no differential cell to simulate and keeps its built-in
+    /// constants under this source.
+    Characterized,
+}
+
+/// An extensible energy-model descriptor: a logic style plus the source its
+/// per-gate energies are derived from.  This is the model currency of the
+/// simulation APIs — the closed [`LeakageModel`] enum converts into it
+/// (`impl Into<EnergyModel>`), so legacy call sites keep working while new
+/// sources slot in without another closed enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnergyModel {
+    /// The implementation style of every gate.
+    pub style: LeakageModel,
+    /// Where the per-gate energies come from.
+    pub source: EnergySource,
+}
+
+impl EnergyModel {
+    /// The built-in (analytic constants) model of a style.
+    pub const fn builtin(style: LeakageModel) -> Self {
+        EnergyModel {
+            style,
+            source: EnergySource::Builtin,
+        }
+    }
+
+    /// The transient-characterized model of a style.
+    pub const fn characterized(style: LeakageModel) -> Self {
+        EnergyModel {
+            style,
+            source: EnergySource::Characterized,
+        }
+    }
+
+    /// `true` when the model's energies come from transient
+    /// characterisation.
+    pub fn is_characterized(&self) -> bool {
+        self.source == EnergySource::Characterized
+    }
+
+    /// The canonical CLI name: the style's short name, with a `-charac`
+    /// suffix for characterized models (`hw`, `genuine-charac`, ...).
+    pub fn name(&self) -> String {
+        match self.source {
+            EnergySource::Builtin => self.style.short_name().to_string(),
+            EnergySource::Characterized => format!("{}-charac", self.style.short_name()),
+        }
+    }
+
+    /// Parses a model name: a style (`hw`/`hamming`, `genuine`,
+    /// `fc`/`fully-connected`, `enhanced`), optionally suffixed with
+    /// `-charac` or `-characterized` for the transient-characterized
+    /// source.
+    pub fn parse(name: &str) -> Option<EnergyModel> {
+        let (style_name, characterized) = match name
+            .strip_suffix("-characterized")
+            .or_else(|| name.strip_suffix("-charac"))
+        {
+            Some(prefix) => (prefix, true),
+            None => (name, false),
+        };
+        let style = match style_name {
+            "hw" | "hamming" => LeakageModel::HammingWeight,
+            "genuine" => LeakageModel::GenuineSabl,
+            "fc" | "fully-connected" => LeakageModel::FullyConnectedSabl,
+            "enhanced" => LeakageModel::EnhancedSabl,
+            _ => return None,
+        };
+        Some(if characterized {
+            EnergyModel::characterized(style)
+        } else {
+            EnergyModel::builtin(style)
+        })
+    }
+
+    /// A human-readable label; built-in models keep the style's historical
+    /// label exactly.
+    pub fn label(&self) -> String {
+        match self.source {
+            EnergySource::Builtin => self.style.label().to_string(),
+            EnergySource::Characterized => {
+                format!("{}, transient-characterized", self.style.label())
+            }
+        }
+    }
+}
+
+impl From<LeakageModel> for EnergyModel {
+    fn from(style: LeakageModel) -> Self {
+        EnergyModel::builtin(style)
+    }
+}
+
+/// Number of bit-packed input events an energy row holds (2^max inputs).
+const EVENT_SLOTS: usize = 1 << dpl_core::MAX_GATE_INPUTS;
+
+/// Per-cell energies, padded cyclically to the 16 possible bit-packed
 /// input events so lookups never branch on the gate's arity.
 #[derive(Debug, Clone, Copy)]
 struct GateEnergies {
-    events: [f64; 4],
-    /// Number of distinct input events (2 for NOT, 4 for two-input gates).
+    events: [f64; EVENT_SLOTS],
+    /// Number of distinct input events (2^arity).
     distinct: usize,
 }
 
-/// The per-gate-type, per-input-event energy lookup table.
+impl GateEnergies {
+    fn from_events(per_event: &[f64]) -> Self {
+        let mut events = [0.0; EVENT_SLOTS];
+        for (i, e) in events.iter_mut().enumerate() {
+            *e = per_event[i % per_event.len()];
+        }
+        GateEnergies {
+            events,
+            distinct: per_event.len().min(EVENT_SLOTS),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash (local copy; the digest must not depend on higher
+/// layers).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A digest of the capacitance model's parameters, used as part of the
+/// characterisation cache key.
+fn capacitance_digest(capacitance: &CapacitanceModel) -> u64 {
+    let mut bytes = Vec::with_capacity(40);
+    for value in [
+        capacitance.vdd,
+        capacitance.wire,
+        capacitance.junction_per_width,
+        capacitance.output_node_extra,
+        capacitance.gate_output_load,
+    ] {
+        bytes.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// The built-in (analytic) per-event energies of one library cell under a
+/// style.
+fn builtin_kind_energies(
+    style: LeakageModel,
+    kind: GateKind,
+    capacitance: &CapacitanceModel,
+) -> Result<Vec<f64>> {
+    let (expr, ns) = kind.expression();
+    match style.dpdn(&expr, &ns) {
+        None => {
+            // Hamming weight: energy = C_out * Vdd^2 when the output is 1.
+            let e1 = capacitance.energy(capacitance.gate_output_load);
+            Ok((0..(1u64 << ns.len()))
+                .map(|assignment| if expr.eval_bits(assignment) { e1 } else { 0.0 })
+                .collect())
+        }
+        Some(dpdn) => {
+            let dpdn = dpdn.map_err(dpl_cells::CellError::from)?;
+            let profile = DischargeProfile::analyze(&dpdn, capacitance)?;
+            Ok(profile.energies())
+        }
+    }
+}
+
+/// The **transient-characterized** per-event energies of one library cell
+/// under a style: the cell's DPDN is assembled into a full SABL gate and
+/// every input event is simulated (`dpl_cells::characterize_events`),
+/// uncached.  The Hamming-weight style has no differential cell and falls
+/// back to its built-in constants.
 ///
-/// Energies are stored in a fixed-size array indexed by [`GateOp::index`] —
-/// the lookup sits on the per-gate hot path of every trace, where the former
-/// `HashMap` was measurable overhead.
+/// This is the raw measurement behind [`GateEnergyTable::characterized`];
+/// use the table constructors (which cache per process) unless you need
+/// the bare numbers, e.g. to time or display a characterisation run.
+///
+/// # Errors
+///
+/// Returns an error if DPDN synthesis or a transient simulation fails.
+pub fn characterize_kind_energies(
+    style: LeakageModel,
+    kind: GateKind,
+    capacitance: &CapacitanceModel,
+) -> Result<Vec<f64>> {
+    let (expr, ns) = kind.expression();
+    match style.dpdn(&expr, &ns) {
+        None => builtin_kind_energies(style, kind, capacitance),
+        Some(dpdn) => {
+            let dpdn = dpdn.map_err(dpl_cells::CellError::from)?;
+            let cell = SablCell::new(&dpdn, capacitance);
+            let opts = EventOptions {
+                vdd: capacitance.vdd,
+                ..EventOptions::default()
+            };
+            Ok(characterize_events(cell.circuit(), cell.pins(), &opts)?)
+        }
+    }
+}
+
+type CharacKey = (LeakageModel, GateKind, u64);
+
+/// Process-wide characterisation cache: each (style, cell, capacitance) is
+/// transient-simulated at most once per process.
+fn characterized_row_cached(
+    style: LeakageModel,
+    kind: GateKind,
+    capacitance: &CapacitanceModel,
+) -> Result<GateEnergies> {
+    static CACHE: OnceLock<Mutex<HashMap<CharacKey, GateEnergies>>> = OnceLock::new();
+    let key = (style, kind, capacitance_digest(capacitance));
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(row) = cache.lock().expect("characterisation cache").get(&key) {
+        return Ok(*row);
+    }
+    // Simulate outside the lock: characterisation takes milliseconds and
+    // concurrent requests for different cells should not serialize.
+    let row = GateEnergies::from_events(&characterize_kind_energies(style, kind, capacitance)?);
+    cache
+        .lock()
+        .expect("characterisation cache")
+        .insert(key, row);
+    Ok(row)
+}
+
+/// The per-cell, per-input-event energy lookup table.
+///
+/// Energies are stored in a fixed-size array indexed by gate kind
+/// ([`GateOp::index`]) × bit-packed input event — the lookup sits on the
+/// per-gate hot path of every trace.  Every table carries a row for every
+/// [`GateKind`] of the standard library; a characterized table overrides
+/// the rows of the cells it characterized and keeps the built-in constants
+/// as fallback for the rest.
 #[derive(Debug, Clone)]
 pub struct GateEnergyTable {
-    energies: [GateEnergies; 4],
-    model: LeakageModel,
+    energies: [GateEnergies; GateKind::COUNT],
+    model: EnergyModel,
     output_energy: f64,
 }
 
 impl GateEnergyTable {
-    /// Builds the table for a leakage model under a capacitance model.
+    /// Builds the table for an energy model under a capacitance model: the
+    /// built-in constants for [`EnergySource::Builtin`], full-library
+    /// transient characterisation for [`EnergySource::Characterized`]
+    /// (cached — each cell is simulated once per process).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying cell analysis or simulation
+    /// fails.
+    pub fn build(model: impl Into<EnergyModel>, capacitance: &CapacitanceModel) -> Result<Self> {
+        let model = model.into();
+        match model.source {
+            EnergySource::Builtin => Self::builtin(model.style, capacitance),
+            EnergySource::Characterized => {
+                Self::characterized(model.style, capacitance, GateKind::all())
+            }
+        }
+    }
+
+    /// The built-in (analytic constants) table of a style.
     ///
     /// # Errors
     ///
     /// Returns an error if the underlying cell analysis fails.
-    pub fn build(model: LeakageModel, capacitance: &CapacitanceModel) -> Result<Self> {
+    pub fn builtin(style: LeakageModel, capacitance: &CapacitanceModel) -> Result<Self> {
         let mut energies = [GateEnergies {
-            events: [0.0; 4],
+            events: [0.0; EVENT_SLOTS],
             distinct: 0,
-        }; 4];
-        for &op in GateOp::all() {
-            let formula = match op {
-                GateOp::Not => "A",
-                GateOp::And2 => "A.B",
-                GateOp::Or2 => "A+B",
-                GateOp::Xor2 => "A^B",
-            };
-            let (expr, ns) = parse_expr(formula).expect("gate formulas are well formed");
-            let per_event: Vec<f64> = match model {
-                LeakageModel::HammingWeight => {
-                    // Energy = C_out * Vdd^2 when the output is 1, else 0.
-                    let e1 = capacitance.energy(capacitance.gate_output_load);
-                    (0..(1u64 << ns.len()))
-                        .map(|assignment| if expr.eval_bits(assignment) { e1 } else { 0.0 })
-                        .collect()
-                }
-                LeakageModel::GenuineSabl
-                | LeakageModel::FullyConnectedSabl
-                | LeakageModel::EnhancedSabl => {
-                    let dpdn = match model {
-                        LeakageModel::GenuineSabl => Dpdn::genuine(&expr, &ns),
-                        LeakageModel::FullyConnectedSabl => Dpdn::fully_connected(&expr, &ns),
-                        LeakageModel::EnhancedSabl => Dpdn::fully_connected_enhanced(&expr, &ns),
-                        LeakageModel::HammingWeight => unreachable!("handled above"),
-                    }
-                    .map_err(dpl_cells::CellError::from)?;
-                    let profile = DischargeProfile::analyze(&dpdn, capacitance)?;
-                    profile.energies()
-                }
-            };
-            let mut events = [0.0; 4];
-            for (i, e) in events.iter_mut().enumerate() {
-                *e = per_event[i % per_event.len()];
-            }
-            energies[op.index()] = GateEnergies {
-                events,
-                distinct: per_event.len().min(4),
-            };
+        }; GateKind::COUNT];
+        for &kind in GateKind::all() {
+            energies[kind.index()] =
+                GateEnergies::from_events(&builtin_kind_energies(style, kind, capacitance)?);
         }
         Ok(GateEnergyTable {
             energies,
-            model,
+            model: EnergyModel::builtin(style),
             output_energy: capacitance.energy(capacitance.gate_output_load),
         })
     }
 
-    /// The leakage model this table was built for.
-    pub fn model(&self) -> LeakageModel {
+    /// A transient-characterized table: the rows of `kinds` are derived by
+    /// simulating the actual SABL cells (cached per process); every other
+    /// row keeps the built-in constants as fallback.
+    ///
+    /// Characterizing only the cells a netlist instantiates (see
+    /// [`GateNetlist::kinds_used`] and [`GateEnergyTable::for_circuit`])
+    /// keeps table construction proportional to the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if DPDN synthesis or a transient simulation fails.
+    pub fn characterized(
+        style: LeakageModel,
+        capacitance: &CapacitanceModel,
+        kinds: &[GateKind],
+    ) -> Result<Self> {
+        let mut table = Self::builtin(style, capacitance)?;
+        for &kind in kinds {
+            table.energies[kind.index()] = characterized_row_cached(style, kind, capacitance)?;
+        }
+        table.model = EnergyModel::characterized(style);
+        Ok(table)
+    }
+
+    /// The table of `model` covering exactly the cells `netlist`
+    /// instantiates: built-in models ignore the netlist (their constants
+    /// cover the whole library anyway); characterized models simulate the
+    /// used cells only.  Capture and attack sides that build their tables
+    /// through this constructor for the same circuit get bit-identical
+    /// tables — and therefore matching [`GateEnergyTable::digest`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying cell analysis or simulation
+    /// fails.
+    pub fn for_circuit(
+        model: impl Into<EnergyModel>,
+        capacitance: &CapacitanceModel,
+        netlist: &GateNetlist,
+    ) -> Result<Self> {
+        let model = model.into();
+        match model.source {
+            EnergySource::Builtin => Self::builtin(model.style, capacitance),
+            EnergySource::Characterized => {
+                Self::characterized(model.style, capacitance, &netlist.kinds_used())
+            }
+        }
+    }
+
+    /// The energy model this table was built for.
+    pub fn model(&self) -> EnergyModel {
         self.model
     }
 
     /// Energy of one evaluation of `op` with the given bit-packed gate input
     /// assignment.
     pub fn energy(&self, op: GateOp, assignment: u64) -> f64 {
-        self.energies[op.index()].events[(assignment as usize) & 3]
+        self.energies[op.index()].events[(assignment as usize) & (EVENT_SLOTS - 1)]
     }
 
-    /// The energies of all four bit-packed input events of `op` (the row the
-    /// bitsliced evaluator folds over; NOT's two events appear twice).
-    pub fn event_energies(&self, op: GateOp) -> [f64; 4] {
+    /// The energies of all 16 bit-packed input events of `op` (the row the
+    /// bitsliced evaluator folds over; narrower gates' events repeat
+    /// cyclically).
+    pub fn event_energies(&self, op: GateOp) -> [f64; EVENT_SLOTS] {
         self.energies[op.index()].events
     }
 
@@ -170,6 +478,26 @@ impl GateEnergyTable {
     /// reference).
     pub fn output_energy(&self) -> f64 {
         self.output_energy
+    }
+
+    /// A 64-bit FNV-1a digest of the table: model name, output energy and
+    /// every per-kind event row, in library order.  Recorded in trace
+    /// archives so an attack run can verify it rebuilt the exact energy
+    /// model the capture simulated.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 + GateKind::COUNT * (2 + EVENT_SLOTS * 8));
+        bytes.extend_from_slice(self.model.name().as_bytes());
+        bytes.push(0xFF);
+        bytes.extend_from_slice(&self.output_energy.to_bits().to_le_bytes());
+        for &kind in GateKind::all() {
+            let row = &self.energies[kind.index()];
+            bytes.push(kind.index() as u8);
+            bytes.push(row.distinct as u8);
+            for e in &row.events {
+                bytes.extend_from_slice(&e.to_bits().to_le_bytes());
+            }
+        }
+        fnv1a64(&bytes)
     }
 }
 
@@ -193,7 +521,9 @@ impl Default for LeakageOptions {
 }
 
 /// Simulates `num_traces` power measurements of the netlist with a fixed
-/// 4-bit `key` and random plaintexts, under the given leakage model.
+/// 4-bit `key` and random plaintexts, under the given energy model (any
+/// `impl Into<EnergyModel>` — a bare [`LeakageModel`] selects the built-in
+/// constants).
 ///
 /// Each trace has a single sample: the total energy of evaluating the whole
 /// netlist for that plaintext (plus optional Gaussian noise).  The plaintext
@@ -210,13 +540,13 @@ impl Default for LeakageOptions {
 /// Returns an error if the gate energy table cannot be built.
 pub fn simulate_traces(
     netlist: &GateNetlist,
-    model: LeakageModel,
+    model: impl Into<EnergyModel>,
     capacitance: &CapacitanceModel,
     key: u8,
     num_traces: usize,
     options: &LeakageOptions,
 ) -> Result<TraceSet> {
-    let table = GateEnergyTable::build(model, capacitance)?;
+    let table = GateEnergyTable::for_circuit(model, capacitance, netlist)?;
     Ok(simulate_traces_with_table(
         netlist, &table, key, num_traces, options,
     ))
@@ -364,14 +694,14 @@ type TraceBlock<'a> = (usize, &'a mut [u64], &'a mut [f64]);
 /// Returns an error if the gate energy table cannot be built.
 pub fn simulate_traces_parallel(
     netlist: &GateNetlist,
-    model: LeakageModel,
+    model: impl Into<EnergyModel>,
     capacitance: &CapacitanceModel,
     key: u8,
     num_traces: usize,
     options: &LeakageOptions,
     workers: Option<usize>,
 ) -> Result<TraceSet> {
-    let table = GateEnergyTable::build(model, capacitance)?;
+    let table = GateEnergyTable::for_circuit(model, capacitance, netlist)?;
     let (energies, mean_energy) = per_plaintext_energies(netlist, &table, key);
     let noise_sigma = options.relative_noise * mean_energy;
     let seed = options.seed;
@@ -500,6 +830,26 @@ pub fn predicted_energies(
     energies
 }
 
+/// Noise-free total evaluation energies of **arbitrary full input
+/// vectors** — the general-circuit counterpart of [`predicted_energies`],
+/// for netlists whose inputs are wider than the 4+4-bit nibble datapath
+/// (e.g. the multi-round PRESENT netlist of
+/// [`crate::synthesize_present_rounds`]).  Evaluates bitsliced, 64 vectors
+/// per word operation; each result is bit-identical to summing
+/// [`GateEnergyTable::energy`] over [`GateNetlist::gate_assignments`] for
+/// that vector.
+pub fn circuit_energies(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    vectors: &[u64],
+) -> Vec<f64> {
+    let mut energies = Vec::with_capacity(vectors.len());
+    for chunk in vectors.chunks(64) {
+        energies.extend_from_slice(&batch_total_energy(netlist, table, chunk));
+    }
+    energies
+}
+
 /// Memoized noise-free energies of the 4-bit datapath: one entry per
 /// `(plaintext, key)` nibble pair, filled by four bitsliced netlist
 /// evaluations.
@@ -508,7 +858,7 @@ pub fn predicted_energies(
 /// — so computing a hypothesis for every trace collapses to an array lookup.
 #[derive(Debug, Clone)]
 pub struct EnergyCache {
-    model: LeakageModel,
+    model: EnergyModel,
     energies: [[f64; 16]; 16],
 }
 
@@ -538,8 +888,8 @@ impl EnergyCache {
         }
     }
 
-    /// The leakage model the underlying table was built for.
-    pub fn model(&self) -> LeakageModel {
+    /// The energy model the underlying table was built for.
+    pub fn model(&self) -> EnergyModel {
         self.model
     }
 
@@ -574,7 +924,7 @@ fn batch_total_energy(netlist: &GateNetlist, table: &GateEnergyTable, vectors: &
     let mut energies = vec![0.0f64; vectors.len()];
     for gate in netlist.gates() {
         let row = table.event_energies(gate.op);
-        if row[1] == row[0] && row[2] == row[0] && row[3] == row[0] {
+        if row.iter().all(|&e| e == row[0]) {
             // Constant-power gate (the whole point of the paper): one add
             // per lane, no bit extraction.
             for energy in &mut energies {
@@ -582,15 +932,38 @@ fn batch_total_energy(netlist: &GateNetlist, table: &GateEnergyTable, vectors: &
             }
             continue;
         }
-        let a = signals[gate.a.index()];
-        let b = if gate.op.arity() == 2 {
-            signals[gate.b.index()]
-        } else {
-            0
-        };
-        for (lane, energy) in energies.iter_mut().enumerate() {
-            let assignment = ((a >> lane) & 1) | (((b >> lane) & 1) << 1);
-            *energy += row[assignment as usize];
+        let arity = gate.op.arity();
+        match arity {
+            // The classic 1/2-input primitives dominate synthesised
+            // netlists; keep their event extraction branch-free (the exact
+            // additions of the generic path, so sums stay bit-identical).
+            1 => {
+                let a = signals[gate.inputs[0].index()];
+                for (lane, energy) in energies.iter_mut().enumerate() {
+                    *energy += row[((a >> lane) & 1) as usize];
+                }
+            }
+            2 => {
+                let a = signals[gate.inputs[0].index()];
+                let b = signals[gate.inputs[1].index()];
+                for (lane, energy) in energies.iter_mut().enumerate() {
+                    let assignment = ((a >> lane) & 1) | (((b >> lane) & 1) << 1);
+                    *energy += row[assignment as usize];
+                }
+            }
+            _ => {
+                let mut words = [0u64; dpl_core::MAX_GATE_INPUTS];
+                for (slot, word) in words.iter_mut().enumerate().take(arity) {
+                    *word = signals[gate.inputs[slot].index()];
+                }
+                for (lane, energy) in energies.iter_mut().enumerate() {
+                    let mut assignment = 0usize;
+                    for (slot, &word) in words.iter().enumerate().take(arity) {
+                        assignment |= (((word >> lane) & 1) as usize) << slot;
+                    }
+                    *energy += row[assignment];
+                }
+            }
         }
     }
     energies
@@ -600,7 +973,7 @@ fn batch_total_energy(netlist: &GateNetlist, table: &GateEnergyTable, vectors: &
 mod tests {
     use super::*;
     use crate::present::present_sbox;
-    use crate::synth::synthesize_sbox_with_key;
+    use crate::synth::{synthesize_library_circuit, synthesize_sbox_with_key};
     use dpl_power::{cpa_attack, dpa_attack};
 
     fn capacitance() -> CapacitanceModel {
@@ -615,31 +988,154 @@ mod tests {
         let hw = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
         // A genuine AND2 leaks (its energy varies with the inputs), a fully
         // connected AND2 does not.
-        assert!(genuine.gate_energy_spread(GateOp::And2) > 0.0);
-        assert!(fc.gate_energy_spread(GateOp::And2).abs() < 1e-24);
-        assert!(hw.gate_energy_spread(GateOp::And2) > 0.0);
-        assert_eq!(fc.model(), LeakageModel::FullyConnectedSabl);
+        assert!(genuine.gate_energy_spread(GateOp::AND2) > 0.0);
+        assert!(fc.gate_energy_spread(GateOp::AND2).abs() < 1e-24);
+        assert!(hw.gate_energy_spread(GateOp::AND2) > 0.0);
+        assert_eq!(
+            fc.model(),
+            EnergyModel::builtin(LeakageModel::FullyConnectedSabl)
+        );
         assert!(hw.output_energy() > 0.0);
         assert_eq!(LeakageModel::all().len(), 4);
         assert!(LeakageModel::GenuineSabl.label().contains("genuine"));
+        // The tables now cover the whole standard library, e.g. OAI22.
+        let oai22 = GateOp::cell(GateKind::Oai22);
+        assert!(genuine.gate_energy_spread(oai22) > 0.0);
+        assert!(fc.gate_energy_spread(oai22).abs() < 1e-24);
     }
 
     #[test]
     fn event_energy_rows_cycle_not_events() {
         let hw = GateEnergyTable::build(LeakageModel::HammingWeight, &capacitance()).unwrap();
-        let row = hw.event_energies(GateOp::Not);
-        // NOT has two events; the row pads them cyclically.
+        let row = hw.event_energies(GateOp::NOT);
+        // NOT shares the buffer cell's row, which has two events; the row
+        // pads them cyclically.
         assert_eq!(row[0], row[2]);
         assert_eq!(row[1], row[3]);
-        assert_eq!(hw.energy(GateOp::Not, 0), row[0]);
-        assert_eq!(hw.energy(GateOp::Not, 1), row[1]);
-        // The NOT row is keyed by its pull-down formula "A": the assignment
-        // with A=1 charges the output under the Hamming-weight model.
-        assert_eq!(hw.energy(GateOp::Not, 0), 0.0);
-        assert!(hw.energy(GateOp::Not, 1) > 0.0);
-        for &op in GateOp::all() {
+        assert_eq!(hw.energy(GateOp::NOT, 0), row[0]);
+        assert_eq!(hw.energy(GateOp::NOT, 1), row[1]);
+        // The row is keyed by the cell's pull-down formula "A": the
+        // assignment with A=1 charges the output under the Hamming-weight
+        // model.
+        assert_eq!(hw.energy(GateOp::NOT, 0), 0.0);
+        assert!(hw.energy(GateOp::NOT, 1) > 0.0);
+        for &op in GateOp::primitives() {
             assert_eq!(hw.event_energies(op)[2], hw.energy(op, 2));
         }
+        // Four-input cells fill all 16 event slots distinctly.
+        let oai22 = GateOp::cell(GateKind::Oai22);
+        assert_eq!(hw.energy(oai22, 0b0101), hw.event_energies(oai22)[5]);
+    }
+
+    #[test]
+    fn model_descriptor_names_round_trip() {
+        for &style in LeakageModel::all() {
+            for model in [
+                EnergyModel::builtin(style),
+                EnergyModel::characterized(style),
+            ] {
+                assert_eq!(EnergyModel::parse(&model.name()), Some(model), "{model:?}");
+            }
+            assert_eq!(
+                EnergyModel::builtin(style).label(),
+                style.label(),
+                "builtin labels must stay byte-identical to the legacy enum"
+            );
+            assert!(EnergyModel::characterized(style).is_characterized());
+            assert!(!EnergyModel::from(style).is_characterized());
+        }
+        assert_eq!(
+            EnergyModel::parse("fully-connected-characterized"),
+            Some(EnergyModel::characterized(LeakageModel::FullyConnectedSabl))
+        );
+        assert_eq!(
+            EnergyModel::parse("hamming"),
+            Some(EnergyModel::builtin(LeakageModel::HammingWeight))
+        );
+        assert_eq!(EnergyModel::parse("nand17"), None);
+    }
+
+    #[test]
+    fn characterized_tables_override_rows_and_change_the_digest() {
+        let cap = capacitance();
+        let builtin = GateEnergyTable::builtin(LeakageModel::GenuineSabl, &cap).unwrap();
+        let charac =
+            GateEnergyTable::characterized(LeakageModel::GenuineSabl, &cap, &[GateKind::And2])
+                .unwrap();
+        assert!(charac.model().is_characterized());
+        // The characterized AND2 row is measured, not analytic...
+        assert_ne!(
+            charac.event_energies(GateOp::AND2),
+            builtin.event_energies(GateOp::AND2)
+        );
+        // ... but still leaks (genuine DPDN), and plausibly so.
+        assert!(charac.gate_energy_spread(GateOp::AND2) > 0.0);
+        for &e in &charac.event_energies(GateOp::AND2) {
+            assert!(e > 0.0 && e < 1e-9, "implausible energy {e}");
+        }
+        // Uncharacterized rows keep the builtin fallback constants.
+        assert_eq!(
+            charac.event_energies(GateOp::XOR2),
+            builtin.event_energies(GateOp::XOR2)
+        );
+        // Digests separate the models; identical builds agree.
+        assert_ne!(charac.digest(), builtin.digest());
+        let again =
+            GateEnergyTable::characterized(LeakageModel::GenuineSabl, &cap, &[GateKind::And2])
+                .unwrap();
+        assert_eq!(charac.digest(), again.digest());
+        // The characterisation cache makes the second build cheap and
+        // bit-identical.
+        assert_eq!(
+            charac.event_energies(GateOp::AND2),
+            again.event_energies(GateOp::AND2)
+        );
+    }
+
+    #[test]
+    fn characterized_fully_connected_cells_are_near_constant() {
+        let cap = capacitance();
+        let table = GateEnergyTable::characterized(
+            LeakageModel::FullyConnectedSabl,
+            &cap,
+            &[GateKind::And2],
+        )
+        .unwrap();
+        let row = table.event_energies(GateOp::AND2);
+        let mean: f64 = row[..4].iter().sum::<f64>() / 4.0;
+        for &e in &row[..4] {
+            assert!(
+                ((e - mean) / mean).abs() < 0.05,
+                "fully connected cell should be near constant power: {row:?}"
+            );
+        }
+        // The genuine cell's measured spread is clearly larger.
+        let genuine =
+            GateEnergyTable::characterized(LeakageModel::GenuineSabl, &cap, &[GateKind::And2])
+                .unwrap();
+        assert!(
+            genuine.gate_energy_spread(GateOp::AND2) > 3.0 * table.gate_energy_spread(GateOp::AND2)
+        );
+    }
+
+    #[test]
+    fn hamming_weight_characterization_falls_back_to_builtin() {
+        let cap = capacitance();
+        let builtin = GateEnergyTable::builtin(LeakageModel::HammingWeight, &cap).unwrap();
+        let charac = GateEnergyTable::build(
+            EnergyModel::characterized(LeakageModel::HammingWeight),
+            &cap,
+        )
+        .unwrap();
+        for &kind in GateKind::all() {
+            assert_eq!(
+                charac.event_energies(GateOp::cell(kind)),
+                builtin.event_energies(GateOp::cell(kind)),
+                "{kind}"
+            );
+        }
+        // Still a distinct model identity (name/digest record the source).
+        assert_ne!(charac.digest(), builtin.digest());
     }
 
     #[test]
@@ -733,13 +1229,41 @@ mod tests {
     }
 
     #[test]
+    fn library_circuit_runs_through_the_pipeline() {
+        // A non-S-box circuit built from wide library cells evaluates,
+        // simulates and attacks end to end.
+        let netlist = synthesize_library_circuit(GateKind::Maj3).unwrap();
+        assert!(netlist.kinds_used().contains(&GateKind::Maj3));
+        let cap = capacitance();
+        let key = 0xDu8;
+        let options = LeakageOptions {
+            relative_noise: 0.0,
+            seed: 21,
+        };
+        let table = GateEnergyTable::builtin(LeakageModel::GenuineSabl, &cap).unwrap();
+        let traces = simulate_traces_with_table(&netlist, &table, key, 1024, &options);
+        let cache = EnergyCache::new(&netlist, &table);
+        let result = cpa_attack(&traces, 16, |plaintext, guess| {
+            cache.energy(plaintext, guess as u8)
+        })
+        .unwrap();
+        assert_eq!(result.best_guess, u64::from(key));
+
+        // The secure style of the same circuit does not leak.
+        let fc_table = GateEnergyTable::builtin(LeakageModel::FullyConnectedSabl, &cap).unwrap();
+        let secure = simulate_traces_with_table(&netlist, &fc_table, key, 1024, &options);
+        let column = secure.sample_column(0);
+        assert!(column.iter().all(|&v| (v - column[0]).abs() < 1e-20));
+    }
+
+    #[test]
     fn energy_cache_matches_scalar_prediction_exactly() {
         let netlist = synthesize_sbox_with_key().unwrap();
         let cap = capacitance();
         for model in [LeakageModel::HammingWeight, LeakageModel::GenuineSabl] {
             let table = GateEnergyTable::build(model, &cap).unwrap();
             let cache = EnergyCache::new(&netlist, &table);
-            assert_eq!(cache.model(), model);
+            assert_eq!(cache.model(), EnergyModel::builtin(model));
             for plaintext in 0..16u64 {
                 for key in 0..16u8 {
                     let scalar = predicted_energy(&netlist, &table, plaintext, key);
@@ -757,6 +1281,24 @@ mod tests {
             for (&plaintext, &energy) in plaintexts.iter().zip(&batch) {
                 assert_eq!(energy, predicted_energy(&netlist, &table, plaintext, 0xB));
             }
+        }
+    }
+
+    #[test]
+    fn circuit_energies_match_the_scalar_walk_on_wide_circuits() {
+        let netlist = synthesize_library_circuit(GateKind::Oai22).unwrap();
+        let cap = capacitance();
+        let table = GateEnergyTable::builtin(LeakageModel::GenuineSabl, &cap).unwrap();
+        let vectors: Vec<u64> = (0..100u64).map(|i| (i * 37) % 256).collect();
+        let batch = circuit_energies(&netlist, &table, &vectors);
+        for (&vector, &energy) in vectors.iter().zip(&batch) {
+            let scalar: f64 = netlist
+                .gate_assignments(vector)
+                .iter()
+                .zip(netlist.gates())
+                .map(|(&assignment, gate)| table.energy(gate.op, assignment))
+                .sum();
+            assert_eq!(energy, scalar, "vector {vector:02X}");
         }
     }
 

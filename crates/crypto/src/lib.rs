@@ -25,16 +25,21 @@ mod present;
 mod synth;
 
 pub use leakage::{
-    predicted_energies, predicted_energy, simulate_traces, simulate_traces_into,
-    simulate_traces_parallel, simulate_traces_with_table, simulate_tvla_traces,
-    simulate_tvla_traces_into, EnergyCache, GateEnergyTable, LeakageModel, LeakageOptions,
+    characterize_kind_energies, circuit_energies, predicted_energies, predicted_energy,
+    simulate_traces, simulate_traces_into, simulate_traces_parallel, simulate_traces_with_table,
+    simulate_tvla_traces, simulate_tvla_traces_into, EnergyCache, EnergyModel, EnergySource,
+    GateEnergyTable, LeakageModel, LeakageOptions,
 };
 pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
 pub use present::{
     add_round_key, p_layer, p_layer_inverse, present_sbox, present_sbox_inverse, sbox_layer,
     sbox_layer_inverse, Present80, PRESENT_ROUNDS, PRESENT_SBOX,
 };
-pub use synth::{synthesize_function, synthesize_sbox_with_key};
+pub use synth::{
+    library_circuit_windows, mini_p_layer_position, mini_present, mini_round_key,
+    synthesize_function, synthesize_library_circuit, synthesize_present_rounds,
+    synthesize_sbox_with_key, MINI_PRESENT_BITS,
+};
 
 /// Errors produced by the crypto workload layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use dpl_core::{GateKind, MAX_GATE_INPUTS};
+
 use crate::{CryptoError, Result};
 
 /// Identifier of a signal (wire) inside a [`GateNetlist`].
@@ -19,75 +21,124 @@ impl fmt::Display for SignalId {
     }
 }
 
-/// The operation performed by a gate.
+/// The operation performed by a gate: any standard-library cell
+/// ([`dpl_core::GateKind`]), on either output rail.
+///
+/// Dynamic differential logic produces both polarities of every function,
+/// so a netlist gate is a library cell plus the choice of rail: the plain
+/// output or its complement.  The classic primitive set is available as
+/// associated constants — [`GateOp::NOT`] is the complemented buffer,
+/// [`GateOp::AND2`]/[`GateOp::OR2`]/[`GateOp::XOR2`] the plain two-input
+/// cells — and [`GateOp::cell`] lifts any library gate into a netlist op.
+///
+/// The **energy** of an evaluation depends only on the cell and its input
+/// event, never on which rail is consumed (both rails switch every cycle),
+/// which is why energy tables are indexed by [`GateOp::index`] =
+/// [`GateKind::index`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum GateOp {
-    /// One-input inverter.
-    Not,
-    /// Two-input AND.
-    And2,
-    /// Two-input OR.
-    Or2,
-    /// Two-input XOR.
-    Xor2,
+pub struct GateOp {
+    kind: GateKind,
+    negated: bool,
 }
 
 impl GateOp {
+    /// One-input inverter (complemented buffer).
+    pub const NOT: GateOp = GateOp {
+        kind: GateKind::Buf,
+        negated: true,
+    };
+    /// Two-input AND.
+    pub const AND2: GateOp = GateOp {
+        kind: GateKind::And2,
+        negated: false,
+    };
+    /// Two-input OR.
+    pub const OR2: GateOp = GateOp {
+        kind: GateKind::Or2,
+        negated: false,
+    };
+    /// Two-input XOR.
+    pub const XOR2: GateOp = GateOp {
+        kind: GateKind::Xor2,
+        negated: false,
+    };
+
+    /// The plain (non-complemented) op of a library cell.
+    pub const fn cell(kind: GateKind) -> GateOp {
+        GateOp {
+            kind,
+            negated: false,
+        }
+    }
+
+    /// The same cell with the opposite output rail.
+    pub const fn complemented(self) -> GateOp {
+        GateOp {
+            kind: self.kind,
+            negated: !self.negated,
+        }
+    }
+
+    /// The library cell this op instantiates.
+    pub const fn kind(self) -> GateKind {
+        self.kind
+    }
+
+    /// `true` when the op consumes the complemented output rail.
+    pub const fn is_negated(self) -> bool {
+        self.negated
+    }
+
     /// Number of inputs of the gate.
-    pub fn arity(self) -> usize {
-        match self {
-            GateOp::Not => 1,
-            _ => 2,
-        }
+    pub const fn arity(self) -> usize {
+        self.kind.arity()
     }
 
-    /// Evaluates the gate.
-    pub fn eval(self, a: bool, b: bool) -> bool {
-        match self {
-            GateOp::Not => !a,
-            GateOp::And2 => a && b,
-            GateOp::Or2 => a || b,
-            GateOp::Xor2 => a ^ b,
-        }
-    }
-
-    /// Every supported gate operation.
-    pub fn all() -> &'static [GateOp] {
-        &[GateOp::Not, GateOp::And2, GateOp::Or2, GateOp::Xor2]
-    }
-
-    /// Dense discriminant of the operation, suitable for array-indexed
-    /// lookup tables (`GateOp::all()[op.index()] == op`).
+    /// Dense discriminant of the underlying cell, suitable for
+    /// array-indexed energy tables (both rails of a cell share one row).
     pub const fn index(self) -> usize {
-        match self {
-            GateOp::Not => 0,
-            GateOp::And2 => 1,
-            GateOp::Or2 => 2,
-            GateOp::Xor2 => 3,
-        }
+        self.kind.index()
+    }
+
+    /// Evaluates the gate on a bit-packed input assignment (bit `i` =
+    /// input slot `i`, in the formula's first-appearance variable order).
+    pub fn eval_assignment(self, assignment: u64) -> bool {
+        self.kind.eval(assignment) ^ self.negated
+    }
+
+    /// Evaluates a one- or two-input gate (`b` is ignored for one-input
+    /// gates); see [`GateOp::eval_assignment`] for the general form.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        self.eval_assignment(u64::from(a) | (u64::from(b) << 1))
     }
 
     /// Evaluates the gate on bit-packed words, one independent evaluation
-    /// per bit lane.
-    pub fn eval_word(self, a: u64, b: u64) -> u64 {
-        match self {
-            GateOp::Not => !a,
-            GateOp::And2 => a & b,
-            GateOp::Or2 => a | b,
-            GateOp::Xor2 => a ^ b,
+    /// per bit lane; `inputs[i]` carries input slot `i`.
+    pub fn eval_words(self, inputs: [u64; MAX_GATE_INPUTS]) -> u64 {
+        let word = self.kind.eval_word(inputs);
+        if self.negated {
+            !word
+        } else {
+            word
         }
+    }
+
+    /// The four classic primitives of the original netlist layer.
+    pub fn primitives() -> &'static [GateOp] {
+        &[GateOp::NOT, GateOp::AND2, GateOp::OR2, GateOp::XOR2]
     }
 }
 
 impl fmt::Display for GateOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            GateOp::Not => "NOT",
-            GateOp::And2 => "AND2",
-            GateOp::Or2 => "OR2",
-            GateOp::Xor2 => "XOR2",
-        };
-        write!(f, "{s}")
+        if *self == GateOp::NOT {
+            return write!(f, "NOT");
+        }
+        if self.negated {
+            write!(f, "!{}", self.kind.name())
+        } else {
+            write!(f, "{}", self.kind.name())
+        }
     }
 }
 
@@ -96,18 +147,37 @@ impl fmt::Display for GateOp {
 pub struct Gate {
     /// The operation.
     pub op: GateOp,
-    /// First input signal.
-    pub a: SignalId,
-    /// Second input signal (ignored for one-input gates).
-    pub b: SignalId,
+    /// The input signals; slots beyond the op's arity are padding (they
+    /// repeat a valid signal and are never read).
+    pub inputs: [SignalId; MAX_GATE_INPUTS],
     /// Output signal.
     pub out: SignalId,
+}
+
+impl Gate {
+    /// The gate's used input slots, in the op's formula order.
+    pub fn input_signals(&self) -> &[SignalId] {
+        &self.inputs[..self.op.arity()]
+    }
+
+    /// First input signal.
+    pub fn a(&self) -> SignalId {
+        self.inputs[0]
+    }
+
+    /// Second input signal (padding for one-input gates).
+    pub fn b(&self) -> SignalId {
+        self.inputs[1]
+    }
 }
 
 /// A combinational gate-level netlist in topological order.
 ///
 /// Signals `0..input_count` are the primary inputs; every gate writes a new
 /// signal, and `outputs` lists the signals that form the result word.
+/// Gates may instantiate **any** standard-library cell
+/// ([`dpl_core::GateKind`], up to [`MAX_GATE_INPUTS`] inputs), on either
+/// output rail.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GateNetlist {
     input_count: usize,
@@ -157,22 +227,64 @@ impl GateNetlist {
         self.gates.iter().filter(|g| g.op == op).count()
     }
 
-    /// Adds a gate and returns its output signal.
+    /// Number of gates instantiating a particular library cell (either
+    /// rail).
+    pub fn count_of_kind(&self, kind: GateKind) -> usize {
+        self.gates.iter().filter(|g| g.op.kind() == kind).count()
+    }
+
+    /// Adds a one- or two-input gate and returns its output signal (`b` is
+    /// ignored for one-input ops).  Use [`GateNetlist::add_cell`] for wider
+    /// library cells.
     ///
     /// # Errors
     ///
-    /// Returns an error if an input signal has not been defined yet.
+    /// Returns an error if an input signal has not been defined yet or the
+    /// op has more than two inputs.
     pub fn add_gate(&mut self, op: GateOp, a: SignalId, b: SignalId) -> Result<SignalId> {
-        for s in [a, b] {
+        match op.arity() {
+            1 => self.add_cell(op, &[a]),
+            2 => self.add_cell(op, &[a, b]),
+            n => Err(CryptoError::MalformedNetlist {
+                message: format!("{op} has {n} inputs; use add_cell"),
+            }),
+        }
+    }
+
+    /// Adds a library-cell gate with explicit input signals (one per input
+    /// slot, in the cell formula's variable order) and returns its output
+    /// signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of inputs does not match the op's
+    /// arity or an input signal has not been defined yet.
+    pub fn add_cell(&mut self, op: GateOp, inputs: &[SignalId]) -> Result<SignalId> {
+        if inputs.len() != op.arity() {
+            return Err(CryptoError::MalformedNetlist {
+                message: format!(
+                    "{op} takes {} inputs, {} supplied",
+                    op.arity(),
+                    inputs.len()
+                ),
+            });
+        }
+        for &s in inputs {
             if s.index() >= self.signal_count {
                 return Err(CryptoError::MalformedNetlist {
                     message: format!("gate input {s} is not defined yet"),
                 });
             }
         }
+        let mut slots = [inputs[0]; MAX_GATE_INPUTS];
+        slots[..inputs.len()].copy_from_slice(inputs);
         let out = SignalId(self.signal_count as u32);
         self.signal_count += 1;
-        self.gates.push(Gate { op, a, b, out });
+        self.gates.push(Gate {
+            op,
+            inputs: slots,
+            out,
+        });
         Ok(out)
     }
 
@@ -190,9 +302,13 @@ impl GateNetlist {
             *v = (input >> i) & 1 == 1;
         }
         for gate in &self.gates {
-            let a = values[gate.a.index()];
-            let b = values[gate.b.index()];
-            values[gate.out.index()] = gate.op.eval(a, b);
+            let mut assignment = 0u64;
+            for (slot, &s) in gate.input_signals().iter().enumerate() {
+                if values[s.index()] {
+                    assignment |= 1 << slot;
+                }
+            }
+            values[gate.out.index()] = gate.op.eval_assignment(assignment);
         }
         let mut output = 0u64;
         for (i, &s) in self.outputs.iter().enumerate() {
@@ -247,30 +363,47 @@ impl GateNetlist {
         let mut signals = vec![0u64; self.signal_count];
         signals[..self.input_count].copy_from_slice(inputs);
         for gate in &self.gates {
-            let a = signals[gate.a.index()];
-            let b = signals[gate.b.index()];
-            signals[gate.out.index()] = gate.op.eval_word(a, b);
+            let words = [
+                signals[gate.inputs[0].index()],
+                signals[gate.inputs[1].index()],
+                signals[gate.inputs[2].index()],
+                signals[gate.inputs[3].index()],
+            ];
+            signals[gate.out.index()] = gate.op.eval_words(words);
         }
         let outputs = self.outputs.iter().map(|s| signals[s.index()]).collect();
         BitslicedEval { signals, outputs }
     }
 
     /// The bit-packed input assignment seen by every gate for the given
-    /// primary input (bit 0 = gate input `a`, bit 1 = gate input `b`).
+    /// primary input (bit `i` = gate input slot `i`).
     pub fn gate_assignments(&self, input: u64) -> Vec<u64> {
         let (_, values) = self.evaluate(input);
         self.gates
             .iter()
             .map(|g| {
                 let mut word = 0u64;
-                if values[g.a.index()] {
-                    word |= 1;
-                }
-                if g.op.arity() == 2 && values[g.b.index()] {
-                    word |= 2;
+                for (slot, &s) in g.input_signals().iter().enumerate() {
+                    if values[s.index()] {
+                        word |= 1 << slot;
+                    }
                 }
                 word
             })
+            .collect()
+    }
+
+    /// The set of library cells the netlist instantiates (each kind once,
+    /// in [`GateKind::all`] order) — the coverage an energy table needs.
+    pub fn kinds_used(&self) -> Vec<GateKind> {
+        let mut used = [false; GateKind::COUNT];
+        for gate in &self.gates {
+            used[gate.op.index()] = true;
+        }
+        GateKind::all()
+            .iter()
+            .copied()
+            .filter(|k| used[k.index()])
             .collect()
     }
 }
@@ -315,9 +448,30 @@ mod tests {
         // sum = a ^ b ^ cin built from two XOR gates.
         let mut nl = GateNetlist::new(3);
         let inputs = nl.inputs();
-        let t = nl.add_gate(GateOp::Xor2, inputs[0], inputs[1]).unwrap();
-        let s = nl.add_gate(GateOp::Xor2, t, inputs[2]).unwrap();
+        let t = nl.add_gate(GateOp::XOR2, inputs[0], inputs[1]).unwrap();
+        let s = nl.add_gate(GateOp::XOR2, t, inputs[2]).unwrap();
         nl.add_output(s);
+        nl
+    }
+
+    /// A netlist exercising every library cell once: each kind consumes the
+    /// most recent signals, so wide cells see non-trivial inputs.
+    fn library_zoo() -> GateNetlist {
+        let mut nl = GateNetlist::new(4);
+        let mut recent: Vec<SignalId> = nl.inputs();
+        for &kind in dpl_core::GateKind::all() {
+            let n = kind.arity();
+            let inputs: Vec<SignalId> = recent[recent.len() - n..].to_vec();
+            let op = if kind.index() % 3 == 0 {
+                GateOp::cell(kind).complemented()
+            } else {
+                GateOp::cell(kind)
+            };
+            let out = nl.add_cell(op, &inputs).unwrap();
+            recent.push(out);
+        }
+        let last = *recent.last().unwrap();
+        nl.add_output(last);
         nl
     }
 
@@ -331,10 +485,12 @@ mod tests {
             assert_eq!(values.len(), 5);
         }
         assert_eq!(nl.gate_count(), 2);
-        assert_eq!(nl.count_of(GateOp::Xor2), 2);
-        assert_eq!(nl.count_of(GateOp::And2), 0);
+        assert_eq!(nl.count_of(GateOp::XOR2), 2);
+        assert_eq!(nl.count_of(GateOp::AND2), 0);
+        assert_eq!(nl.count_of_kind(GateKind::Xor2), 2);
         assert_eq!(nl.input_count(), 3);
         assert_eq!(nl.outputs().len(), 1);
+        assert_eq!(nl.kinds_used(), vec![GateKind::Xor2]);
     }
 
     #[test]
@@ -349,7 +505,13 @@ mod tests {
     fn undefined_signals_are_rejected() {
         let mut nl = GateNetlist::new(1);
         let bogus = SignalId(5);
-        assert!(nl.add_gate(GateOp::Not, bogus, bogus).is_err());
+        assert!(nl.add_gate(GateOp::NOT, bogus, bogus).is_err());
+        assert!(nl
+            .add_cell(GateOp::cell(GateKind::Maj3), &[SignalId(0)])
+            .is_err());
+        assert!(nl
+            .add_gate(GateOp::cell(GateKind::Oai22), SignalId(0), SignalId(0))
+            .is_err());
     }
 
     #[test]
@@ -375,6 +537,25 @@ mod tests {
     }
 
     #[test]
+    fn bitsliced_evaluation_matches_scalar_for_every_library_cell() {
+        let nl = library_zoo();
+        assert_eq!(nl.gate_count(), GateKind::COUNT);
+        let vectors: Vec<u64> = (0..16).collect();
+        let eval = nl.evaluate_bitsliced(&nl.pack_inputs(&vectors));
+        for (lane, &input) in vectors.iter().enumerate() {
+            let (scalar_out, scalar_values) = nl.evaluate(input);
+            assert_eq!(eval.output_lane(lane), scalar_out, "input {input:04b}");
+            for (i, &v) in scalar_values.iter().enumerate() {
+                assert_eq!(
+                    (eval.signals()[i] >> lane) & 1 == 1,
+                    v,
+                    "signal {i}, input {input:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unused_bitsliced_lanes_carry_the_zero_vector() {
         let nl = full_adder_sum();
         let eval = nl.evaluate_bitsliced(&nl.pack_inputs(&[0b111]));
@@ -392,25 +573,48 @@ mod tests {
 
     #[test]
     fn gate_op_helpers() {
-        assert_eq!(GateOp::Not.arity(), 1);
-        assert_eq!(GateOp::And2.arity(), 2);
-        assert!(GateOp::Xor2.eval(true, false));
-        assert!(!GateOp::And2.eval(true, false));
-        assert!(GateOp::Or2.eval(true, false));
-        assert!(GateOp::Not.eval(false, false));
-        assert_eq!(GateOp::all().len(), 4);
-        assert_eq!(GateOp::And2.to_string(), "AND2");
-        for (i, &op) in GateOp::all().iter().enumerate() {
-            assert_eq!(op.index(), i);
-            // eval_word agrees with eval on every lane pattern.
+        assert_eq!(GateOp::NOT.arity(), 1);
+        assert_eq!(GateOp::AND2.arity(), 2);
+        assert!(GateOp::XOR2.eval(true, false));
+        assert!(!GateOp::AND2.eval(true, false));
+        assert!(GateOp::OR2.eval(true, false));
+        assert!(GateOp::NOT.eval(false, false));
+        assert_eq!(GateOp::primitives().len(), 4);
+        assert_eq!(GateOp::AND2.to_string(), "AND2");
+        assert_eq!(GateOp::NOT.to_string(), "NOT");
+        assert_eq!(GateOp::AND2.complemented().to_string(), "!AND2");
+        assert_eq!(GateOp::NOT.kind(), GateKind::Buf);
+        assert!(GateOp::NOT.is_negated());
+        assert_eq!(GateOp::cell(GateKind::Maj3).index(), GateKind::Maj3.index());
+        // NOT and the plain buffer share one energy row (same cell).
+        assert_eq!(GateOp::NOT.index(), GateOp::cell(GateKind::Buf).index());
+        for &op in GateOp::primitives() {
+            // eval_words agrees with eval_assignment on every lane pattern.
             for a in [0u64, u64::MAX, 0xF0F0] {
                 for b in [0u64, u64::MAX, 0x00FF] {
-                    let word = op.eval_word(a, b);
+                    let word = op.eval_words([a, b, a, b]);
                     for lane in [0, 7, 63] {
-                        let expected = op.eval((a >> lane) & 1 == 1, (b >> lane) & 1 == 1);
+                        let assignment = ((a >> lane) & 1) | (((b >> lane) & 1) << 1);
+                        let expected = op.eval_assignment(assignment);
                         assert_eq!((word >> lane) & 1 == 1, expected, "{op} lane {lane}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn complemented_rail_inverts_every_cell() {
+        for &kind in GateKind::all() {
+            let plain = GateOp::cell(kind);
+            let inv = plain.complemented();
+            assert_eq!(inv.complemented(), plain);
+            for assignment in 0..(1u64 << kind.arity()) {
+                assert_eq!(
+                    plain.eval_assignment(assignment),
+                    !inv.eval_assignment(assignment),
+                    "{kind} assignment {assignment:04b}"
+                );
             }
         }
     }

@@ -1,9 +1,15 @@
-//! Naive two-level synthesis of truth tables onto 1/2-input gates.
+//! Synthesis of attackable datapaths onto standard-library gates.
 //!
-//! The goal is not minimal logic but a realistic-looking gate-level
-//! implementation of the key-mixing and S-box datapath whose per-gate power
-//! consumption can then be simulated with different secure-logic styles.
+//! The goal is not minimal logic but realistic-looking gate-level
+//! implementations whose per-gate power consumption can then be simulated
+//! with different secure-logic styles: the naive two-level synthesiser
+//! ([`synthesize_function`]), the classic key-mixing + PRESENT S-box
+//! target ([`synthesize_sbox_with_key`]), single-library-cell datapaths
+//! for any [`GateKind`] ([`synthesize_library_circuit`]) and a multi-round
+//! scaled-down PRESENT built entirely from library gates
+//! ([`synthesize_present_rounds`]).
 
+use dpl_core::GateKind;
 use dpl_logic::{Sop, TruthTable};
 
 use crate::netlist::{GateNetlist, GateOp, SignalId};
@@ -36,7 +42,7 @@ pub fn synthesize_function(input_count: usize, outputs: &[TruthTable]) -> Result
         } else if let Some(sig) = inverted[var] {
             Ok(sig)
         } else {
-            let sig = netlist.add_gate(GateOp::Not, inputs[var], inputs[var])?;
+            let sig = netlist.add_gate(GateOp::NOT, inputs[var], inputs[var])?;
             inverted[var] = Some(sig);
             Ok(sig)
         }
@@ -58,13 +64,13 @@ pub fn synthesize_function(input_count: usize, outputs: &[TruthTable]) -> Result
                     // The cube covers everything: synthesise a constant 1 as
                     // `x OR NOT x` of the first input.
                     let not0 = get_literal(&mut netlist, &mut inverted, 0, false)?;
-                    netlist.add_gate(GateOp::Or2, inputs[0], not0)?
+                    netlist.add_gate(GateOp::OR2, inputs[0], not0)?
                 }
                 1 => literal_signals[0],
                 _ => {
                     let mut acc = literal_signals[0];
                     for &sig in &literal_signals[1..] {
-                        acc = netlist.add_gate(GateOp::And2, acc, sig)?;
+                        acc = netlist.add_gate(GateOp::AND2, acc, sig)?;
                     }
                     acc
                 }
@@ -75,13 +81,13 @@ pub fn synthesize_function(input_count: usize, outputs: &[TruthTable]) -> Result
             0 => {
                 // Constant-zero output: `x AND NOT x`.
                 let not0 = get_literal(&mut netlist, &mut inverted, 0, false)?;
-                netlist.add_gate(GateOp::And2, inputs[0], not0)?
+                netlist.add_gate(GateOp::AND2, inputs[0], not0)?
             }
             1 => cube_signals[0],
             _ => {
                 let mut acc = cube_signals[0];
                 for &sig in &cube_signals[1..] {
-                    acc = netlist.add_gate(GateOp::Or2, acc, sig)?;
+                    acc = netlist.add_gate(GateOp::OR2, acc, sig)?;
                 }
                 acc
             }
@@ -109,7 +115,7 @@ pub fn synthesize_sbox_with_key() -> Result<GateNetlist> {
     // Key-mixing XOR gates.
     let mut mixed: Vec<SignalId> = Vec::with_capacity(4);
     for bit in 0..4 {
-        let x = netlist.add_gate(GateOp::Xor2, inputs[bit], inputs[bit + 4])?;
+        let x = netlist.add_gate(GateOp::XOR2, inputs[bit], inputs[bit + 4])?;
         mixed.push(x);
     }
 
@@ -127,15 +133,184 @@ pub fn synthesize_sbox_with_key() -> Result<GateNetlist> {
     // Translate the S-box sub-netlist into the main netlist: its primary
     // inputs 0..4 become the mixed signals.
     let mut translation: Vec<SignalId> = mixed.clone();
-    for gate in sbox_netlist.gates() {
-        let a = translation[gate.a.index()];
-        let b = translation[gate.b.index()];
-        let out = netlist.add_gate(gate.op, a, b)?;
+    splice_netlist(&mut netlist, &sbox_netlist, &mut translation)?;
+    for &out in sbox_netlist.outputs() {
+        netlist.add_output(translation[out.index()]);
+    }
+    Ok(netlist)
+}
+
+/// Splices `sub` into `netlist`: `translation` must map `sub`'s primary
+/// inputs to signals of `netlist` and is extended with the translated
+/// output signal of every spliced gate.
+fn splice_netlist(
+    netlist: &mut GateNetlist,
+    sub: &GateNetlist,
+    translation: &mut Vec<SignalId>,
+) -> Result<()> {
+    for gate in sub.gates() {
+        let inputs: Vec<SignalId> = gate
+            .input_signals()
+            .iter()
+            .map(|s| translation[s.index()])
+            .collect();
+        let out = netlist.add_cell(gate.op, &inputs)?;
         debug_assert_eq!(translation.len(), gate.out.index());
         translation.push(out);
     }
-    for &out in sbox_netlist.outputs() {
-        netlist.add_output(translation[out.index()]);
+    Ok(())
+}
+
+/// The instance windows of [`synthesize_library_circuit`] for an
+/// `arity`-input cell: consecutive `arity`-wide slices of the mixed
+/// nibble, stepping by `arity`, with the final window clamped to the
+/// nibble's end — so **every mixed bit feeds at least one cell instance**
+/// (4/arity instances, rounded up).
+pub fn library_circuit_windows(arity: usize) -> Vec<std::ops::Range<usize>> {
+    let n = arity.clamp(1, 4);
+    let mut windows = Vec::new();
+    let mut start = 0;
+    loop {
+        let begin = start.min(4 - n);
+        windows.push(begin..begin + n);
+        if begin + n >= 4 {
+            return windows;
+        }
+        start += n;
+    }
+}
+
+/// Synthesises a key-mixed datapath around a single standard-library cell:
+/// a 4-bit plaintext nibble (inputs 0..4) is XORed with a 4-bit key nibble
+/// (inputs 4..8), and the mixed nibble drives one cell instance of `kind`
+/// per [`library_circuit_windows`] window — the non-S-box attack targets
+/// of the characterized-model pipeline.
+///
+/// The windows jointly cover the mixed nibble, so every key bit influences
+/// a cell evaluation (not just its key-mixing XOR) and the cell outputs —
+/// the circuit outputs — depend on the whole key.
+///
+/// # Errors
+///
+/// Returns an error if synthesis fails (not expected for library cells).
+pub fn synthesize_library_circuit(kind: GateKind) -> Result<GateNetlist> {
+    let mut netlist = GateNetlist::new(8);
+    let inputs = netlist.inputs();
+    let mut mixed: Vec<SignalId> = Vec::with_capacity(4);
+    for bit in 0..4 {
+        mixed.push(netlist.add_gate(GateOp::XOR2, inputs[bit], inputs[bit + 4])?);
+    }
+    for window in library_circuit_windows(kind.arity()) {
+        let out = netlist.add_cell(GateOp::cell(kind), &mixed[window])?;
+        netlist.add_output(out);
+    }
+    Ok(netlist)
+}
+
+/// Number of state (and key) bits of the scaled-down PRESENT datapath.
+pub const MINI_PRESENT_BITS: usize = 16;
+
+/// The bit permutation of the scaled-down PRESENT round: the 64-bit
+/// `pLayer` rule `P(i) = 16 i mod 63` scaled to a 16-bit state
+/// (`P(i) = 4 i mod 15`, with bit 15 fixed).
+pub fn mini_p_layer_position(bit: usize) -> usize {
+    if bit == MINI_PRESENT_BITS - 1 {
+        bit
+    } else {
+        (4 * bit) % (MINI_PRESENT_BITS - 1)
+    }
+}
+
+/// The round key of the scaled-down PRESENT schedule: the 16-bit key
+/// rotated left by `5 * round` bits (echoing PRESENT-80's 61-bit
+/// rotation), so every round mixes a different alignment of the key.
+pub fn mini_round_key(key: u16, round: usize) -> u16 {
+    key.rotate_left((5 * round as u32) % MINI_PRESENT_BITS as u32)
+}
+
+/// Software reference of the scaled-down PRESENT datapath synthesised by
+/// [`synthesize_present_rounds`]: `rounds` iterations of addRoundKey /
+/// sBoxLayer / pLayer, then a final addRoundKey.
+pub fn mini_present(plaintext: u16, key: u16, rounds: usize) -> u16 {
+    let mut state = plaintext;
+    for round in 0..rounds {
+        state ^= mini_round_key(key, round);
+        let mut substituted = 0u16;
+        for nibble in 0..4 {
+            let value = (state >> (4 * nibble)) & 0xF;
+            substituted |= u16::from(present_sbox(value as u8)) << (4 * nibble);
+        }
+        let mut permuted = 0u16;
+        for bit in 0..MINI_PRESENT_BITS {
+            if (substituted >> bit) & 1 == 1 {
+                permuted |= 1 << mini_p_layer_position(bit);
+            }
+        }
+        state = permuted;
+    }
+    state ^ mini_round_key(key, rounds)
+}
+
+/// Synthesises a **multi-round** scaled-down PRESENT datapath entirely from
+/// library gates: a 16-bit plaintext (inputs 0..16) and a 16-bit key
+/// (inputs 16..32) run through `rounds` full rounds (addRoundKey XORs, four
+/// spliced S-boxes, the wiring-only pLayer) plus the final addRoundKey.
+/// The 16 outputs are the final state — [`mini_present`] is the software
+/// oracle.
+///
+/// The round keys are rotations of the key input ([`mini_round_key`]), so
+/// the whole datapath stays purely combinational and fits the 64-input
+/// bitsliced evaluator (32 primary inputs).
+///
+/// # Errors
+///
+/// Returns an error for zero rounds or a failing synthesis step.
+pub fn synthesize_present_rounds(rounds: usize) -> Result<GateNetlist> {
+    if rounds == 0 {
+        return Err(crate::CryptoError::MalformedNetlist {
+            message: "a PRESENT datapath needs at least one round".into(),
+        });
+    }
+    let mut netlist = GateNetlist::new(2 * MINI_PRESENT_BITS);
+    let inputs = netlist.inputs();
+    let key: Vec<SignalId> = inputs[MINI_PRESENT_BITS..].to_vec();
+    // One S-box sub-netlist, spliced once per nibble per round.
+    let sbox_tables: Vec<TruthTable> = (0..4)
+        .map(|bit| {
+            TruthTable::from_fn(4, |x| (present_sbox(x as u8) >> bit) & 1 == 1)
+                .expect("4-variable table is within limits")
+        })
+        .collect();
+    let sbox_netlist = synthesize_function(4, &sbox_tables)?;
+
+    let round_key =
+        |round: usize, bit: usize| key[(bit + 16 - (5 * round) % 16) % MINI_PRESENT_BITS];
+    let mut state: Vec<SignalId> = inputs[..MINI_PRESENT_BITS].to_vec();
+    for round in 0..rounds {
+        // addRoundKey.
+        let mut mixed = Vec::with_capacity(MINI_PRESENT_BITS);
+        for (bit, &s) in state.iter().enumerate() {
+            mixed.push(netlist.add_gate(GateOp::XOR2, s, round_key(round, bit))?);
+        }
+        // sBoxLayer: splice the S-box netlist over every nibble.
+        let mut substituted = Vec::with_capacity(MINI_PRESENT_BITS);
+        for nibble in 0..4 {
+            let mut translation: Vec<SignalId> = mixed[4 * nibble..4 * nibble + 4].to_vec();
+            splice_netlist(&mut netlist, &sbox_netlist, &mut translation)?;
+            for &out in sbox_netlist.outputs() {
+                substituted.push(translation[out.index()]);
+            }
+        }
+        // pLayer: pure wiring.
+        let mut permuted = vec![substituted[0]; MINI_PRESENT_BITS];
+        for (bit, &s) in substituted.iter().enumerate() {
+            permuted[mini_p_layer_position(bit)] = s;
+        }
+        state = permuted;
+    }
+    for (bit, &s) in state.iter().enumerate() {
+        let out = netlist.add_gate(GateOp::XOR2, s, round_key(rounds, bit))?;
+        netlist.add_output(out);
     }
     Ok(netlist)
 }
@@ -172,7 +347,7 @@ mod tests {
         let netlist = synthesize_sbox_with_key().unwrap();
         assert_eq!(netlist.input_count(), 8);
         assert_eq!(netlist.outputs().len(), 4);
-        assert_eq!(netlist.count_of(GateOp::Xor2), 4);
+        assert_eq!(netlist.count_of(GateOp::XOR2), 4);
         for plaintext in 0..16u64 {
             for key in 0..16u64 {
                 let input = plaintext | (key << 4);
@@ -184,13 +359,109 @@ mod tests {
     }
 
     #[test]
+    fn library_circuit_windows_cover_every_mixed_bit() {
+        for arity in 1..=4usize {
+            let windows = library_circuit_windows(arity);
+            assert_eq!(windows.len(), 4usize.div_ceil(arity), "arity {arity}");
+            let mut covered = [false; 4];
+            for window in &windows {
+                assert_eq!(window.len(), arity);
+                assert!(window.end <= 4);
+                for bit in window.clone() {
+                    covered[bit] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "arity {arity}: {windows:?}");
+        }
+    }
+
+    #[test]
+    fn library_circuits_compute_their_cells_over_the_mixed_nibble() {
+        for kind in [
+            GateKind::Oai22,
+            GateKind::Maj3,
+            GateKind::Xor2,
+            GateKind::Buf,
+        ] {
+            let netlist = synthesize_library_circuit(kind).unwrap();
+            assert_eq!(netlist.input_count(), 8);
+            let windows = library_circuit_windows(kind.arity());
+            // The key-mixing stage contributes 4 extra XOR2 cells.
+            let key_mix = if kind == GateKind::Xor2 { 4 } else { 0 };
+            assert_eq!(
+                netlist.count_of_kind(kind),
+                windows.len() + key_mix,
+                "{kind}"
+            );
+            assert_eq!(netlist.outputs().len(), windows.len());
+            for plaintext in 0..16u64 {
+                for key in 0..16u64 {
+                    let mixed = plaintext ^ key;
+                    let (out, _) = netlist.evaluate(plaintext | (key << 4));
+                    for (i, window) in windows.iter().enumerate() {
+                        let assignment = (mixed >> window.start) & ((1 << kind.arity()) - 1);
+                        assert_eq!(
+                            (out >> i) & 1 == 1,
+                            kind.eval(assignment),
+                            "{kind} window {window:?} pt={plaintext:X} k={key:X}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mini_present_netlist_matches_the_software_reference() {
+        for rounds in [1, 2, 3] {
+            let netlist = synthesize_present_rounds(rounds).unwrap();
+            assert_eq!(netlist.input_count(), 2 * MINI_PRESENT_BITS);
+            assert_eq!(netlist.outputs().len(), MINI_PRESENT_BITS);
+            // Spot-check scalar evaluation and sweep bitsliced lanes.
+            let vectors: Vec<u64> = (0..64u64)
+                .map(|i| {
+                    let plaintext = (i.wrapping_mul(0x9E37) ^ 0x1234) & 0xFFFF;
+                    let key = (i.wrapping_mul(0x85EB) ^ 0xBEEF) & 0xFFFF;
+                    plaintext | (key << MINI_PRESENT_BITS)
+                })
+                .collect();
+            let eval = netlist.evaluate_bitsliced(&netlist.pack_inputs(&vectors));
+            for (lane, &vector) in vectors.iter().enumerate() {
+                let plaintext = (vector & 0xFFFF) as u16;
+                let key = (vector >> MINI_PRESENT_BITS) as u16;
+                let expected = u64::from(mini_present(plaintext, key, rounds));
+                assert_eq!(
+                    eval.output_lane(lane),
+                    expected,
+                    "rounds={rounds} pt={plaintext:04X} key={key:04X}"
+                );
+                assert_eq!(netlist.evaluate(vector).0, expected);
+            }
+        }
+        assert!(synthesize_present_rounds(0).is_err());
+    }
+
+    #[test]
+    fn mini_p_layer_is_a_permutation() {
+        let mut seen = [false; MINI_PRESENT_BITS];
+        for bit in 0..MINI_PRESENT_BITS {
+            let target = mini_p_layer_position(bit);
+            assert!(!seen[target], "bit {bit} collides at {target}");
+            seen[target] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // The round keys cycle through different alignments.
+        assert_ne!(mini_round_key(0x8001, 0), mini_round_key(0x8001, 1));
+    }
+
+    #[test]
     fn sbox_netlist_is_reasonably_sized() {
         let netlist = synthesize_sbox_with_key().unwrap();
         // Naive SOP synthesis of a 4-bit S-box lands in the tens of gates.
         assert!(netlist.gate_count() > 20);
         assert!(netlist.gate_count() < 200);
-        assert!(netlist.count_of(GateOp::And2) > 0);
-        assert!(netlist.count_of(GateOp::Or2) > 0);
-        assert!(netlist.count_of(GateOp::Not) > 0);
+        assert!(netlist.count_of(GateOp::AND2) > 0);
+        assert!(netlist.count_of(GateOp::OR2) > 0);
+        assert!(netlist.count_of(GateOp::NOT) > 0);
     }
 }

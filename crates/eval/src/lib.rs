@@ -24,6 +24,14 @@
 //!   standard CMOS").  Grid points are scored by *prefix evaluation* of
 //!   streaming accumulators ([`mtd::PrefixAttack`]), not by re-running each
 //!   attack from scratch.
+//!
+//! Both assessments are **energy-model agnostic**: they consume traces (in
+//! memory or from any `dpl-store` archive version), so campaigns simulated
+//! from characterisation-derived tables (`dpl_crypto::EnergyModel` with
+//! the `Characterized` source) and over any library-cell circuit run
+//! through the exact same TVLA and MTD machinery as the built-in models —
+//! the `repro tvla` / `repro mtd --model <name> --circuit <name>`
+//! subcommands are thin wrappers over this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

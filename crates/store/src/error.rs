@@ -26,6 +26,15 @@ pub enum StoreError {
         /// The version found in the header.
         found: u32,
     },
+    /// The header carries a leakage-model tag outside the code range of
+    /// its format version (e.g. a characterized tag in a version-1
+    /// header, or a code this crate does not know at all).
+    UnknownModelTag {
+        /// The tag code found in the header.
+        code: u32,
+        /// The header's format version.
+        version: u32,
+    },
     /// The fixed-size header fails its own checksum or carries nonsensical
     /// fields.
     CorruptHeader {
@@ -70,6 +79,10 @@ impl std::fmt::Display for StoreError {
             StoreError::UnsupportedVersion { found } => {
                 write!(f, "unsupported archive version {found}")
             }
+            StoreError::UnknownModelTag { code, version } => write!(
+                f,
+                "leakage-model tag {code} is out of range for a version-{version} archive header"
+            ),
             StoreError::CorruptHeader { message } => write!(f, "corrupt header: {message}"),
             StoreError::ChecksumMismatch { chunk } => {
                 write!(f, "checksum mismatch in chunk {chunk}")

@@ -1,21 +1,32 @@
 //! The on-disk archive format: header layout, model tags and checksums.
 //!
 //! An archive is one fixed-size little-endian header followed by a sequence
-//! of trace chunks:
+//! of trace chunks.  Two header versions exist:
 //!
 //! ```text
-//! offset  size  field
-//!      0     8  magic  "DPLTRCv1"
-//!      8     4  format version (currently 1)
-//!     12     4  samples per trace
-//!     16     4  traces per full chunk
-//!     20     4  leakage-model tag (see ModelTag)
-//!     24     8  RNG seed of the capture campaign
-//!     32     8  total trace count
-//!     40     4  distinct input count (0 = more than the class-aggregation limit)
-//!     44     4  campaign kind (see CampaignKind; 0 in pre-TVLA archives)
-//!     48     8  FNV-1a 64 checksum of header bytes 0..48
+//! version 1 (56 bytes)                    version 2 (64 bytes)
+//! offset  size  field                     offset  size  field
+//!      0     8  magic  "DPLTRCv1"              0     8  magic  "DPLTRCv2"
+//!      8     4  format version (1)             8     4  format version (2)
+//!     12     4  samples per trace             12     4  samples per trace
+//!     16     4  traces per full chunk         16     4  traces per full chunk
+//!     20     4  leakage-model tag             20     4  leakage-model tag
+//!     24     8  RNG seed of the campaign      24     8  RNG seed of the campaign
+//!     32     8  total trace count             32     8  total trace count
+//!     40     4  distinct input count          40     4  distinct input count
+//!     44     4  campaign kind                 44     4  campaign kind
+//!     48     8  FNV-1a 64 of bytes 0..48      48     8  energy-table digest
+//!                                             56     8  FNV-1a 64 of bytes 0..56
 //! ```
+//!
+//! Version 2 adds the **energy-table digest**
+//! (`dpl_crypto::GateEnergyTable::digest`, `0` = unrecorded) and widens the
+//! model-tag code space to the characterisation-derived models.  The writer
+//! picks the *lowest* version that can represent the metadata: campaigns
+//! with a legacy built-in model tag and no digest produce byte-identical
+//! version-1 archives, and every legacy archive still decodes.  A model tag
+//! out of range for its header version is rejected with the typed
+//! [`StoreError::UnknownModelTag`].
 //!
 //! The distinct-input count lets the out-of-core attacks pick the matching
 //! accumulator bookkeeping up front (class aggregation vs. the
@@ -38,14 +49,22 @@
 
 use crate::error::{Result, StoreError};
 
-/// The 8 magic bytes every finished archive starts with.
+/// The 8 magic bytes of a version-1 archive.
 pub const MAGIC: [u8; 8] = *b"DPLTRCv1";
 
-/// The format version this crate reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The 8 magic bytes of a version-2 archive.
+pub const MAGIC_V2: [u8; 8] = *b"DPLTRCv2";
 
-/// Size of the fixed header in bytes.
+/// The newest format version this crate writes (older ones remain
+/// readable, and the writer emits the lowest version that can represent an
+/// archive's metadata).
+pub const CURRENT_VERSION: u32 = 2;
+
+/// Size of the version-1 header in bytes.
 pub const HEADER_LEN: usize = 56;
+
+/// Size of the version-2 header in bytes.
+pub const HEADER_LEN_V2: usize = 64;
 
 /// Size of a chunk's trace-count prefix in bytes.
 pub const CHUNK_PREFIX_LEN: usize = 4;
@@ -64,12 +83,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The leakage model a capture campaign simulated, recorded so a later
+/// The energy model a capture campaign simulated, recorded so a later
 /// attack run can pick the right hypothesis (e.g. a profiled CPA table).
 ///
-/// This mirrors `dpl_crypto::LeakageModel` without depending on it: the
+/// This mirrors `dpl_crypto::EnergyModel` without depending on it: the
 /// store sits below the crypto layer so generators can stream into it.
+/// Codes 0..=4 are the version-1 tags; the `Characterized*` tags (codes
+/// 5..=8, header version 2) mark campaigns whose energies came from
+/// transient characterisation of the SABL cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum ModelTag {
     /// The campaign did not record a model (or was not simulated).
     #[default]
@@ -82,6 +105,16 @@ pub enum ModelTag {
     EnhancedSabl,
     /// Static-CMOS Hamming-weight leakage.
     HammingWeight,
+    /// Transient-characterized SABL gates on genuine DPDNs.
+    CharacterizedGenuineSabl,
+    /// Transient-characterized SABL gates on fully connected DPDNs.
+    CharacterizedFullyConnectedSabl,
+    /// Transient-characterized SABL gates on enhanced DPDNs.
+    CharacterizedEnhancedSabl,
+    /// The Hamming-weight model under the characterized source (which
+    /// falls back to the built-in constants — recorded distinctly so the
+    /// campaign's model identity round-trips).
+    CharacterizedHammingWeight,
 }
 
 impl ModelTag {
@@ -93,27 +126,65 @@ impl ModelTag {
             ModelTag::FullyConnectedSabl => 2,
             ModelTag::EnhancedSabl => 3,
             ModelTag::HammingWeight => 4,
+            ModelTag::CharacterizedGenuineSabl => 5,
+            ModelTag::CharacterizedFullyConnectedSabl => 6,
+            ModelTag::CharacterizedEnhancedSabl => 7,
+            ModelTag::CharacterizedHammingWeight => 8,
         }
     }
 
-    /// Decodes an on-disk tag.
+    /// Decodes an on-disk tag written by a header of the given format
+    /// version.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::CorruptHeader`] for an unknown code.
-    pub fn from_code(code: u32) -> Result<Self> {
-        Ok(match code {
+    /// Returns [`StoreError::UnknownModelTag`] for a code outside the
+    /// version's range — version 1 headers can only carry codes 0..=4.
+    pub fn from_code(code: u32, version: u32) -> Result<Self> {
+        let tag = match code {
             0 => ModelTag::Unspecified,
             1 => ModelTag::GenuineSabl,
             2 => ModelTag::FullyConnectedSabl,
             3 => ModelTag::EnhancedSabl,
             4 => ModelTag::HammingWeight,
-            other => {
-                return Err(StoreError::CorruptHeader {
-                    message: format!("unknown leakage-model tag {other}"),
-                })
-            }
-        })
+            5 => ModelTag::CharacterizedGenuineSabl,
+            6 => ModelTag::CharacterizedFullyConnectedSabl,
+            7 => ModelTag::CharacterizedEnhancedSabl,
+            8 => ModelTag::CharacterizedHammingWeight,
+            _ => return Err(StoreError::UnknownModelTag { code, version }),
+        };
+        if version < 2 && tag.is_characterized() {
+            return Err(StoreError::UnknownModelTag { code, version });
+        }
+        Ok(tag)
+    }
+
+    /// `true` for the transient-characterized model tags (codes 5..=8).
+    pub fn is_characterized(self) -> bool {
+        self.code() > 4
+    }
+
+    /// The built-in (version-1) tag of the same logic style.
+    pub fn base_style(self) -> ModelTag {
+        match self {
+            ModelTag::CharacterizedGenuineSabl => ModelTag::GenuineSabl,
+            ModelTag::CharacterizedFullyConnectedSabl => ModelTag::FullyConnectedSabl,
+            ModelTag::CharacterizedEnhancedSabl => ModelTag::EnhancedSabl,
+            ModelTag::CharacterizedHammingWeight => ModelTag::HammingWeight,
+            other => other,
+        }
+    }
+
+    /// The characterized tag of the same logic style ([`ModelTag::Unspecified`]
+    /// has none).
+    pub fn characterized(self) -> Option<ModelTag> {
+        match self.base_style() {
+            ModelTag::GenuineSabl => Some(ModelTag::CharacterizedGenuineSabl),
+            ModelTag::FullyConnectedSabl => Some(ModelTag::CharacterizedFullyConnectedSabl),
+            ModelTag::EnhancedSabl => Some(ModelTag::CharacterizedEnhancedSabl),
+            ModelTag::HammingWeight => Some(ModelTag::CharacterizedHammingWeight),
+            _ => None,
+        }
     }
 
     /// A short human-readable label.
@@ -124,6 +195,14 @@ impl ModelTag {
             ModelTag::FullyConnectedSabl => "SABL (fully connected DPDN)",
             ModelTag::EnhancedSabl => "SABL (enhanced DPDN)",
             ModelTag::HammingWeight => "static CMOS (Hamming weight)",
+            ModelTag::CharacterizedGenuineSabl => "SABL (genuine DPDN), transient-characterized",
+            ModelTag::CharacterizedFullyConnectedSabl => {
+                "SABL (fully connected DPDN), transient-characterized"
+            }
+            ModelTag::CharacterizedEnhancedSabl => "SABL (enhanced DPDN), transient-characterized",
+            ModelTag::CharacterizedHammingWeight => {
+                "static CMOS (Hamming weight), transient-characterized"
+            }
         }
     }
 }
@@ -197,6 +276,12 @@ pub struct ArchiveMeta {
     pub seed: u64,
     /// The measurement discipline of the campaign (attack vs TVLA).
     pub campaign: CampaignKind,
+    /// Digest of the simulated hypothesis as recorded by the capture tool
+    /// — e.g. `dpl_crypto::GateEnergyTable::digest` combined with the
+    /// attack-circuit name, as the `repro` CLI records it; `0` =
+    /// unrecorded.  The store carries the value opaquely; recording one
+    /// promotes the header to format version 2.
+    pub table_digest: u64,
 }
 
 impl ArchiveMeta {
@@ -209,6 +294,7 @@ impl ArchiveMeta {
             model,
             seed,
             campaign: CampaignKind::Attack,
+            table_digest: 0,
         }
     }
 
@@ -218,6 +304,34 @@ impl ArchiveMeta {
         ArchiveMeta {
             campaign: CampaignKind::TvlaInterleaved,
             ..ArchiveMeta::scalar(chunk_traces, model, seed)
+        }
+    }
+
+    /// The same metadata with the energy-table digest recorded (promotes
+    /// the archive to header version 2).
+    pub fn with_table_digest(self, digest: u64) -> Self {
+        ArchiveMeta {
+            table_digest: digest,
+            ..self
+        }
+    }
+
+    /// The lowest header version that can represent this metadata: 1 for a
+    /// legacy built-in model tag with no digest (byte-identical to archives
+    /// written before version 2 existed), 2 otherwise.
+    pub fn format_version(&self) -> u32 {
+        if self.model.is_characterized() || self.table_digest != 0 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The header length of [`ArchiveMeta::format_version`].
+    pub fn header_len(&self) -> usize {
+        match self.format_version() {
+            1 => HEADER_LEN,
+            _ => HEADER_LEN_V2,
         }
     }
 
@@ -252,15 +366,12 @@ pub(crate) fn chunk_len(k: usize, samples_per_trace: usize) -> u64 {
 }
 
 /// Encodes the header for the given metadata, trace count and distinct
-/// input count (0 = too many to track).
-pub(crate) fn encode_header(
-    meta: &ArchiveMeta,
-    trace_count: u64,
-    distinct_inputs: u32,
-) -> [u8; HEADER_LEN] {
-    let mut header = [0u8; HEADER_LEN];
-    header[0..8].copy_from_slice(&MAGIC);
-    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+/// input count (0 = too many to track), at the metadata's format version.
+pub(crate) fn encode_header(meta: &ArchiveMeta, trace_count: u64, distinct_inputs: u32) -> Vec<u8> {
+    let version = meta.format_version();
+    let mut header = vec![0u8; meta.header_len()];
+    header[0..8].copy_from_slice(if version == 1 { &MAGIC } else { &MAGIC_V2 });
+    header[8..12].copy_from_slice(&version.to_le_bytes());
     header[12..16].copy_from_slice(&(meta.samples_per_trace as u32).to_le_bytes());
     header[16..20].copy_from_slice(&(meta.chunk_traces as u32).to_le_bytes());
     header[20..24].copy_from_slice(&meta.model.code().to_le_bytes());
@@ -268,8 +379,14 @@ pub(crate) fn encode_header(
     header[32..40].copy_from_slice(&trace_count.to_le_bytes());
     header[40..44].copy_from_slice(&distinct_inputs.to_le_bytes());
     header[44..48].copy_from_slice(&meta.campaign.code().to_le_bytes());
-    let checksum = fnv1a64(&header[0..48]);
-    header[48..56].copy_from_slice(&checksum.to_le_bytes());
+    let payload_end = if version == 1 {
+        48
+    } else {
+        header[48..56].copy_from_slice(&meta.table_digest.to_le_bytes());
+        56
+    };
+    let checksum = fnv1a64(&header[0..payload_end]);
+    header[payload_end..payload_end + 8].copy_from_slice(&checksum.to_le_bytes());
     header
 }
 
@@ -281,20 +398,44 @@ fn u64_at(bytes: &[u8], offset: usize) -> u64 {
     u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
 }
 
-/// Decodes and validates a header, returning the metadata, trace count and
-/// recorded distinct input count.
-pub(crate) fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(ArchiveMeta, u64, u32)> {
-    if header[0..8] != MAGIC {
-        let mut found = [0u8; 8];
-        found.copy_from_slice(&header[0..8]);
-        return Err(StoreError::BadMagic { found });
+/// The header version a file's leading magic bytes announce: `Some(1)`,
+/// `Some(2)`, or `None` for anything else (not an archive).  The reader
+/// uses this to know how many header bytes to fetch before
+/// [`decode_header`].
+pub(crate) fn version_of_magic(magic: &[u8; 8]) -> Option<u32> {
+    if *magic == MAGIC {
+        Some(1)
+    } else if *magic == MAGIC_V2 {
+        Some(2)
+    } else {
+        None
     }
+}
+
+/// Decodes and validates a complete header (56 bytes for version 1, 64 for
+/// version 2), returning the metadata, trace count and recorded distinct
+/// input count.
+pub(crate) fn decode_header(header: &[u8]) -> Result<(ArchiveMeta, u64, u32)> {
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&header[0..8]);
+    let Some(magic_version) = version_of_magic(&magic) else {
+        return Err(StoreError::BadMagic { found: magic });
+    };
     let version = u32_at(header, 8);
-    if version != FORMAT_VERSION {
+    if version != magic_version {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
-    let stored = u64_at(header, 48);
-    let computed = fnv1a64(&header[0..48]);
+    debug_assert_eq!(
+        header.len(),
+        if version == 1 {
+            HEADER_LEN
+        } else {
+            HEADER_LEN_V2
+        }
+    );
+    let payload_end = if version == 1 { 48 } else { 56 };
+    let stored = u64_at(header, payload_end);
+    let computed = fnv1a64(&header[0..payload_end]);
     if stored != computed {
         return Err(StoreError::CorruptHeader {
             message: format!("header checksum {stored:#018X} != computed {computed:#018X}"),
@@ -303,9 +444,10 @@ pub(crate) fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(ArchiveMeta, u
     let meta = ArchiveMeta {
         samples_per_trace: u32_at(header, 12) as usize,
         chunk_traces: u32_at(header, 16) as usize,
-        model: ModelTag::from_code(u32_at(header, 20))?,
+        model: ModelTag::from_code(u32_at(header, 20), version)?,
         seed: u64_at(header, 24),
         campaign: CampaignKind::from_code(u32_at(header, 44))?,
+        table_digest: if version == 1 { 0 } else { u64_at(header, 48) },
     };
     if meta.samples_per_trace == 0 || meta.chunk_traces == 0 {
         return Err(StoreError::CorruptHeader {
@@ -322,7 +464,7 @@ pub(crate) fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(ArchiveMeta, u
         + (meta.chunk_traces as u128) * (meta.samples_per_trace as u128) * 8
         + CHUNK_CHECKSUM_LEN as u128;
     let chunk_count = (trace_count as u128).div_ceil(meta.chunk_traces as u128);
-    let implied_len = HEADER_LEN as u128 + chunk_count * chunk_bytes;
+    let implied_len = header.len() as u128 + chunk_count * chunk_bytes;
     if implied_len > u64::MAX as u128 {
         return Err(StoreError::CorruptHeader {
             message: format!("header implies an impossible file size ({implied_len} bytes)"),
@@ -345,15 +487,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn header_round_trips() {
+    fn v1_headers_round_trip() {
         let meta = ArchiveMeta {
             samples_per_trace: 3,
             chunk_traces: 512,
             model: ModelTag::GenuineSabl,
             seed: 0xDEAD_BEEF_2005,
             campaign: CampaignKind::TvlaInterleaved,
+            table_digest: 0,
         };
+        assert_eq!(meta.format_version(), 1);
         let header = encode_header(&meta, 12345, 16);
+        assert_eq!(header.len(), HEADER_LEN);
+        assert_eq!(&header[0..8], &MAGIC);
         let (decoded, count, distinct) = decode_header(&header).unwrap();
         assert_eq!(decoded, meta);
         assert_eq!(count, 12345);
@@ -361,18 +507,69 @@ mod tests {
     }
 
     #[test]
+    fn v2_headers_round_trip_digest_and_characterized_tags() {
+        for meta in [
+            ArchiveMeta::scalar(64, ModelTag::CharacterizedGenuineSabl, 9),
+            ArchiveMeta::scalar(64, ModelTag::HammingWeight, 9).with_table_digest(0xABCD_EF01),
+            ArchiveMeta::scalar_tvla(8, ModelTag::CharacterizedFullyConnectedSabl, 3)
+                .with_table_digest(42),
+        ] {
+            assert_eq!(meta.format_version(), 2);
+            assert_eq!(meta.header_len(), HEADER_LEN_V2);
+            let header = encode_header(&meta, 777, 16);
+            assert_eq!(header.len(), HEADER_LEN_V2);
+            assert_eq!(&header[0..8], &MAGIC_V2);
+            let (decoded, count, distinct) = decode_header(&header).unwrap();
+            assert_eq!(decoded, meta);
+            assert_eq!(count, 777);
+            assert_eq!(distinct, 16);
+        }
+    }
+
+    #[test]
+    fn characterized_tags_are_out_of_range_for_v1_headers() {
+        // A forged v1 header carrying a characterized (or unknown) tag code
+        // with a self-consistent checksum must fail with the *typed* error,
+        // not a generic corruption message.
+        let meta = ArchiveMeta::scalar(8, ModelTag::HammingWeight, 5);
+        for code in [5u32, 99] {
+            let mut forged = encode_header(&meta, 40, 16);
+            forged[20..24].copy_from_slice(&code.to_le_bytes());
+            let checksum = fnv1a64(&forged[0..48]);
+            forged[48..56].copy_from_slice(&checksum.to_le_bytes());
+            assert_eq!(
+                decode_header(&forged),
+                Err(StoreError::UnknownModelTag { code, version: 1 })
+            );
+        }
+        // And an unknown code is equally typed in a v2 header.
+        let meta = ArchiveMeta::scalar(8, ModelTag::CharacterizedGenuineSabl, 5);
+        let mut forged = encode_header(&meta, 40, 16);
+        forged[20..24].copy_from_slice(&77u32.to_le_bytes());
+        let checksum = fnv1a64(&forged[0..56]);
+        forged[56..64].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            decode_header(&forged),
+            Err(StoreError::UnknownModelTag {
+                code: 77,
+                version: 2
+            })
+        );
+    }
+
+    #[test]
     fn header_corruption_is_detected() {
         let meta = ArchiveMeta::scalar(64, ModelTag::HammingWeight, 7);
         let good = encode_header(&meta, 100, 16);
 
-        let mut bad_magic = good;
+        let mut bad_magic = good.clone();
         bad_magic[0] ^= 0xFF;
         assert!(matches!(
             decode_header(&bad_magic),
             Err(StoreError::BadMagic { .. })
         ));
 
-        let mut bad_version = good;
+        let mut bad_version = good.clone();
         bad_version[8] = 99;
         // The version is checked before the checksum so future formats get a
         // clean error, not "corrupt".
@@ -383,7 +580,22 @@ mod tests {
 
         // Any flipped payload byte fails the header checksum.
         for offset in 12..48 {
-            let mut bad = good;
+            let mut bad = good.clone();
+            bad[offset] ^= 0x10;
+            assert!(
+                matches!(decode_header(&bad), Err(StoreError::CorruptHeader { .. })),
+                "offset {offset}"
+            );
+        }
+
+        // Same for the digest bytes of a v2 header.
+        let v2 = encode_header(
+            &ArchiveMeta::scalar(64, ModelTag::CharacterizedEnhancedSabl, 7),
+            100,
+            16,
+        );
+        for offset in 48..56 {
+            let mut bad = v2.clone();
             bad[offset] ^= 0x10;
             assert!(
                 matches!(decode_header(&bad), Err(StoreError::CorruptHeader { .. })),
@@ -403,6 +615,7 @@ mod tests {
             model: ModelTag::Unspecified,
             seed: 0,
             campaign: CampaignKind::Attack,
+            table_digest: 0,
         };
         let header = encode_header(&huge, u64::MAX, 0);
         assert!(matches!(
@@ -463,11 +676,33 @@ mod tests {
             ModelTag::FullyConnectedSabl,
             ModelTag::EnhancedSabl,
             ModelTag::HammingWeight,
+            ModelTag::CharacterizedGenuineSabl,
+            ModelTag::CharacterizedFullyConnectedSabl,
+            ModelTag::CharacterizedEnhancedSabl,
+            ModelTag::CharacterizedHammingWeight,
         ] {
-            assert_eq!(ModelTag::from_code(tag.code()).unwrap(), tag);
+            assert_eq!(
+                ModelTag::from_code(tag.code(), CURRENT_VERSION).unwrap(),
+                tag
+            );
             assert!(!tag.label().is_empty());
+            assert_eq!(tag.is_characterized(), tag.code() > 4);
+            assert!(!tag.base_style().is_characterized());
+            if tag != ModelTag::Unspecified {
+                let charac = tag.characterized().unwrap();
+                assert!(charac.is_characterized());
+                assert_eq!(charac.base_style(), tag.base_style());
+            } else {
+                assert_eq!(tag.characterized(), None);
+            }
         }
-        assert!(ModelTag::from_code(77).is_err());
+        assert!(matches!(
+            ModelTag::from_code(77, CURRENT_VERSION),
+            Err(StoreError::UnknownModelTag {
+                code: 77,
+                version: 2
+            })
+        ));
     }
 
     #[test]

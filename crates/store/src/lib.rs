@@ -88,6 +88,7 @@ mod tests {
             model: ModelTag::GenuineSabl,
             seed: 99,
             campaign: CampaignKind::Attack,
+            table_digest: 0,
         };
         let bytes = write_archive(&traces, meta);
         let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
@@ -106,6 +107,32 @@ mod tests {
         // The chunk iterator covers every trace exactly once, in order.
         let sizes: Vec<usize> = reader.chunks().map(|c| c.unwrap().len()).collect();
         assert_eq!(sizes, vec![50, 50, 50, 50, 17]);
+    }
+
+    #[test]
+    fn v2_archives_round_trip_characterized_models_and_digests() {
+        let traces = synthetic_traces(100, 1, false);
+        let meta = ArchiveMeta::scalar(32, ModelTag::CharacterizedGenuineSabl, 7)
+            .with_table_digest(0x1122_3344_5566_7788);
+        let bytes = write_archive(&traces, meta);
+        let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.format_version(), 2);
+        assert_eq!(reader.meta().model, ModelTag::CharacterizedGenuineSabl);
+        assert_eq!(reader.table_digest(), Some(0x1122_3344_5566_7788));
+        let all = reader.read_all().unwrap();
+        assert_eq!(all.len(), 100);
+        for (t, (input, samples)) in traces.iter().enumerate() {
+            assert_eq!(all.inputs()[t], *input);
+            assert_eq!(all.trace_samples(t)[0].to_bits(), samples[0].to_bits());
+        }
+
+        // A legacy campaign (built-in tag, no digest) stays a version-1
+        // archive: byte layout, header length and magic are unchanged.
+        let legacy = write_archive(&traces, ArchiveMeta::scalar(32, ModelTag::HammingWeight, 7));
+        assert_eq!(&legacy[0..8], b"DPLTRCv1");
+        let reader = ArchiveReader::new(Cursor::new(legacy)).unwrap();
+        assert_eq!(reader.format_version(), 1);
+        assert_eq!(reader.table_digest(), None);
     }
 
     #[test]
@@ -192,6 +219,7 @@ mod tests {
             model: ModelTag::Unspecified,
             seed: 0,
             campaign: CampaignKind::Attack,
+            table_digest: 0,
         };
         let bytes = write_archive(&traces, meta);
         // Flip one byte in the middle of chunk 1's payload.
@@ -255,6 +283,7 @@ mod tests {
                 model: ModelTag::Unspecified,
                 seed: 0,
                 campaign: CampaignKind::Attack,
+                table_digest: 0,
             };
             let bytes = write_archive(&traces, meta);
             let mut in_memory = TraceSet::new();
@@ -289,6 +318,7 @@ mod tests {
             model: ModelTag::Unspecified,
             seed: 0,
             campaign: CampaignKind::Attack,
+            table_digest: 0,
         };
         let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).unwrap();
         writer.append_trace_set(&set).unwrap();

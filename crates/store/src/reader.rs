@@ -7,7 +7,9 @@ use std::path::Path;
 use dpl_power::TraceSet;
 
 use crate::error::{Result, StoreError};
-use crate::format::{chunk_len, decode_header, fnv1a64, ArchiveMeta, HEADER_LEN};
+use crate::format::{
+    chunk_len, decode_header, fnv1a64, version_of_magic, ArchiveMeta, HEADER_LEN, HEADER_LEN_V2,
+};
 
 /// Reads a chunked trace archive without ever materializing more than one
 /// chunk.
@@ -48,8 +50,18 @@ impl<R: Read + Seek> ArchiveReader<R> {
     /// stream whose length does not match the header's promise.
     pub fn new(mut stream: R) -> Result<Self> {
         stream.seek(SeekFrom::Start(0))?;
-        let mut header = [0u8; HEADER_LEN];
-        read_exact_or(&mut stream, &mut header, 0)?;
+        // The magic bytes announce the header version — and with it the
+        // header length to fetch before decoding.
+        let mut magic = [0u8; 8];
+        read_exact_or(&mut stream, &mut magic, 0)?;
+        let header_len = match version_of_magic(&magic) {
+            Some(1) => HEADER_LEN,
+            Some(_) => HEADER_LEN_V2,
+            None => return Err(StoreError::BadMagic { found: magic }),
+        };
+        let mut header = vec![0u8; header_len];
+        header[0..8].copy_from_slice(&magic);
+        read_exact_or(&mut stream, &mut header[8..], 0)?;
         let (meta, trace_count, distinct_inputs) = decode_header(&header)?;
         let mut reader = ArchiveReader {
             chunk_budget: meta.chunk_traces,
@@ -119,6 +131,21 @@ impl<R: Read + Seek> ArchiveReader<R> {
         self.meta.campaign
     }
 
+    /// The archive's header format version (1 = legacy, 2 = extensible
+    /// model tag + energy-table digest).
+    pub fn format_version(&self) -> u32 {
+        self.meta.format_version()
+    }
+
+    /// The energy-table digest recorded by the capture campaign, or `None`
+    /// for legacy archives / campaigns that did not record one.
+    pub fn table_digest(&self) -> Option<u64> {
+        match self.meta.table_digest {
+            0 => None,
+            digest => Some(digest),
+        }
+    }
+
     /// The campaign's distinct input count as recorded by the writer, or
     /// `None` when it exceeded the class-aggregation limit — the signal the
     /// out-of-core attacks use to pick their accumulator bookkeeping.
@@ -144,14 +171,14 @@ impl<R: Read + Seek> ArchiveReader<R> {
     /// Byte offset of chunk `index` (every chunk before it is full).
     fn chunk_offset(&self, index: usize) -> u64 {
         let full = chunk_len(self.meta.chunk_traces, self.meta.samples_per_trace);
-        HEADER_LEN as u64 + index as u64 * full
+        self.meta.header_len() as u64 + index as u64 * full
     }
 
     /// The exact file size the header implies (only the last chunk may be
     /// partial).
     fn expected_file_len(&self) -> u64 {
         match self.chunk_count() {
-            0 => HEADER_LEN as u64,
+            0 => self.meta.header_len() as u64,
             chunks => {
                 self.chunk_offset(chunks - 1)
                     + chunk_len(

@@ -7,7 +7,7 @@ use std::path::Path;
 use dpl_power::{TraceSet, TraceSink, MAX_INPUT_CLASSES};
 
 use crate::error::{Result, StoreError};
-use crate::format::{encode_header, fnv1a64, ArchiveMeta, HEADER_LEN};
+use crate::format::{encode_header, fnv1a64, ArchiveMeta};
 
 /// Streams traces into the chunked on-disk archive format.
 ///
@@ -58,7 +58,10 @@ impl<W: Write + Seek> ArchiveWriter<W> {
     /// Returns an error for invalid metadata or a failing write.
     pub fn new(mut stream: W, meta: ArchiveMeta) -> Result<Self> {
         meta.validate()?;
-        stream.write_all(&[0u8; HEADER_LEN])?;
+        // The placeholder matches the length of the real header (the
+        // version — and with it the length — is a pure function of the
+        // metadata fixed at creation).
+        stream.write_all(&vec![0u8; meta.header_len()])?;
         Ok(ArchiveWriter {
             stream,
             meta,

@@ -75,6 +75,7 @@ fn streaming_tvla_is_bit_identical_and_worker_count_independent() {
         model: ModelTag::Unspecified,
         seed: 0,
         campaign: CampaignKind::TvlaInterleaved,
+        table_digest: 0,
     };
     let mut writer = ArchiveWriter::create(&path, meta).expect("create");
     let mut oracle = TraceSet::new();

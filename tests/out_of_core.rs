@@ -119,6 +119,7 @@ fn multi_round_present80_archive_supports_out_of_core_dpa() {
         model: ModelTag::Unspecified,
         seed: 7,
         campaign: CampaignKind::Attack,
+        table_digest: 0,
     };
     let mut writer = ArchiveWriter::create(&path, meta).expect("create");
     let mut oracle = TraceSet::new();

@@ -46,6 +46,7 @@ fn write_archive(traces: &[(u64, Vec<f64>)], samples: usize, chunk: usize, seed:
         model: dpl_store::ModelTag::Unspecified,
         seed,
         campaign: dpl_store::CampaignKind::Attack,
+        table_digest: 0,
     };
     let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
     for (input, values) in traces {
