@@ -18,6 +18,8 @@
 //! cargo run -p dpl-bench --release --bin repro -- tvla tvla.dpltrc --order both
 //! cargo run -p dpl-bench --release --bin repro -- mtd --seed 7 --attack cpa
 //! cargo run -p dpl-bench --release --bin repro -- mtd --model fc-charac --circuit oai22
+//! cargo run -p dpl-bench --release --bin repro -- verify all    # prove + certify + replay
+//! cargo run -p dpl-bench --release --bin repro -- verify sbox --model fc
 //! cargo run -p dpl-bench --release --bin repro -- bench         # perf -> BENCH_dpa.json
 //! ```
 
@@ -48,7 +50,10 @@ const CAMPAIGN_KEY: u8 = 0xA;
 const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--seed", &["dpa", "cpa", "capture", "mtd"]),
     ("--budget", &["attack"]),
-    ("--model", &["capture", "attack", "mtd", "charac-table"]),
+    (
+        "--model",
+        &["capture", "attack", "mtd", "charac-table", "verify"],
+    ),
     ("--circuit", &["capture", "attack", "mtd"]),
     ("--chunk", &["capture"]),
     ("--tvla", &["capture"]),
@@ -61,6 +66,7 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--reps", &["mtd"]),
     ("--quick", &["bench"]),
     ("--out", &["bench"]),
+    ("--tolerance", &["verify"]),
 ];
 
 /// Rejects any scoped flag that does not apply to `subcommand`, naming the
@@ -767,6 +773,99 @@ fn run_mtd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro verify <circuit>|all [--model <name>] [--tolerance <t>]`: prove
+/// every output of the synthesized netlist equivalent to its specification
+/// oracle, run the DPL security lint under the given (constant-power)
+/// energy model, emit the security certificate, and replay it through the
+/// independent `check` path — all in memory.  `all` covers every circuit
+/// the CLI can capture: the S-box datapath, all 18 library-cell datapaths
+/// and the one-round mini-PRESENT.
+fn run_verify(args: &[String]) -> ExitCode {
+    const USAGE: &str = "repro verify <circuit>|all [--model m] [--tolerance t]";
+    let mut target = None;
+    let mut model = EnergyModel::builtin(LeakageModel::EnhancedSabl);
+    let mut tolerance = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => match parse_model_arg(iter.next()) {
+                Ok(m) => model = m,
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = Some(t),
+                _ => {
+                    eprintln!("--tolerance needs a non-negative relative spread");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if target.is_none() && !other.starts_with("--") => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("{}", unknown_flag("verify", other, USAGE));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("usage: {USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let circuits = if target == "all" {
+        dpl_verify::VerifiedCircuit::all()
+    } else {
+        match dpl_verify::VerifiedCircuit::parse(&target) {
+            Some(circuit) => vec![circuit],
+            None => {
+                eprintln!(
+                    "unknown circuit `{target}`; expected `all`, `sbox`, `presentN` or a \
+                     library gate name (e.g. oai22, maj3)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for circuit in &circuits {
+        let mut request = dpl_verify::CertificateRequest {
+            circuit: *circuit,
+            model,
+            tolerance: dpl_verify::CertificateRequest::STRICT_TOLERANCE,
+        };
+        if let Some(tolerance) = tolerance {
+            request = request.with_tolerance(tolerance);
+        }
+        let certificate = match dpl_verify::emit_certificate(&request) {
+            Ok(certificate) => certificate,
+            Err(e) => {
+                eprintln!("{}: certification FAILED: {e}", circuit.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match dpl_verify::check_certificate(&certificate.to_text()) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{}: certificate replay FAILED: {e}", circuit.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{}: proven equivalent, lint clean, certificate replayed \
+             ({} gates, {} outputs, {} BDD nodes, model {})",
+            report.circuit, report.gates, report.outputs, report.bdd_nodes, report.model
+        );
+    }
+    println!(
+        "all {} circuit(s) verified under the {} model",
+        circuits.len(),
+        model.name()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
@@ -786,6 +885,7 @@ fn main() -> ExitCode {
         "charac-table" => return run_charac_table(&args[1..]),
         "tvla" => return run_tvla(&args[1..]),
         "mtd" => return run_mtd(&args[1..]),
+        "verify" => return run_verify(&args[1..]),
         _ => {}
     }
     let (args, seed) = match take_seed(&args) {
@@ -822,7 +922,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
                  fig6, cvsl, dpa, cpa, library, bench, capture, attack, info, charac-table, \
-                 tvla, mtd"
+                 tvla, mtd, verify"
             );
             return ExitCode::FAILURE;
         }

@@ -25,7 +25,7 @@ fn perf_harness_smoke_run() {
         repeats: 1,
     };
     let report = dpl_bench::perf::run(&config);
-    assert_eq!(report.rows.len(), 13);
+    assert_eq!(report.rows.len(), 14);
     let json = report.to_json();
     for needle in [
         "\"bench\": \"dpa_pipeline\"",
@@ -36,6 +36,7 @@ fn perf_harness_smoke_run() {
         "tvla_streaming",
         "mtd_curve",
         "characterized_table_build",
+        "bdd_equivalence_check",
         "energy_cache_bitsliced",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");

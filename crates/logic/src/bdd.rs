@@ -1,0 +1,790 @@
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::expr::Expr;
+use crate::truth::TruthTable;
+use crate::var::{Literal, Var};
+
+/// A handle to a node inside a [`Bdd`] manager.
+///
+/// Handles are cheap copies of an index into the manager's node arena and are
+/// only meaningful together with the manager that created them.  Because the
+/// manager hash-conses every node, two handles obtained from the same manager
+/// denote the same Boolean function **iff** they are equal — equivalence
+/// checking is a single integer comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BddNode(u32);
+
+impl BddNode {
+    /// The arena index of this node (stable for the manager's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Binary Boolean connectives accepted by [`Bdd::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BddOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+}
+
+impl BddOp {
+    /// Evaluates the connective on two Booleans (the brute-force reference
+    /// the BDD recursion is tested against).
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BddOp::And => a && b,
+            BddOp::Or => a || b,
+            BddOp::Xor => a ^ b,
+        }
+    }
+}
+
+const FALSE_ID: u32 = 0;
+const TRUE_ID: u32 = 1;
+/// Variable index used by the two terminal nodes; orders below every real
+/// variable so the usual "smallest variable on top" recursion works without
+/// special cases.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: u32,
+    high: u32,
+}
+
+/// A reduced ordered binary decision diagram manager.
+///
+/// The manager owns a hash-consed node arena shared by every function built
+/// through it (the `BDDEnv` shape): identical `(var, low, high)` triples are
+/// stored once, and the reduction rule `low == high ⇒ low` is applied on
+/// construction, so every function has exactly one canonical node.  `apply`,
+/// `ite` and complementation are memoized across calls.
+///
+/// The variable order is the natural index order of [`Var`] — variable 0 is
+/// always the root-most decision.
+///
+/// ```
+/// use dpl_logic::{Bdd, parse_expr};
+/// # fn main() -> Result<(), dpl_logic::LogicError> {
+/// let mut bdd = Bdd::new();
+/// let (f, _) = parse_expr("A.B + !A.C")?;
+/// let (g, _) = parse_expr("A.B + C.!A")?; // same function, different shape
+/// let fa = bdd.from_expr(&f);
+/// let ga = bdd.from_expr(&g);
+/// assert_eq!(fa, ga); // canonicity: equivalence is handle equality
+/// assert_eq!(bdd.sat_count(fa, 3), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, u32>,
+    apply_memo: HashMap<(BddOp, u32, u32), u32>,
+    ite_memo: HashMap<(u32, u32, u32), u32>,
+    not_memo: HashMap<u32, u32>,
+}
+
+impl Bdd {
+    /// Creates an empty manager holding only the two terminal nodes.
+    pub fn new() -> Self {
+        let mut bdd = Bdd {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            apply_memo: HashMap::new(),
+            ite_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+        };
+        bdd.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: FALSE_ID,
+            high: FALSE_ID,
+        });
+        bdd.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: TRUE_ID,
+            high: TRUE_ID,
+        });
+        bdd
+    }
+
+    /// The constant `0` or `1` function.
+    pub fn constant(&self, value: bool) -> BddNode {
+        BddNode(if value { TRUE_ID } else { FALSE_ID })
+    }
+
+    /// The single-variable function `var`.
+    pub fn var(&mut self, var: Var) -> BddNode {
+        let v = var.index() as u32;
+        assert!(v < TERMINAL_VAR, "variable index too large for a BDD");
+        BddNode(self.mk(v, FALSE_ID, TRUE_ID))
+    }
+
+    /// The function of a single [`Literal`] (a variable or its complement).
+    pub fn literal(&mut self, lit: Literal) -> BddNode {
+        let v = self.var(lit.var());
+        if lit.is_positive() {
+            v
+        } else {
+            self.not(v)
+        }
+    }
+
+    /// `Some(value)` if `f` is a terminal node.
+    pub fn as_constant(&self, f: BddNode) -> Option<bool> {
+        match f.0 {
+            FALSE_ID => Some(false),
+            TRUE_ID => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The decision triple `(var, low, high)` of `f`, or `None` for the two
+    /// terminals.  This is the traversal primitive external tools (such as
+    /// certificate signers) use to walk the shared graph.
+    pub fn node(&self, f: BddNode) -> Option<(Var, BddNode, BddNode)> {
+        let n = self.nodes[f.index()];
+        if n.var == TERMINAL_VAR {
+            None
+        } else {
+            Some((Var::new(n.var as usize), BddNode(n.low), BddNode(n.high)))
+        }
+    }
+
+    /// Total number of nodes allocated by the manager, including terminals
+    /// and nodes no longer reachable from any live handle.
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of decision (non-terminal) nodes reachable from `f` — the
+    /// conventional "size" of a BDD.  Constants have size 0.
+    pub fn node_count(&self, f: BddNode) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id as usize];
+            if n.var != TERMINAL_VAR {
+                count += 1;
+                stack.push(n.low);
+                stack.push(n.high);
+            }
+        }
+        count
+    }
+
+    /// The set of variables `f` depends on.
+    pub fn support(&self, f: BddNode) -> BTreeSet<Var> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f.0];
+        let mut vars = BTreeSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id as usize];
+            if n.var != TERMINAL_VAR {
+                vars.insert(Var::new(n.var as usize));
+                stack.push(n.low);
+                stack.push(n.high);
+            }
+        }
+        vars
+    }
+
+    /// Evaluates `f` under a bit-packed assignment where bit `i` of `word`
+    /// holds the value of variable `i`.
+    pub fn eval(&self, f: BddNode, word: u64) -> bool {
+        let mut id = f.0;
+        loop {
+            let n = self.nodes[id as usize];
+            if n.var == TERMINAL_VAR {
+                return id == TRUE_ID;
+            }
+            id = if (word >> n.var) & 1 == 1 {
+                n.high
+            } else {
+                n.low
+            };
+        }
+    }
+
+    /// Complement `!f`.
+    pub fn not(&mut self, f: BddNode) -> BddNode {
+        BddNode(self.not_rec(f.0))
+    }
+
+    /// `f · g` via [`Bdd::apply`].
+    pub fn and(&mut self, f: BddNode, g: BddNode) -> BddNode {
+        self.apply(BddOp::And, f, g)
+    }
+
+    /// `f + g` via [`Bdd::apply`].
+    pub fn or(&mut self, f: BddNode, g: BddNode) -> BddNode {
+        self.apply(BddOp::Or, f, g)
+    }
+
+    /// `f ^ g` via [`Bdd::apply`].
+    pub fn xor(&mut self, f: BddNode, g: BddNode) -> BddNode {
+        self.apply(BddOp::Xor, f, g)
+    }
+
+    /// Combines two functions with a binary connective (memoized Shannon
+    /// recursion on the top-most variable of the pair).
+    pub fn apply(&mut self, op: BddOp, f: BddNode, g: BddNode) -> BddNode {
+        BddNode(self.apply_rec(op, f.0, g.0))
+    }
+
+    /// If-then-else `f·g + !f·h`, the universal ternary connective.
+    pub fn ite(&mut self, f: BddNode, g: BddNode, h: BddNode) -> BddNode {
+        BddNode(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    /// The cofactor `f|var=value` (substitutes a constant for `var`).
+    pub fn restrict(&mut self, f: BddNode, var: Var, value: bool) -> BddNode {
+        let target = var.index() as u32;
+        let mut memo = HashMap::new();
+        BddNode(self.restrict_rec(f.0, target, value, &mut memo))
+    }
+
+    /// Functional composition `f[var := g]`, computed as
+    /// `ite(g, f|var=1, f|var=0)`.
+    pub fn compose(&mut self, f: BddNode, var: Var, g: BddNode) -> BddNode {
+        let hi = self.restrict(f, var, true);
+        let lo = self.restrict(f, var, false);
+        self.ite(g, hi, lo)
+    }
+
+    /// Number of satisfying assignments of `f` over the variable universe
+    /// `0..num_vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 127` (the count is returned as a `u128`) or if
+    /// `f` depends on a variable outside the universe.
+    pub fn sat_count(&self, f: BddNode, num_vars: usize) -> u128 {
+        assert!(
+            num_vars <= 127,
+            "sat_count universe limited to 127 variables"
+        );
+        if let Some(max) = self.support(f).into_iter().next_back() {
+            assert!(
+                max.index() < num_vars,
+                "function depends on {max}, outside the universe of {num_vars} variables"
+            );
+        }
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        let count = self.sat_count_rec(f.0, num_vars as u32, &mut memo);
+        count << self.level(f.0, num_vars as u32)
+    }
+
+    /// Builds the BDD of an [`Expr`] (variables keep their indices).
+    pub fn from_expr(&mut self, expr: &Expr) -> BddNode {
+        match expr {
+            Expr::Const(b) => self.constant(*b),
+            Expr::Lit(l) => self.literal(*l),
+            Expr::Not(e) => {
+                let inner = self.from_expr(e);
+                self.not(inner)
+            }
+            Expr::And(es) => {
+                let mut acc = self.constant(true);
+                for e in es {
+                    let rhs = self.from_expr(e);
+                    acc = self.and(acc, rhs);
+                }
+                acc
+            }
+            Expr::Or(es) => {
+                let mut acc = self.constant(false);
+                for e in es {
+                    let rhs = self.from_expr(e);
+                    acc = self.or(acc, rhs);
+                }
+                acc
+            }
+            Expr::Xor(a, b) => {
+                let fa = self.from_expr(a);
+                let fb = self.from_expr(b);
+                self.xor(fa, fb)
+            }
+        }
+    }
+
+    /// Builds the BDD of a dense [`TruthTable`] (row bit `i` = variable `i`).
+    ///
+    /// The construction recurses over all `2^n` rows, so it is intended for
+    /// the moderate arities truth tables are used at (library cells, S-boxes);
+    /// hash-consing collapses the shared subfunctions on the way up.
+    pub fn from_truth_table(&mut self, table: &TruthTable) -> BddNode {
+        BddNode(self.table_rec(table, 0, 0))
+    }
+
+    /// The function `table(g_0, …, g_{n-1})`: a truth table applied to `n`
+    /// argument functions (Shannon expansion over the argument list).
+    ///
+    /// This is the symbolic-simulation primitive: the output of a logic gate
+    /// whose cell function is `table` and whose input wires carry the
+    /// functions `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != table.num_vars()`.
+    pub fn compose_table(&mut self, table: &TruthTable, inputs: &[BddNode]) -> BddNode {
+        assert_eq!(
+            inputs.len(),
+            table.num_vars(),
+            "argument count must match the table arity"
+        );
+        self.compose_table_rec(table, inputs, 0)
+    }
+
+    // ---- internal helpers -------------------------------------------------
+
+    fn mk(&mut self, var: u32, low: u32, high: u32) -> u32 {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        assert!(id < TERMINAL_VAR, "BDD node arena exhausted");
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn not_rec(&mut self, f: u32) -> u32 {
+        match f {
+            FALSE_ID => return TRUE_ID,
+            TRUE_ID => return FALSE_ID,
+            _ => {}
+        }
+        if let Some(&r) = self.not_memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let low = self.not_rec(n.low);
+        let high = self.not_rec(n.high);
+        let r = self.mk(n.var, low, high);
+        self.not_memo.insert(f, r);
+        self.not_memo.insert(r, f);
+        r
+    }
+
+    fn apply_rec(&mut self, op: BddOp, f: u32, g: u32) -> u32 {
+        // Terminal rules.
+        match op {
+            BddOp::And => {
+                if f == FALSE_ID || g == FALSE_ID {
+                    return FALSE_ID;
+                }
+                if f == TRUE_ID {
+                    return g;
+                }
+                if g == TRUE_ID || f == g {
+                    return f;
+                }
+            }
+            BddOp::Or => {
+                if f == TRUE_ID || g == TRUE_ID {
+                    return TRUE_ID;
+                }
+                if f == FALSE_ID {
+                    return g;
+                }
+                if g == FALSE_ID || f == g {
+                    return f;
+                }
+            }
+            BddOp::Xor => {
+                if f == g {
+                    return FALSE_ID;
+                }
+                if f == FALSE_ID {
+                    return g;
+                }
+                if g == FALSE_ID {
+                    return f;
+                }
+                if f == TRUE_ID {
+                    return self.not_rec(g);
+                }
+                if g == TRUE_ID {
+                    return self.not_rec(f);
+                }
+            }
+        }
+        // All three connectives are commutative; normalise the memo key.
+        let key = (op, f.min(g), f.max(g));
+        if let Some(&r) = self.apply_memo.get(&key) {
+            return r;
+        }
+        let nf = self.nodes[f as usize];
+        let ng = self.nodes[g as usize];
+        let top = nf.var.min(ng.var);
+        let (f0, f1) = if nf.var == top {
+            (nf.low, nf.high)
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if ng.var == top {
+            (ng.low, ng.high)
+        } else {
+            (g, g)
+        };
+        let low = self.apply_rec(op, f0, g0);
+        let high = self.apply_rec(op, f1, g1);
+        let r = self.mk(top, low, high);
+        self.apply_memo.insert(key, r);
+        r
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        match (f, g, h) {
+            (TRUE_ID, _, _) => return g,
+            (FALSE_ID, _, _) => return h,
+            (_, TRUE_ID, FALSE_ID) => return f,
+            (_, FALSE_ID, TRUE_ID) => return self.not_rec(f),
+            _ => {}
+        }
+        if g == h {
+            return g;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_memo.get(&key) {
+            return r;
+        }
+        let nf = self.nodes[f as usize];
+        let ng = self.nodes[g as usize];
+        let nh = self.nodes[h as usize];
+        let top = nf.var.min(ng.var).min(nh.var);
+        let branch = |n: Node, id: u32| -> (u32, u32) {
+            if n.var == top {
+                (n.low, n.high)
+            } else {
+                (id, id)
+            }
+        };
+        let (f0, f1) = branch(nf, f);
+        let (g0, g1) = branch(ng, g);
+        let (h0, h1) = branch(nh, h);
+        let low = self.ite_rec(f0, g0, h0);
+        let high = self.ite_rec(f1, g1, h1);
+        let r = self.mk(top, low, high);
+        self.ite_memo.insert(key, r);
+        r
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        target: u32,
+        value: bool,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        let n = self.nodes[f as usize];
+        // Ordered: once past the target level the variable cannot occur.
+        if n.var > target {
+            return f;
+        }
+        if n.var == target {
+            return if value { n.high } else { n.low };
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let low = self.restrict_rec(n.low, target, value, memo);
+        let high = self.restrict_rec(n.high, target, value, memo);
+        let r = self.mk(n.var, low, high);
+        memo.insert(f, r);
+        r
+    }
+
+    /// The variable level of a node, with terminals at `num_vars`.
+    fn level(&self, f: u32, num_vars: u32) -> u32 {
+        let v = self.nodes[f as usize].var;
+        if v == TERMINAL_VAR {
+            num_vars
+        } else {
+            v
+        }
+    }
+
+    fn sat_count_rec(&self, f: u32, num_vars: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        match f {
+            FALSE_ID => return 0,
+            TRUE_ID => return 1,
+            _ => {}
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f as usize];
+        let lo = self.sat_count_rec(n.low, num_vars, memo);
+        let hi = self.sat_count_rec(n.high, num_vars, memo);
+        let c = (lo << (self.level(n.low, num_vars) - n.var - 1))
+            + (hi << (self.level(n.high, num_vars) - n.var - 1));
+        memo.insert(f, c);
+        c
+    }
+
+    fn table_rec(&mut self, table: &TruthTable, var: usize, prefix: usize) -> u32 {
+        if var == table.num_vars() {
+            return if table.value(prefix) {
+                TRUE_ID
+            } else {
+                FALSE_ID
+            };
+        }
+        let low = self.table_rec(table, var + 1, prefix);
+        let high = self.table_rec(table, var + 1, prefix | (1 << var));
+        self.mk(var as u32, low, high)
+    }
+
+    fn compose_table_rec(
+        &mut self,
+        table: &TruthTable,
+        inputs: &[BddNode],
+        base: usize,
+    ) -> BddNode {
+        match inputs.split_last() {
+            None => self.constant(table.value(base)),
+            Some((&top, rest)) => {
+                let low = self.compose_table_rec(table, rest, base);
+                let high = self.compose_table_rec(table, rest, base | (1 << rest.len()));
+                self.ite(top, high, low)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    fn exhaustive_matches(bdd: &Bdd, f: BddNode, expr: &Expr, num_vars: usize) {
+        for word in 0..(1u64 << num_vars) {
+            assert_eq!(
+                bdd.eval(f, word),
+                expr.eval_bits(word),
+                "mismatch on input {word:0b} for {expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_expr_matches_evaluation() {
+        for text in [
+            "A.B",
+            "A+B",
+            "A^B",
+            "(A+B).(C+D)",
+            "A.B + !A.C",
+            "!(A.(B+!C))",
+            "A^(B^(C^D))",
+            "A.B.C.D + !A.!B.!C.!D",
+        ] {
+            let (expr, ns) = parse_expr(text).unwrap();
+            let mut bdd = Bdd::new();
+            let f = bdd.from_expr(&expr);
+            exhaustive_matches(&bdd, f, &expr, ns.len());
+        }
+    }
+
+    #[test]
+    fn canonicity_same_function_same_handle() {
+        let mut bdd = Bdd::new();
+        let (f, _) = parse_expr("A.B + !A.C").unwrap();
+        let (g, _) = parse_expr("A.B + C.!A").unwrap();
+        let (h, _) = parse_expr("A.!B + !A.!C").unwrap(); // complement
+        let fa = bdd.from_expr(&f);
+        let ga = bdd.from_expr(&g);
+        let ha = bdd.from_expr(&h);
+        assert_eq!(fa, ga);
+        assert_ne!(fa, ha);
+        assert_eq!(bdd.not(fa), ha);
+        assert_eq!(bdd.not(ha), fa);
+    }
+
+    #[test]
+    fn apply_terminal_rules() {
+        let mut bdd = Bdd::new();
+        let t = bdd.constant(true);
+        let z = bdd.constant(false);
+        let a = bdd.var(Var::new(0));
+        assert_eq!(bdd.and(a, t), a);
+        assert_eq!(bdd.and(a, z), z);
+        assert_eq!(bdd.or(a, z), a);
+        assert_eq!(bdd.or(a, t), t);
+        assert_eq!(bdd.xor(a, z), a);
+        assert_eq!(bdd.xor(a, a), z);
+        let na = bdd.not(a);
+        assert_eq!(bdd.xor(a, t), na);
+        assert_eq!(bdd.or(a, na), t);
+        assert_eq!(bdd.and(a, na), z);
+    }
+
+    #[test]
+    fn ite_is_the_universal_connective() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(Var::new(0));
+        let b = bdd.var(Var::new(1));
+        let c = bdd.var(Var::new(2));
+        let mux = bdd.ite(a, b, c);
+        for word in 0..8u64 {
+            let (s, x, y) = (word & 1 == 1, word & 2 == 2, word & 4 == 4);
+            assert_eq!(bdd.eval(mux, word), if s { x } else { y });
+        }
+        let and = bdd.ite(a, b, bdd.constant(false));
+        assert_eq!(and, bdd.and(a, b));
+        let not = bdd.ite(a, bdd.constant(false), bdd.constant(true));
+        assert_eq!(not, bdd.not(a));
+    }
+
+    #[test]
+    fn restrict_matches_expression_restriction() {
+        let (expr, ns) = parse_expr("A.B + !A.C + B.C").unwrap();
+        let mut bdd = Bdd::new();
+        let f = bdd.from_expr(&expr);
+        for var in ns.vars() {
+            for value in [false, true] {
+                let restricted = bdd.restrict(f, var, value);
+                let expected = expr.restrict(var, value);
+                exhaustive_matches(&bdd, restricted, &expected, ns.len());
+                assert!(!bdd.support(restricted).contains(&var));
+            }
+        }
+    }
+
+    #[test]
+    fn compose_substitutes_a_function() {
+        // (A.B + C)[C := A^B] == A.B + (A^B) == A + B ... check by truth.
+        let (outer, ns) = parse_expr("A.B + C").unwrap();
+        let (inner, _) = parse_expr("A ^ B").unwrap();
+        let c = ns.get("C").unwrap();
+        let mut bdd = Bdd::new();
+        let f = bdd.from_expr(&outer);
+        let g = bdd.from_expr(&inner);
+        let composed = bdd.compose(f, c, g);
+        let (expected, _) = parse_expr("A + B").unwrap();
+        exhaustive_matches(&bdd, composed, &expected, 2);
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table() {
+        for text in ["A.B", "A+B+C", "A^B^C^D", "(A+B).(C+D)", "A.B + !A.C"] {
+            let (expr, ns) = parse_expr(text).unwrap();
+            let mut bdd = Bdd::new();
+            let f = bdd.from_expr(&expr);
+            let tt = TruthTable::from_expr(&expr, ns.len());
+            assert_eq!(
+                bdd.sat_count(f, ns.len()),
+                tt.count_ones() as u128,
+                "sat count mismatch for {text}"
+            );
+        }
+        let bdd = Bdd::new();
+        let t = bdd.constant(true);
+        assert_eq!(bdd.sat_count(t, 10), 1024);
+        assert_eq!(bdd.sat_count(bdd.constant(false), 10), 0);
+    }
+
+    #[test]
+    fn free_variables_scale_the_sat_count() {
+        let mut bdd = Bdd::new();
+        let b = bdd.var(Var::new(1)); // universe {0,1,2}: variable 1 alone
+        assert_eq!(bdd.sat_count(b, 3), 4);
+    }
+
+    #[test]
+    fn from_truth_table_round_trips() {
+        for text in ["A.B + !A.C", "A^B^C", "(A+B).(C+!A)"] {
+            let (expr, ns) = parse_expr(text).unwrap();
+            let tt = TruthTable::from_expr(&expr, ns.len());
+            let mut bdd = Bdd::new();
+            let from_table = bdd.from_truth_table(&tt);
+            let from_expr = bdd.from_expr(&expr);
+            assert_eq!(from_table, from_expr, "canonicity violated for {text}");
+            for row in 0..tt.num_rows() {
+                assert_eq!(bdd.eval(from_table, row as u64), tt.value(row));
+            }
+        }
+    }
+
+    #[test]
+    fn compose_table_is_symbolic_gate_evaluation() {
+        // NAND table applied to (A^B, C+D) == !((A^B).(C+D))
+        let nand = TruthTable::from_fn(2, |row| row != 0b11).unwrap();
+        let mut ns = crate::var::Namespace::with_names(["A", "B", "C", "D"]);
+        let g1 = crate::parse::parse_expr_with("A ^ B", &mut ns).unwrap();
+        let g2 = crate::parse::parse_expr_with("C + D", &mut ns).unwrap();
+        let mut bdd = Bdd::new();
+        let a1 = bdd.from_expr(&g1);
+        let a2 = bdd.from_expr(&g2);
+        let out = bdd.compose_table(&nand, &[a1, a2]);
+        let (expected, _) = parse_expr("!((A^B).(C+D))").unwrap();
+        exhaustive_matches(&bdd, out, &expected, 4);
+    }
+
+    #[test]
+    fn compose_table_zero_arity_is_a_constant() {
+        let one = TruthTable::from_fn(0, |_| true).unwrap();
+        let mut bdd = Bdd::new();
+        let out = bdd.compose_table(&one, &[]);
+        assert_eq!(bdd.as_constant(out), Some(true));
+    }
+
+    #[test]
+    fn node_introspection() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(Var::new(0));
+        let t = bdd.constant(true);
+        assert_eq!(bdd.as_constant(t), Some(true));
+        assert_eq!(bdd.as_constant(a), None);
+        let (var, low, high) = bdd.node(a).unwrap();
+        assert_eq!(var, Var::new(0));
+        assert_eq!(bdd.as_constant(low), Some(false));
+        assert_eq!(bdd.as_constant(high), Some(true));
+        assert!(bdd.node(t).is_none());
+        assert_eq!(bdd.node_count(a), 1);
+        assert_eq!(bdd.node_count(t), 0);
+    }
+
+    #[test]
+    fn sharing_keeps_the_arena_small() {
+        // n-bit parity has a linear-size BDD despite an exponential SOP.
+        let mut bdd = Bdd::new();
+        let mut parity = bdd.constant(false);
+        for i in 0..16 {
+            let v = bdd.var(Var::new(i));
+            parity = bdd.xor(parity, v);
+        }
+        assert_eq!(bdd.node_count(parity), 2 * 16 - 1);
+        assert_eq!(bdd.sat_count(parity, 16), 1 << 15);
+    }
+
+    #[test]
+    fn literal_handles_polarity() {
+        let mut bdd = Bdd::new();
+        let a = Var::new(0);
+        let pos = bdd.literal(a.positive());
+        let neg = bdd.literal(a.negative());
+        assert_eq!(bdd.not(pos), neg);
+        assert!(bdd.eval(pos, 0b1));
+        assert!(!bdd.eval(neg, 0b1));
+    }
+}

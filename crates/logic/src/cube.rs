@@ -260,6 +260,29 @@ mod tests {
     use super::*;
     use crate::parse::parse_expr;
 
+    /// The two-level minimiser must not change the function: the BDD of the
+    /// minimised SOP is canonically identical to the BDD of the input table.
+    #[test]
+    fn sop_minimisation_is_bdd_equivalent() {
+        use crate::bdd::Bdd;
+        use crate::truth::TruthTable;
+        for text in [
+            "A.B + !A.C",
+            "A^B^C",
+            "(A+B).(C+D)",
+            "A.B.C + A.B.!C + !A.B.C",
+            "A.!B + B.!C + C.!A",
+        ] {
+            let (f, ns) = parse_expr(text).unwrap();
+            let tt = TruthTable::from_expr(&f, ns.len());
+            let sop = Sop::from_truth_table(&tt);
+            let mut bdd = Bdd::new();
+            let reference = bdd.from_truth_table(&tt);
+            let minimised = bdd.from_expr(&sop.to_expr());
+            assert_eq!(minimised, reference, "SOP minimisation diverged for {text}");
+        }
+    }
+
     #[test]
     fn cube_covers_and_merges() {
         let c0 = Cube::from_minterm(0b010, 3);

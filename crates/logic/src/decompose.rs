@@ -21,6 +21,24 @@ pub enum Decomposition {
     Or(Expr, Expr),
 }
 
+impl Decomposition {
+    /// Reassembles an expression with the same Boolean function as the one
+    /// the decomposition was split from.
+    ///
+    /// This is the inverse direction used by the BDD cross-check: the
+    /// synthesis pipeline trusts `decompose` to preserve the function, and
+    /// the check rebuilds the expression from the split and proves the two
+    /// canonical BDDs identical.
+    #[must_use]
+    pub fn recompose(&self) -> Expr {
+        match self {
+            Decomposition::Literal(l) => Expr::lit(*l),
+            Decomposition::And(x, y) => Expr::and([x.clone(), y.clone()]),
+            Decomposition::Or(x, y) => Expr::or([x.clone(), y.clone()]),
+        }
+    }
+}
+
 /// Splits an NNF expression into the paper's `f = x·y` / `f = x+y` form.
 ///
 /// N-ary nodes are split left-associatively: `a·b·c` decomposes as
@@ -236,6 +254,53 @@ mod tests {
         assert_eq!(path.vars(), &[ns.get("A").unwrap(), ns.get("B").unwrap()]);
         assert_eq!(path.len(), 2);
         assert!(!path.is_empty());
+    }
+
+    /// Recursively decomposes all the way to literals — the exact recursion
+    /// the DPDN builders perform — and reassembles the result.
+    fn fully_decompose(expr: &Expr) -> Expr {
+        match decompose(expr).unwrap() {
+            Decomposition::Literal(l) => Expr::lit(l),
+            Decomposition::And(x, y) => Expr::and([fully_decompose(&x), fully_decompose(&y)]),
+            Decomposition::Or(x, y) => Expr::or([fully_decompose(&x), fully_decompose(&y)]),
+        }
+    }
+
+    #[test]
+    fn decomposition_is_bdd_equivalent_to_the_original() {
+        use crate::bdd::Bdd;
+        for text in [
+            "A",
+            "!A",
+            "A.B",
+            "A+B",
+            "A^B",
+            "(A+B).(C+D)",
+            "A.B.C+D",
+            "A.B+!A.C+B.C",
+            "!(A.(B+!C))",
+            "(A^B).(C+D)+!D",
+            "A.1",
+            "A+B+C+D",
+        ] {
+            let (f, _) = parse_expr(text).unwrap();
+            let mut bdd = Bdd::new();
+            let original = bdd.from_expr(&f);
+            // One split step preserves the function …
+            let one = decompose(&f).unwrap().recompose();
+            assert_eq!(
+                bdd.from_expr(&one),
+                original,
+                "one-step split diverged for {text}"
+            );
+            // … and so does the full recursion down to single literals.
+            let full = fully_decompose(&f);
+            assert_eq!(
+                bdd.from_expr(&full),
+                original,
+                "full recursion diverged for {text}"
+            );
+        }
     }
 
     #[test]

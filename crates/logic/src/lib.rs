@@ -14,7 +14,10 @@
 //! * [`parse_expr`] — a textual expression parser (`(A+B).(C+D)`,
 //!   `A&B|!C`, `A^B`, …),
 //! * [`Decomposition`] — the top-level `f = x·y` / `f = x+y` split that
-//!   drives the paper's Section 4.1 construction.
+//!   drives the paper's Section 4.1 construction,
+//! * [`Bdd`] — a small hash-consed reduced ordered BDD manager (memoized
+//!   `apply`/`ite`, restrict/compose, model counting) used by `dpl-verify`
+//!   for exact equivalence checking of synthesised gate netlists.
 //!
 //! ```
 //! use dpl_logic::{parse_expr, TruthTable};
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bdd;
 mod cube;
 mod decompose;
 mod error;
@@ -38,6 +42,7 @@ mod parse;
 mod truth;
 mod var;
 
+pub use bdd::{Bdd, BddNode, BddOp};
 pub use cube::{Cube, Sop};
 pub use decompose::{decompose, decomposition_depth, CanonicalPath, Decomposition};
 pub use error::LogicError;

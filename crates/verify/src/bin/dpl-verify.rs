@@ -1,0 +1,139 @@
+//! `dpl-verify` — emit, check and prove DPL security certificates.
+//!
+//! ```text
+//! dpl-verify emit <circuit> [--model <name>] [--tolerance <t>] [--out <path>]
+//! dpl-verify check <path>...
+//! dpl-verify prove <circuit>|all
+//! ```
+//!
+//! `emit` synthesizes the circuit, runs the security lint, proves every
+//! output equivalent to the specification oracle and writes the
+//! certificate (stdout by default).  `check` replays certificates from
+//! their bytes alone.  `prove` runs the equivalence proof without
+//! producing a certificate.
+
+use std::process::ExitCode;
+
+use dpl_verify::{
+    check_certificate, emit_certificate, prove_equivalent, CertificateRequest, VerifiedCircuit,
+};
+
+const USAGE: &str = "usage:
+  dpl-verify emit <circuit> [--model <name>] [--tolerance <t>] [--out <path>]
+  dpl-verify check <path>...
+  dpl-verify prove <circuit>|all
+
+circuits: sbox, presentN (N >= 1), or a library cell name (and2, oai22, ...)
+models:   hw, genuine, fc, enhanced, each optionally -charac";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("emit") => emit(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("prove") => prove(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn emit(args: &[String]) -> Result<(), String> {
+    let mut circuit: Option<&str> = None;
+    let mut model = "enhanced".to_string();
+    let mut tolerance: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--model" => model = required(iter.next(), "--model")?.clone(),
+            "--tolerance" => {
+                let raw = required(iter.next(), "--tolerance")?;
+                tolerance = Some(
+                    raw.parse()
+                        .map_err(|_| format!("unreadable tolerance '{raw}'"))?,
+                );
+            }
+            "--out" => out = Some(required(iter.next(), "--out")?.clone()),
+            name if circuit.is_none() => circuit = Some(name),
+            extra => return Err(format!("unexpected argument '{extra}'\n{USAGE}")),
+        }
+    }
+    let circuit = circuit.ok_or_else(|| format!("missing circuit name\n{USAGE}"))?;
+    let mut request = CertificateRequest::parse(circuit, &model).map_err(|e| e.to_string())?;
+    if let Some(tolerance) = tolerance {
+        request = request.with_tolerance(tolerance);
+    }
+    let certificate = emit_certificate(&request).map_err(|e| e.to_string())?;
+    let text = certificate.to_text();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "certified {} under {}: {} gate(s), {} output(s) -> {path}",
+                certificate.circuit,
+                certificate.model,
+                certificate.record.gates.len(),
+                certificate.record.outputs.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn check(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err(format!("missing certificate path\n{USAGE}"));
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = check_certificate(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: OK circuit={} model={} inputs={} gates={} outputs={} bdd_nodes={}",
+            report.circuit,
+            report.model,
+            report.inputs,
+            report.gates,
+            report.outputs,
+            report.bdd_nodes
+        );
+    }
+    Ok(())
+}
+
+fn prove(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or_else(|| format!("missing circuit name\n{USAGE}"))?;
+    let circuits = if name == "all" {
+        VerifiedCircuit::all()
+    } else {
+        vec![VerifiedCircuit::parse(name).ok_or_else(|| format!("unknown circuit '{name}'"))?]
+    };
+    for circuit in &circuits {
+        let report = prove_equivalent(circuit).map_err(|e| e.to_string())?;
+        let sweep = match report.exhaustive_inputs {
+            Some(n) => format!(", {n} inputs swept"),
+            None => String::new(),
+        };
+        println!(
+            "{}: equivalent ({} gates, {} outputs, {} BDD nodes{sweep})",
+            report.circuit,
+            report.gates,
+            report.signatures.len(),
+            report.bdd_nodes
+        );
+    }
+    println!("{} circuit(s) proven equivalent", circuits.len());
+    Ok(())
+}
+
+fn required<'a>(value: Option<&'a String>, flag: &str) -> Result<&'a String, String> {
+    value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}

@@ -1,0 +1,45 @@
+//! `dplcert-check` — the lean certificate validator.
+//!
+//! Replays one or more certificates from their bytes alone: checksum, gate
+//! digest, security lints, and the symbolic reconstruction of every output
+//! function against the claimed signatures and model counts.  This binary
+//! deliberately calls nothing but [`dpl_verify::check_certificate`] — no
+//! synthesis, no cell simulation — in the validator-as-separate-binary
+//! style, so a verdict never depends on the code that emitted the claim.
+//!
+//! Exit status is non-zero if any certificate fails, and a single
+//! corrupted byte fails the replay.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: dplcert-check <certificate>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failures += 1;
+            }
+            Ok(text) => match dpl_verify::check_certificate(&text) {
+                Ok(report) => println!(
+                    "{path}: OK circuit={} model={} outputs={}",
+                    report.circuit, report.model, report.outputs
+                ),
+                Err(e) => {
+                    eprintln!("{path}: FAILED: {e}");
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,382 @@
+//! The circuits the toolkit can capture, attack — and now prove.
+//!
+//! [`VerifiedCircuit`] enumerates every synthesizable datapath of the
+//! `repro` CLI (the S-box target, each library-cell datapath, the
+//! multi-round mini-PRESENT) together with an **independent** oracle for
+//! each: a software reference for exhaustive sweeps, and a symbolic BDD
+//! construction that mirrors the specification rather than the synthesis
+//! output.  [`prove_equivalent`] checks the synthesized netlist against
+//! both.
+
+use dpl_core::GateKind;
+use dpl_crypto::{
+    library_circuit_windows, mini_p_layer_position, mini_present, present_sbox,
+    synthesize_library_circuit, synthesize_present_rounds, synthesize_sbox_with_key, GateNetlist,
+    MINI_PRESENT_BITS,
+};
+use dpl_logic::{Bdd, BddNode, TruthTable, Var};
+
+use crate::equiv::{bdd_signature, netlist_bdds};
+use crate::record::NetlistRecord;
+use crate::VerifyError;
+
+/// Largest mini-PRESENT round count enumerated by
+/// [`VerifiedCircuit::all`].  One full round already exercises the key
+/// mixing, every S-box and the pLayer wire permutation, and proves in
+/// milliseconds; deeper datapaths verify too (`present2`, `present3`, …
+/// parse fine) but the fixed plaintext-then-key input order makes the
+/// intermediate BDDs grow steeply (two rounds peak above five million
+/// nodes), so they are opt-in rather than part of the default sweep.
+pub const MAX_VERIFIED_ROUNDS: usize = 1;
+
+/// Inputs at or below this width are additionally swept exhaustively
+/// against the software oracle (2^16 evaluations); wider circuits rely on
+/// the BDD proof alone.
+pub const MAX_EXHAUSTIVE_INPUTS: u32 = 16;
+
+/// A circuit the verifier knows how to synthesize and independently model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifiedCircuit {
+    /// The key-mixed PRESENT S-box datapath (8 inputs, 4 outputs).
+    Sbox,
+    /// A key-mixed single-cell datapath (8 inputs, one output per window).
+    Cell(GateKind),
+    /// The scaled-down multi-round PRESENT datapath (32 inputs, 16
+    /// outputs).
+    MiniPresent(usize),
+}
+
+impl VerifiedCircuit {
+    /// Every circuit `repro` can capture: the S-box, all 18 library-cell
+    /// datapaths, and mini-PRESENT at 1..=[`MAX_VERIFIED_ROUNDS`] rounds.
+    pub fn all() -> Vec<VerifiedCircuit> {
+        let mut circuits = vec![VerifiedCircuit::Sbox];
+        circuits.extend(GateKind::all().iter().map(|&k| VerifiedCircuit::Cell(k)));
+        circuits.extend((1..=MAX_VERIFIED_ROUNDS).map(VerifiedCircuit::MiniPresent));
+        circuits
+    }
+
+    /// Parses a circuit name: `sbox`, a library-cell name (`oai22`, …), or
+    /// `presentN` for an N-round mini-PRESENT.
+    pub fn parse(name: &str) -> Option<VerifiedCircuit> {
+        if name == "sbox" {
+            return Some(VerifiedCircuit::Sbox);
+        }
+        if let Some(rounds) = name.strip_prefix("present") {
+            return rounds
+                .parse::<usize>()
+                .ok()
+                .filter(|&r| r >= 1)
+                .map(VerifiedCircuit::MiniPresent);
+        }
+        GateKind::by_name(name).ok().map(VerifiedCircuit::Cell)
+    }
+
+    /// The canonical name ([`VerifiedCircuit::parse`] inverts it).
+    pub fn name(&self) -> String {
+        match self {
+            VerifiedCircuit::Sbox => "sbox".to_string(),
+            VerifiedCircuit::Cell(kind) => kind.name().to_ascii_lowercase(),
+            VerifiedCircuit::MiniPresent(rounds) => format!("present{rounds}"),
+        }
+    }
+
+    /// Synthesizes the netlist under verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures as [`VerifyError::Crypto`].
+    pub fn netlist(&self) -> Result<GateNetlist, VerifyError> {
+        match self {
+            VerifiedCircuit::Sbox => synthesize_sbox_with_key(),
+            VerifiedCircuit::Cell(kind) => synthesize_library_circuit(*kind),
+            VerifiedCircuit::MiniPresent(rounds) => synthesize_present_rounds(*rounds),
+        }
+        .map_err(VerifyError::Crypto)
+    }
+
+    /// The software reference: the expected output word for a bit-packed
+    /// input word, straight from the specification functions.
+    pub fn oracle_eval(&self, input: u64) -> u64 {
+        match self {
+            VerifiedCircuit::Sbox => {
+                let mixed = ((input ^ (input >> 4)) & 0xF) as u8;
+                u64::from(present_sbox(mixed))
+            }
+            VerifiedCircuit::Cell(kind) => {
+                let mixed = (input ^ (input >> 4)) & 0xF;
+                let mut word = 0u64;
+                for (bit, window) in library_circuit_windows(kind.arity()).iter().enumerate() {
+                    let assignment = (mixed >> window.start) & ((1 << kind.arity()) - 1);
+                    if kind.eval(assignment) {
+                        word |= 1 << bit;
+                    }
+                }
+                word
+            }
+            VerifiedCircuit::MiniPresent(rounds) => u64::from(mini_present(
+                (input & 0xFFFF) as u16,
+                ((input >> MINI_PRESENT_BITS) & 0xFFFF) as u16,
+                *rounds,
+            )),
+        }
+    }
+
+    /// Builds the oracle's output functions symbolically, mirroring the
+    /// *specification* (key mixing, S-box truth tables, the pLayer wire
+    /// permutation) — deliberately not the synthesized gate structure, so a
+    /// synthesis bug cannot cancel out of the comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truth-table construction failures as
+    /// [`VerifyError::Logic`].
+    pub fn oracle_bdds(&self, bdd: &mut Bdd) -> Result<Vec<BddNode>, VerifyError> {
+        match self {
+            VerifiedCircuit::Sbox => {
+                let mixed = mixed_nibble(bdd);
+                let tables = sbox_bit_tables()?;
+                Ok(tables
+                    .iter()
+                    .map(|table| bdd.compose_table(table, &mixed))
+                    .collect())
+            }
+            VerifiedCircuit::Cell(kind) => {
+                let mixed = mixed_nibble(bdd);
+                let table = TruthTable::from_fn(kind.arity(), |x| kind.eval(x))
+                    .map_err(VerifyError::Logic)?;
+                Ok(library_circuit_windows(kind.arity())
+                    .into_iter()
+                    .map(|window| bdd.compose_table(&table, &mixed[window]))
+                    .collect())
+            }
+            VerifiedCircuit::MiniPresent(rounds) => {
+                let key: Vec<BddNode> = (0..MINI_PRESENT_BITS)
+                    .map(|bit| bdd.var(Var::new(MINI_PRESENT_BITS + bit)))
+                    .collect();
+                let round_key = |round: usize, bit: usize| {
+                    key[(bit + MINI_PRESENT_BITS - (5 * round) % MINI_PRESENT_BITS)
+                        % MINI_PRESENT_BITS]
+                };
+                let tables = sbox_bit_tables()?;
+                let mut state: Vec<BddNode> = (0..MINI_PRESENT_BITS)
+                    .map(|bit| bdd.var(Var::new(bit)))
+                    .collect();
+                for round in 0..*rounds {
+                    let mixed: Vec<BddNode> = state
+                        .iter()
+                        .enumerate()
+                        .map(|(bit, &s)| bdd.xor(s, round_key(round, bit)))
+                        .collect();
+                    let mut substituted = Vec::with_capacity(MINI_PRESENT_BITS);
+                    for nibble in 0..4 {
+                        let args = &mixed[4 * nibble..4 * nibble + 4];
+                        for table in &tables {
+                            substituted.push(bdd.compose_table(table, args));
+                        }
+                    }
+                    let mut permuted = vec![substituted[0]; MINI_PRESENT_BITS];
+                    for (bit, &s) in substituted.iter().enumerate() {
+                        permuted[mini_p_layer_position(bit)] = s;
+                    }
+                    state = permuted;
+                }
+                Ok(state
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &s)| bdd.xor(s, round_key(*rounds, bit)))
+                    .collect())
+            }
+        }
+    }
+}
+
+/// The key-mixed nibble functions `p_i ^ k_i` of the 8-input datapaths.
+fn mixed_nibble(bdd: &mut Bdd) -> Vec<BddNode> {
+    (0..4)
+        .map(|bit| {
+            let p = bdd.var(Var::new(bit));
+            let k = bdd.var(Var::new(bit + 4));
+            bdd.xor(p, k)
+        })
+        .collect()
+}
+
+/// The four output-bit truth tables of the PRESENT S-box.
+fn sbox_bit_tables() -> Result<Vec<TruthTable>, VerifyError> {
+    (0..4)
+        .map(|bit| {
+            TruthTable::from_fn(4, |x| (present_sbox(x as u8) >> bit) & 1 == 1)
+                .map_err(VerifyError::Logic)
+        })
+        .collect()
+}
+
+/// The result of a successful equivalence proof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceReport {
+    /// Canonical circuit name.
+    pub circuit: String,
+    /// Primary input count.
+    pub inputs: u32,
+    /// Gate count of the synthesized netlist.
+    pub gates: usize,
+    /// Canonical structural signature of every output BDD.
+    pub signatures: Vec<u64>,
+    /// Model count (satisfying assignments over the primary inputs) of
+    /// every output.
+    pub sat_counts: Vec<u128>,
+    /// Total decision nodes across the output BDDs (shared nodes counted
+    /// once per output).
+    pub bdd_nodes: usize,
+    /// Number of inputs swept against the software oracle, when the width
+    /// admitted an exhaustive sweep.
+    pub exhaustive_inputs: Option<u64>,
+}
+
+/// Proves a circuit's synthesized netlist equivalent to its oracle: every
+/// output BDD must be the *same canonical node* as the specification's, and
+/// circuits at most [`MAX_EXHAUSTIVE_INPUTS`] wide are additionally swept
+/// input-by-input against the software reference.
+///
+/// # Errors
+///
+/// [`VerifyError::NotEquivalent`] or [`VerifyError::OracleMismatch`] when a
+/// divergence is found; synthesis and structural failures propagate.
+pub fn prove_equivalent(circuit: &VerifiedCircuit) -> Result<EquivalenceReport, VerifyError> {
+    let netlist = circuit.netlist()?;
+    let record = NetlistRecord::from_netlist(&netlist);
+    prove_record(circuit, &netlist, &record)
+}
+
+/// [`prove_equivalent`] over an already-synthesized netlist and its record
+/// form (the emit path reuses both).
+pub(crate) fn prove_record(
+    circuit: &VerifiedCircuit,
+    netlist: &GateNetlist,
+    record: &NetlistRecord,
+) -> Result<EquivalenceReport, VerifyError> {
+    let mut bdd = Bdd::new();
+    let implementation = netlist_bdds(&mut bdd, record)?;
+    let oracle = circuit.oracle_bdds(&mut bdd)?;
+    if implementation.len() != oracle.len() {
+        return Err(VerifyError::NotEquivalent {
+            circuit: circuit.name(),
+            output: oracle.len().min(implementation.len()),
+        });
+    }
+    for (output, (imp, spec)) in implementation.iter().zip(&oracle).enumerate() {
+        // Canonicity: same manager, same function ⇔ same node.
+        if imp != spec {
+            return Err(VerifyError::NotEquivalent {
+                circuit: circuit.name(),
+                output,
+            });
+        }
+    }
+    let exhaustive_inputs = if record.input_count <= MAX_EXHAUSTIVE_INPUTS {
+        let sweep = 1u64 << record.input_count;
+        for input in 0..sweep {
+            let (found, _) = netlist.evaluate(input);
+            let expected = circuit.oracle_eval(input);
+            if found != expected {
+                return Err(VerifyError::OracleMismatch {
+                    circuit: circuit.name(),
+                    input,
+                    expected,
+                    found,
+                });
+            }
+        }
+        Some(sweep)
+    } else {
+        None
+    };
+    Ok(EquivalenceReport {
+        circuit: circuit.name(),
+        inputs: record.input_count,
+        gates: record.gates.len(),
+        signatures: implementation
+            .iter()
+            .map(|&node| bdd_signature(&bdd, node))
+            .collect(),
+        sat_counts: implementation
+            .iter()
+            .map(|&node| bdd.sat_count(node, record.input_count as usize))
+            .collect(),
+        bdd_nodes: implementation
+            .iter()
+            .map(|&node| bdd.node_count(node))
+            .sum(),
+        exhaustive_inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_name_round_trip() {
+        for circuit in VerifiedCircuit::all() {
+            assert_eq!(VerifiedCircuit::parse(&circuit.name()), Some(circuit));
+        }
+        assert_eq!(VerifiedCircuit::parse("nonsense"), None);
+        assert_eq!(VerifiedCircuit::parse("present0"), None);
+    }
+
+    #[test]
+    fn sbox_is_equivalent_to_its_oracle() {
+        let report = prove_equivalent(&VerifiedCircuit::Sbox).unwrap();
+        assert_eq!(report.inputs, 8);
+        assert_eq!(report.signatures.len(), 4);
+        assert_eq!(report.exhaustive_inputs, Some(256));
+        // Each S-box output bit is balanced: 8 of 16 nibble values set the
+        // bit, times 16 free assignments of the other nibble.
+        for &count in &report.sat_counts {
+            assert_eq!(count, 128);
+        }
+    }
+
+    #[test]
+    fn every_library_cell_datapath_is_equivalent() {
+        for &kind in dpl_core::GateKind::all() {
+            let report = prove_equivalent(&VerifiedCircuit::Cell(kind)).unwrap();
+            assert_eq!(report.exhaustive_inputs, Some(256), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn one_round_present_is_equivalent() {
+        let report = prove_equivalent(&VerifiedCircuit::MiniPresent(1)).unwrap();
+        assert_eq!(report.inputs, 32);
+        assert_eq!(report.signatures.len(), 16);
+        assert_eq!(report.exhaustive_inputs, None);
+        // Every output of the keyed permutation is balanced.
+        for &count in &report.sat_counts {
+            assert_eq!(count, 1u128 << 31);
+        }
+    }
+
+    #[test]
+    fn a_wrong_oracle_is_detected() {
+        // Verify the S-box netlist against the *two*-round present oracle's
+        // name — i.e. against a deliberately wrong specification.
+        let netlist = VerifiedCircuit::Sbox.netlist().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let wrong = VerifiedCircuit::Cell(GateKind::And2);
+        let result = prove_record(&wrong, &netlist, &record);
+        assert!(matches!(result, Err(VerifyError::NotEquivalent { .. })));
+    }
+
+    #[test]
+    fn a_corrupted_netlist_fails_the_proof() {
+        let netlist = VerifiedCircuit::Sbox.netlist().unwrap();
+        let mut record = NetlistRecord::from_netlist(&netlist);
+        // Flip the consumed rail of one gate: still a perfectly structured
+        // DPL netlist, but a different function.
+        record.gates[5].rail ^= 1;
+        let result = prove_record(&VerifiedCircuit::Sbox, &netlist, &record);
+        assert!(matches!(result, Err(VerifyError::NotEquivalent { .. })));
+    }
+}

@@ -1,0 +1,164 @@
+//! Symbolic netlist evaluation and canonical BDD signatures.
+
+use std::collections::HashMap;
+
+use dpl_logic::{Bdd, BddNode, TruthTable, Var};
+use dpl_store::format::fnv1a64;
+
+use crate::record::NetlistRecord;
+use crate::VerifyError;
+
+/// Builds the BDD of every circuit output of a netlist record by symbolic
+/// simulation: primary input `i` carries BDD variable `i`, and each gate's
+/// output function is the claimed rail's truth table composed over its
+/// input functions ([`Bdd::compose_table`]).
+///
+/// The walk trusts nothing about the record beyond what it re-checks:
+/// undefined signals and redefinitions are reported as
+/// [`VerifyError::Structure`] (the linter gives the same defects friendlier
+/// typed diagnostics; this is the independent backstop on the replay path).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Structure`] when a gate consumes or redefines a
+/// signal in a way that makes symbolic evaluation impossible.
+pub fn netlist_bdds(bdd: &mut Bdd, record: &NetlistRecord) -> Result<Vec<BddNode>, VerifyError> {
+    let mut wires: HashMap<u32, BddNode> = HashMap::new();
+    for i in 0..record.input_count {
+        let node = bdd.var(Var::new(i as usize));
+        wires.insert(i, node);
+    }
+    for (position, gate) in record.gates.iter().enumerate() {
+        let arity = gate.inputs.len();
+        let mut args = Vec::with_capacity(arity);
+        for &input in &gate.inputs {
+            args.push(*wires.get(&input).ok_or_else(|| VerifyError::Structure {
+                message: format!("gate {position} reads undefined signal {input}"),
+            })?);
+        }
+        let table = rail_table(gate.consumed_table(), arity)?;
+        let out = bdd.compose_table(&table, &args);
+        if wires.insert(gate.out, out).is_some() {
+            return Err(VerifyError::Structure {
+                message: format!("gate {position} redefines signal {}", gate.out),
+            });
+        }
+    }
+    record
+        .outputs
+        .iter()
+        .map(|signal| {
+            wires
+                .get(signal)
+                .copied()
+                .ok_or_else(|| VerifyError::Structure {
+                    message: format!("circuit output {signal} is undefined"),
+                })
+        })
+        .collect()
+}
+
+/// Expands a bit-packed rail truth table into a dense [`TruthTable`].
+fn rail_table(bits: u16, arity: usize) -> Result<TruthTable, VerifyError> {
+    TruthTable::from_fn(arity, |row| (bits >> row) & 1 == 1).map_err(VerifyError::Logic)
+}
+
+/// A canonical, manager-independent structural digest of a BDD: FNV-1a over
+/// the node's variable and the signatures of its children, computed
+/// bottom-up over the shared graph.  Two functions have equal signatures
+/// exactly when their reduced ordered BDDs are structurally identical —
+/// i.e. when they are the same Boolean function under the natural variable
+/// order — so a certificate can commit to an output function without
+/// serialising the diagram.
+pub fn bdd_signature(bdd: &Bdd, node: BddNode) -> u64 {
+    let mut memo: HashMap<BddNode, u64> = HashMap::new();
+    signature_rec(bdd, node, &mut memo)
+}
+
+fn signature_rec(bdd: &Bdd, node: BddNode, memo: &mut HashMap<BddNode, u64>) -> u64 {
+    if let Some(&sig) = memo.get(&node) {
+        return sig;
+    }
+    let sig = match bdd.node(node) {
+        None => fnv1a64(if bdd.as_constant(node) == Some(true) {
+            b"bdd:T"
+        } else {
+            b"bdd:F"
+        }),
+        Some((var, low, high)) => {
+            let low_sig = signature_rec(bdd, low, memo);
+            let high_sig = signature_rec(bdd, high, memo);
+            let mut bytes = [0u8; 21];
+            bytes[0] = b'N';
+            bytes[1..5].copy_from_slice(&(var.index() as u32).to_le_bytes());
+            bytes[5..13].copy_from_slice(&low_sig.to_le_bytes());
+            bytes[13..21].copy_from_slice(&high_sig.to_le_bytes());
+            fnv1a64(&bytes)
+        }
+    };
+    memo.insert(node, sig);
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NetlistRecord;
+
+    #[test]
+    fn sbox_netlist_bdds_match_scalar_evaluation() {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let mut bdd = Bdd::new();
+        let outputs = netlist_bdds(&mut bdd, &record).unwrap();
+        assert_eq!(outputs.len(), 4);
+        for input in 0..256u64 {
+            let (expected, _) = netlist.evaluate(input);
+            let mut word = 0u64;
+            for (bit, &node) in outputs.iter().enumerate() {
+                if bdd.eval(node, input) {
+                    word |= 1 << bit;
+                }
+            }
+            assert_eq!(
+                word, expected,
+                "symbolic/scalar divergence at input {input:02x}"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_functions_and_is_stable_across_managers() {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let mut first = Bdd::new();
+        let a = netlist_bdds(&mut first, &record).unwrap();
+        // A fresh manager with different allocation history must produce
+        // identical signatures for the same functions.
+        let mut second = Bdd::new();
+        let noise = dpl_logic::parse_expr("A.B+C.!D").unwrap().0;
+        let _ = second.from_expr(&noise);
+        let b = netlist_bdds(&mut second, &record).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(bdd_signature(&first, *x), bdd_signature(&second, *y));
+        }
+        // Distinct output bits are distinct functions with distinct digests.
+        assert_ne!(bdd_signature(&first, a[0]), bdd_signature(&first, a[1]));
+        // Constants have distinct signatures too.
+        let t = first.constant(true);
+        let f = first.constant(false);
+        assert_ne!(bdd_signature(&first, t), bdd_signature(&first, f));
+    }
+
+    #[test]
+    fn undefined_signal_is_a_structure_error() {
+        let netlist = dpl_crypto::synthesize_library_circuit(dpl_core::GateKind::And2).unwrap();
+        let mut record = NetlistRecord::from_netlist(&netlist);
+        record.gates[0].inputs[0] = 500;
+        let mut bdd = Bdd::new();
+        assert!(matches!(
+            netlist_bdds(&mut bdd, &record),
+            Err(VerifyError::Structure { .. })
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! # dpl-verify
+//!
+//! Static verification for the constant-power differential-logic toolkit:
+//! BDD-backed **exact equivalence checking** of synthesized gate netlists
+//! against independent specification oracles, a **DPL security linter**
+//! with typed diagnostics, and **replayable security certificates**.
+//!
+//! The paper's security argument is conditional on structural facts about
+//! the synthesized netlist — every gate is a library SABL cell, both rails
+//! of every differential pair are present and complementary, the gate
+//! graph is well-formed, and the per-gate event energies are
+//! input-independent.  Earlier layers only *sample* those facts with
+//! randomized tests; this crate *proves* them:
+//!
+//! * [`prove_equivalent`] builds the canonical BDD of every output of a
+//!   synthesized [`dpl_crypto::GateNetlist`] and of an independently
+//!   constructed specification oracle in one manager — equivalence is node
+//!   identity — and additionally sweeps circuits up to 16 inputs
+//!   exhaustively against the software reference.
+//! * [`lint`] re-establishes the DPL structural contract on an untrusted
+//!   [`NetlistRecord`] and reports one typed [`LintError`] per violation.
+//! * [`emit_certificate`] serializes a machine-checkable record (gate
+//!   list and digest, per-output canonical BDD signatures and model
+//!   counts, lint verdicts, energy-table digest and event rows) which
+//!   [`check_certificate`] replays **without touching any synthesis or
+//!   cell-simulation code path** — the checker re-derives every claim from
+//!   the certificate bytes alone and fails closed on any corruption.
+//!
+//! ```
+//! use dpl_verify::{emit_certificate, check_certificate, CertificateRequest};
+//!
+//! let request = CertificateRequest::parse("and2", "enhanced").unwrap();
+//! let certificate = emit_certificate(&request).unwrap();
+//! let text = certificate.to_text();
+//! let report = check_certificate(&text).unwrap();
+//! assert_eq!(report.circuit, "and2");
+//! // Any corrupted byte fails closed.
+//! let mut corrupt = text.clone().into_bytes();
+//! corrupt[40] ^= 0x20;
+//! assert!(check_certificate(std::str::from_utf8(&corrupt).unwrap()).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod certificate;
+mod circuit;
+mod equiv;
+mod lint;
+mod record;
+
+pub use certificate::{
+    check_certificate, emit_certificate, Certificate, CertificateRequest, CheckReport,
+    CERT_VERSION, CLEAN_VERDICT,
+};
+pub use circuit::{
+    prove_equivalent, EquivalenceReport, VerifiedCircuit, MAX_EXHAUSTIVE_INPUTS,
+    MAX_VERIFIED_ROUNDS,
+};
+pub use equiv::{bdd_signature, netlist_bdds};
+pub use lint::{lint, lint_energy, lint_structure, EnergyFacts, LintError};
+pub use record::{table_mask, GateRecord, NetlistRecord, RAIL_COMPLEMENT, RAIL_PLAIN};
+
+/// Errors produced by the verification layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// Synthesis of the circuit under verification failed.
+    Crypto(dpl_crypto::CryptoError),
+    /// A logic-layer operation (truth tables, BDDs) failed.
+    Logic(dpl_logic::LogicError),
+    /// The netlist record is structurally unusable for symbolic evaluation.
+    Structure {
+        /// What is malformed.
+        message: String,
+    },
+    /// The security linter rejected the netlist (or its energy model);
+    /// `emit` refuses to certify and `check` fails the replay.
+    Lint(Vec<LintError>),
+    /// An output BDD differs from the specification oracle's.
+    NotEquivalent {
+        /// Circuit name.
+        circuit: String,
+        /// Index of the diverging output.
+        output: usize,
+    },
+    /// The exhaustive sweep found an input where the netlist and the
+    /// software oracle disagree.
+    OracleMismatch {
+        /// Circuit name.
+        circuit: String,
+        /// The diverging bit-packed input.
+        input: u64,
+        /// Oracle output word.
+        expected: u64,
+        /// Netlist output word.
+        found: u64,
+    },
+    /// The verifier does not know a circuit by this name.
+    UnknownCircuit {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// The energy-model name is not recognized.
+    UnknownModel {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A certificate failed to parse.
+    MalformedCertificate {
+        /// 1-based line number.
+        line: usize,
+        /// What is malformed.
+        message: String,
+    },
+    /// The certificate's trailing checksum does not cover its bytes — the
+    /// file was corrupted or truncated.
+    ChecksumMismatch {
+        /// Checksum recorded in the certificate.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The embedded gate list does not hash to the recorded gate digest.
+    GateDigestMismatch {
+        /// Digest recorded in the certificate.
+        expected: u64,
+        /// Digest of the embedded gate list.
+        actual: u64,
+    },
+    /// A replayed output BDD signature differs from the certificate claim.
+    SignatureMismatch {
+        /// Output index.
+        output: usize,
+        /// Claimed canonical signature.
+        expected: u64,
+        /// Replayed canonical signature.
+        actual: u64,
+    },
+    /// A replayed model count differs from the certificate claim.
+    SatCountMismatch {
+        /// Output index.
+        output: usize,
+        /// Claimed model count.
+        expected: u128,
+        /// Replayed model count.
+        actual: u128,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Crypto(e) => write!(f, "synthesis failed: {e}"),
+            VerifyError::Logic(e) => write!(f, "logic layer error: {e}"),
+            VerifyError::Structure { message } => write!(f, "malformed netlist: {message}"),
+            VerifyError::Lint(errors) => {
+                write!(f, "security lint failed with {} finding(s):", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  - {e}")?;
+                }
+                Ok(())
+            }
+            VerifyError::NotEquivalent { circuit, output } => write!(
+                f,
+                "{circuit}: output {output} is not equivalent to the specification oracle"
+            ),
+            VerifyError::OracleMismatch {
+                circuit,
+                input,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{circuit}: input {input:#x} evaluates to {found:#x}, oracle says {expected:#x}"
+            ),
+            VerifyError::UnknownCircuit { name } => write!(f, "unknown circuit '{name}'"),
+            VerifyError::UnknownModel { name } => write!(f, "unknown energy model '{name}'"),
+            VerifyError::MalformedCertificate { line, message } => {
+                write!(f, "malformed certificate at line {line}: {message}")
+            }
+            VerifyError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "certificate checksum mismatch: recorded {expected:016x}, computed {actual:016x}"
+            ),
+            VerifyError::GateDigestMismatch { expected, actual } => write!(
+                f,
+                "gate list digest mismatch: recorded {expected:016x}, computed {actual:016x}"
+            ),
+            VerifyError::SignatureMismatch {
+                output,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "output {output}: BDD signature mismatch (claimed {expected:016x}, replayed {actual:016x})"
+            ),
+            VerifyError::SatCountMismatch {
+                output,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "output {output}: model count mismatch (claimed {expected}, replayed {actual})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Logic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dpl_logic::LogicError> for VerifyError {
+    fn from(value: dpl_logic::LogicError) -> Self {
+        VerifyError::Logic(value)
+    }
+}
+
+impl From<dpl_crypto::CryptoError> for VerifyError {
+    fn from(value: dpl_crypto::CryptoError) -> Self {
+        VerifyError::Crypto(value)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, VerifyError>;

@@ -1,0 +1,538 @@
+//! The DPL security linter.
+//!
+//! The paper's constant-power argument is conditional on structural
+//! properties of the synthesized netlist: every gate instantiates a genuine
+//! library SABL cell, both rails of every differential pair are present and
+//! complementary, the gate graph is acyclic single-assignment with no
+//! dangling wires, and the per-gate event energies of the cells actually
+//! used are input-independent.  The linter re-establishes each property on
+//! the untrusted [`NetlistRecord`] form and reports one typed
+//! [`LintError`] per violation.
+
+use std::fmt;
+
+use dpl_core::GateKind;
+use dpl_crypto::{GateEnergyTable, GateNetlist, GateOp};
+
+use crate::record::{table_mask, NetlistRecord, RAIL_COMPLEMENT, RAIL_PLAIN};
+
+/// A violation of the DPL structural security contract.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LintError {
+    /// A gate claims a cell outside the standard library, or its rail truth
+    /// tables do not implement the claimed cell.
+    UnknownCell {
+        /// Position of the offending gate in the gate list.
+        gate: usize,
+        /// The claimed library cell index.
+        cell: u8,
+    },
+    /// The two rails of a differential pair are not complementary, or are
+    /// swapped with respect to the claimed cell.
+    UnbalancedRails {
+        /// Position of the offending gate in the gate list.
+        gate: usize,
+        /// What is wrong with the pair.
+        detail: String,
+    },
+    /// A cell the netlist instantiates has input-dependent event energies
+    /// beyond the admitted tolerance — the constant-power premise fails.
+    NonConstantEvents {
+        /// Name of the leaky library cell.
+        cell: String,
+        /// Measured relative energy spread (max−min over mean), or infinite
+        /// when the energy facts carry no row for the cell.
+        spread: f64,
+    },
+    /// A signal is consumed or exported but never driven.
+    DanglingWire {
+        /// The undriven signal id.
+        signal: u32,
+        /// Where the signal is referenced.
+        location: String,
+    },
+    /// A gate reads a signal that is only defined by itself or a later gate
+    /// (the claimed evaluation order is not topological), or redefines an
+    /// already-driven wire.
+    CombinationalCycle {
+        /// Position of the offending gate in the gate list.
+        gate: usize,
+        /// The back- or self-referencing signal id.
+        signal: u32,
+    },
+    /// The energy table the netlist is claimed to run under does not match
+    /// the recorded digest.
+    EnergyDigestMismatch {
+        /// Digest the certificate (or caller) expected.
+        expected: u64,
+        /// Digest of the table actually supplied.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::UnknownCell { gate, cell } => {
+                write!(f, "gate {gate}: cell index {cell} is not a library cell (or the rail tables do not implement it)")
+            }
+            LintError::UnbalancedRails { gate, detail } => {
+                write!(f, "gate {gate}: unbalanced differential rails: {detail}")
+            }
+            LintError::NonConstantEvents { cell, spread } => {
+                write!(
+                    f,
+                    "cell {cell}: event energies are input-dependent (relative spread {spread:.3e})"
+                )
+            }
+            LintError::DanglingWire { signal, location } => {
+                write!(
+                    f,
+                    "signal {signal} is never driven (referenced by {location})"
+                )
+            }
+            LintError::CombinationalCycle { gate, signal } => {
+                write!(
+                    f,
+                    "gate {gate}: signal {signal} breaks topological order (cycle or redefinition)"
+                )
+            }
+            LintError::EnergyDigestMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "energy table digest mismatch: expected {expected:016x}, got {actual:016x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// The energy-model evidence the event-constancy lint runs against: which
+/// table the netlist is claimed to run under, and the per-cell event rows
+/// for the cells it uses.
+///
+/// On the emit path the facts are extracted from a live
+/// [`GateEnergyTable`]; on the certificate-check path they are parsed back
+/// out of the certificate itself, so the replay needs no synthesis or cell
+/// simulation code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyFacts {
+    /// Canonical name of the energy model (`enhanced`, `fc-charac`, …).
+    pub model: String,
+    /// [`GateEnergyTable::digest`] of the full table.
+    pub digest: u64,
+    /// Maximum admitted relative event-energy spread per cell.  The
+    /// built-in SABL models are exactly constant (tolerance 0 works); the
+    /// transient-characterized models carry residual simulator spread and
+    /// must be granted an explicit tolerance, which the certificate
+    /// records.
+    pub tolerance: f64,
+    /// Per-cell event energies: `(cell index, energies of the 2^arity
+    /// input events)`.
+    pub rows: Vec<(u8, Vec<f64>)>,
+}
+
+impl EnergyFacts {
+    /// Extracts the facts for the cells `netlist` instantiates from a live
+    /// energy table.
+    pub fn from_table(table: &GateEnergyTable, netlist: &GateNetlist, tolerance: f64) -> Self {
+        let rows = netlist
+            .kinds_used()
+            .into_iter()
+            .map(|kind| {
+                let events = table.event_energies(GateOp::cell(kind));
+                (kind.index() as u8, events[..1 << kind.arity()].to_vec())
+            })
+            .collect();
+        EnergyFacts {
+            model: table.model().name(),
+            digest: table.digest(),
+            tolerance,
+            rows,
+        }
+    }
+
+    /// The event row recorded for a cell index, if any.
+    pub fn row(&self, cell: u8) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(index, _)| *index == cell)
+            .map(|(_, events)| events.as_slice())
+    }
+}
+
+/// Runs the structural lints (library membership, rail pairing, topological
+/// well-formedness) over a netlist record.
+pub fn lint_structure(record: &NetlistRecord) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    let signal_span = record.input_count as usize + record.gates.len();
+    let mut defined = vec![false; signal_span.max(record.input_count as usize)];
+    for slot in defined.iter_mut().take(record.input_count as usize) {
+        *slot = true;
+    }
+    // First pass: which signals are driven by *some* gate (for
+    // cycle-vs-dangling classification) — a forward reference is a cycle,
+    // a reference to a never-driven id is a dangling wire.
+    let mut driven_somewhere = defined.clone();
+    for gate in &record.gates {
+        if let Some(slot) = driven_somewhere.get_mut(gate.out as usize) {
+            *slot = true;
+        }
+    }
+
+    for (position, gate) in record.gates.iter().enumerate() {
+        errors.extend(lint_gate_cell(position, gate));
+        for &input in &gate.inputs {
+            match defined.get(input as usize) {
+                Some(true) => {}
+                Some(false) if driven_somewhere[input as usize] => {
+                    errors.push(LintError::CombinationalCycle {
+                        gate: position,
+                        signal: input,
+                    });
+                }
+                _ => errors.push(LintError::DanglingWire {
+                    signal: input,
+                    location: format!("gate {position}"),
+                }),
+            }
+        }
+        match defined.get_mut(gate.out as usize) {
+            Some(slot) if !*slot => *slot = true,
+            // Redefinition of an input or an earlier gate's wire, or an
+            // output id outside the dense signal span.
+            Some(_) => errors.push(LintError::CombinationalCycle {
+                gate: position,
+                signal: gate.out,
+            }),
+            None => errors.push(LintError::DanglingWire {
+                signal: gate.out,
+                location: format!("gate {position} output (outside the signal span)"),
+            }),
+        }
+    }
+
+    for &output in &record.outputs {
+        if !matches!(defined.get(output as usize), Some(true)) {
+            errors.push(LintError::DanglingWire {
+                signal: output,
+                location: "circuit outputs".to_string(),
+            });
+        }
+    }
+    errors
+}
+
+/// Library-membership and rail-pairing checks of one gate record.
+fn lint_gate_cell(position: usize, gate: &crate::record::GateRecord) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    if gate.rail != RAIL_PLAIN && gate.rail != RAIL_COMPLEMENT {
+        errors.push(LintError::UnbalancedRails {
+            gate: position,
+            detail: format!("rail selector {} out of range", gate.rail),
+        });
+    }
+    let cell = usize::from(gate.cell);
+    if cell >= GateKind::COUNT {
+        errors.push(LintError::UnknownCell {
+            gate: position,
+            cell: gate.cell,
+        });
+        return errors;
+    }
+    let kind = GateKind::all()[cell];
+    if gate.inputs.len() != kind.arity() {
+        errors.push(LintError::UnknownCell {
+            gate: position,
+            cell: gate.cell,
+        });
+        return errors;
+    }
+    let mask = table_mask(kind.arity());
+    let library = kind.truth_table() & mask;
+    let complement = !library & mask;
+    let plain = gate.rails[0] & mask;
+    let comp = gate.rails[1] & mask;
+    if plain == library && comp == complement {
+        return errors; // well-formed differential pair
+    }
+    if plain == complement && comp == library {
+        errors.push(LintError::UnbalancedRails {
+            gate: position,
+            detail: format!("rails of {} are swapped", kind.name()),
+        });
+    } else if comp != (!plain & mask) {
+        errors.push(LintError::UnbalancedRails {
+            gate: position,
+            detail: format!("complement rail {comp:04x} is not the complement of {plain:04x}"),
+        });
+    } else {
+        // A complementary pair, but not the claimed library function.
+        errors.push(LintError::UnknownCell {
+            gate: position,
+            cell: gate.cell,
+        });
+    }
+    errors
+}
+
+/// Runs the energy lints: per-cell event constancy against the supplied
+/// facts, and (optionally) the energy-table digest commitment.
+pub fn lint_energy(
+    record: &NetlistRecord,
+    facts: &EnergyFacts,
+    expected_digest: Option<u64>,
+) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    if let Some(expected) = expected_digest {
+        if expected != facts.digest {
+            errors.push(LintError::EnergyDigestMismatch {
+                expected,
+                actual: facts.digest,
+            });
+        }
+    }
+    for kind in record.kinds_claimed() {
+        match facts.row(kind.index() as u8) {
+            Some(events) if !events.is_empty() => {
+                let spread = relative_spread(events);
+                if spread > facts.tolerance {
+                    errors.push(LintError::NonConstantEvents {
+                        cell: kind.name().to_string(),
+                        spread,
+                    });
+                }
+            }
+            _ => errors.push(LintError::NonConstantEvents {
+                cell: kind.name().to_string(),
+                spread: f64::INFINITY,
+            }),
+        }
+    }
+    errors
+}
+
+/// Runs every lint: structure always, energy when facts are supplied.
+pub fn lint(record: &NetlistRecord, energy: Option<(&EnergyFacts, Option<u64>)>) -> Vec<LintError> {
+    let mut errors = lint_structure(record);
+    if let Some((facts, expected)) = energy {
+        errors.extend(lint_energy(record, facts, expected));
+    }
+    errors
+}
+
+/// Relative spread `(max − min) / mean` of a set of event energies; `0` for
+/// a constant row (including the all-zero row of the Hamming-weight style's
+/// zero-energy events).
+fn relative_spread(events: &[f64]) -> f64 {
+    let max = events.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = events.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = events.iter().copied().sum::<f64>() / events.len() as f64;
+    if max == min {
+        return 0.0;
+    }
+    if mean.abs() < f64::MIN_POSITIVE {
+        return f64::INFINITY;
+    }
+    (max - min) / mean.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::GateRecord;
+
+    fn clean_record() -> NetlistRecord {
+        let netlist = dpl_crypto::synthesize_library_circuit(GateKind::Oai22).unwrap();
+        NetlistRecord::from_netlist(&netlist)
+    }
+
+    #[test]
+    fn synthesized_netlists_lint_clean() {
+        assert!(lint_structure(&clean_record()).is_empty());
+    }
+
+    #[test]
+    fn swapped_rails_are_unbalanced() {
+        let mut record = clean_record();
+        record.gates[3].rails.swap(0, 1);
+        let errors = lint_structure(&record);
+        assert!(
+            matches!(&errors[..], [LintError::UnbalancedRails { gate: 3, .. }]),
+            "unexpected diagnostics: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_complement_rail_is_unbalanced() {
+        let mut record = clean_record();
+        record.gates[0].rails[1] ^= 0b1;
+        let errors = lint_structure(&record);
+        assert!(
+            matches!(&errors[..], [LintError::UnbalancedRails { gate: 0, .. }]),
+            "unexpected diagnostics: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn swapped_kind_is_an_unknown_cell() {
+        let mut record = clean_record();
+        // Find a 2-input cell and claim it is a different 2-input cell while
+        // keeping the (still complementary) rail tables.
+        let position = record
+            .gates
+            .iter()
+            .position(|g| g.inputs.len() == 2)
+            .expect("circuit has a 2-input gate");
+        let current = record.gates[position].cell;
+        let other = GateKind::all()
+            .iter()
+            .find(|k| k.arity() == 2 && k.index() as u8 != current)
+            .unwrap();
+        record.gates[position].cell = other.index() as u8;
+        let errors = lint_structure(&record);
+        assert!(
+            matches!(&errors[..], [LintError::UnknownCell { gate, .. }] if *gate == position),
+            "unexpected diagnostics: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_library_index_is_an_unknown_cell() {
+        let mut record = clean_record();
+        record.gates[1].cell = GateKind::COUNT as u8 + 7;
+        let errors = lint_structure(&record);
+        assert!(matches!(
+            &errors[..],
+            [LintError::UnknownCell { gate: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn dropped_gate_leaves_a_dangling_wire() {
+        let mut record = clean_record();
+        // Drop a mid-netlist gate whose output someone consumes.
+        let victim = record.gates.len() / 2;
+        let signal = record.gates[victim].out;
+        record.gates.remove(victim);
+        let errors = lint_structure(&record);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, LintError::DanglingWire { signal: s, .. } if *s == signal)),
+            "expected a dangling wire on signal {signal}, got {errors:?}"
+        );
+    }
+
+    #[test]
+    fn forward_reference_is_a_cycle() {
+        let mut record = clean_record();
+        let last_out = record.gates.last().unwrap().out;
+        record.gates[0].inputs[0] = last_out;
+        let errors = lint_structure(&record);
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, LintError::CombinationalCycle { gate: 0, signal } if *signal == last_out)),
+            "expected a cycle diagnostic, got {errors:?}"
+        );
+    }
+
+    #[test]
+    fn redefined_wire_is_a_cycle() {
+        let mut record = clean_record();
+        let first_out = record.gates[0].out;
+        let last = record.gates.len() - 1;
+        record.gates[last].out = first_out;
+        let errors = lint_structure(&record);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, LintError::CombinationalCycle { gate, signal } if *gate == last && *signal == first_out)));
+    }
+
+    #[test]
+    fn undriven_circuit_output_is_dangling() {
+        let mut record = clean_record();
+        record.outputs.push(9999);
+        let errors = lint_structure(&record);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, LintError::DanglingWire { signal: 9999, .. })));
+    }
+
+    #[test]
+    fn self_reference_is_a_cycle() {
+        let mut record = clean_record();
+        let out = record.gates[0].out;
+        record.gates[0].inputs[0] = out;
+        let errors = lint_structure(&record);
+        assert!(errors.iter().any(
+            |e| matches!(e, LintError::CombinationalCycle { gate: 0, signal } if *signal == out)
+        ));
+    }
+
+    #[test]
+    fn constant_power_model_passes_energy_lint() {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let cap = dpl_cells::CapacitanceModel::default();
+        let table = GateEnergyTable::builtin(dpl_crypto::LeakageModel::EnhancedSabl, &cap).unwrap();
+        let facts = EnergyFacts::from_table(&table, &netlist, 1e-9);
+        assert!(lint_energy(&record, &facts, Some(table.digest())).is_empty());
+        // A wrong digest commitment is reported.
+        let errors = lint_energy(&record, &facts, Some(table.digest() ^ 1));
+        assert!(matches!(
+            &errors[..],
+            [LintError::EnergyDigestMismatch { .. }]
+        ));
+    }
+
+    #[test]
+    fn leaky_model_fails_the_event_constancy_lint() {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let cap = dpl_cells::CapacitanceModel::default();
+        let table = GateEnergyTable::builtin(dpl_crypto::LeakageModel::GenuineSabl, &cap).unwrap();
+        let facts = EnergyFacts::from_table(&table, &netlist, 1e-9);
+        let errors = lint_energy(&record, &facts, None);
+        assert!(
+            errors
+                .iter()
+                .all(|e| matches!(e, LintError::NonConstantEvents { .. }))
+                && !errors.is_empty(),
+            "genuine SABL must fail event constancy, got {errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_event_row_is_reported_as_unbounded_spread() {
+        let record = NetlistRecord {
+            input_count: 2,
+            gates: vec![GateRecord {
+                cell: GateKind::And2.index() as u8,
+                rail: 0,
+                rails: [
+                    GateKind::And2.truth_table() & 0xF,
+                    !GateKind::And2.truth_table() & 0xF,
+                ],
+                inputs: vec![0, 1],
+                out: 2,
+            }],
+            outputs: vec![2],
+        };
+        let facts = EnergyFacts {
+            model: "enhanced".to_string(),
+            digest: 0,
+            tolerance: 0.0,
+            rows: Vec::new(),
+        };
+        let errors = lint_energy(&record, &facts, None);
+        assert!(matches!(
+            &errors[..],
+            [LintError::NonConstantEvents { spread, .. }] if spread.is_infinite()
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! The raw, untrusted netlist form the linter and the certificate checker
+//! operate on.
+//!
+//! `dpl-crypto`'s [`GateNetlist`] enforces its invariants at construction
+//! time, so a value of that type can never exhibit the defects the DPL
+//! linter exists to catch.  Certificates therefore embed a *record* form —
+//! plain integers, exactly what a netlist interchange file would carry — and
+//! every structural claim is re-established from scratch when a certificate
+//! is checked.  Tests mutate records freely to prove the linter rejects each
+//! class of defect.
+
+use dpl_core::GateKind;
+use dpl_crypto::GateNetlist;
+use dpl_store::format::fnv1a64;
+
+/// Rail selector: the gate consumes the plain (true) output of the cell.
+pub const RAIL_PLAIN: u8 = 0;
+/// Rail selector: the gate consumes the complement (false) output.
+pub const RAIL_COMPLEMENT: u8 = 1;
+
+/// One differential gate instance as claimed by a certificate.
+///
+/// `rails` carries the truth tables of the cell's two outputs (plain and
+/// complement), masked to the cell's arity.  A well-formed record satisfies
+/// `rails[0] == kind.truth_table()` and `rails[1] == !rails[0]` — the linter
+/// checks both, so a record whose rails disagree with the claimed cell
+/// (an unknown cell) or with each other (an unbalanced differential pair)
+/// is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateRecord {
+    /// Library index of the claimed cell ([`GateKind::index`]).
+    pub cell: u8,
+    /// Which rail the gate's output wire carries ([`RAIL_PLAIN`] or
+    /// [`RAIL_COMPLEMENT`]).
+    pub rail: u8,
+    /// Claimed truth tables of the plain and complement rails, masked to
+    /// `2^arity` bits.
+    pub rails: [u16; 2],
+    /// Input signal ids, in cell slot order.
+    pub inputs: Vec<u32>,
+    /// Output signal id written by this gate.
+    pub out: u32,
+}
+
+impl GateRecord {
+    /// The truth table of the rail this gate's output wire actually
+    /// carries.
+    pub fn consumed_table(&self) -> u16 {
+        self.rails[usize::from(self.rail != RAIL_PLAIN)]
+    }
+}
+
+/// A full netlist in record form: primary inputs `0..input_count`, a gate
+/// list, and the signals exposed as circuit outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistRecord {
+    /// Number of primary input signals.
+    pub input_count: u32,
+    /// Gate instances, in claimed evaluation order.
+    pub gates: Vec<GateRecord>,
+    /// Output signal ids.
+    pub outputs: Vec<u32>,
+}
+
+impl NetlistRecord {
+    /// Extracts the record form of a synthesized netlist.
+    pub fn from_netlist(netlist: &GateNetlist) -> Self {
+        let gates = netlist
+            .gates()
+            .iter()
+            .map(|gate| {
+                let kind = gate.op.kind();
+                let arity = kind.arity();
+                let mask = table_mask(arity);
+                let plain = kind.truth_table() & mask;
+                GateRecord {
+                    cell: kind.index() as u8,
+                    rail: if gate.op.is_negated() {
+                        RAIL_COMPLEMENT
+                    } else {
+                        RAIL_PLAIN
+                    },
+                    rails: [plain, !plain & mask],
+                    inputs: gate.input_signals()[..arity]
+                        .iter()
+                        .map(|s| s.index() as u32)
+                        .collect(),
+                    out: gate.out.index() as u32,
+                }
+            })
+            .collect();
+        NetlistRecord {
+            input_count: netlist.input_count() as u32,
+            gates,
+            outputs: netlist.outputs().iter().map(|s| s.index() as u32).collect(),
+        }
+    }
+
+    /// A 64-bit FNV-1a digest over the record's canonical byte encoding.
+    /// This is the gate-list digest a certificate commits to.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 + self.gates.len() * 16);
+        bytes.extend_from_slice(&self.input_count.to_le_bytes());
+        bytes.extend_from_slice(&(self.gates.len() as u32).to_le_bytes());
+        for gate in &self.gates {
+            bytes.push(gate.cell);
+            bytes.push(gate.rail);
+            bytes.extend_from_slice(&gate.rails[0].to_le_bytes());
+            bytes.extend_from_slice(&gate.rails[1].to_le_bytes());
+            bytes.push(gate.inputs.len() as u8);
+            for &input in &gate.inputs {
+                bytes.extend_from_slice(&input.to_le_bytes());
+            }
+            bytes.extend_from_slice(&gate.out.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(self.outputs.len() as u32).to_le_bytes());
+        for &out in &self.outputs {
+            bytes.extend_from_slice(&out.to_le_bytes());
+        }
+        fnv1a64(&bytes)
+    }
+
+    /// The library kinds instantiated by the record's gates (in claimed-cell
+    /// terms; unknown indices are skipped — the linter reports those).
+    pub fn kinds_claimed(&self) -> Vec<GateKind> {
+        let mut seen = [false; GateKind::COUNT];
+        let mut kinds = Vec::new();
+        for gate in &self.gates {
+            let index = usize::from(gate.cell);
+            if index < GateKind::COUNT && !seen[index] {
+                seen[index] = true;
+                kinds.push(GateKind::all()[index]);
+            }
+        }
+        kinds
+    }
+}
+
+/// The `2^arity`-bit mask truth tables of `arity`-input cells live under.
+pub fn table_mask(arity: usize) -> u16 {
+    if arity >= 4 {
+        u16::MAX
+    } else {
+        (1u16 << (1usize << arity)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_the_sbox_netlist() {
+        let netlist = dpl_crypto::synthesize_sbox_with_key().unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        assert_eq!(record.input_count, 8);
+        assert_eq!(record.gates.len(), netlist.gate_count());
+        assert_eq!(record.outputs.len(), 4);
+        for (gate, raw) in netlist.gates().iter().zip(&record.gates) {
+            assert_eq!(raw.cell as usize, gate.op.index());
+            assert_eq!(raw.inputs.len(), gate.op.arity());
+            // The consumed rail's table is the gate's actual function.
+            for assignment in 0..(1u64 << gate.op.arity()) {
+                let expected = gate.op.eval_assignment(assignment);
+                assert_eq!(
+                    (raw.consumed_table() >> assignment) & 1 == 1,
+                    expected,
+                    "rail table mismatch at assignment {assignment}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_field() {
+        let netlist = dpl_crypto::synthesize_library_circuit(GateKind::And2).unwrap();
+        let record = NetlistRecord::from_netlist(&netlist);
+        let base = record.digest();
+        let mut m = record.clone();
+        m.gates[0].rail ^= 1;
+        assert_ne!(m.digest(), base);
+        let mut m = record.clone();
+        m.gates[2].inputs[0] ^= 1;
+        assert_ne!(m.digest(), base);
+        let mut m = record.clone();
+        m.outputs[0] ^= 1;
+        assert_ne!(m.digest(), base);
+        let mut m = record.clone();
+        m.input_count += 1;
+        assert_ne!(m.digest(), base);
+    }
+
+    #[test]
+    fn mask_matches_arity() {
+        assert_eq!(table_mask(1), 0b11);
+        assert_eq!(table_mask(2), 0xF);
+        assert_eq!(table_mask(3), 0xFF);
+        assert_eq!(table_mask(4), 0xFFFF);
+    }
+}
