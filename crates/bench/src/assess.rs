@@ -12,11 +12,11 @@ use dpl_crypto::{
     EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::{
-    interleaved_partition, mtd_campaign, tvla_parallel, tvla_streaming,
+    interleaved_partition, mtd_campaign, tvla_parallel, tvla_salvage, tvla_streaming,
     tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa, PrefixDpa, TvlaOrder, TvlaResult,
     TVLA_THRESHOLD,
 };
-use dpl_store::{ArchiveReader, CampaignKind};
+use dpl_store::{ArchiveReader, CampaignKind, ReadPolicy, RetryPolicy};
 
 /// The fixed plaintext nibble of every CLI TVLA campaign (the random group
 /// draws uniformly from all 16 nibbles, collisions included, per the TVLA
@@ -419,6 +419,44 @@ pub fn tvla_report(
             },
         }
         .map_err(|e| format!("t-test over {path} failed: {e}"))?;
+        render_tvla(&mut out, order, &result);
+    }
+    Ok(out)
+}
+
+/// Salvage-mode [`tvla_report`]: the t-test over whatever chunks of a
+/// damaged TVLA archive survive, with the damage rendered alongside the
+/// statistic (`repro tvla <file> --salvage`).
+///
+/// # Errors
+///
+/// Returns a rendered error message for unreadable archives, a non-TVLA
+/// campaign, or damage that leaves no usable traces.
+pub fn tvla_salvage_report(path: &str, orders: &[TvlaOrder]) -> Result<String, String> {
+    let mut reader = ArchiveReader::open_with_policy(path, ReadPolicy::Salvage)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    if reader.campaign() != CampaignKind::TvlaInterleaved {
+        return Err(format!(
+            "{path} records a `{}` campaign; the t-test needs an interleaved fixed-vs-random \
+             capture (repro capture --tvla)",
+            reader.campaign().label()
+        ));
+    }
+    let retry = RetryPolicy::new(2);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n=== TVLA (salvage) — Welch t-test over {path} ===\n{} traces promised, {} \
+         samples/trace, model = {}, seed = {}",
+        reader.trace_count(),
+        reader.samples_per_trace(),
+        reader.meta().model.label(),
+        reader.meta().seed
+    );
+    for &order in orders {
+        let (result, damage) = tvla_salvage(&mut reader, interleaved_partition, order, &retry)
+            .map_err(|e| format!("salvage t-test over {path} failed: {e}"))?;
+        let _ = writeln!(out, "salvage: {}", damage.render());
         render_tvla(&mut out, order, &result);
     }
     Ok(out)

@@ -12,8 +12,11 @@
 //! cargo run -p dpl-bench --release --bin repro -- capture traces.dpltrc 100000 --seed 7
 //! cargo run -p dpl-bench --release --bin repro -- capture m.dpltrc 5000 --model genuine-charac --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- capture tvla.dpltrc 20000 --tvla
+//! cargo run -p dpl-bench --release --bin repro -- capture traces.dpltrc 100000 --seed 7 --resume
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --verify
 //! cargo run -p dpl-bench --release --bin repro -- attack m.dpltrc --cpa --circuit maj3
+//! cargo run -p dpl-bench --release --bin repro -- attack damaged.dpltrc --dpa --salvage
+//! cargo run -p dpl-bench --release --bin repro -- fsck traces.dpltrc --repair
 //! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc
 //! cargo run -p dpl-bench --release --bin repro -- tvla tvla.dpltrc --order both
 //! cargo run -p dpl-bench --release --bin repro -- mtd --seed 7 --attack cpa
@@ -24,6 +27,8 @@
 //! ```
 
 use std::env;
+use std::fs::File;
+use std::path::Path;
 use std::process::ExitCode;
 
 use dpl_bench::{CircuitChoice, MtdAttack};
@@ -31,12 +36,14 @@ use dpl_cells::CapacitanceModel;
 use dpl_core::GateKind;
 use dpl_crypto::{
     simulate_traces_into, simulate_tvla_traces_into, EnergyCache, EnergyModel, GateEnergyTable,
-    LeakageModel,
+    GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::TvlaOrder;
-use dpl_power::{cpa_attack, dpa_attack, AttackResult};
+use dpl_power::{cpa_attack, dpa_attack, AttackResult, TraceSink};
 use dpl_store::{
-    cpa_attack_streaming, dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, ModelTag,
+    cpa_attack_salvage, cpa_attack_streaming, dpa_attack_salvage, dpa_attack_streaming,
+    repair_archive, ArchiveMeta, ArchiveReader, ArchiveWriter, FaultPlan, FaultStream, ModelTag,
+    ReadPolicy, ReadSite, RetryPolicy, StoreError, SyncWrite,
 };
 
 /// The fixed secret key nibble of every CLI campaign (printed by `capture`
@@ -57,9 +64,14 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--circuit", &["capture", "attack", "mtd"]),
     ("--chunk", &["capture"]),
     ("--tvla", &["capture"]),
+    ("--force", &["capture"]),
+    ("--resume", &["capture"]),
+    ("--fault-at", &["capture"]),
     ("--dpa", &["attack"]),
     ("--cpa", &["attack"]),
     ("--verify", &["attack"]),
+    ("--salvage", &["attack", "tvla"]),
+    ("--repair", &["fsck"]),
     ("--order", &["tvla"]),
     ("--workers", &["tvla"]),
     ("--attack", &["mtd"]),
@@ -200,16 +212,88 @@ fn run_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Forwards a campaign's trace stream to an archive writer, discarding the
+/// first `remaining` records — how a resumed capture replays the
+/// deterministic simulation from trace 0 but only writes the traces the
+/// interrupted run never flushed, so the finished file is byte-identical to
+/// an uninterrupted capture.
+struct SkipSink<'a, W: SyncWrite> {
+    writer: &'a mut ArchiveWriter<W>,
+    remaining: u64,
+}
+
+impl<W: SyncWrite> TraceSink for SkipSink<'_, W> {
+    type Error = StoreError;
+
+    fn record(&mut self, input: u64, samples: &[f64]) -> Result<(), StoreError> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            Ok(())
+        } else {
+            self.writer.append(input, samples)
+        }
+    }
+}
+
+/// Everything a capture campaign needs besides the destination stream.
+struct CaptureJob {
+    netlist: GateNetlist,
+    table: GateEnergyTable,
+    options: LeakageOptions,
+    tvla: bool,
+    num_traces: usize,
+}
+
+impl CaptureJob {
+    /// Simulates the campaign into the writer (skipping whatever the writer
+    /// already holds from a resumed prefix) and finishes the archive.
+    fn run<W: SyncWrite>(&self, writer: &mut ArchiveWriter<W>) -> Result<u64, String> {
+        let skip = writer.traces_written();
+        let mut sink = SkipSink {
+            writer: &mut *writer,
+            remaining: skip,
+        };
+        let capture = if self.tvla {
+            simulate_tvla_traces_into(
+                &self.netlist,
+                &self.table,
+                CAMPAIGN_KEY,
+                dpl_bench::TVLA_FIXED_PLAINTEXT,
+                self.num_traces,
+                &self.options,
+                &mut sink,
+            )
+        } else {
+            simulate_traces_into(
+                &self.netlist,
+                &self.table,
+                CAMPAIGN_KEY,
+                self.num_traces,
+                &self.options,
+                &mut sink,
+            )
+        };
+        capture.map_err(|e| format!("capture failed: {e}"))?;
+        writer
+            .finish()
+            .map_err(|e| format!("finishing failed: {e}"))
+    }
+}
+
 /// `repro capture <file> <n> [--seed s] [--model <name>] [--circuit <name>]
-/// [--chunk k] [--tvla]`: simulate a campaign and stream it straight to a
-/// chunked archive.  `--model` accepts characterisation-derived models
-/// (e.g. `genuine-charac`), `--circuit` any library-cell datapath; with
-/// `--tvla` the campaign is an interleaved fixed-vs-random capture (even
-/// traces = fixed plaintext) tagged as such in the archive header, ready
-/// for `repro tvla`.
+/// [--chunk k] [--tvla] [--force] [--resume] [--fault-at k]`: simulate a
+/// campaign and stream it straight to a chunked archive.  `--model` accepts
+/// characterisation-derived models (e.g. `genuine-charac`), `--circuit` any
+/// library-cell datapath; with `--tvla` the campaign is an interleaved
+/// fixed-vs-random capture (even traces = fixed plaintext) tagged as such
+/// in the archive header, ready for `repro tvla`.  An existing file is
+/// never overwritten unless `--force` is passed; `--resume` continues an
+/// interrupted capture from its recovered valid prefix instead, and
+/// `--fault-at k` injects a deterministic I/O failure at operation `k`
+/// (the crash-recovery smoke test's crash lever).
 fn run_capture(args: &[String]) -> ExitCode {
-    const USAGE: &str =
-        "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] [--chunk k] [--tvla]";
+    const USAGE: &str = "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] \
+                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k]";
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -222,6 +306,9 @@ fn run_capture(args: &[String]) -> ExitCode {
     let mut circuit = CircuitChoice::Sbox;
     let mut chunk_traces = 1024usize;
     let mut tvla = false;
+    let mut force = false;
+    let mut resume = false;
+    let mut fault_at = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -247,6 +334,15 @@ fn run_capture(args: &[String]) -> ExitCode {
                 }
             },
             "--tvla" => tvla = true,
+            "--force" => force = true,
+            "--resume" => resume = true,
+            "--fault-at" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(op) => fault_at = Some(op),
+                None => {
+                    eprintln!("--fault-at needs an operation index (a non-negative integer)");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("{}", unknown_flag("capture", other, USAGE));
                 return ExitCode::FAILURE;
@@ -265,12 +361,20 @@ fn run_capture(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if resume && force {
+        eprintln!("--resume and --force contradict each other: resume keeps the existing data");
+        return ExitCode::FAILURE;
+    }
+    if resume && fault_at.is_some() {
+        eprintln!("--fault-at applies to fresh captures only");
+        return ExitCode::FAILURE;
+    }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
 
     let netlist = circuit.netlist();
     let capacitance = CapacitanceModel::default();
     let table = GateEnergyTable::for_circuit(model, &capacitance, &netlist).expect("energy table");
-    let options = dpl_crypto::LeakageOptions {
+    let options = LeakageOptions {
         relative_noise: 0.02,
         seed,
     };
@@ -286,38 +390,72 @@ fn run_capture(args: &[String]) -> ExitCode {
         // (promotes the header to format version 2).
         meta = meta.with_table_digest(hypothesis_digest(&table, circuit));
     }
-    let mut writer = match ArchiveWriter::create(path, meta) {
-        Ok(writer) => writer,
-        Err(e) => {
-            eprintln!("cannot create {path}: {e}");
+    let job = CaptureJob {
+        netlist,
+        table,
+        options,
+        tvla,
+        num_traces,
+    };
+
+    let finished = if resume {
+        let (mut writer, recovery) = match ArchiveWriter::resume(path, meta) {
+            Ok(resumed) => resumed,
+            Err(e) => {
+                eprintln!("cannot resume {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "resumed {path}: {} full chunk(s) ({} trace(s)) kept, {} trace(s) re-buffered \
+             from an interrupted finish, {} byte(s) of torn data dropped",
+            recovery.full_chunks,
+            recovery.full_traces,
+            recovery.buffered_traces,
+            recovery.dropped_bytes
+        );
+        let already = writer.traces_written();
+        if already > num_traces as u64 {
+            eprintln!(
+                "{path} already holds {already} trace(s) — more than the {num_traces} requested"
+            );
             return ExitCode::FAILURE;
         }
-    };
-    let capture = if tvla {
-        simulate_tvla_traces_into(
-            &netlist,
-            &table,
-            CAMPAIGN_KEY,
-            dpl_bench::TVLA_FIXED_PLAINTEXT,
-            num_traces,
-            &options,
-            &mut writer,
-        )
+        job.run(&mut writer)
     } else {
-        simulate_traces_into(
-            &netlist,
-            &table,
-            CAMPAIGN_KEY,
-            num_traces,
-            &options,
-            &mut writer,
-        )
+        if Path::new(path).exists() && !force {
+            eprintln!(
+                "refusing to overwrite {path}: it already exists; pass --force to truncate \
+                 it, or --resume to continue an interrupted capture"
+            );
+            return ExitCode::FAILURE;
+        }
+        match fault_at {
+            Some(op) => {
+                let file = match File::create(path) {
+                    Ok(file) => file,
+                    Err(e) => {
+                        eprintln!("cannot create {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let stream =
+                    FaultStream::new(file, FaultPlan::error_at(op, std::io::ErrorKind::Other));
+                match ArchiveWriter::new(stream, meta) {
+                    Ok(mut writer) => job.run(&mut writer),
+                    Err(e) => Err(format!("cannot create {path}: {e}")),
+                }
+            }
+            None => match ArchiveWriter::create(path, meta) {
+                Ok(mut writer) => job.run(&mut writer),
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
     };
-    if let Err(e) = capture {
-        eprintln!("capture failed: {e}");
-        return ExitCode::FAILURE;
-    }
-    match writer.finish() {
+    match finished {
         Ok(total) => {
             let kind = if tvla {
                 format!(
@@ -344,8 +482,8 @@ fn run_capture(args: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("finishing {path} failed: {e}");
+        Err(message) => {
+            eprintln!("{message}");
             ExitCode::FAILURE
         }
     }
@@ -364,20 +502,23 @@ fn attack_label(result: &AttackResult) -> String {
     )
 }
 
-/// `repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>]
-/// [--model <name>] [--circuit <name>]`: run an out-of-core attack over an
-/// archive.  The profiled-CPA hypothesis is rebuilt from the archive's
-/// recorded model tag (or `--model`), over `--circuit` (default: the S-box
-/// datapath); when the archive records an energy-table digest the rebuilt
-/// table must match it.  `--verify` also loads the archive in memory and
-/// demands bit-identical scores, `--budget` caps the reader's in-memory
-/// chunk budget (rejecting archives whose chunks exceed it).
+/// `repro attack <file> [--dpa|--cpa] [--verify] [--salvage]
+/// [--budget <traces>] [--model <name>] [--circuit <name>]`: run an
+/// out-of-core attack over an archive.  The profiled-CPA hypothesis is
+/// rebuilt from the archive's recorded model tag (or `--model`), over
+/// `--circuit` (default: the S-box datapath); when the archive records an
+/// energy-table digest the rebuilt table must match it.  `--verify` also
+/// loads the archive in memory and demands bit-identical scores,
+/// `--budget` caps the reader's in-memory chunk budget (rejecting archives
+/// whose chunks exceed it), and `--salvage` attacks a damaged archive's
+/// surviving chunks, reporting exactly what was lost.
 fn run_attack(args: &[String]) -> ExitCode {
-    const USAGE: &str =
-        "repro attack <file> [--dpa|--cpa] [--verify] [--budget <traces>] [--model m] [--circuit c]";
+    const USAGE: &str = "repro attack <file> [--dpa|--cpa] [--verify] [--salvage] \
+                         [--budget <traces>] [--model m] [--circuit c]";
     let mut path = None;
     let mut use_cpa = false;
     let mut verify = false;
+    let mut salvage = false;
     let mut budget = None;
     let mut model_override = None;
     let mut circuit = CircuitChoice::Sbox;
@@ -387,6 +528,7 @@ fn run_attack(args: &[String]) -> ExitCode {
             "--dpa" => use_cpa = false,
             "--cpa" => use_cpa = true,
             "--verify" => verify = true,
+            "--salvage" => salvage = true,
             "--budget" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(traces) if traces > 0 => budget = Some(traces),
                 _ => {
@@ -421,7 +563,18 @@ fn run_attack(args: &[String]) -> ExitCode {
         eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
-    let mut reader = match ArchiveReader::open(&path) {
+    if salvage && verify {
+        // --verify's contract is bit-identity against *all* traces loaded
+        // in memory; a salvage read deliberately reads fewer.
+        eprintln!("--verify and --salvage contradict each other: salvage may skip traces");
+        return ExitCode::FAILURE;
+    }
+    let policy = if salvage {
+        ReadPolicy::Salvage
+    } else {
+        ReadPolicy::Strict
+    };
+    let mut reader = match ArchiveReader::open_with_policy(&path, policy) {
         Ok(reader) => reader,
         Err(e) => {
             eprintln!("cannot open {path}: {e}");
@@ -529,19 +682,37 @@ fn run_attack(args: &[String]) -> ExitCode {
         None => dpl_crypto::present_sbox((plaintext ^ guess) as u8).count_ones() as f64,
     };
 
-    let streamed = if use_cpa {
-        cpa_attack_streaming(&mut reader, 16, &model)
+    let kind = if use_cpa { "CPA" } else { "DPA" };
+    let streamed = if salvage {
+        let retry = RetryPolicy::new(2);
+        let salvaged = if use_cpa {
+            cpa_attack_salvage(&mut reader, 16, &model, &retry)
+        } else {
+            dpa_attack_salvage(&mut reader, 16, &selection, &retry)
+        };
+        match salvaged {
+            Ok((result, damage)) => {
+                println!("salvage: {}", damage.render());
+                result
+            }
+            Err(e) => {
+                eprintln!("salvage attack failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
-        dpa_attack_streaming(&mut reader, 16, &selection)
-    };
-    let streamed = match streamed {
-        Ok(result) => result,
-        Err(e) => {
-            eprintln!("out-of-core attack failed: {e}");
-            return ExitCode::FAILURE;
+        match if use_cpa {
+            cpa_attack_streaming(&mut reader, 16, &model)
+        } else {
+            dpa_attack_streaming(&mut reader, 16, &selection)
+        } {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("out-of-core attack failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let kind = if use_cpa { "CPA" } else { "DPA" };
     println!("out-of-core {kind}: {}", attack_label(&streamed));
 
     if verify {
@@ -642,16 +813,19 @@ fn run_charac_table(args: &[String]) -> ExitCode {
     }
 }
 
-/// `repro tvla <file> [--order 1|2|both] [--workers n]`: streaming Welch
-/// t-test over an interleaved fixed-vs-random archive.
+/// `repro tvla <file> [--order 1|2|both] [--workers n] [--salvage]`:
+/// streaming Welch t-test over an interleaved fixed-vs-random archive;
+/// `--salvage` assesses a damaged archive's surviving chunks.
 fn run_tvla(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n]";
+    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n] [--salvage]";
     let mut path = None;
     let mut orders: Vec<TvlaOrder> = vec![TvlaOrder::First, TvlaOrder::Second];
     let mut workers = None;
+    let mut salvage = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--salvage" => salvage = true,
             "--order" => match iter.next().map(String::as_str) {
                 Some("1") => orders = vec![TvlaOrder::First],
                 Some("2") => orders = vec![TvlaOrder::Second],
@@ -681,7 +855,18 @@ fn run_tvla(args: &[String]) -> ExitCode {
         eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
-    match dpl_bench::tvla_report(&path, &orders, workers) {
+    if salvage && workers.is_some() {
+        // The sample-column sharding of --workers re-reads every chunk per
+        // shard; the salvage fold is deliberately single-pass per order.
+        eprintln!("--salvage runs single-threaded; drop --workers");
+        return ExitCode::FAILURE;
+    }
+    let report = if salvage {
+        dpl_bench::tvla_salvage_report(&path, &orders)
+    } else {
+        dpl_bench::tvla_report(&path, &orders, workers)
+    };
+    match report {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
@@ -690,6 +875,86 @@ fn run_tvla(args: &[String]) -> ExitCode {
             eprintln!("{message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `repro fsck <file> [--repair]`: verify every chunk checksum of an
+/// archive and report the damage, chunk by chunk.  Exits 0 for a clean
+/// archive, 1 for a damaged (or unfinished) one.  `--repair` writes the
+/// surviving traces to a quarantined clean copy at `<file>.repaired` —
+/// the original is never modified.
+fn run_fsck(args: &[String]) -> ExitCode {
+    const USAGE: &str = "repro fsck <file> [--repair]";
+    let mut path = None;
+    let mut repair = false;
+    for arg in args {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("{}", unknown_flag("fsck", other, USAGE));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: {USAGE}");
+        return ExitCode::FAILURE;
+    };
+    // Salvage policy: a wrong file length is damage to report, not a
+    // reason to refuse the scan.  Only the header must decode.
+    let mut reader = match ArchiveReader::open_with_policy(&path, ReadPolicy::Salvage) {
+        Ok(reader) => reader,
+        Err(StoreError::BadMagic { found }) if found == [0u8; 8] => {
+            eprintln!(
+                "{path}: unfinished capture (placeholder header) — the writer never reached \
+                 finish; run `repro capture {path} <traces> --resume` with the campaign's \
+                 flags to continue it"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(StoreError::Truncated {
+            at: ReadSite::Header,
+        }) => {
+            eprintln!(
+                "{path}: unfinished capture (file ends inside the header) — run \
+                 `repro capture {path} <traces> --resume` with the campaign's flags to \
+                 continue it"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retry = RetryPolicy::new(2);
+    let report = match reader.scan(&retry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fsck of {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {}", report.render());
+    if repair {
+        let dst = format!("{path}.repaired");
+        match repair_archive(&path, &dst, &retry) {
+            Ok((_, kept)) => {
+                println!("repaired copy: {kept} trace(s) written to {dst}");
+            }
+            Err(e) => {
+                eprintln!("repair into {dst} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -884,6 +1149,7 @@ fn main() -> ExitCode {
         "info" => return run_info(&args[1..]),
         "charac-table" => return run_charac_table(&args[1..]),
         "tvla" => return run_tvla(&args[1..]),
+        "fsck" => return run_fsck(&args[1..]),
         "mtd" => return run_mtd(&args[1..]),
         "verify" => return run_verify(&args[1..]),
         _ => {}
@@ -922,7 +1188,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "unknown experiment `{other}`; expected one of: all, fig2, fig3, fig4, fig5, \
                  fig6, cvsl, dpa, cpa, library, bench, capture, attack, info, charac-table, \
-                 tvla, mtd, verify"
+                 tvla, fsck, mtd, verify"
             );
             return ExitCode::FAILURE;
         }

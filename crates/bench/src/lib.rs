@@ -15,7 +15,7 @@ pub mod perf;
 
 pub use assess::{
     charac_table_report, info_report, mtd_curves, mtd_experiment, mtd_experiment_for, tvla_report,
-    CircuitChoice, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
+    tvla_salvage_report, CircuitChoice, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
 };
 pub use experiments::{
     cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,

@@ -25,7 +25,7 @@ fn perf_harness_smoke_run() {
         repeats: 1,
     };
     let report = dpl_bench::perf::run(&config);
-    assert_eq!(report.rows.len(), 14);
+    assert_eq!(report.rows.len(), 16);
     let json = report.to_json();
     for needle in [
         "\"bench\": \"dpa_pipeline\"",
@@ -33,6 +33,8 @@ fn perf_harness_smoke_run() {
         "dpa_attack_reference",
         "archive_capture",
         "dpa_attack_outofcore",
+        "archive_fsck_scan",
+        "salvage_read",
         "tvla_streaming",
         "mtd_curve",
         "characterized_table_build",

@@ -41,7 +41,9 @@ pub mod streaming;
 pub mod tvla;
 
 pub use mtd::{mtd_campaign, rep_seed, MtdConfig, MtdCurve, PrefixAttack, PrefixCpa, PrefixDpa};
-pub use streaming::{tvla_parallel, tvla_streaming, tvla_streaming_second_order, TvlaOrder};
+pub use streaming::{
+    tvla_parallel, tvla_salvage, tvla_streaming, tvla_streaming_second_order, TvlaOrder,
+};
 pub use tvla::{
     fixed_vs_fixed, interleaved_partition, tvla, tvla_second_order, SecondOrderWelchAccumulator,
     TvlaGroup, TvlaResult, WelchAccumulator, TVLA_THRESHOLD,

@@ -21,7 +21,7 @@
 use std::io::{Read, Seek};
 use std::path::Path;
 
-use dpl_store::ArchiveReader;
+use dpl_store::{ArchiveReader, DamageReport, RetryPolicy, SalvageOutcome, StoreError};
 
 use crate::tvla::{ColumnStats, SecondOrderWelchAccumulator, WelchAccumulator};
 use crate::{EvalError, Result, TvlaGroup, TvlaResult};
@@ -96,6 +96,91 @@ where
         accumulator.update(&chunk)?;
     }
     accumulator.finalize()
+}
+
+/// TVLA over the surviving chunks of a damaged archive.
+///
+/// Bit-identical to [`tvla_streaming`] / [`tvla_streaming_second_order`] on
+/// a clean archive.  On a damaged one, surviving traces are folded in
+/// archive order with the lost traces simply absent — the partition
+/// function sees the *compacted* global index — so the result equals the
+/// strict statistic over an archive written without the lost chunks'
+/// traces.  Whole chunks are kept or excluded, never split.
+///
+/// # Errors
+///
+/// Returns an error when damage leaves no usable traces, or (second order)
+/// when a chunk that verified in pass 1 fails in pass 2 — the passes must
+/// fold the same traces, so that inconsistency fails closed.
+pub fn tvla_salvage<R, F>(
+    reader: &mut ArchiveReader<R>,
+    partition: F,
+    order: TvlaOrder,
+    retry: &RetryPolicy,
+) -> Result<(TvlaResult, DamageReport)>
+where
+    R: Read + Seek,
+    F: Fn(u64, u64) -> Option<TvlaGroup>,
+{
+    let chunks = reader.chunk_count();
+    let mut report = DamageReport {
+        chunks_scanned: chunks,
+        traces_total: reader.trace_count(),
+        ..DamageReport::default()
+    };
+    let mut damaged = vec![false; chunks];
+    match order {
+        TvlaOrder::First => {
+            let mut accumulator = WelchAccumulator::new(partition);
+            for (index, flag) in damaged.iter_mut().enumerate() {
+                match reader.read_chunk_salvage(index, retry)? {
+                    SalvageOutcome::Intact(chunk) => {
+                        report.traces_read += chunk.len() as u64;
+                        accumulator.update(&chunk)?;
+                    }
+                    SalvageOutcome::Damaged(d) => {
+                        *flag = true;
+                        report.damaged.push(d);
+                    }
+                }
+            }
+            Ok((accumulator.finalize()?, report))
+        }
+        TvlaOrder::Second => {
+            let mut accumulator = SecondOrderWelchAccumulator::new(partition);
+            for (index, flag) in damaged.iter_mut().enumerate() {
+                match reader.read_chunk_salvage(index, retry)? {
+                    SalvageOutcome::Intact(chunk) => {
+                        report.traces_read += chunk.len() as u64;
+                        accumulator.update(&chunk)?;
+                    }
+                    SalvageOutcome::Damaged(d) => {
+                        *flag = true;
+                        report.damaged.push(d);
+                    }
+                }
+            }
+            accumulator.begin_second_pass()?;
+            for (index, flag) in damaged.iter().enumerate() {
+                if *flag {
+                    continue;
+                }
+                match reader.read_chunk_salvage(index, retry)? {
+                    SalvageOutcome::Intact(chunk) => accumulator.update(&chunk)?,
+                    SalvageOutcome::Damaged(d) => {
+                        return Err(EvalError::Store(StoreError::FormatViolation {
+                            message: format!(
+                                "chunk {} verified in pass 1 but failed in pass 2 ({}); \
+                                 refusing to finalize inconsistent passes",
+                                d.chunk, d.cause
+                            ),
+                        }));
+                    }
+                }
+            }
+            Ok((accumulator.finalize()?, report))
+        }
+    }
 }
 
 fn default_worker_count() -> usize {

@@ -26,7 +26,7 @@ use crate::reader::ArchiveReader;
 /// input count: class aggregation when the writer saw few distinct inputs,
 /// the diverse-input fallback otherwise.  Either way the single matching
 /// mode is maintained — never Auto's double bookkeeping.
-fn profile_of<R: Read + Seek>(reader: &ArchiveReader<R>) -> InputProfile {
+pub(crate) fn profile_of<R: Read + Seek>(reader: &ArchiveReader<R>) -> InputProfile {
     match reader.distinct_inputs() {
         Some(_) => InputProfile::FewClasses,
         None => InputProfile::Diverse,

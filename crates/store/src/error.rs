@@ -1,5 +1,28 @@
 use dpl_power::PowerError;
 
+/// Where in an archive a truncated read was detected.
+///
+/// Distinguishing the fixed-size header from chunk data matters for
+/// diagnostics: a file that ends inside the header is not "damage in
+/// chunk 0", it is most likely a capture that crashed before anything was
+/// flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSite {
+    /// The fixed-size header at the start of the file.
+    Header,
+    /// The chunk with the given index.
+    Chunk(usize),
+}
+
+impl std::fmt::Display for ReadSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadSite::Header => write!(f, "the header"),
+            ReadSite::Chunk(index) => write!(f, "chunk {index}"),
+        }
+    }
+}
+
 /// Errors produced by the trace-archive layer.
 ///
 /// Corruption is always reported as a typed error — a flipped byte anywhere
@@ -46,10 +69,16 @@ pub enum StoreError {
         /// Index of the corrupt chunk.
         chunk: usize,
     },
-    /// The file ends before the chunk data the header promises.
+    /// The file ends before the data the header promises.
     Truncated {
-        /// Index of the chunk that could not be read in full.
-        chunk: usize,
+        /// The header or chunk that could not be read in full.
+        at: ReadSite,
+    },
+    /// An archive being resumed was written with different campaign
+    /// metadata than the capture expects (or is a foreign file).
+    ResumeMismatch {
+        /// Description of the mismatch.
+        message: String,
     },
     /// The archive violates a structural invariant (wrong per-chunk trace
     /// count, trailing bytes, an append of the wrong sample width, ...).
@@ -87,8 +116,11 @@ impl std::fmt::Display for StoreError {
             StoreError::ChecksumMismatch { chunk } => {
                 write!(f, "checksum mismatch in chunk {chunk}")
             }
-            StoreError::Truncated { chunk } => {
-                write!(f, "archive truncated inside chunk {chunk}")
+            StoreError::Truncated { at } => {
+                write!(f, "archive truncated inside {at}")
+            }
+            StoreError::ResumeMismatch { message } => {
+                write!(f, "cannot resume capture: {message}")
             }
             StoreError::FormatViolation { message } => write!(f, "format violation: {message}"),
             StoreError::ChunkBudgetExceeded {
@@ -109,6 +141,23 @@ impl std::error::Error for StoreError {
             StoreError::Power(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl StoreError {
+    /// Whether the error is plausibly transient — an interrupted or timed-out
+    /// I/O operation that a bounded [`crate::RetryPolicy`] may retry.
+    /// Corruption (checksums, truncation, format violations) is never
+    /// transient: retrying would re-read the same bad bytes.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        matches!(
+            self,
+            StoreError::Io {
+                kind: ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                ..
+            }
+        )
     }
 }
 

@@ -1,0 +1,321 @@
+//! Deterministic I/O fault injection and bounded retries.
+//!
+//! [`FaultStream`] wraps any stream and injects scripted failures at exact
+//! operation counts — every `read`, `write`, `seek`, `flush`,
+//! [`SyncWrite::sync_contents`] and [`Truncate::truncate_to`] call advances
+//! one operation counter, so a test can first run a workload fault-free to
+//! learn its operation count N, then re-run it N times with a fault at every
+//! k in `0..N` and assert that **every** failure site either fails closed or
+//! recovers.  The injection is pure bookkeeping: no timers, no randomness,
+//! no platform dependence.
+//!
+//! [`RetryPolicy`] is the matching consumer-side knob: transient errors
+//! ([`crate::StoreError::is_transient`]) are retried a bounded number of times with
+//! an injectable backoff sink, so tests exercise the retry loop without a
+//! single real sleep.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::writer::{SyncWrite, Truncate};
+
+/// A single scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails outright with an error of the given kind.
+    Error {
+        /// The [`std::io::ErrorKind`] the injected error reports.
+        kind: std::io::ErrorKind,
+    },
+    /// A torn write: the first `keep` bytes of the buffer reach the inner
+    /// stream, then the operation fails — the on-disk signature of a crash
+    /// or a full disk mid-write.  On non-write operations this behaves like
+    /// [`Fault::Error`].
+    TornWrite {
+        /// Bytes that make it to the inner stream before the failure.
+        keep: usize,
+    },
+    /// Silent corruption: the operation "succeeds" but the first byte moved
+    /// is XORed with `mask` — the adversarial case checksums exist for.  On
+    /// operations that move no bytes this is a no-op.
+    BitFlip {
+        /// XOR mask applied to the first byte read or written.
+        mask: u8,
+    },
+}
+
+/// Maps operation indices to the fault injected at each; every fault fires
+/// at most once.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (pure operation counting).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at operation `op`, replacing any fault already there.
+    #[must_use]
+    pub fn with(mut self, op: u64, fault: Fault) -> Self {
+        self.faults.insert(op, fault);
+        self
+    }
+
+    /// A single scripted error at operation `op`.
+    pub fn error_at(op: u64, kind: std::io::ErrorKind) -> Self {
+        FaultPlan::new().with(op, Fault::Error { kind })
+    }
+
+    /// A single torn write at operation `op`.
+    pub fn torn_write_at(op: u64, keep: usize) -> Self {
+        FaultPlan::new().with(op, Fault::TornWrite { keep })
+    }
+
+    /// A single bit flip at operation `op`.
+    pub fn bit_flip_at(op: u64, mask: u8) -> Self {
+        FaultPlan::new().with(op, Fault::BitFlip { mask })
+    }
+
+    fn take(&mut self, op: u64) -> Option<Fault> {
+        self.faults.remove(&op)
+    }
+}
+
+/// Wraps a stream and injects the faults of a [`FaultPlan`] at exact
+/// operation counts.
+///
+/// Operations are counted in call order across all stream traits, so the
+/// same plan replays identically on every run of a deterministic workload.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    ops: u64,
+    injected: u64,
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps `inner`, injecting the faults of `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultStream {
+            inner,
+            plan,
+            ops: 0,
+            injected: 0,
+        }
+    }
+
+    /// Wraps `inner` with an empty plan — a pure operation counter used to
+    /// measure how many fault points a workload exposes.
+    pub fn counting(inner: S) -> Self {
+        FaultStream::new(inner, FaultPlan::new())
+    }
+
+    /// Operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// A shared reference to the wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper and returns the wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Counts one operation and takes the fault scripted for it, if any.
+    fn begin_op(&mut self) -> Option<Fault> {
+        let fault = self.plan.take(self.ops);
+        self.ops += 1;
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        fault
+    }
+
+    fn injected_error(kind: std::io::ErrorKind) -> std::io::Error {
+        std::io::Error::new(kind, "injected fault")
+    }
+
+    /// Handles the fault kinds that reduce to a plain error on operations
+    /// that move no data buffer (seek, flush, sync, truncate).
+    fn control_op_fault(fault: Option<Fault>) -> std::io::Result<()> {
+        match fault {
+            Some(Fault::Error { kind }) => Err(Self::injected_error(kind)),
+            // A torn write needs a buffer to tear; on control operations it
+            // degrades to a hard error so sweeps still cover the site.
+            Some(Fault::TornWrite { .. }) => {
+                Err(Self::injected_error(std::io::ErrorKind::WriteZero))
+            }
+            // Nothing to corrupt: the flip lands nowhere.
+            Some(Fault::BitFlip { .. }) | None => Ok(()),
+        }
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.begin_op() {
+            Some(Fault::Error { kind }) => Err(Self::injected_error(kind)),
+            Some(Fault::TornWrite { .. }) => {
+                Err(Self::injected_error(std::io::ErrorKind::WriteZero))
+            }
+            Some(Fault::BitFlip { mask }) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    buf[0] ^= mask;
+                }
+                Ok(n)
+            }
+            None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.begin_op() {
+            Some(Fault::Error { kind }) => Err(Self::injected_error(kind)),
+            Some(Fault::TornWrite { keep }) => {
+                let keep = keep.min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                Err(Self::injected_error(std::io::ErrorKind::WriteZero))
+            }
+            Some(Fault::BitFlip { mask }) => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                let mut corrupted = buf.to_vec();
+                corrupted[0] ^= mask;
+                self.inner.write_all(&corrupted)?;
+                Ok(buf.len())
+            }
+            None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let fault = self.begin_op();
+        Self::control_op_fault(fault)?;
+        self.inner.flush()
+    }
+}
+
+impl<S: Seek> Seek for FaultStream<S> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        let fault = self.begin_op();
+        Self::control_op_fault(fault)?;
+        self.inner.seek(pos)
+    }
+}
+
+impl<S: SyncWrite> SyncWrite for FaultStream<S> {
+    fn sync_contents(&mut self) -> std::io::Result<()> {
+        let fault = self.begin_op();
+        Self::control_op_fault(fault)?;
+        self.inner.sync_contents()
+    }
+}
+
+impl<S: Truncate> Truncate for FaultStream<S> {
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        let fault = self.begin_op();
+        Self::control_op_fault(fault)?;
+        self.inner.truncate_to(len)
+    }
+}
+
+/// Bounded retry of transient I/O errors with exponential backoff.
+///
+/// Only errors classified transient by [`crate::StoreError::is_transient`] are
+/// retried; corruption and structural errors propagate immediately.  The
+/// backoff sink is injectable ([`RetryPolicy::run_with`]) so tests assert
+/// the exact delay sequence without sleeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on first error).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every error propagates immediately.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_retries` retries with a 5 ms starting backoff.
+    pub const fn new(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::from_millis(5),
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): exponential,
+    /// capped at 1024x the base.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        self.base_delay * 2u32.saturating_pow(attempt.min(10))
+    }
+
+    /// Runs `op`, retrying transient errors with real sleeps between
+    /// attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first non-transient error, or the last transient error
+    /// once the retry budget is spent.
+    pub fn run<T, F>(&self, op: F) -> Result<T>
+    where
+        F: FnMut() -> Result<T>,
+    {
+        self.run_with(op, std::thread::sleep)
+    }
+
+    /// Runs `op`, reporting each backoff to `backoff` instead of sleeping —
+    /// the deterministic-test entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first non-transient error, or the last transient error
+    /// once the retry budget is spent.
+    pub fn run_with<T, F, B>(&self, mut op: F, mut backoff: B) -> Result<T>
+    where
+        F: FnMut() -> Result<T>,
+        B: FnMut(Duration),
+    {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt < self.max_retries => {
+                    backoff(self.delay_for(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}

@@ -46,6 +46,38 @@
 //! [`crate::ArchiveWriter::finish`]: an interrupted capture leaves a file
 //! that fails to open with [`crate::StoreError::BadMagic`] instead of
 //! parsing as a shorter, silently valid archive.
+//!
+//! ## On-disk recovery invariants
+//!
+//! The format is crash-consistent by construction; `crate::recover` and the
+//! salvage reads rely only on the following invariants, which every writer
+//! path maintains:
+//!
+//! 1. **Header-last commit.**  The header is zeroed until `finish`, and
+//!    `finish` makes the chunk data durable (`SyncWrite::sync_contents`)
+//!    *before* writing the header, then makes the header durable.  A valid
+//!    header therefore promises bytes that are already on stable storage: a
+//!    crash at any operation leaves either an unfinished (placeholder or
+//!    torn-header) file or a complete one — never a valid header over
+//!    missing chunks.
+//! 2. **Chunks are self-describing and self-checking.**  Each chunk's
+//!    leading `k` plus the campaign metadata (which the resuming capture
+//!    knows independently) determine its exact byte length, and its
+//!    trailing FNV-1a 64 covers every preceding chunk byte.  A scan can
+//!    therefore walk chunks forward from the header boundary with no index
+//!    structure, and any torn or bit-flipped chunk fails its checksum.
+//! 3. **Append-only body, fixed chunking.**  Chunk `i` starts at
+//!    `header_len + i * chunk_len(chunk_traces, samples)`; only the last
+//!    chunk may be short (`0 < k < chunk_traces`), and only `finish` writes
+//!    it.  Hence in an unfinished file every *valid prefix* of full chunks
+//!    is exactly the data acknowledged before the crash, a trailing valid
+//!    partial chunk can only mean the crash hit the finish path (its traces
+//!    are re-buffered, not lost), and the first invalid byte marks where
+//!    torn data begins — truncating there is always safe.
+//!
+//! Together these give the recovery guarantee: `resume` over the valid
+//! prefix followed by re-appending the remaining traces reproduces, byte
+//! for byte, the archive an uninterrupted capture would have written.
 
 use crate::error::{Result, StoreError};
 

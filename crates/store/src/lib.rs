@@ -23,23 +23,45 @@
 //!
 //! Corruption anywhere — header or chunk — surfaces as a typed
 //! [`StoreError`], never as silently wrong scores.
+//!
+//! The fault-tolerant trace plane adds three layers on top:
+//!
+//! * [`mod@recover`] — crash recovery: [`fn@recover`] scans an interrupted
+//!   capture's valid chunk prefix and [`ArchiveWriter::resume`] continues
+//!   appending to it, bit-identical to an uninterrupted capture,
+//! * [`mod@salvage`] — [`ReadPolicy::Salvage`] reads that skip damaged
+//!   chunks into a [`DamageReport`] and feed survivors to the attack
+//!   accumulators ([`dpa_attack_salvage`] / [`cpa_attack_salvage`]), plus
+//!   [`repair_archive`] for quarantined-clean copies,
+//! * [`mod@fault`] — [`FaultStream`] deterministic fault injection and the
+//!   bounded [`RetryPolicy`], the machinery that proves the two layers
+//!   above by exhaustively failing every I/O operation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attack;
 mod error;
+pub mod fault;
 pub mod format;
 mod reader;
+pub mod recover;
+pub mod salvage;
 mod writer;
 
 pub use attack::{
     cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming,
 };
-pub use error::{Result, StoreError};
+pub use error::{ReadSite, Result, StoreError};
+pub use fault::{Fault, FaultPlan, FaultStream, RetryPolicy};
 pub use format::{ArchiveMeta, CampaignKind, ModelTag};
 pub use reader::{ArchiveReader, Chunks};
-pub use writer::ArchiveWriter;
+pub use recover::{recover, HeaderState, Recovery};
+pub use salvage::{
+    cpa_attack_salvage, dpa_attack_salvage, repair_archive, DamageCause, DamageReport,
+    DamagedChunk, ReadPolicy, SalvageOutcome,
+};
+pub use writer::{ArchiveWriter, SyncWrite, Truncate};
 
 #[cfg(test)]
 mod tests {

@@ -6,10 +6,11 @@ use std::path::Path;
 
 use dpl_power::TraceSet;
 
-use crate::error::{Result, StoreError};
+use crate::error::{ReadSite, Result, StoreError};
 use crate::format::{
     chunk_len, decode_header, fnv1a64, version_of_magic, ArchiveMeta, HEADER_LEN, HEADER_LEN_V2,
 };
+use crate::salvage::ReadPolicy;
 
 /// Reads a chunked trace archive without ever materializing more than one
 /// chunk.
@@ -27,33 +28,58 @@ pub struct ArchiveReader<R: Read + Seek> {
     trace_count: u64,
     distinct_inputs: u32,
     chunk_budget: usize,
+    policy: ReadPolicy,
 }
 
 impl ArchiveReader<BufReader<File>> {
-    /// Opens an archive file.
+    /// Opens an archive file with the strict policy.
     ///
     /// # Errors
     ///
     /// Returns an error for I/O failures or a malformed/corrupt header.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::open_with_policy(path, ReadPolicy::Strict)
+    }
+
+    /// Opens an archive file under the given [`ReadPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or a malformed/corrupt header.
+    pub fn open_with_policy<P: AsRef<Path>>(path: P, policy: ReadPolicy) -> Result<Self> {
         let file = File::open(path)?;
-        ArchiveReader::new(BufReader::new(file))
+        ArchiveReader::with_policy(BufReader::new(file), policy)
     }
 }
 
 impl<R: Read + Seek> ArchiveReader<R> {
-    /// Wraps a stream holding a complete archive.
+    /// Wraps a stream holding a complete archive (strict policy).
     ///
     /// # Errors
     ///
     /// Returns an error for I/O failures, a malformed/corrupt header, or a
     /// stream whose length does not match the header's promise.
-    pub fn new(mut stream: R) -> Result<Self> {
+    pub fn new(stream: R) -> Result<Self> {
+        Self::with_policy(stream, ReadPolicy::Strict)
+    }
+
+    /// Wraps a stream under the given [`ReadPolicy`].
+    ///
+    /// Under [`ReadPolicy::Salvage`] the exact-file-length check is skipped
+    /// so that a truncated archive still opens; the missing tail then
+    /// surfaces per chunk — as hard errors from [`ArchiveReader::read_chunk`]
+    /// or as damage entries from the salvage reads.  The header itself must
+    /// always be valid: it is the only description of the chunk geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or a malformed/corrupt header.
+    pub fn with_policy(mut stream: R, policy: ReadPolicy) -> Result<Self> {
         stream.seek(SeekFrom::Start(0))?;
         // The magic bytes announce the header version — and with it the
         // header length to fetch before decoding.
         let mut magic = [0u8; 8];
-        read_exact_or(&mut stream, &mut magic, 0)?;
+        read_exact_or(&mut stream, &mut magic, ReadSite::Header)?;
         let header_len = match version_of_magic(&magic) {
             Some(1) => HEADER_LEN,
             Some(_) => HEADER_LEN_V2,
@@ -61,7 +87,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
         };
         let mut header = vec![0u8; header_len];
         header[0..8].copy_from_slice(&magic);
-        read_exact_or(&mut stream, &mut header[8..], 0)?;
+        read_exact_or(&mut stream, &mut header[8..], ReadSite::Header)?;
         let (meta, trace_count, distinct_inputs) = decode_header(&header)?;
         let mut reader = ArchiveReader {
             chunk_budget: meta.chunk_traces,
@@ -69,8 +95,11 @@ impl<R: Read + Seek> ArchiveReader<R> {
             meta,
             trace_count,
             distinct_inputs,
+            policy,
         };
-        reader.validate_length()?;
+        if policy == ReadPolicy::Strict {
+            reader.validate_length()?;
+        }
         Ok(reader)
     }
 
@@ -125,6 +154,11 @@ impl<R: Read + Seek> ArchiveReader<R> {
         self.chunk_budget
     }
 
+    /// The policy this reader was opened under.
+    pub fn policy(&self) -> ReadPolicy {
+        self.policy
+    }
+
     /// The measurement discipline recorded for this campaign (attack vs
     /// TVLA) — shorthand for `meta().campaign`.
     pub fn campaign(&self) -> crate::format::CampaignKind {
@@ -162,7 +196,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
     }
 
     /// Traces in chunk `index`.
-    fn traces_in_chunk(&self, index: usize) -> usize {
+    pub(crate) fn traces_in_chunk(&self, index: usize) -> usize {
         let chunk_traces = self.meta.chunk_traces as u64;
         let start = index as u64 * chunk_traces;
         ((self.trace_count - start).min(chunk_traces)) as usize
@@ -212,9 +246,9 @@ impl<R: Read + Seek> ArchiveReader<R> {
 
         let payload_len = (chunk_len(expected_traces, samples) - 8) as usize;
         let mut payload = vec![0u8; payload_len];
-        read_exact_or(&mut self.stream, &mut payload, index)?;
+        read_exact_or(&mut self.stream, &mut payload, ReadSite::Chunk(index))?;
         let mut checksum = [0u8; 8];
-        read_exact_or(&mut self.stream, &mut checksum, index)?;
+        read_exact_or(&mut self.stream, &mut checksum, ReadSite::Chunk(index))?;
         if u64::from_le_bytes(checksum) != fnv1a64(&payload) {
             return Err(StoreError::ChecksumMismatch { chunk: index });
         }
@@ -301,10 +335,10 @@ impl<R: Read + Seek> Iterator for Chunks<'_, R> {
     }
 }
 
-fn read_exact_or<R: Read>(stream: &mut R, buf: &mut [u8], chunk: usize) -> Result<()> {
+fn read_exact_or<R: Read>(stream: &mut R, buf: &mut [u8], at: ReadSite) -> Result<()> {
     stream.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            StoreError::Truncated { chunk }
+            StoreError::Truncated { at }
         } else {
             StoreError::from(e)
         }

@@ -1,0 +1,273 @@
+//! Crash recovery for interrupted captures.
+//!
+//! An unfinished archive starts with a zeroed placeholder header, so its
+//! chunks — each self-describing as `[k][inputs][samples][checksum]` — are
+//! the only source of truth.  [`recover`] scans them against the campaign
+//! metadata the capture knows anyway (chunk bytes alone cannot disambiguate
+//! the sample width), accepts the longest valid prefix of full chunks,
+//! absorbs a trailing valid *partial* chunk (the signature of a crash
+//! during [`ArchiveWriter::finish`]) back into the write buffer, and stops
+//! at the first byte that fails validation.  [`ArchiveWriter::resume`]
+//! truncates everything after that prefix and continues appending — a
+//! capture resumed with the same trace stream produces a file bit-identical
+//! to one that was never interrupted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use dpl_power::MAX_INPUT_CLASSES;
+
+use crate::error::{Result, StoreError};
+use crate::format::{
+    chunk_len, decode_header, fnv1a64, version_of_magic, ArchiveMeta, CHUNK_CHECKSUM_LEN,
+    CHUNK_PREFIX_LEN,
+};
+use crate::writer::{ArchiveWriter, SyncWrite, Truncate};
+
+/// What the recovery scan found where the header belongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderState {
+    /// The zeroed placeholder of an unfinished capture.
+    Placeholder,
+    /// Garbage — a header write torn by a crash (or a file shorter than a
+    /// header).  The chunk scan still recovers the valid prefix.
+    Corrupt,
+    /// A valid header matching the expected metadata: the capture finished;
+    /// resuming re-opens it for further appends.
+    Finished,
+}
+
+/// The valid prefix of an interrupted capture, as reconstructed by
+/// [`recover`].
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// What stood where the header belongs.
+    pub header: HeaderState,
+    /// Full chunks whose checksums verified.
+    pub full_chunks: usize,
+    /// Traces inside those full chunks.
+    pub full_traces: u64,
+    /// Traces of a trailing valid partial chunk, re-absorbed into the write
+    /// buffer (a partial chunk is only ever written by `finish`, so its
+    /// presence means the crash hit the finish path).
+    pub buffered_traces: usize,
+    /// Byte offset where the valid full-chunk prefix ends; everything after
+    /// it is dropped on resume.
+    pub data_end: u64,
+    /// Bytes past `data_end` that failed validation and are dropped.
+    pub dropped_bytes: u64,
+    pub(crate) pending_inputs: Vec<u64>,
+    pub(crate) pending_samples: Vec<f64>,
+    pub(crate) distinct_inputs: Vec<u64>,
+}
+
+impl Recovery {
+    /// Total traces the resume continues from (full chunks + re-buffered
+    /// partial chunk).
+    pub fn recovered_traces(&self) -> u64 {
+        self.full_traces + self.buffered_traces as u64
+    }
+}
+
+/// Scans an interrupted capture file and reports its recoverable prefix
+/// without modifying it.
+///
+/// # Errors
+///
+/// Returns an error for invalid metadata, I/O failures, or a file whose
+/// valid header belongs to a different campaign
+/// ([`StoreError::ResumeMismatch`]).
+pub fn recover<P: AsRef<Path>>(path: P, meta: ArchiveMeta) -> Result<Recovery> {
+    let mut file = File::open(path)?;
+    scan_stream(&mut file, meta)
+}
+
+/// [`recover`] over any readable stream.
+pub(crate) fn scan_stream<R: Read + Seek>(stream: &mut R, meta: ArchiveMeta) -> Result<Recovery> {
+    meta.validate()?;
+    let header_len = meta.header_len() as u64;
+    let file_len = stream.seek(SeekFrom::End(0))?;
+    stream.seek(SeekFrom::Start(0))?;
+
+    let header = if file_len < header_len {
+        HeaderState::Corrupt
+    } else {
+        let mut bytes = vec![0u8; meta.header_len()];
+        stream.read_exact(&mut bytes)?;
+        classify_header(&bytes, &meta)?
+    };
+
+    let samples = meta.samples_per_trace;
+    let chunk_traces = meta.chunk_traces;
+    let mut recovery = Recovery {
+        header,
+        full_chunks: 0,
+        full_traces: 0,
+        buffered_traces: 0,
+        data_end: header_len,
+        dropped_bytes: 0,
+        pending_inputs: Vec::new(),
+        pending_samples: Vec::new(),
+        distinct_inputs: Vec::with_capacity(MAX_INPUT_CLASSES + 1),
+    };
+
+    let mut offset = header_len;
+    while offset < file_len {
+        let remaining = file_len - offset;
+        if remaining < (CHUNK_PREFIX_LEN + CHUNK_CHECKSUM_LEN) as u64 {
+            break;
+        }
+        stream.seek(SeekFrom::Start(offset))?;
+        let mut prefix = [0u8; CHUNK_PREFIX_LEN];
+        stream.read_exact(&mut prefix)?;
+        let k = u32::from_le_bytes(prefix) as usize;
+        if k == 0 || k > chunk_traces {
+            break;
+        }
+        let total = chunk_len(k, samples);
+        if remaining < total {
+            break;
+        }
+        // Re-read prefix + payload as one buffer: the checksum covers both.
+        let body_len = (total - CHUNK_CHECKSUM_LEN as u64) as usize;
+        let mut body = vec![0u8; body_len];
+        body[..CHUNK_PREFIX_LEN].copy_from_slice(&prefix);
+        stream.read_exact(&mut body[CHUNK_PREFIX_LEN..])?;
+        let mut checksum = [0u8; CHUNK_CHECKSUM_LEN];
+        stream.read_exact(&mut checksum)?;
+        if u64::from_le_bytes(checksum) != fnv1a64(&body) {
+            break;
+        }
+
+        let mut inputs = Vec::with_capacity(k);
+        for t in 0..k {
+            let at = CHUNK_PREFIX_LEN + t * 8;
+            inputs.push(u64::from_le_bytes(
+                body[at..at + 8].try_into().expect("8 bytes"),
+            ));
+        }
+        // Replay the writer's distinct-input bookkeeping so a resumed
+        // capture records the same header field as an uninterrupted one.
+        for &input in &inputs {
+            if recovery.distinct_inputs.len() <= MAX_INPUT_CLASSES
+                && !recovery.distinct_inputs.contains(&input)
+            {
+                recovery.distinct_inputs.push(input);
+            }
+        }
+
+        if k == chunk_traces {
+            recovery.full_chunks += 1;
+            recovery.full_traces += k as u64;
+            offset += total;
+            recovery.data_end = offset;
+        } else {
+            // A valid partial chunk: written only by `finish`, and only as
+            // the last chunk.  Re-buffer its traces (trace-major, the write
+            // buffer's layout) so the resumed writer re-flushes them.
+            let base = CHUNK_PREFIX_LEN + k * 8;
+            let mut pending = Vec::with_capacity(k * samples);
+            for t in 0..k {
+                for s in 0..samples {
+                    let at = base + (s * k + t) * 8;
+                    pending.push(f64::from_le_bytes(
+                        body[at..at + 8].try_into().expect("8 bytes"),
+                    ));
+                }
+            }
+            recovery.buffered_traces = k;
+            recovery.pending_inputs = inputs;
+            recovery.pending_samples = pending;
+            break;
+        }
+    }
+
+    recovery.dropped_bytes =
+        file_len.saturating_sub(recovery.data_end) - pending_bytes(&recovery, samples);
+    Ok(recovery)
+}
+
+/// Bytes of the re-buffered partial chunk — recovered, not dropped.
+fn pending_bytes(recovery: &Recovery, samples: usize) -> u64 {
+    if recovery.buffered_traces == 0 {
+        0
+    } else {
+        chunk_len(recovery.buffered_traces, samples)
+    }
+}
+
+fn classify_header(bytes: &[u8], meta: &ArchiveMeta) -> Result<HeaderState> {
+    if bytes.iter().all(|&b| b == 0) {
+        return Ok(HeaderState::Placeholder);
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&bytes[0..8]);
+    match version_of_magic(&magic) {
+        Some(version) if version == meta.format_version() => match decode_header(bytes) {
+            Ok((found, _, _)) => {
+                if found == *meta {
+                    Ok(HeaderState::Finished)
+                } else {
+                    Err(StoreError::ResumeMismatch {
+                        message: "the file's header records a different campaign \
+                                  (model, seed, chunking or sample width differ)"
+                            .into(),
+                    })
+                }
+            }
+            Err(_) => Ok(HeaderState::Corrupt),
+        },
+        Some(_) => Err(StoreError::ResumeMismatch {
+            message: "the file is an archive of a different format version".into(),
+        }),
+        None => Ok(HeaderState::Corrupt),
+    }
+}
+
+impl<W: SyncWrite + Read + Truncate> ArchiveWriter<W> {
+    /// Re-opens an interrupted capture on `stream`: scans the valid prefix,
+    /// truncates everything after it, re-zeroes the header (the file stays
+    /// "unfinished" until [`ArchiveWriter::finish`]) and returns a writer
+    /// positioned to append trace `recovery.recovered_traces()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid metadata, I/O failures, or a stream
+    /// holding a different campaign's archive.
+    pub fn resume_stream(mut stream: W, meta: ArchiveMeta) -> Result<(Self, Recovery)> {
+        let recovery = scan_stream(&mut stream, meta)?;
+        let header_len = meta.header_len() as u64;
+        stream.truncate_to(recovery.data_end)?;
+        stream.seek(SeekFrom::Start(0))?;
+        stream.write_all(&vec![0u8; header_len as usize])?;
+        stream.seek(SeekFrom::Start(recovery.data_end.max(header_len)))?;
+        stream.sync_contents()?;
+        let writer = ArchiveWriter {
+            stream,
+            meta,
+            pending_inputs: recovery.pending_inputs.clone(),
+            pending_samples: recovery.pending_samples.clone(),
+            distinct_inputs: recovery.distinct_inputs.clone(),
+            traces_written: recovery.full_traces,
+            chunks_written: recovery.full_chunks,
+            finished: false,
+        };
+        Ok((writer, recovery))
+    }
+}
+
+impl ArchiveWriter<File> {
+    /// Re-opens an interrupted capture file for appending — the
+    /// `repro capture --resume` entry point.  The file handle is unbuffered
+    /// on purpose: the writer already issues exactly one write per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid metadata, I/O failures, or a file
+    /// holding a different campaign's archive.
+    pub fn resume<P: AsRef<Path>>(path: P, meta: ArchiveMeta) -> Result<(Self, Recovery)> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::resume_stream(file, meta)
+    }
+}

@@ -1,13 +1,89 @@
 //! Buffered, chunking archive writer.
 
 use std::fs::File;
-use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Cursor, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use dpl_power::{TraceSet, TraceSink, MAX_INPUT_CLASSES};
 
 use crate::error::{Result, StoreError};
 use crate::format::{encode_header, fnv1a64, ArchiveMeta};
+
+/// A writable, seekable stream whose contents can be made durable.
+///
+/// [`ArchiveWriter::finish`] calls [`SyncWrite::sync_contents`] twice — once
+/// after the last chunk, once after the header — so that a crash after
+/// `finish` returns can never leave a file that opens but carries different
+/// bytes than were acknowledged.  File-backed streams map this to
+/// `fsync(2)`; in-memory streams have nothing weaker than memory to sync to,
+/// so the default is a plain flush.
+pub trait SyncWrite: Write + Seek {
+    /// Flushes buffered bytes and, where the stream is file-backed, forces
+    /// them to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    fn sync_contents(&mut self) -> std::io::Result<()> {
+        self.flush()
+    }
+}
+
+impl SyncWrite for File {
+    fn sync_contents(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        self.sync_all()
+    }
+}
+
+impl SyncWrite for BufWriter<File> {
+    fn sync_contents(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        self.get_ref().sync_all()
+    }
+}
+
+impl<T> SyncWrite for Cursor<T> where Cursor<T>: Write + Seek {}
+
+/// A stream that can be shortened in place — what a resumed capture needs to
+/// drop the torn bytes after the last valid chunk.
+pub trait Truncate {
+    /// Shrinks the stream to `len` bytes (extending is allowed but the
+    /// resume path never relies on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+impl Truncate for File {
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.set_len(len)
+    }
+}
+
+impl Truncate for Cursor<Vec<u8>> {
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        let buf = self.get_mut();
+        if len < buf.len() {
+            buf.truncate(len);
+        }
+        Ok(())
+    }
+}
+
+impl Truncate for Cursor<&mut Vec<u8>> {
+    fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        let buf = self.get_mut();
+        if len < buf.len() {
+            buf.truncate(len);
+        }
+        Ok(())
+    }
+}
 
 /// Streams traces into the chunked on-disk archive format.
 ///
@@ -17,24 +93,25 @@ use crate::format::{encode_header, fnv1a64, ArchiveMeta};
 /// then the file starts with a zeroed placeholder, so a crashed capture is
 /// rejected on open instead of silently truncated.
 ///
-/// The writer is generic over any `Write + Seek` stream; [`ArchiveWriter::create`]
+/// The writer is generic over any [`SyncWrite`] stream; [`ArchiveWriter::create`]
 /// is the buffered-file convenience constructor, and implementing
 /// [`TraceSink`] lets trace generators stream into an archive directly.
+/// An interrupted capture can be continued with [`ArchiveWriter::resume`].
 #[derive(Debug)]
-pub struct ArchiveWriter<W: Write + Seek> {
-    stream: W,
-    meta: ArchiveMeta,
+pub struct ArchiveWriter<W: SyncWrite> {
+    pub(crate) stream: W,
+    pub(crate) meta: ArchiveMeta,
     /// Buffered inputs of the chunk in progress.
-    pending_inputs: Vec<u64>,
+    pub(crate) pending_inputs: Vec<u64>,
     /// Buffered samples of the chunk in progress, trace-major.
-    pending_samples: Vec<f64>,
+    pub(crate) pending_samples: Vec<f64>,
     /// Distinct input values seen, tracked up to one past the attacks'
     /// class-aggregation limit and recorded in the header so readers can
     /// pick the matching accumulator bookkeeping without a scan.
-    distinct_inputs: Vec<u64>,
-    traces_written: u64,
-    chunks_written: usize,
-    finished: bool,
+    pub(crate) distinct_inputs: Vec<u64>,
+    pub(crate) traces_written: u64,
+    pub(crate) chunks_written: usize,
+    pub(crate) finished: bool,
 }
 
 impl ArchiveWriter<BufWriter<File>> {
@@ -49,7 +126,7 @@ impl ArchiveWriter<BufWriter<File>> {
     }
 }
 
-impl<W: Write + Seek> ArchiveWriter<W> {
+impl<W: SyncWrite> ArchiveWriter<W> {
     /// Wraps a stream positioned at the start of an empty archive and writes
     /// the placeholder header.
     ///
@@ -82,6 +159,11 @@ impl<W: Write + Seek> ArchiveWriter<W> {
     /// Traces appended so far (buffered or flushed).
     pub fn traces_written(&self) -> u64 {
         self.traces_written + self.pending_inputs.len() as u64
+    }
+
+    /// Full chunks flushed to the stream so far.
+    pub fn chunks_written(&self) -> usize {
+        self.chunks_written
     }
 
     /// Appends one trace.
@@ -164,8 +246,13 @@ impl<W: Write + Seek> ArchiveWriter<W> {
         Ok(())
     }
 
-    /// Flushes the final (possibly partial) chunk, writes the real header
-    /// and returns the total trace count.
+    /// Flushes the final (possibly partial) chunk, makes the chunk data
+    /// durable, then writes the real header and makes it durable too —
+    /// the data-before-commit ordering that lets a crash at any point
+    /// leave either a recoverable unfinished file or a complete one,
+    /// never a header that promises chunks the disk does not hold.
+    ///
+    /// Returns the total trace count.
     ///
     /// # Errors
     ///
@@ -177,6 +264,7 @@ impl<W: Write + Seek> ArchiveWriter<W> {
             });
         }
         self.flush_chunk()?;
+        self.stream.sync_contents()?;
         let distinct = if self.distinct_inputs.len() <= MAX_INPUT_CLASSES {
             self.distinct_inputs.len() as u32
         } else {
@@ -186,7 +274,7 @@ impl<W: Write + Seek> ArchiveWriter<W> {
         self.stream.seek(SeekFrom::Start(0))?;
         self.stream.write_all(&header)?;
         self.stream.seek(SeekFrom::End(0))?;
-        self.stream.flush()?;
+        self.stream.sync_contents()?;
         self.finished = true;
         Ok(self.traces_written)
     }
@@ -198,7 +286,7 @@ impl<W: Write + Seek> ArchiveWriter<W> {
     }
 }
 
-impl<W: Write + Seek> TraceSink for ArchiveWriter<W> {
+impl<W: SyncWrite> TraceSink for ArchiveWriter<W> {
     type Error = StoreError;
 
     fn record(&mut self, input: u64, samples: &[f64]) -> Result<()> {

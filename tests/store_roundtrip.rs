@@ -6,7 +6,10 @@
 use std::io::Cursor;
 
 use dpl_power::TraceSet;
-use dpl_store::{dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, StoreError};
+use dpl_store::{
+    dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, DamageCause, ReadPolicy,
+    RetryPolicy, StoreError,
+};
 use proptest::prelude::*;
 
 /// Deterministic trace material, including awkward values (negative,
@@ -135,5 +138,120 @@ proptest! {
             (input ^ guess).count_ones() >= 2
         });
         prop_assert!(attack.is_err());
+    }
+
+    /// On an undamaged archive, a salvage read is bit-identical to a strict
+    /// read — same traces, same order, same sample bits — for any trace
+    /// count / length / chunking, and the salvage scan reports it clean.
+    #[test]
+    fn salvage_read_of_clean_archive_is_bit_identical_to_strict(
+        seed in 0u64..100_000,
+        count in 1usize..220,
+        samples in 1usize..6,
+        chunk in 1usize..70,
+    ) {
+        let traces = synthetic_traces(seed, count, samples);
+        let bytes = write_archive(&traces, samples, chunk, seed);
+
+        let mut strict = ArchiveReader::new(Cursor::new(bytes.clone())).expect("strict reader");
+        let strict_all = strict.read_all().expect("strict read");
+
+        let mut salvage = ArchiveReader::with_policy(Cursor::new(bytes), ReadPolicy::Salvage)
+            .expect("salvage reader");
+        let retry = RetryPolicy::none();
+        let report = salvage.scan(&retry).expect("scan");
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(report.traces_read, count as u64);
+
+        let mut salvaged = TraceSet::new();
+        for index in 0..salvage.chunk_count() {
+            match salvage.read_chunk_salvage(index, &retry).expect("salvage read") {
+                dpl_store::SalvageOutcome::Intact(set) => {
+                    for t in 0..set.len() {
+                        salvaged.push_samples(set.inputs()[t], &set.trace_samples(t));
+                    }
+                }
+                dpl_store::SalvageOutcome::Damaged(d) => {
+                    return Err(TestCaseError::fail(format!("clean chunk damaged: {d:?}")));
+                }
+            }
+        }
+        prop_assert_eq!(&salvaged, &strict_all);
+        for t in 0..salvaged.len() {
+            let a = salvaged.trace_samples(t);
+            let b = strict_all.trace_samples(t);
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Flipping a byte inside any single chunk degrades exactly that chunk
+    /// under salvage: the damage report names it alone, with its exact
+    /// trace count, and every other trace is still read back bit-exactly.
+    #[test]
+    fn flipped_chunk_byte_degrades_exactly_that_chunk(
+        seed in 0u64..100_000,
+        count in 1usize..150,
+        samples in 1usize..4,
+        chunk in 1usize..40,
+        target in 0usize..1_000_000,
+        position in 0usize..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let traces = synthetic_traces(seed, count, samples);
+        let bytes = write_archive(&traces, samples, chunk, seed);
+
+        // Pick a chunk, then a byte inside that chunk's span.
+        let chunk_count = count.div_ceil(chunk);
+        let target = target % chunk_count;
+        let full_chunk_bytes = |k: usize| 4 + k * 8 + k * samples * 8 + 8;
+        let offset_of = |index: usize| {
+            dpl_store::format::HEADER_LEN + index * full_chunk_bytes(chunk)
+        };
+        let traces_in_target = if target == chunk_count - 1 && count % chunk != 0 {
+            count % chunk
+        } else {
+            chunk
+        };
+        let span = full_chunk_bytes(traces_in_target);
+        let offset = offset_of(target) + position % span;
+
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 1 << bit;
+
+        let mut salvage = ArchiveReader::with_policy(Cursor::new(corrupt), ReadPolicy::Salvage)
+            .expect("header is intact");
+        let retry = RetryPolicy::none();
+        let report = salvage.scan(&retry).expect("scan");
+        prop_assert_eq!(report.damaged.len(), 1);
+        prop_assert_eq!(report.damaged[0].chunk, target);
+        prop_assert_eq!(report.damaged[0].cause.clone(), DamageCause::ChecksumMismatch);
+        prop_assert_eq!(report.damaged[0].traces_lost, traces_in_target);
+        prop_assert_eq!(report.traces_read, (count - traces_in_target) as u64);
+
+        // Every surviving chunk still round-trips bit-exactly.
+        for index in (0..chunk_count).filter(|&i| i != target) {
+            match salvage.read_chunk_salvage(index, &retry).expect("salvage read") {
+                dpl_store::SalvageOutcome::Intact(set) => {
+                    let base = index * chunk;
+                    for t in 0..set.len() {
+                        prop_assert_eq!(set.inputs()[t], traces[base + t].0);
+                        for (x, y) in set
+                            .trace_samples(t)
+                            .iter()
+                            .zip(traces[base + t].1.iter())
+                        {
+                            prop_assert_eq!(x.to_bits(), y.to_bits());
+                        }
+                    }
+                }
+                dpl_store::SalvageOutcome::Damaged(d) => {
+                    return Err(TestCaseError::fail(format!(
+                        "intact chunk {index} reported damaged: {d:?}"
+                    )));
+                }
+            }
+        }
     }
 }
