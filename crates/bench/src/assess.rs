@@ -12,10 +12,11 @@ use dpl_crypto::{
     EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::{
-    interleaved_partition, mtd_campaign, tvla_parallel, tvla_salvage, tvla_streaming,
-    tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa, PrefixDpa, TvlaOrder, TvlaResult,
-    TVLA_THRESHOLD,
+    interleaved_partition, mtd_campaign, mtd_campaign_observed, tvla_parallel, tvla_salvage,
+    tvla_streaming, tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa, PrefixDpa,
+    TvlaOrder, TvlaResult, TVLA_THRESHOLD,
 };
+use dpl_obs::{Json, Obs};
 use dpl_store::{ArchiveReader, CampaignKind, ReadPolicy, RetryPolicy};
 
 /// The fixed plaintext nibble of every CLI TVLA campaign (the random group
@@ -130,6 +131,7 @@ impl CircuitChoice {
 }
 
 /// One measurements-to-disclosure sweep of a single (model, circuit) pair.
+#[allow(clippy::too_many_arguments)]
 fn mtd_curve_for(
     netlist: &GateNetlist,
     table: &GateEnergyTable,
@@ -138,6 +140,7 @@ fn mtd_curve_for(
     grid: &[usize],
     repetitions: usize,
     attack: MtdAttack,
+    obs: Option<&Obs>,
 ) -> MtdCurve {
     let cache = EnergyCache::new(netlist, table);
     let config = MtdConfig::new(grid.to_vec(), repetitions, seed);
@@ -151,17 +154,31 @@ fn mtd_curve_for(
     match attack {
         MtdAttack::Dpa => {
             let selection = circuit.dpa_selection();
-            mtd_campaign(&config, u64::from(MTD_KEY), generate, move || {
+            let make = move || {
                 let selection = selection.clone();
                 PrefixDpa::new(16, selection)
-            })
+            };
+            match obs {
+                Some(obs) => {
+                    mtd_campaign_observed(&config, u64::from(MTD_KEY), generate, make, obs)
+                }
+                None => mtd_campaign(&config, u64::from(MTD_KEY), generate, make),
+            }
         }
-        MtdAttack::Cpa => mtd_campaign(&config, u64::from(MTD_KEY), generate, || {
-            let cache = cache.clone();
-            PrefixCpa::new(16, move |plaintext, guess| {
-                cache.energy(plaintext, guess as u8)
-            })
-        }),
+        MtdAttack::Cpa => {
+            let make = || {
+                let cache = cache.clone();
+                PrefixCpa::new(16, move |plaintext, guess| {
+                    cache.energy(plaintext, guess as u8)
+                })
+            };
+            match obs {
+                Some(obs) => {
+                    mtd_campaign_observed(&config, u64::from(MTD_KEY), generate, make, obs)
+                }
+                None => mtd_campaign(&config, u64::from(MTD_KEY), generate, make),
+            }
+        }
     }
     .expect("mtd campaign")
 }
@@ -180,6 +197,23 @@ pub fn mtd_curves(
     repetitions: usize,
     attack: MtdAttack,
 ) -> Vec<(LeakageModel, MtdCurve)> {
+    mtd_curves_observed(seed, grid, repetitions, attack, None)
+}
+
+/// [`mtd_curves`] with optional telemetry: when `obs` is given, every
+/// per-model campaign runs through the observed sweep (spans plus
+/// grid/repetition/trace counters).
+///
+/// # Panics
+///
+/// As [`mtd_curves`].
+pub fn mtd_curves_observed(
+    seed: u64,
+    grid: &[usize],
+    repetitions: usize,
+    attack: MtdAttack,
+    obs: Option<&Obs>,
+) -> Vec<(LeakageModel, MtdCurve)> {
     let netlist = synthesize_sbox_with_key().expect("synthesis");
     let capacitance = CapacitanceModel::default();
     let mut curves = Vec::new();
@@ -193,6 +227,7 @@ pub fn mtd_curves(
             grid,
             repetitions,
             attack,
+            obs,
         );
         curves.push((model, curve));
     }
@@ -202,6 +237,18 @@ pub fn mtd_curves(
 /// Experiment: measurements-to-disclosure across every leakage model —
 /// the paper's core quantitative comparison (`repro mtd`).
 pub fn mtd_experiment(seed: u64, grid: &[usize], repetitions: usize, attack: MtdAttack) -> String {
+    mtd_experiment_observed(seed, grid, repetitions, attack, None)
+}
+
+/// [`mtd_experiment`] with optional telemetry (the `repro mtd --metrics`
+/// path).
+pub fn mtd_experiment_observed(
+    seed: u64,
+    grid: &[usize],
+    repetitions: usize,
+    attack: MtdAttack,
+    obs: Option<&Obs>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -214,7 +261,7 @@ pub fn mtd_experiment(seed: u64, grid: &[usize], repetitions: usize, attack: Mtd
          seed = {seed}, disclosure threshold = 80 % success rate"
     );
     let _ = writeln!(out, "trace grid: {grid:?}");
-    for (model, curve) in mtd_curves(seed, grid, repetitions, attack) {
+    for (model, curve) in mtd_curves_observed(seed, grid, repetitions, attack, obs) {
         render_mtd_curve(&mut out, model.label(), &curve, grid);
     }
     let _ = writeln!(
@@ -264,6 +311,25 @@ pub fn mtd_experiment_for(
     repetitions: usize,
     attack: MtdAttack,
 ) -> String {
+    mtd_experiment_for_observed(model, circuit, seed, grid, repetitions, attack, None)
+}
+
+/// [`mtd_experiment_for`] with optional telemetry (the
+/// `repro mtd --model ... --metrics` path).
+///
+/// # Panics
+///
+/// As [`mtd_experiment_for`].
+#[allow(clippy::too_many_arguments)]
+pub fn mtd_experiment_for_observed(
+    model: EnergyModel,
+    circuit: CircuitChoice,
+    seed: u64,
+    grid: &[usize],
+    repetitions: usize,
+    attack: MtdAttack,
+    obs: Option<&Obs>,
+) -> String {
     let netlist = circuit.netlist();
     let capacitance = CapacitanceModel::default();
     let table = GateEnergyTable::for_circuit(model, &capacitance, &netlist).expect("energy table");
@@ -287,7 +353,16 @@ pub fn mtd_experiment_for(
             table.digest()
         );
     }
-    let curve = mtd_curve_for(&netlist, &table, circuit, seed, grid, repetitions, attack);
+    let curve = mtd_curve_for(
+        &netlist,
+        &table,
+        circuit,
+        seed,
+        grid,
+        repetitions,
+        attack,
+        obs,
+    );
     render_mtd_curve(&mut out, &model.label(), &curve, grid);
     out
 }
@@ -385,7 +460,27 @@ pub fn tvla_report(
     orders: &[TvlaOrder],
     workers: Option<usize>,
 ) -> Result<String, String> {
+    tvla_report_observed(path, orders, workers, None)
+}
+
+/// [`tvla_report`] with optional telemetry: the reader's chunk counters
+/// and the fold's span/throughput gauges land in `obs` (the single-threaded
+/// streaming path; the `--workers` shards open their own readers and stay
+/// unobserved).
+///
+/// # Errors
+///
+/// As [`tvla_report`].
+pub fn tvla_report_observed(
+    path: &str,
+    orders: &[TvlaOrder],
+    workers: Option<usize>,
+    obs: Option<&Obs>,
+) -> Result<String, String> {
     let mut reader = ArchiveReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if let Some(obs) = obs {
+        reader.set_obs(obs);
+    }
     if reader.campaign() != CampaignKind::TvlaInterleaved {
         return Err(format!(
             "{path} records a `{}` campaign; the t-test needs an interleaved fixed-vs-random \
@@ -433,8 +528,25 @@ pub fn tvla_report(
 /// Returns a rendered error message for unreadable archives, a non-TVLA
 /// campaign, or damage that leaves no usable traces.
 pub fn tvla_salvage_report(path: &str, orders: &[TvlaOrder]) -> Result<String, String> {
+    tvla_salvage_report_observed(path, orders, None)
+}
+
+/// [`tvla_salvage_report`] with optional telemetry: salvage drops, retry
+/// attempts and the fold's span/throughput gauges land in `obs`.
+///
+/// # Errors
+///
+/// As [`tvla_salvage_report`].
+pub fn tvla_salvage_report_observed(
+    path: &str,
+    orders: &[TvlaOrder],
+    obs: Option<&Obs>,
+) -> Result<String, String> {
     let mut reader = ArchiveReader::open_with_policy(path, ReadPolicy::Salvage)
         .map_err(|e| format!("cannot open {path}: {e}"))?;
+    if let Some(obs) = obs {
+        reader.set_obs(obs);
+    }
     if reader.campaign() != CampaignKind::TvlaInterleaved {
         return Err(format!(
             "{path} records a `{}` campaign; the t-test needs an interleaved fixed-vs-random \
@@ -496,6 +608,91 @@ pub fn info_report(path: &str) -> Result<String, String> {
     if let Some(digest) = reader.table_digest() {
         let _ = writeln!(out, "  energy-table digest:  {digest:#018X}");
     }
+    Ok(out)
+}
+
+/// `repro info <file> --json [--fsck]`: the archive's header metadata as a
+/// machine-readable JSON document — plus, with `fsck`, a full damage scan
+/// (every chunk's checksum verified) summarised under a `damage` key.
+///
+/// # Errors
+///
+/// Returns a rendered error message when the archive cannot be opened (or,
+/// with `fsck`, when the scan hard-fails on a non-chunk-local error).
+pub fn info_json(path: &str, fsck: bool) -> Result<String, String> {
+    // The fsck scan tolerates chunk damage and a wrong file length by
+    // design; a plain header dump keeps the strict policy `repro info`
+    // always had.
+    let policy = if fsck {
+        ReadPolicy::Salvage
+    } else {
+        ReadPolicy::Strict
+    };
+    let mut reader = ArchiveReader::open_with_policy(path, policy)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let meta = reader.meta();
+    let mut fields = vec![
+        ("info", Json::str("dpl-store.archive/v1")),
+        ("path", Json::str(path)),
+        (
+            "format_version",
+            Json::U64(u64::from(reader.format_version())),
+        ),
+        ("campaign", Json::str(meta.campaign.label())),
+        ("model", Json::str(meta.model.label())),
+        ("seed", Json::U64(meta.seed)),
+        ("traces", Json::U64(reader.trace_count())),
+        (
+            "samples_per_trace",
+            Json::U64(meta.samples_per_trace as u64),
+        ),
+        ("chunks", Json::U64(reader.chunk_count() as u64)),
+        ("chunk_traces", Json::U64(meta.chunk_traces as u64)),
+        (
+            "distinct_inputs",
+            match reader.distinct_inputs() {
+                Some(n) => Json::U64(n as u64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "table_digest",
+            match reader.table_digest() {
+                Some(digest) => Json::str(format!("{digest:#018X}")),
+                None => Json::Null,
+            },
+        ),
+    ];
+    if fsck {
+        let retry = RetryPolicy::new(2);
+        let report = reader
+            .scan(&retry)
+            .map_err(|e| format!("fsck of {path} failed: {e}"))?;
+        let damaged = report
+            .damaged
+            .iter()
+            .map(|d| {
+                Json::object(vec![
+                    ("chunk", Json::U64(d.chunk as u64)),
+                    ("cause", Json::str(d.cause.to_string())),
+                    ("traces_lost", Json::U64(d.traces_lost as u64)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "damage",
+            Json::object(vec![
+                ("clean", Json::Bool(report.is_clean())),
+                ("chunks_scanned", Json::U64(report.chunks_scanned as u64)),
+                ("traces_read", Json::U64(report.traces_read)),
+                ("traces_total", Json::U64(report.traces_total)),
+                ("traces_lost", Json::U64(report.traces_lost())),
+                ("damaged_chunks", Json::Array(damaged)),
+            ]),
+        ));
+    }
+    let mut out = Json::object(fields).render_pretty();
+    out.push('\n');
     Ok(out)
 }
 

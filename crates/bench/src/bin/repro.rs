@@ -16,8 +16,10 @@
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --verify
 //! cargo run -p dpl-bench --release --bin repro -- attack m.dpltrc --cpa --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- attack damaged.dpltrc --dpa --salvage
+//! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --metrics m.jsonl --report text
 //! cargo run -p dpl-bench --release --bin repro -- fsck traces.dpltrc --repair
 //! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc
+//! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc --json --fsck
 //! cargo run -p dpl-bench --release --bin repro -- tvla tvla.dpltrc --order both
 //! cargo run -p dpl-bench --release --bin repro -- mtd --seed 7 --attack cpa
 //! cargo run -p dpl-bench --release --bin repro -- mtd --model fc-charac --circuit oai22
@@ -31,14 +33,16 @@ use std::fs::File;
 use std::path::Path;
 use std::process::ExitCode;
 
-use dpl_bench::{CircuitChoice, MtdAttack};
+use dpl_bench::{CircuitChoice, MtdAttack, TelemetrySession};
 use dpl_cells::CapacitanceModel;
 use dpl_core::GateKind;
 use dpl_crypto::{
-    simulate_traces_into, simulate_tvla_traces_into, EnergyCache, EnergyModel, GateEnergyTable,
-    GateNetlist, LeakageModel, LeakageOptions,
+    simulate_traces_into, simulate_traces_into_observed, simulate_tvla_traces_into,
+    simulate_tvla_traces_into_observed, EnergyCache, EnergyModel, GateEnergyTable, GateNetlist,
+    LeakageModel, LeakageOptions,
 };
 use dpl_eval::TvlaOrder;
+use dpl_obs::Obs;
 use dpl_power::{cpa_attack, dpa_attack, AttackResult, TraceSink};
 use dpl_store::{
     cpa_attack_salvage, cpa_attack_streaming, dpa_attack_salvage, dpa_attack_streaming,
@@ -79,6 +83,10 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--quick", &["bench"]),
     ("--out", &["bench"]),
     ("--tolerance", &["verify"]),
+    ("--metrics", &["capture", "attack", "tvla", "mtd", "verify"]),
+    ("--report", &["capture", "attack", "tvla", "mtd", "verify"]),
+    ("--json", &["info"]),
+    ("--fsck", &["info"]),
 ];
 
 /// Rejects any scoped flag that does not apply to `subcommand`, naming the
@@ -99,6 +107,22 @@ fn check_flag_scopes(subcommand: &str, args: &[String]) -> Result<(), String> {
 /// The consistent "unknown flag" message of every subcommand parser.
 fn unknown_flag(subcommand: &str, flag: &str, usage: &str) -> String {
     format!("unknown option `{flag}` for the `{subcommand}` subcommand; usage: {usage}")
+}
+
+/// Exports a finished subcommand's telemetry — JSON-lines to the
+/// `--metrics` file, the rendered `--report` to stdout — and returns the
+/// command's final exit code (an export failure fails the command).
+fn finish_telemetry(telemetry: Option<TelemetrySession>, command: &str) -> ExitCode {
+    if let Some(session) = telemetry {
+        match session.finish(command) {
+            Ok(report) => print!("{report}"),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn model_tag_of(model: EnergyModel) -> ModelTag {
@@ -246,15 +270,25 @@ struct CaptureJob {
 
 impl CaptureJob {
     /// Simulates the campaign into the writer (skipping whatever the writer
-    /// already holds from a resumed prefix) and finishes the archive.
-    fn run<W: SyncWrite>(&self, writer: &mut ArchiveWriter<W>) -> Result<u64, String> {
+    /// already holds from a resumed prefix) and finishes the archive.  With
+    /// `obs`, the writer's chunk/fsync counters and the simulator's span and
+    /// throughput gauges are recorded — the trace stream itself is
+    /// byte-identical either way.
+    fn run<W: SyncWrite>(
+        &self,
+        writer: &mut ArchiveWriter<W>,
+        obs: Option<&Obs>,
+    ) -> Result<u64, String> {
+        if let Some(obs) = obs {
+            writer.set_obs(obs);
+        }
         let skip = writer.traces_written();
         let mut sink = SkipSink {
             writer: &mut *writer,
             remaining: skip,
         };
-        let capture = if self.tvla {
-            simulate_tvla_traces_into(
+        let capture = match (self.tvla, obs) {
+            (true, Some(obs)) => simulate_tvla_traces_into_observed(
                 &self.netlist,
                 &self.table,
                 CAMPAIGN_KEY,
@@ -262,16 +296,34 @@ impl CaptureJob {
                 self.num_traces,
                 &self.options,
                 &mut sink,
-            )
-        } else {
-            simulate_traces_into(
+                obs,
+            ),
+            (true, None) => simulate_tvla_traces_into(
+                &self.netlist,
+                &self.table,
+                CAMPAIGN_KEY,
+                dpl_bench::TVLA_FIXED_PLAINTEXT,
+                self.num_traces,
+                &self.options,
+                &mut sink,
+            ),
+            (false, Some(obs)) => simulate_traces_into_observed(
                 &self.netlist,
                 &self.table,
                 CAMPAIGN_KEY,
                 self.num_traces,
                 &self.options,
                 &mut sink,
-            )
+                obs,
+            ),
+            (false, None) => simulate_traces_into(
+                &self.netlist,
+                &self.table,
+                CAMPAIGN_KEY,
+                self.num_traces,
+                &self.options,
+                &mut sink,
+            ),
         };
         capture.map_err(|e| format!("capture failed: {e}"))?;
         writer
@@ -293,8 +345,16 @@ impl CaptureJob {
 /// (the crash-recovery smoke test's crash lever).
 fn run_capture(args: &[String]) -> ExitCode {
     const USAGE: &str = "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] \
-                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k]";
+                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] \
+                         [--metrics f] [--report json|text]";
     let (args, seed) = match take_seed(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (args, telemetry) = match TelemetrySession::from_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -370,6 +430,7 @@ fn run_capture(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
+    let obs = telemetry.as_ref().map(|t| t.obs());
 
     let netlist = circuit.netlist();
     let capacitance = CapacitanceModel::default();
@@ -414,6 +475,9 @@ fn run_capture(args: &[String]) -> ExitCode {
             recovery.buffered_traces,
             recovery.dropped_bytes
         );
+        if let Some(obs) = obs {
+            recovery.observe(obs);
+        }
         let already = writer.traces_written();
         if already > num_traces as u64 {
             eprintln!(
@@ -421,7 +485,7 @@ fn run_capture(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        job.run(&mut writer)
+        job.run(&mut writer, obs)
     } else {
         if Path::new(path).exists() && !force {
             eprintln!(
@@ -442,12 +506,12 @@ fn run_capture(args: &[String]) -> ExitCode {
                 let stream =
                     FaultStream::new(file, FaultPlan::error_at(op, std::io::ErrorKind::Other));
                 match ArchiveWriter::new(stream, meta) {
-                    Ok(mut writer) => job.run(&mut writer),
+                    Ok(mut writer) => job.run(&mut writer, obs),
                     Err(e) => Err(format!("cannot create {path}: {e}")),
                 }
             }
             None => match ArchiveWriter::create(path, meta) {
-                Ok(mut writer) => job.run(&mut writer),
+                Ok(mut writer) => job.run(&mut writer, obs),
                 Err(e) => {
                     eprintln!("cannot create {path}: {e}");
                     return ExitCode::FAILURE;
@@ -480,7 +544,7 @@ fn run_capture(args: &[String]) -> ExitCode {
                     meta.table_digest
                 );
             }
-            ExitCode::SUCCESS
+            finish_telemetry(telemetry, "repro capture")
         }
         Err(message) => {
             eprintln!("{message}");
@@ -514,7 +578,15 @@ fn attack_label(result: &AttackResult) -> String {
 /// surviving chunks, reporting exactly what was lost.
 fn run_attack(args: &[String]) -> ExitCode {
     const USAGE: &str = "repro attack <file> [--dpa|--cpa] [--verify] [--salvage] \
-                         [--budget <traces>] [--model m] [--circuit c]";
+                         [--budget <traces>] [--model m] [--circuit c] \
+                         [--metrics f] [--report json|text]";
+    let (args, telemetry) = match TelemetrySession::from_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut path = None;
     let mut use_cpa = false;
     let mut verify = false;
@@ -599,6 +671,9 @@ fn run_attack(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+    }
+    if let Some(session) = &telemetry {
+        reader.set_obs(session.obs());
     }
     println!(
         "{path}: {} traces, {} samples/trace, {} chunks of {} traces, model = {}, seed = {}",
@@ -736,17 +811,49 @@ fn run_attack(args: &[String]) -> ExitCode {
         }
         println!("verify: out-of-core scores are bit-identical to the in-memory attack");
     }
-    ExitCode::SUCCESS
+    finish_telemetry(telemetry, "repro attack")
 }
 
-/// `repro info <file>`: print an archive's header metadata without reading
-/// any chunk data.
+/// `repro info <file> [--json [--fsck]]`: print an archive's header
+/// metadata — human-readable by default, machine-readable with `--json`.
+/// `--json --fsck` additionally verifies every chunk checksum and embeds
+/// the damage summary under a `damage` key (the machine-readable
+/// counterpart of `repro fsck`).
 fn run_info(args: &[String]) -> ExitCode {
-    let [path] = args else {
-        eprintln!("usage: repro info <file>");
+    const USAGE: &str = "repro info <file> [--json [--fsck]]";
+    let mut path = None;
+    let mut json = false;
+    let mut fsck = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fsck" => fsck = true,
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("{}", unknown_flag("info", other, USAGE));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
-    match dpl_bench::info_report(path) {
+    if fsck && !json {
+        eprintln!(
+            "--fsck here augments the JSON document; pass --json too (or use `repro fsck` \
+             for the human-readable scan)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = if json {
+        dpl_bench::info_json(&path, fsck)
+    } else {
+        dpl_bench::info_report(&path)
+    };
+    match report {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
@@ -817,7 +924,15 @@ fn run_charac_table(args: &[String]) -> ExitCode {
 /// streaming Welch t-test over an interleaved fixed-vs-random archive;
 /// `--salvage` assesses a damaged archive's surviving chunks.
 fn run_tvla(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n] [--salvage]";
+    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n] [--salvage] \
+                         [--metrics f] [--report json|text]";
+    let (args, telemetry) = match TelemetrySession::from_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut path = None;
     let mut orders: Vec<TvlaOrder> = vec![TvlaOrder::First, TvlaOrder::Second];
     let mut workers = None;
@@ -861,15 +976,16 @@ fn run_tvla(args: &[String]) -> ExitCode {
         eprintln!("--salvage runs single-threaded; drop --workers");
         return ExitCode::FAILURE;
     }
+    let obs = telemetry.as_ref().map(|t| t.obs());
     let report = if salvage {
-        dpl_bench::tvla_salvage_report(&path, &orders)
+        dpl_bench::tvla_salvage_report_observed(&path, &orders, obs)
     } else {
-        dpl_bench::tvla_report(&path, &orders, workers)
+        dpl_bench::tvla_report_observed(&path, &orders, workers, obs)
     };
     match report {
         Ok(report) => {
             print!("{report}");
-            ExitCode::SUCCESS
+            finish_telemetry(telemetry, "repro tvla")
         }
         Err(message) => {
             eprintln!("{message}");
@@ -964,9 +1080,16 @@ fn run_fsck(args: &[String]) -> ExitCode {
 /// characterisation-derived) model / library circuit with `--model` /
 /// `--circuit`.
 fn run_mtd(args: &[String]) -> ExitCode {
-    const USAGE: &str =
-        "repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model m] [--circuit c]";
+    const USAGE: &str = "repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model m] \
+                         [--circuit c] [--metrics f] [--report json|text]";
     let (args, seed) = match take_seed(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (args, telemetry) = match TelemetrySession::from_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -1016,26 +1139,28 @@ fn run_mtd(args: &[String]) -> ExitCode {
         }
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
+    let obs = telemetry.as_ref().map(|t| t.obs());
     let report = match (model, circuit) {
         // The historical sweep: every built-in model over the S-box
         // datapath (byte-identical output).
         (None, CircuitChoice::Sbox) => {
-            dpl_bench::mtd_experiment(seed, dpl_bench::MTD_GRID, repetitions, attack)
+            dpl_bench::mtd_experiment_observed(seed, dpl_bench::MTD_GRID, repetitions, attack, obs)
         }
         (maybe_model, circuit) => {
             let model = maybe_model.unwrap_or(EnergyModel::builtin(LeakageModel::HammingWeight));
-            dpl_bench::mtd_experiment_for(
+            dpl_bench::mtd_experiment_for_observed(
                 model,
                 circuit,
                 seed,
                 dpl_bench::MTD_GRID,
                 repetitions,
                 attack,
+                obs,
             )
         }
     };
     print!("{report}");
-    ExitCode::SUCCESS
+    finish_telemetry(telemetry, "repro mtd")
 }
 
 /// `repro verify <circuit>|all [--model <name>] [--tolerance <t>]`: prove
@@ -1046,7 +1171,15 @@ fn run_mtd(args: &[String]) -> ExitCode {
 /// the CLI can capture: the S-box datapath, all 18 library-cell datapaths
 /// and the one-round mini-PRESENT.
 fn run_verify(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro verify <circuit>|all [--model m] [--tolerance t]";
+    const USAGE: &str = "repro verify <circuit>|all [--model m] [--tolerance t] \
+                         [--metrics f] [--report json|text]";
+    let (args, telemetry) = match TelemetrySession::from_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut target = None;
     let mut model = EnergyModel::builtin(LeakageModel::EnhancedSabl);
     let mut tolerance = None;
@@ -1094,6 +1227,7 @@ fn run_verify(args: &[String]) -> ExitCode {
             }
         }
     };
+    let obs = telemetry.as_ref().map(|t| t.obs());
     for circuit in &circuits {
         let mut request = dpl_verify::CertificateRequest {
             circuit: *circuit,
@@ -1103,14 +1237,22 @@ fn run_verify(args: &[String]) -> ExitCode {
         if let Some(tolerance) = tolerance {
             request = request.with_tolerance(tolerance);
         }
-        let certificate = match dpl_verify::emit_certificate(&request) {
+        let emitted = match obs {
+            Some(obs) => dpl_verify::emit_certificate_observed(&request, obs),
+            None => dpl_verify::emit_certificate(&request),
+        };
+        let certificate = match emitted {
             Ok(certificate) => certificate,
             Err(e) => {
                 eprintln!("{}: certification FAILED: {e}", circuit.name());
                 return ExitCode::FAILURE;
             }
         };
-        let report = match dpl_verify::check_certificate(&certificate.to_text()) {
+        let checked = match obs {
+            Some(obs) => dpl_verify::check_certificate_observed(&certificate.to_text(), obs),
+            None => dpl_verify::check_certificate(&certificate.to_text()),
+        };
+        let report = match checked {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("{}: certificate replay FAILED: {e}", circuit.name());
@@ -1128,7 +1270,7 @@ fn run_verify(args: &[String]) -> ExitCode {
         circuits.len(),
         model.name()
     );
-    ExitCode::SUCCESS
+    finish_telemetry(telemetry, "repro verify")
 }
 
 fn main() -> ExitCode {

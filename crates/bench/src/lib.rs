@@ -12,10 +12,13 @@
 pub mod assess;
 pub mod experiments;
 pub mod perf;
+pub mod telemetry;
 
 pub use assess::{
-    charac_table_report, info_report, mtd_curves, mtd_experiment, mtd_experiment_for, tvla_report,
-    tvla_salvage_report, CircuitChoice, MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
+    charac_table_report, info_json, info_report, mtd_curves, mtd_curves_observed, mtd_experiment,
+    mtd_experiment_for, mtd_experiment_for_observed, mtd_experiment_observed, tvla_report,
+    tvla_report_observed, tvla_salvage_report, tvla_salvage_report_observed, CircuitChoice,
+    MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
 };
 pub use experiments::{
     cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,
@@ -23,3 +26,4 @@ pub use experiments::{
     run_all, DEFAULT_EXPERIMENT_SEED,
 };
 pub use perf::{PerfConfig, PerfReport, PerfRow};
+pub use telemetry::{ReportFormat, TelemetrySession};

@@ -1,0 +1,143 @@
+//! CLI telemetry plumbing: the `--metrics <file>` / `--report json|text`
+//! flags shared by `repro capture`, `attack`, `tvla`, `mtd` and `verify`.
+//!
+//! A [`TelemetrySession`] owns one [`dpl_obs::Obs`] handle for the whole
+//! subcommand.  The subcommand attaches it to its readers/writers (or
+//! passes it to the `*_observed` entry points), and [`TelemetrySession::finish`]
+//! exports whatever was recorded: JSON-lines to the `--metrics` file, and a
+//! [`dpl_obs::RunReport`] rendered to stdout for `--report`.
+
+use dpl_obs::{Collector, JsonLines, Obs, RunReport};
+
+/// Which rendering `--report` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// The pretty-printed [`RunReport`] JSON document.
+    Json,
+    /// The indented human-readable span tree + metric tables.
+    Text,
+}
+
+/// One subcommand's telemetry: the shared [`Obs`] handle plus where its
+/// snapshot goes when the command finishes.
+#[derive(Debug)]
+pub struct TelemetrySession {
+    obs: Obs,
+    metrics_path: Option<String>,
+    report: Option<ReportFormat>,
+}
+
+impl TelemetrySession {
+    /// Extracts `--metrics <path>` and `--report json|text` from an
+    /// argument list, returning the remaining arguments and the session
+    /// (when either flag was present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message when a flag is missing its value or the
+    /// `--report` format is unknown.
+    pub fn from_args(args: &[String]) -> Result<(Vec<String>, Option<TelemetrySession>), String> {
+        let mut rest = Vec::new();
+        let mut metrics_path = None;
+        let mut report = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--metrics" => match iter.next() {
+                    Some(path) => metrics_path = Some(path.clone()),
+                    None => return Err("--metrics needs a file path".into()),
+                },
+                "--report" => match iter.next().map(String::as_str) {
+                    Some("json") => report = Some(ReportFormat::Json),
+                    Some("text") => report = Some(ReportFormat::Text),
+                    _ => return Err("--report needs one of: json, text".into()),
+                },
+                _ => rest.push(arg.clone()),
+            }
+        }
+        let session = if metrics_path.is_some() || report.is_some() {
+            Some(TelemetrySession {
+                obs: Obs::monotonic(),
+                metrics_path,
+                report,
+            })
+        } else {
+            None
+        };
+        Ok((rest, session))
+    }
+
+    /// The session's observability handle (clone it into readers/writers).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Snapshots the telemetry and exports it: JSON-lines to the
+    /// `--metrics` file (when requested) and the rendered `--report`
+    /// document as the returned string (empty without `--report`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message when the metrics file cannot be written.
+    pub fn finish(self, command: &str) -> Result<String, String> {
+        let telemetry = self.obs.snapshot();
+        if let Some(path) = &self.metrics_path {
+            let mut bytes = Vec::new();
+            JsonLines
+                .collect(&telemetry, &mut bytes)
+                .map_err(|e| format!("cannot render telemetry for {path}: {e}"))?;
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        let rendered = match self.report {
+            None => String::new(),
+            Some(format) => {
+                let report = RunReport::new(command, telemetry);
+                match format {
+                    ReportFormat::Json => report.render_json(),
+                    ReportFormat::Text => report.render_text(),
+                }
+            }
+        };
+        Ok(rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_yield_no_session() {
+        let (rest, session) =
+            TelemetrySession::from_args(&strings(&["file.dpltrc", "--dpa"])).unwrap();
+        assert_eq!(rest, strings(&["file.dpltrc", "--dpa"]));
+        assert!(session.is_none());
+    }
+
+    #[test]
+    fn flags_are_extracted_and_order_preserved() {
+        let (rest, session) = TelemetrySession::from_args(&strings(&[
+            "a.dpltrc",
+            "--metrics",
+            "m.jsonl",
+            "--dpa",
+            "--report",
+            "text",
+        ]))
+        .unwrap();
+        assert_eq!(rest, strings(&["a.dpltrc", "--dpa"]));
+        let session = session.unwrap();
+        assert_eq!(session.metrics_path.as_deref(), Some("m.jsonl"));
+        assert_eq!(session.report, Some(ReportFormat::Text));
+    }
+
+    #[test]
+    fn bad_report_format_is_rejected() {
+        assert!(TelemetrySession::from_args(&strings(&["--report", "xml"])).is_err());
+        assert!(TelemetrySession::from_args(&strings(&["--metrics"])).is_err());
+    }
+}

@@ -604,6 +604,33 @@ pub fn simulate_traces_into<S: TraceSink>(
     Ok(())
 }
 
+/// [`simulate_traces_into`] with telemetry: the campaign runs inside a
+/// `crypto.simulate_traces` span, and the trace count and generation
+/// throughput are recorded into `obs`.  The trace stream itself is
+/// byte-identical to the unobserved variant.
+///
+/// # Errors
+///
+/// Exactly those of [`simulate_traces_into`].
+pub fn simulate_traces_into_observed<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    num_traces: usize,
+    options: &LeakageOptions,
+    sink: &mut S,
+    obs: &dpl_obs::Obs,
+) -> std::result::Result<(), S::Error> {
+    let span = obs.span("crypto.simulate_traces");
+    simulate_traces_into(netlist, table, key, num_traces, options, sink)?;
+    obs.counter_add(dpl_obs::names::CRYPTO_TRACES_GENERATED, num_traces as u64);
+    let elapsed = span.finish();
+    if let Some(rate) = dpl_obs::rate_per_sec(num_traces as u64, elapsed) {
+        obs.gauge_max(dpl_obs::names::CRYPTO_TRACES_PER_SEC, rate);
+    }
+    Ok(())
+}
+
 /// Generates an **interleaved fixed-vs-random TVLA campaign** straight into
 /// `sink`: traces at even global indices process the `fixed_plaintext`
 /// nibble, traces at odd indices a uniformly random one — the standard
@@ -642,6 +669,43 @@ pub fn simulate_tvla_traces_into<S: TraceSink>(
         };
         let energy = energies[plaintext as usize] + draw_noise(&mut rng, noise_sigma);
         sink.record(plaintext, &[energy])?;
+    }
+    Ok(())
+}
+
+/// [`simulate_tvla_traces_into`] with telemetry: the campaign runs inside a
+/// `crypto.simulate_tvla_traces` span, and the trace count and generation
+/// throughput are recorded into `obs`.  The trace stream itself is
+/// byte-identical to the unobserved variant.
+///
+/// # Errors
+///
+/// Exactly those of [`simulate_tvla_traces_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_tvla_traces_into_observed<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    fixed_plaintext: u64,
+    num_traces: usize,
+    options: &LeakageOptions,
+    sink: &mut S,
+    obs: &dpl_obs::Obs,
+) -> std::result::Result<(), S::Error> {
+    let span = obs.span("crypto.simulate_tvla_traces");
+    simulate_tvla_traces_into(
+        netlist,
+        table,
+        key,
+        fixed_plaintext,
+        num_traces,
+        options,
+        sink,
+    )?;
+    obs.counter_add(dpl_obs::names::CRYPTO_TRACES_GENERATED, num_traces as u64);
+    let elapsed = span.finish();
+    if let Some(rate) = dpl_obs::rate_per_sec(num_traces as u64, elapsed) {
+        obs.gauge_max(dpl_obs::names::CRYPTO_TRACES_PER_SEC, rate);
     }
     Ok(())
 }

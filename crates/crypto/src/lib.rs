@@ -26,9 +26,10 @@ mod synth;
 
 pub use leakage::{
     characterize_kind_energies, circuit_energies, predicted_energies, predicted_energy,
-    simulate_traces, simulate_traces_into, simulate_traces_parallel, simulate_traces_with_table,
-    simulate_tvla_traces, simulate_tvla_traces_into, EnergyCache, EnergyModel, EnergySource,
-    GateEnergyTable, LeakageModel, LeakageOptions,
+    simulate_traces, simulate_traces_into, simulate_traces_into_observed, simulate_traces_parallel,
+    simulate_traces_with_table, simulate_tvla_traces, simulate_tvla_traces_into,
+    simulate_tvla_traces_into_observed, EnergyCache, EnergyModel, EnergySource, GateEnergyTable,
+    LeakageModel, LeakageOptions,
 };
 pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
 pub use present::{

@@ -40,7 +40,10 @@ pub mod mtd;
 pub mod streaming;
 pub mod tvla;
 
-pub use mtd::{mtd_campaign, rep_seed, MtdConfig, MtdCurve, PrefixAttack, PrefixCpa, PrefixDpa};
+pub use mtd::{
+    mtd_campaign, mtd_campaign_observed, rep_seed, MtdConfig, MtdCurve, PrefixAttack, PrefixCpa,
+    PrefixDpa,
+};
 pub use streaming::{
     tvla_parallel, tvla_salvage, tvla_streaming, tvla_streaming_second_order, TvlaOrder,
 };

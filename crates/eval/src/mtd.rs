@@ -400,6 +400,39 @@ where
     })
 }
 
+/// [`mtd_campaign`] with telemetry: the sweep runs inside an
+/// `eval.mtd_campaign` span, and the grid size, repetition count, total
+/// simulated traces and sweep throughput are recorded into `obs`.
+///
+/// # Errors
+///
+/// Exactly those of [`mtd_campaign`].
+pub fn mtd_campaign_observed<G, M, A>(
+    config: &MtdConfig,
+    correct_key: u64,
+    generate: G,
+    make_engine: M,
+    obs: &dpl_obs::Obs,
+) -> Result<MtdCurve>
+where
+    G: Fn(u64, usize) -> TraceSet,
+    M: Fn() -> dpl_power::Result<A>,
+    A: PrefixAttack,
+{
+    use dpl_obs::names;
+    let span = obs.span("eval.mtd_campaign");
+    let curve = mtd_campaign(config, correct_key, generate, make_engine)?;
+    let simulated = *config.grid.last().unwrap_or(&0) as u64 * config.repetitions as u64;
+    obs.counter_add(names::MTD_GRID_POINTS, config.grid.len() as u64);
+    obs.counter_add(names::MTD_REPETITIONS, config.repetitions as u64);
+    obs.counter_add(names::MTD_TRACES_SIMULATED, simulated);
+    let elapsed = span.finish();
+    if let Some(rate) = dpl_obs::rate_per_sec(simulated, elapsed) {
+        obs.gauge_max(names::FOLD_TRACES_PER_SEC, rate);
+    }
+    Ok(curve)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

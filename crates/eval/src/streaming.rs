@@ -21,7 +21,7 @@
 use std::io::{Read, Seek};
 use std::path::Path;
 
-use dpl_store::{ArchiveReader, DamageReport, RetryPolicy, SalvageOutcome, StoreError};
+use dpl_store::{ArchiveReader, DamageReport, FoldObs, RetryPolicy, SalvageOutcome, StoreError};
 
 use crate::tvla::{ColumnStats, SecondOrderWelchAccumulator, WelchAccumulator};
 use crate::{EvalError, Result, TvlaGroup, TvlaResult};
@@ -61,10 +61,14 @@ where
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
     let mut accumulator = WelchAccumulator::new(partition);
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "eval.tvla_streaming");
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
+    fold.finish();
     accumulator.finalize()
 }
 
@@ -86,15 +90,20 @@ where
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
     let mut accumulator = SecondOrderWelchAccumulator::new(partition);
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "eval.tvla_streaming_second_order");
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
     accumulator.begin_second_pass()?;
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
+    fold.finish();
     accumulator.finalize()
 }
 
@@ -123,6 +132,8 @@ where
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
     let chunks = reader.chunk_count();
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "eval.tvla_salvage");
     let mut report = DamageReport {
         chunks_scanned: chunks,
         traces_total: reader.trace_count(),
@@ -136,6 +147,7 @@ where
                 match reader.read_chunk_salvage(index, retry)? {
                     SalvageOutcome::Intact(chunk) => {
                         report.traces_read += chunk.len() as u64;
+                        fold.update(&chunk, samples);
                         accumulator.update(&chunk)?;
                     }
                     SalvageOutcome::Damaged(d) => {
@@ -144,6 +156,7 @@ where
                     }
                 }
             }
+            fold.finish();
             Ok((accumulator.finalize()?, report))
         }
         TvlaOrder::Second => {
@@ -152,6 +165,7 @@ where
                 match reader.read_chunk_salvage(index, retry)? {
                     SalvageOutcome::Intact(chunk) => {
                         report.traces_read += chunk.len() as u64;
+                        fold.update(&chunk, samples);
                         accumulator.update(&chunk)?;
                     }
                     SalvageOutcome::Damaged(d) => {
@@ -166,7 +180,10 @@ where
                     continue;
                 }
                 match reader.read_chunk_salvage(index, retry)? {
-                    SalvageOutcome::Intact(chunk) => accumulator.update(&chunk)?,
+                    SalvageOutcome::Intact(chunk) => {
+                        fold.update(&chunk, samples);
+                        accumulator.update(&chunk)?;
+                    }
                     SalvageOutcome::Damaged(d) => {
                         return Err(EvalError::Store(StoreError::FormatViolation {
                             message: format!(
@@ -178,6 +195,7 @@ where
                     }
                 }
             }
+            fold.finish();
             Ok((accumulator.finalize()?, report))
         }
     }

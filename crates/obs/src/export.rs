@@ -1,0 +1,254 @@
+//! Exporters: turn a [`Telemetry`] snapshot into bytes.
+
+use std::io::{self, Write};
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+use crate::{SpanRecord, Telemetry};
+
+/// An exporter. Output must be a pure function of the snapshot, so a
+/// deterministic snapshot (e.g. recorded under a [`crate::TestClock`])
+/// exports byte-identically on every run.
+pub trait Collector {
+    /// Writes the snapshot to `out`.
+    fn collect(&self, telemetry: &Telemetry, out: &mut dyn Write) -> io::Result<()>;
+}
+
+/// JSON-lines exporter: one compact JSON object per line.
+///
+/// Line order is fixed: spans in id order, then counters, gauges and
+/// histograms each in name order. Line shapes:
+///
+/// ```json
+/// {"type":"span","id":0,"parent":null,"name":"...","start_ns":1,"end_ns":2,"elapsed_ns":1}
+/// {"type":"counter","name":"...","value":7}
+/// {"type":"gauge","name":"...","value":123.5}
+/// {"type":"histogram","name":"...","count":2,"sum":15,"min":5,"max":10,"p50":5,"p90":10,"p99":10}
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonLines;
+
+/// JSON object for one span (shared with [`crate::RunReport`]).
+pub(crate) fn span_json(span: &SpanRecord) -> Json {
+    Json::object(vec![
+        ("id", Json::U64(span.id)),
+        ("parent", span.parent.map_or(Json::Null, Json::U64)),
+        ("name", Json::str(span.name.clone())),
+        ("start_ns", Json::U64(span.start_ns)),
+        ("end_ns", Json::U64(span.end_ns)),
+        ("elapsed_ns", Json::U64(span.elapsed_ns())),
+    ])
+}
+
+/// JSON object summarising one histogram (shared with [`crate::RunReport`]).
+pub(crate) fn histogram_json(histogram: &Histogram) -> Json {
+    Json::object(vec![
+        ("count", Json::U64(histogram.count())),
+        ("sum", Json::U128(histogram.sum())),
+        ("min", histogram.min().map_or(Json::Null, Json::U64)),
+        ("max", histogram.max().map_or(Json::Null, Json::U64)),
+        (
+            "p50",
+            histogram.quantile(0.50).map_or(Json::Null, Json::U64),
+        ),
+        (
+            "p90",
+            histogram.quantile(0.90).map_or(Json::Null, Json::U64),
+        ),
+        (
+            "p99",
+            histogram.quantile(0.99).map_or(Json::Null, Json::U64),
+        ),
+    ])
+}
+
+fn tagged(kind: &str, name: &str, rest: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("type", Json::str(kind)), ("name", Json::str(name))];
+    fields.extend(rest);
+    Json::object(fields)
+}
+
+impl Collector for JsonLines {
+    fn collect(&self, telemetry: &Telemetry, out: &mut dyn Write) -> io::Result<()> {
+        for span in &telemetry.spans {
+            let mut line = span_json(span);
+            if let Json::Object(fields) = &mut line {
+                fields.insert(0, ("type".to_owned(), Json::str("span")));
+            }
+            writeln!(out, "{}", line.render_compact())?;
+        }
+        for (name, value) in telemetry.metrics.counters() {
+            let line = tagged("counter", name, vec![("value", Json::U64(value))]);
+            writeln!(out, "{}", line.render_compact())?;
+        }
+        for (name, value) in telemetry.metrics.gauges() {
+            let line = tagged("gauge", name, vec![("value", Json::F64(value))]);
+            writeln!(out, "{}", line.render_compact())?;
+        }
+        for (name, histogram) in telemetry.metrics.histograms() {
+            let mut line = tagged("histogram", name, vec![]);
+            if let (Json::Object(fields), Json::Object(summary)) =
+                (&mut line, histogram_json(histogram))
+            {
+                fields.extend(summary);
+            }
+            writeln!(out, "{}", line.render_compact())?;
+        }
+        Ok(())
+    }
+}
+
+/// Human-readable exporter: a span tree with durations, then metric tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextReport;
+
+/// Formats nanoseconds with a readable unit. Deterministic (integer maths
+/// plus fixed-precision display of exact decimals).
+pub(crate) fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!(
+            "{}.{:03}s",
+            ns / 1_000_000_000,
+            (ns % 1_000_000_000) / 1_000_000
+        )
+    } else if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:03}us", ns / 1_000, ns % 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn span_depth(spans: &[SpanRecord], span: &SpanRecord) -> usize {
+    let mut depth = 0;
+    let mut cursor = span.parent;
+    while let Some(parent) = cursor {
+        depth += 1;
+        cursor = spans.get(parent as usize).and_then(|s| s.parent);
+        if depth > spans.len() {
+            break; // defensive: malformed parent links
+        }
+    }
+    depth
+}
+
+impl Collector for TextReport {
+    fn collect(&self, telemetry: &Telemetry, out: &mut dyn Write) -> io::Result<()> {
+        if !telemetry.spans.is_empty() {
+            writeln!(out, "spans:")?;
+            for span in &telemetry.spans {
+                let indent = "  ".repeat(1 + span_depth(&telemetry.spans, span));
+                writeln!(
+                    out,
+                    "{indent}{:<40} {}",
+                    span.name,
+                    format_ns(span.elapsed_ns())
+                )?;
+            }
+        }
+        let metrics = &telemetry.metrics;
+        if metrics.counters().next().is_some() {
+            writeln!(out, "counters:")?;
+            for (name, value) in metrics.counters() {
+                writeln!(out, "  {name:<40} {value}")?;
+            }
+        }
+        if metrics.gauges().next().is_some() {
+            writeln!(out, "gauges:")?;
+            for (name, value) in metrics.gauges() {
+                writeln!(out, "  {name:<40} {value:.3}")?;
+            }
+        }
+        if metrics.histograms().next().is_some() {
+            writeln!(out, "histograms:")?;
+            for (name, histogram) in metrics.histograms() {
+                let p50 = histogram.quantile(0.50).unwrap_or(0);
+                let p99 = histogram.quantile(0.99).unwrap_or(0);
+                writeln!(
+                    out,
+                    "  {name:<40} count={} min={} p50={} p99={} max={}",
+                    histogram.count(),
+                    histogram.min().unwrap_or(0),
+                    p50,
+                    p99,
+                    histogram.max().unwrap_or(0),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_telemetry() -> Telemetry {
+        let obs = Obs::deterministic(100);
+        {
+            let _outer = obs.span("campaign");
+            let _inner = obs.span("store.read");
+            obs.counter_add("store.chunk_reads", 5);
+            obs.gauge_max("fold.traces_per_sec", 1234.5);
+            obs.record("store.read_ns", 5);
+            obs.record("store.read_ns", 900);
+        }
+        obs.snapshot()
+    }
+
+    #[test]
+    fn json_lines_output_is_deterministic_and_exact() {
+        let telemetry = sample_telemetry();
+        let mut first = Vec::new();
+        JsonLines.collect(&telemetry, &mut first).unwrap();
+        let mut second = Vec::new();
+        JsonLines.collect(&telemetry, &mut second).unwrap();
+        assert_eq!(first, second);
+
+        let text = String::from_utf8(first).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            r#"{"type":"span","id":0,"parent":null,"name":"campaign","start_ns":100,"end_ns":400,"elapsed_ns":300}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"type":"span","id":1,"parent":0,"name":"store.read","start_ns":200,"end_ns":300,"elapsed_ns":100}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"type":"counter","name":"store.chunk_reads","value":5}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"type":"gauge","name":"fold.traces_per_sec","value":1234.5}"#
+        );
+        assert_eq!(
+            lines[4],
+            r#"{"type":"histogram","name":"store.read_ns","count":2,"sum":905,"min":5,"max":900,"p50":5,"p90":896,"p99":896}"#
+        );
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn text_report_indents_child_spans() {
+        let telemetry = sample_telemetry();
+        let mut out = Vec::new();
+        TextReport.collect(&telemetry, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("spans:"));
+        assert!(text.contains("\n    store.read"));
+        assert!(text.contains("store.chunk_reads"));
+        assert!(text.contains("fold.traces_per_sec"));
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(5), "5ns");
+        assert_eq!(format_ns(1_500), "1.500us");
+        assert_eq!(format_ns(2_000_000), "2.000ms");
+        assert_eq!(format_ns(3_250_000_000), "3.250s");
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal JSON value model and emitter.
+//!
+//! One emitter serves every machine-readable surface in the workspace
+//! (JSON-lines metrics, run reports, `repro info --json`), so escaping and
+//! number formatting are decided in exactly one place. Objects preserve
+//! insertion order, which keeps output deterministic.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects are ordered lists of key/value pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (emitted without a decimal point).
+    U64(u64),
+    /// Wide unsigned integer (histogram sums).
+    U128(u128),
+    /// Signed integer.
+    I64(i64),
+    /// Finite float, emitted with Rust's shortest round-trip formatting.
+    /// Non-finite values are emitted as `null`.
+    F64(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    pub fn object(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders compact JSON (no whitespace), suitable for JSON-lines.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_value(&mut out, None, 0);
+        out
+    }
+
+    /// Renders pretty JSON indented by two spaces per level.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_value(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_value(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::U128(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{v}` is Rust's shortest representation that round-trips;
+                    // ensure it still parses as a JSON number with a fraction.
+                    let text = format!("{v}");
+                    out.push_str(&text);
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write_value(out, indent, depth + 1);
+                });
+            }
+            Json::Object(fields) => {
+                write_sequence(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (key, value) = &fields[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write_value(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_preserves_field_order() {
+        let v = Json::object(vec![
+            ("zeta", Json::U64(1)),
+            ("alpha", Json::str("x")),
+            ("flag", Json::Bool(true)),
+        ]);
+        assert_eq!(v.render_compact(), r#"{"zeta":1,"alpha":"x","flag":true}"#);
+    }
+
+    #[test]
+    fn floats_always_parse_as_json_numbers() {
+        assert_eq!(Json::F64(2.0).render_compact(), "2.0");
+        assert_eq!(Json::F64(0.5).render_compact(), "0.5");
+        assert_eq!(Json::F64(-3.0).render_compact(), "-3.0");
+        assert_eq!(Json::F64(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_rendering_indents_nested_structures() {
+        let v = Json::object(vec![
+            ("items", Json::Array(vec![Json::U64(1), Json::U64(2)])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        assert_eq!(
+            v.render_pretty(),
+            "{\n  \"items\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! # dpl-obs: zero-dependency observability for the DPL pipeline
+//!
+//! Structured telemetry for every crate in the workspace: hierarchical
+//! spans, typed mergeable metrics, pluggable exporters and per-campaign run
+//! reports — with no external dependencies, matching the offline vendored
+//! workspace.
+//!
+//! ## The injectable clock contract
+//!
+//! Every timestamp in this crate is read through the [`Clock`] trait, fixed
+//! at [`Obs`] construction time and never consulted anywhere else:
+//!
+//! - [`MonotonicClock`] (production) wraps [`std::time::Instant`]; readings
+//!   are monotonically non-decreasing nanoseconds from an arbitrary origin.
+//! - [`TestClock`] (tests) advances by a fixed step on **every** `now_ns`
+//!   call. Because spans and rate gauges derive all durations from clock
+//!   readings — never from `Instant` directly — a fixed sequence of
+//!   instrumentation calls under a `TestClock` produces byte-identical
+//!   exporter output on every run. Tests assert on exact JSON-lines bytes.
+//!
+//! Instrumented code must therefore call the clock a deterministic number
+//! of times per logical operation (one reading at span open, one at close,
+//! one per rate-gauge computation).
+//!
+//! ## Fork/merge metrics
+//!
+//! [`Metrics`] obeys the same fork/merge protocol as the attack
+//! accumulators in `dpl-power`: workers record into forked partials
+//! ([`Metrics::fork`]) which are folded back with [`Metrics::merge`].
+//! All merges are commutative and associative bit-exactly, so the folded
+//! registry is independent of merge order (property-tested in
+//! `tests/obs_merge.rs` at the workspace root).
+//!
+//! ## Exporters
+//!
+//! A [`Collector`] turns a [`Telemetry`] snapshot into bytes:
+//! [`JsonLines`] (one machine-readable JSON object per line) and
+//! [`TextReport`] (human-readable tables). [`RunReport`] wraps a snapshot
+//! with the campaign name for `repro --report json|text`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod export;
+mod json;
+mod metrics;
+pub mod names;
+mod report;
+
+pub use clock::{Clock, MonotonicClock, TestClock};
+pub use export::{Collector, JsonLines, TextReport};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, Metrics, BUCKETS};
+pub use report::RunReport;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One closed (or still-open) span: a named, timed region of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dense id, in creation order.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"store.capture"`.
+    pub name: String,
+    /// Clock reading at open.
+    pub start_ns: u64,
+    /// Clock reading at close (equals `start_ns` while open).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall time between open and close.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ObsState {
+    metrics: Metrics,
+    spans: Vec<SpanRecord>,
+    stack: Vec<u64>,
+}
+
+/// A telemetry context: an injectable clock plus shared, mutex-guarded
+/// state. Cloning is cheap and clones share the same state, so a context
+/// can be attached to readers, writers and folds at once.
+#[derive(Clone)]
+pub struct Obs {
+    clock: Arc<dyn Clock>,
+    state: Arc<Mutex<ObsState>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// Creates a context over an explicit clock.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            state: Arc::new(Mutex::new(ObsState::default())),
+        }
+    }
+
+    /// Production context backed by [`MonotonicClock`].
+    pub fn monotonic() -> Self {
+        Self::new(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Deterministic context backed by a [`TestClock`] with the given step.
+    pub fn deterministic(step_ns: u64) -> Self {
+        Self::new(Arc::new(TestClock::new(step_ns)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ObsState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current clock reading.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Opens a span; it closes (records its end time) when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let now = self.clock.now_ns();
+        let mut state = self.lock();
+        let id = state.spans.len() as u64;
+        let parent = state.stack.last().copied();
+        state.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_ns: now,
+            end_ns: now,
+        });
+        state.stack.push(id);
+        SpanGuard {
+            obs: self.clone(),
+            id,
+            start_ns: now,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.lock().metrics.counter_add(name, n);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().metrics.gauge_set(name, v);
+    }
+
+    /// Raises the named gauge to `v` if larger.
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        self.lock().metrics.gauge_max(name, v);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record(&self, name: &str, v: u64) {
+        self.lock().metrics.record(name, v);
+    }
+
+    /// Empty metrics partial for a forked worker.
+    pub fn fork_metrics(&self) -> Metrics {
+        self.lock().metrics.fork()
+    }
+
+    /// Folds a worker partial back into this context.
+    pub fn merge_metrics(&self, partial: &Metrics) {
+        self.lock().metrics.merge(partial);
+    }
+
+    /// Copy of the current metrics registry.
+    pub fn metrics(&self) -> Metrics {
+        self.lock().metrics.clone()
+    }
+
+    /// Consistent snapshot of spans and metrics for export.
+    pub fn snapshot(&self) -> Telemetry {
+        let state = self.lock();
+        Telemetry {
+            spans: state.spans.clone(),
+            metrics: state.metrics.clone(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; closes the span on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    obs: Obs,
+    id: u64,
+    start_ns: u64,
+    closed: AtomicBool,
+}
+
+impl SpanGuard {
+    /// Clock time elapsed since the span opened (reads the clock).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.obs.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Closes the span now and returns its total elapsed time.
+    pub fn finish(self) -> u64 {
+        self.close()
+    }
+
+    fn close(&self) -> u64 {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return 0;
+        }
+        let now = self.obs.now_ns();
+        let mut state = self.obs.lock();
+        if let Some(record) = state.spans.get_mut(self.id as usize) {
+            record.end_ns = now;
+        }
+        if let Some(pos) = state.stack.iter().rposition(|&id| id == self.id) {
+            state.stack.remove(pos);
+        }
+        now.saturating_sub(self.start_ns)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A snapshot of everything a context recorded: spans plus metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Spans in creation order (ids are dense indexes).
+    pub spans: Vec<SpanRecord>,
+    /// Metrics registry.
+    pub metrics: Metrics,
+}
+
+/// Items-per-second rate from an item count and an elapsed time, or `None`
+/// when the interval is empty (avoids meaningless infinities in gauges).
+pub fn rate_per_sec(items: u64, elapsed_ns: u64) -> Option<f64> {
+    (elapsed_ns > 0).then(|| items as f64 * 1e9 / elapsed_ns as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_creation_order() {
+        let obs = Obs::deterministic(10);
+        {
+            let _outer = obs.span("outer");
+            let _inner = obs.span("inner");
+        }
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.spans.len(), 2);
+        let outer = &snapshot.spans[0];
+        let inner = &snapshot.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(0));
+        // TestClock readings: open outer = 10, open inner = 20, then drops
+        // close inner = 30 and outer = 40 (reverse declaration order).
+        assert_eq!(outer.start_ns, 10);
+        assert_eq!(inner.start_ns, 20);
+        assert_eq!(inner.end_ns, 30);
+        assert_eq!(outer.end_ns, 40);
+    }
+
+    #[test]
+    fn finish_closes_once() {
+        let obs = Obs::deterministic(5);
+        let span = obs.span("x");
+        let elapsed = span.finish();
+        assert_eq!(elapsed, 5);
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.spans[0].elapsed_ns(), 5);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let obs = Obs::deterministic(1);
+        let parent = obs.span("parent");
+        obs.span("a").finish();
+        obs.span("b").finish();
+        parent.finish();
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.spans[1].parent, Some(0));
+        assert_eq!(snapshot.spans[2].parent, Some(0));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::deterministic(1);
+        let clone = obs.clone();
+        clone.counter_add("x", 3);
+        obs.counter_add("x", 4);
+        assert_eq!(obs.metrics().counter("x"), Some(7));
+    }
+
+    #[test]
+    fn fork_merge_round_trip() {
+        let obs = Obs::deterministic(1);
+        obs.counter_add("c", 1);
+        let mut partial = obs.fork_metrics();
+        assert!(partial.is_empty());
+        partial.counter_add("c", 2);
+        partial.gauge_max("g", 4.5);
+        obs.merge_metrics(&partial);
+        let metrics = obs.metrics();
+        assert_eq!(metrics.counter("c"), Some(3));
+        assert_eq!(metrics.gauge("g"), Some(4.5));
+    }
+
+    #[test]
+    fn rate_guards_empty_intervals() {
+        assert_eq!(rate_per_sec(100, 0), None);
+        assert_eq!(rate_per_sec(5, 1_000_000_000), Some(5.0));
+    }
+}

@@ -1,0 +1,456 @@
+//! Typed, mergeable metrics.
+//!
+//! Metrics follow the same fork/merge protocol as the attack accumulators in
+//! `dpl-power`: a worker calls [`Metrics::fork`] to obtain an empty partial,
+//! records into it, and the partials are folded back with [`Metrics::merge`].
+//! Every merge is commutative and associative **bit-exactly**, so partials
+//! merged in any permutation produce identical registries:
+//!
+//! - counters add `u64` values,
+//! - gauges keep the maximum (with `-0.0` normalised and NaN rejected on
+//!   write, `max` over `f64` is order-independent),
+//! - histograms add per-bucket `u64` counts and `u128` sums.
+
+use std::collections::BTreeMap;
+
+/// Monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Total events recorded.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Folds another partial into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.add(other.value);
+    }
+}
+
+/// Point-in-time measurement. Merging partials keeps the maximum, which is
+/// the useful aggregate for rates and peaks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+    set: bool,
+}
+
+impl Gauge {
+    /// Overwrites the gauge. NaN is ignored; `-0.0` is normalised to `0.0`
+    /// so merges stay bit-exact regardless of order.
+    pub fn set(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.value = if v == 0.0 { 0.0 } else { v };
+        self.set = true;
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (or the gauge is unset).
+    pub fn record_max(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if !self.set || v > self.value {
+            self.set(v);
+        }
+    }
+
+    /// Current value, if one was ever recorded.
+    pub fn value(&self) -> Option<f64> {
+        self.set.then_some(self.value)
+    }
+
+    /// Folds another partial into this one (maximum wins).
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.set {
+            self.record_max(other.value);
+        }
+    }
+}
+
+/// Number of linear sub-buckets per power of two (2^3 = 8).
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Bucket count: 8 exact buckets for values < 8, then 8 sub-buckets for each
+/// of the 61 remaining magnitudes (2^3 ..= 2^63).
+pub const BUCKETS: usize = SUB_COUNT * (64 - SUB_BITS as usize + 1);
+
+/// Log-linear histogram over `u64` values (HdrHistogram-style layout).
+///
+/// Values below 8 are recorded exactly; above that, each power of two is
+/// split into 8 linear sub-buckets, giving a worst-case relative error of
+/// 12.5%. Bucket counts are plain `u64`s, so merging partials is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros();
+    let shift = mag - SUB_BITS;
+    let group = (mag - SUB_BITS + 1) as usize;
+    group * SUB_COUNT + ((v >> shift) as usize & (SUB_COUNT - 1))
+}
+
+/// Lower bound of bucket `index` (the canonical value reported for it).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        return index as u64;
+    }
+    let group = index / SUB_COUNT;
+    let sub = (index % SUB_COUNT) as u64;
+    (SUB_COUNT as u64 + sub) << (group - 1)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the `ceil(q * count)`-th observation. Exact below 8,
+    /// within 12.5% above.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut target = (q * self.count as f64).ceil() as u64;
+        target = target.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(bucket_floor(index));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another partial into this one: bucket-wise addition, so the
+    /// result is independent of merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Named registry of counters, gauges and histograms.
+///
+/// The registry itself obeys the fork/merge protocol: [`Metrics::fork`]
+/// yields an empty partial and [`Metrics::merge`] folds one back in.
+/// Iteration order is the `BTreeMap` name order, so exports are
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty partial for a forked worker, to be folded back with
+    /// [`Metrics::merge`].
+    pub fn fork(&self) -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_owned()).or_default().add(n);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.entry(name.to_owned()).or_default().set(v);
+    }
+
+    /// Raises the named gauge to `v` if larger.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        self.gauges
+            .entry(name.to_owned())
+            .or_default()
+            .record_max(v);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// Folds another registry into this one metric-by-metric.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, counter) in &other.counters {
+            self.counters
+                .entry(name.clone())
+                .or_default()
+                .merge(counter);
+        }
+        for (name, gauge) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().merge(gauge);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// Value of a counter, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(Counter::value)
+    }
+
+    /// Value of a gauge, if it exists and was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).and_then(Gauge::value)
+    }
+
+    /// The named histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Set gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges
+            .iter()
+            .filter_map(|(k, v)| v.value().map(|value| (k.as_str(), value)))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_index() {
+        let probes = [
+            8u64,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1023,
+            1024,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 3,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let index = bucket_index(v);
+            assert!(index < BUCKETS, "index {index} out of range for {v}");
+            let floor = bucket_floor(index);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // Worst-case relative error is one sub-bucket: 1/8 of the value.
+            assert!(v - floor <= v / 8, "bucket too wide for {v}: floor {floor}");
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [3u64, 7, 1000, 42] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1052);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn quantiles_are_exact_below_eight() {
+        let mut h = Histogram::default();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential_record() {
+        let values = [1u64, 8, 9, 500, 70_000, 3, u64::MAX, 15];
+        let mut sequential = Histogram::default();
+        for &v in &values {
+            sequential.record(v);
+        }
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = Histogram::default();
+        merged.merge(&right);
+        merged.merge(&left);
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn gauge_merge_takes_max_and_rejects_nan() {
+        let mut g = Gauge::default();
+        g.set(f64::NAN);
+        assert_eq!(g.value(), None);
+        g.set(2.5);
+        g.record_max(1.0);
+        assert_eq!(g.value(), Some(2.5));
+        let mut other = Gauge::default();
+        other.set(9.0);
+        g.merge(&other);
+        assert_eq!(g.value(), Some(9.0));
+    }
+
+    #[test]
+    fn gauge_normalises_negative_zero() {
+        let mut a = Gauge::default();
+        a.set(-0.0);
+        let mut b = Gauge::default();
+        b.set(0.0);
+        assert_eq!(a.value().unwrap().to_bits(), b.value().unwrap().to_bits());
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let mut a = Metrics::new();
+        a.counter_add("reads", 3);
+        a.gauge_max("rate", 10.0);
+        a.record("lat", 5);
+        let mut b = Metrics::new();
+        b.counter_add("reads", 4);
+        b.counter_add("writes", 1);
+        b.gauge_max("rate", 7.0);
+        b.record("lat", 900);
+
+        let mut ab = Metrics::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Metrics::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("reads"), Some(7));
+        assert_eq!(ab.counter("writes"), Some(1));
+        assert_eq!(ab.gauge("rate"), Some(10.0));
+        assert_eq!(ab.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn fork_starts_empty() {
+        let mut base = Metrics::new();
+        base.counter_add("x", 5);
+        assert!(base.fork().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-campaign run reports.
+
+use crate::export::{format_ns, histogram_json, span_json, Collector, TextReport};
+use crate::json::Json;
+use crate::Telemetry;
+
+/// Summary of one campaign run: the command that ran plus its telemetry
+/// snapshot. Rendered by `repro ... --report json|text`.
+///
+/// JSON schema (`report` is the schema tag):
+///
+/// ```json
+/// {
+///   "report": "dpl-obs.run/v1",
+///   "command": "attack",
+///   "spans": [{"id":0,"parent":null,"name":"...","start_ns":1,"end_ns":9,"elapsed_ns":8}],
+///   "counters": {"store.chunk_reads": 5},
+///   "gauges": {"fold.traces_per_sec": 123.5},
+///   "histograms": {"store.read_ns": {"count":1,"sum":7,"min":7,"max":7,"p50":7,"p90":7,"p99":7}}
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    command: String,
+    telemetry: Telemetry,
+}
+
+impl RunReport {
+    /// Wraps a snapshot with the campaign command name.
+    pub fn new(command: impl Into<String>, telemetry: Telemetry) -> Self {
+        Self {
+            command: command.into(),
+            telemetry,
+        }
+    }
+
+    /// The report as a JSON value (schema above).
+    pub fn to_json(&self) -> Json {
+        let spans = self.telemetry.spans.iter().map(span_json).collect();
+        let counters = self
+            .telemetry
+            .metrics
+            .counters()
+            .map(|(name, value)| (name.to_owned(), Json::U64(value)))
+            .collect();
+        let gauges = self
+            .telemetry
+            .metrics
+            .gauges()
+            .map(|(name, value)| (name.to_owned(), Json::F64(value)))
+            .collect();
+        let histograms = self
+            .telemetry
+            .metrics
+            .histograms()
+            .map(|(name, histogram)| (name.to_owned(), histogram_json(histogram)))
+            .collect();
+        Json::object(vec![
+            ("report", Json::str("dpl-obs.run/v1")),
+            ("command", Json::str(self.command.clone())),
+            ("spans", Json::Array(spans)),
+            ("counters", Json::Object(counters)),
+            ("gauges", Json::Object(gauges)),
+            ("histograms", Json::Object(histograms)),
+        ])
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn render_json(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let total: u64 = self
+            .telemetry
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.elapsed_ns())
+            .sum();
+        let mut out = Vec::new();
+        let _ = TextReport.collect(&self.telemetry, &mut out);
+        let body = String::from_utf8_lossy(&out);
+        format!(
+            "run report: {} (total span time {})\n{}",
+            self.command,
+            format_ns(total),
+            body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let obs = Obs::deterministic(50);
+        {
+            let _span = obs.span("capture");
+            obs.counter_add("store.chunk_writes", 2);
+        }
+        let report = RunReport::new("capture", obs.snapshot());
+        let a = report.render_json();
+        let b = report.render_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"report\": \"dpl-obs.run/v1\""));
+        assert!(a.contains("\"command\": \"capture\""));
+        assert!(a.contains("\"store.chunk_writes\": 2"));
+    }
+
+    #[test]
+    fn report_text_includes_total_and_metrics() {
+        let obs = Obs::deterministic(1_000_000);
+        obs.span("attack").finish();
+        obs.counter_add("fold.traces", 5000);
+        let report = RunReport::new("attack", obs.snapshot());
+        let text = report.render_text();
+        assert!(text.starts_with("run report: attack (total span time 1.000ms)"));
+        assert!(text.contains("fold.traces"));
+        assert!(text.contains("5000"));
+    }
+}

@@ -17,10 +17,63 @@
 use std::io::{Read, Seek};
 use std::path::Path;
 
-use dpl_power::{AttackResult, CpaAccumulator, DpaAccumulator, InputProfile};
+use dpl_obs::{names, rate_per_sec, Obs, SpanGuard};
+use dpl_power::{AttackResult, CpaAccumulator, DpaAccumulator, InputProfile, TraceSet};
 
 use crate::error::{Result, StoreError};
 use crate::reader::ArchiveReader;
+
+/// Chunk-granular fold telemetry: accumulates locally (no lock traffic in
+/// the hot loop beyond the reader's own counters) and flushes counters plus
+/// peak-throughput gauges when the fold finishes.
+pub struct FoldObs {
+    obs: Option<Obs>,
+    span: Option<SpanGuard>,
+    traces: u64,
+    bytes: u64,
+    updates: u64,
+}
+
+impl FoldObs {
+    /// Starts observing a fold; a `None` context makes every call a no-op.
+    pub fn start(obs: Option<&Obs>, span_name: &str) -> Self {
+        let obs = obs.cloned();
+        let span = obs.as_ref().map(|o| o.span(span_name));
+        FoldObs {
+            obs,
+            span,
+            traces: 0,
+            bytes: 0,
+            updates: 0,
+        }
+    }
+
+    /// Notes one chunk folded into an accumulator.
+    pub fn update(&mut self, chunk: &TraceSet, samples_per_trace: usize) {
+        if self.obs.is_none() {
+            return;
+        }
+        self.traces += chunk.len() as u64;
+        // Trace payload bytes: 8-byte input + 8 bytes per sample, per trace.
+        self.bytes += (chunk.len() * (8 + 8 * samples_per_trace)) as u64;
+        self.updates += 1;
+    }
+
+    /// Flushes counters and rate gauges and closes the span.
+    pub fn finish(self) {
+        let Some(obs) = self.obs else { return };
+        let Some(span) = self.span else { return };
+        let elapsed = span.finish();
+        obs.counter_add(names::FOLD_TRACES, self.traces);
+        obs.counter_add(names::FOLD_UPDATES, self.updates);
+        if let Some(rate) = rate_per_sec(self.traces, elapsed) {
+            obs.gauge_max(names::FOLD_TRACES_PER_SEC, rate);
+        }
+        if let Some(rate) = rate_per_sec(self.bytes, elapsed) {
+            obs.gauge_max(names::FOLD_BYTES_PER_SEC, rate);
+        }
+    }
+}
 
 /// The accumulator bookkeeping implied by the archive's recorded distinct
 /// input count: class aggregation when the writer saw few distinct inputs,
@@ -51,10 +104,14 @@ where
     F: Fn(u64, u64) -> bool,
 {
     let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile_of(reader))?;
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "store.dpa_attack_streaming");
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
+    fold.finish();
     Ok(accumulator.finalize()?)
 }
 
@@ -77,15 +134,20 @@ where
     F: Fn(u64, u64) -> f64,
 {
     let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile_of(reader))?;
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "store.cpa_attack_streaming");
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
     accumulator.begin_second_pass()?;
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
+        fold.update(&chunk, samples);
         accumulator.update(&chunk)?;
     }
+    fold.finish();
     Ok(accumulator.finalize()?)
 }
 

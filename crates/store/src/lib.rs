@@ -50,7 +50,7 @@ pub mod salvage;
 mod writer;
 
 pub use attack::{
-    cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming,
+    cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming, FoldObs,
 };
 pub use error::{ReadSite, Result, StoreError};
 pub use fault::{Fault, FaultPlan, FaultStream, RetryPolicy};

@@ -4,6 +4,7 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
+use dpl_obs::{names, Obs};
 use dpl_power::TraceSet;
 
 use crate::error::{ReadSite, Result, StoreError};
@@ -29,6 +30,7 @@ pub struct ArchiveReader<R: Read + Seek> {
     distinct_inputs: u32,
     chunk_budget: usize,
     policy: ReadPolicy,
+    obs: Option<Obs>,
 }
 
 impl ArchiveReader<BufReader<File>> {
@@ -96,6 +98,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
             trace_count,
             distinct_inputs,
             policy,
+            obs: None,
         };
         if policy == ReadPolicy::Strict {
             reader.validate_length()?;
@@ -157,6 +160,18 @@ impl<R: Read + Seek> ArchiveReader<R> {
     /// The policy this reader was opened under.
     pub fn policy(&self) -> ReadPolicy {
         self.policy
+    }
+
+    /// Attaches a telemetry context. Chunk reads, bytes and checksum
+    /// failures are counted into it, and the streaming folds in this crate
+    /// and `dpl-eval` pick it up via [`ArchiveReader::obs`].
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = Some(obs.clone());
+    }
+
+    /// The attached telemetry context, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// The measurement discipline recorded for this campaign (attack vs
@@ -250,7 +265,14 @@ impl<R: Read + Seek> ArchiveReader<R> {
         let mut checksum = [0u8; 8];
         read_exact_or(&mut self.stream, &mut checksum, ReadSite::Chunk(index))?;
         if u64::from_le_bytes(checksum) != fnv1a64(&payload) {
+            if let Some(obs) = &self.obs {
+                obs.counter_add(names::STORE_CHECKSUM_FAILURES, 1);
+            }
             return Err(StoreError::ChecksumMismatch { chunk: index });
+        }
+        if let Some(obs) = &self.obs {
+            obs.counter_add(names::STORE_CHUNK_READS, 1);
+            obs.counter_add(names::STORE_BYTES_READ, payload_len as u64 + 8);
         }
 
         let k = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;

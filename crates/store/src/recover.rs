@@ -68,6 +68,15 @@ impl Recovery {
     pub fn recovered_traces(&self) -> u64 {
         self.full_traces + self.buffered_traces as u64
     }
+
+    /// Records the recovery outcome into a telemetry context
+    /// (`store.recovered_*` counters).
+    pub fn observe(&self, obs: &dpl_obs::Obs) {
+        use dpl_obs::names;
+        obs.counter_add(names::STORE_RECOVERED_CHUNKS, self.full_chunks as u64);
+        obs.counter_add(names::STORE_RECOVERED_TRACES, self.recovered_traces());
+        obs.counter_add(names::STORE_RECOVERY_DROPPED_BYTES, self.dropped_bytes);
+    }
 }
 
 /// Scans an interrupted capture file and reports its recoverable prefix
@@ -252,6 +261,7 @@ impl<W: SyncWrite + Read + Truncate> ArchiveWriter<W> {
             traces_written: recovery.full_traces,
             chunks_written: recovery.full_chunks,
             finished: false,
+            obs: None,
         };
         Ok((writer, recovery))
     }

@@ -20,9 +20,10 @@
 use std::io::{Read, Seek};
 use std::path::Path;
 
+use dpl_obs::names;
 use dpl_power::{AttackResult, CpaAccumulator, DpaAccumulator, TraceSet};
 
-use crate::attack::profile_of;
+use crate::attack::{profile_of, FoldObs};
 use crate::error::{ReadSite, Result, StoreError};
 use crate::fault::RetryPolicy;
 use crate::reader::ArchiveReader;
@@ -179,9 +180,29 @@ impl<R: Read + Seek> ArchiveReader<R> {
             });
         }
         let traces = self.traces_in_chunk(index);
-        match retry.run(|| self.read_chunk(index)) {
+        let obs = self.obs().cloned();
+        let mut attempts = 0u64;
+        let outcome = retry.run(|| {
+            attempts += 1;
+            self.read_chunk(index)
+        });
+        if let Some(obs) = &obs {
+            // Only the retries beyond the first attempt are "retry attempts".
+            obs.counter_add(names::STORE_RETRY_ATTEMPTS, attempts.saturating_sub(1));
+        }
+        match outcome {
             Ok(set) => Ok(SalvageOutcome::Intact(set)),
-            Err(e) => Ok(SalvageOutcome::Damaged(classify(e, index, traces)?)),
+            Err(e) => {
+                let damaged = classify(e, index, traces)?;
+                if let Some(obs) = &obs {
+                    obs.counter_add(names::STORE_SALVAGE_DROPPED_CHUNKS, 1);
+                    obs.counter_add(
+                        names::STORE_SALVAGE_DROPPED_TRACES,
+                        damaged.traces_lost as u64,
+                    );
+                }
+                Ok(SalvageOutcome::Damaged(damaged))
+            }
         }
     }
 
@@ -228,6 +249,8 @@ where
     F: Fn(u64, u64) -> bool,
 {
     let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile_of(reader))?;
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "store.dpa_attack_salvage");
     let mut report = DamageReport {
         chunks_scanned: reader.chunk_count(),
         traces_total: reader.trace_count(),
@@ -237,11 +260,13 @@ where
         match reader.read_chunk_salvage(index, retry)? {
             SalvageOutcome::Intact(chunk) => {
                 report.traces_read += chunk.len() as u64;
+                fold.update(&chunk, samples);
                 accumulator.update(&chunk)?;
             }
             SalvageOutcome::Damaged(d) => report.damaged.push(d),
         }
     }
+    fold.finish();
     Ok((accumulator.finalize()?, report))
 }
 
@@ -269,6 +294,8 @@ where
     F: Fn(u64, u64) -> f64,
 {
     let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile_of(reader))?;
+    let samples = reader.samples_per_trace();
+    let mut fold = FoldObs::start(reader.obs(), "store.cpa_attack_salvage");
     let mut report = DamageReport {
         chunks_scanned: reader.chunk_count(),
         traces_total: reader.trace_count(),
@@ -279,6 +306,7 @@ where
         match reader.read_chunk_salvage(index, retry)? {
             SalvageOutcome::Intact(chunk) => {
                 report.traces_read += chunk.len() as u64;
+                fold.update(&chunk, samples);
                 accumulator.update(&chunk)?;
             }
             SalvageOutcome::Damaged(d) => {
@@ -293,7 +321,10 @@ where
             continue;
         }
         match reader.read_chunk_salvage(index, retry)? {
-            SalvageOutcome::Intact(chunk) => accumulator.update(&chunk)?,
+            SalvageOutcome::Intact(chunk) => {
+                fold.update(&chunk, samples);
+                accumulator.update(&chunk)?;
+            }
             SalvageOutcome::Damaged(d) => {
                 return Err(StoreError::FormatViolation {
                     message: format!(
@@ -305,6 +336,7 @@ where
             }
         }
     }
+    fold.finish();
     Ok((accumulator.finalize()?, report))
 }
 

@@ -4,6 +4,7 @@ use std::fs::File;
 use std::io::{BufWriter, Cursor, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use dpl_obs::{names, Obs};
 use dpl_power::{TraceSet, TraceSink, MAX_INPUT_CLASSES};
 
 use crate::error::{Result, StoreError};
@@ -112,6 +113,7 @@ pub struct ArchiveWriter<W: SyncWrite> {
     pub(crate) traces_written: u64,
     pub(crate) chunks_written: usize,
     pub(crate) finished: bool,
+    pub(crate) obs: Option<Obs>,
 }
 
 impl ArchiveWriter<BufWriter<File>> {
@@ -148,7 +150,19 @@ impl<W: SyncWrite> ArchiveWriter<W> {
             traces_written: 0,
             chunks_written: 0,
             finished: false,
+            obs: None,
         })
+    }
+
+    /// Attaches a telemetry context: chunk flushes, bytes written and fsyncs
+    /// are counted into it.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = Some(obs.clone());
+    }
+
+    /// The attached telemetry context, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// The metadata the archive was created with.
@@ -239,6 +253,10 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         let checksum = fnv1a64(&bytes);
         bytes.extend_from_slice(&checksum.to_le_bytes());
         self.stream.write_all(&bytes)?;
+        if let Some(obs) = &self.obs {
+            obs.counter_add(names::STORE_CHUNK_WRITES, 1);
+            obs.counter_add(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
+        }
         self.traces_written += k as u64;
         self.chunks_written += 1;
         self.pending_inputs.clear();
@@ -265,6 +283,9 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         }
         self.flush_chunk()?;
         self.stream.sync_contents()?;
+        if let Some(obs) = &self.obs {
+            obs.counter_add(names::STORE_FSYNCS, 1);
+        }
         let distinct = if self.distinct_inputs.len() <= MAX_INPUT_CLASSES {
             self.distinct_inputs.len() as u32
         } else {
@@ -275,6 +296,9 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         self.stream.write_all(&header)?;
         self.stream.seek(SeekFrom::End(0))?;
         self.stream.sync_contents()?;
+        if let Some(obs) = &self.obs {
+            obs.counter_add(names::STORE_FSYNCS, 1);
+        }
         self.finished = true;
         Ok(self.traces_written)
     }

@@ -129,6 +129,44 @@ pub struct CheckReport {
     pub bdd_nodes: usize,
 }
 
+/// [`emit_certificate`] with telemetry: synthesis + lint + proof +
+/// certification run inside a `verify.emit_certificate` span; the proof and
+/// certificate counts and the proof wall-time histogram are recorded into
+/// `obs`.
+///
+/// # Errors
+///
+/// Exactly those of [`emit_certificate`].
+pub fn emit_certificate_observed(
+    request: &CertificateRequest,
+    obs: &dpl_obs::Obs,
+) -> crate::Result<Certificate> {
+    use dpl_obs::names;
+    let span = obs.span("verify.emit_certificate");
+    let certificate = emit_certificate(request)?;
+    obs.counter_add(names::VERIFY_PROOFS, 1);
+    obs.counter_add(names::VERIFY_CERTIFICATES, 1);
+    obs.record(names::VERIFY_PROOF_NS, span.finish());
+    Ok(certificate)
+}
+
+/// [`check_certificate`] with telemetry: the replay runs inside a
+/// `verify.check_certificate` span; the replay count and the peak replayed
+/// BDD node count are recorded into `obs`.
+///
+/// # Errors
+///
+/// Exactly those of [`check_certificate`].
+pub fn check_certificate_observed(text: &str, obs: &dpl_obs::Obs) -> crate::Result<CheckReport> {
+    use dpl_obs::names;
+    let span = obs.span("verify.check_certificate");
+    let report = check_certificate(text)?;
+    obs.counter_add(names::VERIFY_REPLAYS, 1);
+    obs.gauge_max(names::VERIFY_BDD_NODE_PEAK, report.bdd_nodes as f64);
+    span.finish();
+    Ok(report)
+}
+
 /// Synthesizes, lints, proves, and certifies a circuit.
 ///
 /// The certificate is only produced when the netlist passes the full

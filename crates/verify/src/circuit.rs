@@ -249,6 +249,26 @@ pub fn prove_equivalent(circuit: &VerifiedCircuit) -> Result<EquivalenceReport, 
     prove_record(circuit, &netlist, &record)
 }
 
+/// [`prove_equivalent`] with telemetry: the proof runs inside a
+/// `verify.prove` span; the proof count, wall-time histogram and peak BDD
+/// node count are recorded into `obs`.
+///
+/// # Errors
+///
+/// Exactly those of [`prove_equivalent`].
+pub fn prove_equivalent_observed(
+    circuit: &VerifiedCircuit,
+    obs: &dpl_obs::Obs,
+) -> Result<EquivalenceReport, VerifyError> {
+    use dpl_obs::names;
+    let span = obs.span("verify.prove");
+    let report = prove_equivalent(circuit)?;
+    obs.counter_add(names::VERIFY_PROOFS, 1);
+    obs.gauge_max(names::VERIFY_BDD_NODE_PEAK, report.bdd_nodes as f64);
+    obs.record(names::VERIFY_PROOF_NS, span.finish());
+    Ok(report)
+}
+
 /// [`prove_equivalent`] over an already-synthesized netlist and its record
 /// form (the emit path reuses both).
 pub(crate) fn prove_record(

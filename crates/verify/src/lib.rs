@@ -52,12 +52,12 @@ mod lint;
 mod record;
 
 pub use certificate::{
-    check_certificate, emit_certificate, Certificate, CertificateRequest, CheckReport,
-    CERT_VERSION, CLEAN_VERDICT,
+    check_certificate, check_certificate_observed, emit_certificate, emit_certificate_observed,
+    Certificate, CertificateRequest, CheckReport, CERT_VERSION, CLEAN_VERDICT,
 };
 pub use circuit::{
-    prove_equivalent, EquivalenceReport, VerifiedCircuit, MAX_EXHAUSTIVE_INPUTS,
-    MAX_VERIFIED_ROUNDS,
+    prove_equivalent, prove_equivalent_observed, EquivalenceReport, VerifiedCircuit,
+    MAX_EXHAUSTIVE_INPUTS, MAX_VERIFIED_ROUNDS,
 };
 pub use equiv::{bdd_signature, netlist_bdds};
 pub use lint::{lint, lint_energy, lint_structure, EnergyFacts, LintError};

@@ -1,0 +1,139 @@
+//! Property tests: merging per-chunk `dpl_obs::Metrics` partials is
+//! **order-independent** — folding forked metric partials in any
+//! permutation yields bit-identical counters, gauges and histograms to the
+//! sequential fold, the same contract `tests/merge_order.rs` proves for the
+//! attack accumulators.
+//!
+//! The obs merges are exact by construction (u64/u128 bucket additions, f64
+//! max for gauges), so unlike the accumulator tests no dyadic-value
+//! discipline is needed: *any* recorded values must merge exactly.
+
+use dpl_obs::Metrics;
+use proptest::prelude::*;
+
+/// A cheap deterministic hash (same as tests/merge_order.rs).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic Fisher–Yates permutation of `0..n`.
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (mix(seed.wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+const COUNTERS: &[&str] = &["store.chunk_reads", "fold.traces", "fold.updates"];
+const GAUGES: &[&str] = &["fold.traces_per_sec", "fold.bytes_per_sec"];
+const HISTOGRAMS: &[&str] = &["verify.proof_ns", "chunk.bytes"];
+
+/// Records a deterministic pseudo-random workload slice into `metrics` —
+/// the shape one archive chunk's fold contributes.
+fn record_chunk(metrics: &mut Metrics, seed: u64, events: usize) {
+    for e in 0..events {
+        let h = mix(seed ^ (e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        metrics.counter_add(COUNTERS[(h % 3) as usize], h % 1000);
+        // An arbitrary (finite, possibly fractional) gauge value; merge is
+        // an exact f64 max, so no dyadic discipline is needed.
+        let gauge = ((h >> 8) % 100_000) as f64 / 7.0;
+        metrics.gauge_max(GAUGES[(h % 2) as usize], gauge);
+        metrics.record(HISTOGRAMS[((h >> 3) % 2) as usize], h % 1_000_000);
+    }
+}
+
+/// Renders every metric to its exact bit-level identity for comparison.
+fn identity(metrics: &Metrics) -> Vec<(String, Vec<u64>)> {
+    let mut out = Vec::new();
+    for (name, value) in metrics.counters() {
+        out.push((format!("c:{name}"), vec![value]));
+    }
+    for (name, value) in metrics.gauges() {
+        // Bit-exact comparison of the gauge's f64.
+        out.push((format!("g:{name}"), vec![value.to_bits()]));
+    }
+    for (name, histogram) in metrics.histograms() {
+        let mut cells = vec![
+            histogram.count(),
+            histogram.sum() as u64,
+            (histogram.sum() >> 64) as u64,
+            histogram.min().unwrap_or(0),
+            histogram.max().unwrap_or(0),
+        ];
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            cells.push(histogram.quantile(q).unwrap_or(0));
+        }
+        out.push((format!("h:{name}"), cells));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-chunk metric partials merged in ANY permutation are
+    /// bit-identical to the sequential fold over the same event stream.
+    #[test]
+    fn metrics_merge_is_order_independent(
+        seed in 0u64..50_000,
+        chunks in 1usize..24,
+        events in 1usize..40,
+        perm_seed in 0u64..10_000,
+    ) {
+        // Sequential fold: every chunk recorded straight into one Metrics.
+        let mut sequential = Metrics::new();
+        for c in 0..chunks {
+            record_chunk(&mut sequential, seed ^ (c as u64) << 32, events);
+        }
+
+        // Fork/merge fold: one partial per chunk, merged in a random
+        // permutation (the protocol the attack folds use per archive chunk).
+        let parent = Metrics::new();
+        let partials: Vec<Metrics> = (0..chunks)
+            .map(|c| {
+                let mut partial = parent.fork();
+                record_chunk(&mut partial, seed ^ (c as u64) << 32, events);
+                partial
+            })
+            .collect();
+        let mut merged = Metrics::new();
+        for &index in &permutation(perm_seed, partials.len()) {
+            merged.merge(&partials[index]);
+        }
+
+        prop_assert_eq!(identity(&merged), identity(&sequential));
+    }
+
+    /// Merging is associative at the bit level: ((a + b) + c) equals
+    /// (a + (b + c)) for every metric kind.
+    #[test]
+    fn metrics_merge_is_associative(
+        seed in 0u64..50_000,
+        events in 1usize..40,
+    ) {
+        let make = |salt: u64| {
+            let mut m = Metrics::new();
+            record_chunk(&mut m, seed ^ salt, events);
+            m
+        };
+        let (a, b, c) = (make(1), make(2), make(3));
+
+        let mut left = Metrics::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = Metrics::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut right = Metrics::new();
+        right.merge(&a);
+        right.merge(&bc);
+
+        prop_assert_eq!(identity(&left), identity(&right));
+    }
+}

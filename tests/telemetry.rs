@@ -1,0 +1,145 @@
+//! Integration tests for the observability plane: with an injected test
+//! clock, an instrumented capture + attack produces **byte-identical**
+//! JSON-lines telemetry across runs; the counters agree exactly with the
+//! archive's ground truth (chunk counts, fsyncs, trace totals); and a
+//! single corrupted chunk surfaces as a salvage-drop counter of exactly 1.
+
+use std::io::Cursor;
+
+use dpl_obs::{names, Collector, JsonLines, Obs, RunReport};
+use dpl_store::{
+    dpa_attack_salvage, dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, ModelTag,
+    ReadPolicy, RetryPolicy,
+};
+
+const TRACES: usize = 600;
+const CHUNK: usize = 128;
+const CHUNKS: usize = TRACES.div_ceil(CHUNK);
+
+/// The classic S-box selection bit.
+fn selection(input: u64, guess: u64) -> bool {
+    dpl_crypto::present_sbox((input ^ guess) as u8).count_ones() >= 2
+}
+
+/// Builds a deterministic in-memory archive — optionally instrumented —
+/// and returns its bytes.
+fn build_archive(obs: Option<&Obs>) -> Vec<u8> {
+    let meta = ArchiveMeta::scalar(CHUNK, ModelTag::HammingWeight, 7);
+    let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
+    if let Some(obs) = obs {
+        writer.set_obs(obs);
+    }
+    for t in 0..TRACES as u64 {
+        let input = t % 16;
+        // Exactly representable sample values keyed to the input class.
+        let sample = (input * 4 + (t % 7)) as f64 * 0.25;
+        writer.append(input, &[sample]).expect("append");
+    }
+    writer.finish().expect("finish");
+    writer.into_inner().into_inner()
+}
+
+/// One full instrumented run over a fresh deterministic clock: capture into
+/// memory, stream a DPA over it, export JSON-lines.
+fn observed_run() -> (String, Obs) {
+    let obs = Obs::deterministic(50);
+    let bytes = build_archive(Some(&obs));
+    let mut reader = ArchiveReader::new(Cursor::new(bytes)).expect("reader");
+    reader.set_obs(&obs);
+    let result = dpa_attack_streaming(&mut reader, 16, selection).expect("attack");
+    assert!(result.best_guess < 16);
+    let mut out = Vec::new();
+    JsonLines
+        .collect(&obs.snapshot(), &mut out)
+        .expect("export");
+    (String::from_utf8(out).expect("utf8"), obs)
+}
+
+#[test]
+fn observed_runs_are_byte_identical_under_a_test_clock() {
+    let (first, _) = observed_run();
+    let (second, _) = observed_run();
+    assert_eq!(first, second, "telemetry must be deterministic");
+    // The deterministic clock also pins the span timings themselves.
+    assert!(first.contains(r#""type":"span""#));
+    assert!(first.contains(r#""name":"store.dpa_attack_streaming""#));
+}
+
+#[test]
+fn counters_match_the_archive_ground_truth() {
+    let (_, obs) = observed_run();
+    let metrics = obs.metrics();
+    assert_eq!(
+        metrics.counter(names::STORE_CHUNK_WRITES),
+        Some(CHUNKS as u64)
+    );
+    assert_eq!(
+        metrics.counter(names::STORE_CHUNK_READS),
+        Some(CHUNKS as u64)
+    );
+    assert_eq!(metrics.counter(names::STORE_FSYNCS), Some(2));
+    assert_eq!(metrics.counter(names::FOLD_TRACES), Some(TRACES as u64));
+    assert_eq!(metrics.counter(names::FOLD_UPDATES), Some(CHUNKS as u64));
+    // Reads and writes cover the same chunk payloads (+8 checksum bytes
+    // each, counted on both sides).
+    assert_eq!(
+        metrics.counter(names::STORE_BYTES_READ),
+        metrics.counter(names::STORE_BYTES_WRITTEN)
+    );
+    // The deterministic clock makes every span non-zero-length, so the
+    // fold throughput gauge is present and positive.
+    assert!(metrics.gauge(names::FOLD_TRACES_PER_SEC).expect("gauge") > 0.0);
+    assert_eq!(metrics.counter(names::STORE_CHECKSUM_FAILURES), None);
+}
+
+#[test]
+fn one_corrupted_chunk_drops_exactly_one_salvage_chunk() {
+    let bytes = build_archive(None);
+    let mut corrupt = bytes.clone();
+    let target = corrupt.len() / 2; // deep inside a chunk payload
+    corrupt[target] ^= 0xFF;
+
+    let obs = Obs::deterministic(50);
+    let mut reader =
+        ArchiveReader::with_policy(Cursor::new(corrupt), ReadPolicy::Salvage).expect("reader");
+    reader.set_obs(&obs);
+    let retry = RetryPolicy::new(2);
+    let (_, damage) = dpa_attack_salvage(&mut reader, 16, selection, &retry).expect("salvage");
+    assert_eq!(damage.damaged.len(), 1);
+
+    let metrics = obs.metrics();
+    assert_eq!(
+        metrics.counter(names::STORE_SALVAGE_DROPPED_CHUNKS),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.counter(names::STORE_SALVAGE_DROPPED_TRACES),
+        Some(damage.traces_lost())
+    );
+    assert_eq!(metrics.counter(names::STORE_CHECKSUM_FAILURES), Some(1));
+    // Corruption is never retried — only transient I/O errors are.
+    assert_eq!(metrics.counter(names::STORE_RETRY_ATTEMPTS), Some(0));
+    // The surviving chunks still fold.
+    assert_eq!(
+        metrics.counter(names::FOLD_TRACES),
+        Some(TRACES as u64 - damage.traces_lost())
+    );
+}
+
+#[test]
+fn run_report_renders_both_formats_deterministically() {
+    let (_, obs) = observed_run();
+    let report = RunReport::new("repro attack", obs.snapshot());
+    let json = report.render_json();
+    assert!(json.starts_with('{'));
+    assert!(json.contains(r#""report": "dpl-obs.run/v1""#));
+    assert!(json.contains(r#""command": "repro attack""#));
+    let text = report.render_text();
+    assert!(text.starts_with("run report: repro attack"));
+    assert!(text.contains("store.dpa_attack_streaming"));
+
+    let (_, again) = observed_run();
+    let report_again = RunReport::new("repro attack", again.snapshot());
+    assert_eq!(json, report_again.render_json());
+    assert_eq!(text, report_again.render_text());
+}
