@@ -12,9 +12,9 @@ use dpl_crypto::{
     EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::{
-    interleaved_partition, mtd_campaign, mtd_campaign_observed, tvla_parallel, tvla_salvage,
-    tvla_streaming, tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa, PrefixDpa,
-    TvlaOrder, TvlaResult, TVLA_THRESHOLD,
+    interleaved_partition, mtd_campaign, mtd_campaign_observed, tvla_parallel_observed,
+    tvla_salvage, tvla_streaming, tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa,
+    PrefixDpa, TvlaOrder, TvlaResult, TVLA_THRESHOLD,
 };
 use dpl_obs::{Json, Obs};
 use dpl_store::{ArchiveReader, CampaignKind, ReadPolicy, RetryPolicy};
@@ -229,6 +229,9 @@ pub fn mtd_curves_observed(
             attack,
             obs,
         );
+        if let Some(obs) = obs {
+            obs.progress_advance(1);
+        }
         curves.push((model, curve));
     }
     curves
@@ -363,6 +366,9 @@ pub fn mtd_experiment_for_observed(
         attack,
         obs,
     );
+    if let Some(obs) = obs {
+        obs.progress_advance(1);
+    }
     render_mtd_curve(&mut out, &model.label(), &curve, grid);
     out
 }
@@ -464,9 +470,10 @@ pub fn tvla_report(
 }
 
 /// [`tvla_report`] with optional telemetry: the reader's chunk counters
-/// and the fold's span/throughput gauges land in `obs` (the single-threaded
-/// streaming path; the `--workers` shards open their own readers and stay
-/// unobserved).
+/// and the fold's span/throughput gauges land in `obs`.  The `--workers`
+/// path runs through [`tvla_parallel_observed`], so the parallel fold's
+/// span, merge phase and reunion counters land there too (its shards still
+/// open their own unobserved readers).
 ///
 /// # Errors
 ///
@@ -500,11 +507,12 @@ pub fn tvla_report_observed(
     );
     for &order in orders {
         let result = match workers {
-            Some(workers) => tvla_parallel(
+            Some(workers) => tvla_parallel_observed(
                 std::path::Path::new(path),
                 interleaved_partition,
                 order,
                 Some(workers),
+                obs,
             ),
             None => match order {
                 TvlaOrder::First => tvla_streaming(&mut reader, interleaved_partition),

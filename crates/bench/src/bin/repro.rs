@@ -17,6 +17,7 @@
 //! cargo run -p dpl-bench --release --bin repro -- attack m.dpltrc --cpa --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- attack damaged.dpltrc --dpa --salvage
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --metrics m.jsonl --report text
+//! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --trace t.json --progress
 //! cargo run -p dpl-bench --release --bin repro -- fsck traces.dpltrc --repair
 //! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc
 //! cargo run -p dpl-bench --release --bin repro -- info traces.dpltrc --json --fsck
@@ -26,6 +27,8 @@
 //! cargo run -p dpl-bench --release --bin repro -- verify all    # prove + certify + replay
 //! cargo run -p dpl-bench --release --bin repro -- verify sbox --model fc
 //! cargo run -p dpl-bench --release --bin repro -- bench         # perf -> BENCH_dpa.json
+//! cargo run -p dpl-bench --release --bin repro -- bench --quick --compare BENCH_dpa.json
+//! cargo run -p dpl-bench --release --bin repro -- bench --history BENCH_history.jsonl
 //! ```
 
 use std::env;
@@ -82,9 +85,17 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--reps", &["mtd"]),
     ("--quick", &["bench"]),
     ("--out", &["bench"]),
+    ("--history", &["bench"]),
+    ("--compare", &["bench"]),
+    ("--max-regression", &["bench"]),
     ("--tolerance", &["verify"]),
     ("--metrics", &["capture", "attack", "tvla", "mtd", "verify"]),
     ("--report", &["capture", "attack", "tvla", "mtd", "verify"]),
+    ("--trace", &["capture", "attack", "tvla", "mtd", "verify"]),
+    (
+        "--progress",
+        &["capture", "attack", "tvla", "mtd", "verify"],
+    ),
     ("--json", &["info"]),
     ("--fsck", &["info"]),
 ];
@@ -110,8 +121,9 @@ fn unknown_flag(subcommand: &str, flag: &str, usage: &str) -> String {
 }
 
 /// Exports a finished subcommand's telemetry — JSON-lines to the
-/// `--metrics` file, the rendered `--report` to stdout — and returns the
-/// command's final exit code (an export failure fails the command).
+/// `--metrics` file, the Chrome `trace_event` document to the `--trace`
+/// file, the rendered `--report` to stdout — and returns the command's
+/// final exit code (an export failure fails the command).
 fn finish_telemetry(telemetry: Option<TelemetrySession>, command: &str) -> ExitCode {
     if let Some(session) = telemetry {
         match session.finish(command) {
@@ -123,6 +135,23 @@ fn finish_telemetry(telemetry: Option<TelemetrySession>, command: &str) -> ExitC
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Flushes a subcommand's telemetry on **every** exit path and folds the
+/// command body's outcome into the final exit code.  A failed campaign
+/// still exports the partial telemetry recorded up to the failure (often
+/// exactly the evidence needed to diagnose it), but its failure always
+/// wins over the export's success.
+fn conclude(
+    outcome: Result<(), ()>,
+    telemetry: Option<TelemetrySession>,
+    command: &str,
+) -> ExitCode {
+    let flushed = finish_telemetry(telemetry, command);
+    match outcome {
+        Ok(()) => flushed,
+        Err(()) => ExitCode::FAILURE,
+    }
 }
 
 fn model_tag_of(model: EnergyModel) -> ModelTag {
@@ -205,18 +234,53 @@ fn parse_circuit_arg(value: Option<&String>) -> Result<CircuitChoice, String> {
         .ok_or_else(|| "--circuit needs `sbox` or a library gate name (e.g. oai22, maj3)".into())
 }
 
+/// `repro bench [--quick] [--out <path>] [--history <file>]
+/// [--compare <baseline.json>] [--max-regression <pct>]`: run the perf
+/// suite, write the stamped report, optionally append a compact record to
+/// a bench-history JSON-lines ledger, and optionally gate the run against
+/// a committed baseline — exiting non-zero when any row's throughput
+/// regressed past the threshold.
 fn run_bench(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro bench [--quick] [--out <path>]";
+    const USAGE: &str = "repro bench [--quick] [--out <path>] [--history <file>] \
+                         [--compare <baseline.json>] [--max-regression <pct>]";
     let mut config = dpl_bench::PerfConfig::full();
-    let mut out_path = String::from("BENCH_dpa.json");
+    let mut out_path: Option<String> = None;
+    let mut history_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut max_regression_pct = 25.0f64;
+    let mut max_regression_given = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => config = dpl_bench::PerfConfig::quick(),
             "--out" => match iter.next() {
-                Some(path) => out_path = path.clone(),
+                Some(path) => out_path = Some(path.clone()),
                 None => {
                     eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--history" => match iter.next() {
+                Some(path) => history_path = Some(path.clone()),
+                None => {
+                    eprintln!("--history needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--compare" => match iter.next() {
+                Some(path) => compare_path = Some(path.clone()),
+                None => {
+                    eprintln!("--compare needs a baseline JSON path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-regression" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => {
+                    max_regression_pct = pct;
+                    max_regression_given = true;
+                }
+                _ => {
+                    eprintln!("--max-regression needs a positive percentage (e.g. 25)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -226,13 +290,45 @@ fn run_bench(args: &[String]) -> ExitCode {
             }
         }
     }
-    let report = dpl_bench::perf::run(&config);
-    print!("{}", report.render());
-    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
-        eprintln!("failed to write {out_path}: {e}");
+    if max_regression_given && compare_path.is_none() {
+        eprintln!("--max-regression only applies together with --compare");
         return ExitCode::FAILURE;
     }
-    println!("wrote {out_path}");
+    let report = dpl_bench::perf::run(&config);
+    print!("{}", report.render());
+    // A comparison run leaves the committed baseline alone unless --out
+    // says otherwise — the common CI shape is `--out target/... --compare
+    // BENCH_dpa.json`, which must not clobber the file it gates against.
+    let out_path = out_path.or_else(|| compare_path.is_none().then(|| "BENCH_dpa.json".into()));
+    if let Some(out_path) = &out_path {
+        if let Err(e) = std::fs::write(out_path, report.to_json()) {
+            eprintln!("failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out_path}");
+    }
+    if let Some(history_path) = &history_path {
+        if let Err(message) = dpl_bench::append_history(history_path, &report) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+        println!("appended bench record to {history_path}");
+    }
+    if let Some(baseline_path) = &compare_path {
+        let baseline = match dpl_bench::Baseline::load(baseline_path) {
+            Ok(baseline) => baseline,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let comparison =
+            dpl_bench::BenchComparison::compare(&report, &baseline, max_regression_pct / 100.0);
+        print!("{}", comparison.render());
+        if !comparison.passed() {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -344,9 +440,6 @@ impl CaptureJob {
 /// `--fault-at k` injects a deterministic I/O failure at operation `k`
 /// (the crash-recovery smoke test's crash lever).
 fn run_capture(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] \
-                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] \
-                         [--metrics f] [--report json|text]";
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -361,6 +454,21 @@ fn run_capture(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let outcome = capture_command(&args, seed, telemetry.as_ref());
+    conclude(outcome, telemetry, "repro capture")
+}
+
+/// The body of `repro capture`, separated from [`run_capture`] so the
+/// telemetry session flushes even when the capture fails mid-campaign.
+/// Every error is printed here; `Err(())` only signals the exit code.
+fn capture_command(
+    args: &[String],
+    seed: Option<u64>,
+    telemetry: Option<&TelemetrySession>,
+) -> Result<(), ()> {
+    const USAGE: &str = "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] \
+                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] \
+                         [--metrics f] [--report json|text] [--trace f] [--progress]";
     let mut positional = Vec::new();
     let mut model = EnergyModel::builtin(LeakageModel::HammingWeight);
     let mut circuit = CircuitChoice::Sbox;
@@ -376,21 +484,21 @@ fn run_capture(args: &[String]) -> ExitCode {
                 Ok(m) => model = m,
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--circuit" => match parse_circuit_arg(iter.next()) {
                 Ok(c) => circuit = c,
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--chunk" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(k) if k > 0 => chunk_traces = k,
                 _ => {
                     eprintln!("--chunk needs a positive trace count");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--tvla" => tvla = true,
@@ -400,37 +508,37 @@ fn run_capture(args: &[String]) -> ExitCode {
                 Some(op) => fault_at = Some(op),
                 None => {
                     eprintln!("--fault-at needs an operation index (a non-negative integer)");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             other if other.starts_with("--") => {
                 eprintln!("{}", unknown_flag("capture", other, USAGE));
-                return ExitCode::FAILURE;
+                return Err(());
             }
             other => positional.push(other.to_string()),
         }
     }
     let [path, count] = positional.as_slice() else {
         eprintln!("usage: {USAGE}");
-        return ExitCode::FAILURE;
+        return Err(());
     };
     let num_traces: usize = match count.parse() {
         Ok(n) if n > 0 => n,
         _ => {
             eprintln!("invalid trace count `{count}`; expected a positive integer");
-            return ExitCode::FAILURE;
+            return Err(());
         }
     };
     if resume && force {
         eprintln!("--resume and --force contradict each other: resume keeps the existing data");
-        return ExitCode::FAILURE;
+        return Err(());
     }
     if resume && fault_at.is_some() {
         eprintln!("--fault-at applies to fresh captures only");
-        return ExitCode::FAILURE;
+        return Err(());
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
-    let obs = telemetry.as_ref().map(|t| t.obs());
+    let obs = telemetry.map(|t| t.obs());
 
     let netlist = circuit.netlist();
     let capacitance = CapacitanceModel::default();
@@ -464,7 +572,7 @@ fn run_capture(args: &[String]) -> ExitCode {
             Ok(resumed) => resumed,
             Err(e) => {
                 eprintln!("cannot resume {path}: {e}");
-                return ExitCode::FAILURE;
+                return Err(());
             }
         };
         println!(
@@ -483,7 +591,12 @@ fn run_capture(args: &[String]) -> ExitCode {
             eprintln!(
                 "{path} already holds {already} trace(s) — more than the {num_traces} requested"
             );
-            return ExitCode::FAILURE;
+            return Err(());
+        }
+        if let Some(session) = telemetry {
+            // A resumed capture only flushes the traces the interrupted
+            // run never wrote; the progress plane counts exactly those.
+            session.start_progress(Some(num_traces as u64 - already), "traces");
         }
         job.run(&mut writer, obs)
     } else {
@@ -492,7 +605,10 @@ fn run_capture(args: &[String]) -> ExitCode {
                 "refusing to overwrite {path}: it already exists; pass --force to truncate \
                  it, or --resume to continue an interrupted capture"
             );
-            return ExitCode::FAILURE;
+            return Err(());
+        }
+        if let Some(session) = telemetry {
+            session.start_progress(Some(num_traces as u64), "traces");
         }
         match fault_at {
             Some(op) => {
@@ -500,7 +616,7 @@ fn run_capture(args: &[String]) -> ExitCode {
                     Ok(file) => file,
                     Err(e) => {
                         eprintln!("cannot create {path}: {e}");
-                        return ExitCode::FAILURE;
+                        return Err(());
                     }
                 };
                 let stream =
@@ -514,7 +630,7 @@ fn run_capture(args: &[String]) -> ExitCode {
                 Ok(mut writer) => job.run(&mut writer, obs),
                 Err(e) => {
                     eprintln!("cannot create {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
         }
@@ -544,11 +660,11 @@ fn run_capture(args: &[String]) -> ExitCode {
                     meta.table_digest
                 );
             }
-            finish_telemetry(telemetry, "repro capture")
+            Ok(())
         }
         Err(message) => {
             eprintln!("{message}");
-            ExitCode::FAILURE
+            Err(())
         }
     }
 }
@@ -577,9 +693,6 @@ fn attack_label(result: &AttackResult) -> String {
 /// whose chunks exceed it), and `--salvage` attacks a damaged archive's
 /// surviving chunks, reporting exactly what was lost.
 fn run_attack(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro attack <file> [--dpa|--cpa] [--verify] [--salvage] \
-                         [--budget <traces>] [--model m] [--circuit c] \
-                         [--metrics f] [--report json|text]";
     let (args, telemetry) = match TelemetrySession::from_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -587,6 +700,16 @@ fn run_attack(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let outcome = attack_command(&args, telemetry.as_ref());
+    conclude(outcome, telemetry, "repro attack")
+}
+
+/// The body of `repro attack`, separated from [`run_attack`] so the
+/// telemetry session flushes even when the attack fails mid-read.
+fn attack_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Result<(), ()> {
+    const USAGE: &str = "repro attack <file> [--dpa|--cpa] [--verify] [--salvage] \
+                         [--budget <traces>] [--model m] [--circuit c] \
+                         [--metrics f] [--report json|text] [--trace f] [--progress]";
     let mut path = None;
     let mut use_cpa = false;
     let mut verify = false;
@@ -605,21 +728,21 @@ fn run_attack(args: &[String]) -> ExitCode {
                 Some(traces) if traces > 0 => budget = Some(traces),
                 _ => {
                     eprintln!("--budget needs a positive trace count");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--model" => match parse_model_arg(iter.next()) {
                 Ok(m) => model_override = Some(m),
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--circuit" => match parse_circuit_arg(iter.next()) {
                 Ok(c) => circuit = c,
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             other if path.is_none() && !other.starts_with("--") => {
@@ -627,19 +750,19 @@ fn run_attack(args: &[String]) -> ExitCode {
             }
             other => {
                 eprintln!("{}", unknown_flag("attack", other, USAGE));
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     }
     let Some(path) = path else {
         eprintln!("usage: {USAGE}");
-        return ExitCode::FAILURE;
+        return Err(());
     };
     if salvage && verify {
         // --verify's contract is bit-identity against *all* traces loaded
         // in memory; a salvage read deliberately reads fewer.
         eprintln!("--verify and --salvage contradict each other: salvage may skip traces");
-        return ExitCode::FAILURE;
+        return Err(());
     }
     let policy = if salvage {
         ReadPolicy::Salvage
@@ -650,7 +773,7 @@ fn run_attack(args: &[String]) -> ExitCode {
         Ok(reader) => reader,
         Err(e) => {
             eprintln!("cannot open {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(());
         }
     };
     if reader.campaign() == dpl_store::CampaignKind::TvlaInterleaved {
@@ -661,19 +784,24 @@ fn run_attack(args: &[String]) -> ExitCode {
             "{path} records an interleaved TVLA campaign; key-recovery attacks over it are \
              meaningless — run `repro tvla {path}` instead"
         );
-        return ExitCode::FAILURE;
+        return Err(());
     }
     if let Some(budget) = budget {
         reader = match reader.with_chunk_budget(budget) {
             Ok(reader) => reader,
             Err(e) => {
                 eprintln!("cannot honour --budget {budget}: {e}");
-                return ExitCode::FAILURE;
+                return Err(());
             }
         };
     }
-    if let Some(session) = &telemetry {
+    if let Some(session) = telemetry {
         reader.set_obs(session.obs());
+        // The streaming fold advances the progress plane per chunk; CPA
+        // makes two passes over the archive (means, then the centered
+        // correlation fold), DPA one.
+        let passes = if use_cpa { 2 } else { 1 };
+        session.start_progress(Some(reader.trace_count() * passes), "traces");
     }
     println!(
         "{path}: {} traces, {} samples/trace, {} chunks of {} traces, model = {}, seed = {}",
@@ -722,7 +850,7 @@ fn run_attack(args: &[String]) -> ExitCode {
                             model.name(),
                             circuit.name(),
                         );
-                        return ExitCode::FAILURE;
+                        return Err(());
                     }
                     println!("hypothesis digest verified: {recorded:#018X} (model + circuit)");
                 }
@@ -734,7 +862,7 @@ fn run_attack(args: &[String]) -> ExitCode {
                         "the archive records a hypothesis digest but no known model tag; \
                          pass --model (and --circuit) so the hypothesis can be verified"
                     );
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
                 None
             }
@@ -772,7 +900,7 @@ fn run_attack(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("salvage attack failed: {e}");
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     } else {
@@ -784,7 +912,7 @@ fn run_attack(args: &[String]) -> ExitCode {
             Ok(result) => result,
             Err(e) => {
                 eprintln!("out-of-core attack failed: {e}");
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     };
@@ -795,7 +923,7 @@ fn run_attack(args: &[String]) -> ExitCode {
             Ok(traces) => traces,
             Err(e) => {
                 eprintln!("cannot load the archive in memory for --verify: {e}");
-                return ExitCode::FAILURE;
+                return Err(());
             }
         };
         let in_memory = if use_cpa {
@@ -807,11 +935,11 @@ fn run_attack(args: &[String]) -> ExitCode {
         println!("in-memory   {kind}: {}", attack_label(&in_memory));
         if in_memory.scores != streamed.scores || in_memory.best_guess != streamed.best_guess {
             eprintln!("MISMATCH: out-of-core scores differ from the in-memory attack");
-            return ExitCode::FAILURE;
+            return Err(());
         }
         println!("verify: out-of-core scores are bit-identical to the in-memory attack");
     }
-    finish_telemetry(telemetry, "repro attack")
+    Ok(())
 }
 
 /// `repro info <file> [--json [--fsck]]`: print an archive's header
@@ -924,8 +1052,6 @@ fn run_charac_table(args: &[String]) -> ExitCode {
 /// streaming Welch t-test over an interleaved fixed-vs-random archive;
 /// `--salvage` assesses a damaged archive's surviving chunks.
 fn run_tvla(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n] [--salvage] \
-                         [--metrics f] [--report json|text]";
     let (args, telemetry) = match TelemetrySession::from_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -933,6 +1059,15 @@ fn run_tvla(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let outcome = tvla_command(&args, telemetry.as_ref());
+    conclude(outcome, telemetry, "repro tvla")
+}
+
+/// The body of `repro tvla`, separated from [`run_tvla`] so the telemetry
+/// session flushes even when the assessment fails mid-fold.
+fn tvla_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Result<(), ()> {
+    const USAGE: &str = "repro tvla <file> [--order 1|2|both] [--workers n] [--salvage] \
+                         [--metrics f] [--report json|text] [--trace f] [--progress]";
     let mut path = None;
     let mut orders: Vec<TvlaOrder> = vec![TvlaOrder::First, TvlaOrder::Second];
     let mut workers = None;
@@ -947,14 +1082,14 @@ fn run_tvla(args: &[String]) -> ExitCode {
                 Some("both") => orders = vec![TvlaOrder::First, TvlaOrder::Second],
                 _ => {
                     eprintln!("--order needs one of: 1, 2, both");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => workers = Some(n),
                 _ => {
                     eprintln!("--workers needs a positive count");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             other if path.is_none() && !other.starts_with("--") => {
@@ -962,21 +1097,39 @@ fn run_tvla(args: &[String]) -> ExitCode {
             }
             other => {
                 eprintln!("{}", unknown_flag("tvla", other, USAGE));
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     }
     let Some(path) = path else {
         eprintln!("usage: {USAGE}");
-        return ExitCode::FAILURE;
+        return Err(());
     };
     if salvage && workers.is_some() {
         // The sample-column sharding of --workers re-reads every chunk per
         // shard; the salvage fold is deliberately single-pass per order.
         eprintln!("--salvage runs single-threaded; drop --workers");
-        return ExitCode::FAILURE;
+        return Err(());
     }
-    let obs = telemetry.as_ref().map(|t| t.obs());
+    if let Some(session) = telemetry {
+        // The fold advances the progress plane per chunk; a first-order
+        // t-test is one pass over the archive, a second-order test two
+        // (means, then centered moments).  The total is a header probe —
+        // when the file cannot be opened the progress plane just runs
+        // without an ETA and the fold below reports the real error.
+        let passes: u64 = orders
+            .iter()
+            .map(|order| match order {
+                TvlaOrder::First => 1,
+                TvlaOrder::Second => 2,
+            })
+            .sum();
+        let total = ArchiveReader::open_with_policy(&path, ReadPolicy::Salvage)
+            .ok()
+            .map(|reader| reader.trace_count() * passes);
+        session.start_progress(total, "traces");
+    }
+    let obs = telemetry.map(|t| t.obs());
     let report = if salvage {
         dpl_bench::tvla_salvage_report_observed(&path, &orders, obs)
     } else {
@@ -985,11 +1138,11 @@ fn run_tvla(args: &[String]) -> ExitCode {
     match report {
         Ok(report) => {
             print!("{report}");
-            finish_telemetry(telemetry, "repro tvla")
+            Ok(())
         }
         Err(message) => {
             eprintln!("{message}");
-            ExitCode::FAILURE
+            Err(())
         }
     }
 }
@@ -1080,8 +1233,6 @@ fn run_fsck(args: &[String]) -> ExitCode {
 /// characterisation-derived) model / library circuit with `--model` /
 /// `--circuit`.
 fn run_mtd(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model m] \
-                         [--circuit c] [--metrics f] [--report json|text]";
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -1096,6 +1247,20 @@ fn run_mtd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let outcome = mtd_command(&args, seed, telemetry.as_ref());
+    conclude(outcome, telemetry, "repro mtd")
+}
+
+/// The body of `repro mtd`, separated from [`run_mtd`] so the telemetry
+/// session flushes on every exit path.
+fn mtd_command(
+    args: &[String],
+    seed: Option<u64>,
+    telemetry: Option<&TelemetrySession>,
+) -> Result<(), ()> {
+    const USAGE: &str = "repro mtd [--seed s] [--attack dpa|cpa] [--reps r] [--model m] \
+                         [--circuit c] [--metrics f] [--report json|text] [--trace f] \
+                         [--progress]";
     let mut attack = MtdAttack::Cpa;
     let mut repetitions = 8usize;
     let mut model = None;
@@ -1108,38 +1273,48 @@ fn run_mtd(args: &[String]) -> ExitCode {
                 Some("cpa") => attack = MtdAttack::Cpa,
                 _ => {
                     eprintln!("--attack needs one of: dpa, cpa");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--reps" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(r) if r > 0 => repetitions = r,
                 _ => {
                     eprintln!("--reps needs a positive count");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--model" => match parse_model_arg(iter.next()) {
                 Ok(m) => model = Some(m),
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--circuit" => match parse_circuit_arg(iter.next()) {
                 Ok(c) => circuit = c,
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             other => {
                 eprintln!("{}", unknown_flag("mtd", other, USAGE));
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
-    let obs = telemetry.as_ref().map(|t| t.obs());
+    if let Some(session) = telemetry {
+        // One progress tick per finished disclosure curve: the historical
+        // sweep runs one curve per built-in leakage model, the targeted
+        // form exactly one.
+        let curves = match (model, circuit) {
+            (None, CircuitChoice::Sbox) => LeakageModel::all().len() as u64,
+            _ => 1,
+        };
+        session.start_progress(Some(curves), "curves");
+    }
+    let obs = telemetry.map(|t| t.obs());
     let report = match (model, circuit) {
         // The historical sweep: every built-in model over the S-box
         // datapath (byte-identical output).
@@ -1160,7 +1335,7 @@ fn run_mtd(args: &[String]) -> ExitCode {
         }
     };
     print!("{report}");
-    finish_telemetry(telemetry, "repro mtd")
+    Ok(())
 }
 
 /// `repro verify <circuit>|all [--model <name>] [--tolerance <t>]`: prove
@@ -1171,8 +1346,6 @@ fn run_mtd(args: &[String]) -> ExitCode {
 /// the CLI can capture: the S-box datapath, all 18 library-cell datapaths
 /// and the one-round mini-PRESENT.
 fn run_verify(args: &[String]) -> ExitCode {
-    const USAGE: &str = "repro verify <circuit>|all [--model m] [--tolerance t] \
-                         [--metrics f] [--report json|text]";
     let (args, telemetry) = match TelemetrySession::from_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -1180,6 +1353,17 @@ fn run_verify(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let outcome = verify_command(&args, telemetry.as_ref());
+    conclude(outcome, telemetry, "repro verify")
+}
+
+/// The body of `repro verify`, separated from [`run_verify`] so the
+/// telemetry session flushes even when a proof or replay fails — the
+/// partial span tree then shows exactly which circuit died and in which
+/// phase.
+fn verify_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Result<(), ()> {
+    const USAGE: &str = "repro verify <circuit>|all [--model m] [--tolerance t] \
+                         [--metrics f] [--report json|text] [--trace f] [--progress]";
     let mut target = None;
     let mut model = EnergyModel::builtin(LeakageModel::EnhancedSabl);
     let mut tolerance = None;
@@ -1190,14 +1374,14 @@ fn run_verify(args: &[String]) -> ExitCode {
                 Ok(m) => model = m,
                 Err(message) => {
                     eprintln!("{message}");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) if t >= 0.0 => tolerance = Some(t),
                 _ => {
                     eprintln!("--tolerance needs a non-negative relative spread");
-                    return ExitCode::FAILURE;
+                    return Err(());
                 }
             },
             other if target.is_none() && !other.starts_with("--") => {
@@ -1205,13 +1389,13 @@ fn run_verify(args: &[String]) -> ExitCode {
             }
             other => {
                 eprintln!("{}", unknown_flag("verify", other, USAGE));
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     }
     let Some(target) = target else {
         eprintln!("usage: {USAGE}");
-        return ExitCode::FAILURE;
+        return Err(());
     };
     let circuits = if target == "all" {
         dpl_verify::VerifiedCircuit::all()
@@ -1223,11 +1407,14 @@ fn run_verify(args: &[String]) -> ExitCode {
                     "unknown circuit `{target}`; expected `all`, `sbox`, `presentN` or a \
                      library gate name (e.g. oai22, maj3)"
                 );
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     };
-    let obs = telemetry.as_ref().map(|t| t.obs());
+    if let Some(session) = telemetry {
+        session.start_progress(Some(circuits.len() as u64), "circuits");
+    }
+    let obs = telemetry.map(|t| t.obs());
     for circuit in &circuits {
         let mut request = dpl_verify::CertificateRequest {
             circuit: *circuit,
@@ -1245,7 +1432,7 @@ fn run_verify(args: &[String]) -> ExitCode {
             Ok(certificate) => certificate,
             Err(e) => {
                 eprintln!("{}: certification FAILED: {e}", circuit.name());
-                return ExitCode::FAILURE;
+                return Err(());
             }
         };
         let checked = match obs {
@@ -1256,7 +1443,7 @@ fn run_verify(args: &[String]) -> ExitCode {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("{}: certificate replay FAILED: {e}", circuit.name());
-                return ExitCode::FAILURE;
+                return Err(());
             }
         };
         println!(
@@ -1264,13 +1451,16 @@ fn run_verify(args: &[String]) -> ExitCode {
              ({} gates, {} outputs, {} BDD nodes, model {})",
             report.circuit, report.gates, report.outputs, report.bdd_nodes, report.model
         );
+        if let Some(obs) = obs {
+            obs.progress_advance(1);
+        }
     }
     println!(
         "all {} circuit(s) verified under the {} model",
         circuits.len(),
         model.name()
     );
-    finish_telemetry(telemetry, "repro verify")
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,432 @@
+//! Bench-history regression plane: comparing a fresh [`PerfReport`]
+//! against a committed baseline, and appending stamped history records.
+//!
+//! `repro bench --compare BENCH_dpa.json [--max-regression <pct>]` diffs
+//! the run's rows against the baseline's by name on **throughput**
+//! (`per_second`), not raw seconds — quick and full configurations process
+//! different item counts, so only the normalized rate is comparable across
+//! them.  A row regresses when its throughput drops by more than the
+//! threshold; rows the baseline has but the run lacks are regressions too
+//! (a silently vanished measurement is exactly what a gate must catch).
+//! `repro bench --history <file>` appends one stamped JSON line per run,
+//! building the perf trajectory alongside the committed baseline snapshot.
+
+use std::fmt::Write as _;
+
+use dpl_obs::Json;
+
+use crate::perf::{git_revision, PerfReport, BENCH_SCHEMA_VERSION};
+
+/// Rows whose baseline best-run time sits below this are dominated by
+/// timer/scheduler noise; their threshold is doubled rather than asking a
+/// sub-millisecond measurement to reproduce within a tight band.
+const NOISY_ROW_SECONDS: f64 = 1e-3;
+
+/// One baseline row as parsed from a `BENCH_dpa.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Stable measurement name.
+    pub name: String,
+    /// Best wall-clock seconds recorded by the baseline.
+    pub seconds: f64,
+    /// Baseline throughput in items per second.
+    pub per_second: f64,
+}
+
+/// A parsed baseline: the stamps plus every row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// The baseline's `schema_version` stamp (1 when the document predates
+    /// the stamp).
+    pub schema_version: u64,
+    /// The baseline's `git_rev` stamp, when present.
+    pub git_rev: Option<String>,
+    /// Every measurement row of the baseline.
+    pub rows: Vec<BaselineRow>,
+}
+
+impl Baseline {
+    /// Parses a `BENCH_dpa.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message for malformed JSON or a document without
+    /// a usable `results` array.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let json = Json::parse(text).map_err(|e| format!("malformed baseline JSON: {e}"))?;
+        let schema_version = json
+            .field("schema_version")
+            .and_then(Json::as_u64)
+            .unwrap_or(1);
+        let git_rev = json
+            .field("git_rev")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        let results = match json.field("results") {
+            Some(Json::Array(rows)) => rows,
+            _ => return Err("baseline JSON has no `results` array".into()),
+        };
+        let mut rows = Vec::with_capacity(results.len());
+        for entry in results {
+            let name = entry
+                .field("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "baseline row without a `name`".to_string())?;
+            let seconds = entry
+                .field("seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline row `{name}` without `seconds`"))?;
+            let per_second = entry
+                .field("per_second")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline row `{name}` without `per_second`"))?;
+            rows.push(BaselineRow {
+                name: name.to_owned(),
+                seconds,
+                per_second,
+            });
+        }
+        if rows.is_empty() {
+            return Err("baseline JSON has an empty `results` array".into());
+        }
+        Ok(Baseline {
+            schema_version,
+            git_rev,
+            rows,
+        })
+    }
+
+    /// Loads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// As [`Baseline::parse`], plus unreadable files.
+    pub fn load(path: &str) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Baseline::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// The verdict for one baseline row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowComparison {
+    /// Measurement name.
+    pub name: String,
+    /// Baseline throughput (items/s).
+    pub baseline_per_second: f64,
+    /// This run's throughput, or `None` when the row vanished.
+    pub current_per_second: Option<f64>,
+    /// Relative throughput change: `+0.10` is 10 % faster, `-0.30` is 30 %
+    /// slower.  `None` when the row vanished or the baseline rate is 0.
+    pub change: Option<f64>,
+    /// The regression threshold applied to this row (already widened for
+    /// noisy sub-millisecond baselines).
+    pub threshold: f64,
+    /// Whether this row fails the gate.
+    pub regressed: bool,
+}
+
+/// The outcome of one `--compare` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// One verdict per baseline row, in baseline order.
+    pub rows: Vec<RowComparison>,
+    /// The base threshold the comparison ran with.
+    pub max_regression: f64,
+}
+
+impl BenchComparison {
+    /// Compares a fresh report against a baseline: every baseline row must
+    /// reappear with throughput no more than `max_regression` below the
+    /// baseline's (doubled for baselines faster than a millisecond, where
+    /// best-of-N timing is noise-dominated).  Rows the run adds are
+    /// ignored — new measurements must not fail old gates.
+    pub fn compare(report: &PerfReport, baseline: &Baseline, max_regression: f64) -> Self {
+        let rows = baseline
+            .rows
+            .iter()
+            .map(|base| {
+                let threshold = if base.seconds < NOISY_ROW_SECONDS {
+                    max_regression * 2.0
+                } else {
+                    max_regression
+                };
+                let current = report.row(&base.name);
+                let change = current.and_then(|row| {
+                    (base.per_second > 0.0).then(|| row.per_second / base.per_second - 1.0)
+                });
+                let regressed = match change {
+                    Some(change) => change < -threshold,
+                    // A vanished row is always a regression; an unrateable
+                    // baseline (0 items/s) can never fail the gate.
+                    None => current.is_none(),
+                };
+                RowComparison {
+                    name: base.name.clone(),
+                    baseline_per_second: base.per_second,
+                    current_per_second: current.map(|r| r.per_second),
+                    change,
+                    threshold,
+                    regressed,
+                }
+            })
+            .collect();
+        BenchComparison {
+            rows,
+            max_regression,
+        }
+    }
+
+    /// Rows that fail the gate.
+    pub fn regressions(&self) -> impl Iterator<Item = &RowComparison> {
+        self.rows.iter().filter(|row| row.regressed)
+    }
+
+    /// Whether the whole comparison passes.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+
+    /// Human-readable comparison table plus the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "\n=== Bench comparison (max regression {:.0} %, noisy rows {:.0} %) ===",
+            self.max_regression * 100.0,
+            self.max_regression * 200.0
+        );
+        let _ = writeln!(
+            out,
+            "{:>28} {:>16} {:>16} {:>9}  verdict",
+            "measurement", "baseline/s", "current/s", "change"
+        );
+        for row in &self.rows {
+            let current = match row.current_per_second {
+                Some(rate) => format!("{rate:.0}"),
+                None => "missing".to_string(),
+            };
+            let change = match row.change {
+                Some(change) => format!("{:+.1} %", change * 100.0),
+                None => "-".to_string(),
+            };
+            let verdict = if row.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "{:>28} {:>16.0} {:>16} {:>9}  {verdict}",
+                row.name, row.baseline_per_second, current, change
+            );
+        }
+        let regressed: Vec<&str> = self.regressions().map(|r| r.name.as_str()).collect();
+        if regressed.is_empty() {
+            let _ = writeln!(out, "bench gate: PASS ({} rows compared)", self.rows.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "bench gate: FAIL — {} of {} rows regressed: {}",
+                regressed.len(),
+                self.rows.len(),
+                regressed.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// One stamped `BENCH_history.jsonl` record for a run: schema version, git
+/// revision, generation time, workload sizes and every row, as a single
+/// compact JSON line.
+pub fn history_line(report: &PerfReport) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            Json::object(vec![
+                ("name", Json::str(row.name)),
+                ("items", Json::U64(row.items as u64)),
+                ("unit", Json::str(row.unit)),
+                ("seconds", Json::F64(row.seconds)),
+                ("per_second", Json::F64(row.per_second)),
+            ])
+        })
+        .collect();
+    let record = Json::object(vec![
+        ("bench", Json::str("dpa_pipeline")),
+        ("schema_version", Json::U64(u64::from(BENCH_SCHEMA_VERSION))),
+        ("git_rev", git_revision().map_or(Json::Null, Json::str)),
+        ("generated_unix_secs", Json::U64(unix_secs)),
+        ("gen_traces", Json::U64(report.config.gen_traces as u64)),
+        (
+            "attack_traces",
+            Json::U64(report.config.attack_traces as u64),
+        ),
+        ("repeats", Json::U64(report.config.repeats as u64)),
+        ("results", Json::Array(rows)),
+    ]);
+    record.render_compact()
+}
+
+/// Appends one [`history_line`] record to `path` (creating the file on
+/// first use).
+///
+/// # Errors
+///
+/// Returns a rendered message when the file cannot be appended to.
+pub fn append_history(path: &str, report: &PerfReport) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    writeln!(file, "{}", history_line(report)).map_err(|e| format!("cannot append {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{PerfConfig, PerfRow};
+
+    fn report(rows: Vec<PerfRow>) -> PerfReport {
+        PerfReport {
+            config: PerfConfig {
+                gen_traces: 100,
+                attack_traces: 100,
+                repeats: 1,
+            },
+            rows,
+        }
+    }
+
+    fn perf_row(name: &'static str, seconds: f64, per_second: f64) -> PerfRow {
+        PerfRow {
+            name,
+            items: 100,
+            unit: "traces",
+            seconds,
+            per_second,
+        }
+    }
+
+    const BASELINE: &str = r#"{
+  "bench": "dpa_pipeline",
+  "schema_version": 2,
+  "git_rev": "abc123def456",
+  "generated_unix_secs": 1700000000,
+  "results": [
+    {"name": "simulate_traces", "items": 5000, "unit": "traces", "seconds": 5e-1, "per_second": 10000.0},
+    {"name": "dpa_attack", "items": 1, "unit": "attacks", "seconds": 2e-4, "per_second": 5000.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn baseline_parses_stamps_and_rows() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        assert_eq!(baseline.schema_version, 2);
+        assert_eq!(baseline.git_rev.as_deref(), Some("abc123def456"));
+        assert_eq!(baseline.rows.len(), 2);
+        assert_eq!(baseline.rows[0].name, "simulate_traces");
+        assert!((baseline.rows[0].per_second - 10000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstamped_baseline_defaults_to_schema_one() {
+        let text = r#"{"results": [{"name": "a", "seconds": 1.0, "per_second": 5.0}]}"#;
+        let baseline = Baseline::parse(text).unwrap();
+        assert_eq!(baseline.schema_version, 1);
+        assert_eq!(baseline.git_rev, None);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse(r#"{"bench": "x"}"#).is_err());
+        assert!(Baseline::parse(r#"{"results": []}"#).is_err());
+        assert!(Baseline::parse(r#"{"results": [{"name": "a"}]}"#).is_err());
+    }
+
+    #[test]
+    fn matching_run_passes_and_faster_rows_report_positive_change() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        let run = report(vec![
+            perf_row("simulate_traces", 0.4, 12500.0),
+            perf_row("dpa_attack", 2e-4, 5000.0),
+        ]);
+        let comparison = BenchComparison::compare(&run, &baseline, 0.25);
+        assert!(comparison.passed());
+        assert!(comparison.rows[0].change.unwrap() > 0.24);
+        assert!(comparison.render().contains("bench gate: PASS"));
+    }
+
+    #[test]
+    fn slow_rows_regress_and_fail_the_gate() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        let run = report(vec![
+            perf_row("simulate_traces", 1.0, 5000.0), // 50 % slower
+            perf_row("dpa_attack", 2e-4, 5000.0),
+        ]);
+        let comparison = BenchComparison::compare(&run, &baseline, 0.25);
+        assert!(!comparison.passed());
+        let rendered = comparison.render();
+        assert!(rendered.contains("bench gate: FAIL"));
+        assert!(rendered.contains("simulate_traces"));
+        assert!(rendered.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn noisy_sub_millisecond_rows_get_a_doubled_threshold() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        // dpa_attack's baseline took 0.2 ms: 40 % slower is inside the
+        // doubled 50 % band, while simulate_traces at 0.5 s would fail.
+        let run = report(vec![
+            perf_row("simulate_traces", 0.5, 10000.0),
+            perf_row("dpa_attack", 4e-4, 3000.0),
+        ]);
+        let comparison = BenchComparison::compare(&run, &baseline, 0.25);
+        assert!(comparison.passed());
+        assert!((comparison.rows[1].threshold - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vanished_rows_are_regressions() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        let run = report(vec![perf_row("simulate_traces", 0.5, 10000.0)]);
+        let comparison = BenchComparison::compare(&run, &baseline, 0.25);
+        assert!(!comparison.passed());
+        let missing = &comparison.rows[1];
+        assert_eq!(missing.name, "dpa_attack");
+        assert_eq!(missing.current_per_second, None);
+        assert!(missing.regressed);
+        assert!(comparison.render().contains("missing"));
+    }
+
+    #[test]
+    fn history_line_is_one_stamped_json_object() {
+        let run = report(vec![perf_row("simulate_traces", 0.5, 10000.0)]);
+        let line = history_line(&run);
+        assert!(!line.contains('\n'));
+        let json = Json::parse(&line).unwrap();
+        assert_eq!(
+            json.field("schema_version").and_then(Json::as_u64),
+            Some(u64::from(BENCH_SCHEMA_VERSION))
+        );
+        assert!(json.field("git_rev").is_some());
+        assert!(json
+            .field("generated_unix_secs")
+            .and_then(Json::as_u64)
+            .is_some());
+        let Some(Json::Array(rows)) = json.field("results") else {
+            panic!("results array missing");
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].field("name").and_then(Json::as_str),
+            Some("simulate_traces")
+        );
+    }
+}

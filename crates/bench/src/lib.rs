@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod assess;
+pub mod compare;
 pub mod experiments;
 pub mod perf;
 pub mod telemetry;
@@ -20,10 +21,13 @@ pub use assess::{
     tvla_report_observed, tvla_salvage_report, tvla_salvage_report_observed, CircuitChoice,
     MtdAttack, MTD_GRID, TVLA_FIXED_PLAINTEXT,
 };
+pub use compare::{
+    append_history, history_line, Baseline, BaselineRow, BenchComparison, RowComparison,
+};
 pub use experiments::{
     cpa_experiment_seeded, cvsl_comparison, dpa_experiment, dpa_experiment_seeded,
     fig2_memory_effect, fig3_transient, fig4_capacitance, fig5_oai22, fig6_enhanced, library_sweep,
     run_all, DEFAULT_EXPERIMENT_SEED,
 };
-pub use perf::{PerfConfig, PerfReport, PerfRow};
+pub use perf::{git_revision, PerfConfig, PerfReport, PerfRow, BENCH_SCHEMA_VERSION};
 pub use telemetry::{ReportFormat, TelemetrySession};

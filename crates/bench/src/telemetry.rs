@@ -1,13 +1,20 @@
-//! CLI telemetry plumbing: the `--metrics <file>` / `--report json|text`
-//! flags shared by `repro capture`, `attack`, `tvla`, `mtd` and `verify`.
+//! CLI telemetry plumbing: the `--metrics <file>` / `--report json|text` /
+//! `--trace <file>` / `--progress` flags shared by `repro capture`,
+//! `attack`, `tvla`, `mtd` and `verify`.
 //!
 //! A [`TelemetrySession`] owns one [`dpl_obs::Obs`] handle for the whole
 //! subcommand.  The subcommand attaches it to its readers/writers (or
 //! passes it to the `*_observed` entry points), and [`TelemetrySession::finish`]
-//! exports whatever was recorded: JSON-lines to the `--metrics` file, and a
-//! [`dpl_obs::RunReport`] rendered to stdout for `--report`.
+//! exports whatever was recorded: JSON-lines to the `--metrics` file, a
+//! Chrome `trace_event` document to the `--trace` file, and a
+//! [`dpl_obs::RunReport`] rendered to stdout for `--report`.  `--progress`
+//! streams chunk-granular progress lines to stderr while the command runs.
+//!
+//! `finish` runs on **every** exit path, success or failure, so a crashed
+//! campaign still flushes the partial telemetry it recorded up to the
+//! failure — often exactly the evidence needed to diagnose it.
 
-use dpl_obs::{Collector, JsonLines, Obs, RunReport};
+use dpl_obs::{Collector, JsonLines, Obs, RunReport, TraceEventJson};
 
 /// Which rendering `--report` asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,13 +31,15 @@ pub enum ReportFormat {
 pub struct TelemetrySession {
     obs: Obs,
     metrics_path: Option<String>,
+    trace_path: Option<String>,
+    progress: bool,
     report: Option<ReportFormat>,
 }
 
 impl TelemetrySession {
-    /// Extracts `--metrics <path>` and `--report json|text` from an
-    /// argument list, returning the remaining arguments and the session
-    /// (when either flag was present).
+    /// Extracts `--metrics <path>`, `--trace <path>`, `--progress` and
+    /// `--report json|text` from an argument list, returning the remaining
+    /// arguments and the session (when any of the flags was present).
     ///
     /// # Errors
     ///
@@ -39,6 +48,8 @@ impl TelemetrySession {
     pub fn from_args(args: &[String]) -> Result<(Vec<String>, Option<TelemetrySession>), String> {
         let mut rest = Vec::new();
         let mut metrics_path = None;
+        let mut trace_path = None;
+        let mut progress = false;
         let mut report = None;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -47,6 +58,11 @@ impl TelemetrySession {
                     Some(path) => metrics_path = Some(path.clone()),
                     None => return Err("--metrics needs a file path".into()),
                 },
+                "--trace" => match iter.next() {
+                    Some(path) => trace_path = Some(path.clone()),
+                    None => return Err("--trace needs a file path".into()),
+                },
+                "--progress" => progress = true,
                 "--report" => match iter.next().map(String::as_str) {
                     Some("json") => report = Some(ReportFormat::Json),
                     Some("text") => report = Some(ReportFormat::Text),
@@ -55,15 +71,18 @@ impl TelemetrySession {
                 _ => rest.push(arg.clone()),
             }
         }
-        let session = if metrics_path.is_some() || report.is_some() {
-            Some(TelemetrySession {
-                obs: Obs::monotonic(),
-                metrics_path,
-                report,
-            })
-        } else {
-            None
-        };
+        let session =
+            if metrics_path.is_some() || trace_path.is_some() || progress || report.is_some() {
+                Some(TelemetrySession {
+                    obs: Obs::monotonic(),
+                    metrics_path,
+                    trace_path,
+                    progress,
+                    report,
+                })
+            } else {
+                None
+            };
         Ok((rest, session))
     }
 
@@ -72,13 +91,26 @@ impl TelemetrySession {
         &self.obs
     }
 
+    /// Enables the live progress plane when `--progress` was given: the
+    /// instrumented folds report done/total counts, a rolling rate and an
+    /// ETA as plain lines on stderr.  A no-op without the flag, so the
+    /// other exports stay byte-identical whether or not progress is shown.
+    pub fn start_progress(&self, total: Option<u64>, unit: &str) {
+        if self.progress {
+            self.obs
+                .enable_progress(total, unit, Box::new(std::io::stderr()));
+        }
+    }
+
     /// Snapshots the telemetry and exports it: JSON-lines to the
-    /// `--metrics` file (when requested) and the rendered `--report`
-    /// document as the returned string (empty without `--report`).
+    /// `--metrics` file, a Chrome `trace_event` JSON document to the
+    /// `--trace` file (load it in Perfetto or `chrome://tracing`), and the
+    /// rendered `--report` document as the returned string (empty without
+    /// `--report`).
     ///
     /// # Errors
     ///
-    /// Returns a rendered message when the metrics file cannot be written.
+    /// Returns a rendered message when an output file cannot be written.
     pub fn finish(self, command: &str) -> Result<String, String> {
         let telemetry = self.obs.snapshot();
         if let Some(path) = &self.metrics_path {
@@ -86,6 +118,13 @@ impl TelemetrySession {
             JsonLines
                 .collect(&telemetry, &mut bytes)
                 .map_err(|e| format!("cannot render telemetry for {path}: {e}"))?;
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &self.trace_path {
+            let mut bytes = Vec::new();
+            TraceEventJson
+                .collect(&telemetry, &mut bytes)
+                .map_err(|e| format!("cannot render trace events for {path}: {e}"))?;
             std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         let rendered = match self.report {
@@ -136,8 +175,24 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_progress_flags_create_a_session() {
+        let (rest, session) =
+            TelemetrySession::from_args(&strings(&["a.dpltrc", "--trace", "t.json"])).unwrap();
+        assert_eq!(rest, strings(&["a.dpltrc"]));
+        let session = session.unwrap();
+        assert_eq!(session.trace_path.as_deref(), Some("t.json"));
+        assert!(!session.progress);
+
+        let (rest, session) =
+            TelemetrySession::from_args(&strings(&["a.dpltrc", "--progress"])).unwrap();
+        assert_eq!(rest, strings(&["a.dpltrc"]));
+        assert!(session.unwrap().progress);
+    }
+
+    #[test]
     fn bad_report_format_is_rejected() {
         assert!(TelemetrySession::from_args(&strings(&["--report", "xml"])).is_err());
         assert!(TelemetrySession::from_args(&strings(&["--metrics"])).is_err());
+        assert!(TelemetrySession::from_args(&strings(&["--trace"])).is_err());
     }
 }

@@ -605,7 +605,8 @@ pub fn simulate_traces_into<S: TraceSink>(
 }
 
 /// [`simulate_traces_into`] with telemetry: the campaign runs inside a
-/// `crypto.simulate_traces` span, and the trace count and generation
+/// `crypto.simulate_traces` span (annotated with the trace count), and
+/// the trace count and generation
 /// throughput are recorded into `obs`.  The trace stream itself is
 /// byte-identical to the unobserved variant.
 ///
@@ -622,6 +623,7 @@ pub fn simulate_traces_into_observed<S: TraceSink>(
     obs: &dpl_obs::Obs,
 ) -> std::result::Result<(), S::Error> {
     let span = obs.span("crypto.simulate_traces");
+    span.arg("traces", num_traces as u64);
     simulate_traces_into(netlist, table, key, num_traces, options, sink)?;
     obs.counter_add(dpl_obs::names::CRYPTO_TRACES_GENERATED, num_traces as u64);
     let elapsed = span.finish();
@@ -674,7 +676,8 @@ pub fn simulate_tvla_traces_into<S: TraceSink>(
 }
 
 /// [`simulate_tvla_traces_into`] with telemetry: the campaign runs inside a
-/// `crypto.simulate_tvla_traces` span, and the trace count and generation
+/// `crypto.simulate_tvla_traces` span (annotated with the trace count),
+/// and the trace count and generation
 /// throughput are recorded into `obs`.  The trace stream itself is
 /// byte-identical to the unobserved variant.
 ///
@@ -693,6 +696,7 @@ pub fn simulate_tvla_traces_into_observed<S: TraceSink>(
     obs: &dpl_obs::Obs,
 ) -> std::result::Result<(), S::Error> {
     let span = obs.span("crypto.simulate_tvla_traces");
+    span.arg("traces", num_traces as u64);
     simulate_tvla_traces_into(
         netlist,
         table,

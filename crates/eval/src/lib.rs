@@ -45,7 +45,8 @@ pub use mtd::{
     PrefixDpa,
 };
 pub use streaming::{
-    tvla_parallel, tvla_salvage, tvla_streaming, tvla_streaming_second_order, TvlaOrder,
+    tvla_parallel, tvla_parallel_observed, tvla_salvage, tvla_streaming,
+    tvla_streaming_second_order, TvlaOrder,
 };
 pub use tvla::{
     fixed_vs_fixed, interleaved_partition, tvla, tvla_second_order, SecondOrderWelchAccumulator,

@@ -21,6 +21,7 @@
 use std::io::{Read, Seek};
 use std::path::Path;
 
+use dpl_obs::{names, Obs};
 use dpl_store::{ArchiveReader, DamageReport, FoldObs, RetryPolicy, SalvageOutcome, StoreError};
 
 use crate::tvla::{ColumnStats, SecondOrderWelchAccumulator, WelchAccumulator};
@@ -66,7 +67,7 @@ where
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     fold.finish();
     accumulator.finalize()
@@ -95,13 +96,13 @@ where
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     accumulator.begin_second_pass()?;
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     fold.finish();
     accumulator.finalize()
@@ -148,7 +149,7 @@ where
                     SalvageOutcome::Intact(chunk) => {
                         report.traces_read += chunk.len() as u64;
                         fold.update(&chunk, samples);
-                        accumulator.update(&chunk)?;
+                        fold.accumulate(|| accumulator.update(&chunk))?;
                     }
                     SalvageOutcome::Damaged(d) => {
                         *flag = true;
@@ -166,7 +167,7 @@ where
                     SalvageOutcome::Intact(chunk) => {
                         report.traces_read += chunk.len() as u64;
                         fold.update(&chunk, samples);
-                        accumulator.update(&chunk)?;
+                        fold.accumulate(|| accumulator.update(&chunk))?;
                     }
                     SalvageOutcome::Damaged(d) => {
                         *flag = true;
@@ -182,7 +183,7 @@ where
                 match reader.read_chunk_salvage(index, retry)? {
                     SalvageOutcome::Intact(chunk) => {
                         fold.update(&chunk, samples);
-                        accumulator.update(&chunk)?;
+                        fold.accumulate(|| accumulator.update(&chunk))?;
                     }
                     SalvageOutcome::Damaged(d) => {
                         return Err(EvalError::Store(StoreError::FormatViolation {
@@ -245,6 +246,31 @@ pub fn tvla_parallel<F>(
 where
     F: Fn(u64, u64) -> Option<TvlaGroup> + Sync,
 {
+    tvla_parallel_observed(path, partition, order, workers, None)
+}
+
+/// [`tvla_parallel`] with a telemetry context: the whole fold runs under an
+/// `eval.tvla_parallel` span (annotated with the worker and trace counts),
+/// the assembly of the per-worker partials is attributed to a `fold.merge`
+/// phase span, and each reunion counts into `fold.merges`.  Worker threads
+/// open their own readers without the context, so chunk-read counters
+/// reflect only the probing open — the span and merge phase carry the
+/// parallel fold's timing story.
+///
+/// # Errors
+///
+/// Returns an error for an empty or unreadable archive, or any chunk
+/// failure in any worker.
+pub fn tvla_parallel_observed<F>(
+    path: &Path,
+    partition: F,
+    order: TvlaOrder,
+    workers: Option<usize>,
+    obs: Option<&Obs>,
+) -> Result<TvlaResult>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup> + Sync,
+{
     let probe = ArchiveReader::open(path)?;
     if probe.trace_count() == 0 {
         return Err(EvalError::Misuse {
@@ -252,10 +278,12 @@ where
         });
     }
     let samples = probe.samples_per_trace();
+    let traces = probe.trace_count();
     drop(probe);
     let workers = workers
         .unwrap_or_else(default_worker_count)
         .clamp(1, samples.max(1));
+    let span = obs.map(|o| o.span("eval.tvla_parallel"));
 
     let partition = &partition;
     let mut outputs: Vec<Option<Result<WorkerStats>>> = Vec::with_capacity(workers);
@@ -271,6 +299,7 @@ where
         }
     });
 
+    let merge_phase = obs.map(|o| o.phase("fold.merge", names::FOLD_MERGE_NS));
     let mut stats = vec![[ColumnStats::default(); 2]; samples];
     let mut counts = [0u64; 2];
     for (worker, slot) in outputs.into_iter().enumerate() {
@@ -288,6 +317,16 @@ where
         .iter()
         .map(|column| crate::tvla::t_statistic(counts, &column[0], &column[1]))
         .collect();
+    drop(merge_phase);
+    if let Some(obs) = obs {
+        obs.counter_add(names::FOLD_MERGES, workers as u64);
+        obs.counter_add(names::FOLD_TRACES, traces);
+    }
+    if let Some(span) = span {
+        span.arg("workers", workers as u64);
+        span.arg("traces", traces);
+        span.finish();
+    }
     Ok(TvlaResult { t, counts })
 }
 

@@ -89,6 +89,28 @@ pub struct Bdd {
     apply_memo: HashMap<(BddOp, u32, u32), u32>,
     ite_memo: HashMap<(u32, u32, u32), u32>,
     not_memo: HashMap<u32, u32>,
+    stats: BddStats,
+}
+
+/// Work counters accumulated by a [`Bdd`] manager over its lifetime.
+///
+/// These are plain saturating counters (this crate has no dependencies, so
+/// telemetry integration happens in callers): recursive connective calls,
+/// how many were answered from the memo tables, and how hash-consing fared
+/// at the unique table. `memo hit rate = apply_memo_hits / apply_calls`;
+/// `sharing rate = unique_hits / unique_lookups`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Recursive [`Bdd::apply`]/[`Bdd::ite`] invocations, counted on entry
+    /// (terminal-rule short circuits included).
+    pub apply_calls: u64,
+    /// Calls answered from the `apply`/`ite` memo tables.
+    pub apply_memo_hits: u64,
+    /// Unique-table lookups issued while constructing decision nodes.
+    pub unique_lookups: u64,
+    /// Lookups that found an existing node (hash-consing shared a node
+    /// instead of allocating).
+    pub unique_hits: u64,
 }
 
 impl Bdd {
@@ -100,6 +122,7 @@ impl Bdd {
             apply_memo: HashMap::new(),
             ite_memo: HashMap::new(),
             not_memo: HashMap::new(),
+            stats: BddStats::default(),
         };
         bdd.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -161,6 +184,12 @@ impl Bdd {
     /// and nodes no longer reachable from any live handle.
     pub fn allocated_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Work counters accumulated since the manager was created: recursive
+    /// connective calls, memo hits and unique-table (hash-consing) traffic.
+    pub fn stats(&self) -> BddStats {
+        self.stats
     }
 
     /// Number of decision (non-terminal) nodes reachable from `f` — the
@@ -356,7 +385,9 @@ impl Bdd {
             return low;
         }
         let node = Node { var, low, high };
+        self.stats.unique_lookups = self.stats.unique_lookups.saturating_add(1);
         if let Some(&id) = self.unique.get(&node) {
+            self.stats.unique_hits = self.stats.unique_hits.saturating_add(1);
             return id;
         }
         let id = self.nodes.len() as u32;
@@ -385,6 +416,7 @@ impl Bdd {
     }
 
     fn apply_rec(&mut self, op: BddOp, f: u32, g: u32) -> u32 {
+        self.stats.apply_calls = self.stats.apply_calls.saturating_add(1);
         // Terminal rules.
         match op {
             BddOp::And => {
@@ -430,6 +462,7 @@ impl Bdd {
         // All three connectives are commutative; normalise the memo key.
         let key = (op, f.min(g), f.max(g));
         if let Some(&r) = self.apply_memo.get(&key) {
+            self.stats.apply_memo_hits = self.stats.apply_memo_hits.saturating_add(1);
             return r;
         }
         let nf = self.nodes[f as usize];
@@ -453,6 +486,7 @@ impl Bdd {
     }
 
     fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        self.stats.apply_calls = self.stats.apply_calls.saturating_add(1);
         match (f, g, h) {
             (TRUE_ID, _, _) => return g,
             (FALSE_ID, _, _) => return h,
@@ -465,6 +499,7 @@ impl Bdd {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_memo.get(&key) {
+            self.stats.apply_memo_hits = self.stats.apply_memo_hits.saturating_add(1);
             return r;
         }
         let nf = self.nodes[f as usize];
@@ -618,6 +653,34 @@ mod tests {
         assert_ne!(fa, ha);
         assert_eq!(bdd.not(fa), ha);
         assert_eq!(bdd.not(ha), fa);
+    }
+
+    #[test]
+    fn stats_track_apply_memo_and_unique_table_traffic() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.stats(), BddStats::default());
+        let a = bdd.var(Var::new(0));
+        let b = bdd.var(Var::new(1));
+        let ab = bdd.apply(BddOp::And, a, b);
+        let after_build = bdd.stats();
+        assert!(after_build.apply_calls > 0);
+        assert!(after_build.unique_lookups >= after_build.unique_hits);
+
+        // Repeating the same apply answers from the memo without new
+        // recursion below the root or fresh unique-table lookups.
+        let ab2 = bdd.apply(BddOp::And, a, b);
+        assert_eq!(ab, ab2);
+        let after_repeat = bdd.stats();
+        assert_eq!(after_repeat.apply_calls, after_build.apply_calls + 1);
+        assert_eq!(
+            after_repeat.apply_memo_hits,
+            after_build.apply_memo_hits + 1
+        );
+        assert_eq!(after_repeat.unique_lookups, after_build.unique_lookups);
+
+        // Building an equivalent node another way is a hash-consing hit.
+        let ba = bdd.apply(BddOp::And, b, a);
+        assert_eq!(ba, ab);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod parse;
 mod truth;
 mod var;
 
-pub use bdd::{Bdd, BddNode, BddOp};
+pub use bdd::{Bdd, BddNode, BddOp, BddStats};
 pub use cube::{Cube, Sop};
 pub use decompose::{decompose, decomposition_depth, CanonicalPath, Decomposition};
 pub use error::LogicError;

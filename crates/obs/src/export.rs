@@ -17,10 +17,11 @@ pub trait Collector {
 /// JSON-lines exporter: one compact JSON object per line.
 ///
 /// Line order is fixed: spans in id order, then counters, gauges and
-/// histograms each in name order. Line shapes:
+/// histograms each in name order. Line shapes (`args` appears only when
+/// the span carries attached counters):
 ///
 /// ```json
-/// {"type":"span","id":0,"parent":null,"name":"...","start_ns":1,"end_ns":2,"elapsed_ns":1}
+/// {"type":"span","id":0,"parent":null,"name":"...","tid":0,"start_ns":1,"end_ns":2,"elapsed_ns":1}
 /// {"type":"counter","name":"...","value":7}
 /// {"type":"gauge","name":"...","value":123.5}
 /// {"type":"histogram","name":"...","count":2,"sum":15,"min":5,"max":10,"p50":5,"p90":10,"p99":10}
@@ -30,14 +31,24 @@ pub struct JsonLines;
 
 /// JSON object for one span (shared with [`crate::RunReport`]).
 pub(crate) fn span_json(span: &SpanRecord) -> Json {
-    Json::object(vec![
+    let mut fields = vec![
         ("id", Json::U64(span.id)),
         ("parent", span.parent.map_or(Json::Null, Json::U64)),
         ("name", Json::str(span.name.clone())),
+        ("tid", Json::U64(span.tid)),
         ("start_ns", Json::U64(span.start_ns)),
         ("end_ns", Json::U64(span.end_ns)),
         ("elapsed_ns", Json::U64(span.elapsed_ns())),
-    ])
+    ];
+    if !span.args.is_empty() {
+        let args = span
+            .args
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::U64(*value)))
+            .collect();
+        fields.push(("args", Json::Object(args)));
+    }
+    Json::object(fields)
 }
 
 /// JSON object summarising one histogram (shared with [`crate::RunReport`]).
@@ -211,11 +222,11 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            r#"{"type":"span","id":0,"parent":null,"name":"campaign","start_ns":100,"end_ns":400,"elapsed_ns":300}"#
+            r#"{"type":"span","id":0,"parent":null,"name":"campaign","tid":0,"start_ns":100,"end_ns":400,"elapsed_ns":300}"#
         );
         assert_eq!(
             lines[1],
-            r#"{"type":"span","id":1,"parent":0,"name":"store.read","start_ns":200,"end_ns":300,"elapsed_ns":100}"#
+            r#"{"type":"span","id":1,"parent":0,"name":"store.read","tid":0,"start_ns":200,"end_ns":300,"elapsed_ns":100}"#
         );
         assert_eq!(
             lines[2],
@@ -230,6 +241,21 @@ mod tests {
             r#"{"type":"histogram","name":"store.read_ns","count":2,"sum":905,"min":5,"max":900,"p50":5,"p90":896,"p99":896}"#
         );
         assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn span_args_appear_only_when_attached() {
+        let obs = Obs::deterministic(10);
+        let span = obs.span("fold");
+        span.arg("traces", 600);
+        span.finish();
+        let mut out = Vec::new();
+        JsonLines.collect(&obs.snapshot(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.lines().next().unwrap(),
+            r#"{"type":"span","id":0,"parent":null,"name":"fold","tid":0,"start_ns":10,"end_ns":20,"elapsed_ns":10,"args":{"traces":600}}"#
+        );
     }
 
     #[test]

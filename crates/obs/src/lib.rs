@@ -34,9 +34,21 @@
 //! ## Exporters
 //!
 //! A [`Collector`] turns a [`Telemetry`] snapshot into bytes:
-//! [`JsonLines`] (one machine-readable JSON object per line) and
-//! [`TextReport`] (human-readable tables). [`RunReport`] wraps a snapshot
-//! with the campaign name for `repro --report json|text`.
+//! [`JsonLines`] (one machine-readable JSON object per line),
+//! [`TextReport`] (human-readable tables) and [`TraceEventJson`] (Chrome
+//! `trace_event` JSON for Perfetto / `chrome://tracing`, the
+//! `repro --trace <file>` surface). [`RunReport`] wraps a snapshot with
+//! the campaign name for `repro --report json|text`.
+//!
+//! ## Phases and progress
+//!
+//! [`Obs::phase`] opens a sub-span whose elapsed time also lands in a
+//! named `*_ns` histogram — the instrumented hot paths use it to attribute
+//! time to I/O, checksumming, decoding, accumulator folds and BDD work.
+//! [`Obs::enable_progress`] switches on the live progress plane: each
+//! [`Obs::progress_advance`] renders one plain `progress:` line
+//! (done/total, rolling rate, ETA) to an injected sink, deterministic
+//! under a [`TestClock`] and a strict no-op when not enabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,13 +58,18 @@ mod export;
 mod json;
 mod metrics;
 pub mod names;
+mod progress;
 mod report;
+mod traceevent;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
 pub use export::{Collector, JsonLines, TextReport};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Metrics, BUCKETS};
 pub use report::RunReport;
+pub use traceevent::TraceEventJson;
+
+use progress::ProgressPlane;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -66,10 +83,16 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Span name, e.g. `"store.capture"`.
     pub name: String,
+    /// Dense id of the thread that opened the span, in first-seen order
+    /// (`0` for everything in a single-threaded run).
+    pub tid: u64,
     /// Clock reading at open.
     pub start_ns: u64,
     /// Clock reading at close (equals `start_ns` while open).
     pub end_ns: u64,
+    /// Span-attached counters in attachment order (e.g. how many traces a
+    /// fold span covered), surfaced by the exporters.
+    pub args: Vec<(String, u64)>,
 }
 
 impl SpanRecord {
@@ -84,6 +107,25 @@ struct ObsState {
     metrics: Metrics,
     spans: Vec<SpanRecord>,
     stack: Vec<u64>,
+    /// Threads seen opening spans, in first-seen order; a span's `tid` is
+    /// an index into this list.
+    threads: Vec<std::thread::ThreadId>,
+    /// The live progress plane, when one was enabled.
+    progress: Option<ProgressPlane>,
+}
+
+impl ObsState {
+    /// Dense id of the current thread, assigned in first-seen order.
+    fn thread_index(&mut self) -> u64 {
+        let current = std::thread::current().id();
+        match self.threads.iter().position(|&id| id == current) {
+            Some(index) => index as u64,
+            None => {
+                self.threads.push(current);
+                (self.threads.len() - 1) as u64
+            }
+        }
+    }
 }
 
 /// A telemetry context: an injectable clock plus shared, mutex-guarded
@@ -135,12 +177,15 @@ impl Obs {
         let mut state = self.lock();
         let id = state.spans.len() as u64;
         let parent = state.stack.last().copied();
+        let tid = state.thread_index();
         state.spans.push(SpanRecord {
             id,
             parent,
             name: name.into(),
+            tid,
             start_ns: now,
             end_ns: now,
+            args: Vec::new(),
         });
         state.stack.push(id);
         SpanGuard {
@@ -148,6 +193,17 @@ impl Obs {
             id,
             start_ns: now,
             closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Opens a phase: a sub-span whose elapsed time is also recorded into
+    /// the named histogram when it closes — the building block of "where
+    /// did the time go" attribution inside instrumented hot paths.
+    pub fn phase(&self, name: impl Into<String>, histogram: &'static str) -> PhaseGuard {
+        PhaseGuard {
+            span: Some(self.span(name)),
+            obs: self.clone(),
+            histogram,
         }
     }
 
@@ -194,6 +250,34 @@ impl Obs {
             metrics: state.metrics.clone(),
         }
     }
+
+    /// Enables the live progress plane: subsequent
+    /// [`Obs::progress_advance`] calls render plain `progress:` lines
+    /// (done/total, rolling rate, ETA) to `sink`. Reads the clock once to
+    /// timestamp the start.
+    pub fn enable_progress(
+        &self,
+        total: Option<u64>,
+        unit: impl Into<String>,
+        sink: Box<dyn std::io::Write + Send>,
+    ) {
+        let now = self.clock.now_ns();
+        self.lock().progress = Some(ProgressPlane::new(total, unit.into(), sink, now));
+    }
+
+    /// Advances the progress plane by `items` and renders one line. A
+    /// context without an enabled plane ignores the call without touching
+    /// the clock, so unobserved and progress-less runs stay byte-identical.
+    pub fn progress_advance(&self, items: u64) {
+        let mut state = self.lock();
+        if state.progress.is_none() {
+            return;
+        }
+        let now = self.clock.now_ns();
+        if let Some(progress) = &mut state.progress {
+            progress.advance(items, now);
+        }
+    }
 }
 
 /// RAII guard returned by [`Obs::span`]; closes the span on drop.
@@ -210,6 +294,15 @@ impl SpanGuard {
     /// Clock time elapsed since the span opened (reads the clock).
     pub fn elapsed_ns(&self) -> u64 {
         self.obs.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Attaches a named counter to the span record (no clock reads); the
+    /// exporters surface attached counters alongside the span.
+    pub fn arg(&self, name: impl Into<String>, value: u64) {
+        let mut state = self.obs.lock();
+        if let Some(record) = state.spans.get_mut(self.id as usize) {
+            record.args.push((name.into(), value));
+        }
     }
 
     /// Closes the span now and returns its total elapsed time.
@@ -234,6 +327,42 @@ impl SpanGuard {
 }
 
 impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// RAII guard returned by [`Obs::phase`]: a span whose elapsed time is
+/// recorded into a histogram (`<name>_ns`) when it closes, so per-phase
+/// timing distributions accumulate alongside the span tree.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately closes the phase"]
+pub struct PhaseGuard {
+    span: Option<SpanGuard>,
+    obs: Obs,
+    histogram: &'static str,
+}
+
+impl PhaseGuard {
+    /// Closes the phase now, records its elapsed time into the histogram
+    /// and returns it.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        match self.span.take() {
+            None => 0,
+            Some(span) => {
+                let elapsed = span.finish();
+                self.obs.record(self.histogram, elapsed);
+                elapsed
+            }
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
     fn drop(&mut self) {
         self.close();
     }
@@ -329,5 +458,118 @@ mod tests {
     fn rate_guards_empty_intervals() {
         assert_eq!(rate_per_sec(100, 0), None);
         assert_eq!(rate_per_sec(5, 1_000_000_000), Some(5.0));
+    }
+
+    #[test]
+    fn spans_close_with_correct_nesting_when_instrumented_code_panics() {
+        let obs = Obs::deterministic(10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = obs.span("outer");
+            let _inner = obs.span("inner");
+            panic!("instrumented code failed");
+        }));
+        assert!(result.is_err());
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.spans.len(), 2);
+        // Unwinding drops the guards in reverse declaration order, exactly
+        // like a normal scope exit: inner closes first, then outer.
+        let outer = &snapshot.spans[0];
+        let inner = &snapshot.spans[1];
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.end_ns, 30);
+        assert_eq!(outer.end_ns, 40);
+        // The stack fully unwound: a fresh span is a root, not a child of
+        // a leaked entry.
+        let after = obs.span("after");
+        after.finish();
+        assert_eq!(obs.snapshot().spans[2].parent, None);
+    }
+
+    #[test]
+    fn phase_records_elapsed_time_into_its_histogram() {
+        let obs = Obs::deterministic(10);
+        obs.phase("store.chunk_io", "store.read_io_ns").finish();
+        {
+            let _dropped = obs.phase("store.chunk_io", "store.read_io_ns");
+        }
+        let metrics = obs.metrics();
+        let histogram = metrics.histogram("store.read_io_ns").expect("histogram");
+        assert_eq!(histogram.count(), 2);
+        assert_eq!(histogram.sum(), 20); // two phases, 10 ns each
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.spans.len(), 2);
+        assert!(snapshot.spans.iter().all(|s| s.name == "store.chunk_io"));
+    }
+
+    #[test]
+    fn span_args_are_recorded_in_attachment_order() {
+        let obs = Obs::deterministic(1);
+        let span = obs.span("fold");
+        span.arg("traces", 600);
+        span.arg("updates", 5);
+        span.finish();
+        let snapshot = obs.snapshot();
+        assert_eq!(
+            snapshot.spans[0].args,
+            vec![("traces".to_owned(), 600), ("updates".to_owned(), 5)]
+        );
+    }
+
+    #[test]
+    fn single_threaded_spans_share_tid_zero() {
+        let obs = Obs::deterministic(1);
+        obs.span("a").finish();
+        obs.span("b").finish();
+        assert!(obs.snapshot().spans.iter().all(|s| s.tid == 0));
+    }
+
+    #[test]
+    fn progress_is_deterministic_and_byte_identical_off() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let run = || {
+            let obs = Obs::deterministic(1_000_000); // 1 ms per clock read
+            let sink = SharedSink::default();
+            obs.enable_progress(Some(400), "traces", Box::new(sink.clone()));
+            let span = obs.span("fold");
+            obs.progress_advance(100);
+            obs.progress_advance(300);
+            span.finish();
+            let bytes = sink.0.lock().unwrap().clone();
+            (String::from_utf8(bytes).unwrap(), obs.snapshot())
+        };
+        let (first, snap_first) = run();
+        let (second, snap_second) = run();
+        assert_eq!(first, second, "progress lines must be deterministic");
+        assert_eq!(snap_first, snap_second);
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("progress: 100/400 traces (25.0%)"));
+        assert!(lines[0].contains("traces/s"));
+        assert!(lines[1].starts_with("progress: 400/400 traces (100.0%)"));
+        assert!(lines[1].contains("eta 0.000s"));
+
+        // Without an enabled plane, advancing is a no-op that never touches
+        // the clock: the span timings match a run with no progress calls.
+        let baseline = Obs::deterministic(1_000_000);
+        let span = baseline.span("fold");
+        baseline.progress_advance(100);
+        baseline.progress_advance(300);
+        span.finish();
+        let plain = Obs::deterministic(1_000_000);
+        plain.span("fold").finish();
+        assert_eq!(baseline.snapshot(), plain.snapshot());
     }
 }

@@ -372,9 +372,73 @@ mod tests {
     #[test]
     fn empty_histogram_has_no_quantiles() {
         let h = Histogram::default();
+        assert_eq!(h.quantile(0.0), None);
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_bucket_histogram_answers_every_quantile_with_that_bucket() {
+        // All observations identical and below the exact range: every
+        // quantile is exactly the value.
+        let mut exact = Histogram::default();
+        for _ in 0..5 {
+            exact.record(5);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(exact.quantile(q), Some(5));
+        }
+        // Identical observations in a log-linear bucket: every quantile is
+        // the bucket's lower bound (within the 12.5% width guarantee).
+        let mut coarse = Histogram::default();
+        for _ in 0..3 {
+            coarse.record(42);
+        }
+        let floor = coarse.quantile(0.5).unwrap();
+        assert_eq!(floor, 40); // bucket [40, 44) holds 42
+        assert_eq!(coarse.quantile(0.0), Some(floor));
+        assert_eq!(coarse.quantile(1.0), Some(floor));
+        assert_eq!(coarse.max(), Some(42)); // min/max stay exact
+        assert_eq!(coarse.min(), Some(42));
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.quantile(-1.0), Some(3));
+        assert_eq!(h.quantile(2.0), Some(7));
+        // NaN propagates through clamp, casts to a zero target and is
+        // clamped up to the first observation — never a panic.
+        assert_eq!(h.quantile(f64::NAN), Some(3));
+    }
+
+    #[test]
+    fn saturating_extremes_do_not_overflow() {
+        // Counters saturate instead of wrapping.
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.value(), u64::MAX);
+        let mut other = Counter::default();
+        other.add(3);
+        c.merge(&other);
+        assert_eq!(c.value(), u64::MAX);
+        // u64::MAX observations land in the last bucket; the u128 sum and
+        // the exact max survive, and quantiles answer with that bucket's
+        // floor.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+        assert_eq!(h.max(), Some(u64::MAX));
+        let floor = h.quantile(1.0).unwrap();
+        assert!(floor > u64::MAX / 2);
+        assert_eq!(h.quantile(0.5), Some(floor));
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub const STORE_RECOVERED_CHUNKS: &str = "store.recovered_chunks";
 pub const STORE_RECOVERED_TRACES: &str = "store.recovered_traces";
 /// Torn tail bytes discarded by crash recovery.
 pub const STORE_RECOVERY_DROPPED_BYTES: &str = "store.recovery_dropped_bytes";
+/// Per-chunk read I/O phase (seek + payload + checksum bytes), nanoseconds.
+pub const STORE_READ_IO_NS: &str = "store.read_io_ns";
+/// Per-chunk checksum verification phase, nanoseconds.
+pub const STORE_CHECKSUM_NS: &str = "store.checksum_ns";
+/// Per-chunk payload decode phase (bytes to columnar traces), nanoseconds.
+pub const STORE_DECODE_NS: &str = "store.decode_ns";
+/// Per-chunk serialization phase (transpose + checksum), nanoseconds.
+pub const STORE_SERIALIZE_NS: &str = "store.serialize_ns";
+/// Per-chunk write I/O phase (`write_all` of the serialized chunk),
+/// nanoseconds.
+pub const STORE_WRITE_IO_NS: &str = "store.write_io_ns";
 
 /// Traces folded into attack/assessment accumulators.
 pub const FOLD_TRACES: &str = "fold.traces";
@@ -40,6 +51,10 @@ pub const FOLD_MERGES: &str = "fold.merges";
 pub const FOLD_TRACES_PER_SEC: &str = "fold.traces_per_sec";
 /// Peak fold throughput in payload bytes per second.
 pub const FOLD_BYTES_PER_SEC: &str = "fold.bytes_per_sec";
+/// Per-chunk accumulator `update` phase, nanoseconds.
+pub const FOLD_UPDATE_NS: &str = "fold.update_ns";
+/// Partial-accumulator merge phase, nanoseconds.
+pub const FOLD_MERGE_NS: &str = "fold.merge_ns";
 
 /// Traces produced by the simulated measurement campaigns.
 pub const CRYPTO_TRACES_GENERATED: &str = "crypto.traces_generated";
@@ -63,3 +78,17 @@ pub const VERIFY_REPLAYS: &str = "verify.replays";
 pub const VERIFY_BDD_NODE_PEAK: &str = "verify.bdd_node_peak";
 /// Proof wall time distribution, nanoseconds.
 pub const VERIFY_PROOF_NS: &str = "verify.proof_ns";
+/// BDD construction phase of a proof (netlist + oracle apply work),
+/// nanoseconds.
+pub const VERIFY_BDD_BUILD_NS: &str = "verify.bdd_build_ns";
+/// Signature/model-count phase of a proof (structural digests + SAT
+/// counts over the finished BDD), nanoseconds.
+pub const VERIFY_BDD_SIGNATURE_NS: &str = "verify.bdd_signature_ns";
+/// Recursive `apply`/`ite` calls spent building proof BDDs.
+pub const VERIFY_BDD_APPLY_CALLS: &str = "verify.bdd_apply_calls";
+/// `apply`/`ite` calls answered from the memo tables.
+pub const VERIFY_BDD_APPLY_MEMO_HITS: &str = "verify.bdd_apply_memo_hits";
+/// Unique-table lookups issued by BDD node construction.
+pub const VERIFY_BDD_UNIQUE_LOOKUPS: &str = "verify.bdd_unique_lookups";
+/// Unique-table lookups that found an existing node (hash-consing hits).
+pub const VERIFY_BDD_UNIQUE_HITS: &str = "verify.bdd_unique_hits";

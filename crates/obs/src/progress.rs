@@ -1,0 +1,148 @@
+//! The live progress plane: plain-line rendering of done/total, rolling
+//! rate and ETA, written to an injected sink (the CLI passes stderr).
+//!
+//! Rendering is a pure function of the item counts and the clock readings,
+//! so a [`crate::TestClock`]-backed context produces byte-identical
+//! progress lines on every run. No TTY control sequences are emitted —
+//! one `progress:` line per advance, suitable for redirection and logs.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+/// Internal state of an enabled progress plane (owned by the `Obs` state;
+/// constructed by `Obs::enable_progress`).
+pub(crate) struct ProgressPlane {
+    sink: Box<dyn Write + Send>,
+    unit: String,
+    total: Option<u64>,
+    done: u64,
+    last_ns: u64,
+    last_done: u64,
+}
+
+impl std::fmt::Debug for ProgressPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressPlane")
+            .field("unit", &self.unit)
+            .field("total", &self.total)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProgressPlane {
+    pub(crate) fn new(
+        total: Option<u64>,
+        unit: String,
+        sink: Box<dyn Write + Send>,
+        now_ns: u64,
+    ) -> Self {
+        ProgressPlane {
+            sink,
+            unit,
+            total,
+            done: 0,
+            last_ns: now_ns,
+            last_done: 0,
+        }
+    }
+
+    /// Advances by `items` at clock reading `now_ns` and renders one line.
+    /// The rate is rolling: items since the previous line over the time
+    /// since the previous line.
+    pub(crate) fn advance(&mut self, items: u64, now_ns: u64) {
+        self.done = self.done.saturating_add(items);
+        let window_items = self.done.saturating_sub(self.last_done);
+        let window_ns = now_ns.saturating_sub(self.last_ns);
+        let rate = crate::rate_per_sec(window_items, window_ns);
+        let line = self.render_line(rate);
+        self.last_done = self.done;
+        self.last_ns = now_ns;
+        // A progress line is advisory; a failing sink must not fail the
+        // campaign it narrates.
+        let _ = writeln!(self.sink, "{line}");
+        let _ = self.sink.flush();
+    }
+
+    fn render_line(&self, rate: Option<f64>) -> String {
+        let mut line = String::from("progress: ");
+        match self.total {
+            Some(total) => {
+                let shown = self.done.min(total);
+                let percent = if total == 0 {
+                    100.0
+                } else {
+                    (shown as f64 * 100.0 / total as f64).min(100.0)
+                };
+                let _ = write!(line, "{shown}/{total} {} ({percent:.1}%)", self.unit);
+            }
+            None => {
+                let _ = write!(line, "{} {}", self.done, self.unit);
+            }
+        }
+        if let Some(rate) = rate {
+            let _ = write!(line, " | {rate:.0} {}/s", self.unit);
+            if let Some(total) = self.total {
+                let remaining = total.saturating_sub(self.done);
+                let eta = remaining as f64 / rate;
+                let _ = write!(line, " | eta {eta:.3}s");
+            }
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(total: Option<u64>) -> ProgressPlane {
+        ProgressPlane::new(total, "traces".into(), Box::new(std::io::sink()), 0)
+    }
+
+    #[test]
+    fn line_shows_done_total_rate_and_eta() {
+        let p = {
+            let mut p = plane(Some(1000));
+            p.done = 250;
+            p
+        };
+        assert_eq!(
+            p.render_line(Some(500.0)),
+            "progress: 250/1000 traces (25.0%) | 500 traces/s | eta 1.500s"
+        );
+    }
+
+    #[test]
+    fn empty_rate_window_omits_rate_and_eta() {
+        let p = {
+            let mut p = plane(Some(10));
+            p.done = 5;
+            p
+        };
+        assert_eq!(p.render_line(None), "progress: 5/10 traces (50.0%)");
+    }
+
+    #[test]
+    fn unknown_total_shows_count_and_rate_only() {
+        let p = {
+            let mut p = plane(None);
+            p.done = 42;
+            p
+        };
+        assert_eq!(p.render_line(Some(7.0)), "progress: 42 traces | 7 traces/s");
+    }
+
+    #[test]
+    fn done_is_clamped_to_total() {
+        let p = {
+            let mut p = plane(Some(100));
+            p.done = 120; // e.g. a salvage run with optimistic totals
+            p
+        };
+        assert_eq!(
+            p.render_line(Some(10.0)),
+            "progress: 100/100 traces (100.0%) | 10 traces/s | eta 0.000s"
+        );
+    }
+}

@@ -13,7 +13,7 @@ use crate::Telemetry;
 /// {
 ///   "report": "dpl-obs.run/v1",
 ///   "command": "attack",
-///   "spans": [{"id":0,"parent":null,"name":"...","start_ns":1,"end_ns":9,"elapsed_ns":8}],
+///   "spans": [{"id":0,"parent":null,"name":"...","tid":0,"start_ns":1,"end_ns":9,"elapsed_ns":8}],
 ///   "counters": {"store.chunk_reads": 5},
 ///   "gauges": {"fold.traces_per_sec": 123.5},
 ///   "histograms": {"store.read_ns": {"count":1,"sum":7,"min":7,"max":7,"p50":7,"p90":7,"p99":7}}

@@ -1,0 +1,166 @@
+//! Chrome `trace_event` exporter: renders a [`Telemetry`] snapshot as the
+//! JSON object format understood by Perfetto (<https://ui.perfetto.dev>)
+//! and `chrome://tracing`.
+//!
+//! Every closed span becomes one complete (`"ph":"X"`) event with the
+//! span's dense thread id, its parent id and any span-attached counters in
+//! `args`; viewers reconstruct the nesting from the timestamps. Counter
+//! metrics become one `"ph":"C"` event each, stamped at the trace end, so
+//! final totals show as counter tracks. Like every exporter in this crate,
+//! the output is a pure function of the snapshot: a
+//! [`crate::TestClock`]-backed run exports byte-identically every time.
+
+use std::io::{self, Write};
+
+use crate::json::Json;
+use crate::{Collector, SpanRecord, Telemetry};
+
+/// The single process id every event carries (the pipeline is one process).
+const PID: u64 = 1;
+
+/// Chrome `trace_event` JSON exporter (`{"displayTimeUnit":...,
+/// "traceEvents":[...]}`), loadable in Perfetto / `chrome://tracing`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceEventJson;
+
+/// `trace_event` timestamps are fractional microseconds; nanosecond clock
+/// readings convert exactly for every value a campaign can reach.
+fn microseconds(ns: u64) -> Json {
+    Json::F64(ns as f64 / 1000.0)
+}
+
+fn span_event(span: &SpanRecord) -> Json {
+    let mut args = vec![
+        ("id".to_owned(), Json::U64(span.id)),
+        (
+            "parent".to_owned(),
+            span.parent.map_or(Json::Null, Json::U64),
+        ),
+    ];
+    for (name, value) in &span.args {
+        args.push((name.clone(), Json::U64(*value)));
+    }
+    Json::object(vec![
+        ("name", Json::str(span.name.clone())),
+        ("cat", Json::str("dpl")),
+        ("ph", Json::str("X")),
+        ("ts", microseconds(span.start_ns)),
+        ("dur", microseconds(span.elapsed_ns())),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(span.tid)),
+        ("args", Json::Object(args)),
+    ])
+}
+
+fn counter_event(name: &str, value: u64, ts_ns: u64) -> Json {
+    Json::object(vec![
+        ("name", Json::str(name)),
+        ("cat", Json::str("dpl")),
+        ("ph", Json::str("C")),
+        ("ts", microseconds(ts_ns)),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(0)),
+        ("args", Json::object(vec![("value", Json::U64(value))])),
+    ])
+}
+
+fn metadata_event(name: &str, tid: u64, value: &str) -> Json {
+    Json::object(vec![
+        ("name", Json::str(name)),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(tid)),
+        ("args", Json::object(vec![("name", Json::str(value))])),
+    ])
+}
+
+impl Collector for TraceEventJson {
+    fn collect(&self, telemetry: &Telemetry, out: &mut dyn Write) -> io::Result<()> {
+        let mut events = Vec::new();
+        events.push(metadata_event("process_name", 0, "dpl pipeline"));
+        let threads = telemetry.spans.iter().map(|s| s.tid + 1).max().unwrap_or(1);
+        for tid in 0..threads {
+            let label = if tid == 0 {
+                "main".to_owned()
+            } else {
+                format!("worker-{tid}")
+            };
+            events.push(metadata_event("thread_name", tid, &label));
+        }
+        for span in &telemetry.spans {
+            events.push(span_event(span));
+        }
+        let end_ns = telemetry.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        for (name, value) in telemetry.metrics.counters() {
+            events.push(counter_event(name, value, end_ns));
+        }
+        let document = Json::object(vec![
+            ("displayTimeUnit", Json::str("ns")),
+            ("traceEvents", Json::Array(events)),
+        ]);
+        out.write_all(document.render_pretty().as_bytes())?;
+        out.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_telemetry() -> Telemetry {
+        let obs = Obs::deterministic(100);
+        {
+            let outer = obs.span("campaign");
+            outer.arg("traces", 600);
+            let _inner = obs.span("store.chunk_io");
+            obs.counter_add("store.chunk_reads", 5);
+        }
+        obs.snapshot()
+    }
+
+    fn render(telemetry: &Telemetry) -> String {
+        let mut out = Vec::new();
+        TraceEventJson.collect(telemetry, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_runs_under_a_test_clock() {
+        assert_eq!(render(&sample_telemetry()), render(&sample_telemetry()));
+    }
+
+    #[test]
+    fn document_parses_and_contains_nested_spans_and_counters() {
+        let text = render(&sample_telemetry());
+        let document = Json::parse(&text).expect("valid JSON");
+        let Json::Object(fields) = &document else {
+            panic!("top level must be an object");
+        };
+        assert_eq!(fields[0].0, "displayTimeUnit");
+        let Some((_, Json::Array(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+            panic!("traceEvents array missing");
+        };
+        // process_name + thread_name + 2 spans + 1 counter.
+        assert_eq!(events.len(), 5);
+        assert!(text.contains(r#""name": "campaign""#));
+        assert!(text.contains(r#""name": "store.chunk_io""#));
+        assert!(text.contains(r#""name": "store.chunk_reads""#));
+        assert!(text.contains(r#""ph": "X""#));
+        assert!(text.contains(r#""ph": "C""#));
+        // The span-attached counter lands in args.
+        assert!(text.contains(r#""traces": 600"#));
+        // TestClock(100): campaign opens at 100 ns = 0.1 us, closes at
+        // 400 ns; the inner span covers [200, 300] ns, nested inside.
+        assert!(text.contains(r#""ts": 0.1"#));
+        assert!(text.contains(r#""dur": 0.3"#));
+        assert!(text.contains(r#""ts": 0.2"#));
+    }
+
+    #[test]
+    fn empty_telemetry_still_renders_a_valid_document() {
+        let text = render(&Telemetry::default());
+        let document = Json::parse(&text).expect("valid JSON");
+        assert!(matches!(document, Json::Object(_)));
+    }
+}

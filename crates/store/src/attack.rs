@@ -48,21 +48,38 @@ impl FoldObs {
         }
     }
 
-    /// Notes one chunk folded into an accumulator.
+    /// Notes one chunk folded into an accumulator and advances the context's
+    /// progress plane (when one is enabled) by the chunk's trace count.
     pub fn update(&mut self, chunk: &TraceSet, samples_per_trace: usize) {
-        if self.obs.is_none() {
-            return;
-        }
+        let Some(obs) = &self.obs else { return };
         self.traces += chunk.len() as u64;
         // Trace payload bytes: 8-byte input + 8 bytes per sample, per trace.
         self.bytes += (chunk.len() * (8 + 8 * samples_per_trace)) as u64;
         self.updates += 1;
+        obs.progress_advance(chunk.len() as u64);
     }
 
-    /// Flushes counters and rate gauges and closes the span.
+    /// Runs one accumulator fold step under a `fold.update` phase span, so
+    /// accumulator arithmetic is attributed separately from archive I/O.
+    /// Without a context this is a plain call.
+    pub fn accumulate<T>(&self, step: impl FnOnce() -> T) -> T {
+        let phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("fold.update", names::FOLD_UPDATE_NS));
+        let result = step();
+        drop(phase);
+        result
+    }
+
+    /// Flushes counters and rate gauges and closes the span (annotated with
+    /// the fold's trace/byte/update totals).
     pub fn finish(self) {
         let Some(obs) = self.obs else { return };
         let Some(span) = self.span else { return };
+        span.arg("traces", self.traces);
+        span.arg("bytes", self.bytes);
+        span.arg("updates", self.updates);
         let elapsed = span.finish();
         obs.counter_add(names::FOLD_TRACES, self.traces);
         obs.counter_add(names::FOLD_UPDATES, self.updates);
@@ -109,7 +126,7 @@ where
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     fold.finish();
     Ok(accumulator.finalize()?)
@@ -139,13 +156,13 @@ where
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     accumulator.begin_second_pass()?;
     for index in 0..reader.chunk_count() {
         let chunk = reader.read_chunk(index)?;
         fold.update(&chunk, samples);
-        accumulator.update(&chunk)?;
+        fold.accumulate(|| accumulator.update(&chunk))?;
     }
     fold.finish();
     Ok(accumulator.finalize()?)

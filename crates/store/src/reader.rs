@@ -163,8 +163,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
     }
 
     /// Attaches a telemetry context. Chunk reads, bytes and checksum
-    /// failures are counted into it, and the streaming folds in this crate
-    /// and `dpl-eval` pick it up via [`ArchiveReader::obs`].
+    /// failures are counted into it, each read is attributed to I/O,
+    /// checksum and decode phase spans (with matching `store.*_ns`
+    /// histograms), and the streaming folds in this crate and `dpl-eval`
+    /// pick it up via [`ArchiveReader::obs`].
     pub fn set_obs(&mut self, obs: &Obs) {
         self.obs = Some(obs.clone());
     }
@@ -256,15 +258,27 @@ impl<R: Read + Seek> ArchiveReader<R> {
         let expected_traces = self.traces_in_chunk(index);
         debug_assert!(expected_traces <= self.chunk_budget);
         let samples = self.meta.samples_per_trace;
-        self.stream
-            .seek(SeekFrom::Start(self.chunk_offset(index)))?;
+        let offset = self.chunk_offset(index);
 
+        let io_phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("store.chunk_io", names::STORE_READ_IO_NS));
+        self.stream.seek(SeekFrom::Start(offset))?;
         let payload_len = (chunk_len(expected_traces, samples) - 8) as usize;
         let mut payload = vec![0u8; payload_len];
         read_exact_or(&mut self.stream, &mut payload, ReadSite::Chunk(index))?;
         let mut checksum = [0u8; 8];
         read_exact_or(&mut self.stream, &mut checksum, ReadSite::Chunk(index))?;
-        if u64::from_le_bytes(checksum) != fnv1a64(&payload) {
+        drop(io_phase);
+
+        let checksum_phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("store.chunk_checksum", names::STORE_CHECKSUM_NS));
+        let checksum_ok = u64::from_le_bytes(checksum) == fnv1a64(&payload);
+        drop(checksum_phase);
+        if !checksum_ok {
             if let Some(obs) = &self.obs {
                 obs.counter_add(names::STORE_CHECKSUM_FAILURES, 1);
             }
@@ -275,6 +289,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
             obs.counter_add(names::STORE_BYTES_READ, payload_len as u64 + 8);
         }
 
+        let decode_phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("store.chunk_decode", names::STORE_DECODE_NS));
         let k = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
         if k != expected_traces {
             return Err(StoreError::FormatViolation {
@@ -298,7 +316,9 @@ impl<R: Read + Seek> ArchiveReader<R> {
                 payload[at..at + 8].try_into().expect("8 bytes"),
             ));
         }
-        Ok(TraceSet::from_columns(inputs, samples, data))
+        let set = TraceSet::from_columns(inputs, samples, data);
+        drop(decode_phase);
+        Ok(set)
     }
 
     /// Iterates over every chunk in order.

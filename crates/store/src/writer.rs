@@ -155,7 +155,9 @@ impl<W: SyncWrite> ArchiveWriter<W> {
     }
 
     /// Attaches a telemetry context: chunk flushes, bytes written and fsyncs
-    /// are counted into it.
+    /// are counted into it, each flush is attributed to serialize and write
+    /// phase spans (with matching `store.*_ns` histograms), and flushed
+    /// traces advance the context's progress plane when one is enabled.
     pub fn set_obs(&mut self, obs: &Obs) {
         self.obs = Some(obs.clone());
     }
@@ -236,6 +238,10 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         if k == 0 {
             return Ok(());
         }
+        let serialize_phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("store.chunk_serialize", names::STORE_SERIALIZE_NS));
         let samples = self.meta.samples_per_trace;
         let mut bytes = Vec::with_capacity(4 + k * 8 + k * samples * 8 + 8);
         bytes.extend_from_slice(&(k as u32).to_le_bytes());
@@ -252,10 +258,17 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         }
         let checksum = fnv1a64(&bytes);
         bytes.extend_from_slice(&checksum.to_le_bytes());
+        drop(serialize_phase);
+        let write_phase = self
+            .obs
+            .as_ref()
+            .map(|o| o.phase("store.chunk_write", names::STORE_WRITE_IO_NS));
         self.stream.write_all(&bytes)?;
+        drop(write_phase);
         if let Some(obs) = &self.obs {
             obs.counter_add(names::STORE_CHUNK_WRITES, 1);
             obs.counter_add(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
+            obs.progress_advance(k as u64);
         }
         self.traces_written += k as u64;
         self.chunks_written += 1;

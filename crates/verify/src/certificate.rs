@@ -143,7 +143,7 @@ pub fn emit_certificate_observed(
 ) -> crate::Result<Certificate> {
     use dpl_obs::names;
     let span = obs.span("verify.emit_certificate");
-    let certificate = emit_certificate(request)?;
+    let certificate = emit_certificate_with(request, Some(obs))?;
     obs.counter_add(names::VERIFY_PROOFS, 1);
     obs.counter_add(names::VERIFY_CERTIFICATES, 1);
     obs.record(names::VERIFY_PROOF_NS, span.finish());
@@ -180,6 +180,15 @@ pub fn check_certificate_observed(text: &str, obs: &dpl_obs::Obs) -> crate::Resu
 /// [`VerifyError::Lint`] when the security lint rejects the circuit or
 /// model; equivalence and synthesis failures propagate.
 pub fn emit_certificate(request: &CertificateRequest) -> crate::Result<Certificate> {
+    emit_certificate_with(request, None)
+}
+
+/// [`emit_certificate`] with an optional telemetry context threaded into
+/// the proof (the BDD build/signature phases and work counters).
+fn emit_certificate_with(
+    request: &CertificateRequest,
+    obs: Option<&dpl_obs::Obs>,
+) -> crate::Result<Certificate> {
     let netlist = request.circuit.netlist()?;
     let record = NetlistRecord::from_netlist(&netlist);
     let structural = lint_structure(&record);
@@ -194,7 +203,7 @@ pub fn emit_certificate(request: &CertificateRequest) -> crate::Result<Certifica
     if !energy.is_empty() {
         return Err(VerifyError::Lint(energy));
     }
-    let report = prove_record(&request.circuit, &netlist, &record)?;
+    let report = prove_record(&request.circuit, &netlist, &record, obs)?;
     Ok(Certificate {
         circuit: request.circuit.name(),
         model: facts.model,

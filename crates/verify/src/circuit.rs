@@ -246,12 +246,14 @@ pub struct EquivalenceReport {
 pub fn prove_equivalent(circuit: &VerifiedCircuit) -> Result<EquivalenceReport, VerifyError> {
     let netlist = circuit.netlist()?;
     let record = NetlistRecord::from_netlist(&netlist);
-    prove_record(circuit, &netlist, &record)
+    prove_record(circuit, &netlist, &record, None)
 }
 
 /// [`prove_equivalent`] with telemetry: the proof runs inside a
-/// `verify.prove` span; the proof count, wall-time histogram and peak BDD
-/// node count are recorded into `obs`.
+/// `verify.prove` span with BDD construction and signature/model-count
+/// phases attributed separately; the proof count, wall-time histogram,
+/// peak BDD node count and the manager's apply/unique-table work counters
+/// are recorded into `obs`.
 ///
 /// # Errors
 ///
@@ -262,7 +264,9 @@ pub fn prove_equivalent_observed(
 ) -> Result<EquivalenceReport, VerifyError> {
     use dpl_obs::names;
     let span = obs.span("verify.prove");
-    let report = prove_equivalent(circuit)?;
+    let netlist = circuit.netlist()?;
+    let record = NetlistRecord::from_netlist(&netlist);
+    let report = prove_record(circuit, &netlist, &record, Some(obs))?;
     obs.counter_add(names::VERIFY_PROOFS, 1);
     obs.gauge_max(names::VERIFY_BDD_NODE_PEAK, report.bdd_nodes as f64);
     obs.record(names::VERIFY_PROOF_NS, span.finish());
@@ -270,15 +274,23 @@ pub fn prove_equivalent_observed(
 }
 
 /// [`prove_equivalent`] over an already-synthesized netlist and its record
-/// form (the emit path reuses both).
+/// form (the emit path reuses both).  With a telemetry context, BDD
+/// construction runs under a `verify.bdd_build` phase, the structural
+/// signatures and model counts under `verify.bdd_signature`, and the
+/// manager's [`dpl_logic::BddStats`] flush into the `verify.bdd_*`
+/// counters.
 pub(crate) fn prove_record(
     circuit: &VerifiedCircuit,
     netlist: &GateNetlist,
     record: &NetlistRecord,
+    obs: Option<&dpl_obs::Obs>,
 ) -> Result<EquivalenceReport, VerifyError> {
+    use dpl_obs::names;
     let mut bdd = Bdd::new();
+    let build_phase = obs.map(|o| o.phase("verify.bdd_build", names::VERIFY_BDD_BUILD_NS));
     let implementation = netlist_bdds(&mut bdd, record)?;
     let oracle = circuit.oracle_bdds(&mut bdd)?;
+    drop(build_phase);
     if implementation.len() != oracle.len() {
         return Err(VerifyError::NotEquivalent {
             circuit: circuit.name(),
@@ -312,22 +324,35 @@ pub(crate) fn prove_record(
     } else {
         None
     };
+    let signature_phase =
+        obs.map(|o| o.phase("verify.bdd_signature", names::VERIFY_BDD_SIGNATURE_NS));
+    let signatures = implementation
+        .iter()
+        .map(|&node| bdd_signature(&bdd, node))
+        .collect();
+    let sat_counts = implementation
+        .iter()
+        .map(|&node| bdd.sat_count(node, record.input_count as usize))
+        .collect();
+    let bdd_nodes = implementation
+        .iter()
+        .map(|&node| bdd.node_count(node))
+        .sum();
+    drop(signature_phase);
+    if let Some(obs) = obs {
+        let stats = bdd.stats();
+        obs.counter_add(names::VERIFY_BDD_APPLY_CALLS, stats.apply_calls);
+        obs.counter_add(names::VERIFY_BDD_APPLY_MEMO_HITS, stats.apply_memo_hits);
+        obs.counter_add(names::VERIFY_BDD_UNIQUE_LOOKUPS, stats.unique_lookups);
+        obs.counter_add(names::VERIFY_BDD_UNIQUE_HITS, stats.unique_hits);
+    }
     Ok(EquivalenceReport {
         circuit: circuit.name(),
         inputs: record.input_count,
         gates: record.gates.len(),
-        signatures: implementation
-            .iter()
-            .map(|&node| bdd_signature(&bdd, node))
-            .collect(),
-        sat_counts: implementation
-            .iter()
-            .map(|&node| bdd.sat_count(node, record.input_count as usize))
-            .collect(),
-        bdd_nodes: implementation
-            .iter()
-            .map(|&node| bdd.node_count(node))
-            .sum(),
+        signatures,
+        sat_counts,
+        bdd_nodes,
         exhaustive_inputs,
     })
 }
@@ -385,7 +410,7 @@ mod tests {
         let netlist = VerifiedCircuit::Sbox.netlist().unwrap();
         let record = NetlistRecord::from_netlist(&netlist);
         let wrong = VerifiedCircuit::Cell(GateKind::And2);
-        let result = prove_record(&wrong, &netlist, &record);
+        let result = prove_record(&wrong, &netlist, &record, None);
         assert!(matches!(result, Err(VerifyError::NotEquivalent { .. })));
     }
 
@@ -396,7 +421,7 @@ mod tests {
         // Flip the consumed rail of one gate: still a perfectly structured
         // DPL netlist, but a different function.
         record.gates[5].rail ^= 1;
-        let result = prove_record(&VerifiedCircuit::Sbox, &netlist, &record);
+        let result = prove_record(&VerifiedCircuit::Sbox, &netlist, &record, None);
         assert!(matches!(result, Err(VerifyError::NotEquivalent { .. })));
     }
 }

@@ -6,7 +6,7 @@
 
 use std::io::Cursor;
 
-use dpl_obs::{names, Collector, JsonLines, Obs, RunReport};
+use dpl_obs::{names, Collector, JsonLines, Obs, RunReport, TraceEventJson};
 use dpl_store::{
     dpa_attack_salvage, dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, ModelTag,
     ReadPolicy, RetryPolicy,
@@ -124,6 +124,102 @@ fn one_corrupted_chunk_drops_exactly_one_salvage_chunk() {
         metrics.counter(names::FOLD_TRACES),
         Some(TRACES as u64 - damage.traces_lost())
     );
+}
+
+#[test]
+fn trace_event_export_is_byte_identical_and_carries_phase_spans() {
+    let render = || {
+        let (_, obs) = observed_run();
+        let mut out = Vec::new();
+        TraceEventJson
+            .collect(&obs.snapshot(), &mut out)
+            .expect("export");
+        String::from_utf8(out).expect("utf8")
+    };
+    let first = render();
+    assert_eq!(first, render(), "trace export must be deterministic");
+
+    assert!(first.contains(r#""displayTimeUnit""#));
+    assert!(first.contains(r#""ph": "X""#));
+    // The instrumented run nests named phase spans inside the writer's
+    // flushes (serialize, write) and the reader's chunk loads (I/O,
+    // checksum, decode) plus the fold's accumulator steps.
+    for span in [
+        "store.dpa_attack_streaming",
+        "store.chunk_serialize",
+        "store.chunk_write",
+        "store.chunk_io",
+        "store.chunk_checksum",
+        "store.chunk_decode",
+        "fold.update",
+    ] {
+        assert!(
+            first.contains(&format!(r#""name": "{span}""#)),
+            "missing {span} span in:\n{first}"
+        );
+    }
+}
+
+#[test]
+fn phase_histograms_record_every_chunk() {
+    let (_, obs) = observed_run();
+    let metrics = obs.metrics();
+    // One serialize+write phase per flushed chunk, one I/O+checksum+decode
+    // phase per chunk read, one accumulator phase per fold step.
+    for name in [
+        names::STORE_SERIALIZE_NS,
+        names::STORE_WRITE_IO_NS,
+        names::STORE_READ_IO_NS,
+        names::STORE_CHECKSUM_NS,
+        names::STORE_DECODE_NS,
+        names::FOLD_UPDATE_NS,
+    ] {
+        let histogram = metrics.histogram(name).expect(name);
+        assert_eq!(histogram.count(), CHUNKS as u64, "{name}");
+    }
+}
+
+/// A progress sink whose bytes the test can read back after the `Obs`
+/// context takes ownership of the writer half.
+#[derive(Clone, Default)]
+struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("sink lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn progress_lines_stream_chunk_by_chunk_during_the_fold() {
+    let run = || {
+        let sink = SharedSink::default();
+        let obs = Obs::deterministic(50);
+        obs.enable_progress(Some(TRACES as u64), "traces", Box::new(sink.clone()));
+        let bytes = build_archive(None);
+        let mut reader = ArchiveReader::new(Cursor::new(bytes)).expect("reader");
+        reader.set_obs(&obs);
+        dpa_attack_streaming(&mut reader, 16, selection).expect("attack");
+        let rendered = sink.0.lock().expect("sink lock").clone();
+        String::from_utf8(rendered).expect("utf8")
+    };
+    let text = run();
+    let lines: Vec<&str> = text.lines().collect();
+    // One line per folded chunk, each advancing by the chunk's traces.
+    assert_eq!(lines.len(), CHUNKS, "lines:\n{text}");
+    assert!(lines[0].starts_with(&format!("progress: {CHUNK}/{TRACES} traces")));
+    assert!(
+        lines[CHUNKS - 1].starts_with(&format!("progress: {TRACES}/{TRACES} traces (100.0%)")),
+        "last line: {}",
+        lines[CHUNKS - 1]
+    );
+    // The deterministic clock pins the rendered rates and ETAs too.
+    assert_eq!(text, run(), "progress lines must be deterministic");
 }
 
 #[test]
