@@ -12,12 +12,15 @@ use dpl_crypto::{
     EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::{
-    interleaved_partition, mtd_campaign, mtd_campaign_observed, tvla_parallel_observed,
-    tvla_salvage, tvla_streaming, tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa,
-    PrefixDpa, TvlaOrder, TvlaResult, TVLA_THRESHOLD,
+    interleaved_partition, mtd_campaign, mtd_campaign_observed, tvla_parallel_with, tvla_salvage,
+    tvla_streaming, tvla_streaming_second_order, MtdConfig, MtdCurve, PrefixCpa, PrefixDpa,
+    TvlaOrder, TvlaResult, TVLA_THRESHOLD,
 };
 use dpl_obs::{Json, Obs};
-use dpl_store::{ArchiveReader, CampaignKind, ReadPolicy, RetryPolicy};
+use dpl_store::{
+    is_manifest_file, ArchiveReader, CampaignKind, ChunkSource, DamageReport, ReadPolicy,
+    RetryPolicy, ShardedReader,
+};
 
 /// The fixed plaintext nibble of every CLI TVLA campaign (the random group
 /// draws uniformly from all 16 nibbles, collisions included, per the TVLA
@@ -471,7 +474,7 @@ pub fn tvla_report(
 
 /// [`tvla_report`] with optional telemetry: the reader's chunk counters
 /// and the fold's span/throughput gauges land in `obs`.  The `--workers`
-/// path runs through [`tvla_parallel_observed`], so the parallel fold's
+/// path runs through [`dpl_eval::tvla_parallel_observed`], so the parallel fold's
 /// span, merge phase and reunion counters land there too (its shards still
 /// open their own unobserved readers).
 ///
@@ -484,41 +487,85 @@ pub fn tvla_report_observed(
     workers: Option<usize>,
     obs: Option<&Obs>,
 ) -> Result<String, String> {
+    if is_manifest_file(path) {
+        let mut source =
+            ShardedReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        if let Some(obs) = obs {
+            source.set_obs(obs);
+        }
+        let shards = source.shard_count();
+        return tvla_report_body(
+            path,
+            &mut source,
+            || ShardedReader::open(path),
+            Some(shards),
+            orders,
+            workers,
+            obs,
+        );
+    }
     let mut reader = ArchiveReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     if let Some(obs) = obs {
         reader.set_obs(obs);
     }
-    if reader.campaign() != CampaignKind::TvlaInterleaved {
+    tvla_report_body(
+        path,
+        &mut reader,
+        || ArchiveReader::open(path),
+        None,
+        orders,
+        workers,
+        obs,
+    )
+}
+
+/// The shared body of [`tvla_report_observed`]: the campaign check, header
+/// line and per-order folds, generic over the chunk source (single archive
+/// or sharded campaign).  `open` re-opens the source for the parallel fold's
+/// per-worker readers.
+fn tvla_report_body<S, O>(
+    path: &str,
+    source: &mut S,
+    open: O,
+    shards: Option<usize>,
+    orders: &[TvlaOrder],
+    workers: Option<usize>,
+    obs: Option<&Obs>,
+) -> Result<String, String>
+where
+    S: ChunkSource,
+    O: Fn() -> dpl_store::Result<S> + Sync,
+{
+    let meta = *source.meta();
+    if meta.campaign != CampaignKind::TvlaInterleaved {
         return Err(format!(
             "{path} records a `{}` campaign; the t-test needs an interleaved fixed-vs-random \
              capture (repro capture --tvla)",
-            reader.campaign().label()
+            meta.campaign.label()
         ));
     }
     let mut out = String::new();
+    let sharded = match shards {
+        Some(n) => format!(" ({n} shards)"),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "\n=== TVLA — Welch t-test over {path} ===\n{} traces, {} samples/trace, model = {}, \
-         seed = {}",
-        reader.trace_count(),
-        reader.samples_per_trace(),
-        reader.meta().model.label(),
-        reader.meta().seed
+        "\n=== TVLA — Welch t-test over {path}{sharded} ===\n{} traces, {} samples/trace, \
+         model = {}, seed = {}",
+        source.trace_count(),
+        source.samples_per_trace(),
+        meta.model.label(),
+        meta.seed
     );
     for &order in orders {
         let result = match workers {
-            Some(workers) => tvla_parallel_observed(
-                std::path::Path::new(path),
-                interleaved_partition,
-                order,
-                Some(workers),
-                obs,
-            ),
+            Some(workers) => {
+                tvla_parallel_with(&open, interleaved_partition, order, Some(workers), obs)
+            }
             None => match order {
-                TvlaOrder::First => tvla_streaming(&mut reader, interleaved_partition),
-                TvlaOrder::Second => {
-                    tvla_streaming_second_order(&mut reader, interleaved_partition)
-                }
+                TvlaOrder::First => tvla_streaming(source, interleaved_partition),
+                TvlaOrder::Second => tvla_streaming_second_order(source, interleaved_partition),
             },
         }
         .map_err(|e| format!("t-test over {path} failed: {e}"))?;
@@ -589,6 +636,9 @@ pub fn tvla_salvage_report_observed(
 ///
 /// Returns a rendered error message when the archive cannot be opened.
 pub fn info_report(path: &str) -> Result<String, String> {
+    if is_manifest_file(path) {
+        return campaign_info_report(path);
+    }
     let reader = ArchiveReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let meta = reader.meta();
     let mut out = String::new();
@@ -613,8 +663,78 @@ pub fn info_report(path: &str) -> Result<String, String> {
         ),
     };
     let _ = writeln!(out, "  distinct inputs:      {distinct}");
+    render_encoding_lines(&mut out, meta);
     if let Some(digest) = reader.table_digest() {
         let _ = writeln!(out, "  energy-table digest:  {digest:#018X}");
+    }
+    Ok(out)
+}
+
+/// The version-3 encoding lines of `repro info`, omitted for plain `f64` /
+/// uncompressed archives so legacy reports render unchanged.
+fn render_encoding_lines(out: &mut String, meta: &dpl_store::ArchiveMeta) {
+    if meta.format_version() < 3 {
+        return;
+    }
+    let _ = writeln!(out, "  sample encoding:      {}", meta.encoding.label());
+    let _ = writeln!(out, "  compression:          {}", meta.compression.label());
+    if let Some(q) = meta.encoding.quantization() {
+        let _ = writeln!(
+            out,
+            "  quantization:         scale {:.6e} (max abs error {:.3e})",
+            q.scale,
+            q.max_error()
+        );
+    }
+}
+
+/// `repro info <manifest>`: campaign-level metadata plus the per-shard
+/// table of a sharded campaign.
+fn campaign_info_report(path: &str) -> Result<String, String> {
+    let reader = ShardedReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let meta = *reader.meta();
+    let manifest = reader.manifest();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: campaign manifest, {} shards",
+        reader.shard_count()
+    );
+    let _ = writeln!(out, "  format version:       {}", meta.format_version());
+    let _ = writeln!(out, "  campaign kind:        {}", meta.campaign.label());
+    let _ = writeln!(out, "  leakage model:        {}", meta.model.label());
+    let _ = writeln!(out, "  campaign seed:        {}", meta.seed);
+    let _ = writeln!(out, "  traces:               {}", reader.trace_count());
+    let _ = writeln!(out, "  samples per trace:    {}", meta.samples_per_trace);
+    let _ = writeln!(
+        out,
+        "  chunks:               {} of up to {} traces",
+        reader.chunk_count(),
+        meta.chunk_traces
+    );
+    let distinct = match reader.distinct_inputs() {
+        Some(n) => n.to_string(),
+        None => format!(
+            "more than {} (class aggregation disabled)",
+            dpl_power::MAX_INPUT_CLASSES
+        ),
+    };
+    let _ = writeln!(out, "  distinct inputs:      {distinct}");
+    render_encoding_lines(&mut out, &meta);
+    if meta.table_digest != 0 {
+        let _ = writeln!(out, "  energy-table digest:  {:#018X}", meta.table_digest);
+    }
+    let _ = writeln!(out, "  campaign digest:      {:#018x}", manifest.digest());
+    let _ = writeln!(out, "  shards:");
+    for shard in manifest.shards() {
+        let _ = writeln!(
+            out,
+            "    {:<24} traces {}..{} ({} traces)",
+            shard.path,
+            shard.start,
+            shard.start + shard.traces,
+            shard.traces
+        );
     }
     Ok(out)
 }
@@ -628,6 +748,9 @@ pub fn info_report(path: &str) -> Result<String, String> {
 /// Returns a rendered error message when the archive cannot be opened (or,
 /// with `fsck`, when the scan hard-fails on a non-chunk-local error).
 pub fn info_json(path: &str, fsck: bool) -> Result<String, String> {
+    if is_manifest_file(path) {
+        return campaign_info_json(path, fsck);
+    }
     // The fsck scan tolerates chunk damage and a wrong file length by
     // design; a plain header dump keeps the strict policy `repro info`
     // always had.
@@ -638,7 +761,7 @@ pub fn info_json(path: &str, fsck: bool) -> Result<String, String> {
     };
     let mut reader = ArchiveReader::open_with_policy(path, policy)
         .map_err(|e| format!("cannot open {path}: {e}"))?;
-    let meta = reader.meta();
+    let meta = *reader.meta();
     let mut fields = vec![
         ("info", Json::str("dpl-store.archive/v1")),
         ("path", Json::str(path)),
@@ -671,34 +794,163 @@ pub fn info_json(path: &str, fsck: bool) -> Result<String, String> {
             },
         ),
     ];
+    fields.extend(encoding_json_fields(&meta));
     if fsck {
         let retry = RetryPolicy::new(2);
         let report = reader
             .scan(&retry)
             .map_err(|e| format!("fsck of {path} failed: {e}"))?;
-        let damaged = report
-            .damaged
-            .iter()
-            .map(|d| {
-                Json::object(vec![
-                    ("chunk", Json::U64(d.chunk as u64)),
-                    ("cause", Json::str(d.cause.to_string())),
-                    ("traces_lost", Json::U64(d.traces_lost as u64)),
-                ])
-            })
-            .collect();
+        fields.push(("damage", damage_json(&report)));
+    }
+    let mut out = Json::object(fields).render_pretty();
+    out.push('\n');
+    Ok(out)
+}
+
+/// The version-3 encoding fields of `repro info --json`, present for every
+/// archive so consumers need no version sniffing.
+fn encoding_json_fields(meta: &dpl_store::ArchiveMeta) -> Vec<(&'static str, Json)> {
+    vec![
+        ("encoding", Json::str(meta.encoding.label())),
+        ("compression", Json::str(meta.compression.label())),
+        (
+            "quantization_scale",
+            match meta.encoding.quantization() {
+                Some(q) => Json::F64(q.scale),
+                None => Json::Null,
+            },
+        ),
+    ]
+}
+
+/// One damage scan summarised as the JSON object of `repro info --fsck`.
+fn damage_json(report: &DamageReport) -> Json {
+    let damaged = report
+        .damaged
+        .iter()
+        .map(|d| {
+            Json::object(vec![
+                ("chunk", Json::U64(d.chunk as u64)),
+                ("cause", Json::str(d.cause.to_string())),
+                ("traces_lost", Json::U64(d.traces_lost as u64)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("clean", Json::Bool(report.is_clean())),
+        ("chunks_scanned", Json::U64(report.chunks_scanned as u64)),
+        ("traces_read", Json::U64(report.traces_read)),
+        ("traces_total", Json::U64(report.traces_total)),
+        ("traces_lost", Json::U64(report.traces_lost())),
+        ("damaged_chunks", Json::Array(damaged)),
+    ])
+}
+
+/// `repro info <manifest> --json [--fsck]`: the campaign's metadata, shard
+/// table and (with `fsck`) per-shard damage scans as one JSON document.
+fn campaign_info_json(path: &str, fsck: bool) -> Result<String, String> {
+    let policy = if fsck {
+        ReadPolicy::Salvage
+    } else {
+        ReadPolicy::Strict
+    };
+    let mut reader = ShardedReader::open_with_policy(path, policy)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let meta = *reader.meta();
+    let scans = if fsck {
+        let retry = RetryPolicy::new(2);
+        Some(
+            reader
+                .scan_shards(&retry)
+                .map_err(|e| format!("fsck of {path} failed: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let manifest = reader.manifest();
+    let shards = manifest
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(index, shard)| {
+            let mut entry = vec![
+                ("path", Json::str(&shard.path)),
+                ("traces", Json::U64(shard.traces)),
+                ("start", Json::U64(shard.start)),
+            ];
+            if let Some(scans) = &scans {
+                entry.push(("damage", damage_json(&scans[index])));
+            }
+            Json::object(entry)
+        })
+        .collect();
+    let mut fields = vec![
+        ("info", Json::str("dpl-store.campaign/v1")),
+        ("path", Json::str(path)),
+        (
+            "format_version",
+            Json::U64(u64::from(meta.format_version())),
+        ),
+        ("campaign", Json::str(meta.campaign.label())),
+        ("model", Json::str(meta.model.label())),
+        ("seed", Json::U64(meta.seed)),
+        ("traces", Json::U64(reader.trace_count())),
+        (
+            "samples_per_trace",
+            Json::U64(meta.samples_per_trace as u64),
+        ),
+        ("chunks", Json::U64(reader.chunk_count() as u64)),
+        ("chunk_traces", Json::U64(meta.chunk_traces as u64)),
+        (
+            "distinct_inputs",
+            match reader.distinct_inputs() {
+                Some(n) => Json::U64(n as u64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "table_digest",
+            match meta.table_digest {
+                0 => Json::Null,
+                digest => Json::str(format!("{digest:#018X}")),
+            },
+        ),
+    ];
+    fields.extend(encoding_json_fields(&meta));
+    fields.push((
+        "campaign_digest",
+        Json::str(format!("{:#018x}", manifest.digest())),
+    ));
+    if let Some(scans) = &scans {
+        let clean = scans.iter().all(DamageReport::is_clean);
         fields.push((
             "damage",
             Json::object(vec![
-                ("clean", Json::Bool(report.is_clean())),
-                ("chunks_scanned", Json::U64(report.chunks_scanned as u64)),
-                ("traces_read", Json::U64(report.traces_read)),
-                ("traces_total", Json::U64(report.traces_total)),
-                ("traces_lost", Json::U64(report.traces_lost())),
-                ("damaged_chunks", Json::Array(damaged)),
+                ("clean", Json::Bool(clean)),
+                (
+                    "chunks_scanned",
+                    Json::U64(scans.iter().map(|r| r.chunks_scanned as u64).sum()),
+                ),
+                (
+                    "traces_read",
+                    Json::U64(scans.iter().map(|r| r.traces_read).sum()),
+                ),
+                (
+                    "traces_total",
+                    Json::U64(scans.iter().map(|r| r.traces_total).sum()),
+                ),
+                (
+                    "traces_lost",
+                    Json::U64(scans.iter().map(|r| r.traces_lost()).sum()),
+                ),
+                (
+                    "damaged_shards",
+                    Json::U64(scans.iter().filter(|r| !r.is_clean()).count() as u64),
+                ),
             ]),
         ));
     }
+    fields.push(("shards", Json::Array(shards)));
     let mut out = Json::object(fields).render_pretty();
     out.push('\n');
     Ok(out)

@@ -13,7 +13,10 @@
 //! cargo run -p dpl-bench --release --bin repro -- capture m.dpltrc 5000 --model genuine-charac --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- capture tvla.dpltrc 20000 --tvla
 //! cargo run -p dpl-bench --release --bin repro -- capture traces.dpltrc 100000 --seed 7 --resume
+//! cargo run -p dpl-bench --release --bin repro -- capture campaign.json 100000 --shards 4
+//! cargo run -p dpl-bench --release --bin repro -- capture compact.dpltrc 50000 --encoding i16 --compress
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --verify
+//! cargo run -p dpl-bench --release --bin repro -- attack campaign.json --cpa --verify
 //! cargo run -p dpl-bench --release --bin repro -- attack m.dpltrc --cpa --circuit maj3
 //! cargo run -p dpl-bench --release --bin repro -- attack damaged.dpltrc --dpa --salvage
 //! cargo run -p dpl-bench --release --bin repro -- attack traces.dpltrc --dpa --metrics m.jsonl --report text
@@ -31,6 +34,7 @@
 //! cargo run -p dpl-bench --release --bin repro -- bench --history BENCH_history.jsonl
 //! ```
 
+use std::collections::BTreeSet;
 use std::env;
 use std::fs::File;
 use std::path::Path;
@@ -40,17 +44,18 @@ use dpl_bench::{CircuitChoice, MtdAttack, TelemetrySession};
 use dpl_cells::CapacitanceModel;
 use dpl_core::GateKind;
 use dpl_crypto::{
-    simulate_traces_into, simulate_traces_into_observed, simulate_tvla_traces_into,
-    simulate_tvla_traces_into_observed, EnergyCache, EnergyModel, GateEnergyTable, GateNetlist,
-    LeakageModel, LeakageOptions,
+    simulate_trace_range_into, simulate_traces_into, simulate_traces_into_observed,
+    simulate_tvla_trace_range_into, simulate_tvla_traces_into, simulate_tvla_traces_into_observed,
+    EnergyCache, EnergyModel, GateEnergyTable, GateNetlist, LeakageModel, LeakageOptions,
 };
 use dpl_eval::TvlaOrder;
 use dpl_obs::Obs;
-use dpl_power::{cpa_attack, dpa_attack, AttackResult, TraceSink};
+use dpl_power::{cpa_attack, dpa_attack, AttackResult, TraceSet, TraceSink};
 use dpl_store::{
     cpa_attack_salvage, cpa_attack_streaming, dpa_attack_salvage, dpa_attack_streaming,
-    repair_archive, ArchiveMeta, ArchiveReader, ArchiveWriter, FaultPlan, FaultStream, ModelTag,
-    ReadPolicy, ReadSite, RetryPolicy, StoreError, SyncWrite,
+    is_manifest_file, repair_archive, ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignManifest,
+    ChunkSource, Compression, FaultPlan, FaultStream, ModelTag, Quantization, ReadPolicy, ReadSite,
+    RetryPolicy, SampleEncoding, ShardMeta, ShardedReader, StoreError, SyncWrite,
 };
 
 /// The fixed secret key nibble of every CLI campaign (printed by `capture`
@@ -74,6 +79,9 @@ const FLAG_SCOPES: &[(&str, &[&str])] = &[
     ("--force", &["capture"]),
     ("--resume", &["capture"]),
     ("--fault-at", &["capture"]),
+    ("--shards", &["capture"]),
+    ("--encoding", &["capture"]),
+    ("--compress", &["capture"]),
     ("--dpa", &["attack"]),
     ("--cpa", &["attack"]),
     ("--verify", &["attack"]),
@@ -429,8 +437,9 @@ impl CaptureJob {
 }
 
 /// `repro capture <file> <n> [--seed s] [--model <name>] [--circuit <name>]
-/// [--chunk k] [--tvla] [--force] [--resume] [--fault-at k]`: simulate a
-/// campaign and stream it straight to a chunked archive.  `--model` accepts
+/// [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] [--shards n]
+/// [--encoding f64|f32|i16] [--compress]`: simulate a campaign and stream
+/// it straight to a chunked archive.  `--model` accepts
 /// characterisation-derived models (e.g. `genuine-charac`), `--circuit` any
 /// library-cell datapath; with `--tvla` the campaign is an interleaved
 /// fixed-vs-random capture (even traces = fixed plaintext) tagged as such
@@ -439,6 +448,14 @@ impl CaptureJob {
 /// interrupted capture from its recovered valid prefix instead, and
 /// `--fault-at k` injects a deterministic I/O failure at operation `k`
 /// (the crash-recovery smoke test's crash lever).
+///
+/// `--shards n` captures a **sharded campaign**: `<file>` becomes a JSON
+/// campaign manifest and the traces land in `n` shard archives captured by
+/// one worker each, drawn from the block-seeded parallel trace stream so
+/// the concatenated shards are bit-identical for **any** shard count.
+/// `--encoding`/`--compress` select the version-3 compact sample encodings
+/// (the fixed-point `i16` scale is derived from a deterministic probe of
+/// the campaign's first traces and recorded in every header).
 fn run_capture(args: &[String]) -> ExitCode {
     let (args, seed) = match take_seed(args) {
         Ok(parsed) => parsed,
@@ -467,7 +484,8 @@ fn capture_command(
     telemetry: Option<&TelemetrySession>,
 ) -> Result<(), ()> {
     const USAGE: &str = "repro capture <file> <traces> [--seed s] [--model m] [--circuit c] \
-                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] \
+                         [--chunk k] [--tvla] [--force] [--resume] [--fault-at k] [--shards n] \
+                         [--encoding f64|f32|i16] [--compress] \
                          [--metrics f] [--report json|text] [--trace f] [--progress]";
     let mut positional = Vec::new();
     let mut model = EnergyModel::builtin(LeakageModel::HammingWeight);
@@ -477,6 +495,9 @@ fn capture_command(
     let mut force = false;
     let mut resume = false;
     let mut fault_at = None;
+    let mut shards: Option<usize> = None;
+    let mut encoding_arg = "f64";
+    let mut compress = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -511,6 +532,21 @@ fn capture_command(
                     return Err(());
                 }
             },
+            "--shards" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards needs a positive shard count");
+                    return Err(());
+                }
+            },
+            "--encoding" => match iter.next().map(String::as_str) {
+                Some(name @ ("f64" | "f32" | "i16")) => encoding_arg = name,
+                _ => {
+                    eprintln!("--encoding needs one of: f64, f32, i16");
+                    return Err(());
+                }
+            },
+            "--compress" => compress = true,
             other if other.starts_with("--") => {
                 eprintln!("{}", unknown_flag("capture", other, USAGE));
                 return Err(());
@@ -535,6 +571,14 @@ fn capture_command(
     }
     if resume && fault_at.is_some() {
         eprintln!("--fault-at applies to fresh captures only");
+        return Err(());
+    }
+    if shards.is_some() && resume {
+        eprintln!("--shards captures a fresh campaign; --resume applies to single archives");
+        return Err(());
+    }
+    if shards.is_some() && fault_at.is_some() {
+        eprintln!("--fault-at applies to single-archive captures only");
         return Err(());
     }
     let seed = seed.unwrap_or(dpl_bench::DEFAULT_EXPERIMENT_SEED);
@@ -566,6 +610,26 @@ fn capture_command(
         tvla,
         num_traces,
     };
+    let encoding = match encoding_arg {
+        "f32" => SampleEncoding::F32,
+        "i16" => match probe_quantization(&job, shards.is_some()) {
+            Ok(q) => SampleEncoding::I16(q),
+            Err(message) => {
+                eprintln!("{message}");
+                return Err(());
+            }
+        },
+        _ => SampleEncoding::F64,
+    };
+    meta = meta.with_encoding(encoding).with_compression(if compress {
+        Compression::Shuffle
+    } else {
+        Compression::None
+    });
+
+    if let Some(shards) = shards {
+        return capture_sharded(path, shards, meta, &job, circuit, force, telemetry);
+    }
 
     let finished = if resume {
         let (mut writer, recovery) = match ArchiveWriter::resume(path, meta) {
@@ -653,6 +717,7 @@ fn capture_command(
             if circuit != CircuitChoice::Sbox {
                 println!("circuit: {} ({})", circuit.name(), circuit.label());
             }
+            print_encoding(&meta);
             if meta.table_digest != 0 {
                 println!(
                     "hypothesis digest (energy table + circuit): {:#018X} (recorded in the \
@@ -667,6 +732,312 @@ fn capture_command(
             Err(())
         }
     }
+}
+
+/// Prints the compact-encoding facts of a version-3 capture (silent for the
+/// default lossless layout, whose reports are unchanged).
+fn print_encoding(meta: &ArchiveMeta) {
+    if meta.format_version() < 3 {
+        return;
+    }
+    println!(
+        "encoding: {} samples, compression: {}",
+        meta.encoding.label(),
+        meta.compression.label()
+    );
+    if let Some(q) = meta.encoding.quantization() {
+        println!(
+            "quantization scale: {:.6e} (max abs error {:.3e}, recorded in every header)",
+            q.scale,
+            q.max_error()
+        );
+    }
+}
+
+/// Derives the fixed-point quantization contract of an `--encoding i16`
+/// capture from a deterministic probe of the campaign's first traces
+/// (up to 1024): the scale leaves 2x headroom over the largest probed
+/// magnitude before saturation.  The probe replays the exact stream the
+/// capture will write — sequential for a single archive, block-seeded for
+/// a sharded campaign — so re-deriving it (e.g. for `--resume`) is
+/// reproducible.
+fn probe_quantization(job: &CaptureJob, sharded: bool) -> Result<Quantization, String> {
+    let probe = job.num_traces.min(1024);
+    let mut set = TraceSet::new();
+    let outcome = if sharded {
+        if job.tvla {
+            simulate_tvla_trace_range_into(
+                &job.netlist,
+                &job.table,
+                CAMPAIGN_KEY,
+                dpl_bench::TVLA_FIXED_PLAINTEXT,
+                0,
+                probe as u64,
+                &job.options,
+                &mut set,
+            )
+        } else {
+            simulate_trace_range_into(
+                &job.netlist,
+                &job.table,
+                CAMPAIGN_KEY,
+                0,
+                probe as u64,
+                &job.options,
+                &mut set,
+            )
+        }
+    } else if job.tvla {
+        simulate_tvla_traces_into(
+            &job.netlist,
+            &job.table,
+            CAMPAIGN_KEY,
+            dpl_bench::TVLA_FIXED_PLAINTEXT,
+            probe,
+            &job.options,
+            &mut set,
+        )
+    } else {
+        simulate_traces_into(
+            &job.netlist,
+            &job.table,
+            CAMPAIGN_KEY,
+            probe,
+            &job.options,
+            &mut set,
+        )
+    };
+    outcome.map_err(|e| format!("quantization probe failed: {e}"))?;
+    let mut max_abs = 0.0f64;
+    for t in 0..set.len() {
+        for v in set.trace_samples(t) {
+            max_abs = max_abs.max(v.abs());
+        }
+    }
+    if !max_abs.is_finite() || max_abs <= 0.0 {
+        return Err(
+            "cannot derive an i16 quantization scale: the probe traces hold no non-zero \
+             finite sample"
+                .into(),
+        );
+    }
+    Quantization::new(max_abs * 2.0 / f64::from(i16::MAX))
+        .map_err(|e| format!("quantization probe failed: {e}"))
+}
+
+/// Forwards a shard's trace stream to its archive writer while tracking
+/// the shard's distinct inputs (bounded just past the class-aggregation
+/// limit), so the campaign-wide union can be recorded in the manifest
+/// exactly as a single archive of the whole campaign would record it.
+struct DistinctSink<'a, W: SyncWrite> {
+    writer: &'a mut ArchiveWriter<W>,
+    inputs: BTreeSet<u64>,
+}
+
+impl<W: SyncWrite> TraceSink for DistinctSink<'_, W> {
+    type Error = StoreError;
+
+    fn record(&mut self, input: u64, samples: &[f64]) -> Result<(), StoreError> {
+        if self.inputs.len() <= dpl_power::MAX_INPUT_CLASSES {
+            self.inputs.insert(input);
+        }
+        self.writer.append(input, samples)
+    }
+}
+
+/// Captures one shard of a sharded campaign: global traces
+/// `start..start + count` of the block-seeded stream, written to `path`.
+/// Returns the traces written and the shard's (bounded) distinct-input set.
+fn capture_one_shard(
+    path: &Path,
+    meta: ArchiveMeta,
+    job: &CaptureJob,
+    start: u64,
+    count: u64,
+    obs: Option<&Obs>,
+) -> Result<(u64, BTreeSet<u64>), String> {
+    let display = path.display();
+    let mut writer =
+        ArchiveWriter::create(path, meta).map_err(|e| format!("cannot create {display}: {e}"))?;
+    if let Some(obs) = obs {
+        writer.set_obs(obs);
+    }
+    let mut sink = DistinctSink {
+        writer: &mut writer,
+        inputs: BTreeSet::new(),
+    };
+    let outcome = if job.tvla {
+        simulate_tvla_trace_range_into(
+            &job.netlist,
+            &job.table,
+            CAMPAIGN_KEY,
+            dpl_bench::TVLA_FIXED_PLAINTEXT,
+            start,
+            count,
+            &job.options,
+            &mut sink,
+        )
+    } else {
+        simulate_trace_range_into(
+            &job.netlist,
+            &job.table,
+            CAMPAIGN_KEY,
+            start,
+            count,
+            &job.options,
+            &mut sink,
+        )
+    };
+    let inputs = std::mem::take(&mut sink.inputs);
+    outcome.map_err(|e| format!("capture into {display} failed: {e}"))?;
+    let written = writer
+        .finish()
+        .map_err(|e| format!("finishing {display} failed: {e}"))?;
+    Ok((written, inputs))
+}
+
+/// The `--shards n` body of `repro capture`: shard-per-worker parallel
+/// capture into `n` archives plus the campaign manifest at `manifest_path`.
+/// Every shard but the last holds a multiple of `chunk_traces` traces, so
+/// the concatenated chunk streams equal a single archive's; every worker
+/// draws its range from the block-seeded stream, so the campaign is
+/// bit-identical for any shard count.
+fn capture_sharded(
+    manifest_path: &str,
+    shards: usize,
+    meta: ArchiveMeta,
+    job: &CaptureJob,
+    circuit: CircuitChoice,
+    force: bool,
+    telemetry: Option<&TelemetrySession>,
+) -> Result<(), ()> {
+    let num_traces = job.num_traces;
+    let total_chunks = num_traces.div_ceil(meta.chunk_traces);
+    let per_shard = total_chunks.div_ceil(shards).max(1) * meta.chunk_traces;
+    let manifest_file = Path::new(manifest_path);
+    let stem = manifest_file
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("campaign");
+    let dir = manifest_file.parent().unwrap_or_else(|| Path::new("."));
+    // The shard plan: contiguous ranges, chunk-aligned except the last.
+    let mut plan: Vec<ShardMeta> = Vec::new();
+    let mut start = 0usize;
+    while start < num_traces {
+        let count = per_shard.min(num_traces - start);
+        plan.push(ShardMeta {
+            path: format!("{stem}-shard-{:03}.dpltrc", plan.len()),
+            traces: count as u64,
+            start: start as u64,
+        });
+        start += count;
+    }
+    if plan.len() < shards {
+        println!(
+            "note: {num_traces} trace(s) fill only {} chunk-aligned shard(s), not {shards}",
+            plan.len()
+        );
+    }
+    if !force {
+        let clash = std::iter::once(manifest_file.to_path_buf())
+            .chain(plan.iter().map(|s| dir.join(&s.path)))
+            .find(|p| p.exists());
+        if let Some(clash) = clash {
+            eprintln!(
+                "refusing to overwrite {}: it already exists; pass --force to replace the \
+                 campaign",
+                clash.display()
+            );
+            return Err(());
+        }
+    }
+    if let Some(session) = telemetry {
+        session.start_progress(Some(num_traces as u64), "traces");
+    }
+    let obs = telemetry.map(|t| t.obs());
+    let results: Vec<Result<(u64, BTreeSet<u64>), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|shard| {
+                let path = dir.join(&shard.path);
+                let (start, count) = (shard.start, shard.traces);
+                scope.spawn(move || capture_one_shard(&path, meta, job, start, count, obs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard capture worker panicked"))
+            .collect()
+    });
+    let mut distinct: BTreeSet<u64> = BTreeSet::new();
+    let mut written = 0u64;
+    for result in results {
+        match result {
+            Ok((count, inputs)) => {
+                written += count;
+                if distinct.len() <= dpl_power::MAX_INPUT_CLASSES {
+                    distinct.extend(inputs);
+                }
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                return Err(());
+            }
+        }
+    }
+    let distinct = if distinct.len() > dpl_power::MAX_INPUT_CLASSES {
+        0
+    } else {
+        distinct.len() as u32
+    };
+    let manifest = match CampaignManifest::new(plan, distinct) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            eprintln!("cannot assemble the campaign manifest: {e}");
+            return Err(());
+        }
+    };
+    if let Err(e) = manifest.save(manifest_path) {
+        eprintln!("cannot write {manifest_path}: {e}");
+        return Err(());
+    }
+    let kind = if job.tvla {
+        format!(
+            ", interleaved TVLA campaign (fixed plaintext {:#X})",
+            dpl_bench::TVLA_FIXED_PLAINTEXT
+        )
+    } else {
+        String::new()
+    };
+    println!(
+        "captured {written} traces to {manifest_path}: {} shard(s), model = {}, seed = {}, \
+         chunk = {} traces, secret key nibble = {CAMPAIGN_KEY:#X}{kind}",
+        manifest.shards().len(),
+        meta.model.label(),
+        meta.seed,
+        meta.chunk_traces,
+    );
+    for shard in manifest.shards() {
+        println!(
+            "  {}: traces {}..{}",
+            shard.path,
+            shard.start,
+            shard.start + shard.traces
+        );
+    }
+    if circuit != CircuitChoice::Sbox {
+        println!("circuit: {} ({})", circuit.name(), circuit.label());
+    }
+    print_encoding(&meta);
+    if meta.table_digest != 0 {
+        println!(
+            "hypothesis digest (energy table + circuit): {:#018X} (recorded in every shard \
+             header)",
+            meta.table_digest
+        );
+    }
+    println!("campaign digest: {:#018x}", manifest.digest());
+    Ok(())
 }
 
 fn attack_label(result: &AttackResult) -> String {
@@ -764,6 +1135,18 @@ fn attack_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Resu
         eprintln!("--verify and --salvage contradict each other: salvage may skip traces");
         return Err(());
     }
+    if is_manifest_file(&path) {
+        return attack_campaign(
+            &path,
+            use_cpa,
+            verify,
+            salvage,
+            budget,
+            model_override,
+            circuit,
+            telemetry,
+        );
+    }
     let policy = if salvage {
         ReadPolicy::Salvage
     } else {
@@ -826,50 +1209,9 @@ fn attack_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Resu
     }
 
     let selection = circuit.dpa_selection();
-    // Rebuild the recorded hypothesis (energy model from the header tag or
-    // --model, circuit from --circuit).  When the capture recorded a
-    // hypothesis digest, the rebuilt (table, circuit) pair must reproduce
-    // it — for DPA as much as CPA, since a wrong circuit corrupts the
-    // selection function just as silently as a wrong profiled table.
     let recorded = reader.table_digest();
     let model = model_override.or_else(|| energy_model_of(reader.meta().model));
-    let profile = if use_cpa || recorded.is_some() {
-        match model {
-            Some(model) => {
-                let netlist = circuit.netlist();
-                let table =
-                    GateEnergyTable::for_circuit(model, &CapacitanceModel::default(), &netlist)
-                        .expect("energy table");
-                if let Some(recorded) = recorded {
-                    let rebuilt = hypothesis_digest(&table, circuit);
-                    if rebuilt != recorded {
-                        eprintln!(
-                            "hypothesis digest mismatch: archive records {recorded:#018X}, \
-                             rebuilt {} table over circuit `{}` digests to {rebuilt:#018X} — \
-                             pass the capture's --model/--circuit",
-                            model.name(),
-                            circuit.name(),
-                        );
-                        return Err(());
-                    }
-                    println!("hypothesis digest verified: {recorded:#018X} (model + circuit)");
-                }
-                Some((netlist, table))
-            }
-            None => {
-                if recorded.is_some() {
-                    eprintln!(
-                        "the archive records a hypothesis digest but no known model tag; \
-                         pass --model (and --circuit) so the hypothesis can be verified"
-                    );
-                    return Err(());
-                }
-                None
-            }
-        }
-    } else {
-        None
-    };
+    let profile = rebuild_hypothesis(use_cpa, recorded, model, circuit)?;
     // A profiled CPA needs the device's energy model, falling back to the
     // classic S-box Hamming-weight hypothesis when the tag is unspecified;
     // the DPA path never evaluates it.
@@ -923,6 +1265,188 @@ fn attack_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Resu
             Ok(traces) => traces,
             Err(e) => {
                 eprintln!("cannot load the archive in memory for --verify: {e}");
+                return Err(());
+            }
+        };
+        let in_memory = if use_cpa {
+            cpa_attack(&traces, 16, &model)
+        } else {
+            dpa_attack(&traces, 16, &selection)
+        }
+        .expect("in-memory attack");
+        println!("in-memory   {kind}: {}", attack_label(&in_memory));
+        if in_memory.scores != streamed.scores || in_memory.best_guess != streamed.best_guess {
+            eprintln!("MISMATCH: out-of-core scores differ from the in-memory attack");
+            return Err(());
+        }
+        println!("verify: out-of-core scores are bit-identical to the in-memory attack");
+    }
+    Ok(())
+}
+
+/// Rebuilds the hypothesis a capture recorded (energy model from the
+/// header tag or `--model`, circuit from `--circuit`) and verifies any
+/// recorded hypothesis digest — for DPA as much as CPA, since a wrong
+/// circuit corrupts the selection function just as silently as a wrong
+/// profiled table.  Returns the profiled pair when one is needed (CPA, or
+/// a digest to verify).  Errors are printed here; `Err(())` only signals
+/// the exit code.
+fn rebuild_hypothesis(
+    use_cpa: bool,
+    recorded: Option<u64>,
+    model: Option<EnergyModel>,
+    circuit: CircuitChoice,
+) -> Result<Option<(GateNetlist, GateEnergyTable)>, ()> {
+    if !use_cpa && recorded.is_none() {
+        return Ok(None);
+    }
+    match model {
+        Some(model) => {
+            let netlist = circuit.netlist();
+            let table = GateEnergyTable::for_circuit(model, &CapacitanceModel::default(), &netlist)
+                .expect("energy table");
+            if let Some(recorded) = recorded {
+                let rebuilt = hypothesis_digest(&table, circuit);
+                if rebuilt != recorded {
+                    eprintln!(
+                        "hypothesis digest mismatch: archive records {recorded:#018X}, \
+                         rebuilt {} table over circuit `{}` digests to {rebuilt:#018X} — \
+                         pass the capture's --model/--circuit",
+                        model.name(),
+                        circuit.name(),
+                    );
+                    return Err(());
+                }
+                println!("hypothesis digest verified: {recorded:#018X} (model + circuit)");
+            }
+            Ok(Some((netlist, table)))
+        }
+        None => {
+            if recorded.is_some() {
+                eprintln!(
+                    "the archive records a hypothesis digest but no known model tag; \
+                     pass --model (and --circuit) so the hypothesis can be verified"
+                );
+                return Err(());
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Loads every chunk of a source into one in-memory [`TraceSet`] — the
+/// sharded counterpart of `ArchiveReader::read_all`, for `--verify`.
+fn read_all_chunks<S: ChunkSource>(source: &mut S) -> Result<TraceSet, StoreError> {
+    let mut all = TraceSet::new();
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
+        for t in 0..chunk.len() {
+            all.push_samples(chunk.inputs()[t], &chunk.trace_samples(t));
+        }
+    }
+    Ok(all)
+}
+
+/// The sharded-campaign body of `repro attack`: folds the whole campaign
+/// through the [`ShardedReader`]'s global-order chunk stream — the exact
+/// fold a single archive of the same traces would get, so scores are
+/// bit-identical to the unsharded twin.
+#[allow(clippy::too_many_arguments)]
+fn attack_campaign(
+    path: &str,
+    use_cpa: bool,
+    verify: bool,
+    salvage: bool,
+    budget: Option<usize>,
+    model_override: Option<EnergyModel>,
+    circuit: CircuitChoice,
+    telemetry: Option<&TelemetrySession>,
+) -> Result<(), ()> {
+    if salvage {
+        eprintln!(
+            "--salvage applies to single archives; scan the campaign with `repro fsck {path}` \
+             and salvage damaged shards individually"
+        );
+        return Err(());
+    }
+    if budget.is_some() {
+        eprintln!("--budget applies to single archives; a campaign already reads shard by shard");
+        return Err(());
+    }
+    let mut source = match ShardedReader::open(path) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return Err(());
+        }
+    };
+    let meta = *source.meta();
+    if meta.campaign == dpl_store::CampaignKind::TvlaInterleaved {
+        eprintln!(
+            "{path} records an interleaved TVLA campaign; key-recovery attacks over it are \
+             meaningless — run `repro tvla {path}` instead"
+        );
+        return Err(());
+    }
+    if let Some(session) = telemetry {
+        source.set_obs(session.obs());
+        let passes = if use_cpa { 2 } else { 1 };
+        session.start_progress(Some(source.trace_count() * passes), "traces");
+    }
+    println!(
+        "{path}: {} shards, {} traces, {} samples/trace, {} chunks of {} traces, model = {}, \
+         seed = {}",
+        source.shard_count(),
+        source.trace_count(),
+        source.samples_per_trace(),
+        source.chunk_count(),
+        meta.chunk_traces,
+        meta.model.label(),
+        meta.seed
+    );
+    if circuit != CircuitChoice::Sbox {
+        println!("attack circuit: {} ({})", circuit.name(), circuit.label());
+    }
+    if let Some(model) = model_override {
+        println!("hypothesis model override: {}", model.label());
+    }
+    let selection = circuit.dpa_selection();
+    let recorded = match meta.table_digest {
+        0 => None,
+        digest => Some(digest),
+    };
+    let model = model_override.or_else(|| energy_model_of(meta.model));
+    let profile = rebuild_hypothesis(use_cpa, recorded, model, circuit)?;
+    let cache = if use_cpa {
+        profile
+            .as_ref()
+            .map(|(netlist, table)| EnergyCache::new(netlist, table))
+    } else {
+        None
+    };
+    let model = move |plaintext: u64, guess: u64| match &cache {
+        Some(cache) => cache.energy(plaintext, guess as u8),
+        None => dpl_crypto::present_sbox((plaintext ^ guess) as u8).count_ones() as f64,
+    };
+    let kind = if use_cpa { "CPA" } else { "DPA" };
+    let streamed = match if use_cpa {
+        cpa_attack_streaming(&mut source, 16, &model)
+    } else {
+        dpa_attack_streaming(&mut source, 16, &selection)
+    } {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("out-of-core attack failed: {e}");
+            return Err(());
+        }
+    };
+    println!("out-of-core {kind}: {}", attack_label(&streamed));
+    if verify {
+        let traces = match read_all_chunks(&mut source) {
+            Ok(traces) => traces,
+            Err(e) => {
+                eprintln!("cannot load the campaign in memory for --verify: {e}");
                 return Err(());
             }
         };
@@ -1111,6 +1635,13 @@ fn tvla_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Result
         eprintln!("--salvage runs single-threaded; drop --workers");
         return Err(());
     }
+    if salvage && is_manifest_file(&path) {
+        eprintln!(
+            "--salvage applies to single archives; scan the campaign with `repro fsck {path}` \
+             and salvage damaged shards individually"
+        );
+        return Err(());
+    }
     if let Some(session) = telemetry {
         // The fold advances the progress plane per chunk; a first-order
         // t-test is one pass over the archive, a second-order test two
@@ -1124,9 +1655,15 @@ fn tvla_command(args: &[String], telemetry: Option<&TelemetrySession>) -> Result
                 TvlaOrder::Second => 2,
             })
             .sum();
-        let total = ArchiveReader::open_with_policy(&path, ReadPolicy::Salvage)
-            .ok()
-            .map(|reader| reader.trace_count() * passes);
+        let total = if is_manifest_file(&path) {
+            ShardedReader::open(&path)
+                .ok()
+                .map(|reader| reader.trace_count() * passes)
+        } else {
+            ArchiveReader::open_with_policy(&path, ReadPolicy::Salvage)
+                .ok()
+                .map(|reader| reader.trace_count() * passes)
+        };
         session.start_progress(total, "traces");
     }
     let obs = telemetry.map(|t| t.obs());
@@ -1172,6 +1709,9 @@ fn run_fsck(args: &[String]) -> ExitCode {
         eprintln!("usage: {USAGE}");
         return ExitCode::FAILURE;
     };
+    if is_manifest_file(&path) {
+        return fsck_campaign(&path, repair);
+    }
     // Salvage policy: a wrong file length is damage to report, not a
     // reason to refuse the scan.  Only the header must decode.
     let mut reader = match ArchiveReader::open_with_policy(&path, ReadPolicy::Salvage) {
@@ -1221,6 +1761,52 @@ fn run_fsck(args: &[String]) -> ExitCode {
         }
     }
     if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The campaign-manifest body of `repro fsck`: scans every shard in
+/// manifest order and reports per-shard damage.  Exits 0 only when every
+/// shard is clean.
+fn fsck_campaign(path: &str, repair: bool) -> ExitCode {
+    if repair {
+        eprintln!(
+            "--repair applies to single archives; repair damaged shards individually with \
+             `repro fsck <shard> --repair`"
+        );
+        return ExitCode::FAILURE;
+    }
+    // Salvage policy for the same reason as single archives: shard damage
+    // is something to report, not a reason to refuse the scan.
+    let mut reader = match ShardedReader::open_with_policy(path, ReadPolicy::Salvage) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = match reader.scan_shards(&RetryPolicy::new(2)) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("fsck of {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards: Vec<String> = reader
+        .manifest()
+        .shards()
+        .iter()
+        .map(|shard| shard.path.clone())
+        .collect();
+    println!("{path}: campaign manifest, {} shard(s)", shards.len());
+    let mut clean = true;
+    for (name, report) in shards.iter().zip(&reports) {
+        println!("  {name}: {}", report.render());
+        clean &= report.is_clean();
+    }
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -25,7 +25,7 @@ fn perf_harness_smoke_run() {
         repeats: 1,
     };
     let report = dpl_bench::perf::run(&config);
-    assert_eq!(report.rows.len(), 18);
+    assert_eq!(report.rows.len(), 22);
     let json = report.to_json();
     for needle in [
         "\"bench\": \"dpa_pipeline\"",
@@ -35,6 +35,10 @@ fn perf_harness_smoke_run() {
         "dpa_attack_outofcore",
         "archive_fsck_scan",
         "salvage_read",
+        "capture_sharded",
+        "shard_merge",
+        "trace_fold_gbps",
+        "encoded_bytes_per_trace",
         "capture_dpa_baseline",
         "instrumentation_overhead",
         "tvla_streaming",

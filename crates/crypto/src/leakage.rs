@@ -744,6 +744,131 @@ pub fn simulate_tvla_traces(
 /// depends only on the seed — never on the worker count.
 const TRACE_BLOCK: usize = 1024;
 
+/// Below this trace count [`simulate_traces_parallel`] generates inline
+/// instead of spawning worker threads: at small scales thread startup
+/// dominates the work and the sequential block walk is strictly faster.
+/// The output is identical either way — every trace depends only on
+/// `(seed, block index)`, never on how blocks land on workers.
+pub const MIN_PARALLEL_TRACES: usize = 16384;
+
+/// Streams the traces with **global indices** `start..start + count` into
+/// `sink`, drawing from the per-block RNG streams of
+/// [`simulate_traces_parallel`] (`TRACE_BLOCK`-sized blocks seeded from
+/// `(options.seed, block index)`).
+///
+/// Every trace's draws depend only on its global index and the seed, so
+/// concatenating the outputs over any partition of `0..n` into contiguous
+/// ranges reproduces the `n`-trace [`simulate_traces_parallel`] stream
+/// exactly.  That is the property sharded campaign capture is built on:
+/// each shard generates its own trace range, and the shards together are
+/// bit-identical to one unsharded capture.
+///
+/// # Errors
+///
+/// Propagates the sink's error (e.g. an I/O failure); trace generation
+/// itself cannot fail.
+pub fn simulate_trace_range_into<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    start: u64,
+    count: u64,
+    options: &LeakageOptions,
+    sink: &mut S,
+) -> std::result::Result<(), S::Error> {
+    let (energies, mean_energy) = per_plaintext_energies(netlist, table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let block_len = TRACE_BLOCK as u64;
+    let end = start + count;
+    let mut index = start;
+    while index < end {
+        let block = index / block_len;
+        let block_base = block * block_len;
+        let block_end = (block_base + block_len).min(end);
+        let mut rng = StdRng::seed_from_u64(block_seed(options.seed, block as usize));
+        // Replay (and discard) the draws of earlier traces in the block so
+        // a mid-block range start stays aligned on the block's stream.
+        for _ in block_base..index {
+            let _ = draw_trace(&mut rng, &energies, noise_sigma);
+        }
+        while index < block_end {
+            let (plaintext, energy) = draw_trace(&mut rng, &energies, noise_sigma);
+            sink.record(plaintext, &[energy])?;
+            index += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The TVLA counterpart of [`simulate_trace_range_into`]: streams the
+/// interleaved fixed-vs-random traces with global indices
+/// `start..start + count`, drawing from per-block RNG streams.  Group
+/// membership is decided by **global** index parity (even = fixed), exactly
+/// like [`simulate_tvla_traces_into`], so any contiguous partition of
+/// `0..n` concatenates to the same campaign and the TVLA evaluators'
+/// partition function classifies it identically however it was sharded.
+///
+/// Like the parallel attack generator, a given seed produces a different
+/// (equally valid) stream than the sequential single-stream
+/// [`simulate_tvla_traces_into`].
+///
+/// # Errors
+///
+/// Propagates the sink's error; trace generation itself cannot fail.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_tvla_trace_range_into<S: TraceSink>(
+    netlist: &GateNetlist,
+    table: &GateEnergyTable,
+    key: u8,
+    fixed_plaintext: u64,
+    start: u64,
+    count: u64,
+    options: &LeakageOptions,
+    sink: &mut S,
+) -> std::result::Result<(), S::Error> {
+    let (energies, mean_energy) = per_plaintext_energies(netlist, table, key);
+    let noise_sigma = options.relative_noise * mean_energy;
+    let block_len = TRACE_BLOCK as u64;
+    let end = start + count;
+    let mut index = start;
+    while index < end {
+        let block = index / block_len;
+        let block_base = block * block_len;
+        let block_end = (block_base + block_len).min(end);
+        let mut rng = StdRng::seed_from_u64(block_seed(options.seed, block as usize));
+        for skipped in block_base..index {
+            let _ = draw_tvla_trace(&mut rng, skipped, fixed_plaintext, &energies, noise_sigma);
+        }
+        while index < block_end {
+            let (plaintext, energy) =
+                draw_tvla_trace(&mut rng, index, fixed_plaintext, &energies, noise_sigma);
+            sink.record(plaintext, &[energy])?;
+            index += 1;
+        }
+    }
+    Ok(())
+}
+
+/// One TVLA trace draw at a global index: the fixed plaintext on even
+/// indices (noise draws only), a random nibble on odd ones — the per-trace
+/// draw discipline of [`simulate_tvla_traces_into`], applied to a block
+/// stream.
+fn draw_tvla_trace(
+    rng: &mut StdRng,
+    index: u64,
+    fixed_plaintext: u64,
+    energies: &[f64; 16],
+    noise_sigma: f64,
+) -> (u64, f64) {
+    let plaintext = if index.is_multiple_of(2) {
+        fixed_plaintext & 0xF
+    } else {
+        rng.gen_range(0..16u64)
+    };
+    let energy = energies[plaintext as usize] + draw_noise(rng, noise_sigma);
+    (plaintext, energy)
+}
+
 /// One block of the parallel generator's output: the block index plus the
 /// input and value slices it fills.
 type TraceBlock<'a> = (usize, &'a mut [u64], &'a mut [f64]);
@@ -755,7 +880,9 @@ type TraceBlock<'a> = (usize, &'a mut [u64], &'a mut [f64]);
 /// Each block seeds its own deterministic RNG stream from
 /// `(options.seed, block index)`, so for a fixed seed the output is
 /// **identical for any worker count** — but it is a different (equally
-/// valid) stream than the sequential [`simulate_traces`] draws.
+/// valid) stream than the sequential [`simulate_traces`] draws.  Runs
+/// below [`MIN_PARALLEL_TRACES`] walk the same block streams inline
+/// (thread startup would dominate) and produce the identical set.
 ///
 /// # Errors
 ///
@@ -786,6 +913,13 @@ pub fn simulate_traces_parallel(
         .unwrap_or_else(default_worker_count)
         .clamp(1, blocks.len().max(1));
 
+    if workers == 1 || num_traces < MIN_PARALLEL_TRACES {
+        for (index, inputs, values) in blocks {
+            fill_block(seed, index, inputs, values, &energies, noise_sigma);
+        }
+        return Ok(TraceSet::from_scalars(inputs, values));
+    }
+
     // Deal the blocks round-robin onto the workers before spawning: no
     // locks, and the block -> stream mapping stays worker-count independent.
     let mut lots: Vec<Vec<TraceBlock>> = (0..workers).map(|_| Vec::new()).collect();
@@ -796,17 +930,32 @@ pub fn simulate_traces_parallel(
         for lot in lots {
             scope.spawn(move || {
                 for (index, inputs, values) in lot {
-                    let mut rng = StdRng::seed_from_u64(block_seed(seed, index));
-                    for (input, value) in inputs.iter_mut().zip(values) {
-                        let (plaintext, energy) = draw_trace(&mut rng, &energies, noise_sigma);
-                        *input = plaintext;
-                        *value = energy;
-                    }
+                    fill_block(seed, index, inputs, values, &energies, noise_sigma);
                 }
             });
         }
     });
     Ok(TraceSet::from_scalars(inputs, values))
+}
+
+/// Fills one `TRACE_BLOCK`-sized block from its own RNG stream — the unit
+/// of work shared by the inline and threaded paths of
+/// [`simulate_traces_parallel`] and replayed by
+/// [`simulate_trace_range_into`].
+fn fill_block(
+    seed: u64,
+    index: usize,
+    inputs: &mut [u64],
+    values: &mut [f64],
+    energies: &[f64; 16],
+    noise_sigma: f64,
+) {
+    let mut rng = StdRng::seed_from_u64(block_seed(seed, index));
+    for (input, value) in inputs.iter_mut().zip(values) {
+        let (plaintext, energy) = draw_trace(&mut rng, energies, noise_sigma);
+        *input = plaintext;
+        *value = energy;
+    }
 }
 
 fn default_worker_count() -> usize {
@@ -1495,6 +1644,120 @@ mod tests {
         )
         .unwrap();
         assert_eq!(default_workers, reference);
+    }
+
+    #[test]
+    fn threaded_generation_matches_the_inline_cutover_path() {
+        // Above MIN_PARALLEL_TRACES the threaded path runs; its output must
+        // equal the inline block walk (workers = 1 forces it).
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions {
+            relative_noise: 0.02,
+            seed: 99,
+        };
+        let n = MIN_PARALLEL_TRACES + 100;
+        let inline = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0x6,
+            n,
+            &options,
+            Some(1),
+        )
+        .unwrap();
+        let threaded = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0x6,
+            n,
+            &options,
+            Some(4),
+        )
+        .unwrap();
+        assert_eq!(inline, threaded);
+    }
+
+    #[test]
+    fn trace_ranges_concatenate_to_the_parallel_stream() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions {
+            relative_noise: 0.015,
+            seed: 345,
+        };
+        let table = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
+        let n = 3000u64;
+        let whole = simulate_traces_parallel(
+            &netlist,
+            LeakageModel::HammingWeight,
+            &cap,
+            0xB,
+            n as usize,
+            &options,
+            Some(2),
+        )
+        .unwrap();
+        // Split points deliberately off the 1024-trace block grid: partial
+        // blocks must replay their stream prefix.
+        for cuts in [vec![0, n], vec![0, 700, 2048, n], vec![0, 1, 1023, 1025, n]] {
+            let mut sunk = TraceSet::new();
+            for pair in cuts.windows(2) {
+                simulate_trace_range_into(
+                    &netlist,
+                    &table,
+                    0xB,
+                    pair[0],
+                    pair[1] - pair[0],
+                    &options,
+                    &mut sunk,
+                )
+                .unwrap();
+            }
+            assert_eq!(sunk, whole, "cuts = {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn tvla_ranges_concatenate_identically_for_any_partition() {
+        let netlist = synthesize_sbox_with_key().unwrap();
+        let cap = capacitance();
+        let options = LeakageOptions {
+            relative_noise: 0.01,
+            seed: 2026,
+        };
+        let table = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).unwrap();
+        let fixed = 0x7u64;
+        let n = 2500u64;
+        let mut whole = TraceSet::new();
+        simulate_tvla_trace_range_into(&netlist, &table, 0xA, fixed, 0, n, &options, &mut whole)
+            .unwrap();
+        // Group discipline: even global index = fixed plaintext.
+        for (index, &input) in whole.inputs().iter().enumerate() {
+            if index % 2 == 0 {
+                assert_eq!(input, fixed, "trace {index}");
+            }
+            assert!(input < 16);
+        }
+        for cuts in [vec![0, 500, 1500, n], vec![0, 3, 1024, 1027, n]] {
+            let mut sunk = TraceSet::new();
+            for pair in cuts.windows(2) {
+                simulate_tvla_trace_range_into(
+                    &netlist,
+                    &table,
+                    0xA,
+                    fixed,
+                    pair[0],
+                    pair[1] - pair[0],
+                    &options,
+                    &mut sunk,
+                )
+                .unwrap();
+            }
+            assert_eq!(sunk, whole, "cuts = {cuts:?}");
+        }
     }
 
     #[test]

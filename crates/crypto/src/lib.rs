@@ -26,10 +26,11 @@ mod synth;
 
 pub use leakage::{
     characterize_kind_energies, circuit_energies, predicted_energies, predicted_energy,
-    simulate_traces, simulate_traces_into, simulate_traces_into_observed, simulate_traces_parallel,
-    simulate_traces_with_table, simulate_tvla_traces, simulate_tvla_traces_into,
+    simulate_trace_range_into, simulate_traces, simulate_traces_into,
+    simulate_traces_into_observed, simulate_traces_parallel, simulate_traces_with_table,
+    simulate_tvla_trace_range_into, simulate_tvla_traces, simulate_tvla_traces_into,
     simulate_tvla_traces_into_observed, EnergyCache, EnergyModel, EnergySource, GateEnergyTable,
-    LeakageModel, LeakageOptions,
+    LeakageModel, LeakageOptions, MIN_PARALLEL_TRACES,
 };
 pub use netlist::{BitslicedEval, Gate, GateNetlist, GateOp, SignalId};
 pub use present::{

@@ -45,7 +45,7 @@ pub use mtd::{
     PrefixDpa,
 };
 pub use streaming::{
-    tvla_parallel, tvla_parallel_observed, tvla_salvage, tvla_streaming,
+    tvla_parallel, tvla_parallel_observed, tvla_parallel_with, tvla_salvage, tvla_streaming,
     tvla_streaming_second_order, TvlaOrder,
 };
 pub use tvla::{

@@ -22,7 +22,11 @@ use std::io::{Read, Seek};
 use std::path::Path;
 
 use dpl_obs::{names, Obs};
-use dpl_store::{ArchiveReader, DamageReport, FoldObs, RetryPolicy, SalvageOutcome, StoreError};
+use dpl_power::TraceSet;
+use dpl_store::{
+    ArchiveReader, ChunkSource, DamageReport, FoldObs, Result as StoreResult, RetryPolicy,
+    SalvageOutcome, StoreError,
+};
 
 use crate::tvla::{ColumnStats, SecondOrderWelchAccumulator, WelchAccumulator};
 use crate::{EvalError, Result, TvlaGroup, TvlaResult};
@@ -48,7 +52,10 @@ impl TvlaOrder {
     }
 }
 
-/// First-order Welch t-test folded chunk-by-chunk over an archive.
+/// First-order Welch t-test folded chunk-by-chunk over any
+/// [`ChunkSource`] — a single archive or a sharded campaign
+/// ([`dpl_store::ShardedReader`]) alike, with one decode buffer reused
+/// across chunks.
 ///
 /// Bit-identical to [`crate::tvla()`] over the same traces.
 ///
@@ -56,16 +63,17 @@ impl TvlaOrder {
 ///
 /// Returns an error for an empty archive or any chunk failure (I/O,
 /// truncation, checksum mismatch).
-pub fn tvla_streaming<R, F>(reader: &mut ArchiveReader<R>, partition: F) -> Result<TvlaResult>
+pub fn tvla_streaming<S, F>(source: &mut S, partition: F) -> Result<TvlaResult>
 where
-    R: Read + Seek,
+    S: ChunkSource + ?Sized,
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
     let mut accumulator = WelchAccumulator::new(partition);
-    let samples = reader.samples_per_trace();
-    let mut fold = FoldObs::start(reader.obs(), "eval.tvla_streaming");
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let samples = source.samples_per_trace();
+    let mut fold = FoldObs::start(source.obs(), "eval.tvla_streaming");
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
@@ -82,25 +90,23 @@ where
 /// # Errors
 ///
 /// Returns an error for an empty archive or any chunk failure.
-pub fn tvla_streaming_second_order<R, F>(
-    reader: &mut ArchiveReader<R>,
-    partition: F,
-) -> Result<TvlaResult>
+pub fn tvla_streaming_second_order<S, F>(source: &mut S, partition: F) -> Result<TvlaResult>
 where
-    R: Read + Seek,
+    S: ChunkSource + ?Sized,
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
     let mut accumulator = SecondOrderWelchAccumulator::new(partition);
-    let samples = reader.samples_per_trace();
-    let mut fold = FoldObs::start(reader.obs(), "eval.tvla_streaming_second_order");
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let samples = source.samples_per_trace();
+    let mut fold = FoldObs::start(source.obs(), "eval.tvla_streaming_second_order");
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
     accumulator.begin_second_pass()?;
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
@@ -249,29 +255,29 @@ where
     tvla_parallel_observed(path, partition, order, workers, None)
 }
 
-/// [`tvla_parallel`] with a telemetry context: the whole fold runs under an
-/// `eval.tvla_parallel` span (annotated with the worker and trace counts),
-/// the assembly of the per-worker partials is attributed to a `fold.merge`
-/// phase span, and each reunion counts into `fold.merges`.  Worker threads
-/// open their own readers without the context, so chunk-read counters
-/// reflect only the probing open — the span and merge phase carry the
-/// parallel fold's timing story.
+/// [`tvla_parallel`] over any reopenable [`ChunkSource`] — each worker
+/// opens its own source via `open` (e.g. a [`dpl_store::ShardedReader`]
+/// campaign manifest), so the same column-sharded fold runs over single
+/// archives and sharded campaigns alike, with the same bit-identity
+/// guarantee for any worker count.
 ///
 /// # Errors
 ///
-/// Returns an error for an empty or unreadable archive, or any chunk
+/// Returns an error for an empty or unopenable campaign, or any chunk
 /// failure in any worker.
-pub fn tvla_parallel_observed<F>(
-    path: &Path,
+pub fn tvla_parallel_with<S, O, F>(
+    open: O,
     partition: F,
     order: TvlaOrder,
     workers: Option<usize>,
     obs: Option<&Obs>,
 ) -> Result<TvlaResult>
 where
+    S: ChunkSource,
+    O: Fn() -> StoreResult<S> + Sync,
     F: Fn(u64, u64) -> Option<TvlaGroup> + Sync,
 {
-    let probe = ArchiveReader::open(path)?;
+    let probe = open()?;
     if probe.trace_count() == 0 {
         return Err(EvalError::Misuse {
             message: "no traces were accumulated".into(),
@@ -285,6 +291,7 @@ where
         .clamp(1, samples.max(1));
     let span = obs.map(|o| o.span("eval.tvla_parallel"));
 
+    let open = &open;
     let partition = &partition;
     let mut outputs: Vec<Option<Result<WorkerStats>>> = Vec::with_capacity(workers);
     outputs.resize_with(workers, || None);
@@ -292,8 +299,8 @@ where
         for (worker, slot) in outputs.iter_mut().enumerate() {
             scope.spawn(move || {
                 *slot = Some(match order {
-                    TvlaOrder::First => first_order_worker(path, partition, worker, workers),
-                    TvlaOrder::Second => second_order_worker(path, partition, worker, workers),
+                    TvlaOrder::First => first_order_worker(open, partition, worker, workers),
+                    TvlaOrder::Second => second_order_worker(open, partition, worker, workers),
                 });
             });
         }
@@ -330,24 +337,52 @@ where
     Ok(TvlaResult { t, counts })
 }
 
-/// One first-order worker: scans every chunk in order, accumulates raw
-/// sums for its own columns only.
-fn first_order_worker<F>(
+/// [`tvla_parallel`] with a telemetry context: the whole fold runs under an
+/// `eval.tvla_parallel` span (annotated with the worker and trace counts),
+/// the assembly of the per-worker partials is attributed to a `fold.merge`
+/// phase span, and each reunion counts into `fold.merges`.  Worker threads
+/// open their own readers without the context, so chunk-read counters
+/// reflect only the probing open — the span and merge phase carry the
+/// parallel fold's timing story.
+///
+/// # Errors
+///
+/// Returns an error for an empty or unreadable archive, or any chunk
+/// failure in any worker.
+pub fn tvla_parallel_observed<F>(
     path: &Path,
+    partition: F,
+    order: TvlaOrder,
+    workers: Option<usize>,
+    obs: Option<&Obs>,
+) -> Result<TvlaResult>
+where
+    F: Fn(u64, u64) -> Option<TvlaGroup> + Sync,
+{
+    tvla_parallel_with(|| ArchiveReader::open(path), partition, order, workers, obs)
+}
+
+/// One first-order worker: scans every chunk in order (through one reused
+/// decode buffer), accumulates raw sums for its own columns only.
+fn first_order_worker<S, O, F>(
+    open: &O,
     partition: &F,
     worker: usize,
     workers: usize,
 ) -> Result<WorkerStats>
 where
+    S: ChunkSource,
+    O: Fn() -> StoreResult<S>,
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
-    let mut reader = ArchiveReader::open(path)?;
-    let samples = reader.samples_per_trace();
+    let mut source = open()?;
+    let samples = source.samples_per_trace();
     let mut stats = vec![[ColumnStats::default(); 2]; samples];
     let mut counts = [0u64; 2];
     let mut next = 0u64;
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         let groups = classify(partition, next, chunk.inputs());
         for group in groups.iter().flatten() {
             counts[group.index()] += 1;
@@ -369,22 +404,25 @@ where
 /// columns, pass 2 the centered-product sums against the sealed means —
 /// the same arithmetic, in the same order, as the sequential
 /// [`SecondOrderWelchAccumulator`].
-fn second_order_worker<F>(
-    path: &Path,
+fn second_order_worker<S, O, F>(
+    open: &O,
     partition: &F,
     worker: usize,
     workers: usize,
 ) -> Result<WorkerStats>
 where
+    S: ChunkSource,
+    O: Fn() -> StoreResult<S>,
     F: Fn(u64, u64) -> Option<TvlaGroup>,
 {
-    let mut reader = ArchiveReader::open(path)?;
-    let samples = reader.samples_per_trace();
+    let mut source = open()?;
+    let samples = source.samples_per_trace();
     let mut sums = vec![[0.0f64; 2]; samples];
     let mut counts = [0u64; 2];
     let mut next = 0u64;
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         let groups = classify(partition, next, chunk.inputs());
         for group in groups.iter().flatten() {
             counts[group.index()] += 1;
@@ -409,8 +447,8 @@ where
     }
     let mut stats = vec![[ColumnStats::default(); 2]; samples];
     let mut next = 0u64;
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         let groups = classify(partition, next, chunk.inputs());
         for s in (worker..samples).step_by(workers) {
             let column = chunk.sample_column(s);

@@ -253,7 +253,27 @@ where
         for group in groups.iter().flatten() {
             self.counts[group.index()] += 1;
         }
-        for s in 0..samples {
+        // Unrolled 4 wide across sample columns: every (group, sample) slot
+        // still receives its additions strictly in trace order, so this is
+        // bit-identical to the column-at-a-time fold while amortizing the
+        // per-trace group dispatch over four columns.
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            for (t, group) in groups.iter().enumerate() {
+                let Some(g) = group else { continue };
+                let row = &mut self.stats[g.index()][s..s + 4];
+                row[0].push(c0[t]);
+                row[1].push(c1[t]);
+                row[2].push(c2[t]);
+                row[3].push(c3[t]);
+            }
+            s += 4;
+        }
+        while s < samples {
             let column = chunk.sample_column(s);
             let (fixed, random) = {
                 let [f, r] = &mut self.stats;
@@ -266,6 +286,7 @@ where
                     None => {}
                 }
             }
+            s += 1;
         }
         self.next += chunk.len() as u64;
         Ok(())
@@ -442,13 +463,32 @@ where
         for group in groups.iter().flatten() {
             self.counts[group.index()] += 1;
         }
-        for s in 0..samples {
+        // Same 4-wide column unroll as WelchAccumulator::update: each
+        // (group, sample) sum is fed in trace order, so bit-identity holds.
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            for (t, group) in groups.iter().enumerate() {
+                let Some(g) = group else { continue };
+                let row = &mut self.sum[g.index()][s..s + 4];
+                row[0] += c0[t];
+                row[1] += c1[t];
+                row[2] += c2[t];
+                row[3] += c3[t];
+            }
+            s += 4;
+        }
+        while s < samples {
             let column = chunk.sample_column(s);
             for (group, &v) in groups.iter().zip(column) {
                 if let Some(g) = group {
                     self.sum[g.index()][s] += v;
                 }
             }
+            s += 1;
         }
         self.next += chunk.len() as u64;
         Ok(())
@@ -503,7 +543,32 @@ where
         for group in groups.iter().flatten() {
             self.second_counts[group.index()] += 1;
         }
-        for s in 0..samples {
+        // 4-wide column unroll over the centered-product push: the deviation
+        // `v - mean` and its square use the same operands as the scalar loop
+        // and each slot is fed in trace order — bit-identical.
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            for (t, group) in groups.iter().enumerate() {
+                let Some(g) = group else { continue };
+                let g = g.index();
+                let means = &self.mean[g][s..s + 4];
+                let row = &mut self.centered[g][s..s + 4];
+                let d0 = c0[t] - means[0];
+                let d1 = c1[t] - means[1];
+                let d2 = c2[t] - means[2];
+                let d3 = c3[t] - means[3];
+                row[0].push(d0 * d0);
+                row[1].push(d1 * d1);
+                row[2].push(d2 * d2);
+                row[3].push(d3 * d3);
+            }
+            s += 4;
+        }
+        while s < samples {
             let column = chunk.sample_column(s);
             let (fixed, random) = {
                 let [f, r] = &mut self.centered;
@@ -522,6 +587,7 @@ where
                     None => {}
                 }
             }
+            s += 1;
         }
         self.second_next += chunk.len() as u64;
         Ok(())

@@ -23,6 +23,8 @@ pub const STORE_RETRY_ATTEMPTS: &str = "store.retry_attempts";
 pub const STORE_SALVAGE_DROPPED_CHUNKS: &str = "store.salvage_dropped_chunks";
 /// Traces lost inside dropped chunks.
 pub const STORE_SALVAGE_DROPPED_TRACES: &str = "store.salvage_dropped_traces";
+/// Shard archives opened by sharded-campaign readers.
+pub const STORE_SHARDS_OPENED: &str = "store.shards_opened";
 /// Intact full chunks reclaimed by crash recovery.
 pub const STORE_RECOVERED_CHUNKS: &str = "store.recovered_chunks";
 /// Traces reclaimed by crash recovery (full chunks + re-buffered tail).

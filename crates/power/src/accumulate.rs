@@ -82,15 +82,37 @@ impl ClassState {
     }
 
     /// Folds one columnar chunk into the per-class counts and sums.
+    ///
+    /// The inner loop is unrolled four sample columns wide: one pass over
+    /// the traces advances four independent per-class accumulators, giving
+    /// the superscalar units four addition chains instead of one.  Each
+    /// `(class, sample)` sum still receives its additions in trace order,
+    /// so results stay bit-identical to the column-at-a-time fold.
     fn update(&mut self, chunk: &TraceSet, class_of: &[u8], samples: usize) {
         for &c in class_of {
             self.counts[c as usize] += 1;
         }
-        for s in 0..samples {
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            for (t, &c) in class_of.iter().enumerate() {
+                let row = &mut self.sums[c as usize][s..s + 4];
+                row[0] += c0[t];
+                row[1] += c1[t];
+                row[2] += c2[t];
+                row[3] += c3[t];
+            }
+            s += 4;
+        }
+        while s < samples {
             let column = chunk.sample_column(s);
             for (&c, &v) in class_of.iter().zip(column) {
                 self.sums[c as usize][s] += v;
             }
+            s += 1;
         }
     }
 
@@ -294,6 +316,13 @@ where
         // even while class aggregation is alive: if the classes die later
         // (possibly many chunks in), the fallback must already cover every
         // trace in order.
+        //
+        // The sample loop is unrolled four columns wide: one trace pass
+        // advances four (sum_ones, sum_zeros) accumulator pairs, each fed
+        // in trace order — bit-identical to the column-at-a-time fold,
+        // with 4x the independent addition chains.  The selected/rejected
+        // branch stays a branch on purpose: a branchless `+ 0.0` variant
+        // is NOT bit-identical (`-0.0 + 0.0 == +0.0` flips signed zeros).
         let mut mask = vec![false; chunk.len()];
         for guess in 0..self.key_guesses {
             let mut ones = 0usize;
@@ -303,7 +332,34 @@ where
             }
             self.ones[guess as usize] += ones;
             let row = guess as usize * samples;
-            for s in 0..samples {
+            let mut s = 0;
+            while s + 4 <= samples {
+                let c0 = chunk.sample_column(s);
+                let c1 = chunk.sample_column(s + 1);
+                let c2 = chunk.sample_column(s + 2);
+                let c3 = chunk.sample_column(s + 3);
+                let mut o = [0.0f64; 4];
+                let mut z = [0.0f64; 4];
+                o.copy_from_slice(&self.sum_ones[row + s..row + s + 4]);
+                z.copy_from_slice(&self.sum_zeros[row + s..row + s + 4]);
+                for (t, &m) in mask.iter().enumerate() {
+                    if m {
+                        o[0] += c0[t];
+                        o[1] += c1[t];
+                        o[2] += c2[t];
+                        o[3] += c3[t];
+                    } else {
+                        z[0] += c0[t];
+                        z[1] += c1[t];
+                        z[2] += c2[t];
+                        z[3] += c3[t];
+                    }
+                }
+                self.sum_ones[row + s..row + s + 4].copy_from_slice(&o);
+                self.sum_zeros[row + s..row + s + 4].copy_from_slice(&z);
+                s += 4;
+            }
+            while s < samples {
                 let column = chunk.sample_column(s);
                 let mut sum_ones = self.sum_ones[row + s];
                 let mut sum_zeros = self.sum_zeros[row + s];
@@ -316,6 +372,7 @@ where
                 }
                 self.sum_ones[row + s] = sum_ones;
                 self.sum_zeros[row + s] = sum_zeros;
+                s += 1;
             }
         }
         self.traces += chunk.len();
@@ -583,10 +640,29 @@ where
         if self.col_sum.is_empty() {
             self.col_sum = vec![0.0; samples];
         }
-        for (s, col_sum) in self.col_sum.iter_mut().enumerate() {
+        // Four-column unroll: one trace pass feeds four independent column
+        // sums in trace order — bit-identical to summing column by column.
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            let acc = &mut self.col_sum[s..s + 4];
+            for t in 0..chunk.len() {
+                acc[0] += c0[t];
+                acc[1] += c1[t];
+                acc[2] += c2[t];
+                acc[3] += c3[t];
+            }
+            s += 4;
+        }
+        while s < samples {
+            let col_sum = &mut self.col_sum[s];
             for &v in chunk.sample_column(s) {
                 *col_sum += v;
             }
+            s += 1;
         }
         if let Some(classes) = &mut self.classes {
             match classes.classify(chunk.inputs(), samples) {
@@ -639,11 +715,31 @@ where
             return Ok(());
         }
         let samples = check_chunk(chunk, &mut self.samples)?;
-        for (s, col_css) in self.col_css.iter_mut().enumerate() {
+        // Four-column unroll of the centered-sum-of-squares pass; each
+        // column's accumulator is fed in trace order (see `update_means`).
+        let mut s = 0;
+        while s + 4 <= samples {
+            let c0 = chunk.sample_column(s);
+            let c1 = chunk.sample_column(s + 1);
+            let c2 = chunk.sample_column(s + 2);
+            let c3 = chunk.sample_column(s + 3);
+            let my = &self.col_mean[s..s + 4];
+            let acc = &mut self.col_css[s..s + 4];
+            for t in 0..chunk.len() {
+                acc[0] += (c0[t] - my[0]) * (c0[t] - my[0]);
+                acc[1] += (c1[t] - my[1]) * (c1[t] - my[1]);
+                acc[2] += (c2[t] - my[2]) * (c2[t] - my[2]);
+                acc[3] += (c3[t] - my[3]) * (c3[t] - my[3]);
+            }
+            s += 4;
+        }
+        while s < samples {
             let my = self.col_mean[s];
+            let col_css = &mut self.col_css[s];
             for &v in chunk.sample_column(s) {
                 *col_css += (v - my) * (v - my);
             }
+            s += 1;
         }
         if self.classes.is_none() {
             let mut hypothesis = vec![0.0f64; chunk.len()];
@@ -656,13 +752,31 @@ where
                 }
                 self.hyp_css[guess as usize] = css;
                 let row = guess as usize * samples;
-                for s in 0..samples {
+                let mut s = 0;
+                while s + 4 <= samples {
+                    let c0 = chunk.sample_column(s);
+                    let c1 = chunk.sample_column(s + 1);
+                    let c2 = chunk.sample_column(s + 2);
+                    let c3 = chunk.sample_column(s + 3);
+                    let my = &self.col_mean[s..s + 4];
+                    let acc = &mut self.cov[row + s..row + s + 4];
+                    for (t, &h) in hypothesis.iter().enumerate() {
+                        let ch = h - mh;
+                        acc[0] += ch * (c0[t] - my[0]);
+                        acc[1] += ch * (c1[t] - my[1]);
+                        acc[2] += ch * (c2[t] - my[2]);
+                        acc[3] += ch * (c3[t] - my[3]);
+                    }
+                    s += 4;
+                }
+                while s < samples {
                     let my = self.col_mean[s];
                     let mut cov = self.cov[row + s];
                     for (&h, &v) in hypothesis.iter().zip(chunk.sample_column(s)) {
                         cov += (h - mh) * (v - my);
                     }
                     self.cov[row + s] = cov;
+                    s += 1;
                 }
             }
         }

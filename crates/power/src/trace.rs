@@ -134,6 +134,46 @@ impl TraceSet {
         }
     }
 
+    /// Rebuilds the set in place from columnar parts, **reusing its
+    /// buffers**: `fill` receives the cleared input vector and a zeroed
+    /// sample-major value buffer of `samples_per_trace * traces` entries
+    /// (sample `s` of trace `t` at `s * traces + t`) and must push exactly
+    /// one input per trace.
+    ///
+    /// This is the steady-state companion of [`TraceSet::from_columns`]:
+    /// chunked folds refill one set per chunk without allocating once the
+    /// buffers have grown to chunk size.  On error the set is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns `fill`'s error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` does not push exactly `traces` inputs.
+    pub fn refill_columns<E>(
+        &mut self,
+        samples_per_trace: usize,
+        traces: usize,
+        fill: impl FnOnce(&mut Vec<u64>, &mut [f64]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        self.rows = 0;
+        self.width = Some(samples_per_trace);
+        self.first_mismatch = None;
+        self.cap = traces;
+        self.inputs.clear();
+        self.data.clear();
+        self.data.resize(samples_per_trace * traces, 0.0);
+        fill(&mut self.inputs, &mut self.data)?;
+        assert_eq!(
+            self.inputs.len(),
+            traces,
+            "refill_columns must push one input per trace"
+        );
+        self.rows = traces;
+        Ok(())
+    }
+
     /// Appends one measurement.
     pub fn push(&mut self, input: u64, trace: Trace) {
         self.push_samples(input, trace.samples());
@@ -494,6 +534,33 @@ mod tests {
     #[should_panic(expected = "columnar data")]
     fn from_columns_rejects_wrong_data_length() {
         let _ = TraceSet::from_columns(vec![1, 2], 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_matches_from_columns() {
+        let mut set = TraceSet::from_columns(vec![9, 9, 9], 2, vec![0.0; 6]);
+        set.refill_columns(2, 3, |inputs, data| {
+            inputs.extend_from_slice(&[7, 8, 9]);
+            data.copy_from_slice(&[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        let fresh = TraceSet::from_columns(vec![7, 8, 9], 2, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        assert_eq!(set, fresh);
+
+        // Shrinking refills stay well-formed, and a failing fill leaves the
+        // set empty instead of half-written.
+        set.refill_columns(1, 2, |inputs, data| {
+            inputs.extend_from_slice(&[1, 2]);
+            data.copy_from_slice(&[0.5, 0.25]);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(set.sample_column(0), &[0.5, 0.25]);
+        assert!(set
+            .refill_columns(1, 2, |_, _| Err::<(), &str>("boom"))
+            .is_err());
+        assert!(set.is_empty());
     }
 
     #[test]

@@ -14,14 +14,13 @@
 //!   independent, but merging re-associates the reductions, so scores agree
 //!   with the sequential fold only up to floating-point reassociation error.
 
-use std::io::{Read, Seek};
 use std::path::Path;
 
 use dpl_obs::{names, rate_per_sec, Obs, SpanGuard};
 use dpl_power::{AttackResult, CpaAccumulator, DpaAccumulator, InputProfile, TraceSet};
 
 use crate::error::{Result, StoreError};
-use crate::reader::ArchiveReader;
+use crate::reader::{ArchiveReader, ChunkSource};
 
 /// Chunk-granular fold telemetry: accumulates locally (no lock traffic in
 /// the hot loop beyond the reader's own counters) and flushes counters plus
@@ -92,18 +91,19 @@ impl FoldObs {
     }
 }
 
-/// The accumulator bookkeeping implied by the archive's recorded distinct
+/// The accumulator bookkeeping implied by the campaign's recorded distinct
 /// input count: class aggregation when the writer saw few distinct inputs,
 /// the diverse-input fallback otherwise.  Either way the single matching
 /// mode is maintained — never Auto's double bookkeeping.
-pub(crate) fn profile_of<R: Read + Seek>(reader: &ArchiveReader<R>) -> InputProfile {
-    match reader.distinct_inputs() {
+pub(crate) fn profile_of<S: ChunkSource + ?Sized>(source: &S) -> InputProfile {
+    match source.distinct_inputs() {
         Some(_) => InputProfile::FewClasses,
         None => InputProfile::Diverse,
     }
 }
 
-/// Difference-of-means DPA folded chunk-by-chunk over an archive.
+/// Difference-of-means DPA folded chunk-by-chunk over any [`ChunkSource`]
+/// — a single archive or a sharded campaign.
 ///
 /// Bit-identical to `dpl_power::dpa_attack` over the same traces.
 ///
@@ -111,20 +111,21 @@ pub(crate) fn profile_of<R: Read + Seek>(reader: &ArchiveReader<R>) -> InputProf
 ///
 /// Returns an error for zero guesses, an empty archive, or any chunk
 /// failure (I/O, truncation, checksum mismatch).
-pub fn dpa_attack_streaming<R, F>(
-    reader: &mut ArchiveReader<R>,
+pub fn dpa_attack_streaming<S, F>(
+    source: &mut S,
     key_guesses: u64,
     selection: F,
 ) -> Result<AttackResult>
 where
-    R: Read + Seek,
+    S: ChunkSource + ?Sized,
     F: Fn(u64, u64) -> bool,
 {
-    let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile_of(reader))?;
-    let samples = reader.samples_per_trace();
-    let mut fold = FoldObs::start(reader.obs(), "store.dpa_attack_streaming");
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let mut accumulator = DpaAccumulator::with_profile(key_guesses, selection, profile_of(source))?;
+    let samples = source.samples_per_trace();
+    let mut fold = FoldObs::start(source.obs(), "store.dpa_attack_streaming");
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
@@ -132,8 +133,9 @@ where
     Ok(accumulator.finalize()?)
 }
 
-/// Correlation power analysis folded over an archive in two passes (the
-/// second pass re-reads the chunks to center on the sealed means).
+/// Correlation power analysis folded over any [`ChunkSource`] in two
+/// passes (the second pass re-reads the chunks to center on the sealed
+/// means).
 ///
 /// Bit-identical to `dpl_power::cpa_attack` over the same traces.
 ///
@@ -141,26 +143,27 @@ where
 ///
 /// Returns an error for zero guesses, an empty archive, or any chunk
 /// failure (I/O, truncation, checksum mismatch).
-pub fn cpa_attack_streaming<R, F>(
-    reader: &mut ArchiveReader<R>,
+pub fn cpa_attack_streaming<S, F>(
+    source: &mut S,
     key_guesses: u64,
     model: F,
 ) -> Result<AttackResult>
 where
-    R: Read + Seek,
+    S: ChunkSource + ?Sized,
     F: Fn(u64, u64) -> f64,
 {
-    let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile_of(reader))?;
-    let samples = reader.samples_per_trace();
-    let mut fold = FoldObs::start(reader.obs(), "store.cpa_attack_streaming");
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    let mut accumulator = CpaAccumulator::with_profile(key_guesses, model, profile_of(source))?;
+    let samples = source.samples_per_trace();
+    let mut fold = FoldObs::start(source.obs(), "store.cpa_attack_streaming");
+    let mut chunk = TraceSet::new();
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
     accumulator.begin_second_pass()?;
-    for index in 0..reader.chunk_count() {
-        let chunk = reader.read_chunk(index)?;
+    for index in 0..source.chunk_count() {
+        source.read_chunk_into(index, &mut chunk)?;
         fold.update(&chunk, samples);
         fold.accumulate(|| accumulator.update(&chunk))?;
     }
@@ -173,12 +176,19 @@ fn default_worker_count() -> usize {
 }
 
 /// Runs `build` on every chunk index across `workers` scoped threads (each
-/// worker opens the archive independently, so no seek positions are shared)
-/// and returns the per-chunk results in chunk order.
-fn per_chunk_parallel<T, B>(path: &Path, chunks: usize, workers: usize, build: B) -> Result<Vec<T>>
+/// worker opens its own [`ChunkSource`] via `open`, so no seek positions
+/// are shared) and returns the per-chunk results in chunk order.
+pub(crate) fn per_chunk_parallel<S, T, B, O>(
+    open: &O,
+    chunks: usize,
+    workers: usize,
+    build: B,
+) -> Result<Vec<T>>
 where
+    S: ChunkSource,
     T: Send,
-    B: Fn(&mut ArchiveReader<std::io::BufReader<std::fs::File>>, usize) -> Result<T> + Sync,
+    B: Fn(&mut S, usize) -> Result<T> + Sync,
+    O: Fn() -> Result<S> + Sync,
 {
     type Slot<'a, T> = (usize, &'a mut Option<Result<T>>);
     let mut slots: Vec<Option<Result<T>>> = Vec::with_capacity(chunks);
@@ -194,19 +204,19 @@ where
         std::thread::scope(|scope| {
             for lot in by_worker {
                 scope.spawn(move || {
-                    let mut reader = None;
+                    let mut source = None;
                     for (chunk, slot) in lot {
-                        if reader.is_none() {
-                            match ArchiveReader::open(path) {
-                                Ok(r) => reader = Some(r),
+                        if source.is_none() {
+                            match open() {
+                                Ok(s) => source = Some(s),
                                 Err(e) => {
                                     *slot = Some(Err(e));
                                     continue;
                                 }
                             }
                         }
-                        let r = reader.as_mut().expect("reader opened");
-                        *slot = Some(build(r, chunk));
+                        let s = source.as_mut().expect("source opened");
+                        *slot = Some(build(s, chunk));
                     }
                 });
             }
@@ -242,7 +252,35 @@ pub fn dpa_attack_parallel<F>(
 where
     F: Fn(u64, u64) -> bool + Clone + Send + Sync,
 {
-    let probe = ArchiveReader::open(path)?;
+    dpa_attack_parallel_with(
+        || ArchiveReader::open(path),
+        key_guesses,
+        selection,
+        workers,
+    )
+}
+
+/// [`dpa_attack_parallel`] over any reopenable [`ChunkSource`] — each
+/// worker opens its own source via `open` (e.g. a [`crate::ShardedReader`]
+/// manifest), so the same chunk-order merge runs over single archives and
+/// sharded campaigns alike.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty or unopenable campaign, or
+/// any chunk failure.
+pub fn dpa_attack_parallel_with<S, O, F>(
+    open: O,
+    key_guesses: u64,
+    selection: F,
+    workers: Option<usize>,
+) -> Result<AttackResult>
+where
+    S: ChunkSource,
+    O: Fn() -> Result<S> + Sync,
+    F: Fn(u64, u64) -> bool + Clone + Send + Sync,
+{
+    let probe = open()?;
     let chunks = probe.chunk_count();
     let profile = profile_of(&probe);
     drop(probe);
@@ -250,9 +288,9 @@ where
         .unwrap_or_else(default_worker_count)
         .clamp(1, chunks.max(1));
     let selection_ref = &selection;
-    let partials = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+    let partials = per_chunk_parallel(&open, chunks, workers, move |source: &mut S, index| {
         let mut acc = DpaAccumulator::with_profile(key_guesses, selection_ref.clone(), profile)?;
-        acc.update(&reader.read_chunk(index)?)?;
+        acc.update(&source.read_chunk(index)?)?;
         Ok(acc)
     })?;
     let mut total = DpaAccumulator::with_profile(key_guesses, selection.clone(), profile)?;
@@ -282,7 +320,30 @@ pub fn cpa_attack_parallel<F>(
 where
     F: Fn(u64, u64) -> f64 + Clone + Send + Sync,
 {
-    let probe = ArchiveReader::open(path)?;
+    cpa_attack_parallel_with(|| ArchiveReader::open(path), key_guesses, model, workers)
+}
+
+/// [`cpa_attack_parallel`] over any reopenable [`ChunkSource`] — each
+/// worker opens its own source via `open` (e.g. a [`crate::ShardedReader`]
+/// manifest), so the same two-pass chunk-order merge runs over single
+/// archives and sharded campaigns alike.
+///
+/// # Errors
+///
+/// Returns an error for zero guesses, an empty or unopenable campaign, or
+/// any chunk failure.
+pub fn cpa_attack_parallel_with<S, O, F>(
+    open: O,
+    key_guesses: u64,
+    model: F,
+    workers: Option<usize>,
+) -> Result<AttackResult>
+where
+    S: ChunkSource,
+    O: Fn() -> Result<S> + Sync,
+    F: Fn(u64, u64) -> f64 + Clone + Send + Sync,
+{
+    let probe = open()?;
     let chunks = probe.chunk_count();
     let profile = profile_of(&probe);
     drop(probe);
@@ -291,9 +352,9 @@ where
         .clamp(1, chunks.max(1));
 
     let model_ref = &model;
-    let partials = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+    let partials = per_chunk_parallel(&open, chunks, workers, move |source: &mut S, index| {
         let mut acc = CpaAccumulator::with_profile(key_guesses, model_ref.clone(), profile)?;
-        acc.update(&reader.read_chunk(index)?)?;
+        acc.update(&source.read_chunk(index)?)?;
         Ok(acc)
     })?;
     let mut total = CpaAccumulator::with_profile(key_guesses, model.clone(), profile)?;
@@ -303,9 +364,9 @@ where
     total.begin_second_pass()?;
 
     let total_ref = &total;
-    let forks = per_chunk_parallel(path, chunks, workers, move |reader, index| {
+    let forks = per_chunk_parallel(&open, chunks, workers, move |source: &mut S, index| {
         let mut fork = total_ref.fork()?;
-        fork.update(&reader.read_chunk(index)?)?;
+        fork.update(&source.read_chunk(index)?)?;
         Ok(fork)
     })?;
     for fork in &forks {

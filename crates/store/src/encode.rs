@@ -1,0 +1,831 @@
+//! Compact sample encodings and the zero-dependency chunk compressor.
+//!
+//! Version-3 archives can store sample values in three encodings:
+//!
+//! | Code | Encoding | Bytes/sample | Error bound |
+//! | --- | --- | --- | --- |
+//! | 0 | `f64` | 8 | exact (bit-identical to v1/v2) |
+//! | 1 | `f32` | 4 | relative, ≤ `f32::EPSILON` per value |
+//! | 2 | `i16` fixed-point | 2 | absolute, ≤ `scale / 2` (see below) |
+//!
+//! The `i16` encoding divides every sample by a campaign-wide **scale**
+//! (recorded in the header, so the contract survives the round trip) and
+//! rounds to the nearest integer: the worst-case absolute error is
+//! `scale / 2`, and magnitudes beyond `scale * 32767` saturate at the
+//! integer range bounds.  [`Quantization::for_max_magnitude`] picks the
+//! scale that makes a known campaign amplitude saturation-free.
+//!
+//! Independently of the encoding, a chunk body can be run through the
+//! built-in **shuffle compressor** ([`Compression::Shuffle`]): inputs are
+//! delta + zigzag + varint coded (nibble plaintexts take one byte instead
+//! of eight), and the fixed-width sample words are byte-shuffled into
+//! per-byte planes, delta-coded along each plane and zero-run-length
+//! encoded — near-constant planes (signs, exponents, high mantissa bytes
+//! of similar measurements) collapse to a few bytes while incompressible
+//! noise planes are stored as bounded literal runs, so a compressed chunk
+//! is never more than a few dozen bytes larger than a raw one
+//! (`max_body_len` gives the reader a hard bound for validating chunk
+//! headers before allocating).
+//!
+//! Every decoder here is **total**: corrupt bytes surface as a typed
+//! [`StoreError::FormatViolation`], never as a panic, an unbounded
+//! allocation, or silently wrong values.
+
+use crate::error::{Result, StoreError};
+
+/// The fixed-point quantization contract of the [`SampleEncoding::I16`]
+/// encoding: `encoded = round(value / scale)`, clamped to the `i16` range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantization {
+    /// Physical value of one integer step (finite and positive).
+    pub scale: f64,
+}
+
+impl Quantization {
+    /// A quantization with the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the scale is finite and positive.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(StoreError::FormatViolation {
+                message: format!("quantization scale must be finite and positive, got {scale}"),
+            });
+        }
+        Ok(Quantization { scale })
+    }
+
+    /// The scale under which values up to `max_abs` in magnitude encode
+    /// without saturating (the campaign-planning constructor).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-finite or negative magnitude.
+    pub fn for_max_magnitude(max_abs: f64) -> Result<Self> {
+        if !max_abs.is_finite() || max_abs < 0.0 {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "quantization magnitude must be finite and non-negative, got {max_abs}"
+                ),
+            });
+        }
+        // A zero-amplitude campaign still needs a positive scale.
+        Quantization::new((max_abs / i16::MAX as f64).max(f64::MIN_POSITIVE))
+    }
+
+    /// Worst-case absolute error of one encoded sample inside the
+    /// saturation-free range: half an integer step.
+    pub fn max_error(&self) -> f64 {
+        self.scale * 0.5
+    }
+
+    /// Largest magnitude that encodes without saturating.
+    pub fn max_magnitude(&self) -> f64 {
+        self.scale * i16::MAX as f64
+    }
+
+    #[inline]
+    fn quantize(&self, value: f64) -> i16 {
+        // `as` saturates at the range bounds (and maps NaN to 0), so the
+        // encoder is total over every f64.
+        (value / self.scale).round() as i16
+    }
+
+    #[inline]
+    fn dequantize(&self, q: i16) -> f64 {
+        f64::from(q) * self.scale
+    }
+}
+
+/// How a version-3 archive stores its sample values on disk.  `F64` is the
+/// default and keeps the byte-exact v1/v2 representation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SampleEncoding {
+    /// Full-precision IEEE-754 doubles — lossless, 8 bytes per sample.
+    #[default]
+    F64,
+    /// IEEE-754 single precision — 4 bytes per sample, relative error
+    /// bounded by `f32::EPSILON`.
+    F32,
+    /// Fixed-point 16-bit integers under the recorded [`Quantization`] —
+    /// 2 bytes per sample, absolute error bounded by
+    /// [`Quantization::max_error`].
+    I16(Quantization),
+}
+
+impl SampleEncoding {
+    /// The on-disk encoding tag.
+    pub fn code(self) -> u32 {
+        match self {
+            SampleEncoding::F64 => 0,
+            SampleEncoding::F32 => 1,
+            SampleEncoding::I16(_) => 2,
+        }
+    }
+
+    /// Bytes one encoded sample occupies.
+    pub fn width(self) -> usize {
+        match self {
+            SampleEncoding::F64 => 8,
+            SampleEncoding::F32 => 4,
+            SampleEncoding::I16(_) => 2,
+        }
+    }
+
+    /// The quantization contract, for the fixed-point encoding.
+    pub fn quantization(self) -> Option<Quantization> {
+        match self {
+            SampleEncoding::I16(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// Worst-case absolute error of one encoded sample of magnitude up to
+    /// `magnitude` (assuming the fixed-point encoding does not saturate).
+    pub fn max_abs_error(self, magnitude: f64) -> f64 {
+        match self {
+            SampleEncoding::F64 => 0.0,
+            SampleEncoding::F32 => magnitude.abs() * f64::from(f32::EPSILON),
+            SampleEncoding::I16(q) => q.max_error(),
+        }
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleEncoding::F64 => "f64",
+            SampleEncoding::F32 => "f32",
+            SampleEncoding::I16(_) => "i16 fixed-point",
+        }
+    }
+
+    /// Decodes the header's encoding tag and scale field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for an unknown tag, a scale recorded for a
+    /// non-quantized encoding, or an invalid scale.
+    pub(crate) fn from_code(code: u32, scale_bits: u64) -> Result<Self> {
+        match code {
+            0 | 1 => {
+                if scale_bits != 0 {
+                    return Err(StoreError::CorruptHeader {
+                        message: format!(
+                            "non-quantized encoding {code} carries a quantization scale"
+                        ),
+                    });
+                }
+                Ok(if code == 0 {
+                    SampleEncoding::F64
+                } else {
+                    SampleEncoding::F32
+                })
+            }
+            2 => {
+                let scale = f64::from_bits(scale_bits);
+                let q = Quantization::new(scale).map_err(|_| StoreError::CorruptHeader {
+                    message: format!("invalid quantization scale {scale}"),
+                })?;
+                Ok(SampleEncoding::I16(q))
+            }
+            other => Err(StoreError::CorruptHeader {
+                message: format!("unknown sample encoding {other}"),
+            }),
+        }
+    }
+
+    /// The header's scale field for this encoding.
+    pub(crate) fn scale_bits(self) -> u64 {
+        match self {
+            SampleEncoding::I16(q) => q.scale.to_bits(),
+            _ => 0,
+        }
+    }
+
+    /// Appends the fixed-width little-endian representation of
+    /// `values` to `out`.
+    fn encode_samples(self, values: &[f64], out: &mut Vec<u8>) {
+        match self {
+            SampleEncoding::F64 => {
+                out.reserve(values.len() * 8);
+                for &v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            SampleEncoding::F32 => {
+                out.reserve(values.len() * 4);
+                for &v in values {
+                    out.extend_from_slice(&(v as f32).to_le_bytes());
+                }
+            }
+            SampleEncoding::I16(q) => {
+                out.reserve(values.len() * 2);
+                for &v in values {
+                    out.extend_from_slice(&q.quantize(v).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes `out.len()` fixed-width values from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bytes` is not exactly `out.len() * width`.
+    fn decode_samples(self, bytes: &[u8], out: &mut [f64]) -> Result<()> {
+        if bytes.len() != out.len() * self.width() {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "sample block holds {} bytes, expected {} ({} values × {} bytes)",
+                    bytes.len(),
+                    out.len() * self.width(),
+                    out.len(),
+                    self.width()
+                ),
+            });
+        }
+        match self {
+            SampleEncoding::F64 => {
+                for (value, raw) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                    *value = f64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                }
+            }
+            SampleEncoding::F32 => {
+                for (value, raw) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *value = f64::from(f32::from_le_bytes(raw.try_into().expect("4 bytes")));
+                }
+            }
+            SampleEncoding::I16(q) => {
+                for (value, raw) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                    *value = q.dequantize(i16::from_le_bytes(raw.try_into().expect("2 bytes")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether a version-3 chunk body is run through the shuffle compressor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Raw fixed-width body (the v1/v2 layout generalized to the encoding
+    /// width).
+    #[default]
+    None,
+    /// Delta/varint inputs + byte-shuffled, delta + zero-RLE sample planes.
+    Shuffle,
+}
+
+impl Compression {
+    /// The on-disk compression tag.
+    pub fn code(self) -> u32 {
+        match self {
+            Compression::None => 0,
+            Compression::Shuffle => 1,
+        }
+    }
+
+    /// Decodes the header's compression tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for an unknown tag.
+    pub(crate) fn from_code(code: u32) -> Result<Self> {
+        match code {
+            0 => Ok(Compression::None),
+            1 => Ok(Compression::Shuffle),
+            other => Err(StoreError::CorruptHeader {
+                message: format!("unknown chunk compression {other}"),
+            }),
+        }
+    }
+
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::Shuffle => "shuffle+delta/varint",
+        }
+    }
+}
+
+/// Hard upper bound on an encoded chunk body for `k` traces: raw size plus
+/// the compressor's bounded worst-case overhead.  The reader rejects any
+/// chunk header announcing more before allocating.
+pub(crate) fn max_body_len(
+    k: usize,
+    samples_per_trace: usize,
+    encoding: SampleEncoding,
+    compression: Compression,
+) -> u64 {
+    let raw = (k as u64) * 8 + (k as u64) * (samples_per_trace as u64) * (encoding.width() as u64);
+    match compression {
+        Compression::None => raw,
+        // Worst case: varint inputs expand 8 → 10 bytes each, every sample
+        // plane is one all-literal run (two varints ≤ 10 bytes each), plus
+        // the 4-byte inputs-length prefix.
+        Compression::Shuffle => raw + (k as u64) * 2 + 20 * encoding.width() as u64 + 4,
+    }
+}
+
+/// Reusable scratch buffers of the chunk body encoder — one per writer, so
+/// steady-state captures allocate nothing per chunk.
+#[derive(Debug, Default)]
+pub(crate) struct EncodeScratch {
+    raw: Vec<u8>,
+    plane: Vec<u8>,
+}
+
+/// Encodes one chunk body (inputs + sample-major sample values) under the
+/// given encoding and compression, appending to `out`.
+pub(crate) fn encode_body(
+    encoding: SampleEncoding,
+    compression: Compression,
+    inputs: &[u64],
+    samples: &[f64],
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    match compression {
+        Compression::None => {
+            out.reserve(inputs.len() * 8 + samples.len() * encoding.width());
+            for &input in inputs {
+                out.extend_from_slice(&input.to_le_bytes());
+            }
+            encoding.encode_samples(samples, out);
+        }
+        Compression::Shuffle => {
+            // [inputs_len: u32][delta/varint inputs][per-plane streams]
+            let len_at = out.len();
+            out.extend_from_slice(&[0u8; 4]);
+            let mut prev = 0u64;
+            for &input in inputs {
+                put_varint(out, zigzag(input.wrapping_sub(prev) as i64));
+                prev = input;
+            }
+            let inputs_len = (out.len() - len_at - 4) as u32;
+            out[len_at..len_at + 4].copy_from_slice(&inputs_len.to_le_bytes());
+
+            scratch.raw.clear();
+            encoding.encode_samples(samples, &mut scratch.raw);
+            let width = encoding.width();
+            for plane in 0..width {
+                scratch.plane.clear();
+                scratch
+                    .plane
+                    .extend(scratch.raw.iter().skip(plane).step_by(width));
+                delta_in_place(&mut scratch.plane);
+                encode_rle0(&scratch.plane, out);
+            }
+        }
+    }
+}
+
+/// Decodes one chunk body into `inputs` (cleared and refilled) and the
+/// exactly-sized sample-major `samples` buffer.
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError::FormatViolation`] for any malformed body:
+/// wrong length, truncated or oversized varint streams, or trailing bytes.
+pub(crate) fn decode_body(
+    encoding: SampleEncoding,
+    compression: Compression,
+    k: usize,
+    body: &[u8],
+    inputs: &mut Vec<u64>,
+    samples: &mut [f64],
+    scratch: &mut Vec<u8>,
+) -> Result<()> {
+    inputs.clear();
+    match compression {
+        Compression::None => {
+            let input_bytes = k * 8;
+            if body.len() < input_bytes {
+                return Err(violation("chunk body ends inside the input block"));
+            }
+            inputs.reserve(k);
+            for raw in body[..input_bytes].chunks_exact(8) {
+                inputs.push(u64::from_le_bytes(raw.try_into().expect("8 bytes")));
+            }
+            encoding.decode_samples(&body[input_bytes..], samples)
+        }
+        Compression::Shuffle => {
+            if body.len() < 4 {
+                return Err(violation("compressed chunk body shorter than its prefix"));
+            }
+            let inputs_len = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+            let Some(planes) = body.len().checked_sub(4 + inputs_len) else {
+                return Err(violation("compressed input block overruns the chunk body"));
+            };
+            let input_stream = &body[4..4 + inputs_len];
+            let mut pos = 0usize;
+            let mut prev = 0u64;
+            inputs.reserve(k);
+            for _ in 0..k {
+                let delta = unzigzag(get_varint(input_stream, &mut pos)?);
+                prev = prev.wrapping_add(delta as u64);
+                inputs.push(prev);
+            }
+            if pos != input_stream.len() {
+                return Err(violation("trailing bytes after the compressed input block"));
+            }
+
+            let width = encoding.width();
+            let values = samples.len();
+            let plane_stream = &body[body.len() - planes..];
+            scratch.clear();
+            scratch.resize(values * width, 0);
+            let mut pos = 0usize;
+            for plane in 0..width {
+                let plane_out = &mut scratch[plane * values..(plane + 1) * values];
+                decode_rle0(plane_stream, &mut pos, plane_out)?;
+                undelta_in_place(plane_out);
+            }
+            if pos != plane_stream.len() {
+                return Err(violation("trailing bytes after the sample planes"));
+            }
+            // Un-shuffle the planes back into value-major raw bytes, then
+            // decode the fixed-width values.  The raw buffer doubles as the
+            // shuffled and un-shuffled storage: read plane-major, write
+            // value-major into a second pass over the same scratch tail.
+            let mut raw = vec![0u8; values * width];
+            for plane in 0..width {
+                for (i, &b) in scratch[plane * values..(plane + 1) * values]
+                    .iter()
+                    .enumerate()
+                {
+                    raw[i * width + plane] = b;
+                }
+            }
+            encoding.decode_samples(&raw, samples)
+        }
+    }
+}
+
+fn violation(message: &str) -> StoreError {
+    StoreError::FormatViolation {
+        message: message.into(),
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    for shift in 0..10 {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(violation("varint stream truncated"));
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7F);
+        if shift == 9 && byte > 0x01 {
+            return Err(violation("varint exceeds 64 bits"));
+        }
+        value |= payload << (shift * 7);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(violation("varint longer than 10 bytes"))
+}
+
+/// In-place wrapping delta along a byte plane (first byte kept raw).
+fn delta_in_place(plane: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in plane.iter_mut() {
+        let current = *b;
+        *b = current.wrapping_sub(prev);
+        prev = current;
+    }
+}
+
+/// Inverse of [`delta_in_place`].
+fn undelta_in_place(plane: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in plane.iter_mut() {
+        prev = prev.wrapping_add(*b);
+        *b = prev;
+    }
+}
+
+/// Zero-run-length codes one delta plane as `(zero_run, literal_run,
+/// literal bytes)` groups.  Runs of at least four zeros are worth a group
+/// boundary; shorter ones ride inside literals.
+fn encode_rle0(plane: &[u8], out: &mut Vec<u8>) {
+    const MIN_ZERO_RUN: usize = 4;
+    let mut i = 0;
+    while i < plane.len() {
+        let zero_start = i;
+        while i < plane.len() && plane[i] == 0 {
+            i += 1;
+        }
+        let zeros = i - zero_start;
+        let literal_start = i;
+        loop {
+            // Extend the literal run until a worthwhile zero run or the end.
+            while i < plane.len() && plane[i] != 0 {
+                i += 1;
+            }
+            let mut z = i;
+            while z < plane.len() && plane[z] == 0 {
+                z += 1;
+            }
+            if i < plane.len() && z - i < MIN_ZERO_RUN && z < plane.len() {
+                i = z;
+                continue;
+            }
+            break;
+        }
+        put_varint(out, zeros as u64);
+        put_varint(out, (i - literal_start) as u64);
+        out.extend_from_slice(&plane[literal_start..i]);
+    }
+}
+
+/// Decodes one zero-RLE plane of exactly `out.len()` bytes, advancing
+/// `pos` through the shared plane stream.
+fn decode_rle0(bytes: &[u8], pos: &mut usize, out: &mut [u8]) -> Result<()> {
+    let mut produced = 0usize;
+    while produced < out.len() {
+        let zeros = get_varint(bytes, pos)? as usize;
+        let literals = get_varint(bytes, pos)? as usize;
+        if zeros == 0 && literals == 0 {
+            return Err(violation("empty run group in a sample plane"));
+        }
+        let total = zeros
+            .checked_add(literals)
+            .ok_or_else(|| violation("run group length overflows"))?;
+        if total > out.len() - produced {
+            return Err(violation("run group overruns its sample plane"));
+        }
+        out[produced..produced + zeros].fill(0);
+        produced += zeros;
+        let Some(literal_bytes) = bytes.get(*pos..*pos + literals) else {
+            return Err(violation("literal run truncated"));
+        };
+        out[produced..produced + literals].copy_from_slice(literal_bytes);
+        *pos += literals;
+        produced += literals;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(
+        encoding: SampleEncoding,
+        compression: Compression,
+        inputs: &[u64],
+        samples: &[f64],
+    ) -> (Vec<u64>, Vec<f64>, usize) {
+        let mut body = Vec::new();
+        let mut scratch = EncodeScratch::default();
+        encode_body(
+            encoding,
+            compression,
+            inputs,
+            samples,
+            &mut scratch,
+            &mut body,
+        );
+        assert!(
+            body.len() as u64
+                <= max_body_len(
+                    inputs.len(),
+                    samples.len() / inputs.len().max(1),
+                    encoding,
+                    compression
+                ),
+            "body {} over bound",
+            body.len()
+        );
+        let mut out_inputs = Vec::new();
+        let mut out_samples = vec![0.0; samples.len()];
+        let mut scratch = Vec::new();
+        decode_body(
+            encoding,
+            compression,
+            inputs.len(),
+            &body,
+            &mut out_inputs,
+            &mut out_samples,
+            &mut scratch,
+        )
+        .unwrap();
+        (out_inputs, out_samples, body.len())
+    }
+
+    fn noisy_samples(count: usize) -> Vec<f64> {
+        // Deterministic xorshift noise around a smooth baseline, the shape
+        // of a real trace column.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..count)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                1.0 + (i as f64 * 0.01).sin() * 0.25 + noise * 0.01
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f64_round_trips_exactly_in_both_compressions() {
+        let inputs: Vec<u64> = (0..96).map(|i| i % 16).collect();
+        let samples = noisy_samples(96 * 3);
+        for compression in [Compression::None, Compression::Shuffle] {
+            let (in2, s2, _) = round_trip(SampleEncoding::F64, compression, &inputs, &samples);
+            assert_eq!(in2, inputs);
+            assert_eq!(
+                s2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                samples.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{compression:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_round_trips_to_single_precision() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let samples = noisy_samples(64 * 2);
+        for compression in [Compression::None, Compression::Shuffle] {
+            let (in2, s2, _) = round_trip(SampleEncoding::F32, compression, &inputs, &samples);
+            assert_eq!(in2, inputs);
+            for (a, b) in s2.iter().zip(&samples) {
+                assert_eq!(*a, f64::from(*b as f32), "{compression:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn i16_round_trips_within_the_documented_error_bound() {
+        let q = Quantization::for_max_magnitude(2.0).unwrap();
+        let encoding = SampleEncoding::I16(q);
+        let inputs: Vec<u64> = (0..64).map(|i| (i * 7) % 16).collect();
+        let samples = noisy_samples(64 * 2);
+        for compression in [Compression::None, Compression::Shuffle] {
+            let (in2, s2, _) = round_trip(encoding, compression, &inputs, &samples);
+            assert_eq!(in2, inputs);
+            for (a, b) in s2.iter().zip(&samples) {
+                assert!(
+                    (a - b).abs() <= q.max_error(),
+                    "{compression:?}: {a} vs {b} (bound {})",
+                    q.max_error()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i16_saturates_outside_the_contract_range() {
+        let q = Quantization::new(0.001).unwrap();
+        assert_eq!(q.quantize(1e9), i16::MAX);
+        assert_eq!(q.quantize(-1e9), i16::MIN);
+        assert_eq!(q.quantize(f64::NAN), 0);
+        assert!(q.max_magnitude() < 33.0);
+    }
+
+    #[test]
+    fn shuffle_compresses_nibble_inputs_and_smooth_samples() {
+        let inputs: Vec<u64> = (0..512).map(|i| i % 16).collect();
+        let samples = noisy_samples(512);
+        let q = Quantization::for_max_magnitude(2.0).unwrap();
+        let (_, _, compact) = round_trip(
+            SampleEncoding::I16(q),
+            Compression::Shuffle,
+            &inputs,
+            &samples,
+        );
+        let (_, _, raw) = round_trip(SampleEncoding::F64, Compression::None, &inputs, &samples);
+        assert!(
+            compact * 2 <= raw,
+            "compressed i16 body {compact} not ≥2× smaller than raw f64 {raw}"
+        );
+    }
+
+    #[test]
+    fn corrupt_compressed_bodies_fail_typed() {
+        let inputs: Vec<u64> = (0..32).map(|i| i % 16).collect();
+        let samples = noisy_samples(32);
+        let mut body = Vec::new();
+        let mut scratch = EncodeScratch::default();
+        encode_body(
+            SampleEncoding::F32,
+            Compression::Shuffle,
+            &inputs,
+            &samples,
+            &mut scratch,
+            &mut body,
+        );
+        // Truncations and trailing garbage are violations, never panics.
+        let decode = |bytes: &[u8]| {
+            let mut i = Vec::new();
+            let mut s = vec![0.0; samples.len()];
+            let mut scratch = Vec::new();
+            decode_body(
+                SampleEncoding::F32,
+                Compression::Shuffle,
+                inputs.len(),
+                bytes,
+                &mut i,
+                &mut s,
+                &mut scratch,
+            )
+        };
+        for cut in [0, 1, 3, body.len() / 2, body.len() - 1] {
+            assert!(
+                matches!(
+                    decode(&body[..cut]),
+                    Err(StoreError::FormatViolation { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        let mut extended = body.clone();
+        extended.push(0xAB);
+        assert!(matches!(
+            decode(&extended),
+            Err(StoreError::FormatViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn varints_round_trip_and_reject_overlong_streams() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+        let overlong = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&overlong, &mut pos).is_err());
+        assert_eq!(unzigzag(zigzag(-5)), -5);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn invalid_quantizations_are_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(Quantization::new(bad).is_err());
+        }
+        assert!(Quantization::for_max_magnitude(f64::NAN).is_err());
+        // Zero magnitude still yields a usable (tiny) positive scale.
+        let q = Quantization::for_max_magnitude(0.0).unwrap();
+        assert!(q.scale > 0.0);
+    }
+
+    #[test]
+    fn encoding_codes_round_trip_and_reject_mismatched_scales() {
+        let q = Quantization::new(0.5).unwrap();
+        for encoding in [
+            SampleEncoding::F64,
+            SampleEncoding::F32,
+            SampleEncoding::I16(q),
+        ] {
+            let decoded =
+                SampleEncoding::from_code(encoding.code(), encoding.scale_bits()).unwrap();
+            assert_eq!(decoded, encoding);
+            assert!(!encoding.label().is_empty());
+        }
+        assert!(SampleEncoding::from_code(9, 0).is_err());
+        assert!(SampleEncoding::from_code(0, 1.0f64.to_bits()).is_err());
+        assert!(SampleEncoding::from_code(2, 0).is_err());
+        assert!(SampleEncoding::from_code(2, f64::NAN.to_bits()).is_err());
+        for compression in [Compression::None, Compression::Shuffle] {
+            assert_eq!(
+                Compression::from_code(compression.code()).unwrap(),
+                compression
+            );
+            assert!(!compression.label().is_empty());
+        }
+        assert!(Compression::from_code(7).is_err());
+    }
+}

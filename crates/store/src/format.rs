@@ -1,7 +1,7 @@
 //! The on-disk archive format: header layout, model tags and checksums.
 //!
 //! An archive is one fixed-size little-endian header followed by a sequence
-//! of trace chunks.  Two header versions exist:
+//! of trace chunks.  Three header versions exist:
 //!
 //! ```text
 //! version 1 (56 bytes)                    version 2 (64 bytes)
@@ -17,15 +17,27 @@
 //!     44     4  campaign kind                 44     4  campaign kind
 //!     48     8  FNV-1a 64 of bytes 0..48      48     8  energy-table digest
 //!                                             56     8  FNV-1a 64 of bytes 0..56
+//!
+//! version 3 (80 bytes)
+//! offset  size  field
+//!      0    56  as version 2 (magic "DPLTRCv3", format version 3)
+//!     56     4  sample-encoding tag   (crate::SampleEncoding)
+//!     60     4  chunk-compression tag (crate::Compression)
+//!     64     8  quantization scale (f64 bits; 0 unless the i16 encoding)
+//!     72     8  FNV-1a 64 of bytes 0..72
 //! ```
 //!
 //! Version 2 adds the **energy-table digest**
 //! (`dpl_crypto::GateEnergyTable::digest`, `0` = unrecorded) and widens the
-//! model-tag code space to the characterisation-derived models.  The writer
-//! picks the *lowest* version that can represent the metadata: campaigns
-//! with a legacy built-in model tag and no digest produce byte-identical
-//! version-1 archives, and every legacy archive still decodes.  A model tag
-//! out of range for its header version is rejected with the typed
+//! model-tag code space to the characterisation-derived models.  Version 3
+//! adds the **compact sample encodings** and the built-in chunk compressor
+//! (see [`crate::encode`]), recording the encoding, compression and
+//! quantization contract so every analysis tool can honour them.  The
+//! writer picks the *lowest* version that can represent the metadata:
+//! campaigns with a legacy built-in model tag and no digest produce
+//! byte-identical version-1 archives, full-precision uncompressed campaigns
+//! never pay the v3 header, and every legacy archive still decodes.  A
+//! model tag out of range for its header version is rejected with the typed
 //! [`StoreError::UnknownModelTag`].
 //!
 //! The distinct-input count lets the out-of-core attacks pick the matching
@@ -41,7 +53,18 @@
 //!
 //! The sample block is **sample-major** (column `s` occupies `k`
 //! consecutive values), mirroring the columnar `TraceSet` layout, so a chunk
-//! loads with zero transposition.  The writer emits a zeroed placeholder
+//! loads with zero transposition.  Version-3 archives generalize the chunk
+//! to a variable-length body:
+//!
+//! ```text
+//! [k: u32] [body_len: u32] [body: encoded inputs + samples] [FNV-1a 64 of all previous chunk bytes]
+//! ```
+//!
+//! where the body is produced by `encode::encode_body` under the
+//! header-recorded encoding and compression; `body_len` is validated
+//! against `encode::max_body_len` before any allocation, so a
+//! forged length cannot cause an unbounded read.  The writer emits a zeroed
+//! placeholder
 //! header first and only writes the real header in
 //! [`crate::ArchiveWriter::finish`]: an interrupted capture leaves a file
 //! that fails to open with [`crate::StoreError::BadMagic`] instead of
@@ -61,15 +84,19 @@
 //!    torn-header) file or a complete one — never a valid header over
 //!    missing chunks.
 //! 2. **Chunks are self-describing and self-checking.**  Each chunk's
-//!    leading `k` plus the campaign metadata (which the resuming capture
-//!    knows independently) determine its exact byte length, and its
-//!    trailing FNV-1a 64 covers every preceding chunk byte.  A scan can
-//!    therefore walk chunks forward from the header boundary with no index
+//!    leading `k` (plus, for version 3, its explicit `body_len`) together
+//!    with the campaign metadata (which the resuming capture knows
+//!    independently) determine its exact byte length, and its trailing
+//!    FNV-1a 64 covers every preceding chunk byte.  A scan can therefore
+//!    walk chunks forward from the header boundary with no index
 //!    structure, and any torn or bit-flipped chunk fails its checksum.
-//! 3. **Append-only body, fixed chunking.**  Chunk `i` starts at
-//!    `header_len + i * chunk_len(chunk_traces, samples)`; only the last
-//!    chunk may be short (`0 < k < chunk_traces`), and only `finish` writes
-//!    it.  Hence in an unfinished file every *valid prefix* of full chunks
+//! 3. **Append-only body, fixed chunking.**  In versions 1–2 chunk `i`
+//!    starts at `header_len + i * chunk_len(chunk_traces, samples)`; in
+//!    version 3 chunk `i` starts immediately after chunk `i - 1` at the
+//!    offset the self-describing walk reaches.  Only the last chunk may
+//!    hold fewer than `chunk_traces` traces (`0 < k < chunk_traces`), and
+//!    only `finish` writes it.  Hence in an unfinished file every *valid
+//!    prefix* of full chunks
 //!    is exactly the data acknowledged before the crash, a trailing valid
 //!    partial chunk can only mean the crash hit the finish path (its traces
 //!    are re-buffered, not lost), and the first invalid byte marks where
@@ -79,6 +106,7 @@
 //! prefix followed by re-appending the remaining traces reproduces, byte
 //! for byte, the archive an uninterrupted capture would have written.
 
+use crate::encode::{Compression, SampleEncoding};
 use crate::error::{Result, StoreError};
 
 /// The 8 magic bytes of a version-1 archive.
@@ -87,10 +115,13 @@ pub const MAGIC: [u8; 8] = *b"DPLTRCv1";
 /// The 8 magic bytes of a version-2 archive.
 pub const MAGIC_V2: [u8; 8] = *b"DPLTRCv2";
 
+/// The 8 magic bytes of a version-3 archive.
+pub const MAGIC_V3: [u8; 8] = *b"DPLTRCv3";
+
 /// The newest format version this crate writes (older ones remain
 /// readable, and the writer emits the lowest version that can represent an
 /// archive's metadata).
-pub const CURRENT_VERSION: u32 = 2;
+pub const CURRENT_VERSION: u32 = 3;
 
 /// Size of the version-1 header in bytes.
 pub const HEADER_LEN: usize = 56;
@@ -98,8 +129,15 @@ pub const HEADER_LEN: usize = 56;
 /// Size of the version-2 header in bytes.
 pub const HEADER_LEN_V2: usize = 64;
 
+/// Size of the version-3 header in bytes.
+pub const HEADER_LEN_V3: usize = 80;
+
 /// Size of a chunk's trace-count prefix in bytes.
 pub const CHUNK_PREFIX_LEN: usize = 4;
+
+/// Size of a version-3 chunk's body-length field in bytes (it follows the
+/// trace-count prefix).
+pub const CHUNK_BODY_LEN_LEN: usize = 4;
 
 /// Size of a chunk's trailing checksum in bytes.
 pub const CHUNK_CHECKSUM_LEN: usize = 8;
@@ -295,7 +333,7 @@ impl CampaignKind {
 }
 
 /// The campaign metadata fixed when an archive is created.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArchiveMeta {
     /// Samples recorded per trace (>= 1).
     pub samples_per_trace: usize,
@@ -314,6 +352,13 @@ pub struct ArchiveMeta {
     /// unrecorded.  The store carries the value opaquely; recording one
     /// promotes the header to format version 2.
     pub table_digest: u64,
+    /// How sample values are stored on disk.  Anything but the default
+    /// lossless [`SampleEncoding::F64`] promotes the header to format
+    /// version 3.
+    pub encoding: SampleEncoding,
+    /// Whether chunk bodies run through the built-in compressor.  Anything
+    /// but [`Compression::None`] promotes the header to format version 3.
+    pub compression: Compression,
 }
 
 impl ArchiveMeta {
@@ -327,6 +372,8 @@ impl ArchiveMeta {
             seed,
             campaign: CampaignKind::Attack,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         }
     }
 
@@ -348,11 +395,29 @@ impl ArchiveMeta {
         }
     }
 
+    /// The same metadata with the given sample encoding (a non-`F64`
+    /// encoding promotes the archive to header version 3).
+    pub fn with_encoding(self, encoding: SampleEncoding) -> Self {
+        ArchiveMeta { encoding, ..self }
+    }
+
+    /// The same metadata with the given chunk compression
+    /// ([`Compression::Shuffle`] promotes the archive to header version 3).
+    pub fn with_compression(self, compression: Compression) -> Self {
+        ArchiveMeta {
+            compression,
+            ..self
+        }
+    }
+
     /// The lowest header version that can represent this metadata: 1 for a
     /// legacy built-in model tag with no digest (byte-identical to archives
-    /// written before version 2 existed), 2 otherwise.
+    /// written before version 2 existed), 2 with characterized models or a
+    /// digest, 3 as soon as a compact encoding or compression is in play.
     pub fn format_version(&self) -> u32 {
-        if self.model.is_characterized() || self.table_digest != 0 {
+        if self.encoding != SampleEncoding::F64 || self.compression != Compression::None {
+            3
+        } else if self.model.is_characterized() || self.table_digest != 0 {
             2
         } else {
             1
@@ -363,7 +428,8 @@ impl ArchiveMeta {
     pub fn header_len(&self) -> usize {
         match self.format_version() {
             1 => HEADER_LEN,
-            _ => HEADER_LEN_V2,
+            2 => HEADER_LEN_V2,
+            _ => HEADER_LEN_V3,
         }
     }
 
@@ -388,8 +454,8 @@ impl ArchiveMeta {
     }
 }
 
-/// Serialized bytes of a size-`k` chunk: prefix + inputs + samples +
-/// checksum.
+/// Serialized bytes of a size-`k` version-1/2 chunk: prefix + inputs +
+/// samples + checksum.
 pub(crate) fn chunk_len(k: usize, samples_per_trace: usize) -> u64 {
     CHUNK_PREFIX_LEN as u64
         + (k as u64) * 8
@@ -397,12 +463,22 @@ pub(crate) fn chunk_len(k: usize, samples_per_trace: usize) -> u64 {
         + CHUNK_CHECKSUM_LEN as u64
 }
 
+/// Serialized bytes of a version-3 chunk with the given body length:
+/// prefix + body length + body + checksum.
+pub(crate) fn chunk_len_v3(body_len: u64) -> u64 {
+    (CHUNK_PREFIX_LEN + CHUNK_BODY_LEN_LEN + CHUNK_CHECKSUM_LEN) as u64 + body_len
+}
+
 /// Encodes the header for the given metadata, trace count and distinct
 /// input count (0 = too many to track), at the metadata's format version.
 pub(crate) fn encode_header(meta: &ArchiveMeta, trace_count: u64, distinct_inputs: u32) -> Vec<u8> {
     let version = meta.format_version();
     let mut header = vec![0u8; meta.header_len()];
-    header[0..8].copy_from_slice(if version == 1 { &MAGIC } else { &MAGIC_V2 });
+    header[0..8].copy_from_slice(match version {
+        1 => &MAGIC,
+        2 => &MAGIC_V2,
+        _ => &MAGIC_V3,
+    });
     header[8..12].copy_from_slice(&version.to_le_bytes());
     header[12..16].copy_from_slice(&(meta.samples_per_trace as u32).to_le_bytes());
     header[16..20].copy_from_slice(&(meta.chunk_traces as u32).to_le_bytes());
@@ -415,7 +491,14 @@ pub(crate) fn encode_header(meta: &ArchiveMeta, trace_count: u64, distinct_input
         48
     } else {
         header[48..56].copy_from_slice(&meta.table_digest.to_le_bytes());
-        56
+        if version == 2 {
+            56
+        } else {
+            header[56..60].copy_from_slice(&meta.encoding.code().to_le_bytes());
+            header[60..64].copy_from_slice(&meta.compression.code().to_le_bytes());
+            header[64..72].copy_from_slice(&meta.encoding.scale_bits().to_le_bytes());
+            72
+        }
     };
     let checksum = fnv1a64(&header[0..payload_end]);
     header[payload_end..payload_end + 8].copy_from_slice(&checksum.to_le_bytes());
@@ -431,22 +514,34 @@ fn u64_at(bytes: &[u8], offset: usize) -> u64 {
 }
 
 /// The header version a file's leading magic bytes announce: `Some(1)`,
-/// `Some(2)`, or `None` for anything else (not an archive).  The reader
-/// uses this to know how many header bytes to fetch before
+/// `Some(2)`, `Some(3)`, or `None` for anything else (not an archive).
+/// The reader uses this to know how many header bytes to fetch before
 /// [`decode_header`].
 pub(crate) fn version_of_magic(magic: &[u8; 8]) -> Option<u32> {
     if *magic == MAGIC {
         Some(1)
     } else if *magic == MAGIC_V2 {
         Some(2)
+    } else if *magic == MAGIC_V3 {
+        Some(3)
     } else {
         None
     }
 }
 
+/// The header length of a given format version (the number of bytes the
+/// reader fetches once the magic announces the version).
+pub(crate) fn header_len_of_version(version: u32) -> usize {
+    match version {
+        1 => HEADER_LEN,
+        2 => HEADER_LEN_V2,
+        _ => HEADER_LEN_V3,
+    }
+}
+
 /// Decodes and validates a complete header (56 bytes for version 1, 64 for
-/// version 2), returning the metadata, trace count and recorded distinct
-/// input count.
+/// version 2, 80 for version 3), returning the metadata, trace count and
+/// recorded distinct input count.
 pub(crate) fn decode_header(header: &[u8]) -> Result<(ArchiveMeta, u64, u32)> {
     let mut magic = [0u8; 8];
     magic.copy_from_slice(&header[0..8]);
@@ -457,15 +552,12 @@ pub(crate) fn decode_header(header: &[u8]) -> Result<(ArchiveMeta, u64, u32)> {
     if version != magic_version {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
-    debug_assert_eq!(
-        header.len(),
-        if version == 1 {
-            HEADER_LEN
-        } else {
-            HEADER_LEN_V2
-        }
-    );
-    let payload_end = if version == 1 { 48 } else { 56 };
+    debug_assert_eq!(header.len(), header_len_of_version(version));
+    let payload_end = match version {
+        1 => 48,
+        2 => 56,
+        _ => 72,
+    };
     let stored = u64_at(header, payload_end);
     let computed = fnv1a64(&header[0..payload_end]);
     if stored != computed {
@@ -480,6 +572,16 @@ pub(crate) fn decode_header(header: &[u8]) -> Result<(ArchiveMeta, u64, u32)> {
         seed: u64_at(header, 24),
         campaign: CampaignKind::from_code(u32_at(header, 44))?,
         table_digest: if version == 1 { 0 } else { u64_at(header, 48) },
+        encoding: if version < 3 {
+            SampleEncoding::F64
+        } else {
+            SampleEncoding::from_code(u32_at(header, 56), u64_at(header, 64))?
+        },
+        compression: if version < 3 {
+            Compression::None
+        } else {
+            Compression::from_code(u32_at(header, 60))?
+        },
     };
     if meta.samples_per_trace == 0 || meta.chunk_traces == 0 {
         return Err(StoreError::CorruptHeader {
@@ -490,10 +592,13 @@ pub(crate) fn decode_header(header: &[u8]) -> Result<(ArchiveMeta, u64, u32)> {
     // Bound the implied file size up front (in u128, which cannot overflow
     // for 32/64-bit fields) so all later u64 offset arithmetic is safe: a
     // forged header must surface as CorruptHeader, never as an integer
-    // overflow or a bogus huge allocation.
+    // overflow or a bogus huge allocation.  For version 3 the bound uses
+    // the compressor's worst case, which only widens the tolerance.
     let chunk_bytes = CHUNK_PREFIX_LEN as u128
-        + (meta.chunk_traces as u128) * 8
+        + CHUNK_BODY_LEN_LEN as u128
+        + (meta.chunk_traces as u128) * 10
         + (meta.chunk_traces as u128) * (meta.samples_per_trace as u128) * 8
+        + 256
         + CHUNK_CHECKSUM_LEN as u128;
     let chunk_count = (trace_count as u128).div_ceil(meta.chunk_traces as u128);
     let implied_len = header.len() as u128 + chunk_count * chunk_bytes;
@@ -527,6 +632,8 @@ mod tests {
             seed: 0xDEAD_BEEF_2005,
             campaign: CampaignKind::TvlaInterleaved,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         };
         assert_eq!(meta.format_version(), 1);
         let header = encode_header(&meta, 12345, 16);
@@ -556,6 +663,71 @@ mod tests {
             assert_eq!(count, 777);
             assert_eq!(distinct, 16);
         }
+    }
+
+    #[test]
+    fn v3_headers_round_trip_encodings_and_compression() {
+        let q = crate::Quantization::new(0.0625).unwrap();
+        for meta in [
+            ArchiveMeta::scalar(64, ModelTag::HammingWeight, 9).with_encoding(SampleEncoding::F32),
+            ArchiveMeta::scalar(64, ModelTag::GenuineSabl, 9)
+                .with_encoding(SampleEncoding::I16(q))
+                .with_compression(Compression::Shuffle),
+            ArchiveMeta::scalar_tvla(8, ModelTag::CharacterizedEnhancedSabl, 3)
+                .with_table_digest(42)
+                .with_compression(Compression::Shuffle),
+        ] {
+            assert_eq!(meta.format_version(), 3);
+            assert_eq!(meta.header_len(), HEADER_LEN_V3);
+            let header = encode_header(&meta, 777, 16);
+            assert_eq!(header.len(), HEADER_LEN_V3);
+            assert_eq!(&header[0..8], &MAGIC_V3);
+            let (decoded, count, distinct) = decode_header(&header).unwrap();
+            assert_eq!(decoded, meta);
+            assert_eq!(count, 777);
+            assert_eq!(distinct, 16);
+        }
+
+        // Every flipped v3 payload byte fails the checksum.
+        let meta = ArchiveMeta::scalar(64, ModelTag::HammingWeight, 9)
+            .with_encoding(SampleEncoding::I16(q));
+        let good = encode_header(&meta, 100, 16);
+        for offset in 12..72 {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x10;
+            assert!(
+                matches!(decode_header(&bad), Err(StoreError::CorruptHeader { .. })),
+                "offset {offset}"
+            );
+        }
+
+        // Forged encoding/compression tags with self-consistent checksums
+        // are typed corruption, not panics.
+        for (offset, value) in [(56usize, 9u32), (60, 7)] {
+            let mut forged = good.clone();
+            forged[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            let checksum = fnv1a64(&forged[0..72]);
+            forged[72..80].copy_from_slice(&checksum.to_le_bytes());
+            assert!(matches!(
+                decode_header(&forged),
+                Err(StoreError::CorruptHeader { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn default_campaigns_stay_on_legacy_header_versions() {
+        // The compact-encoding fields must not disturb the
+        // lowest-representable-version discipline: a plain f64
+        // uncompressed campaign still writes v1/v2 bytes.
+        let v1 = ArchiveMeta::scalar(8, ModelTag::HammingWeight, 5);
+        assert_eq!(v1.format_version(), 1);
+        let v2 = ArchiveMeta::scalar(8, ModelTag::CharacterizedGenuineSabl, 5);
+        assert_eq!(v2.format_version(), 2);
+        assert_eq!(
+            v2.with_compression(Compression::Shuffle).format_version(),
+            3
+        );
     }
 
     #[test]
@@ -648,6 +820,8 @@ mod tests {
             seed: 0,
             campaign: CampaignKind::Attack,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         };
         let header = encode_header(&huge, u64::MAX, 0);
         assert!(matches!(
@@ -732,7 +906,7 @@ mod tests {
             ModelTag::from_code(77, CURRENT_VERSION),
             Err(StoreError::UnknownModelTag {
                 code: 77,
-                version: 2
+                version: CURRENT_VERSION
             })
         ));
     }

@@ -36,31 +36,48 @@
 //! * [`mod@fault`] — [`FaultStream`] deterministic fault injection and the
 //!   bounded [`RetryPolicy`], the machinery that proves the two layers
 //!   above by exhaustively failing every I/O operation.
+//!
+//! The sharded trace plane scales campaigns past one file:
+//!
+//! * [`mod@encode`] — version-3 compact sample encodings
+//!   ([`SampleEncoding`], with a typed [`Quantization`] contract) and the
+//!   zero-dependency chunk compressor ([`Compression::Shuffle`]),
+//! * [`mod@shard`] — [`CampaignManifest`] multi-archive campaigns and the
+//!   [`ShardedReader`] that folds them as one global-order chunk stream,
+//!   bit-identical to a single archive,
+//! * [`ChunkSource`] — the storage-backend trait the streaming attacks
+//!   fold over, so single archives and sharded campaigns share one attack
+//!   path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attack;
+pub mod encode;
 mod error;
 pub mod fault;
 pub mod format;
 mod reader;
 pub mod recover;
 pub mod salvage;
+pub mod shard;
 mod writer;
 
 pub use attack::{
-    cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming, FoldObs,
+    cpa_attack_parallel, cpa_attack_parallel_with, cpa_attack_streaming, dpa_attack_parallel,
+    dpa_attack_parallel_with, dpa_attack_streaming, FoldObs,
 };
+pub use encode::{Compression, Quantization, SampleEncoding};
 pub use error::{ReadSite, Result, StoreError};
 pub use fault::{Fault, FaultPlan, FaultStream, RetryPolicy};
 pub use format::{ArchiveMeta, CampaignKind, ModelTag};
-pub use reader::{ArchiveReader, Chunks};
+pub use reader::{ArchiveReader, ChunkSource, Chunks};
 pub use recover::{recover, HeaderState, Recovery};
 pub use salvage::{
     cpa_attack_salvage, dpa_attack_salvage, repair_archive, DamageCause, DamageReport,
     DamagedChunk, ReadPolicy, SalvageOutcome,
 };
+pub use shard::{is_manifest_file, CampaignManifest, ShardMeta, ShardedReader};
 pub use writer::{ArchiveWriter, SyncWrite, Truncate};
 
 #[cfg(test)]
@@ -111,6 +128,8 @@ mod tests {
             seed: 99,
             campaign: CampaignKind::Attack,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         };
         let bytes = write_archive(&traces, meta);
         let mut reader = ArchiveReader::new(Cursor::new(bytes)).unwrap();
@@ -242,6 +261,8 @@ mod tests {
             seed: 0,
             campaign: CampaignKind::Attack,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         };
         let bytes = write_archive(&traces, meta);
         // Flip one byte in the middle of chunk 1's payload.
@@ -306,6 +327,8 @@ mod tests {
                 seed: 0,
                 campaign: CampaignKind::Attack,
                 table_digest: 0,
+                encoding: SampleEncoding::F64,
+                compression: Compression::None,
             };
             let bytes = write_archive(&traces, meta);
             let mut in_memory = TraceSet::new();
@@ -341,6 +364,8 @@ mod tests {
             seed: 0,
             campaign: CampaignKind::Attack,
             table_digest: 0,
+            encoding: SampleEncoding::F64,
+            compression: Compression::None,
         };
         let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).unwrap();
         writer.append_trace_set(&set).unwrap();

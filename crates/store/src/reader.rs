@@ -7,9 +7,11 @@ use std::path::Path;
 use dpl_obs::{names, Obs};
 use dpl_power::TraceSet;
 
+use crate::encode::{self, max_body_len};
 use crate::error::{ReadSite, Result, StoreError};
 use crate::format::{
-    chunk_len, decode_header, fnv1a64, version_of_magic, ArchiveMeta, HEADER_LEN, HEADER_LEN_V2,
+    chunk_len, chunk_len_v3, decode_header, fnv1a64, header_len_of_version, version_of_magic,
+    ArchiveMeta,
 };
 use crate::salvage::ReadPolicy;
 
@@ -31,6 +33,18 @@ pub struct ArchiveReader<R: Read + Seek> {
     chunk_budget: usize,
     policy: ReadPolicy,
     obs: Option<Obs>,
+    /// Version-3 archives have variable-length chunks: `(offset, body_len)`
+    /// per chunk, built by an open-time walk of the self-describing chunk
+    /// heads.  `None` for versions 1–2, whose offsets are arithmetic.
+    offsets: Option<Vec<(u64, u32)>>,
+    /// Where the version-3 chunk walk stopped (== end of the last walkable
+    /// chunk; under [`ReadPolicy::Salvage`] chunks beyond it are damage).
+    data_end: u64,
+    /// Reusable chunk payload buffer — steady-state folds allocate no
+    /// payload bytes per chunk.
+    payload: Vec<u8>,
+    /// Reusable decompression scratch for version-3 chunk bodies.
+    decode_scratch: Vec<u8>,
 }
 
 impl ArchiveReader<BufReader<File>> {
@@ -82,12 +96,10 @@ impl<R: Read + Seek> ArchiveReader<R> {
         // header length to fetch before decoding.
         let mut magic = [0u8; 8];
         read_exact_or(&mut stream, &mut magic, ReadSite::Header)?;
-        let header_len = match version_of_magic(&magic) {
-            Some(1) => HEADER_LEN,
-            Some(_) => HEADER_LEN_V2,
-            None => return Err(StoreError::BadMagic { found: magic }),
+        let Some(version) = version_of_magic(&magic) else {
+            return Err(StoreError::BadMagic { found: magic });
         };
-        let mut header = vec![0u8; header_len];
+        let mut header = vec![0u8; header_len_of_version(version)];
         header[0..8].copy_from_slice(&magic);
         read_exact_or(&mut stream, &mut header[8..], ReadSite::Header)?;
         let (meta, trace_count, distinct_inputs) = decode_header(&header)?;
@@ -99,11 +111,84 @@ impl<R: Read + Seek> ArchiveReader<R> {
             distinct_inputs,
             policy,
             obs: None,
+            offsets: None,
+            data_end: 0,
+            payload: Vec::new(),
+            decode_scratch: Vec::new(),
         };
-        if policy == ReadPolicy::Strict {
+        if reader.meta.format_version() == 3 {
+            // Variable-length chunks: locate them all up front (the walk
+            // doubles as the strict exact-length check).
+            reader.scan_offsets()?;
+        } else if policy == ReadPolicy::Strict {
             reader.validate_length()?;
         }
         Ok(reader)
+    }
+
+    /// Validates and records chunk `index`'s head at byte `at`, returning
+    /// its body length.
+    fn scan_chunk_head(&mut self, at: u64, index: usize, expected_traces: usize) -> Result<u32> {
+        self.stream.seek(SeekFrom::Start(at))?;
+        let mut head = [0u8; 8];
+        read_exact_or(&mut self.stream, &mut head, ReadSite::Chunk(index))?;
+        let k = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
+        if k != expected_traces {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "chunk {index} declares {k} traces, header implies {expected_traces}"
+                ),
+            });
+        }
+        let body_len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        let bound = max_body_len(
+            k,
+            self.meta.samples_per_trace,
+            self.meta.encoding,
+            self.meta.compression,
+        );
+        if u64::from(body_len) > bound {
+            return Err(StoreError::FormatViolation {
+                message: format!(
+                    "chunk {index} declares a {body_len}-byte body, encoding bounds it at {bound}"
+                ),
+            });
+        }
+        Ok(body_len)
+    }
+
+    /// Walks the version-3 chunk heads once, recording every chunk's offset
+    /// and body length.  Under [`ReadPolicy::Strict`] the walk must land
+    /// exactly on the end of the file; under [`ReadPolicy::Salvage`] it
+    /// stops at the first invalid head and later chunks surface as damage.
+    fn scan_offsets(&mut self) -> Result<()> {
+        let chunks = self.chunk_count();
+        let mut offsets = Vec::with_capacity(chunks);
+        let mut at = self.meta.header_len() as u64;
+        for index in 0..chunks {
+            let expected = self.traces_in_chunk(index);
+            match self.scan_chunk_head(at, index, expected) {
+                Ok(body_len) => {
+                    offsets.push((at, body_len));
+                    at += chunk_len_v3(u64::from(body_len));
+                }
+                Err(_) if self.policy == ReadPolicy::Salvage => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.policy == ReadPolicy::Strict {
+            let actual = self.stream.seek(SeekFrom::End(0))?;
+            if actual != at {
+                return Err(StoreError::FormatViolation {
+                    message: format!(
+                        "archive holds {actual} bytes, chunk walk implies exactly {at}"
+                    ),
+                });
+            }
+        }
+        self.offsets = Some(offsets);
+        self.data_end = at;
+        Ok(())
     }
 
     /// Restricts the largest chunk this reader will materialize to `traces`
@@ -183,7 +268,8 @@ impl<R: Read + Seek> ArchiveReader<R> {
     }
 
     /// The archive's header format version (1 = legacy, 2 = extensible
-    /// model tag + energy-table digest).
+    /// model tag + energy-table digest, 3 = compact encodings +
+    /// compression).
     pub fn format_version(&self) -> u32 {
         self.meta.format_version()
     }
@@ -247,6 +333,21 @@ impl<R: Read + Seek> ArchiveReader<R> {
     /// Returns an error for an out-of-range index, I/O failure, truncation,
     /// a checksum mismatch, or a structural violation.
     pub fn read_chunk(&mut self, index: usize) -> Result<TraceSet> {
+        let mut set = TraceSet::new();
+        self.read_chunk_into(index, &mut set)?;
+        Ok(set)
+    }
+
+    /// Reads and verifies chunk `index` into `set` **in place**, reusing the
+    /// set's buffers — the steady-state fold path performs no per-chunk
+    /// allocation.  On error the set's contents are unspecified (stale or
+    /// empty); never a half-written chunk presented as valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range index, I/O failure, truncation,
+    /// a checksum mismatch, or a structural violation.
+    pub fn read_chunk_into(&mut self, index: usize, set: &mut TraceSet) -> Result<()> {
         if index >= self.chunk_count() {
             return Err(StoreError::FormatViolation {
                 message: format!(
@@ -258,16 +359,41 @@ impl<R: Read + Seek> ArchiveReader<R> {
         let expected_traces = self.traces_in_chunk(index);
         debug_assert!(expected_traces <= self.chunk_budget);
         let samples = self.meta.samples_per_trace;
-        let offset = self.chunk_offset(index);
+        let v3 = self.meta.format_version() == 3;
+        let (offset, payload_len) = if v3 {
+            let walked = self.offsets.as_ref().expect("v3 reader has offsets");
+            let walked_len = walked.len();
+            match walked.get(index).copied() {
+                Some((offset, body_len)) => (offset, 8 + body_len as usize),
+                None => {
+                    // The open-time walk stopped before this chunk.  The
+                    // first unwalkable head can be re-validated for a
+                    // precise error; anything beyond it has no locatable
+                    // offset at all.
+                    if index == walked_len {
+                        let at = self.data_end;
+                        self.scan_chunk_head(at, index, expected_traces)?;
+                    }
+                    return Err(StoreError::Truncated {
+                        at: ReadSite::Chunk(index),
+                    });
+                }
+            }
+        } else {
+            (
+                self.chunk_offset(index),
+                (chunk_len(expected_traces, samples) - 8) as usize,
+            )
+        };
 
         let io_phase = self
             .obs
             .as_ref()
             .map(|o| o.phase("store.chunk_io", names::STORE_READ_IO_NS));
         self.stream.seek(SeekFrom::Start(offset))?;
-        let payload_len = (chunk_len(expected_traces, samples) - 8) as usize;
-        let mut payload = vec![0u8; payload_len];
-        read_exact_or(&mut self.stream, &mut payload, ReadSite::Chunk(index))?;
+        self.payload.clear();
+        self.payload.resize(payload_len, 0);
+        read_exact_or(&mut self.stream, &mut self.payload, ReadSite::Chunk(index))?;
         let mut checksum = [0u8; 8];
         read_exact_or(&mut self.stream, &mut checksum, ReadSite::Chunk(index))?;
         drop(io_phase);
@@ -276,7 +402,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
             .obs
             .as_ref()
             .map(|o| o.phase("store.chunk_checksum", names::STORE_CHECKSUM_NS));
-        let checksum_ok = u64::from_le_bytes(checksum) == fnv1a64(&payload);
+        let checksum_ok = u64::from_le_bytes(checksum) == fnv1a64(&self.payload);
         drop(checksum_phase);
         if !checksum_ok {
             if let Some(obs) = &self.obs {
@@ -293,7 +419,7 @@ impl<R: Read + Seek> ArchiveReader<R> {
             .obs
             .as_ref()
             .map(|o| o.phase("store.chunk_decode", names::STORE_DECODE_NS));
-        let k = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes")) as usize;
+        let k = u32::from_le_bytes(self.payload[0..4].try_into().expect("4 bytes")) as usize;
         if k != expected_traces {
             return Err(StoreError::FormatViolation {
                 message: format!(
@@ -301,24 +427,40 @@ impl<R: Read + Seek> ArchiveReader<R> {
                 ),
             });
         }
-        let mut inputs = Vec::with_capacity(k);
-        for t in 0..k {
-            let at = 4 + t * 8;
-            inputs.push(u64::from_le_bytes(
-                payload[at..at + 8].try_into().expect("8 bytes"),
-            ));
+        if v3 {
+            let meta = self.meta;
+            let payload = &self.payload;
+            let scratch = &mut self.decode_scratch;
+            set.refill_columns(samples, k, |inputs, data| {
+                encode::decode_body(
+                    meta.encoding,
+                    meta.compression,
+                    k,
+                    &payload[8..],
+                    inputs,
+                    data,
+                    scratch,
+                )
+            })?;
+        } else {
+            let payload = &self.payload;
+            set.refill_columns(samples, k, |inputs, data| {
+                for t in 0..k {
+                    let at = 4 + t * 8;
+                    inputs.push(u64::from_le_bytes(
+                        payload[at..at + 8].try_into().expect("8 bytes"),
+                    ));
+                }
+                let base = 4 + k * 8;
+                for (v, slot) in data.iter_mut().enumerate() {
+                    let at = base + v * 8;
+                    *slot = f64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+                }
+                Ok::<(), StoreError>(())
+            })?;
         }
-        let mut data = Vec::with_capacity(k * samples);
-        let base = 4 + k * 8;
-        for v in 0..k * samples {
-            let at = base + v * 8;
-            data.push(f64::from_le_bytes(
-                payload[at..at + 8].try_into().expect("8 bytes"),
-            ));
-        }
-        let set = TraceSet::from_columns(inputs, samples, data);
         drop(decode_phase);
-        Ok(set)
+        Ok(())
     }
 
     /// Iterates over every chunk in order.
@@ -353,6 +495,91 @@ impl<R: Read + Seek> ArchiveReader<R> {
             offset += k;
         }
         Ok(TraceSet::from_columns(inputs, samples, data))
+    }
+}
+
+/// A storage backend that presents a capture campaign as one ordered
+/// stream of verified trace chunks.
+///
+/// This is the seam between the storage layer and the attack layer: the
+/// out-of-core folds in this crate and in `dpl-eval` are written against
+/// `ChunkSource`, so a single [`ArchiveReader`] file and a multi-archive
+/// [`crate::ShardedReader`] campaign fold through the exact same code —
+/// format evolution stays out of attack logic.  Implementations must yield
+/// chunks in **global trace order** with every chunk full except possibly
+/// the last; the mergeable accumulators then produce bit-identical scores
+/// regardless of how the campaign is stored.
+pub trait ChunkSource {
+    /// The campaign metadata (shared by every chunk).
+    fn meta(&self) -> &ArchiveMeta;
+
+    /// Total number of traces in the campaign.
+    fn trace_count(&self) -> u64;
+
+    /// Number of chunks (the last one may be partial).
+    fn chunk_count(&self) -> usize;
+
+    /// The campaign's recorded distinct input count, or `None` when it
+    /// exceeded the class-aggregation limit.
+    fn distinct_inputs(&self) -> Option<usize>;
+
+    /// Reads and verifies chunk `index` into a columnar [`TraceSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range index, I/O failure,
+    /// truncation, a checksum mismatch, or a structural violation.
+    fn read_chunk(&mut self, index: usize) -> Result<TraceSet>;
+
+    /// Reads chunk `index` into `set` in place, reusing its buffers where
+    /// the implementation supports it — the steady-state fold path.  The
+    /// default delegates to [`ChunkSource::read_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChunkSource::read_chunk`]; on error the set's
+    /// contents are unspecified.
+    fn read_chunk_into(&mut self, index: usize, set: &mut TraceSet) -> Result<()> {
+        *set = self.read_chunk(index)?;
+        Ok(())
+    }
+
+    /// The attached telemetry context, if any.
+    fn obs(&self) -> Option<&Obs>;
+
+    /// Samples per trace — shorthand for `meta().samples_per_trace`.
+    fn samples_per_trace(&self) -> usize {
+        self.meta().samples_per_trace
+    }
+}
+
+impl<R: Read + Seek> ChunkSource for ArchiveReader<R> {
+    fn meta(&self) -> &ArchiveMeta {
+        ArchiveReader::meta(self)
+    }
+
+    fn trace_count(&self) -> u64 {
+        ArchiveReader::trace_count(self)
+    }
+
+    fn chunk_count(&self) -> usize {
+        ArchiveReader::chunk_count(self)
+    }
+
+    fn distinct_inputs(&self) -> Option<usize> {
+        ArchiveReader::distinct_inputs(self)
+    }
+
+    fn read_chunk(&mut self, index: usize) -> Result<TraceSet> {
+        ArchiveReader::read_chunk(self, index)
+    }
+
+    fn read_chunk_into(&mut self, index: usize, set: &mut TraceSet) -> Result<()> {
+        ArchiveReader::read_chunk_into(self, index, set)
+    }
+
+    fn obs(&self) -> Option<&Obs> {
+        ArchiveReader::obs(self)
     }
 }
 

@@ -18,10 +18,11 @@ use std::path::Path;
 
 use dpl_power::MAX_INPUT_CLASSES;
 
+use crate::encode::{self, EncodeScratch};
 use crate::error::{Result, StoreError};
 use crate::format::{
-    chunk_len, decode_header, fnv1a64, version_of_magic, ArchiveMeta, CHUNK_CHECKSUM_LEN,
-    CHUNK_PREFIX_LEN,
+    chunk_len, chunk_len_v3, decode_header, fnv1a64, version_of_magic, ArchiveMeta,
+    CHUNK_BODY_LEN_LEN, CHUNK_CHECKSUM_LEN, CHUNK_PREFIX_LEN,
 };
 use crate::writer::{ArchiveWriter, SyncWrite, Truncate};
 
@@ -57,6 +58,9 @@ pub struct Recovery {
     pub data_end: u64,
     /// Bytes past `data_end` that failed validation and are dropped.
     pub dropped_bytes: u64,
+    /// On-disk bytes of the re-buffered partial chunk (version-3 chunks are
+    /// variable-length, so the arithmetic `chunk_len` cannot reproduce it).
+    pub(crate) pending_disk_bytes: u64,
     pub(crate) pending_inputs: Vec<u64>,
     pub(crate) pending_samples: Vec<f64>,
     pub(crate) distinct_inputs: Vec<u64>,
@@ -109,6 +113,12 @@ pub(crate) fn scan_stream<R: Read + Seek>(stream: &mut R, meta: ArchiveMeta) -> 
 
     let samples = meta.samples_per_trace;
     let chunk_traces = meta.chunk_traces;
+    let version = meta.format_version();
+    let head_len = if version >= 3 {
+        CHUNK_PREFIX_LEN + CHUNK_BODY_LEN_LEN
+    } else {
+        CHUNK_PREFIX_LEN
+    };
     let mut recovery = Recovery {
         header,
         full_chunks: 0,
@@ -116,45 +126,78 @@ pub(crate) fn scan_stream<R: Read + Seek>(stream: &mut R, meta: ArchiveMeta) -> 
         buffered_traces: 0,
         data_end: header_len,
         dropped_bytes: 0,
+        pending_disk_bytes: 0,
         pending_inputs: Vec::new(),
         pending_samples: Vec::new(),
         distinct_inputs: Vec::with_capacity(MAX_INPUT_CLASSES + 1),
     };
+    let mut decode_scratch = Vec::new();
 
     let mut offset = header_len;
     while offset < file_len {
         let remaining = file_len - offset;
-        if remaining < (CHUNK_PREFIX_LEN + CHUNK_CHECKSUM_LEN) as u64 {
+        if remaining < (head_len + CHUNK_CHECKSUM_LEN) as u64 {
             break;
         }
         stream.seek(SeekFrom::Start(offset))?;
-        let mut prefix = [0u8; CHUNK_PREFIX_LEN];
-        stream.read_exact(&mut prefix)?;
-        let k = u32::from_le_bytes(prefix) as usize;
+        let mut head = [0u8; CHUNK_PREFIX_LEN + CHUNK_BODY_LEN_LEN];
+        stream.read_exact(&mut head[..head_len])?;
+        let k = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
         if k == 0 || k > chunk_traces {
             break;
         }
-        let total = chunk_len(k, samples);
+        let total = if version >= 3 {
+            let body_len = u64::from(u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")));
+            if body_len > encode::max_body_len(k, samples, meta.encoding, meta.compression) {
+                break;
+            }
+            chunk_len_v3(body_len)
+        } else {
+            chunk_len(k, samples)
+        };
         if remaining < total {
             break;
         }
-        // Re-read prefix + payload as one buffer: the checksum covers both.
-        let body_len = (total - CHUNK_CHECKSUM_LEN as u64) as usize;
-        let mut body = vec![0u8; body_len];
-        body[..CHUNK_PREFIX_LEN].copy_from_slice(&prefix);
-        stream.read_exact(&mut body[CHUNK_PREFIX_LEN..])?;
+        // Re-read head + payload as one buffer: the checksum covers both.
+        let covered_len = (total - CHUNK_CHECKSUM_LEN as u64) as usize;
+        let mut body = vec![0u8; covered_len];
+        body[..head_len].copy_from_slice(&head[..head_len]);
+        stream.read_exact(&mut body[head_len..])?;
         let mut checksum = [0u8; CHUNK_CHECKSUM_LEN];
         stream.read_exact(&mut checksum)?;
         if u64::from_le_bytes(checksum) != fnv1a64(&body) {
             break;
         }
 
+        // Decode inputs (and, for version 3, the whole body — a checksum
+        // that verifies over an undecodable body still ends the prefix).
         let mut inputs = Vec::with_capacity(k);
-        for t in 0..k {
-            let at = CHUNK_PREFIX_LEN + t * 8;
-            inputs.push(u64::from_le_bytes(
-                body[at..at + 8].try_into().expect("8 bytes"),
-            ));
+        let mut values = if version >= 3 {
+            vec![0.0f64; k * samples]
+        } else {
+            Vec::new()
+        };
+        if version >= 3 {
+            if encode::decode_body(
+                meta.encoding,
+                meta.compression,
+                k,
+                &body[head_len..],
+                &mut inputs,
+                &mut values,
+                &mut decode_scratch,
+            )
+            .is_err()
+            {
+                break;
+            }
+        } else {
+            for t in 0..k {
+                let at = head_len + t * 8;
+                inputs.push(u64::from_le_bytes(
+                    body[at..at + 8].try_into().expect("8 bytes"),
+                ));
+            }
         }
         // Replay the writer's distinct-input bookkeeping so a resumed
         // capture records the same header field as an uninterrupted one.
@@ -175,17 +218,29 @@ pub(crate) fn scan_stream<R: Read + Seek>(stream: &mut R, meta: ArchiveMeta) -> 
             // A valid partial chunk: written only by `finish`, and only as
             // the last chunk.  Re-buffer its traces (trace-major, the write
             // buffer's layout) so the resumed writer re-flushes them.
-            let base = CHUNK_PREFIX_LEN + k * 8;
+            // Quantized encodings round-trip exactly through re-encoding
+            // (`round((q·scale)/scale) = q`), so the re-flushed chunk is
+            // byte-identical to the one the crash interrupted.
             let mut pending = Vec::with_capacity(k * samples);
-            for t in 0..k {
-                for s in 0..samples {
-                    let at = base + (s * k + t) * 8;
-                    pending.push(f64::from_le_bytes(
-                        body[at..at + 8].try_into().expect("8 bytes"),
-                    ));
+            if version >= 3 {
+                for t in 0..k {
+                    for s in 0..samples {
+                        pending.push(values[s * k + t]);
+                    }
+                }
+            } else {
+                let base = head_len + k * 8;
+                for t in 0..k {
+                    for s in 0..samples {
+                        let at = base + (s * k + t) * 8;
+                        pending.push(f64::from_le_bytes(
+                            body[at..at + 8].try_into().expect("8 bytes"),
+                        ));
+                    }
                 }
             }
             recovery.buffered_traces = k;
+            recovery.pending_disk_bytes = total;
             recovery.pending_inputs = inputs;
             recovery.pending_samples = pending;
             break;
@@ -193,17 +248,8 @@ pub(crate) fn scan_stream<R: Read + Seek>(stream: &mut R, meta: ArchiveMeta) -> 
     }
 
     recovery.dropped_bytes =
-        file_len.saturating_sub(recovery.data_end) - pending_bytes(&recovery, samples);
+        file_len.saturating_sub(recovery.data_end) - recovery.pending_disk_bytes;
     Ok(recovery)
-}
-
-/// Bytes of the re-buffered partial chunk — recovered, not dropped.
-fn pending_bytes(recovery: &Recovery, samples: usize) -> u64 {
-    if recovery.buffered_traces == 0 {
-        0
-    } else {
-        chunk_len(recovery.buffered_traces, samples)
-    }
 }
 
 fn classify_header(bytes: &[u8], meta: &ArchiveMeta) -> Result<HeaderState> {
@@ -262,6 +308,9 @@ impl<W: SyncWrite + Read + Truncate> ArchiveWriter<W> {
             chunks_written: recovery.full_chunks,
             finished: false,
             obs: None,
+            chunk_bytes: Vec::new(),
+            transpose: Vec::new(),
+            encode_scratch: EncodeScratch::default(),
         };
         Ok((writer, recovery))
     }

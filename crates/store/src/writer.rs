@@ -7,6 +7,7 @@ use std::path::Path;
 use dpl_obs::{names, Obs};
 use dpl_power::{TraceSet, TraceSink, MAX_INPUT_CLASSES};
 
+use crate::encode::{self, EncodeScratch};
 use crate::error::{Result, StoreError};
 use crate::format::{encode_header, fnv1a64, ArchiveMeta};
 
@@ -114,6 +115,11 @@ pub struct ArchiveWriter<W: SyncWrite> {
     pub(crate) chunks_written: usize,
     pub(crate) finished: bool,
     pub(crate) obs: Option<Obs>,
+    /// Reusable serialization buffers — steady-state captures allocate
+    /// nothing per chunk.
+    pub(crate) chunk_bytes: Vec<u8>,
+    pub(crate) transpose: Vec<f64>,
+    pub(crate) encode_scratch: EncodeScratch,
 }
 
 impl ArchiveWriter<BufWriter<File>> {
@@ -151,6 +157,9 @@ impl<W: SyncWrite> ArchiveWriter<W> {
             chunks_written: 0,
             finished: false,
             obs: None,
+            chunk_bytes: Vec::new(),
+            transpose: Vec::new(),
+            encode_scratch: EncodeScratch::default(),
         })
     }
 
@@ -231,8 +240,9 @@ impl<W: SyncWrite> ArchiveWriter<W> {
         Ok(())
     }
 
-    /// Serializes the buffered traces as one chunk:
-    /// `[k][inputs][samples, sample-major][checksum]`.
+    /// Serializes the buffered traces as one chunk — versions 1–2:
+    /// `[k][inputs][samples, sample-major][checksum]`; version 3:
+    /// `[k][body_len][encoded body][checksum]`.
     fn flush_chunk(&mut self) -> Result<()> {
         let k = self.pending_inputs.len();
         if k == 0 {
@@ -243,31 +253,54 @@ impl<W: SyncWrite> ArchiveWriter<W> {
             .as_ref()
             .map(|o| o.phase("store.chunk_serialize", names::STORE_SERIALIZE_NS));
         let samples = self.meta.samples_per_trace;
-        let mut bytes = Vec::with_capacity(4 + k * 8 + k * samples * 8 + 8);
-        bytes.extend_from_slice(&(k as u32).to_le_bytes());
-        for &input in &self.pending_inputs {
-            bytes.extend_from_slice(&input.to_le_bytes());
-        }
         // Transpose the trace-major buffer into the sample-major layout the
         // columnar TraceSet loads without any gather.
+        self.transpose.clear();
+        self.transpose.reserve(k * samples);
         for s in 0..samples {
             for t in 0..k {
-                let value = self.pending_samples[t * samples + s];
-                bytes.extend_from_slice(&value.to_le_bytes());
+                self.transpose.push(self.pending_samples[t * samples + s]);
             }
         }
-        let checksum = fnv1a64(&bytes);
-        bytes.extend_from_slice(&checksum.to_le_bytes());
+        self.chunk_bytes.clear();
+        self.chunk_bytes
+            .extend_from_slice(&(k as u32).to_le_bytes());
+        if self.meta.format_version() < 3 {
+            self.chunk_bytes.reserve(k * 8 + k * samples * 8 + 8);
+            for &input in &self.pending_inputs {
+                self.chunk_bytes.extend_from_slice(&input.to_le_bytes());
+            }
+            for &value in &self.transpose {
+                self.chunk_bytes.extend_from_slice(&value.to_le_bytes());
+            }
+        } else {
+            self.chunk_bytes.extend_from_slice(&[0u8; 4]);
+            encode::encode_body(
+                self.meta.encoding,
+                self.meta.compression,
+                &self.pending_inputs,
+                &self.transpose,
+                &mut self.encode_scratch,
+                &mut self.chunk_bytes,
+            );
+            let body_len = self.chunk_bytes.len() - 8;
+            let body_len = u32::try_from(body_len).map_err(|_| StoreError::FormatViolation {
+                message: format!("chunk body of {body_len} bytes exceeds the length field"),
+            })?;
+            self.chunk_bytes[4..8].copy_from_slice(&body_len.to_le_bytes());
+        }
+        let checksum = fnv1a64(&self.chunk_bytes);
+        self.chunk_bytes.extend_from_slice(&checksum.to_le_bytes());
         drop(serialize_phase);
         let write_phase = self
             .obs
             .as_ref()
             .map(|o| o.phase("store.chunk_write", names::STORE_WRITE_IO_NS));
-        self.stream.write_all(&bytes)?;
+        self.stream.write_all(&self.chunk_bytes)?;
         drop(write_phase);
         if let Some(obs) = &self.obs {
             obs.counter_add(names::STORE_CHUNK_WRITES, 1);
-            obs.counter_add(names::STORE_BYTES_WRITTEN, bytes.len() as u64);
+            obs.counter_add(names::STORE_BYTES_WRITTEN, self.chunk_bytes.len() as u64);
             obs.progress_advance(k as u64);
         }
         self.traces_written += k as u64;

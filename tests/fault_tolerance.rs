@@ -13,8 +13,9 @@ use dpl_eval::{
 };
 use dpl_store::{
     cpa_attack_salvage, cpa_attack_streaming, dpa_attack_salvage, dpa_attack_streaming, recover,
-    repair_archive, ArchiveMeta, ArchiveReader, ArchiveWriter, DamageCause, DamagedChunk, Fault,
-    FaultPlan, FaultStream, HeaderState, ModelTag, ReadPolicy, ReadSite, RetryPolicy, StoreError,
+    repair_archive, ArchiveMeta, ArchiveReader, ArchiveWriter, Compression, DamageCause,
+    DamagedChunk, Fault, FaultPlan, FaultStream, HeaderState, ModelTag, ReadPolicy, ReadSite,
+    RetryPolicy, SampleEncoding, StoreError,
 };
 
 const SEED: u64 = 42;
@@ -35,6 +36,8 @@ fn attack_meta(samples: usize, chunk: usize) -> ArchiveMeta {
         seed: SEED,
         campaign: dpl_store::CampaignKind::Attack,
         table_digest: 0,
+        encoding: SampleEncoding::F64,
+        compression: Compression::None,
     }
 }
 

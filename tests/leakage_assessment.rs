@@ -23,7 +23,9 @@ use dpl_eval::{
     tvla_streaming_second_order, TvlaOrder,
 };
 use dpl_power::{TraceSet, TraceSink};
-use dpl_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, ModelTag};
+use dpl_store::{
+    ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, Compression, ModelTag, SampleEncoding,
+};
 
 fn temp_archive(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("dpl_eval_{}_{}.dpltrc", name, std::process::id()))
@@ -76,6 +78,8 @@ fn streaming_tvla_is_bit_identical_and_worker_count_independent() {
         seed: 0,
         campaign: CampaignKind::TvlaInterleaved,
         table_digest: 0,
+        encoding: SampleEncoding::F64,
+        compression: Compression::None,
     };
     let mut writer = ArchiveWriter::create(&path, meta).expect("create");
     let mut oracle = TraceSet::new();

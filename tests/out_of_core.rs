@@ -12,7 +12,7 @@ use dpl_crypto::{
 use dpl_power::{cpa_attack, dpa_attack, TraceSet, TraceSink};
 use dpl_store::{
     cpa_attack_parallel, cpa_attack_streaming, dpa_attack_parallel, dpa_attack_streaming,
-    ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, ModelTag,
+    ArchiveMeta, ArchiveReader, ArchiveWriter, CampaignKind, Compression, ModelTag, SampleEncoding,
 };
 
 fn temp_archive(name: &str) -> PathBuf {
@@ -120,6 +120,8 @@ fn multi_round_present80_archive_supports_out_of_core_dpa() {
         seed: 7,
         campaign: CampaignKind::Attack,
         table_digest: 0,
+        encoding: SampleEncoding::F64,
+        compression: Compression::None,
     };
     let mut writer = ArchiveWriter::create(&path, meta).expect("create");
     let mut oracle = TraceSet::new();

@@ -1,0 +1,551 @@
+//! Integration properties of the sharded trace plane and the compact v3
+//! sample encodings: every encoding round-trips within its documented
+//! contract under both compressions, corrupt v3 bodies fail with typed
+//! errors, a campaign split across any number of shards folds bit-
+//! identically to the single archive holding the same traces (DPA, CPA and
+//! TVLA), quantized+compressed archives at least halve bytes/trace, and
+//! the legacy v1/v2 layouts stay byte-stable.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpl_cells::CapacitanceModel;
+use dpl_crypto::{
+    present_sbox, simulate_trace_range_into, simulate_tvla_trace_range_into,
+    synthesize_sbox_with_key, GateEnergyTable, LeakageModel, LeakageOptions,
+};
+use dpl_eval::{interleaved_partition, tvla_streaming};
+use dpl_store::{
+    cpa_attack_streaming, dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter,
+    CampaignKind, CampaignManifest, ChunkSource, Compression, ModelTag, Quantization,
+    SampleEncoding, ShardMeta, ShardedReader,
+};
+use proptest::prelude::*;
+
+/// Distinct temp-file stems across proptest cases and parallel test
+/// binaries.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_stem(name: &str) -> String {
+    format!(
+        "dpl_it_{}_{}_{}",
+        name,
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn selection(plaintext: u64, guess: u64) -> bool {
+    present_sbox((plaintext ^ guess) as u8).count_ones() >= 2
+}
+
+fn model(plaintext: u64, guess: u64) -> f64 {
+    present_sbox((plaintext ^ guess) as u8).count_ones() as f64
+}
+
+/// Deterministic traces with samples bounded to [-4, 4] so the same
+/// material exercises the i16 quantized encoding inside its contract
+/// range.
+fn bounded_traces(seed: u64, count: usize, samples: usize) -> Vec<(u64, Vec<f64>)> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let input = next() % 16;
+            let values: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let raw = next();
+                    ((raw % 8001) as f64 / 1000.0) - 4.0
+                })
+                .collect();
+            (input, values)
+        })
+        .collect()
+}
+
+fn meta_with(
+    samples: usize,
+    chunk: usize,
+    seed: u64,
+    campaign: CampaignKind,
+    encoding: SampleEncoding,
+    compression: Compression,
+) -> ArchiveMeta {
+    ArchiveMeta {
+        samples_per_trace: samples,
+        chunk_traces: chunk,
+        model: ModelTag::Unspecified,
+        seed,
+        campaign,
+        table_digest: 0,
+        encoding,
+        compression,
+    }
+}
+
+fn write_bytes(traces: &[(u64, Vec<f64>)], meta: ArchiveMeta) -> Vec<u8> {
+    let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
+    for (input, values) in traces {
+        writer.append(*input, values).expect("append");
+    }
+    assert_eq!(writer.finish().expect("finish"), traces.len() as u64);
+    writer.into_inner().into_inner()
+}
+
+/// Splits `traces` into shard archives on disk (chunk-aligned, manifest
+/// shape) and returns the manifest path plus every file written.
+fn write_campaign(
+    stem: &str,
+    traces: &[(u64, Vec<f64>)],
+    meta: ArchiveMeta,
+    shards: usize,
+) -> (PathBuf, Vec<PathBuf>) {
+    let dir = std::env::temp_dir();
+    let per_shard = traces
+        .len()
+        .div_ceil(meta.chunk_traces)
+        .div_ceil(shards)
+        .max(1)
+        * meta.chunk_traces;
+    let mut plan = Vec::new();
+    let mut files = Vec::new();
+    let mut start = 0usize;
+    while start < traces.len() {
+        let count = per_shard.min(traces.len() - start);
+        let name = format!("{stem}-shard-{:03}.dpltrc", plan.len());
+        let path = dir.join(&name);
+        let mut writer = ArchiveWriter::create(&path, meta).expect("shard create");
+        for (input, values) in &traces[start..start + count] {
+            writer.append(*input, values).expect("append");
+        }
+        writer.finish().expect("finish");
+        files.push(path);
+        plan.push(ShardMeta {
+            path: name,
+            traces: count as u64,
+            start: start as u64,
+        });
+        start += count;
+    }
+    // Record the campaign-wide distinct input count exactly as `repro
+    // capture --shards` does: the fold picks its accumulation mode off it,
+    // so an unknown count here would put the sharded fold in a different
+    // (equally valid, but not bit-identical) summation order than the
+    // single archive whose header records the true count.
+    let mut classes = std::collections::BTreeSet::new();
+    for (input, _) in traces {
+        if classes.len() <= dpl_power::MAX_INPUT_CLASSES {
+            classes.insert(*input);
+        }
+    }
+    let distinct = if classes.len() > dpl_power::MAX_INPUT_CLASSES {
+        0
+    } else {
+        classes.len() as u32
+    };
+    let manifest_path = dir.join(format!("{stem}.json"));
+    CampaignManifest::new(plan, distinct)
+        .expect("manifest")
+        .save(&manifest_path)
+        .expect("manifest save");
+    files.push(manifest_path.clone());
+    (manifest_path, files)
+}
+
+fn remove_all(files: &[PathBuf]) {
+    for file in files {
+        let _ = std::fs::remove_file(file);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sample encoding round-trips through a full archive under both
+    /// compressions, within its documented contract: f64 bit-exactly, f32
+    /// to exactly the nearest single, i16 within the recorded
+    /// quantization's half-step error bound.  Inputs always round-trip
+    /// bit-exactly.
+    #[test]
+    fn every_encoding_round_trips_within_its_contract(
+        seed in 0u64..100_000,
+        count in 1usize..120,
+        samples in 1usize..5,
+        chunk in 1usize..32,
+        encoding_code in 0usize..3,
+        compress in 0usize..2,
+    ) {
+        let quantization = Quantization::for_max_magnitude(4.0).expect("quantization");
+        let encoding = match encoding_code {
+            0 => SampleEncoding::F64,
+            1 => SampleEncoding::F32,
+            _ => SampleEncoding::I16(quantization),
+        };
+        let compress = compress == 1;
+        let compression = if compress { Compression::Shuffle } else { Compression::None };
+        let traces = bounded_traces(seed, count, samples);
+        let meta = meta_with(samples, chunk, seed, CampaignKind::Attack, encoding, compression);
+        let bytes = write_bytes(&traces, meta);
+
+        let mut reader = ArchiveReader::new(Cursor::new(bytes)).expect("reader");
+        prop_assert_eq!(reader.meta().encoding, encoding);
+        prop_assert_eq!(reader.meta().compression, compression);
+        let expected_version = if encoding == SampleEncoding::F64 && !compress { 1 } else { 3 };
+        prop_assert_eq!(reader.meta().format_version(), expected_version);
+        let read_back = reader.read_all().expect("read_all");
+        prop_assert_eq!(read_back.len(), count);
+        for (t, (input, values)) in traces.iter().enumerate() {
+            prop_assert_eq!(read_back.inputs()[t], *input);
+            for (got, want) in read_back.trace_samples(t).iter().zip(values) {
+                match encoding {
+                    SampleEncoding::F64 => prop_assert_eq!(got.to_bits(), want.to_bits()),
+                    SampleEncoding::F32 => {
+                        prop_assert_eq!(got.to_bits(), f64::from(*want as f32).to_bits());
+                    }
+                    SampleEncoding::I16(q) => prop_assert!(
+                        (got - want).abs() <= q.max_error(),
+                        "trace {} decoded {} vs {} exceeds bound {}",
+                        t, got, want, q.max_error()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A flipped byte anywhere in a v3 chunk body — any encoding, any
+    /// compression — surfaces as a typed store error from the strict
+    /// reader, never as silently wrong samples.
+    #[test]
+    fn corrupt_v3_bodies_fail_typed(
+        seed in 0u64..100_000,
+        count in 1usize..80,
+        samples in 1usize..4,
+        chunk in 1usize..24,
+        encoding_code in 0usize..3,
+        compress in 0usize..2,
+        position in 0usize..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let quantization = Quantization::for_max_magnitude(4.0).expect("quantization");
+        let encoding = match encoding_code {
+            0 => SampleEncoding::F64,
+            1 => SampleEncoding::F32,
+            _ => SampleEncoding::I16(quantization),
+        };
+        // Force v3 framing even for f64 by always compressing f64 bodies.
+        let compression = if compress == 1 || encoding == SampleEncoding::F64 {
+            Compression::Shuffle
+        } else {
+            Compression::None
+        };
+        let traces = bounded_traces(seed, count, samples);
+        let meta = meta_with(samples, chunk, seed, CampaignKind::Attack, encoding, compression);
+        let bytes = write_bytes(&traces, meta);
+        prop_assert_eq!(meta.format_version(), 3);
+
+        let header = meta.header_len();
+        let body = bytes.len() - header;
+        prop_assert!(body > 0);
+        let offset = header + position % body;
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 1 << bit;
+        // A flip in the variable-length chunk framing can already fail the
+        // open-time bounds scan; that is a typed rejection too.  Anything
+        // that opens must then fail `read_all` — never decode silently.
+        if let Ok(mut reader) = ArchiveReader::new(Cursor::new(corrupt)) {
+            let result = reader.read_all();
+            prop_assert!(
+                result.is_err(),
+                "flip at {} decoded {} traces silently",
+                offset,
+                result.map(|set| set.len()).unwrap_or(0)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A campaign split across any shard count folds bit-identically to
+    /// the single archive holding the same traces: DPA and CPA scores and
+    /// the Welch t curve all match bit for bit through the
+    /// [`ShardedReader`]'s global-order chunk stream.
+    #[test]
+    fn shard_merge_folds_bit_identically_for_any_shard_count(
+        seed in 0u64..50_000,
+        count in 4usize..160,
+        samples in 1usize..4,
+        chunk in 1usize..12,
+        shards in 1usize..6,
+    ) {
+        let traces = bounded_traces(seed, count, samples);
+        for campaign in [CampaignKind::Attack, CampaignKind::TvlaInterleaved] {
+            let meta = meta_with(
+                samples, chunk, seed, campaign, SampleEncoding::F64, Compression::None,
+            );
+            let single = write_bytes(&traces, meta);
+            let mut single_reader =
+                ArchiveReader::new(Cursor::new(single)).expect("single reader");
+            let stem = temp_stem("merge");
+            let (manifest, files) = write_campaign(&stem, &traces, meta, shards);
+            let mut sharded = ShardedReader::open(&manifest).expect("campaign open");
+            prop_assert_eq!(sharded.trace_count(), count as u64);
+            prop_assert_eq!(sharded.chunk_count(), count.div_ceil(chunk));
+
+            if campaign == CampaignKind::Attack {
+                let a = dpa_attack_streaming(&mut single_reader, 16, selection).expect("dpa");
+                let b = dpa_attack_streaming(&mut sharded, 16, selection).expect("dpa");
+                prop_assert_eq!(a.best_guess, b.best_guess);
+                prop_assert_eq!(&a.scores, &b.scores);
+                let a = cpa_attack_streaming(&mut single_reader, 16, model).expect("cpa");
+                let b = cpa_attack_streaming(&mut sharded, 16, model).expect("cpa");
+                prop_assert_eq!(a.best_guess, b.best_guess);
+                prop_assert_eq!(&a.scores, &b.scores);
+            } else {
+                let a = tvla_streaming(&mut single_reader, interleaved_partition).expect("tvla");
+                let b = tvla_streaming(&mut sharded, interleaved_partition).expect("tvla");
+                prop_assert_eq!(a.counts, b.counts);
+                prop_assert_eq!(&a.t, &b.t);
+            }
+            remove_all(&files);
+        }
+    }
+}
+
+/// The end-to-end contract of `repro capture --shards`: four shard workers
+/// each drawing its contiguous block-seeded trace range produce a campaign
+/// whose DPA, CPA and TVLA folds are bit-identical to a single archive of
+/// the same block-seeded stream — including shard boundaries that fall in
+/// the middle of a seed block.
+#[test]
+fn sharded_capture_matches_single_block_seeded_archive() {
+    let netlist = synthesize_sbox_with_key().expect("synthesis");
+    let cap = CapacitanceModel::default();
+    let table = GateEnergyTable::build(LeakageModel::HammingWeight, &cap).expect("energy table");
+    let options = LeakageOptions::default();
+    let key = 0xAu8;
+    let total = 2048u64;
+    let chunk = 256usize;
+    let shard_traces = 512u64; // mid-block boundaries: TRACE_BLOCK is 1024
+
+    for tvla in [false, true] {
+        let campaign = if tvla {
+            CampaignKind::TvlaInterleaved
+        } else {
+            CampaignKind::Attack
+        };
+        let mut meta = ArchiveMeta::scalar(chunk, ModelTag::HammingWeight, options.seed);
+        meta.campaign = campaign;
+
+        // The single archive: one range generator over the whole campaign.
+        let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
+        if tvla {
+            simulate_tvla_trace_range_into(
+                &netlist,
+                &table,
+                key,
+                0x3,
+                0,
+                total,
+                &options,
+                &mut writer,
+            )
+            .expect("capture");
+        } else {
+            simulate_trace_range_into(&netlist, &table, key, 0, total, &options, &mut writer)
+                .expect("capture");
+        }
+        writer.finish().expect("finish");
+        let single = writer.into_inner().into_inner();
+        let mut single_reader = ArchiveReader::new(Cursor::new(single)).expect("reader");
+
+        // The sharded campaign: one range generator per contiguous block.
+        let stem = temp_stem(if tvla { "e2e_tvla" } else { "e2e" });
+        let dir = std::env::temp_dir();
+        let mut plan = Vec::new();
+        let mut files = Vec::new();
+        for start in (0..total).step_by(shard_traces as usize) {
+            let name = format!("{stem}-shard-{:03}.dpltrc", plan.len());
+            let path = dir.join(&name);
+            let mut writer = ArchiveWriter::create(&path, meta).expect("shard create");
+            if tvla {
+                simulate_tvla_trace_range_into(
+                    &netlist,
+                    &table,
+                    key,
+                    0x3,
+                    start,
+                    shard_traces,
+                    &options,
+                    &mut writer,
+                )
+                .expect("shard capture");
+            } else {
+                simulate_trace_range_into(
+                    &netlist,
+                    &table,
+                    key,
+                    start,
+                    shard_traces,
+                    &options,
+                    &mut writer,
+                )
+                .expect("shard capture");
+            }
+            writer.finish().expect("finish");
+            files.push(path);
+            plan.push(ShardMeta {
+                path: name,
+                traces: shard_traces,
+                start,
+            });
+        }
+        assert_eq!(plan.len(), 4);
+        let manifest_path = dir.join(format!("{stem}.json"));
+        CampaignManifest::new(plan, 16)
+            .expect("manifest")
+            .save(&manifest_path)
+            .expect("manifest save");
+        files.push(manifest_path.clone());
+        let mut sharded = ShardedReader::open(&manifest_path).expect("campaign open");
+
+        if tvla {
+            let a = tvla_streaming(&mut single_reader, interleaved_partition).expect("tvla");
+            let b = tvla_streaming(&mut sharded, interleaved_partition).expect("tvla");
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.t, b.t);
+        } else {
+            let a = dpa_attack_streaming(&mut single_reader, 16, selection).expect("dpa");
+            let b = dpa_attack_streaming(&mut sharded, 16, selection).expect("dpa");
+            assert_eq!(a.best_guess, u64::from(key));
+            assert_eq!(a.best_guess, b.best_guess);
+            assert_eq!(a.scores, b.scores);
+            let a = cpa_attack_streaming(&mut single_reader, 16, model).expect("cpa");
+            let b = cpa_attack_streaming(&mut sharded, 16, model).expect("cpa");
+            assert_eq!(a.best_guess, b.best_guess);
+            assert_eq!(a.scores, b.scores);
+        }
+        remove_all(&files);
+    }
+}
+
+/// The size contract of the compact encodings: i16 fixed-point plus the
+/// byte-shuffle compressor stores smooth wide traces in no more than half
+/// the bytes/trace of the raw f64 layout, while every decoded sample stays
+/// within the recorded quantization's documented error bound.
+#[test]
+fn quantized_compressed_archives_at_least_halve_bytes_per_trace() {
+    let samples = 32usize;
+    let count = 512usize;
+    let traces = bounded_traces(0x2005, count, samples);
+    let raw = write_bytes(
+        &traces,
+        meta_with(
+            samples,
+            128,
+            7,
+            CampaignKind::Attack,
+            SampleEncoding::F64,
+            Compression::None,
+        ),
+    );
+    let quantization = Quantization::for_max_magnitude(4.0).expect("quantization");
+    let compact = write_bytes(
+        &traces,
+        meta_with(
+            samples,
+            128,
+            7,
+            CampaignKind::Attack,
+            SampleEncoding::I16(quantization),
+            Compression::Shuffle,
+        ),
+    );
+    let raw_per_trace = raw.len() as f64 / count as f64;
+    let compact_per_trace = compact.len() as f64 / count as f64;
+    assert!(
+        compact_per_trace * 2.0 <= raw_per_trace,
+        "compact {compact_per_trace:.1} B/trace vs raw {raw_per_trace:.1} B/trace is under 2x"
+    );
+
+    let mut reader = ArchiveReader::new(Cursor::new(compact)).expect("reader");
+    let recorded = reader
+        .meta()
+        .encoding
+        .quantization()
+        .expect("recorded quantization");
+    assert_eq!(recorded, quantization);
+    let decoded = reader.read_all().expect("read_all");
+    let mut worst = 0.0f64;
+    for (t, (_, values)) in traces.iter().enumerate() {
+        for (got, want) in decoded.trace_samples(t).iter().zip(values) {
+            worst = worst.max((got - want).abs());
+        }
+    }
+    assert!(
+        worst <= recorded.max_error(),
+        "worst decode error {worst} exceeds the documented bound {}",
+        recorded.max_error()
+    );
+}
+
+/// Legacy layout stability: archives written with the default f64 encoding
+/// keep the exact v1 (and, with a recorded hypothesis digest, v2) byte
+/// layout, so archives captured before the v3 encodings read back — and
+/// re-written captures diff — byte-identically.
+#[test]
+fn legacy_v1_v2_layouts_are_byte_stable() {
+    let traces = vec![
+        (1u64, vec![0.5f64, -1.5]),
+        (2, vec![2.0, 0.25]),
+        (3, vec![-8.0, 3.0]),
+    ];
+    let mut meta = meta_with(
+        2,
+        2,
+        7,
+        CampaignKind::Attack,
+        SampleEncoding::F64,
+        Compression::None,
+    );
+    let v1 = write_bytes(&traces, meta);
+    assert_eq!(meta.format_version(), 1);
+    assert_eq!(fnv1a64(&v1), GOLDEN_V1_DIGEST, "v1 byte layout changed");
+
+    meta.table_digest = 0x1234_5678_9ABC_DEF0;
+    assert_eq!(meta.format_version(), 2);
+    let v2 = write_bytes(&traces, meta);
+    assert_eq!(fnv1a64(&v2), GOLDEN_V2_DIGEST, "v2 byte layout changed");
+
+    for bytes in [v1, v2] {
+        let mut reader = ArchiveReader::new(Cursor::new(bytes)).expect("reader");
+        let read_back = reader.read_all().expect("read_all");
+        for (t, (input, values)) in traces.iter().enumerate() {
+            assert_eq!(read_back.inputs()[t], *input);
+            for (got, want) in read_back.trace_samples(t).iter().zip(values) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+}
+
+/// FNV-1a 64 over a byte string — enough to pin a golden layout without
+/// embedding the whole file.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const GOLDEN_V1_DIGEST: u64 = 10_690_145_621_441_755_873;
+const GOLDEN_V2_DIGEST: u64 = 5_246_489_915_430_539_021;

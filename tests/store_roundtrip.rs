@@ -7,8 +7,8 @@ use std::io::Cursor;
 
 use dpl_power::TraceSet;
 use dpl_store::{
-    dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, DamageCause, ReadPolicy,
-    RetryPolicy, StoreError,
+    dpa_attack_streaming, ArchiveMeta, ArchiveReader, ArchiveWriter, Compression, DamageCause,
+    ReadPolicy, RetryPolicy, SampleEncoding, StoreError,
 };
 use proptest::prelude::*;
 
@@ -50,6 +50,8 @@ fn write_archive(traces: &[(u64, Vec<f64>)], samples: usize, chunk: usize, seed:
         seed,
         campaign: dpl_store::CampaignKind::Attack,
         table_digest: 0,
+        encoding: SampleEncoding::F64,
+        compression: Compression::None,
     };
     let mut writer = ArchiveWriter::new(Cursor::new(Vec::new()), meta).expect("writer");
     for (input, values) in traces {
